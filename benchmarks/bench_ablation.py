@@ -1,0 +1,186 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+These are not paper artifacts; they probe *why* the design is what it is:
+
+1. **Statistic choice** — Appendix B argues the plain first moment adds
+   nothing (mu-only collapses to N-Rand); the (mu_B_minus, q_B_plus) pair
+   strictly improves the guarantee over most of the plane.
+2. **b-DET threshold choice** — the closed-form ``b*`` versus naive
+   alternatives, judged by worst-case expected cost over Q.
+3. **Estimation noise** — how many observed stops the proposed selector
+   needs before it reliably beats the statistics-free N-Rand.
+4. **Stop-extraction sensitivity** — how the speed threshold / merge gap
+   of the extraction pipeline shifts the extracted distribution.
+"""
+
+import numpy as np
+
+from repro.constants import B_SSV, E_RATIO
+from repro.core import (
+    BDet,
+    ConstrainedSkiRentalSolver,
+    NRand,
+    ProposedOnline,
+    StopStatistics,
+    empirical_cr,
+    optimal_b,
+)
+from repro.core.analysis import worst_case_expected_cost
+from repro.drivecycle import CongestionModel, DriveCycleSimulator, grid_network
+from repro.fleet import area_config
+from repro.traces import extract_stops
+
+
+def test_ablation_statistic_choice(benchmark):
+    """(mu-, q+) vs mu-only: the proposed guarantee improves on N-Rand
+    (the best mu-only guarantee, per Appendix B) over most of the plane."""
+
+    def sweep():
+        improvements = []
+        for mu_frac in np.linspace(0.02, 0.9, 15):
+            for q in np.linspace(0.02, 0.95, 15):
+                if mu_frac > 1 - q:
+                    continue
+                stats = StopStatistics(mu_frac * B_SSV, q, B_SSV)
+                cr = ConstrainedSkiRentalSolver(stats).select().worst_case_cr
+                improvements.append(E_RATIO - cr)
+        return np.asarray(improvements)
+
+    improvements = benchmark(sweep)
+    assert np.all(improvements >= -1e-9)  # never worse than mu-only
+    # Strict improvement on a substantial share of the plane.
+    assert (improvements > 1e-6).mean() > 0.5
+
+
+def test_ablation_bdet_threshold_choice(benchmark):
+    """b* versus naive b choices, by worst-case expected cost over Q."""
+    stats = StopStatistics(0.02 * B_SSV, 0.3, B_SSV)
+    b_star = optimal_b(stats)
+    conditional = stats.short_stop_conditional_mean
+    naive_choices = {
+        "half_B": B_SSV / 2.0,
+        "just_above_conditional_mean": min(conditional * 1.5 + 0.5, B_SSV * 0.99),
+        "quarter_B": B_SSV / 4.0,
+    }
+
+    def evaluate():
+        costs = {"b_star": worst_case_expected_cost(BDet(B_SSV, b_star), stats, 1024)}
+        for name, b in naive_choices.items():
+            costs[name] = worst_case_expected_cost(BDet(B_SSV, b), stats, 1024)
+        return costs
+
+    costs = benchmark(evaluate)
+    for name, cost in costs.items():
+        assert costs["b_star"] <= cost + 1e-3 * B_SSV, name
+
+
+def test_ablation_estimation_noise(benchmark):
+    """The selector's edge over N-Rand as a function of sample size."""
+    distribution = area_config("california").stop_length_distribution()
+    rng = np.random.default_rng(99)
+    eval_stops = distribution.sample(4000, rng)
+
+    def edge_for(sample_size: int, trials: int = 12) -> float:
+        wins = 0
+        for _ in range(trials):
+            training = distribution.sample(sample_size, rng)
+            proposed = ProposedOnline.from_samples(training, B_SSV)
+            cr_proposed = empirical_cr(proposed, eval_stops, B_SSV)
+            cr_nrand = empirical_cr(NRand(B_SSV), eval_stops, B_SSV)
+            wins += cr_proposed <= cr_nrand + 1e-9
+        return wins / trials
+
+    def sweep():
+        return {size: edge_for(size) for size in (5, 20, 80, 320)}
+
+    edges = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    # With a week of stops (tens to hundreds) the selector beats N-Rand
+    # essentially always; even small samples do well on this fleet.
+    assert edges[320] >= 0.95
+    assert edges[80] >= 0.9
+    assert edges[320] >= edges[5] - 1e-9
+
+
+def test_ablation_break_even_sensitivity(benchmark):
+    """Appendix C sensitivity: how fuel price moves the break-even
+    interval and, through it, the policy landscape.
+
+    Wear costs are fixed in cents while the idling cost scales with fuel
+    price, so B falls toward the 10-second fuel floor as fuel gets
+    expensive — cheap fuel makes shutting off *less* attractive.
+    """
+    from repro.core import StopStatistics
+    from repro.vehicle import conventional_cost_model, ssv_cost_model
+    from repro.vehicle.costmodel import VehicleCostModel
+    from repro.vehicle.engine import FORD_FUSION_2011
+    from repro.vehicle.battery import STOP_START_BATTERY
+    from repro.vehicle.starter import CONVENTIONAL_STARTER, SSV_STARTER
+
+    prices = (2.0, 3.0, 3.5, 4.5, 6.0)
+
+    def sweep():
+        table = {}
+        for ssv in (True, False):
+            bs = []
+            for price in prices:
+                model = VehicleCostModel(
+                    engine=FORD_FUSION_2011,
+                    starter=SSV_STARTER if ssv else CONVENTIONAL_STARTER,
+                    battery=STOP_START_BATTERY,
+                    fuel_price_per_gallon=price,
+                )
+                bs.append(model.break_even_seconds())
+            table["ssv" if ssv else "conventional"] = bs
+        return table
+
+    table = benchmark(sweep)
+    for kind, bs in table.items():
+        # Monotone decreasing in fuel price, floored by the 10 s of
+        # restart fuel (which scales with fuel price and so never drops
+        # out of the ratio).
+        assert all(b1 > b2 for b1, b2 in zip(bs, bs[1:])), (kind, bs)
+        assert all(b > 10.0 for b in bs), (kind, bs)
+    # The paper's $3.5 reference points are in the table.
+    assert abs(table["ssv"][2] - 28.96) < 0.1
+    assert abs(table["conventional"][2] - 48.34) < 0.1
+
+
+def test_ablation_stop_extraction(benchmark):
+    """Extraction thresholds move the stop-length distribution: a laxer
+    speed threshold counts queue creep as stopped (more stop mass), a
+    larger merge gap fuses adjacent stops (fewer, longer stops)."""
+    simulator = DriveCycleSimulator(
+        grid_network(rows=6, cols=6, signal_density=0.8),
+        CongestionModel(level=0.6),
+    )
+    rng = np.random.default_rng(3)
+    trips = [simulator.simulate_trip(rng) for _ in range(25)]
+
+    def extract_all(threshold: float, merge_gap: float):
+        stops = []
+        for trip in trips:
+            stops.extend(
+                stop.duration
+                for stop in extract_stops(
+                    trip.speed_trace, speed_threshold=threshold, merge_gap=merge_gap
+                )
+            )
+        return np.asarray(stops)
+
+    def sweep():
+        return {
+            "baseline": extract_all(0.5, 3.0),
+            "lax_speed": extract_all(2.0, 3.0),
+            "wide_merge": extract_all(0.5, 30.0),
+        }
+
+    extracted = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    baseline = extracted["baseline"]
+    assert baseline.size > 0
+    # Lax speed threshold: at least as much total stopped time.
+    assert extracted["lax_speed"].sum() >= baseline.sum() - 1e-9
+    # Wide merge gap: no more stops than the baseline, each at least as
+    # long on average.
+    assert extracted["wide_merge"].size <= baseline.size
+    if extracted["wide_merge"].size:
+        assert extracted["wide_merge"].mean() >= baseline.mean() - 1e-9

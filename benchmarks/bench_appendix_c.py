@@ -1,0 +1,27 @@
+"""Benchmark: Appendix C — break-even interval derivation."""
+
+from repro.experiments import run_experiment
+
+from .conftest import emit
+
+
+def test_appendix_c_break_even(benchmark, results_dir):
+    result = benchmark(run_experiment, "appc")
+    emit(result, results_dir)
+    summary = result.table("summary")
+    idx = {name: i for i, name in enumerate(summary.headers)}
+    values = {row[idx["vehicle"]]: row for row in summary.rows}
+    # Eq. 46 idling cost and the headline break-even estimates.
+    for row in summary.rows:
+        assert abs(row[idx["idling_cost_cents_per_s"]] - 0.0258) < 2e-4
+    assert abs(values["SSV"][idx["computed_B_s"]] - 28.0) < 1.5
+    assert abs(values["conventional"][idx["computed_B_s"]] - 47.0) < 1.5
+    # Component sanity: fuel is exactly 10 s; SSV starter free;
+    # conventional starter ~19.4 s; battery ~18.8 s.
+    components = {
+        (row[0], row[1]): row[2] for row in result.table("components").rows
+    }
+    assert components[("SSV", "fuel")] == 10.0
+    assert components[("SSV", "starter wear")] == 0.0
+    assert abs(components[("conventional", "starter wear")] - 19.38) < 0.1
+    assert abs(components[("SSV", "battery wear")] - 18.8) < 0.2

@@ -1,0 +1,148 @@
+"""Benchmarks for the extension features (beyond the paper's artifacts).
+
+* **Adaptive selector regret** — how fast the online-estimating selector
+  closes the gap to the omniscient static selector.
+* **Average-case oracle** — how much the (mu-, q+)-only proposed
+  strategy gives up against the full-distribution optimum of [10], and
+  how both compare to N-Rand.
+* **Multislope engine states** — the value of an intermediate
+  accessory-off state over the classic on/off pair.
+"""
+
+import numpy as np
+
+from repro.constants import B_SSV, E_RATIO
+from repro.core import (
+    AdaptiveProposed,
+    FollowTheEnvelope,
+    MultislopeProblem,
+    NRand,
+    ProposedOnline,
+    optimal_threshold,
+)
+from repro.core.analysis import (
+    empirical_offline_cost,
+    empirical_online_cost,
+    expected_cr,
+    expected_online_cost,
+)
+from repro.core.strategy import DeterministicThresholdStrategy
+from repro.fleet import area_config
+
+
+def test_extension_adaptive_regret(benchmark):
+    """Adaptive controller's realized CR approaches the static selector's
+    CR as stops accumulate (and stays within the N-Rand guarantee)."""
+    distribution = area_config("chicago").stop_length_distribution()
+
+    def run():
+        rng = np.random.default_rng(17)
+        stops = distribution.sample(2000, rng)
+        adaptive = AdaptiveProposed(B_SSV, min_samples=15)
+        costs = adaptive.run_online(stops, rng)
+        offline = empirical_offline_cost(stops, B_SSV)
+        realized_cr_total = costs.mean() / offline
+        static = ProposedOnline.from_samples(stops, B_SSV)
+        static_cr = empirical_online_cost(static, stops) / offline
+        # CR over the last quarter only (post-convergence window).
+        tail = stops.size * 3 // 4
+        tail_cr = costs[tail:].mean() / empirical_offline_cost(stops[tail:], B_SSV)
+        return realized_cr_total, tail_cr, static_cr
+
+    total_cr, tail_cr, static_cr = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert total_cr <= E_RATIO + 0.1  # never meaningfully worse than N-Rand
+    assert abs(tail_cr - static_cr) < 0.12  # converged to the static choice
+
+
+def test_extension_average_case_oracle_gap(benchmark):
+    """Price of partial information: full-distribution optimum <=
+    proposed (mu-, q+) <= N-Rand, in expected CR on the true
+    distribution."""
+    distribution = area_config("california").stop_length_distribution()
+
+    def run():
+        rng = np.random.default_rng(23)
+        stops = distribution.sample(3000, rng)
+        proposed = ProposedOnline.from_samples(stops, B_SSV)
+        oracle = optimal_threshold(distribution, B_SSV, grid_size=96)
+        oracle_strategy = DeterministicThresholdStrategy(B_SSV, oracle.threshold)
+        return {
+            "oracle": expected_cr(oracle_strategy, distribution, B_SSV),
+            "proposed": expected_cr(proposed, distribution, B_SSV),
+            "nrand": expected_cr(NRand(B_SSV), distribution, B_SSV),
+        }
+
+    crs = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert crs["oracle"] <= crs["proposed"] + 1e-6
+    assert crs["proposed"] <= crs["nrand"] + 1e-6
+
+
+def test_extension_psk_prediction_tradeoff(benchmark):
+    """Learning-augmented PSK: with accurate predictions (V2I signal
+    phase, navigation) it beats the best prediction-free strategy; as
+    prediction noise grows its cost degrades but stays within the
+    1 + 1/trust robustness bound."""
+    from repro.core import NoisyOracle, PSKStrategy
+    from repro.core.analysis import empirical_offline_cost
+
+    distribution = area_config("chicago").stop_length_distribution()
+    trust = 0.15  # high trust: the regime where good predictions pay off
+
+    def run():
+        rng = np.random.default_rng(31)
+        stops = distribution.sample(2500, rng)
+        offline = empirical_offline_cost(stops, B_SSV)
+        crs = {}
+        for sigma in (0.0, 0.3, 1.0, 3.0):
+            oracle = NoisyOracle(stops, sigma=sigma, rng=rng)
+            psk = PSKStrategy(B_SSV, trust=trust, predictor=oracle)
+            crs[sigma] = psk.realized_costs(stops).mean() / offline
+        proposed = ProposedOnline.from_samples(stops, B_SSV)
+        crs["proposed"] = empirical_online_cost(proposed, stops) / offline
+        return crs
+
+    crs = benchmark.pedantic(run, iterations=1, rounds=1)
+    # Perfect predictions beat the distribution-only proposed strategy.
+    assert crs[0.0] < crs["proposed"]
+    # Degradation is monotone-ish in noise and bounded by robustness.
+    assert crs[0.0] <= crs[1.0] <= crs[3.0] + 0.05
+    for sigma in (0.0, 0.3, 1.0, 3.0):
+        assert crs[sigma] <= 1.0 + 1.0 / trust + 1e-9
+
+
+def test_extension_multislope_value_of_accessory_state(benchmark):
+    """The accessory state enriches the *offline* optimum everywhere and
+    lets the online follower win decisively on stops past the classic
+    break-even (it pays 0.25-rate instead of a full restart), at the
+    price of a small premium on stops that end just after its early
+    switch.  The follower stays 2-competitive against its own (richer,
+    cheaper) offline optimum."""
+    three_problem = MultislopeProblem.automotive_three_state()
+    two_problem = MultislopeProblem.classic(B_SSV)
+    three = FollowTheEnvelope(three_problem)
+    two = FollowTheEnvelope(two_problem)
+
+    def run():
+        lengths = np.linspace(0.5, 300.0, 200)
+        return {
+            "lengths": lengths,
+            "three_online": np.array([three.online_cost(float(y)) for y in lengths]),
+            "two_online": np.array([two.online_cost(float(y)) for y in lengths]),
+            "three_offline": np.array(
+                [three_problem.offline_cost(float(y)) for y in lengths]
+            ),
+            "two_offline": np.array(
+                [two_problem.offline_cost(float(y)) for y in lengths]
+            ),
+            "ratios": np.array([three.competitive_ratio(float(y)) for y in lengths]),
+        }
+
+    data = benchmark(run)
+    # Offline: more states never hurt.
+    assert np.all(data["three_offline"] <= data["two_offline"] + 1e-9)
+    # Online: strictly cheaper on every stop past the classic break-even.
+    past_b = data["lengths"] >= B_SSV
+    assert np.all(data["three_online"][past_b] <= data["two_online"][past_b] + 1e-9)
+    assert (data["three_online"][past_b] < data["two_online"][past_b] - 1e-9).any()
+    # 2-competitiveness against the richer optimum.
+    assert np.all(data["ratios"] <= 2.0 + 1e-9)

@@ -1,0 +1,20 @@
+"""Benchmark: Figure 1 — strategy regions and worst-case CR surface."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+from .conftest import emit
+
+
+def test_fig1_region_grid(benchmark, results_dir):
+    result = benchmark(run_experiment, "fig1", mu_points=81, q_points=81)
+    emit(result, results_dir)
+    fractions = dict(result.table("region fractions").rows)
+    # Figure 1(a): every vertex strategy owns part of the plane.
+    for name in ("TOI", "DET", "b-DET", "N-Rand"):
+        assert fractions[name] > 0.0
+    # Figure 1(b): the surface is bounded by [1, e/(e-1)].
+    crs = [row[3] for row in result.table("grid").rows if row[3] != ""]
+    assert min(crs) >= 1.0 - 1e-9
+    assert max(crs) <= np.e / (np.e - 1) + 1e-6

@@ -1,0 +1,36 @@
+"""Benchmark: Figure 2 — projected worst-case CR views."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+from .conftest import emit
+
+
+def test_fig2_projected_views(benchmark, results_dir):
+    result = benchmark(run_experiment, "fig2", points=150)
+    emit(result, results_dir)
+    # Every panel: proposed is the lower envelope of the four vertices.
+    for note in result.notes:
+        assert "proposed == lower envelope: True" in note
+    # Panels (c)/(d) (mu- = 0.02B / 0.05B): b-DET strictly improves
+    # somewhere — the improvement the paper highlights.
+    for note in result.notes[2:]:
+        assert int(note.rsplit(":", 1)[1]) > 0
+
+
+def test_fig2_panel_c_bdet_window(benchmark, results_dir):
+    """The b-DET win region of panel (c) sits at moderate q_B_plus."""
+    result = benchmark(run_experiment, "fig2", points=200)
+    table = result.table("panel c (normalized_mu=0.02)")
+    idx = {name: i for i, name in enumerate(table.headers)}
+    win_axis = [
+        row[idx["q_b_plus"]]
+        for row in table.rows
+        if row[idx["b-DET"]] != ""
+        and all(row[idx[n]] != "" for n in ("TOI", "DET", "N-Rand"))
+        and row[idx["b-DET"]]
+        < min(row[idx["TOI"]], row[idx["DET"]], row[idx["N-Rand"]]) - 1e-9
+    ]
+    assert win_axis, "b-DET never strictly won on panel (c)"
+    assert 0.05 < min(win_axis) and max(win_axis) < 0.95

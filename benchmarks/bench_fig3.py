@@ -1,0 +1,21 @@
+"""Benchmark: Figure 3 — stop-length distributions of the three areas."""
+
+from repro.experiments import run_experiment
+
+from .conftest import emit
+
+
+def test_fig3_distributions(benchmark, results_dir):
+    result = benchmark(run_experiment, "fig3", vehicles_per_area=120)
+    emit(result, results_dir)
+    diagnostics = result.table("diagnostics")
+    idx = {name: i for i, name in enumerate(diagnostics.headers)}
+    means = {}
+    for row in diagnostics.rows:
+        # Paper claim: every area rejects the exponential fit.
+        assert row[idx["exponential_rejected"]]
+        means[row[idx["area"]]] = row[idx["mean_s"]]
+    # Areas share shape but differ in mean; Chicago is the short-stop,
+    # signal-dominated area in our calibration.
+    assert means["chicago"] < means["california"]
+    assert means["chicago"] < means["atlanta"]

@@ -1,0 +1,38 @@
+"""Benchmark: Figure 4 — per-vehicle CR comparison (the paper's headline
+evaluation, full 1182-vehicle fleets)."""
+
+from repro.experiments import run_experiment
+
+from .conftest import emit
+
+
+def test_fig4_full_fleet(benchmark, results_dir):
+    # Full paper-scale fleets: 217 + 312 + 653 vehicles, both break-evens.
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig4"), iterations=1, rounds=1
+    )
+    emit(result, results_dir)
+    cr_table = result.table("cr")
+    by_group: dict = {}
+    for break_even, area, name, worst, mean in cr_table.rows:
+        by_group.setdefault((break_even, area), {})[name] = (worst, mean)
+    for (break_even, area), values in by_group.items():
+        worst_proposed = values["Proposed"][0]
+        # Headline: the proposed strategy has the smallest worst-case CR
+        # in every area, for both vehicle classes.
+        for name, (worst, _mean) in values.items():
+            if name != "Proposed":
+                assert worst_proposed <= worst + 1e-9, (break_even, area, name)
+    # Win counts: proposed best on the large majority (paper: 1169/1182
+    # for B=28, 977/1182 for B=47), with B=28 dominating B=47.
+    win_table = result.table("win counts")
+    idx = {name: i for i, name in enumerate(win_table.headers)}
+    wins = {28.0: 0, 47.0: 0}
+    totals = {28.0: 0, 47.0: 0}
+    for row in win_table.rows:
+        wins[row[idx["break_even"]]] += row[idx["Proposed"]]
+        totals[row[idx["break_even"]]] += row[idx["vehicles"]]
+    assert totals[28.0] == totals[47.0] == 1182
+    assert wins[28.0] >= 0.9 * 1182
+    assert wins[47.0] >= 0.75 * 1182
+    assert wins[28.0] >= wins[47.0]

@@ -1,0 +1,29 @@
+"""Benchmark: Figure 5 — worst-case CR vs mean stop length, B = 28."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+from .conftest import emit
+
+
+def test_fig5_sweep(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig5"), iterations=1, rounds=1
+    )
+    emit(result, results_dir)
+    analytic = result.table("worst-case CR (analytic)")
+    idx = {name: i for i, name in enumerate(analytic.headers)}
+    rows = analytic.rows
+    # Shape facts of the paper's Figure 5:
+    # DET functions well only in light traffic; TOI only in heavy traffic.
+    assert rows[0][idx["DET"]] < rows[0][idx["TOI"]]
+    assert rows[-1][idx["TOI"]] < rows[-1][idx["DET"]]
+    # N-Rand is flat at e/(e-1).
+    nrand = [row[idx["N-Rand"]] for row in rows]
+    assert np.allclose(nrand, np.e / (np.e - 1), atol=1e-3)
+    # The proposed curve lower-bounds every other strategy at every mean.
+    for row in rows:
+        others = [row[idx[n]] for n in ("TOI", "DET", "N-Rand", "MOM-Rand")]
+        assert row[idx["Proposed"]] <= min(others) + 1e-6
+    assert not any("WARNING" in note for note in result.notes)

@@ -1,0 +1,46 @@
+"""Benchmark: Figure 6 — worst-case CR vs mean stop length, B = 47."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+from .conftest import emit
+
+
+def test_fig6_sweep(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig6"), iterations=1, rounds=1
+    )
+    emit(result, results_dir)
+    analytic = result.table("worst-case CR (analytic)")
+    idx = {name: i for i, name in enumerate(analytic.headers)}
+    rows = analytic.rows
+    assert rows[0][idx["DET"]] < rows[0][idx["TOI"]]
+    assert rows[-1][idx["TOI"]] < rows[-1][idx["DET"]]
+    for row in rows:
+        others = [row[idx[n]] for n in ("TOI", "DET", "N-Rand", "MOM-Rand")]
+        assert row[idx["Proposed"]] <= min(others) + 1e-6
+    assert not any("WARNING" in note for note in result.notes)
+
+
+def test_fig5_fig6_crossover_shifts_right(benchmark, results_dir):
+    """With the larger break-even (47 vs 28), the traffic level at which
+    TOI overtakes DET moves to longer mean stops — stop-start pays off
+    later when restarts are more expensive."""
+    from repro.evaluation import sweep_analytic
+    from repro.fleet.areas import area_config
+
+    base = area_config("chicago").stop_length_distribution()
+    means = np.linspace(10.0, 300.0, 25)
+
+    def both():
+        return (
+            sweep_analytic(base, means, 28.0, grid_size=128),
+            sweep_analytic(base, means, 47.0, grid_size=128),
+        )
+
+    sweep28, sweep47 = benchmark.pedantic(both, iterations=1, rounds=1)
+    cross28 = sweep28.crossover_mean("DET", "TOI")
+    cross47 = sweep47.crossover_mean("DET", "TOI")
+    assert cross28 is not None and cross47 is not None
+    assert cross47 > cross28

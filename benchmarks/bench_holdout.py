@@ -1,0 +1,44 @@
+"""Benchmark: in-sample vs out-of-sample Figure 4.
+
+The paper's Figure 4 estimates each vehicle's statistics and evaluates
+on the *same* stops.  This benchmark runs the honest train/test split on
+the full synthetic fleets and quantifies the estimation optimism — which
+turns out to be small (a week of stops is plenty for two robust
+statistics), supporting the validity of the paper's protocol.
+"""
+
+from repro.constants import B_SSV
+from repro.evaluation import compare_in_vs_out_of_sample
+from repro.fleet import load_fleets
+
+from .conftest import RESULTS_DIR
+
+
+def test_holdout_vs_in_sample(benchmark, results_dir):
+    def run():
+        fleets = load_fleets(vehicles_per_area=150)
+        rows = {}
+        for area, vehicles in fleets.items():
+            rows[area] = compare_in_vs_out_of_sample(vehicles, B_SSV)
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    lines = ["area,strategy,in_sample_mean_cr,out_of_sample_mean_cr,optimism,in_wins,out_wins"]
+    for area, comparisons in sorted(rows.items()):
+        by_name = {c.strategy: c for c in comparisons}
+        proposed = by_name["Proposed"]
+        # Honest protocol: the proposed strategy still wins the majority
+        # and its optimism (out - in mean CR) stays small.
+        assert proposed.out_of_sample_wins >= 0.7 * sum(
+            c.out_of_sample_wins for c in comparisons
+        )
+        assert abs(proposed.optimism) < 0.06
+        # Statistics-free N-Rand's mean CR is protocol-invariant.
+        assert abs(by_name["N-Rand"].optimism) < 1e-9
+        for comparison in comparisons:
+            lines.append(
+                f"{area},{comparison.strategy},{comparison.in_sample_mean_cr:.4f},"
+                f"{comparison.out_of_sample_mean_cr:.4f},{comparison.optimism:+.4f},"
+                f"{comparison.in_sample_wins},{comparison.out_of_sample_wins}"
+            )
+    (results_dir / "holdout_vs_in_sample.csv").write_text("\n".join(lines) + "\n")

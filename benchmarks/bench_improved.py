@@ -1,0 +1,87 @@
+"""Benchmark: the b-Rand improvement over the paper's four-vertex optimum.
+
+Quantifies the reproduction finding (see EXPERIMENTS.md "Discrepancy
+found"): the paper's Eq. (18) ansatz misses truncated-exponential
+strategies, and including them (the five-candidate
+:class:`~repro.core.brand.ImprovedConstrainedSolver`) strictly lowers
+the worst-case CR over a sizeable part of the feasible plane — by up to
+~0.17 CR in the paper's b-DET region — while matching it exactly in the
+DET/TOI regions, where the four-vertex solution is genuinely optimal
+(confirmed against the numeric minimax game).
+"""
+
+import numpy as np
+
+from repro.constants import B_SSV
+from repro.core import (
+    ImprovedConstrainedSolver,
+    StopStatistics,
+    solve_constrained_game,
+)
+
+from .conftest import RESULTS_DIR
+
+
+def test_improved_solver_over_plane(benchmark, results_dir):
+    mu_fracs = np.linspace(0.01, 0.95, 24)
+    qs = np.linspace(0.02, 0.97, 24)
+
+    def sweep():
+        rows = []
+        for mu_frac in mu_fracs:
+            for q in qs:
+                if mu_frac > 1.0 - q:
+                    continue
+                stats = StopStatistics(mu_frac * B_SSV, q, B_SSV)
+                improved = ImprovedConstrainedSolver(stats).select()
+                rows.append(
+                    (
+                        mu_frac,
+                        q,
+                        improved.paper_selection.name,
+                        improved.chosen_name,
+                        improved.paper_selection.worst_case_cr,
+                        improved.worst_case_cr,
+                        improved.improvement_over_paper,
+                    )
+                )
+        return rows
+
+    rows = benchmark(sweep)
+    improvements = np.array([row[6] for row in rows])
+    assert np.all(improvements >= -1e-9)
+    # Strict improvement on a substantial region; headline gap > 0.1 CR.
+    assert (improvements > 1e-6).mean() > 0.2
+    assert improvements.max() > 0.1
+    # Every cell where the paper picked b-DET improves strictly (the
+    # degenerate mu- ~ 0 boundary is the only place they can tie, and the
+    # grid starts at mu- = 0.01 (1-q) B > 0).
+    for row in rows:
+        if row[2] == "b-DET":
+            assert row[6] > 1e-9, row
+    # Persist the improvement map.
+    out = results_dir / "improved_vs_paper.csv"
+    with open(out, "w") as handle:
+        handle.write("normalized_mu,q_b_plus,paper_choice,improved_choice,paper_cr,improved_cr,improvement\n")
+        for row in rows:
+            handle.write(",".join(f"{v:.6g}" if isinstance(v, float) else str(v) for v in row) + "\n")
+
+
+def test_improved_matches_minimax_game(benchmark):
+    """Spot-check: the five-candidate optimum equals the numeric game
+    value (within player-discretization slack) at mixed-region points."""
+    points = [(0.02, 0.3), (0.1, 0.2), (0.3, 0.15), (0.05, 0.8)]
+
+    def run():
+        out = []
+        for mu_frac, q in points:
+            stats = StopStatistics(mu_frac * B_SSV, q, B_SSV)
+            improved = ImprovedConstrainedSolver(stats).select()
+            game = solve_constrained_game(stats, grid_size=150)
+            out.append((improved.worst_case_cr, game.value))
+        return out
+
+    pairs = benchmark.pedantic(run, iterations=1, rounds=1)
+    for improved_cr, game_value in pairs:
+        assert improved_cr <= game_value + 1e-6  # game can only be higher
+        assert abs(improved_cr - game_value) < 0.01

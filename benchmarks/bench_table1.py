@@ -1,0 +1,26 @@
+"""Benchmark: Table 1 — stops per day in the three locations."""
+
+from repro.experiments import run_experiment
+from repro.experiments.table1 import PAPER_TABLE1
+
+from .conftest import emit
+
+
+def test_table1_stops_per_day(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table1"), iterations=1, rounds=1
+    )
+    emit(result, results_dir)
+    table = result.table("stops per day")
+    idx = {name: i for i, name in enumerate(table.headers)}
+    by_area = {row[idx["location"]]: row for row in table.rows}
+    # Moments within 20% of the paper's Table 1, ordering preserved
+    # (Chicago stops most often), and the mu+2sigma coverage near the
+    # paper's 0.91-0.96 range.
+    for area, paper in PAPER_TABLE1.items():
+        row = by_area[area]
+        assert abs(row[idx["mean"]] - paper["mean"]) / paper["mean"] < 0.2
+        assert abs(row[idx["std"]] - paper["std"]) / paper["std"] < 0.35
+        assert 0.88 <= row[idx["p_within_2_sigma"]] <= 1.0
+    assert by_area["chicago"][idx["mean"]] > by_area["california"][idx["mean"]]
+    assert by_area["chicago"][idx["mean"]] > by_area["atlanta"][idx["mean"]]

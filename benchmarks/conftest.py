@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one paper artifact (timed with
+pytest-benchmark) and writes the reproduced tables to ``results/`` at the
+repository root, so the rows the paper reports are inspectable after a
+``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(result, results_dir: Path) -> None:
+    """Write an ExperimentResult's tables as CSV and its report as text."""
+    result.write_csvs(results_dir)
+    report_path = results_dir / f"{result.experiment_id}_report.txt"
+    report_path.write_text(result.to_ascii() + "\n")

@@ -1,0 +1,52 @@
+"""Fleet study: the paper's Figure 4 evaluation on a synthetic area.
+
+Run:  python examples/fleet_study.py [vehicles_per_area]
+
+Synthesizes the three NREL-like fleets, evaluates the six strategies on
+every vehicle for both vehicle classes (SSV B=28, conventional B=47), and
+prints worst/mean CRs, win counts and which vertex the proposed selector
+chose per vehicle.
+"""
+
+import sys
+
+from repro.constants import B_CONVENTIONAL, B_SSV
+from repro.evaluation import STRATEGY_NAMES, evaluate_fleet
+from repro.experiments import format_table
+from repro.fleet import load_fleets, total_vehicle_count
+
+
+def main(vehicles_per_area: int | None = None) -> None:
+    fleets = load_fleets(vehicles_per_area=vehicles_per_area)
+    total = total_vehicle_count(fleets)
+    print(f"synthesized {total} vehicles "
+          f"({', '.join(f'{name}: {len(v)}' for name, v in sorted(fleets.items()))})")
+    for break_even, label in ((B_SSV, "stop-start vehicles"), (B_CONVENTIONAL, "no SSS")):
+        print(f"\n=== B = {break_even:g} s ({label}) ===")
+        rows = []
+        proposed_wins = 0
+        for area in sorted(fleets):
+            evaluation = evaluate_fleet(fleets[area], break_even)
+            wins = evaluation.win_counts()
+            proposed_wins += wins["Proposed"]
+            for name in STRATEGY_NAMES:
+                rows.append(
+                    (
+                        area,
+                        name,
+                        round(evaluation.worst_cr(name), 3),
+                        round(evaluation.mean_cr(name), 3),
+                        wins[name],
+                    )
+                )
+            vertices = evaluation.vertex_selection_counts()
+            print(f"{area}: proposed selector chose "
+                  + ", ".join(f"{k} x{v}" for k, v in sorted(vertices.items())))
+        print()
+        print(format_table(("area", "strategy", "worst CR", "mean CR", "wins"), rows))
+        print(f"\nproposed is best on {proposed_wins}/{total} vehicles")
+
+
+if __name__ == "__main__":
+    count = int(sys.argv[1]) if len(sys.argv) > 1 else 80
+    main(count)

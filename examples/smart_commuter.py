@@ -1,0 +1,97 @@
+"""Smart commuter: time-of-day-aware stop-start control.
+
+Run:  python examples/smart_commuter.py
+
+A commuter's stops are not i.i.d.: rush hours are short signal waits,
+nights are long parking-with-engine-on events.  This example synthesizes
+a month of diurnally structured driving (repro.fleet.daily) and compares:
+
+1. the pooled proposed selector (one statistics pair for everything);
+2. the contextual selector (repro.core.contextual): one adaptive
+   constrained selector per time-of-day bucket;
+3. the clairvoyant offline optimum.
+
+It also reports the misspecification robustness margin of the pooled
+choice — how wrong the global statistics could be before the selection
+stops beating N-Rand.
+"""
+
+import numpy as np
+
+from repro.constants import B_SSV
+from repro.core import ContextualProposed, ProposedOnline, robustness_margin
+from repro.core.analysis import empirical_offline_cost
+from repro.fleet import DailyFleetGenerator, DailyPattern
+from repro.fleet.areas import AreaConfig
+
+SUBURBAN = AreaConfig(
+    name="suburban",
+    vehicle_count=1,
+    stops_per_day_mean=12.0,
+    stops_per_day_std=8.0,
+    signal_mu=2.3,
+    signal_sigma=0.4,
+    congestion_mu=3.4,
+    congestion_sigma=0.5,
+    tail_alpha=1.6,
+    tail_scale=600.0,
+    weights=(0.6, 0.25, 0.15),
+    recording_days=28.0,
+)
+
+
+def commuter_pattern() -> DailyPattern:
+    weights = []
+    for hour in range(24):
+        if hour in (7, 8, 16, 17, 18):
+            weights.append((0.92, 0.07, 0.01))  # signal-dominated peaks
+        elif hour < 6 or hour >= 22:
+            weights.append((0.05, 0.1, 0.85))   # parking-heavy nights
+        else:
+            weights.append((0.5, 0.3, 0.2))
+    intensity = np.array(
+        [0.2, 0.1, 0.1, 0.1, 0.2, 0.5, 1.2, 2.2, 2.4, 1.4, 1.0, 1.1,
+         1.3, 1.1, 1.0, 1.2, 2.0, 2.4, 2.2, 1.4, 1.0, 0.8, 0.5, 0.3]
+    )
+    return DailyPattern(intensity, tuple(weights))
+
+
+def bucket(token) -> str:
+    hour = int((float(token) % 86400.0) // 3600.0)
+    if hour < 6 or hour >= 22:
+        return "night"
+    if hour in (7, 8, 16, 17, 18):
+        return "peak"
+    return "offpeak"
+
+
+def main() -> None:
+    rng = np.random.default_rng(33)
+    generator = DailyFleetGenerator(SUBURBAN, pattern=commuter_pattern(), seed=33)
+    vehicle = generator.generate(1)[0]
+    tokens, stops = vehicle.start_times, vehicle.stop_lengths
+    print(f"one month of driving: {stops.size} stops")
+    for name in ("peak", "offpeak", "night"):
+        mask = np.array([bucket(t) == name for t in tokens])
+        y = stops[mask]
+        print(f"  {name:<8} {y.size:>4} stops, median {np.median(y):6.1f} s, "
+              f"P(y >= B) = {(y >= B_SSV).mean():.2f}")
+
+    pooled = ProposedOnline.from_samples(stops, B_SSV)
+    contextual = ContextualProposed(B_SSV, min_samples=8, context_of=bucket)
+    contextual_costs = contextual.run_online(tokens, stops, rng)
+
+    offline = empirical_offline_cost(stops, B_SSV)
+    pooled_cr = pooled.expected_cost_vec(stops).mean() / offline
+    contextual_cr = contextual_costs.mean() / offline
+    print(f"\npooled selector:     {pooled.selected_name:<7} CR {pooled_cr:.3f}")
+    print("contextual selector:", {k: v for k, v in sorted(contextual.selected_names().items())})
+    print(f"                     CR {contextual_cr:.3f} (includes cold-start)")
+
+    margin = robustness_margin(pooled.stats, factors=(1.1, 1.5, 2.0), grid_size=128)
+    print(f"\npooled choice survives statistics misspecification up to "
+          f"x{margin:g} before losing to N-Rand's guarantee")
+
+
+if __name__ == "__main__":
+    main()

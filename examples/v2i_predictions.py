@@ -1,0 +1,68 @@
+"""V2I predictions: learning-augmented shutoff with signal-phase data.
+
+Run:  python examples/v2i_predictions.py
+
+Vehicles increasingly receive signal phase & timing (SPaT) broadcasts:
+when stopped at a red light, the remaining red time is *known*.  This
+example wires that prediction into the PSK learning-augmented strategy
+(repro.core.prediction) and sweeps prediction quality:
+
+* perfect SPaT (sigma = 0) — near-offline cost;
+* degraded predictions (queue discharge uncertainty, sigma up) — cost
+  decays gracefully;
+* garbage predictions — still bounded by the 1 + 1/trust robustness
+  guarantee, unlike naive "trust the prediction" control.
+"""
+
+import numpy as np
+
+from repro.constants import B_SSV
+from repro.core import NoisyOracle, ProposedOnline, PSKStrategy
+from repro.core.analysis import empirical_offline_cost, empirical_online_cost
+from repro.core.prediction import robustness_bound
+from repro.fleet import area_config
+
+
+def naive_trust_costs(predictions, stops, break_even):
+    """The no-safety-net controller: shut off iff the prediction says
+    the stop is long (threshold 0 or infinity)."""
+    costs = np.where(
+        predictions >= break_even,
+        break_even,          # shut off immediately, pay the restart
+        stops,               # trust "short": idle it out, whatever happens
+    )
+    return costs
+
+
+def main() -> None:
+    rng = np.random.default_rng(44)
+    stops = area_config("chicago").stop_length_distribution().sample(4000, rng)
+    offline = empirical_offline_cost(stops, B_SSV)
+    proposed = ProposedOnline.from_samples(stops, B_SSV)
+    proposed_cr = empirical_online_cost(proposed, stops) / offline
+    trust = 0.2
+
+    print(f"{stops.size} stops, mean {stops.mean():.0f} s; B = {B_SSV:g} s")
+    print(f"distribution-only baseline (proposed, {proposed.selected_name}): "
+          f"CR {proposed_cr:.3f}")
+    print(f"PSK trust parameter: {trust} "
+          f"(robustness bound {robustness_bound(trust):.2f})\n")
+    print(f"{'prediction quality':<28}{'PSK CR':>8}{'naive-trust CR':>16}")
+    for sigma, label in (
+        (0.0, "perfect SPaT"),
+        (0.2, "good (queue noise)"),
+        (0.6, "mediocre"),
+        (1.5, "poor"),
+        (4.0, "garbage"),
+    ):
+        oracle = NoisyOracle(stops, sigma=sigma, rng=rng)
+        psk = PSKStrategy(B_SSV, trust=trust, predictor=oracle)
+        psk_cr = psk.realized_costs(stops).mean() / offline
+        naive_cr = naive_trust_costs(oracle.predictions, stops, B_SSV).mean() / offline
+        print(f"{label:<28}{psk_cr:>8.3f}{naive_cr:>16.3f}")
+    print("\nPSK degrades gracefully and never exceeds its robustness bound;")
+    print("naive trust has no guarantee once predictions go bad.")
+
+
+if __name__ == "__main__":
+    main()

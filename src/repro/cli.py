@@ -1,0 +1,357 @@
+"""Command-line interface: ``repro-idling``.
+
+Subcommands
+-----------
+``run <experiment> [--out DIR] [--vehicles N] [--fast]``
+    Run one paper experiment (fig1..fig6, table1, appc) and print its
+    ASCII report; ``--out`` also writes the CSV series.
+``list``
+    List available experiments.
+``all [--out DIR] [--fast]``
+    Run every experiment in sequence.
+``advise --stops <csv-or-values> --break-even B``
+    The end-user feature: given observed stop lengths, print which
+    strategy the proposed algorithm selects and its guarantee.
+``breakeven [--displacement D] [--fuel-price P] [--conventional] ...``
+    Derive the break-even interval from the Appendix C cost model for a
+    custom vehicle.
+``simulate --area NAME [--days N] [--conventional] [--seed S]``
+    Synthesize one vehicle in an area, learn the policy from its first
+    half, and report the deployed second half's fuel/money outcome
+    against the clairvoyant optimum and the factory default.
+``risk --stops <csv-or-values> [--break-even B]``
+    Mean/std weekly-cost table per strategy with Pareto-efficiency flags.
+``dataset <dir> [--seed S] [--vehicles N]``
+    Generate and persist the synthetic evaluation dataset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .constants import B_SSV
+from .core import ConstrainedSkiRentalSolver, StopStatistics
+from .errors import ReproError
+from .experiments import EXPERIMENTS, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+#: Reduced-size parameters for ``--fast`` runs (previews / smoke tests).
+_FAST_PARAMS = {
+    "fig1": {"mu_points": 31, "q_points": 31},
+    "fig2": {"points": 40},
+    "fig3": {"vehicles_per_area": 40},
+    "fig4": {"vehicles_per_area": 40},
+    "fig5": {"vehicles_per_point": 10, "stops_per_vehicle": 40, "grid_size": 128},
+    "fig6": {"vehicles_per_point": 10, "stops_per_vehicle": 40, "grid_size": 128},
+    "table1": {"vehicles_per_area": 60},
+    "appc": {},
+    "improved": {"mu_points": 31, "q_points": 31},
+    "holdout": {"vehicles_per_area": 40},
+    "seeds": {"seeds": (1, 2, 3), "vehicles_per_area": 40},
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-idling",
+        description=(
+            "Reproduction of 'A Cost Efficient Online Algorithm for "
+            "Automotive Idling Reduction' (DAC 2014)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_cmd = sub.add_parser("run", help="run one experiment")
+    run_cmd.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_cmd.add_argument("--out", type=Path, default=None, help="CSV output directory")
+    run_cmd.add_argument(
+        "--vehicles", type=int, default=None, help="vehicles per area override"
+    )
+    run_cmd.add_argument(
+        "--fast", action="store_true", help="reduced sizes for a quick preview"
+    )
+
+    sub.add_parser("list", help="list experiments")
+
+    all_cmd = sub.add_parser("all", help="run every experiment")
+    all_cmd.add_argument("--out", type=Path, default=None)
+    all_cmd.add_argument("--fast", action="store_true")
+
+    advise = sub.add_parser(
+        "advise", help="select the optimal strategy for observed stops"
+    )
+    advise.add_argument(
+        "--stops",
+        required=True,
+        help="comma-separated stop lengths in seconds, or a path to a "
+        "one-column file of stop lengths",
+    )
+    advise.add_argument(
+        "--break-even",
+        type=float,
+        default=B_SSV,
+        help=f"break-even interval B in seconds (default: {B_SSV:g} for SSV)",
+    )
+    advise.add_argument(
+        "--improved",
+        action="store_true",
+        help="also consider the b-Rand family (the reproduction's "
+        "correction to the paper's four-vertex optimum)",
+    )
+
+    breakeven = sub.add_parser(
+        "breakeven", help="derive B from the Appendix C cost model"
+    )
+    breakeven.add_argument(
+        "--displacement", type=float, default=2.5, help="engine displacement (L)"
+    )
+    breakeven.add_argument(
+        "--fuel-price", type=float, default=3.5, help="fuel price ($/gallon)"
+    )
+    breakeven.add_argument(
+        "--conventional",
+        action="store_true",
+        help="conventional vehicle (vulnerable starter) instead of SSV",
+    )
+    breakeven.add_argument(
+        "--measured-idle-cc-per-s",
+        type=float,
+        default=None,
+        help="bench-measured idle fuel rate; overrides the Eq. 45 regression",
+    )
+
+    simulate = sub.add_parser(
+        "simulate", help="learn and deploy a policy on one synthetic vehicle"
+    )
+    simulate.add_argument("--area", default="chicago", help="area name")
+    simulate.add_argument("--days", type=int, default=14, help="total days to synthesize")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--conventional", action="store_true", help="use the B=47 cost model"
+    )
+
+    risk = sub.add_parser(
+        "risk", help="mean/std cost report for observed stops"
+    )
+    risk.add_argument(
+        "--stops", required=True,
+        help="comma-separated stop lengths or a one-column file",
+    )
+    risk.add_argument("--break-even", type=float, default=B_SSV)
+
+    dataset = sub.add_parser(
+        "dataset", help="generate and persist the synthetic evaluation dataset"
+    )
+    dataset.add_argument("out", type=Path, help="dataset directory to create")
+    dataset.add_argument("--seed", type=int, default=None, help="dataset seed")
+    dataset.add_argument(
+        "--vehicles", type=int, default=None,
+        help="vehicles per area (default: the paper's 217/312/653)",
+    )
+    return parser
+
+
+def _experiment_params(experiment_id: str, args) -> dict:
+    params: dict = {}
+    if getattr(args, "fast", False):
+        params.update(_FAST_PARAMS.get(experiment_id, {}))
+    vehicles = getattr(args, "vehicles", None)
+    if vehicles is not None and experiment_id in {"fig3", "fig4", "table1", "holdout", "seeds"}:
+        params["vehicles_per_area"] = vehicles
+    return params
+
+
+def _parse_stops(spec: str) -> np.ndarray:
+    path = Path(spec)
+    if path.exists():
+        values = [
+            float(line.strip())
+            for line in path.read_text().splitlines()
+            if line.strip()
+        ]
+    else:
+        values = [float(token) for token in spec.split(",") if token.strip()]
+    return np.asarray(values, dtype=float)
+
+
+def _run_and_report(experiment_id: str, args) -> None:
+    result = run_experiment(experiment_id, **_experiment_params(experiment_id, args))
+    print(result.to_ascii())
+    if args.out is not None:
+        paths = result.write_csvs(args.out)
+        for path in paths:
+            print(f"wrote {path}")
+
+
+def _advise(args) -> None:
+    stops = _parse_stops(args.stops)
+    stats = StopStatistics.from_samples(stops, args.break_even)
+    selection = ConstrainedSkiRentalSolver(stats).select()
+    print(f"stops observed:        {stops.size}")
+    print(f"break-even interval B: {args.break_even:g} s")
+    print(f"mu_B_minus:            {stats.mu_b_minus:.2f} s")
+    print(f"q_B_plus:              {stats.q_b_plus:.3f}")
+    print(f"selected strategy:     {selection.name}")
+    if selection.name == "b-DET":
+        print(f"  idle until b* =      {selection.chosen.parameters['b']:.1f} s, then shut off")
+    elif selection.name == "DET":
+        print(f"  idle until B =       {args.break_even:g} s, then shut off")
+    elif selection.name == "TOI":
+        print("  shut the engine off immediately at every stop")
+    else:
+        print("  draw the shutoff time from the N-Rand density (Eq. 7)")
+    print(f"worst-case expected CR: {selection.worst_case_cr:.4f}")
+    print("vertex comparison:")
+    for vertex in selection.vertices:
+        marker = "*" if vertex.name == selection.name else " "
+        cr = f"{vertex.worst_case_cr:.4f}" if np.isfinite(vertex.worst_case_cr) else "inadmissible"
+        print(f"  {marker} {vertex.name:<7} worst-case CR {cr}")
+    if getattr(args, "improved", False):
+        from .core import ImprovedConstrainedSolver
+
+        improved = ImprovedConstrainedSolver(stats).select()
+        print("\nwith the b-Rand correction (see EXPERIMENTS.md):")
+        print(f"  corrected choice:     {improved.chosen_name}")
+        if improved.chosen_name == "b-Rand":
+            print(f"    randomize the shutoff over [0, {improved.b_rand_beta:.1f}] s "
+                  "(truncated exponential density)")
+        print(f"  corrected worst-case CR: {improved.worst_case_cr:.4f} "
+              f"(improvement {improved.improvement_over_paper:+.4f})")
+
+
+def _breakeven(args) -> None:
+    from .vehicle import (
+        CONVENTIONAL_STARTER,
+        SSV_STARTER,
+        STOP_START_BATTERY,
+        EngineSpec,
+        VehicleCostModel,
+    )
+
+    engine = EngineSpec(
+        displacement_liters=args.displacement,
+        measured_idle_cc_per_s=args.measured_idle_cc_per_s,
+    )
+    model = VehicleCostModel(
+        engine=engine,
+        starter=CONVENTIONAL_STARTER if args.conventional else SSV_STARTER,
+        battery=STOP_START_BATTERY,
+        fuel_price_per_gallon=args.fuel_price,
+    )
+    breakdown = model.breakdown()
+    kind = "conventional" if args.conventional else "stop-start"
+    print(f"vehicle:                {kind}, {args.displacement:g} L engine")
+    print(f"idle fuel rate:         {engine.idle_rate_cc_per_s():.3f} cc/s")
+    print(f"idling cost:            {breakdown.idling_cost_cents_per_s:.4f} cents/s "
+          f"(fuel at ${args.fuel_price:g}/gallon)")
+    print("restart cost components (seconds of idling):")
+    for component, seconds in breakdown.as_rows():
+        print(f"  {component:<14} {seconds:8.2f}")
+    print(f"break-even interval B:  {breakdown.total_seconds:.1f} s")
+
+
+def _simulate(args) -> None:
+    import numpy as np
+
+    from .constants import B_CONVENTIONAL
+    from .core import ProposedOnline, TurnOffImmediately
+    from .fleet import area_config
+    from .fleet.generator import FleetGenerator
+    from .simulation import realized_cr, simulate_stops
+    from .vehicle import conventional_cost_model, ssv_cost_model
+
+    break_even = B_CONVENTIONAL if args.conventional else B_SSV
+    model = conventional_cost_model() if args.conventional else ssv_cost_model()
+    config = area_config(args.area)
+    generator = FleetGenerator(config, seed=args.seed)
+    rng = np.random.default_rng(args.seed)
+    vehicle = generator.generate_vehicle(0, rng)
+    stops = vehicle.stop_lengths
+    half = max(1, stops.size // 2)
+    training, deployment = stops[:half], stops[half:]
+    if deployment.size == 0:
+        deployment = training
+    policy = ProposedOnline.from_samples(training, break_even)
+    print(f"area {config.name}: {stops.size} stops over {args.days} days "
+          f"(training on {training.size}, deploying on {deployment.size})")
+    print(f"policy: {policy.selected_name} "
+          f"(guaranteed worst-case CR {policy.worst_case_cr:.3f}, B={break_even:g})")
+    offline = simulate_stops(deployment, break_even=break_even)
+    deployed = simulate_stops(deployment, strategy=policy, rng=rng)
+    factory = simulate_stops(
+        deployment, strategy=TurnOffImmediately(break_even), rng=rng
+    )
+    print(f"{'controller':<20}{'cost (idle-s)':>14}{'restarts':>10}"
+          f"{'fuel (cc)':>11}{'cents':>9}{'CR':>8}")
+    for name, result in (
+        ("offline optimum", offline),
+        ("proposed", deployed),
+        ("factory TOI", factory),
+    ):
+        cr = realized_cr(result, offline)
+        print(f"{name:<20}{result.total_cost_seconds:>14.0f}"
+              f"{result.ledger.restarts:>10}{result.fuel_cc(model):>11.0f}"
+              f"{result.cost_cents(model):>9.2f}{cr:>8.3f}")
+
+
+def _risk(args) -> None:
+    from .evaluation import vehicle_pareto_report
+
+    stops = _parse_stops(args.stops)
+    points = vehicle_pareto_report(stops, args.break_even)
+    print(f"weekly cost (idle-second units) over {stops.size} stops, "
+          f"B = {args.break_even:g} s:")
+    print(f"{'strategy':<10}{'mean':>10}{'std':>10}  pareto-efficient")
+    for point in points:
+        print(f"{point.strategy:<10}{point.mean:>10.1f}{point.std:>10.2f}  "
+              f"{'yes' if point.efficient else 'no'}")
+
+
+def _dataset(args) -> None:
+    from .fleet import DEFAULT_SEED, load_fleets, save_fleet_dataset, total_vehicle_count
+
+    seed = args.seed if args.seed is not None else DEFAULT_SEED
+    fleets = load_fleets(seed=seed, vehicles_per_area=args.vehicles)
+    path = save_fleet_dataset(args.out, fleets, seed=seed)
+    total = total_vehicle_count(fleets)
+    stops = sum(v.stop_lengths.size for vs in fleets.values() for v in vs)
+    print(f"wrote {total} vehicles ({stops} stops) to {path}")
+    print("load with repro.fleet.load_fleet_dataset(path)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            for experiment_id in sorted(EXPERIMENTS):
+                print(experiment_id)
+        elif args.command == "run":
+            _run_and_report(args.experiment, args)
+        elif args.command == "all":
+            for experiment_id in sorted(EXPERIMENTS):
+                _run_and_report(experiment_id, args)
+                print()
+        elif args.command == "advise":
+            _advise(args)
+        elif args.command == "breakeven":
+            _breakeven(args)
+        elif args.command == "simulate":
+            _simulate(args)
+        elif args.command == "dataset":
+            _dataset(args)
+        elif args.command == "risk":
+            _risk(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

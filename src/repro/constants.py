@@ -1,0 +1,35 @@
+"""Numerical constants shared across the library.
+
+The paper expresses every cost in units of "seconds of idling", i.e. the
+idling cost per second is the unit cost and the one-time restart cost is the
+break-even interval ``B`` (Eq. 1).  The two presets below come from the
+Appendix C derivation, which :mod:`repro.vehicle` reproduces from first
+principles.
+"""
+
+import math
+
+#: Euler's number; the randomized ski-rental bound is ``e / (e - 1)``.
+E = math.e
+
+#: Worst-case expected competitive ratio of N-Rand (Karlin et al. 1990).
+E_RATIO = E / (E - 1.0)
+
+#: First-moment threshold of MOM-Rand (Khanafer et al. 2013): the revised
+#: pdf (Eq. 9) applies when ``mu <= MOM_RAND_MU_THRESHOLD * B`` (~0.836 B).
+MOM_RAND_MU_THRESHOLD = 2.0 * (E - 2.0) / (E - 1.0)
+
+#: Break-even interval (seconds) for a stop-start vehicle (Appendix C).
+B_SSV = 28.0
+
+#: Break-even interval (seconds) for a conventional vehicle without a
+#: stop-start system (Appendix C).
+B_CONVENTIONAL = 47.0
+
+#: Fuel consumed by one engine restart, expressed as seconds of idling.
+#: Reported consistently across studies cited in the paper (Section 1,
+#: Appendix C.2.1).
+RESTART_FUEL_IDLING_SECONDS = 10.0
+
+#: Numerical tolerance used throughout for float comparisons of costs/CRs.
+TOLERANCE = 1e-9

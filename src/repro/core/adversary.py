@@ -1,0 +1,147 @@
+"""Worst-case stop-length distributions inside the ambiguity set Q.
+
+The constrained ski-rental analysis repeatedly constructs adversarial
+distributions compatible with given ``(mu_B_minus, q_B_plus)``:
+
+* :func:`worst_case_for_bdet` — the Section 4.4 worst case against b-DET:
+  all short-stop mass at 0 or exactly ``b`` (``mu_1 = 0``,
+  ``q_2 = mu_B_minus / b``), plus the long-stop mass at ``y >= B``.
+  Against this distribution b-DET's expected cost equals
+  ``(b + B)(mu_B_minus / b + q_B_plus)`` — Eq. (34) — exactly.
+* :func:`conditional_mean_adversary` — the two-point distribution used to
+  prove ``b`` must exceed the conditional short-stop mean: short stops at
+  ``mu_B_minus / (1 - q_B_plus)``, long stops at an arbitrary ``y > B``.
+* :func:`appendix_a_adversary` — the Appendix A construction showing mass
+  above ``B`` never helps the online player: stops fall in
+  ``[0, B] ∪ [c, ∞)`` with nothing in ``(B, c)``, making any threshold
+  ``x = c > B`` cost ``mu_B_minus + q_B_plus (c + B) >= cost(DET)``.
+
+All constructions return
+:class:`~repro.distributions.discrete.DiscreteStopDistribution` instances
+whose statistics round-trip to the requested ``(mu_B_minus, q_B_plus)``
+(verified by the property tests).
+"""
+
+from __future__ import annotations
+
+from ..distributions.discrete import DiscreteStopDistribution
+from ..errors import InvalidParameterError
+from .stats import StopStatistics
+
+__all__ = [
+    "worst_case_for_bdet",
+    "conditional_mean_adversary",
+    "appendix_a_adversary",
+]
+
+
+def _long_stop_length(stats: StopStatistics, long_length: float | None) -> float:
+    """Validate / default the adversary's long-stop location (``>= B``)."""
+    if long_length is None:
+        return 2.0 * stats.break_even
+    value = float(long_length)
+    if value < stats.break_even:
+        raise InvalidParameterError(
+            f"long stops must be at least B={stats.break_even}, got {long_length!r}"
+        )
+    return value
+
+
+def worst_case_for_bdet(
+    stats: StopStatistics,
+    b: float,
+    long_length: float | None = None,
+) -> DiscreteStopDistribution:
+    """The worst-case distribution in Q against b-DET with threshold ``b``.
+
+    Mass ``q_2 = mu_B_minus / b`` at exactly ``b`` (these stops pay the
+    full ``b + B`` while exactly exhausting the short-stop mean budget),
+    mass ``q_B_plus`` at a long stop, and the rest at 0.
+
+    Raises
+    ------
+    InvalidParameterError
+        If ``b`` is outside ``(0, B)`` or the implied ``q_2`` exceeds the
+        available short-stop probability ``1 - q_B_plus``.
+    """
+    if not 0.0 < float(b) < stats.break_even:
+        raise InvalidParameterError(
+            f"b must lie in (0, B) = (0, {stats.break_even}), got {b!r}"
+        )
+    q2 = stats.mu_b_minus / float(b)
+    if q2 > 1.0 - stats.q_b_plus + 1e-12:
+        raise InvalidParameterError(
+            f"q_2 = mu_B_minus / b = {q2} exceeds the short-stop probability "
+            f"{1.0 - stats.q_b_plus}; pick b > mu_B_minus / (1 - q_B_plus)"
+        )
+    q2 = min(q2, 1.0 - stats.q_b_plus)
+    long_at = _long_stop_length(stats, long_length)
+    values, probs = [], []
+    p0 = 1.0 - stats.q_b_plus - q2
+    if p0 > 0.0:
+        values.append(0.0)
+        probs.append(p0)
+    if q2 > 0.0:
+        values.append(float(b))
+        probs.append(q2)
+    if stats.q_b_plus > 0.0:
+        values.append(long_at)
+        probs.append(stats.q_b_plus)
+    return DiscreteStopDistribution(values, probs, name="worst-case-vs-b-DET")
+
+
+def conditional_mean_adversary(
+    stats: StopStatistics,
+    long_length: float | None = None,
+) -> DiscreteStopDistribution:
+    """Two-point adversary with short stops at the conditional mean
+    ``mu_B_minus / (1 - q_B_plus)`` — makes any b-DET with
+    ``b <=`` that mean pay ``b + B`` on *every* stop (worse than TOI)."""
+    if stats.q_b_plus >= 1.0:
+        raise InvalidParameterError(
+            "conditional-mean adversary needs some short-stop mass (q_B_plus < 1)"
+        )
+    short_at = stats.short_stop_conditional_mean
+    if short_at >= stats.break_even:
+        raise InvalidParameterError(
+            "conditional short-stop mean must be below B for a valid adversary"
+        )
+    long_at = _long_stop_length(stats, long_length)
+    if stats.q_b_plus == 0.0:
+        return DiscreteStopDistribution([short_at], [1.0], name="conditional-mean")
+    return DiscreteStopDistribution(
+        [short_at, long_at],
+        [1.0 - stats.q_b_plus, stats.q_b_plus],
+        name="conditional-mean",
+    )
+
+
+def appendix_a_adversary(
+    stats: StopStatistics,
+    c: float,
+    epsilon: float = 1e-6,
+) -> DiscreteStopDistribution:
+    """Appendix A construction: no stop mass in ``(B, c)``.
+
+    Short stops sit at the conditional mean (inside ``[0, B)``) and long
+    stops at ``c + epsilon`` (so a threshold of ``c`` still pays the
+    restart on every long stop).  Against this distribution, idling until
+    ``c > B`` costs ``mu_B_minus + q_B_plus (c + B)``, which dominates
+    DET's ``mu_B_minus + 2 q_B_plus B`` — the Eq. (40) argument.
+    """
+    if float(c) <= stats.break_even:
+        raise InvalidParameterError(
+            f"Appendix A adversary needs c > B = {stats.break_even}, got {c!r}"
+        )
+    if stats.q_b_plus >= 1.0:
+        long_at = float(c) + float(epsilon)
+        return DiscreteStopDistribution([long_at], [1.0], name="appendix-a")
+    short_at = stats.short_stop_conditional_mean
+    long_at = float(c) + float(epsilon)
+    if stats.q_b_plus == 0.0:
+        return DiscreteStopDistribution([short_at], [1.0], name="appendix-a")
+    return DiscreteStopDistribution(
+        [short_at, long_at],
+        [1.0 - stats.q_b_plus, stats.q_b_plus],
+        name="appendix-a",
+    )

@@ -1,0 +1,270 @@
+"""The constrained ski-rental problem and the paper's proposed algorithm.
+
+Section 4 shows that the minimax problem
+
+.. math::
+
+    \\min_{P \\in \\mathcal{P}} \\max_{q \\in \\mathcal{Q}} J(P, q)
+
+over the ambiguity set Q of stop-length distributions with given
+``mu_B_minus`` and ``q_B_plus`` reduces — via an augmented Lagrangian and a
+linear program in the atom masses ``(α, β, γ)`` of the generic strategy
+form (Eq. 18) — to picking the cheapest of four *vertex* strategies:
+
+=========  =============================================  =================
+Vertex     Worst-case expected cost over Q                Strategy
+=========  =============================================  =================
+(0,0,0)    ``e/(e-1) (μ⁻ + q⁺B)``                          N-Rand
+(1,0,0)    ``B``                                           TOI
+(0,1,0)    ``μ⁻ + 2 q⁺ B``                                 DET
+(0,0,1)    ``(√μ⁻ + √(q⁺B))²`` (iff Eq. 36 holds)          b-DET at ``b*``
+=========  =============================================  =================
+
+Because the expected offline cost is the *constant* ``μ⁻ + q⁺B`` over all
+of Q (Eq. 13), minimizing the worst-case expected cost is the same as
+minimizing the worst-case expected competitive ratio, and the optimal
+worst-case CR is simply ``min(vertex costs) / (μ⁻ + q⁺B)``.
+
+This module implements the vertex evaluation, the selection rule, and
+:class:`ProposedOnline` — a drop-in :class:`~repro.core.strategy.Strategy`
+that instantiates the winning vertex for given statistics.  The explicit
+LP of Eq. (32)/(33) lives in :mod:`repro.core.lp` and is used as a
+cross-check.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constants import E
+from ..errors import InvalidParameterError
+from .deterministic import (
+    BDet,
+    Deterministic,
+    TurnOffImmediately,
+    b_det_condition_holds,
+    b_det_worst_case_cost,
+    optimal_b,
+)
+from .randomized import NRand
+from .stats import StopStatistics
+from .strategy import Strategy
+
+__all__ = [
+    "VertexEvaluation",
+    "Selection",
+    "ConstrainedSkiRentalSolver",
+    "ProposedOnline",
+    "worst_case_cost_nrand",
+    "worst_case_cost_toi",
+    "worst_case_cost_det",
+    "worst_case_cost_bdet",
+]
+
+#: Fraction of B used as the b-DET threshold in the degenerate
+#: ``mu_B_minus == 0`` corner, where the optimal ``b*`` collapses to 0 but
+#: the BDet strategy requires a strictly positive threshold.  The cost of
+#: b-DET at threshold ``b`` is ``(b + B) q⁺`` there, so any tiny positive
+#: value approaches the Eq. (35) infimum ``q⁺ B``.
+_DEGENERATE_B_FRACTION = 1e-9
+
+#: Fixed tie-breaking order when several vertices share the minimal
+#: worst-case cost (e.g. on region boundaries of Figure 1(a)).  Simpler /
+#: deterministic strategies are preferred.
+_TIE_ORDER = {"TOI": 0, "DET": 1, "b-DET": 2, "N-Rand": 3}
+
+
+def worst_case_cost_nrand(stats: StopStatistics) -> float:
+    """Worst-case expected cost of N-Rand over Q: ``e/(e-1) (μ⁻ + q⁺B)``.
+
+    N-Rand's per-stop expected cost is exactly ``e/(e-1)`` times the
+    offline cost, so its expected cost is the same for *every* q in Q.
+    """
+    return E / (E - 1.0) * stats.expected_offline_cost
+
+
+def worst_case_cost_toi(stats: StopStatistics) -> float:
+    """Worst-case expected cost of TOI over Q: the constant ``B``."""
+    return stats.break_even
+
+
+def worst_case_cost_det(stats: StopStatistics) -> float:
+    """Worst-case expected cost of DET over Q (Eq. 14): ``μ⁻ + 2 q⁺ B``.
+
+    Like N-Rand, DET's expected cost is constant over Q: short stops cost
+    their own length, long stops cost exactly ``2B``.
+    """
+    return stats.mu_b_minus + 2.0 * stats.q_b_plus * stats.break_even
+
+
+def worst_case_cost_bdet(stats: StopStatistics) -> float:
+    """Worst-case expected cost of b-DET at the optimal ``b*`` (Eq. 35),
+    or ``+inf`` when condition (36) fails and b-DET is inadmissible.
+
+    The degenerate corner ``mu_B_minus == 0`` (all short stops have zero
+    length) is admissible with infimum cost ``q⁺ B`` — Eq. (35) already
+    evaluates to that.
+    """
+    if stats.q_b_plus <= 0.0:
+        return math.inf
+    if stats.mu_b_minus == 0.0 and stats.q_b_plus < 1.0:
+        return stats.q_b_plus * stats.break_even
+    return b_det_worst_case_cost(stats)
+
+
+@dataclass(frozen=True)
+class VertexEvaluation:
+    """One vertex of the LP: its name, worst-case expected cost over Q,
+    worst-case expected CR, and any derived parameters (``b*`` for b-DET)."""
+
+    name: str
+    worst_case_cost: float
+    worst_case_cr: float
+    parameters: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Selection:
+    """Outcome of the constrained solver for one statistics pair."""
+
+    stats: StopStatistics
+    chosen: VertexEvaluation
+    vertices: tuple[VertexEvaluation, ...]
+
+    @property
+    def name(self) -> str:
+        return self.chosen.name
+
+    @property
+    def worst_case_cr(self) -> float:
+        return self.chosen.worst_case_cr
+
+    def build_strategy(self) -> Strategy:
+        """Instantiate the winning vertex as an executable strategy."""
+        return _build_vertex_strategy(self.chosen, self.stats)
+
+
+def _build_vertex_strategy(vertex: VertexEvaluation, stats: StopStatistics) -> Strategy:
+    if vertex.name == "N-Rand":
+        return NRand(stats.break_even)
+    if vertex.name == "TOI":
+        return TurnOffImmediately(stats.break_even)
+    if vertex.name == "DET":
+        return Deterministic(stats.break_even)
+    if vertex.name == "b-DET":
+        return BDet(stats.break_even, vertex.parameters["b"])
+    raise InvalidParameterError(f"unknown vertex name {vertex.name!r}")
+
+
+class ConstrainedSkiRentalSolver:
+    """Evaluates the four LP vertices for a statistics pair and selects
+    the minimizer of the worst-case expected cost (equivalently, of the
+    worst-case expected CR)."""
+
+    def __init__(self, stats: StopStatistics) -> None:
+        if stats.expected_offline_cost <= 0.0:
+            raise InvalidParameterError(
+                "degenerate statistics: expected offline cost is zero "
+                "(every stop has zero length); competitive ratios are undefined"
+            )
+        self.stats = stats
+
+    def evaluate_vertices(self) -> tuple[VertexEvaluation, ...]:
+        """Worst-case cost and CR of each of the four vertex strategies."""
+        stats = self.stats
+        offline = stats.expected_offline_cost
+        evaluations = []
+        for name, cost in (
+            ("TOI", worst_case_cost_toi(stats)),
+            ("DET", worst_case_cost_det(stats)),
+            ("b-DET", worst_case_cost_bdet(stats)),
+            ("N-Rand", worst_case_cost_nrand(stats)),
+        ):
+            parameters: dict = {}
+            if name == "b-DET" and math.isfinite(cost):
+                if stats.mu_b_minus == 0.0:
+                    candidate = 0.0
+                else:
+                    candidate = optimal_b(stats)
+                if candidate <= 0.0:  # mu- == 0 or subnormal underflow
+                    parameters["b"] = _DEGENERATE_B_FRACTION * stats.break_even
+                    parameters["degenerate"] = True
+                else:
+                    parameters["b"] = candidate
+            evaluations.append(
+                VertexEvaluation(
+                    name=name,
+                    worst_case_cost=cost,
+                    worst_case_cr=cost / offline,
+                    parameters=parameters,
+                )
+            )
+        return tuple(evaluations)
+
+    def select(self) -> Selection:
+        """Pick the vertex with the smallest worst-case expected cost.
+
+        Ties (region boundaries of Figure 1(a)) are broken by the fixed
+        order TOI < DET < b-DET < N-Rand, preferring simpler strategies.
+        """
+        vertices = self.evaluate_vertices()
+        chosen = min(
+            vertices,
+            key=lambda v: (v.worst_case_cost, _TIE_ORDER[v.name]),
+        )
+        return Selection(stats=self.stats, chosen=chosen, vertices=vertices)
+
+
+class ProposedOnline(Strategy):
+    """The paper's proposed online algorithm, as an executable strategy.
+
+    Given ``(mu_B_minus, q_B_plus)`` it solves the constrained ski-rental
+    problem once at construction time and then behaves exactly like the
+    winning vertex strategy.  Its guaranteed worst-case expected CR over
+    the ambiguity set Q is :attr:`worst_case_cr`.
+    """
+
+    name = "Proposed"
+
+    def __init__(self, stats: StopStatistics) -> None:
+        super().__init__(stats.break_even)
+        self.stats = stats
+        self.selection = ConstrainedSkiRentalSolver(stats).select()
+        self._delegate = self.selection.build_strategy()
+
+    @classmethod
+    def from_samples(cls, stop_lengths: np.ndarray, break_even: float) -> "ProposedOnline":
+        """Estimate the statistics from observed stops and build the
+        proposed strategy for them — the paper's end-to-end use case."""
+        return cls(StopStatistics.from_samples(stop_lengths, break_even))
+
+    @property
+    def selected_name(self) -> str:
+        """Name of the vertex strategy the selector chose."""
+        return self.selection.name
+
+    @property
+    def worst_case_cr(self) -> float:
+        """Guaranteed worst-case expected CR over Q (e.g. Eq. 38 when the
+        winner is b-DET)."""
+        return self.selection.worst_case_cr
+
+    @property
+    def delegate(self) -> Strategy:
+        """The concrete vertex strategy being executed."""
+        return self._delegate
+
+    def draw_threshold(self, rng: np.random.Generator) -> float:
+        return self._delegate.draw_threshold(rng)
+
+    def expected_cost(self, stop_length: float) -> float:
+        return self._delegate.expected_cost(stop_length)
+
+    def expected_cost_squared(self, stop_length: float) -> float:
+        return self._delegate.expected_cost_squared(stop_length)
+
+    def expected_cost_vec(self, stop_lengths: np.ndarray) -> np.ndarray:
+        return self._delegate.expected_cost_vec(stop_lengths)

@@ -1,0 +1,229 @@
+"""Multislope ski rental: more than one engine-off depth.
+
+The paper's related work [14] (Lotker, Patt-Shamir, Rawitz) generalizes
+ski rental to *multislope* instances — "rent, lease, or buy".  The
+automotive reading: a stopped vehicle can be in one of several states of
+decreasing idle burn and increasing re-activation cost, e.g.
+
+* state 0 — engine idling (rate 1, no switch cost);
+* state 1 — engine off, accessories on battery (reduced rate: battery
+  wear while parked hot, alternator recharge debt);
+* state 2 — deep off (rate ~0, full restart cost).
+
+A state ``i`` is a pair ``(switch_cost_i, rate_i)`` with switch costs
+increasing and rates strictly decreasing; the classic problem is the
+two-state instance ``[(0, 1), (B, 0)]``.
+
+Implemented here:
+
+* :class:`MultislopeProblem` — validation, the offline lower envelope
+  ``OPT(y) = min_i (c_i + r_i y)`` and its transition points;
+* :class:`FollowTheEnvelope` — the deterministic online policy that at
+  elapsed stop time ``t`` occupies the state the offline optimum would
+  occupy for a stop of exactly length ``t``.  Its cost is
+  ``OPT(t) + c_{state(t)} <= 2 OPT(t)`` — the standard 2-competitive
+  argument, verified exactly by the tests (and specializing to DET on
+  the two-state instance).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+
+__all__ = ["Slope", "MultislopeProblem", "FollowTheEnvelope"]
+
+
+@dataclass(frozen=True)
+class Slope:
+    """One engine state: a one-time entry cost and an idle-cost rate."""
+
+    switch_cost: float
+    rate: float
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.switch_cost) or self.switch_cost < 0.0:
+            raise InvalidParameterError(
+                f"switch_cost must be >= 0, got {self.switch_cost!r}"
+            )
+        if not np.isfinite(self.rate) or self.rate < 0.0:
+            raise InvalidParameterError(f"rate must be >= 0, got {self.rate!r}")
+
+    def cost(self, duration: float) -> float:
+        """Total cost of sitting in this state for ``duration`` seconds
+        (including the entry cost)."""
+        return self.switch_cost + self.rate * duration
+
+
+class MultislopeProblem:
+    """A validated multislope instance.
+
+    Slopes must be ordered by strictly increasing switch cost and
+    strictly decreasing rate (any slope violating this is dominated and
+    rejected rather than silently dropped), with slope 0 free to enter
+    (``switch_cost == 0``) — the state the vehicle is already in.
+    """
+
+    def __init__(self, slopes) -> None:
+        slopes = [s if isinstance(s, Slope) else Slope(*s) for s in slopes]
+        if len(slopes) < 2:
+            raise InvalidParameterError("a multislope instance needs >= 2 states")
+        if slopes[0].switch_cost != 0.0:
+            raise InvalidParameterError("state 0 must have zero switch cost")
+        for earlier, later in zip(slopes, slopes[1:]):
+            if later.switch_cost <= earlier.switch_cost:
+                raise InvalidParameterError(
+                    "switch costs must be strictly increasing "
+                    f"({later.switch_cost} after {earlier.switch_cost})"
+                )
+            if later.rate >= earlier.rate:
+                raise InvalidParameterError(
+                    f"rates must be strictly decreasing ({later.rate} after {earlier.rate})"
+                )
+        self.slopes = tuple(slopes)
+        self._transitions = self._compute_transitions()
+
+    @classmethod
+    def classic(cls, break_even: float) -> "MultislopeProblem":
+        """The two-state instance equivalent to the paper's problem."""
+        return cls([Slope(0.0, 1.0), Slope(float(break_even), 0.0)])
+
+    @classmethod
+    def automotive_three_state(
+        cls,
+        accessory_rate: float = 0.25,
+        accessory_cost: float = 12.0,
+        full_off_cost: float = 28.0,
+    ) -> "MultislopeProblem":
+        """Engine idling / accessory-only / deep off, in idle-second
+        units (defaults loosely derived from the Appendix C components:
+        the accessory state avoids the fuel burn but still pays battery
+        drain, the deep-off state pays the full restart)."""
+        return cls(
+            [
+                Slope(0.0, 1.0),
+                Slope(accessory_cost, accessory_rate),
+                Slope(full_off_cost, 0.0),
+            ]
+        )
+
+    def _compute_transitions(self) -> list[float]:
+        """Stop lengths at which the offline optimum changes state.
+
+        Transition between consecutive envelope states i and i+1 is where
+        ``c_i + r_i y = c_{i+1} + r_{i+1} y``.  With costs increasing and
+        rates decreasing, consecutive crossings are increasing whenever
+        every slope appears on the envelope; slopes that never win are
+        tolerated (their crossing is absorbed by a later one).
+        """
+        transitions = []
+        current = 0
+        while current < len(self.slopes) - 1:
+            best_next, best_y = None, np.inf
+            for candidate in range(current + 1, len(self.slopes)):
+                numerator = (
+                    self.slopes[candidate].switch_cost - self.slopes[current].switch_cost
+                )
+                denominator = self.slopes[current].rate - self.slopes[candidate].rate
+                crossing = numerator / denominator
+                if crossing < best_y - 1e-15:
+                    best_next, best_y = candidate, crossing
+            transitions.append(best_y)
+            current = best_next
+        return transitions
+
+    @property
+    def transition_points(self) -> tuple[float, ...]:
+        """Stop lengths at which the offline envelope switches state."""
+        return tuple(self._transitions)
+
+    def envelope_state(self, stop_length: float) -> int:
+        """Index of the slope the offline optimum uses for ``stop_length``
+        (ties resolved toward the deeper state, matching the paper's
+        ``y >= B`` convention)."""
+        if stop_length < 0.0:
+            raise InvalidParameterError(f"stop length must be >= 0, got {stop_length!r}")
+        position = bisect.bisect_right(self._transitions, stop_length)
+        # Transitions were built along the envelope path; map position to
+        # the actual slope index along that path.
+        state = 0
+        remaining = position
+        current = 0
+        while remaining > 0:
+            current = self._next_envelope_state(current)
+            state = current
+            remaining -= 1
+        return state
+
+    def _next_envelope_state(self, current: int) -> int:
+        best_next, best_y = current, np.inf
+        for candidate in range(current + 1, len(self.slopes)):
+            numerator = self.slopes[candidate].switch_cost - self.slopes[current].switch_cost
+            denominator = self.slopes[current].rate - self.slopes[candidate].rate
+            crossing = numerator / denominator
+            if crossing < best_y - 1e-15:
+                best_next, best_y = candidate, crossing
+        return best_next
+
+    def offline_cost(self, stop_length: float) -> float:
+        """``OPT(y) = min_i (c_i + r_i y)``."""
+        if stop_length < 0.0:
+            raise InvalidParameterError(f"stop length must be >= 0, got {stop_length!r}")
+        return min(slope.cost(stop_length) for slope in self.slopes)
+
+
+class FollowTheEnvelope:
+    """Deterministic online policy: occupy the offline-optimal state for
+    a stop of the elapsed length.
+
+    At elapsed time ``t`` the policy has paid the envelope's running
+    integral (``= OPT(t)``, since the envelope's derivative is the active
+    rate) plus the switch costs of every state entered (``= c_{state(t)}
+    <= OPT(t)``), hence it is 2-competitive; on the classic two-state
+    instance it is exactly DET.
+    """
+
+    def __init__(self, problem: MultislopeProblem) -> None:
+        self.problem = problem
+
+    def online_cost(self, stop_length: float) -> float:
+        """Total cost of handling one stop of the given length."""
+        if stop_length < 0.0:
+            raise InvalidParameterError(f"stop length must be >= 0, got {stop_length!r}")
+        final_state = self.problem.envelope_state(stop_length)
+        # Idle part: integral of the envelope rate = OPT(stop_length)
+        # minus the switch costs embedded in OPT's current affine piece...
+        # computed directly instead: walk the envelope segments.
+        cost = 0.0
+        previous_boundary = 0.0
+        state = 0
+        for boundary in self.problem.transition_points:
+            if boundary > stop_length:
+                break
+            # A stop ending exactly at a boundary still pays the switch
+            # (the y >= x convention of Eq. 3 generalized).
+            cost += self.problem.slopes[state].rate * (boundary - previous_boundary)
+            next_state = self.problem._next_envelope_state(state)
+            # Switch costs are cumulative-from-state-0; pay the increment.
+            cost += (
+                self.problem.slopes[next_state].switch_cost
+                - self.problem.slopes[state].switch_cost
+            )
+            state = next_state
+            previous_boundary = boundary
+        if stop_length > previous_boundary:
+            cost += self.problem.slopes[state].rate * (stop_length - previous_boundary)
+        # Consistency: the walk must end in the envelope state.
+        assert state == final_state, (state, final_state)
+        return cost
+
+    def competitive_ratio(self, stop_length: float) -> float:
+        """Per-stop ratio against the offline envelope (<= 2)."""
+        offline = self.problem.offline_cost(stop_length)
+        if offline == 0.0:
+            return 1.0
+        return self.online_cost(stop_length) / offline

@@ -1,0 +1,167 @@
+"""Learning-augmented ski rental: using stop-length predictions.
+
+A modern extension of the paper's setting (Purohit, Svitkina & Kumar,
+NeurIPS 2018): the controller receives a *prediction* ``ŷ`` of the stop
+length — in a vehicle, from navigation data, V2I signal-phase broadcasts
+or a learned traffic model — and a trust parameter ``λ ∈ (0, 1]``:
+
+* **Deterministic PSK**: if ``ŷ >= B`` shut off at ``λB``, else idle
+  until ``B/λ``.  Guarantees: cost ≤ ``(1 + λ) OPT`` when the prediction
+  is perfect (*consistency*) and ≤ ``(1 + 1/λ) OPT`` for any prediction
+  (*robustness*); λ → 0 trusts the prediction fully, λ = 1 recovers DET.
+
+Both bounds are verified exactly by the test suite; the benchmark sweeps
+prediction noise to show the consistency/robustness trade-off, and the
+drive-cycle integration derives predictions from the simulator's signal
+timing (a vehicle stopped at a red light *knows* the remaining red from
+signal-phase data).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .costs import validate_break_even, validate_stop_length
+from .strategy import Strategy
+
+__all__ = [
+    "PredictedThreshold",
+    "psk_threshold",
+    "PSKStrategy",
+    "consistency_bound",
+    "robustness_bound",
+    "NoisyOracle",
+]
+
+
+def psk_threshold(prediction: float, break_even: float, trust: float) -> float:
+    """The PSK deterministic threshold for one stop.
+
+    Long prediction (``ŷ >= B``) → commit early at ``λB``; short
+    prediction → hold out until ``B/λ``.
+    """
+    b = validate_break_even(break_even)
+    y_hat = validate_stop_length(prediction)
+    if not 0.0 < trust <= 1.0:
+        raise InvalidParameterError(f"trust must lie in (0, 1], got {trust!r}")
+    if y_hat >= b:
+        return trust * b
+    return b / trust
+
+
+def consistency_bound(trust: float) -> float:
+    """Competitive ratio when the prediction is perfect: ``1 + λ``."""
+    if not 0.0 < trust <= 1.0:
+        raise InvalidParameterError(f"trust must lie in (0, 1], got {trust!r}")
+    return 1.0 + trust
+
+
+def robustness_bound(trust: float) -> float:
+    """Competitive ratio against adversarial predictions: ``1 + 1/λ``."""
+    if not 0.0 < trust <= 1.0:
+        raise InvalidParameterError(f"trust must lie in (0, 1], got {trust!r}")
+    return 1.0 + 1.0 / trust
+
+
+@dataclass(frozen=True)
+class PredictedThreshold:
+    """One stop's decision under PSK: the prediction and the threshold."""
+
+    prediction: float
+    threshold: float
+
+
+class PSKStrategy(Strategy):
+    """Prediction-augmented strategy over a stop stream.
+
+    Unlike the distribution-level strategies, PSK needs a *per-stop*
+    prediction; supply a ``predictor`` callable mapping the stop index to
+    ``ŷ`` (e.g. wired to signal-phase data), or call
+    :meth:`threshold_for` directly.
+
+    ``expected_cost`` treats the strategy's prediction for the evaluated
+    stop as coming from ``predictor(None)`` — appropriate only when a
+    single stationary prediction applies; per-stop pipelines should use
+    :meth:`decide_sequence`.
+    """
+
+    name = "PSK"
+
+    def __init__(self, break_even: float, trust: float, predictor) -> None:
+        super().__init__(break_even)
+        if not 0.0 < trust <= 1.0:
+            raise InvalidParameterError(f"trust must lie in (0, 1], got {trust!r}")
+        if not callable(predictor):
+            raise InvalidParameterError("predictor must be callable")
+        self.trust = float(trust)
+        self.predictor = predictor
+
+    def threshold_for(self, prediction: float) -> float:
+        return psk_threshold(prediction, self.break_even, self.trust)
+
+    def draw_threshold(self, rng: np.random.Generator) -> float:
+        return self.threshold_for(float(self.predictor(None)))
+
+    def expected_cost(self, stop_length: float) -> float:
+        y = validate_stop_length(stop_length)
+        x = self.threshold_for(float(self.predictor(None)))
+        if y < x:
+            return y
+        return x + self.break_even
+
+    def decide_sequence(self, stop_lengths: np.ndarray) -> list[PredictedThreshold]:
+        """Thresholds for a whole stop stream, one prediction per stop."""
+        y = np.asarray(stop_lengths, dtype=float)
+        decisions = []
+        for index in range(y.size):
+            prediction = float(self.predictor(index))
+            decisions.append(
+                PredictedThreshold(
+                    prediction=prediction, threshold=self.threshold_for(prediction)
+                )
+            )
+        return decisions
+
+    def realized_costs(self, stop_lengths: np.ndarray) -> np.ndarray:
+        """Per-stop costs of running PSK over a stream (Eq. 3 applied to
+        each per-stop threshold)."""
+        y = np.asarray(stop_lengths, dtype=float)
+        costs = np.empty(y.size)
+        for index, decision in enumerate(self.decide_sequence(y)):
+            if y[index] < decision.threshold:
+                costs[index] = y[index]
+            else:
+                costs[index] = decision.threshold + self.break_even
+        return costs
+
+
+class NoisyOracle:
+    """Prediction source: the true stop length corrupted by lognormal
+    multiplicative noise (``sigma = 0`` is a perfect oracle).
+
+    Build it over a known stop sequence; it predicts
+    ``y_i * exp(sigma * z_i)`` for stop ``i``.
+    """
+
+    def __init__(
+        self,
+        stop_lengths,
+        sigma: float,
+        rng: np.random.Generator,
+    ) -> None:
+        if sigma < 0.0:
+            raise InvalidParameterError(f"sigma must be >= 0, got {sigma!r}")
+        y = np.asarray(stop_lengths, dtype=float)
+        if y.size == 0:
+            raise InvalidParameterError("oracle needs at least one stop")
+        noise = np.exp(sigma * rng.standard_normal(y.size)) if sigma > 0 else 1.0
+        self.predictions = y * noise
+
+    def __call__(self, index) -> float:
+        if index is None:
+            return float(self.predictions.mean())
+        return float(self.predictions[int(index)])

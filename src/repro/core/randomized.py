@@ -1,0 +1,209 @@
+"""Randomized baseline strategies: N-Rand and MOM-Rand.
+
+* **N-Rand** (Karlin et al. 1990, Eq. 7): threshold pdf
+  ``P(x) = e^{x/B} / (B (e-1))`` on ``[0, B]``.  Its defining property —
+  verified in closed form below and exercised heavily by the test suite —
+  is that the per-stop expected cost is *exactly* ``e/(e-1)`` times the
+  offline cost for every stop length ``y``, which makes its expected CR
+  ``e/(e-1) ≈ 1.582`` under any distribution.
+
+* **MOM-Rand** (Khanafer et al. 2013, Eq. 9): when the first moment
+  ``mu`` of the stop length is known and small
+  (``mu <= 2(e-2)/(e-1) B ≈ 0.836 B``), the revised pdf
+  ``P(x) = (e^{x/B} - 1) / (B (e-2))`` on ``[0, B]`` achieves
+  ``CR' <= 1 + mu / (2B(e-2))``; otherwise MOM-Rand falls back to N-Rand.
+
+Closed forms used (derived by integrating Eq. 3 against the pdfs; the
+quadrature defaults in :class:`ContinuousRandomizedStrategy` are used as a
+cross-check in the tests):
+
+N-Rand, for ``0 <= y <= B``::
+
+    CDF(y)                 = (e^{y/B} - 1) / (e - 1)
+    ∫₀^y (x+B) P(x) dx     = y e^{y/B} / (e - 1)
+    E_x[cost | y]          = e/(e-1) * y          (and e/(e-1) * B for y > B)
+
+MOM-Rand (revised pdf), for ``0 <= y <= B``::
+
+    CDF(y)                 = (B(e^{y/B} - 1) - y) / (B (e - 2))
+    ∫₀^y (x+B) P(x) dx     = (B y e^{y/B} - y²/2 - B y) / (B (e - 2))
+    E_x[cost | y]          = y + y² / (2B(e-2))   (and B(2e-3)/(2(e-2)) for y > B)
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..constants import E, MOM_RAND_MU_THRESHOLD
+from ..errors import InvalidParameterError
+from .costs import validate_stop_length
+from .strategy import ContinuousRandomizedStrategy
+
+__all__ = ["NRand", "MOMRand", "mom_rand_uses_revised_pdf", "mom_rand_cr_prime_bound"]
+
+
+class NRand(ContinuousRandomizedStrategy):
+    """The classic randomized ski-rental strategy (Eq. 7)."""
+
+    name = "N-Rand"
+
+    def pdf(self, threshold: float) -> float:
+        x = float(threshold)
+        b = self.break_even
+        if not 0.0 <= x <= b:
+            return 0.0
+        return math.exp(x / b) / (b * (E - 1.0))
+
+    def cdf(self, threshold: float) -> float:
+        x = float(threshold)
+        b = self.break_even
+        if x <= 0.0:
+            return 0.0
+        if x >= b:
+            return 1.0
+        return (math.exp(x / b) - 1.0) / (E - 1.0)
+
+    def inverse_cdf(self, quantile: float) -> float:
+        u = float(quantile)
+        if not 0.0 <= u <= 1.0:
+            raise InvalidParameterError(f"quantile must lie in [0, 1], got {quantile!r}")
+        return self.break_even * math.log1p(u * (E - 1.0))
+
+    def partial_cost_integral(self, stop_length: float) -> float:
+        y = min(float(stop_length), self.break_even)
+        if y <= 0.0:
+            return 0.0
+        b = self.break_even
+        return y * math.exp(y / b) / (E - 1.0)
+
+    def expected_cost(self, stop_length: float) -> float:
+        y = validate_stop_length(stop_length)
+        b = self.break_even
+        ratio = E / (E - 1.0)
+        return ratio * min(y, b)
+
+    def expected_cost_vec(self, stop_lengths: np.ndarray) -> np.ndarray:
+        y = np.asarray(stop_lengths, dtype=float)
+        return (E / (E - 1.0)) * np.minimum(y, self.break_even)
+
+    def expected_cost_squared(self, stop_length: float) -> float:
+        # ∫ (x+B)² e^{x/B} dx = B e^{x/B} (x² + B²), so
+        # E[cost² | y] = [e^{y/B}(y² + B²) - B²]/(e-1) + y²(e - e^{y/B})/(e-1)
+        # for y <= B, saturating at y = B beyond.
+        y = validate_stop_length(stop_length)
+        b = self.break_even
+        yc = min(y, b)
+        exp_term = math.exp(yc / b)
+        restart_part = (exp_term * (yc * yc + b * b) - b * b) / (E - 1.0)
+        if y <= b:
+            survive_part = y * y * (E - exp_term) / (E - 1.0)
+        else:
+            survive_part = 0.0
+        return restart_part + survive_part
+
+    def mean_threshold(self) -> float:
+        # E[x] = ∫₀^B x e^{x/B}/(B(e-1)) dx = B (B e - B(e-1)) ... in closed
+        # form: ∫ x e^{x/B} dx = B x e^{x/B} - B² e^{x/B}, so the mean is
+        # (B²e - B²e + B²) / (B(e-1)) = B / (e-1).
+        return self.break_even / (E - 1.0)
+
+
+def mom_rand_uses_revised_pdf(mean_stop_length: float, break_even: float) -> bool:
+    """True when MOM-Rand's first-moment information is binding
+    (``mu <= 2(e-2)/(e-1) B``) and the revised pdf (Eq. 9) applies."""
+    if mean_stop_length < 0.0:
+        raise InvalidParameterError(f"mean stop length must be >= 0, got {mean_stop_length!r}")
+    return mean_stop_length <= MOM_RAND_MU_THRESHOLD * break_even
+
+
+def mom_rand_cr_prime_bound(mean_stop_length: float, break_even: float) -> float:
+    """The CR' guarantee of MOM-Rand: ``1 + mu/(2B(e-2))`` in the revised
+    regime, ``e/(e-1)`` otherwise."""
+    if mom_rand_uses_revised_pdf(mean_stop_length, break_even):
+        return 1.0 + mean_stop_length / (2.0 * break_even * (E - 2.0))
+    return E / (E - 1.0)
+
+
+class MOMRand(ContinuousRandomizedStrategy):
+    """MOM-Rand: first-moment-aware randomized strategy (Khanafer 2013).
+
+    Parameters
+    ----------
+    break_even:
+        Break-even interval ``B``.
+    mean_stop_length:
+        The known first moment ``mu`` of the stop-length distribution.
+        When ``mu > 0.836 B`` the strategy degenerates to N-Rand (Eq. 9's
+        precondition fails) and :attr:`uses_revised_pdf` is False.
+    """
+
+    name = "MOM-Rand"
+
+    def __init__(self, break_even: float, mean_stop_length: float) -> None:
+        super().__init__(break_even)
+        mu = float(mean_stop_length)
+        if not np.isfinite(mu) or mu < 0.0:
+            raise InvalidParameterError(
+                f"mean stop length must be a non-negative finite number, got {mean_stop_length!r}"
+            )
+        self.mean_stop_length = mu
+        self.uses_revised_pdf = mom_rand_uses_revised_pdf(mu, self.break_even)
+        self._fallback = None if self.uses_revised_pdf else NRand(self.break_even)
+
+    # -- revised-pdf closed forms ------------------------------------------
+
+    def pdf(self, threshold: float) -> float:
+        if self._fallback is not None:
+            return self._fallback.pdf(threshold)
+        x = float(threshold)
+        b = self.break_even
+        if not 0.0 <= x <= b:
+            return 0.0
+        return (math.exp(x / b) - 1.0) / (b * (E - 2.0))
+
+    def cdf(self, threshold: float) -> float:
+        if self._fallback is not None:
+            return self._fallback.cdf(threshold)
+        x = float(threshold)
+        b = self.break_even
+        if x <= 0.0:
+            return 0.0
+        if x >= b:
+            return 1.0
+        return (b * (math.exp(x / b) - 1.0) - x) / (b * (E - 2.0))
+
+    def partial_cost_integral(self, stop_length: float) -> float:
+        if self._fallback is not None:
+            return self._fallback.partial_cost_integral(stop_length)
+        y = min(float(stop_length), self.break_even)
+        if y <= 0.0:
+            return 0.0
+        b = self.break_even
+        return (b * y * math.exp(y / b) - 0.5 * y * y - b * y) / (b * (E - 2.0))
+
+    def expected_cost(self, stop_length: float) -> float:
+        if self._fallback is not None:
+            return self._fallback.expected_cost(stop_length)
+        y = validate_stop_length(stop_length)
+        b = self.break_even
+        yc = min(y, b)
+        return yc + yc * yc / (2.0 * b * (E - 2.0))
+
+    def expected_cost_vec(self, stop_lengths: np.ndarray) -> np.ndarray:
+        if self._fallback is not None:
+            return self._fallback.expected_cost_vec(stop_lengths)
+        y = np.asarray(stop_lengths, dtype=float)
+        b = self.break_even
+        yc = np.minimum(y, b)
+        return yc + yc * yc / (2.0 * b * (E - 2.0))
+
+    def draw_threshold(self, rng: np.random.Generator) -> float:
+        if self._fallback is not None:
+            return self._fallback.draw_threshold(rng)
+        return super().draw_threshold(rng)
+
+    def cr_prime_bound(self) -> float:
+        """The strategy's CR' guarantee for its configured ``mu``."""
+        return mom_rand_cr_prime_bound(self.mean_stop_length, self.break_even)

@@ -1,0 +1,158 @@
+"""Strategy-selection regions and worst-case CR surfaces (Figures 1-2).
+
+Figure 1(a) colours the ``(mu_B_minus / B, q_B_plus)`` plane by which
+vertex strategy the constrained solver selects; Figure 1(b) shows the
+resulting worst-case CR surface.  Figure 2 takes 1-D slices: CR curves of
+each vertex strategy (and their lower envelope, the proposed algorithm)
+along lines of constant ``q_B_plus`` or constant ``mu_B_minus``.
+
+The feasible region is ``mu_B_minus <= (1 - q_B_plus) * B``; infeasible
+grid cells are reported with ``region = "infeasible"`` and NaN CRs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .constrained import ConstrainedSkiRentalSolver
+from .stats import StopStatistics
+
+__all__ = ["RegionGrid", "compute_region_grid", "cr_slice", "STRATEGY_CODES"]
+
+#: Stable integer codes for the region map (CSV/plot friendly).
+STRATEGY_CODES = {"TOI": 0, "DET": 1, "b-DET": 2, "N-Rand": 3, "infeasible": -1}
+
+
+@dataclass(frozen=True)
+class RegionGrid:
+    """Dense evaluation of the constrained solver over a statistics grid.
+
+    Attributes
+    ----------
+    normalized_mu:
+        Grid of ``mu_B_minus / B`` values (the x-axis).
+    q_b_plus:
+        Grid of ``q_B_plus`` values (the y-axis).
+    region_codes:
+        ``(len(q_b_plus), len(normalized_mu))`` array of
+        :data:`STRATEGY_CODES` values.
+    worst_case_cr:
+        Matching array of optimal worst-case CRs (NaN where infeasible).
+    """
+
+    normalized_mu: np.ndarray
+    q_b_plus: np.ndarray
+    region_codes: np.ndarray
+    worst_case_cr: np.ndarray
+
+    def region_name_at(self, mu_index: int, q_index: int) -> str:
+        """Decode the region label of one grid cell."""
+        code = int(self.region_codes[q_index, mu_index])
+        for name, value in STRATEGY_CODES.items():
+            if value == code:
+                return name
+        raise InvalidParameterError(f"unknown region code {code}")
+
+    def region_fractions(self) -> dict:
+        """Fraction of the *feasible* grid owned by each strategy."""
+        feasible = self.region_codes >= 0
+        total = int(feasible.sum())
+        fractions = {}
+        for name, code in STRATEGY_CODES.items():
+            if code < 0:
+                continue
+            fractions[name] = float((self.region_codes == code).sum() / max(total, 1))
+        return fractions
+
+
+def compute_region_grid(
+    break_even: float = 1.0,
+    mu_points: int = 101,
+    q_points: int = 101,
+    mu_max: float = 1.0,
+) -> RegionGrid:
+    """Evaluate the solver on a dense ``(mu⁻/B, q⁺)`` grid (Figure 1).
+
+    Grid points sit strictly inside ``(0, mu_max) × (0, 1)`` to avoid the
+    degenerate corners (CR is undefined at ``mu⁻ = q⁺ = 0``).
+    """
+    if mu_points < 2 or q_points < 2:
+        raise InvalidParameterError("grids need at least 2 points per axis")
+    if not 0.0 < mu_max <= 1.0:
+        raise InvalidParameterError(f"mu_max must lie in (0, 1], got {mu_max!r}")
+    normalized_mu = np.linspace(0.0, mu_max, mu_points + 1, endpoint=False)[1:]
+    q_values = np.linspace(0.0, 1.0, q_points + 1, endpoint=False)[1:]
+    codes = np.empty((q_points, mu_points), dtype=int)
+    crs = np.full((q_points, mu_points), np.nan)
+    for qi, q in enumerate(q_values):
+        for mi, mu_norm in enumerate(normalized_mu):
+            if mu_norm > (1.0 - q) + 1e-12:
+                codes[qi, mi] = STRATEGY_CODES["infeasible"]
+                continue
+            stats = StopStatistics(
+                mu_b_minus=mu_norm * break_even, q_b_plus=q, break_even=break_even
+            )
+            selection = ConstrainedSkiRentalSolver(stats).select()
+            codes[qi, mi] = STRATEGY_CODES[selection.name]
+            crs[qi, mi] = selection.worst_case_cr
+    return RegionGrid(
+        normalized_mu=normalized_mu,
+        q_b_plus=q_values,
+        region_codes=codes,
+        worst_case_cr=crs,
+    )
+
+
+def cr_slice(
+    break_even: float = 1.0,
+    fixed_q_b_plus: float | None = None,
+    fixed_normalized_mu: float | None = None,
+    points: int = 200,
+) -> dict:
+    """One projected view of Figure 2: worst-case CR of every vertex
+    strategy (plus the proposed lower envelope) along a 1-D slice.
+
+    Exactly one of ``fixed_q_b_plus`` / ``fixed_normalized_mu`` must be
+    given; the other statistic is swept over its feasible range.
+
+    Returns a dict of equal-length arrays: the swept axis (``"axis"``,
+    plus ``"axis_name"``) and one CR series per strategy name, with NaN
+    where a strategy is inadmissible/infeasible.
+    """
+    if (fixed_q_b_plus is None) == (fixed_normalized_mu is None):
+        raise InvalidParameterError(
+            "provide exactly one of fixed_q_b_plus / fixed_normalized_mu"
+        )
+    series: dict = {}
+    names = ("TOI", "DET", "b-DET", "N-Rand", "Proposed")
+    if fixed_q_b_plus is not None:
+        q = float(fixed_q_b_plus)
+        if not 0.0 < q < 1.0:
+            raise InvalidParameterError(f"fixed_q_b_plus must lie in (0, 1), got {q!r}")
+        axis = np.linspace(0.0, 1.0 - q, points + 1, endpoint=False)[1:]
+        stats_iter = [
+            StopStatistics(mu_norm * break_even, q, break_even) for mu_norm in axis
+        ]
+        series["axis_name"] = "normalized_mu"
+    else:
+        mu_norm = float(fixed_normalized_mu)
+        if not 0.0 <= mu_norm < 1.0:
+            raise InvalidParameterError(
+                f"fixed_normalized_mu must lie in [0, 1), got {mu_norm!r}"
+            )
+        axis = np.linspace(0.0, 1.0 - mu_norm, points + 1, endpoint=False)[1:]
+        stats_iter = [StopStatistics(mu_norm * break_even, q, break_even) for q in axis]
+        series["axis_name"] = "q_b_plus"
+    series["axis"] = axis
+    for name in names:
+        series[name] = np.full(axis.size, np.nan)
+    for index, stats in enumerate(stats_iter):
+        selection = ConstrainedSkiRentalSolver(stats).select()
+        for vertex in selection.vertices:
+            if np.isfinite(vertex.worst_case_cr):
+                series[vertex.name][index] = vertex.worst_case_cr
+        series["Proposed"][index] = selection.worst_case_cr
+    return series

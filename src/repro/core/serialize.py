@@ -1,0 +1,87 @@
+"""Strategy serialization: deployment artifacts.
+
+A fleet back end selects policies; vehicles execute them.  The wire
+format is a small JSON-compatible dict carrying the strategy type and
+its parameters.  Supported: every statistics-free baseline, b-DET,
+b-Rand, MOM-Rand, and the proposed selector (serialized by its
+statistics so the receiving side re-derives — and can re-verify — the
+selection).
+
+Stateful controllers (Adaptive, Contextual, PSK with a live predictor)
+intentionally round-trip as their *current* executable policy, not their
+estimator state.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..errors import InvalidParameterError
+from .brand import BRand
+from .constrained import ProposedOnline
+from .deterministic import BDet, Deterministic, NeverOff, TurnOffImmediately
+from .randomized import MOMRand, NRand
+from .stats import StopStatistics
+from .strategy import Strategy
+
+__all__ = ["strategy_to_dict", "strategy_from_dict"]
+
+_SIMPLE_TYPES = {
+    "NEV": NeverOff,
+    "TOI": TurnOffImmediately,
+    "DET": Deterministic,
+    "N-Rand": NRand,
+}
+
+
+def strategy_to_dict(strategy: Strategy) -> dict:
+    """Serialize a strategy to a JSON-compatible dict."""
+    b = strategy.break_even
+    if isinstance(strategy, ProposedOnline):
+        return {
+            "type": "Proposed",
+            "break_even": b,
+            "mu_b_minus": strategy.stats.mu_b_minus,
+            "q_b_plus": strategy.stats.q_b_plus,
+        }
+    if isinstance(strategy, BDet):
+        return {"type": "b-DET", "break_even": b, "b": strategy.threshold}
+    if isinstance(strategy, BRand):
+        return {"type": "b-Rand", "break_even": b, "beta": strategy.beta}
+    if isinstance(strategy, MOMRand):
+        return {
+            "type": "MOM-Rand",
+            "break_even": b,
+            "mean_stop_length": strategy.mean_stop_length,
+        }
+    for name, cls in _SIMPLE_TYPES.items():
+        if type(strategy) is cls:
+            return {"type": name, "break_even": b}
+    raise InvalidParameterError(
+        f"cannot serialize strategy of type {type(strategy).__name__}"
+    )
+
+
+def strategy_from_dict(document: Mapping) -> Strategy:
+    """Reconstruct a strategy from :func:`strategy_to_dict` output."""
+    try:
+        kind = document["type"]
+        b = float(document["break_even"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise InvalidParameterError(f"malformed strategy document: {exc}") from exc
+    if kind in _SIMPLE_TYPES:
+        return _SIMPLE_TYPES[kind](b)
+    if kind == "b-DET":
+        return BDet(b, float(document["b"]))
+    if kind == "b-Rand":
+        return BRand(b, float(document["beta"]))
+    if kind == "MOM-Rand":
+        return MOMRand(b, float(document["mean_stop_length"]))
+    if kind == "Proposed":
+        stats = StopStatistics(
+            mu_b_minus=float(document["mu_b_minus"]),
+            q_b_plus=float(document["q_b_plus"]),
+            break_even=b,
+        )
+        return ProposedOnline(stats)
+    raise InvalidParameterError(f"unknown strategy type {kind!r}")

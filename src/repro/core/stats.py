@@ -1,0 +1,157 @@
+"""The two statistics at the heart of the constrained ski-rental problem.
+
+Section 3 of the paper replaces full knowledge of the stop-length
+distribution ``q(y)`` with two numbers:
+
+* ``mu_B_minus`` (Eq. 10): the *mass-weighted* mean of short stops,
+  ``∫₀ᴮ y q(y) dy``.  Note this is **not** the conditional expectation of
+  short stops — the paper's footnote 2 points out that the conditional mean
+  would be ``mu_B_minus / (1 - q_B_plus)`` and adopts the mass-weighted
+  definition for convenience; we do the same.
+* ``q_B_plus`` (Eq. 11): the probability of a long stop, ``P{y >= B}``.
+
+Together they pin down the expected offline cost (Eq. 13):
+``E[cost_offline] = mu_B_minus + q_B_plus * B`` — constant over the whole
+ambiguity set Q, which is what makes the minimax problem tractable.
+
+:class:`StopStatistics` is the immutable value object carrying the pair,
+with constructors from raw stop samples and from analytic distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import TOLERANCE
+from ..errors import InvalidParameterError
+from .costs import validate_break_even
+
+__all__ = ["StopStatistics", "mu_b_minus_from_samples", "q_b_plus_from_samples"]
+
+
+def mu_b_minus_from_samples(stop_lengths: np.ndarray, break_even: float) -> float:
+    """Empirical ``mu_B_minus`` (Eq. 10): mean of ``y * 1{y < B}``.
+
+    Stops of exactly length ``B`` count as long stops (they contribute to
+    ``q_B_plus``, not to ``mu_B_minus``), matching the offline rule in
+    Eq. (2) where ``y >= B`` is a long stop.
+    """
+    b = validate_break_even(break_even)
+    y = np.asarray(stop_lengths, dtype=float)
+    if y.size == 0:
+        raise InvalidParameterError("cannot compute statistics from zero stops")
+    if np.any(~np.isfinite(y)) or np.any(y < 0.0):
+        raise InvalidParameterError("stop lengths must be non-negative and finite")
+    return float(np.where(y < b, y, 0.0).mean())
+
+
+def q_b_plus_from_samples(stop_lengths: np.ndarray, break_even: float) -> float:
+    """Empirical ``q_B_plus`` (Eq. 11): fraction of stops with ``y >= B``."""
+    b = validate_break_even(break_even)
+    y = np.asarray(stop_lengths, dtype=float)
+    if y.size == 0:
+        raise InvalidParameterError("cannot compute statistics from zero stops")
+    if np.any(~np.isfinite(y)) or np.any(y < 0.0):
+        raise InvalidParameterError("stop lengths must be non-negative and finite")
+    return float((y >= b).mean())
+
+
+@dataclass(frozen=True)
+class StopStatistics:
+    """The ``(mu_B_minus, q_B_plus)`` pair for a given break-even ``B``.
+
+    Attributes
+    ----------
+    mu_b_minus:
+        Mass-weighted mean of short stops (Eq. 10), in seconds.
+    q_b_plus:
+        Probability of a long stop (Eq. 11), in ``[0, 1]``.
+    break_even:
+        The break-even interval ``B`` the statistics were taken against.
+    """
+
+    mu_b_minus: float
+    q_b_plus: float
+    break_even: float
+
+    def __post_init__(self) -> None:
+        b = validate_break_even(self.break_even)
+        mu = float(self.mu_b_minus)
+        q = float(self.q_b_plus)
+        if not np.isfinite(mu) or mu < 0.0:
+            raise InvalidParameterError(f"mu_B_minus must be >= 0, got {mu!r}")
+        if not np.isfinite(q) or not 0.0 <= q <= 1.0:
+            raise InvalidParameterError(f"q_B_plus must lie in [0, 1], got {q!r}")
+        # Feasibility: short stops are < B and carry total probability
+        # (1 - q_B_plus), so mu_B_minus <= (1 - q_B_plus) * B.  Allow a small
+        # tolerance for statistics estimated from finite samples.
+        if mu > (1.0 - q) * b + TOLERANCE * max(1.0, b):
+            raise InvalidParameterError(
+                f"infeasible statistics: mu_B_minus={mu} exceeds "
+                f"(1 - q_B_plus) * B = {(1.0 - q) * b} for B={b}"
+            )
+        object.__setattr__(self, "mu_b_minus", mu)
+        object.__setattr__(self, "q_b_plus", q)
+        object.__setattr__(self, "break_even", b)
+
+    @classmethod
+    def from_samples(cls, stop_lengths: np.ndarray, break_even: float) -> "StopStatistics":
+        """Estimate the statistics from an array of observed stop lengths."""
+        return cls(
+            mu_b_minus=mu_b_minus_from_samples(stop_lengths, break_even),
+            q_b_plus=q_b_plus_from_samples(stop_lengths, break_even),
+            break_even=break_even,
+        )
+
+    @classmethod
+    def from_distribution(cls, distribution, break_even: float) -> "StopStatistics":
+        """Compute the statistics of an analytic stop-length distribution.
+
+        ``distribution`` must implement the
+        :class:`repro.distributions.base.StopLengthDistribution` interface
+        (``partial_expectation`` and ``survival``).
+        """
+        b = validate_break_even(break_even)
+        return cls(
+            mu_b_minus=distribution.partial_expectation(b),
+            q_b_plus=distribution.survival(b),
+            break_even=b,
+        )
+
+    @property
+    def expected_offline_cost(self) -> float:
+        """Expected cost of the offline optimum, Eq. (13): ``mu⁻ + q⁺ B``.
+
+        Constant over every distribution compatible with the statistics,
+        which is why the constrained minimax reduces to minimizing the
+        expected online cost.
+        """
+        return self.mu_b_minus + self.q_b_plus * self.break_even
+
+    @property
+    def normalized_mu(self) -> float:
+        """``mu_B_minus / B`` — the x-axis of Figures 1 and 2."""
+        return self.mu_b_minus / self.break_even
+
+    @property
+    def short_stop_conditional_mean(self) -> float:
+        """Conditional mean of short stops, ``mu⁻ / (1 - q⁺)`` (footnote 2).
+
+        Returns 0 when every stop is long (``q_B_plus == 1``), in which case
+        there are no short stops to average.
+        """
+        if self.q_b_plus >= 1.0:
+            return 0.0
+        return self.mu_b_minus / (1.0 - self.q_b_plus)
+
+    def rescaled(self, break_even: float) -> "StopStatistics":
+        """Return statistics *labelled* with a different ``B``.
+
+        This does **not** recompute the integrals — it is only valid when
+        the caller knows the distribution's mass between the two break-even
+        values is zero (used by adversarial constructions in tests).  For
+        real data, re-estimate with :meth:`from_samples`.
+        """
+        return StopStatistics(self.mu_b_minus, self.q_b_plus, break_even)

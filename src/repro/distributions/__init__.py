@@ -1,0 +1,38 @@
+"""Stop-length distribution toolkit.
+
+Everything the evaluation layers integrate against: analytic parametric
+families, finite mixtures, empirical samples, adversarial discrete
+constructions, mean-scaling (Figures 5-6) and goodness-of-fit diagnostics
+(Figure 3).
+"""
+
+from .base import StopLengthDistribution
+from .censored import CensoredDistribution
+from .discrete import DiscreteStopDistribution, three_point, two_point
+from .empirical import EmpiricalDistribution
+from .fitting import KSResult, ks_test_exponential, moment_summary, tail_weight
+from .mixture import MixtureDistribution
+from .parametric import Exponential, LogNormal, Pareto, ScipyDistribution, Uniform, Weibull
+from .scaled import ScaledDistribution, scale_to_mean
+
+__all__ = [
+    "StopLengthDistribution",
+    "CensoredDistribution",
+    "DiscreteStopDistribution",
+    "two_point",
+    "three_point",
+    "EmpiricalDistribution",
+    "MixtureDistribution",
+    "Exponential",
+    "Uniform",
+    "LogNormal",
+    "Weibull",
+    "Pareto",
+    "ScipyDistribution",
+    "ScaledDistribution",
+    "scale_to_mean",
+    "KSResult",
+    "ks_test_exponential",
+    "tail_weight",
+    "moment_summary",
+]

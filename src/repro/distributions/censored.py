@@ -1,0 +1,75 @@
+"""Right-censored stop-length observations.
+
+Real driving records *censor* stop lengths: a stop cut short by the end
+of the recording window (or by ignition-off detection) is observed at
+its truncated value.  Censoring biases the constrained statistics in a
+structured way:
+
+* ``q_B_plus`` is **unaffected** as long as the censoring point ``c``
+  is at least ``B`` — a stop censored at ``c >= B`` is still correctly
+  classified as long;
+* ``mu_B_minus`` is unaffected for the same reason (only sub-``B``
+  lengths enter it, and those are below the censoring point);
+* the full mean (MOM-Rand's input!) is biased **down**, potentially
+  flipping MOM-Rand into its revised regime incorrectly.
+
+That asymmetry is itself an argument for the paper's statistics over the
+first moment.  :class:`CensoredDistribution` models the observation
+process so the effect can be quantified; see the tests for the
+bias-propagation checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .base import StopLengthDistribution
+
+__all__ = ["CensoredDistribution"]
+
+
+class CensoredDistribution(StopLengthDistribution):
+    """Observations of ``base`` right-censored at ``ceiling``:
+    ``y_observed = min(y, ceiling)``."""
+
+    def __init__(self, base: StopLengthDistribution, ceiling: float) -> None:
+        c = float(ceiling)
+        if not np.isfinite(c) or c <= 0.0:
+            raise InvalidParameterError(
+                f"censoring ceiling must be a positive finite number, got {ceiling!r}"
+            )
+        self.base = base
+        self.ceiling = c
+        self.name = f"{base.name} censored@{c:g}"
+
+    def cdf(self, stop_length: float) -> float:
+        if stop_length >= self.ceiling:
+            return 1.0
+        return self.base.cdf(stop_length)
+
+    def survival(self, stop_length: float) -> float:
+        if stop_length > self.ceiling:
+            return 0.0
+        return self.base.survival(stop_length)
+
+    def partial_expectation(self, upper: float) -> float:
+        if upper <= self.ceiling:
+            return self.base.partial_expectation(upper)
+        # All mass at the atom min(y, c) = c lies below `upper`.
+        return self.base.partial_expectation(self.ceiling) + (
+            self.ceiling * self.base.survival(self.ceiling)
+        )
+
+    def mean(self) -> float:
+        # E[min(y, c)] = partial expectation below c + c * P{y >= c}.
+        return self.base.partial_expectation(self.ceiling) + (
+            self.ceiling * self.base.survival(self.ceiling)
+        )
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        return np.minimum(self.base.sample(count, rng), self.ceiling)
+
+    def censoring_probability(self) -> float:
+        """Fraction of observations that hit the ceiling."""
+        return self.base.survival(self.ceiling)

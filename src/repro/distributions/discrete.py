@@ -1,0 +1,133 @@
+"""Discrete stop-length distributions.
+
+These are the adversary's weapons: every worst-case construction in the
+paper (Appendix A, the b-DET analysis of Section 4.4) concentrates mass on
+a handful of stop lengths.  :class:`DiscreteStopDistribution` is the
+general finite-support distribution; :func:`two_point` and
+:func:`three_point` are the named constructions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidDistributionError, InvalidParameterError
+from .base import StopLengthDistribution
+
+__all__ = ["DiscreteStopDistribution", "two_point", "three_point"]
+
+
+class DiscreteStopDistribution(StopLengthDistribution):
+    """A finite-support distribution over stop lengths.
+
+    Parameters
+    ----------
+    values:
+        Distinct non-negative stop lengths.
+    probabilities:
+        Matching probabilities; must sum to 1 (within tolerance).
+    """
+
+    def __init__(self, values, probabilities, name: str = "discrete") -> None:
+        v = np.asarray(values, dtype=float)
+        p = np.asarray(probabilities, dtype=float)
+        if v.ndim != 1 or p.shape != v.shape or v.size == 0:
+            raise InvalidDistributionError(
+                "values and probabilities must be matching non-empty 1-D arrays"
+            )
+        if np.any(~np.isfinite(v)) or np.any(v < 0.0):
+            raise InvalidDistributionError("stop lengths must be non-negative and finite")
+        if np.any(p < -1e-12):
+            raise InvalidDistributionError("probabilities must be non-negative")
+        total = float(p.sum())
+        if abs(total - 1.0) > 1e-9:
+            raise InvalidDistributionError(f"probabilities sum to {total}, expected 1")
+        order = np.argsort(v)
+        v, p = v[order], np.clip(p[order], 0.0, None)
+        if np.any(np.diff(v) == 0.0):
+            raise InvalidDistributionError("stop-length values must be distinct")
+        self.values = v
+        self.probabilities = p / p.sum()
+        self.name = name
+
+    def cdf(self, stop_length: float) -> float:
+        # Clamp: partial float sums can overshoot 1 by an ulp.
+        return min(1.0, float(self.probabilities[self.values <= stop_length].sum()))
+
+    def survival(self, stop_length: float) -> float:
+        # Closed event: includes the atom at exactly ``stop_length``,
+        # matching the paper's long-stop convention ``y >= B``.
+        return min(1.0, float(self.probabilities[self.values >= stop_length].sum()))
+
+    def partial_expectation(self, upper: float) -> float:
+        mask = self.values < upper
+        return float((self.values[mask] * self.probabilities[mask]).sum())
+
+    def mean(self) -> float:
+        return float((self.values * self.probabilities).sum())
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        if count < 0:
+            raise InvalidParameterError(f"count must be >= 0, got {count}")
+        return rng.choice(self.values, size=count, p=self.probabilities)
+
+
+def two_point(
+    short_length: float,
+    long_length: float,
+    long_probability: float,
+) -> DiscreteStopDistribution:
+    """The two-point adversary: a short stop of ``short_length`` with
+    probability ``1 - long_probability`` and a long stop of
+    ``long_length`` with probability ``long_probability``.
+
+    Used in Section 4.4 to show b-DET must pick ``b`` above the
+    conditional short-stop mean.
+    """
+    q = float(long_probability)
+    if not 0.0 <= q <= 1.0:
+        raise InvalidParameterError(f"long_probability must lie in [0, 1], got {q!r}")
+    if not 0.0 <= float(short_length) < float(long_length):
+        raise InvalidParameterError(
+            "need 0 <= short_length < long_length, got "
+            f"{short_length!r} and {long_length!r}"
+        )
+    if q == 0.0:
+        return DiscreteStopDistribution([short_length], [1.0], name="two-point")
+    if q == 1.0:
+        return DiscreteStopDistribution([long_length], [1.0], name="two-point")
+    return DiscreteStopDistribution(
+        [short_length, long_length], [1.0 - q, q], name="two-point"
+    )
+
+
+def three_point(
+    mid_length: float,
+    mid_probability: float,
+    long_length: float,
+    long_probability: float,
+) -> DiscreteStopDistribution:
+    """The three-point adversary 0 / mid / long.
+
+    The worst case against b-DET (Section 4.4) puts all short-stop mass at
+    either 0 or exactly ``b``: stops at ``b`` pay the full ``b + B`` while
+    contributing the least possible probability for the given
+    ``mu_B_minus``.
+    """
+    pm, pl = float(mid_probability), float(long_probability)
+    if pm < 0.0 or pl < 0.0 or pm + pl > 1.0 + 1e-12:
+        raise InvalidParameterError(
+            f"probabilities must be non-negative with sum <= 1, got {pm!r}, {pl!r}"
+        )
+    if not 0.0 < float(mid_length) < float(long_length):
+        raise InvalidParameterError(
+            "need 0 < mid_length < long_length, got "
+            f"{mid_length!r} and {long_length!r}"
+        )
+    p0 = max(0.0, 1.0 - pm - pl)
+    values, probs = [], []
+    for v, p in ((0.0, p0), (float(mid_length), pm), (float(long_length), pl)):
+        if p > 0.0:
+            values.append(v)
+            probs.append(p)
+    return DiscreteStopDistribution(values, probs, name="three-point")

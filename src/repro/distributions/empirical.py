@@ -1,0 +1,73 @@
+"""Empirical stop-length distributions built from observed samples.
+
+This is how real (or synthesized) driving records enter the analysis: each
+vehicle's week of stops becomes an :class:`EmpiricalDistribution`, whose
+``partial_expectation(B)`` / ``survival(B)`` are exactly the paper's
+``mu_B_minus`` / ``q_B_plus`` sample estimates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidDistributionError, InvalidParameterError
+from .base import StopLengthDistribution
+
+__all__ = ["EmpiricalDistribution"]
+
+
+class EmpiricalDistribution(StopLengthDistribution):
+    """The empirical distribution of a sample of stop lengths.
+
+    ``cdf``/``survival``/moments are the exact sample quantities;
+    ``sample`` draws with replacement (bootstrap).
+    """
+
+    def __init__(self, stop_lengths, name: str = "empirical") -> None:
+        y = np.asarray(stop_lengths, dtype=float).ravel()
+        if y.size == 0:
+            raise InvalidDistributionError("empirical distribution needs at least one stop")
+        if np.any(~np.isfinite(y)) or np.any(y < 0.0):
+            raise InvalidDistributionError("stop lengths must be non-negative and finite")
+        self.stop_lengths = np.sort(y)
+        self.name = name
+
+    @property
+    def count(self) -> int:
+        """Number of observed stops."""
+        return int(self.stop_lengths.size)
+
+    def cdf(self, stop_length: float) -> float:
+        return float(
+            np.searchsorted(self.stop_lengths, stop_length, side="right")
+            / self.stop_lengths.size
+        )
+
+    def survival(self, stop_length: float) -> float:
+        # Closed event y >= stop_length, matching the paper's q_B_plus.
+        idx = np.searchsorted(self.stop_lengths, stop_length, side="left")
+        return float((self.stop_lengths.size - idx) / self.stop_lengths.size)
+
+    def partial_expectation(self, upper: float) -> float:
+        idx = np.searchsorted(self.stop_lengths, upper, side="left")
+        return float(self.stop_lengths[:idx].sum() / self.stop_lengths.size)
+
+    def mean(self) -> float:
+        return float(self.stop_lengths.mean())
+
+    def quantile(self, q: float) -> float:
+        """Sample quantile (linear interpolation)."""
+        if not 0.0 <= q <= 1.0:
+            raise InvalidParameterError(f"quantile must lie in [0, 1], got {q!r}")
+        return float(np.quantile(self.stop_lengths, q))
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        if count < 0:
+            raise InvalidParameterError(f"count must be >= 0, got {count}")
+        return rng.choice(self.stop_lengths, size=count, replace=True)
+
+    def histogram(self, bin_edges) -> np.ndarray:
+        """Probability mass per bin (Figure 3's plotted quantity)."""
+        edges = np.asarray(bin_edges, dtype=float)
+        counts, _ = np.histogram(self.stop_lengths, bins=edges)
+        return counts / self.stop_lengths.size

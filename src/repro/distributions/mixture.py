@@ -1,0 +1,83 @@
+"""Finite mixtures of stop-length distributions.
+
+The synthetic NREL-like fleets model stop lengths as a mixture of a
+"signal/congestion" component (short, roughly lognormal) and a heavy
+"errand/parking" tail — see :mod:`repro.fleet.areas`.  The mixture class is
+fully generic: any components implementing
+:class:`~repro.distributions.base.StopLengthDistribution` compose.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import InvalidDistributionError, InvalidParameterError
+from .base import StopLengthDistribution
+
+__all__ = ["MixtureDistribution"]
+
+
+class MixtureDistribution(StopLengthDistribution):
+    """A convex combination of stop-length distributions."""
+
+    def __init__(
+        self,
+        components: Sequence[StopLengthDistribution],
+        weights: Sequence[float],
+        name: str = "mixture",
+    ) -> None:
+        if len(components) == 0 or len(components) != len(weights):
+            raise InvalidDistributionError(
+                "components and weights must be matching non-empty sequences"
+            )
+        w = np.asarray(weights, dtype=float)
+        if np.any(w < 0.0):
+            raise InvalidDistributionError("mixture weights must be non-negative")
+        total = float(w.sum())
+        if abs(total - 1.0) > 1e-9:
+            raise InvalidDistributionError(f"mixture weights sum to {total}, expected 1")
+        self.components = list(components)
+        self.weights = w / total
+        self.name = name
+
+    def pdf(self, stop_length: float) -> float:
+        return float(
+            sum(w * c.pdf(stop_length) for w, c in zip(self.weights, self.components))
+        )
+
+    def cdf(self, stop_length: float) -> float:
+        return float(
+            sum(w * c.cdf(stop_length) for w, c in zip(self.weights, self.components))
+        )
+
+    def survival(self, stop_length: float) -> float:
+        return float(
+            sum(w * c.survival(stop_length) for w, c in zip(self.weights, self.components))
+        )
+
+    def partial_expectation(self, upper: float) -> float:
+        return float(
+            sum(
+                w * c.partial_expectation(upper)
+                for w, c in zip(self.weights, self.components)
+            )
+        )
+
+    def mean(self) -> float:
+        return float(sum(w * c.mean() for w, c in zip(self.weights, self.components)))
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        if count < 0:
+            raise InvalidParameterError(f"count must be >= 0, got {count}")
+        if count == 0:
+            return np.empty(0, dtype=float)
+        picks = rng.choice(len(self.components), size=count, p=self.weights)
+        out = np.empty(count, dtype=float)
+        for index, component in enumerate(self.components):
+            mask = picks == index
+            n = int(mask.sum())
+            if n:
+                out[mask] = component.sample(n, rng)
+        return out

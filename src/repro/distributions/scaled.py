@@ -1,0 +1,62 @@
+"""Mean-scaling of stop-length distributions.
+
+Figures 5 and 6 sweep traffic conditions by "following the distribution of
+Chicago, but scaling its mean value".  :class:`ScaledDistribution` applies
+the linear change of variable ``y' = s * y`` to any base distribution —
+shape-preserving in the sense that every normalized moment is unchanged —
+and :func:`scale_to_mean` picks the factor that hits a target mean.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .base import StopLengthDistribution
+
+__all__ = ["ScaledDistribution", "scale_to_mean"]
+
+
+class ScaledDistribution(StopLengthDistribution):
+    """``y' = scale * y`` for ``y`` drawn from ``base``."""
+
+    def __init__(self, base: StopLengthDistribution, scale: float) -> None:
+        s = float(scale)
+        if not np.isfinite(s) or s <= 0.0:
+            raise InvalidParameterError(f"scale must be a positive finite number, got {scale!r}")
+        self.base = base
+        self.scale = s
+        self.name = f"{base.name} x{s:g}"
+
+    def pdf(self, stop_length: float) -> float:
+        return self.base.pdf(stop_length / self.scale) / self.scale
+
+    def cdf(self, stop_length: float) -> float:
+        return self.base.cdf(stop_length / self.scale)
+
+    def survival(self, stop_length: float) -> float:
+        return self.base.survival(stop_length / self.scale)
+
+    def partial_expectation(self, upper: float) -> float:
+        return self.scale * self.base.partial_expectation(upper / self.scale)
+
+    def mean(self) -> float:
+        return self.scale * self.base.mean()
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        return self.scale * self.base.sample(count, rng)
+
+
+def scale_to_mean(
+    base: StopLengthDistribution, target_mean: float
+) -> ScaledDistribution:
+    """Scale ``base`` so its mean equals ``target_mean`` (Figures 5-6)."""
+    t = float(target_mean)
+    if not np.isfinite(t) or t <= 0.0:
+        raise InvalidParameterError(f"target mean must be a positive finite number, got {target_mean!r}")
+    base_mean = base.mean()
+    if not np.isfinite(base_mean) or base_mean <= 0.0:
+        raise InvalidParameterError(
+            f"base distribution must have a positive finite mean, got {base_mean!r}"
+        )
+    return ScaledDistribution(base, t / base_mean)

@@ -1,0 +1,18 @@
+"""Synthetic drive-cycle generation: road networks, signals, congestion,
+driver behaviour and the trip simulator."""
+
+from .driver import DriverProfile
+from .road import RoadNetwork, grid_network
+from .signals import TrafficSignal
+from .simulator import DriveCycleSimulator, TripResult
+from .traffic import CongestionModel
+
+__all__ = [
+    "TrafficSignal",
+    "RoadNetwork",
+    "grid_network",
+    "CongestionModel",
+    "DriverProfile",
+    "DriveCycleSimulator",
+    "TripResult",
+]

@@ -1,0 +1,80 @@
+"""Driver behaviour: trip frequency, errands and kinematics.
+
+A :class:`DriverProfile` captures what varies across a fleet:
+
+* how many trips the vehicle makes per day (Poisson);
+* acceleration/deceleration capabilities (trapezoidal kinematics);
+* errand behaviour — mid-route long stops (drive-throughs, pickups,
+  parking with the engine on) that produce the heavy tail of the
+  stop-length distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+
+__all__ = ["DriverProfile"]
+
+
+@dataclass(frozen=True)
+class DriverProfile:
+    """Per-vehicle driving behaviour parameters.
+
+    Attributes
+    ----------
+    trips_per_day:
+        Mean number of trips per day (Poisson rate).
+    acceleration:
+        Comfortable acceleration (m/s²).
+    deceleration:
+        Comfortable braking deceleration (m/s², positive).
+    errand_probability:
+        Per-trip probability of one mid-route errand stop.
+    errand_duration_mean:
+        Mean errand stop duration (s) — lognormal with this mean, so
+        errands form the heavy tail of the stop distribution.
+    errand_duration_sigma:
+        Lognormal sigma of the errand duration.
+    """
+
+    trips_per_day: float = 4.0
+    acceleration: float = 2.0
+    deceleration: float = 2.5
+    errand_probability: float = 0.15
+    errand_duration_mean: float = 300.0
+    errand_duration_sigma: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.trips_per_day) or self.trips_per_day <= 0.0:
+            raise InvalidParameterError(
+                f"trips_per_day must be > 0, got {self.trips_per_day!r}"
+            )
+        for name in ("acceleration", "deceleration"):
+            value = getattr(self, name)
+            if not np.isfinite(value) or value <= 0.0:
+                raise InvalidParameterError(f"{name} must be > 0, got {value!r}")
+        if not 0.0 <= self.errand_probability <= 1.0:
+            raise InvalidParameterError(
+                f"errand_probability must lie in [0, 1], got {self.errand_probability!r}"
+            )
+        if self.errand_duration_mean <= 0.0 or self.errand_duration_sigma <= 0.0:
+            raise InvalidParameterError("errand duration parameters must be > 0")
+
+    def daily_trip_count(self, rng: np.random.Generator) -> int:
+        """Number of trips on one day (at least one on driving days)."""
+        return int(max(1, rng.poisson(self.trips_per_day)))
+
+    def errand_duration(self, rng: np.random.Generator) -> float:
+        """One errand stop duration (s), lognormal with the configured
+        mean: ``exp(m + s²/2) = errand_duration_mean``."""
+        sigma = self.errand_duration_sigma
+        mu = np.log(self.errand_duration_mean) - 0.5 * sigma * sigma
+        return float(rng.lognormal(mu, sigma))
+
+    def wants_errand(self, rng: np.random.Generator) -> bool:
+        """Whether this trip includes a mid-route errand stop."""
+        return bool(rng.uniform() < self.errand_probability)

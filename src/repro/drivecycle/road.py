@@ -1,0 +1,129 @@
+"""Road network model on top of :mod:`networkx`.
+
+The drive-cycle generator routes trips over a grid of city blocks:
+nodes are intersections (optionally signalized), edges are road segments
+with a length and a speed limit.  :func:`grid_network` builds the default
+Manhattan-style grid used by the synthetic fleets; arbitrary networkx
+graphs with the same attribute schema also work.
+
+Attribute schema
+----------------
+* node attribute ``"signal"``: a
+  :class:`~repro.drivecycle.signals.TrafficSignal` or ``None``;
+* edge attributes ``"length"`` (m) and ``"speed_limit"`` (m/s).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from ..errors import InvalidParameterError, SimulationError
+from .signals import TrafficSignal
+
+__all__ = ["RoadNetwork", "grid_network"]
+
+
+class RoadNetwork:
+    """A validated wrapper around a networkx graph of roads."""
+
+    def __init__(self, graph: nx.Graph) -> None:
+        if graph.number_of_nodes() < 2:
+            raise InvalidParameterError("road network needs at least two intersections")
+        for u, v, data in graph.edges(data=True):
+            if data.get("length", 0.0) <= 0.0:
+                raise InvalidParameterError(f"edge {(u, v)} has non-positive length")
+            if data.get("speed_limit", 0.0) <= 0.0:
+                raise InvalidParameterError(f"edge {(u, v)} has non-positive speed limit")
+        if not nx.is_connected(graph):
+            raise InvalidParameterError("road network must be connected")
+        self.graph = graph
+
+    @property
+    def intersections(self) -> list:
+        return list(self.graph.nodes)
+
+    def signal_at(self, node) -> TrafficSignal | None:
+        """The signal controlling ``node``, or None if unsignalized."""
+        return self.graph.nodes[node].get("signal")
+
+    def signalized_count(self) -> int:
+        return sum(1 for node in self.graph.nodes if self.signal_at(node) is not None)
+
+    def route(self, origin, destination) -> list:
+        """Shortest route by travel time (length / speed limit)."""
+        if origin not in self.graph or destination not in self.graph:
+            raise SimulationError(f"unknown endpoint: {origin!r} -> {destination!r}")
+        return nx.shortest_path(
+            self.graph,
+            origin,
+            destination,
+            weight=lambda u, v, data: data["length"] / data["speed_limit"],
+        )
+
+    def edge_data(self, u, v) -> dict:
+        try:
+            return self.graph.edges[u, v]
+        except KeyError as exc:
+            raise SimulationError(f"no road segment between {u!r} and {v!r}") from exc
+
+    def random_node_pair(self, rng: np.random.Generator, min_hops: int = 2) -> tuple:
+        """Draw a random origin/destination pair at least ``min_hops``
+        apart (so trips have room for en-route stops)."""
+        nodes = self.intersections
+        for _ in range(200):
+            origin, destination = rng.choice(len(nodes), size=2, replace=False)
+            origin, destination = nodes[origin], nodes[destination]
+            if nx.shortest_path_length(self.graph, origin, destination) >= min_hops:
+                return origin, destination
+        raise SimulationError(
+            f"could not find node pair at least {min_hops} hops apart"
+        )
+
+
+def grid_network(
+    rows: int = 6,
+    cols: int = 6,
+    block_length: float = 250.0,
+    speed_limit: float = 13.9,
+    signal_density: float = 0.6,
+    rng: np.random.Generator | None = None,
+) -> RoadNetwork:
+    """A rows x cols Manhattan grid with randomly signalized intersections.
+
+    Parameters
+    ----------
+    rows, cols:
+        Grid dimensions (intersections per side).
+    block_length:
+        Segment length in meters (250 m ≈ a US city block).
+    speed_limit:
+        Segment speed limit in m/s (13.9 m/s = 50 km/h).
+    signal_density:
+        Probability that an intersection carries a traffic signal.
+    rng:
+        Random generator for signal placement and timing; defaults to a
+        fixed seed so the default network is reproducible.
+    """
+    if rows < 2 or cols < 2:
+        raise InvalidParameterError("grid needs at least 2x2 intersections")
+    if not 0.0 <= signal_density <= 1.0:
+        raise InvalidParameterError(
+            f"signal_density must lie in [0, 1], got {signal_density!r}"
+        )
+    if rng is None:
+        rng = np.random.default_rng(2014)
+    graph = nx.grid_2d_graph(rows, cols)
+    for _, _, data in graph.edges(data=True):
+        data["length"] = float(block_length)
+        data["speed_limit"] = float(speed_limit)
+    for node in graph.nodes:
+        if rng.uniform() < signal_density:
+            graph.nodes[node]["signal"] = TrafficSignal(
+                cycle_length=float(rng.uniform(60.0, 120.0)),
+                green_fraction=float(rng.uniform(0.35, 0.65)),
+                offset=float(rng.uniform(0.0, 120.0)),
+            )
+        else:
+            graph.nodes[node]["signal"] = None
+    return RoadNetwork(graph)

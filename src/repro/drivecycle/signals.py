@@ -1,0 +1,80 @@
+"""Traffic signal timing model.
+
+Signalized intersections are the dominant source of short-to-medium stops
+(the mass below the break-even interval in Figure 3).  Each signal runs a
+fixed cycle: ``green_fraction`` of ``cycle_length`` seconds green, the rest
+red, shifted by ``offset``.  A vehicle arriving during red waits out the
+remaining red time; during green it passes unimpeded (queue delays are
+modelled separately in :mod:`repro.drivecycle.traffic`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+
+__all__ = ["TrafficSignal"]
+
+
+@dataclass(frozen=True)
+class TrafficSignal:
+    """A fixed-time traffic signal.
+
+    Attributes
+    ----------
+    cycle_length:
+        Full signal cycle in seconds (typical urban values: 60-120 s).
+    green_fraction:
+        Fraction of the cycle that is green for our approach, in (0, 1).
+    offset:
+        Phase offset in seconds (coordination between intersections).
+    """
+
+    cycle_length: float = 90.0
+    green_fraction: float = 0.5
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.cycle_length) or self.cycle_length <= 0.0:
+            raise InvalidParameterError(
+                f"cycle_length must be > 0, got {self.cycle_length!r}"
+            )
+        if not 0.0 < self.green_fraction < 1.0:
+            raise InvalidParameterError(
+                f"green_fraction must lie in (0, 1), got {self.green_fraction!r}"
+            )
+        if not np.isfinite(self.offset):
+            raise InvalidParameterError(f"offset must be finite, got {self.offset!r}")
+
+    @property
+    def green_time(self) -> float:
+        return self.cycle_length * self.green_fraction
+
+    @property
+    def red_time(self) -> float:
+        return self.cycle_length - self.green_time
+
+    def phase_at(self, time: float) -> float:
+        """Position within the cycle at ``time`` (0 = start of green)."""
+        return (time - self.offset) % self.cycle_length
+
+    def is_green(self, time: float) -> bool:
+        """True when the signal shows green at ``time``."""
+        return self.phase_at(time) < self.green_time
+
+    def wait_time(self, arrival_time: float) -> float:
+        """Seconds a vehicle arriving at ``arrival_time`` must wait.
+
+        Zero during green; the remaining red time during red.
+        """
+        phase = self.phase_at(arrival_time)
+        if phase < self.green_time:
+            return 0.0
+        return self.cycle_length - phase
+
+    def expected_wait(self) -> float:
+        """Mean wait over a uniformly random arrival: ``red² / (2 cycle)``."""
+        return self.red_time**2 / (2.0 * self.cycle_length)

@@ -1,0 +1,234 @@
+"""Drive-cycle generation: trips over a road network to speed profiles.
+
+:class:`DriveCycleSimulator` turns (network, congestion, driver) into
+second-resolution speed traces, then into full
+:class:`~repro.traces.events.DrivingTrace` records via the same stop
+extraction used on measured data — so the synthetic pipeline exercises
+the identical code path a real NREL-style dataset would.
+
+Kinematics are trapezoidal: accelerate at the driver's comfortable rate,
+cruise at the congestion-adjusted speed, brake to a stop at nodes that
+demand one (red signals, errands) and roll through green signals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..traces.events import SECONDS_PER_DAY, DrivingTrace, Trip
+from ..traces.speed import SpeedTrace, extract_stops
+from .driver import DriverProfile
+from .road import RoadNetwork
+from .traffic import CongestionModel
+
+__all__ = ["DriveCycleSimulator", "TripResult"]
+
+
+def _segment_speeds(
+    cruise_speed: float,
+    length: float,
+    acceleration: float,
+    deceleration: float,
+    stop_at_end: bool,
+    entry_speed: float,
+) -> tuple[list[float], float]:
+    """Per-second speed samples for one road segment.
+
+    Returns the samples and the exit speed.  The profile accelerates from
+    ``entry_speed`` toward ``cruise_speed``, cruises, and brakes to zero
+    at the end when ``stop_at_end``; distances are integrated per sample
+    so total distance approximates ``length``.
+    """
+    speeds: list[float] = []
+    distance = 0.0
+    speed = entry_speed
+    # Distance needed to brake from cruise speed.
+    while distance < length:
+        remaining = length - distance
+        braking_distance = speed * speed / (2.0 * deceleration) if stop_at_end else 0.0
+        if stop_at_end and remaining <= braking_distance + speed:
+            speed = max(0.0, speed - deceleration)
+        elif speed < cruise_speed:
+            speed = min(cruise_speed, speed + acceleration)
+        elif speed > cruise_speed:
+            speed = max(cruise_speed, speed - deceleration)
+        speeds.append(speed)
+        distance += speed
+        if speed <= 0.0:
+            break
+        if len(speeds) > 100000:  # pragma: no cover - guard against hangs
+            raise SimulationError("segment kinematics failed to terminate")
+    if stop_at_end:
+        # Finish braking even if the distance budget ran out mid-brake
+        # (a small positional overshoot is irrelevant at this fidelity;
+        # ending at rest is what the stop extraction needs).
+        while speed > 0.0:
+            speed = max(0.0, speed - deceleration)
+            speeds.append(speed)
+    exit_speed = 0.0 if stop_at_end else speed
+    return speeds, exit_speed
+
+
+@dataclass(frozen=True)
+class TripResult:
+    """One simulated trip: its speed profile and bookkeeping."""
+
+    speed_trace: SpeedTrace
+    route_nodes: tuple
+    signal_stops: int
+    errand_stops: int
+    wave_stops: int
+
+
+class DriveCycleSimulator:
+    """Generates speed traces and full driving records.
+
+    Parameters
+    ----------
+    network:
+        Road network to route over.
+    congestion:
+        Area congestion model.
+    driver:
+        Driver behaviour profile.
+    dt:
+        Sampling period of the generated speed traces (s).
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        congestion: CongestionModel | None = None,
+        driver: DriverProfile | None = None,
+        dt: float = 1.0,
+    ) -> None:
+        self.network = network
+        self.congestion = congestion if congestion is not None else CongestionModel()
+        self.driver = driver if driver is not None else DriverProfile()
+        if dt != 1.0:
+            raise SimulationError(
+                "the kinematic integrator is defined at 1 Hz; dt must be 1.0"
+            )
+        self.dt = dt
+
+    def simulate_trip(
+        self,
+        rng: np.random.Generator,
+        start_time: float = 0.0,
+        origin=None,
+        destination=None,
+    ) -> TripResult:
+        """Simulate one trip; endpoints default to a random pair."""
+        if origin is None or destination is None:
+            origin, destination = self.network.random_node_pair(rng)
+        route = self.network.route(origin, destination)
+        if len(route) < 2:
+            raise SimulationError("route must span at least one segment")
+        errand_node_index = None
+        if self.driver.wants_errand(rng) and len(route) > 2:
+            errand_node_index = int(rng.integers(1, len(route) - 1))
+        speeds: list[float] = []
+        signal_stops = errand_stops = wave_stops = 0
+        entry_speed = 0.0
+        clock = start_time
+        for hop, (u, v) in enumerate(zip(route, route[1:])):
+            data = self.network.edge_data(u, v)
+            cruise = self.congestion.effective_speed(data["speed_limit"])
+            # Mid-block stop-and-go wave?
+            wave = self.congestion.wave_stop(rng)
+            node_index = hop + 1
+            is_last = node_index == len(route) - 1
+            is_errand = node_index == errand_node_index
+            signal = self.network.signal_at(v)
+            arrival_estimate = clock + data["length"] / max(cruise, 0.1)
+            signal_wait = signal.wait_time(arrival_estimate) if signal else 0.0
+            dwell = 0.0
+            if signal_wait > 0.0:
+                dwell += signal_wait + self.congestion.queue_delay(rng)
+                signal_stops += 1
+            if is_errand:
+                dwell += self.driver.errand_duration(rng)
+                errand_stops += 1
+            stop_at_end = is_last or dwell > 0.0
+            if wave > 0.0:
+                # Split the segment around the wave stop.
+                half = data["length"] / 2.0
+                first, _ = _segment_speeds(
+                    cruise, half, self.driver.acceleration, self.driver.deceleration,
+                    stop_at_end=True, entry_speed=entry_speed,
+                )
+                speeds.extend(first)
+                speeds.extend([0.0] * max(1, int(round(wave))))
+                second, entry_speed = _segment_speeds(
+                    cruise, half, self.driver.acceleration, self.driver.deceleration,
+                    stop_at_end=stop_at_end, entry_speed=0.0,
+                )
+                speeds.extend(second)
+                wave_stops += 1
+            else:
+                samples, entry_speed = _segment_speeds(
+                    cruise, data["length"], self.driver.acceleration,
+                    self.driver.deceleration, stop_at_end=stop_at_end,
+                    entry_speed=entry_speed,
+                )
+                speeds.extend(samples)
+            if dwell > 0.0 and not is_last:
+                speeds.extend([0.0] * max(1, int(round(dwell))))
+                entry_speed = 0.0
+            clock = start_time + len(speeds) * self.dt
+        if not speeds:
+            raise SimulationError("trip produced no speed samples")
+        trace = SpeedTrace(start_time=start_time, dt=self.dt, speeds=np.asarray(speeds))
+        return TripResult(
+            speed_trace=trace,
+            route_nodes=tuple(route),
+            signal_stops=signal_stops,
+            errand_stops=errand_stops,
+            wave_stops=wave_stops,
+        )
+
+    def simulate_vehicle(
+        self,
+        vehicle_id: str,
+        days: int,
+        rng: np.random.Generator,
+        area: str | None = None,
+    ) -> DrivingTrace:
+        """Simulate ``days`` of driving and assemble a DrivingTrace.
+
+        Trips are scheduled sequentially within a 06:00-22:00 window each
+        day; stops come from :func:`~repro.traces.speed.extract_stops` on
+        the generated speed profiles — the same extraction measured data
+        goes through.
+        """
+        if days <= 0:
+            raise SimulationError(f"days must be >= 1, got {days}")
+        trips: list[Trip] = []
+        for day in range(days):
+            day_base = day * SECONDS_PER_DAY
+            cursor = day_base + 6 * 3600.0
+            day_end = day_base + 22 * 3600.0
+            for _ in range(self.driver.daily_trip_count(rng)):
+                cursor += float(rng.exponential(1800.0))  # gap between trips
+                if cursor >= day_end:
+                    break
+                result = self.simulate_trip(rng, start_time=cursor)
+                trace = result.speed_trace
+                stops = extract_stops(trace)
+                trips.append(
+                    Trip(
+                        start_time=trace.start_time,
+                        duration=trace.duration,
+                        stops=tuple(stops),
+                    )
+                )
+                cursor = trace.start_time + trace.duration
+        return DrivingTrace(
+            vehicle_id=vehicle_id,
+            trips=tuple(trips),
+            recording_days=float(days),
+            area=area,
+        )

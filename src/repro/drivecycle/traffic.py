@@ -1,0 +1,79 @@
+"""Congestion model: how traffic load stretches travel and dwell times.
+
+A single ``level`` in [0, 1] captures area-wide congestion:
+
+* cruise speeds drop linearly with level (down to 30% of free flow);
+* signalized stops gain a queue-discharge delay (vehicles ahead must
+  clear) drawn from an exponential whose mean grows with level;
+* mid-block congestion stops (stop-and-go waves) occur per segment with a
+  probability and duration that grow with level.
+
+The model is deliberately low-order: the competitive analysis only ever
+sees the resulting stop-length sample, and the paper's Figures 5-6 sweep
+"traffic conditions" exactly this way (same shape, scaled mean).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+
+__all__ = ["CongestionModel"]
+
+
+@dataclass(frozen=True)
+class CongestionModel:
+    """Area congestion with a single severity knob.
+
+    Attributes
+    ----------
+    level:
+        Congestion severity in [0, 1]: 0 = free flow, 1 = gridlock-ish.
+    queue_delay_scale:
+        Mean queue-discharge delay (s) at a red signal when level = 1.
+    wave_probability_scale:
+        Per-segment probability of a stop-and-go wave when level = 1.
+    wave_duration_mean:
+        Mean duration (s) of a stop-and-go wave stop.
+    """
+
+    level: float = 0.3
+    queue_delay_scale: float = 45.0
+    wave_probability_scale: float = 0.25
+    wave_duration_mean: float = 20.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.level <= 1.0:
+            raise InvalidParameterError(f"level must lie in [0, 1], got {self.level!r}")
+        for name in ("queue_delay_scale", "wave_probability_scale", "wave_duration_mean"):
+            value = getattr(self, name)
+            if not np.isfinite(value) or value < 0.0:
+                raise InvalidParameterError(f"{name} must be >= 0, got {value!r}")
+        if self.wave_probability_scale > 1.0:
+            raise InvalidParameterError(
+                f"wave_probability_scale must be <= 1, got {self.wave_probability_scale!r}"
+            )
+
+    def effective_speed(self, speed_limit: float) -> float:
+        """Cruise speed under congestion: linear drop to 30% of free flow."""
+        if speed_limit <= 0.0:
+            raise InvalidParameterError(f"speed_limit must be > 0, got {speed_limit!r}")
+        return speed_limit * (1.0 - 0.7 * self.level)
+
+    def queue_delay(self, rng: np.random.Generator) -> float:
+        """Extra dwell at a red signal while the queue ahead discharges."""
+        mean = self.queue_delay_scale * self.level
+        if mean <= 0.0:
+            return 0.0
+        return float(rng.exponential(mean))
+
+    def wave_stop(self, rng: np.random.Generator) -> float:
+        """Duration of a mid-block stop-and-go stop on one segment, or 0.0
+        when no wave hits this segment."""
+        probability = self.wave_probability_scale * self.level
+        if probability <= 0.0 or rng.uniform() >= probability:
+            return 0.0
+        return float(rng.exponential(self.wave_duration_mean))

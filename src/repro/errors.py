@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro library.
+
+Every exception raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing genuine programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A parameter is outside its mathematically valid domain.
+
+    Examples: a negative break-even interval, a probability outside
+    ``[0, 1]``, or statistics that no stop-length distribution can satisfy
+    (``mu_B_minus > (1 - q_B_plus) * B``).
+    """
+
+
+class InvalidDistributionError(ReproError, ValueError):
+    """A probability distribution is malformed (negative mass, pdf that
+    does not integrate to one, unsorted support, ...)."""
+
+
+class TraceFormatError(ReproError, ValueError):
+    """A driving trace or trace file violates the expected format."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The drive-cycle or stop-start simulation reached an invalid state."""
+
+
+class SolverError(ReproError, RuntimeError):
+    """The LP or optimization cross-check failed to converge or disagreed
+    with the analytic solution beyond tolerance."""

@@ -1,0 +1,56 @@
+"""Competitive-analysis harness: fleet evaluation, traffic sweeps and
+Monte-Carlo estimators."""
+
+from .competitive import (
+    STRATEGY_NAMES,
+    FleetEvaluation,
+    VehicleEvaluation,
+    build_strategies,
+    evaluate_fleet,
+    evaluate_vehicle,
+)
+from .holdout import (
+    HoldoutComparison,
+    compare_in_vs_out_of_sample,
+    holdout_evaluate_fleet,
+    holdout_evaluate_vehicle,
+)
+from .montecarlo import MonteCarloCR, bootstrap_cr_interval, monte_carlo_cr
+from .significance import (
+    MeanDifference,
+    compare_strategies,
+    paired_bootstrap_mean_difference,
+    win_rate_interval,
+)
+from .sweep import SweepResult, sweep_analytic, sweep_simulated
+from .pareto import ParetoPoint, pareto_frontier, vehicle_pareto_report
+from .variance import CostMoments, risk_report, weekly_cost_moments
+
+__all__ = [
+    "STRATEGY_NAMES",
+    "build_strategies",
+    "VehicleEvaluation",
+    "FleetEvaluation",
+    "evaluate_vehicle",
+    "evaluate_fleet",
+    "SweepResult",
+    "sweep_simulated",
+    "sweep_analytic",
+    "MonteCarloCR",
+    "monte_carlo_cr",
+    "bootstrap_cr_interval",
+    "MeanDifference",
+    "paired_bootstrap_mean_difference",
+    "win_rate_interval",
+    "compare_strategies",
+    "HoldoutComparison",
+    "holdout_evaluate_vehicle",
+    "holdout_evaluate_fleet",
+    "compare_in_vs_out_of_sample",
+    "CostMoments",
+    "weekly_cost_moments",
+    "risk_report",
+    "ParetoPoint",
+    "pareto_frontier",
+    "vehicle_pareto_report",
+]

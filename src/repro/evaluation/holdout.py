@@ -1,0 +1,122 @@
+"""Out-of-sample fleet evaluation.
+
+Figure 4 evaluates every strategy on the *same* stops its statistics were
+estimated from — in-sample, slightly optimistic for the statistics-using
+strategies (Proposed, MOM-Rand).  This module adds the honest protocol:
+
+* split each vehicle's week chronologically into a training prefix and a
+  test suffix;
+* estimate statistics / build strategies on the prefix only;
+* report CRs on the suffix.
+
+The gap between in-sample and out-of-sample results measures how much of
+the paper's Figure 4 advantage is real generalization versus estimation
+optimism (on the synthetic fleets: nearly all of it is real — see
+``benchmarks/bench_holdout.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.analysis import empirical_cr
+from ..errors import InvalidParameterError
+from ..fleet.generator import VehicleRecord
+from .competitive import STRATEGY_NAMES, FleetEvaluation, VehicleEvaluation, build_strategies
+
+__all__ = ["holdout_evaluate_vehicle", "holdout_evaluate_fleet", "HoldoutComparison", "compare_in_vs_out_of_sample"]
+
+
+def holdout_evaluate_vehicle(
+    vehicle: VehicleRecord,
+    break_even: float,
+    train_fraction: float = 0.5,
+) -> VehicleEvaluation:
+    """Train strategies on the chronological prefix, evaluate the suffix.
+
+    Vehicles whose split would leave an empty side are evaluated on the
+    whole sample for both phases (falling back to the in-sample protocol
+    rather than dropping the vehicle).
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise InvalidParameterError(
+            f"train_fraction must lie in (0, 1), got {train_fraction!r}"
+        )
+    stops = vehicle.stop_lengths
+    split = int(round(stops.size * train_fraction))
+    if split == 0 or split == stops.size:
+        training = test = stops
+    else:
+        training, test = stops[:split], stops[split:]
+    if float(np.minimum(test, break_even).sum()) <= 0.0:
+        test = stops  # degenerate suffix: all zero-length
+    strategies = build_strategies(training, break_even)
+    crs = {
+        name: empirical_cr(strategy, test, break_even)
+        for name, strategy in strategies.items()
+    }
+    proposed = strategies["Proposed"]
+    return VehicleEvaluation(
+        vehicle_id=vehicle.vehicle_id,
+        area=vehicle.area,
+        stats=proposed.stats,
+        crs=crs,
+        selected_vertex=proposed.selected_name,
+    )
+
+
+def holdout_evaluate_fleet(
+    vehicles: Sequence[VehicleRecord] | Iterable[VehicleRecord],
+    break_even: float,
+    train_fraction: float = 0.5,
+) -> FleetEvaluation:
+    """Out-of-sample evaluation over a fleet."""
+    evaluations = [
+        holdout_evaluate_vehicle(vehicle, break_even, train_fraction)
+        for vehicle in vehicles
+    ]
+    return FleetEvaluation(evaluations=evaluations)
+
+
+@dataclass(frozen=True)
+class HoldoutComparison:
+    """In-sample vs out-of-sample summary for one fleet and strategy."""
+
+    strategy: str
+    in_sample_mean_cr: float
+    out_of_sample_mean_cr: float
+    in_sample_wins: int
+    out_of_sample_wins: int
+
+    @property
+    def optimism(self) -> float:
+        """Out-of-sample minus in-sample mean CR (>= 0 means the
+        in-sample number was optimistic)."""
+        return self.out_of_sample_mean_cr - self.in_sample_mean_cr
+
+
+def compare_in_vs_out_of_sample(
+    vehicles: Sequence[VehicleRecord],
+    break_even: float,
+    train_fraction: float = 0.5,
+) -> list[HoldoutComparison]:
+    """Run both protocols and summarize per strategy."""
+    from .competitive import evaluate_fleet
+
+    in_sample = evaluate_fleet(vehicles, break_even)
+    out_of_sample = holdout_evaluate_fleet(vehicles, break_even, train_fraction)
+    in_wins = in_sample.win_counts()
+    out_wins = out_of_sample.win_counts()
+    return [
+        HoldoutComparison(
+            strategy=name,
+            in_sample_mean_cr=in_sample.mean_cr(name),
+            out_of_sample_mean_cr=out_of_sample.mean_cr(name),
+            in_sample_wins=in_wins[name],
+            out_of_sample_wins=out_wins[name],
+        )
+        for name in STRATEGY_NAMES
+    ]

@@ -1,0 +1,99 @@
+"""Monte-Carlo estimators for competitive ratios.
+
+The analysis layer computes CRs exactly (per-stop expected costs).  These
+estimators provide the *realized* counterparts — actual threshold draws,
+actual restarts — plus bootstrap uncertainty over the stop sample.  They
+back the integration tests (exact vs realized agreement) and the example
+scripts that show sampling noise to users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.analysis import empirical_offline_cost
+from ..core.strategy import Strategy
+from ..errors import InvalidParameterError
+from ..simulation.engine_sim import simulate_stops
+
+__all__ = ["MonteCarloCR", "monte_carlo_cr", "bootstrap_cr_interval"]
+
+
+@dataclass(frozen=True)
+class MonteCarloCR:
+    """Realized-CR estimate over repeated strategy randomizations."""
+
+    mean: float
+    std: float
+    repetitions: int
+    samples: np.ndarray
+
+
+def monte_carlo_cr(
+    strategy: Strategy,
+    stop_lengths: np.ndarray,
+    repetitions: int,
+    rng: np.random.Generator,
+) -> MonteCarloCR:
+    """Realized CR over ``repetitions`` independent randomizations of the
+    strategy on a fixed stop sample.
+
+    For deterministic strategies every repetition is identical and the
+    std is zero; for randomized strategies the spread shows how much an
+    actual vehicle's weekly cost varies around the expected CR.
+    """
+    if repetitions <= 0:
+        raise InvalidParameterError(f"repetitions must be >= 1, got {repetitions}")
+    y = np.asarray(stop_lengths, dtype=float)
+    offline = empirical_offline_cost(y, strategy.break_even) * y.size
+    if offline <= 0.0:
+        raise InvalidParameterError("offline cost is zero over the sample; CR undefined")
+    ratios = np.empty(repetitions)
+    for index in range(repetitions):
+        online = simulate_stops(y, strategy=strategy, rng=rng)
+        ratios[index] = online.total_cost_seconds / offline
+    return MonteCarloCR(
+        mean=float(ratios.mean()),
+        std=float(ratios.std(ddof=1)) if repetitions > 1 else 0.0,
+        repetitions=repetitions,
+        samples=ratios,
+    )
+
+
+def bootstrap_cr_interval(
+    strategy: Strategy,
+    stop_lengths: np.ndarray,
+    rng: np.random.Generator,
+    n_bootstrap: int = 200,
+    confidence: float = 0.95,
+) -> tuple[float, float]:
+    """Bootstrap confidence interval of the *expected* CR over the stop
+    sample (resampling stops with replacement).
+
+    Captures how sensitive a vehicle's CR is to which week was recorded.
+    """
+    if n_bootstrap <= 1:
+        raise InvalidParameterError(f"n_bootstrap must be >= 2, got {n_bootstrap}")
+    if not 0.0 < confidence < 1.0:
+        raise InvalidParameterError(f"confidence must lie in (0, 1), got {confidence!r}")
+    y = np.asarray(stop_lengths, dtype=float)
+    if y.size == 0:
+        raise InvalidParameterError("cannot bootstrap zero stops")
+    b = strategy.break_even
+    ratios = []
+    for _ in range(n_bootstrap):
+        resampled = rng.choice(y, size=y.size, replace=True)
+        offline = float(np.minimum(resampled, b).sum())
+        if offline <= 0.0:
+            continue
+        online = float(strategy.expected_cost_vec(resampled).sum())
+        ratios.append(online / offline)
+    if not ratios:
+        raise InvalidParameterError("all bootstrap resamples had zero offline cost")
+    tail = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(ratios, tail)),
+        float(np.quantile(ratios, 1.0 - tail)),
+    )

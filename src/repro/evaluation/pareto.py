@@ -1,0 +1,58 @@
+"""Mean-variance Pareto analysis of strategy choices.
+
+For one vehicle, each strategy is a point in (expected weekly cost,
+weekly cost standard deviation) space.  The CR metric ranks only the
+first axis; a risk-averse owner cares about both.  This module computes
+the Pareto-efficient subset — typically the deterministic vertices plus,
+when randomization genuinely lowers the mean, a randomized point whose
+extra variance is the price of that mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .variance import CostMoments, risk_report
+
+__all__ = ["ParetoPoint", "pareto_frontier", "vehicle_pareto_report"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One strategy's position in mean/std space."""
+
+    strategy: str
+    mean: float
+    std: float
+    efficient: bool
+
+
+def pareto_frontier(moments: dict[str, CostMoments]) -> list[ParetoPoint]:
+    """Mark the Pareto-efficient strategies (no other strategy has both
+    a lower-or-equal mean and a lower-or-equal std, with one strict).
+
+    Returns all points, sorted by mean, with the ``efficient`` flag set.
+    """
+    if not moments:
+        raise InvalidParameterError("need at least one strategy's moments")
+    points = []
+    for name, m in moments.items():
+        dominated = any(
+            (other.mean <= m.mean and other.std <= m.std)
+            and (other.mean < m.mean or other.std < m.std)
+            for other_name, other in moments.items()
+            if other_name != name
+        )
+        points.append(
+            ParetoPoint(strategy=name, mean=m.mean, std=m.std, efficient=not dominated)
+        )
+    return sorted(points, key=lambda p: (p.mean, p.std))
+
+
+def vehicle_pareto_report(stop_lengths: np.ndarray, break_even: float) -> list[ParetoPoint]:
+    """The full mean/std frontier for one vehicle's stops across the
+    standard strategy set."""
+    return pareto_frontier(risk_report(stop_lengths, break_even))

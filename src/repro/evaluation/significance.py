@@ -1,0 +1,134 @@
+"""Statistical significance for fleet comparisons.
+
+Figure 4's claims ("our algorithm achieves the best average CR in 1169
+of 1182 vehicles", "the mean CR ... lowest among all strategies") are
+point estimates over a finite fleet.  This module quantifies their
+uncertainty:
+
+* :func:`paired_bootstrap_mean_difference` — bootstrap CI of the
+  *paired* per-vehicle CR difference between two strategies (pairing
+  removes between-vehicle variance, exactly as the paper's per-vehicle
+  comparison does);
+* :func:`win_rate_interval` — Wilson score interval for the fraction of
+  vehicles a strategy wins;
+* :func:`compare_strategies` — the full pairwise report for a
+  :class:`~repro.evaluation.competitive.FleetEvaluation`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .competitive import STRATEGY_NAMES, FleetEvaluation
+
+__all__ = [
+    "MeanDifference",
+    "paired_bootstrap_mean_difference",
+    "win_rate_interval",
+    "compare_strategies",
+]
+
+
+@dataclass(frozen=True)
+class MeanDifference:
+    """Paired mean CR difference (other - reference) with a bootstrap CI."""
+
+    reference: str
+    other: str
+    mean_difference: float
+    ci_low: float
+    ci_high: float
+    significant: bool
+
+
+def paired_bootstrap_mean_difference(
+    reference_crs: np.ndarray,
+    other_crs: np.ndarray,
+    rng: np.random.Generator,
+    n_bootstrap: int = 2000,
+    confidence: float = 0.95,
+) -> tuple[float, float, float]:
+    """Mean of (other - reference) with a percentile bootstrap CI.
+
+    Positive values mean the reference strategy is better (lower CR).
+    """
+    a = np.asarray(reference_crs, dtype=float)
+    b = np.asarray(other_crs, dtype=float)
+    if a.shape != b.shape or a.size == 0:
+        raise InvalidParameterError("CR arrays must be matching and non-empty")
+    if n_bootstrap < 100:
+        raise InvalidParameterError(f"n_bootstrap must be >= 100, got {n_bootstrap}")
+    if not 0.0 < confidence < 1.0:
+        raise InvalidParameterError(f"confidence must lie in (0, 1), got {confidence!r}")
+    differences = b - a
+    point = float(differences.mean())
+    indices = rng.integers(0, a.size, size=(n_bootstrap, a.size))
+    resampled = differences[indices].mean(axis=1)
+    tail = (1.0 - confidence) / 2.0
+    return point, float(np.quantile(resampled, tail)), float(
+        np.quantile(resampled, 1.0 - tail)
+    )
+
+
+def win_rate_interval(
+    wins: int, total: int, confidence: float = 0.95
+) -> tuple[float, float, float]:
+    """Wilson score interval for a win fraction."""
+    if total <= 0 or wins < 0 or wins > total:
+        raise InvalidParameterError(f"invalid win counts: {wins}/{total}")
+    if not 0.0 < confidence < 1.0:
+        raise InvalidParameterError(f"confidence must lie in (0, 1), got {confidence!r}")
+    # Normal quantile via the inverse error function.
+    from scipy import stats as sps
+
+    z = float(sps.norm.ppf(1.0 - (1.0 - confidence) / 2.0))
+    p = wins / total
+    denominator = 1.0 + z * z / total
+    center = (p + z * z / (2 * total)) / denominator
+    half_width = (
+        z * math.sqrt(p * (1 - p) / total + z * z / (4 * total * total)) / denominator
+    )
+    return p, max(0.0, center - half_width), min(1.0, center + half_width)
+
+
+def compare_strategies(
+    evaluation: FleetEvaluation,
+    reference: str = "Proposed",
+    rng: np.random.Generator | None = None,
+    n_bootstrap: int = 2000,
+    confidence: float = 0.95,
+) -> list[MeanDifference]:
+    """Pairwise paired-bootstrap comparison of every strategy against the
+    reference.  A difference is ``significant`` when its CI excludes 0.
+    """
+    if reference not in STRATEGY_NAMES:
+        raise InvalidParameterError(f"unknown reference strategy {reference!r}")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    reference_crs = evaluation.crs_of(reference)
+    results = []
+    for name in STRATEGY_NAMES:
+        if name == reference:
+            continue
+        point, low, high = paired_bootstrap_mean_difference(
+            reference_crs,
+            evaluation.crs_of(name),
+            rng,
+            n_bootstrap=n_bootstrap,
+            confidence=confidence,
+        )
+        results.append(
+            MeanDifference(
+                reference=reference,
+                other=name,
+                mean_difference=point,
+                ci_low=low,
+                ci_high=high,
+                significant=bool(low > 0.0 or high < 0.0),
+            )
+        )
+    return results

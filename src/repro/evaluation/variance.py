@@ -1,0 +1,66 @@
+"""Cost-variance analysis: the risk side of randomized strategies.
+
+Competitive analysis compares *expected* costs; a driver experiences one
+realization.  Randomized strategies (N-Rand, MOM-Rand, b-Rand) trade a
+better worst-case expectation for week-to-week variance — every stop is
+a fresh lottery over thresholds — while the deterministic vertices (TOI,
+DET, b-DET) cost exactly their expectation.  This module quantifies the
+trade:
+
+* :func:`weekly_cost_moments` — mean and standard deviation of the total
+  cost of a stop sequence under independent per-stop randomization;
+* :func:`risk_report` — the mean/std table across the standard strategy
+  set for one vehicle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.strategy import Strategy
+from ..errors import InvalidParameterError
+from .competitive import build_strategies
+
+__all__ = ["CostMoments", "weekly_cost_moments", "risk_report"]
+
+
+@dataclass(frozen=True)
+class CostMoments:
+    """Mean and standard deviation of a stop sequence's total cost."""
+
+    mean: float
+    std: float
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        if self.mean <= 0.0:
+            return 0.0
+        return self.std / self.mean
+
+
+def weekly_cost_moments(strategy: Strategy, stop_lengths: np.ndarray) -> CostMoments:
+    """Exact mean/std of the total cost over a stop sequence.
+
+    Thresholds are drawn independently per stop, so the total's variance
+    is the sum of per-stop variances.
+    """
+    y = np.asarray(stop_lengths, dtype=float)
+    if y.size == 0:
+        raise InvalidParameterError("cannot analyse zero stops")
+    mean = float(strategy.expected_cost_vec(y).sum())
+    variance = float(sum(strategy.cost_variance(float(v)) for v in y))
+    return CostMoments(mean=mean, std=math.sqrt(variance))
+
+
+def risk_report(stop_lengths: np.ndarray, break_even: float) -> dict[str, CostMoments]:
+    """Mean/std of the weekly cost for each standard strategy on one
+    vehicle's stops (NEV included — zero variance, unbounded mean risk of
+    a different kind)."""
+    strategies = build_strategies(np.asarray(stop_lengths, dtype=float), break_even)
+    return {
+        name: weekly_cost_moments(strategy, stop_lengths)
+        for name, strategy in strategies.items()
+    }

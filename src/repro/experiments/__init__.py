@@ -1,0 +1,55 @@
+"""One module per paper artifact, plus the experiment registry.
+
+Every experiment exposes ``run(**params) -> ExperimentResult``; the
+registry maps experiment ids (``fig1`` ... ``fig6``, ``table1``,
+``appc``) to those callables for the CLI and the benchmarks.
+"""
+
+from . import (
+    appendix_c,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    holdout_fig4,
+    improved,
+    seeds,
+    sweeps,
+    table1,
+)
+from .report import ExperimentResult, Table, format_table
+
+__all__ = [
+    "ExperimentResult",
+    "Table",
+    "format_table",
+    "EXPERIMENTS",
+    "run_experiment",
+]
+
+#: Registry: experiment id -> run callable.
+EXPERIMENTS = {
+    "fig1": fig1.run,
+    "fig2": fig2.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "fig5": sweeps.run_fig5,
+    "fig6": sweeps.run_fig6,
+    "table1": table1.run,
+    "appc": appendix_c.run,
+    # not paper artifacts: the reproduction's own studies
+    "improved": improved.run,
+    "holdout": holdout_fig4.run,
+    "seeds": seeds.run,
+}
+
+
+def run_experiment(experiment_id: str, **params) -> ExperimentResult:
+    """Run one experiment by id (see :data:`EXPERIMENTS`)."""
+    if experiment_id not in EXPERIMENTS:
+        from ..errors import InvalidParameterError
+
+        raise InvalidParameterError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[experiment_id](**params)

@@ -1,0 +1,82 @@
+"""Appendix C: derivation of the break-even interval B.
+
+Rebuilds the component table — idling cost per second, restart fuel,
+starter wear, battery wear, emissions — for the SSV and conventional
+presets and checks the rollup against the paper's headline estimates
+(B = 28 s for SSV, 47 s for conventional vehicles).
+"""
+
+from __future__ import annotations
+
+from ..constants import B_CONVENTIONAL, B_SSV
+from ..vehicle import (
+    ARGONNE_MEASUREMENTS,
+    conventional_cost_model,
+    ssv_cost_model,
+)
+from .report import ExperimentResult, Table
+
+__all__ = ["run"]
+
+
+def run() -> ExperimentResult:
+    """Reproduce the Appendix C derivation."""
+    models = {
+        "SSV": (ssv_cost_model(), B_SSV),
+        "conventional": (conventional_cost_model(), B_CONVENTIONAL),
+    }
+    component_rows = []
+    summary_rows = []
+    for name, (model, paper_b) in models.items():
+        breakdown = model.breakdown()
+        for component, seconds in breakdown.as_rows():
+            component_rows.append((name, component, round(seconds, 2)))
+        summary_rows.append(
+            (
+                name,
+                round(breakdown.idling_cost_cents_per_s, 5),
+                round(breakdown.total_seconds, 2),
+                paper_b,
+                round(model.restart_cost_cents(), 4),
+            )
+        )
+    emission_rows = [
+        (
+            species,
+            round(ARGONNE_MEASUREMENTS.restart_equivalent_idle_seconds(species), 1),
+        )
+        for species in ("thc", "nox", "co")
+    ]
+    return ExperimentResult(
+        experiment_id="appc",
+        title="Appendix C: break-even interval derivation",
+        tables=[
+            Table(
+                name="components",
+                headers=("vehicle", "component", "equivalent_idling_seconds"),
+                rows=component_rows,
+            ),
+            Table(
+                name="summary",
+                headers=(
+                    "vehicle",
+                    "idling_cost_cents_per_s",
+                    "computed_B_s",
+                    "paper_B_s",
+                    "restart_cost_cents",
+                ),
+                rows=summary_rows,
+            ),
+            Table(
+                name="emission equivalents",
+                headers=("species", "restart_equals_idling_seconds"),
+                rows=emission_rows,
+            ),
+        ],
+        notes=[
+            "idling cost 0.0258 cents/s matches the paper's Eq. 46 number "
+            "(0.279 cc/s at $3.5/gallon)",
+            "the paper floors the component sums (28.96 -> 28, 48.34 -> 47); "
+            "the conventional gap also reflects rounding in its starter bound",
+        ],
+    )

@@ -1,0 +1,84 @@
+"""Figure 2: projected views of the worst-case CR.
+
+Four 1-D slices of the Figure 1(b) surface, each showing the worst-case
+CR of N-Rand, DET, TOI and b-DET plus the proposed lower envelope:
+
+* (a) constant ``q_B_plus = 0.1`` (sweep ``mu_B_minus``);
+* (b) constant ``q_B_plus = 0.4``;
+* (c) constant ``mu_B_minus = 0.02 B`` (sweep ``q_B_plus``) — the paper's
+  explicit b-DET showcase;
+* (d) constant ``mu_B_minus = 0.05 B``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.regions import cr_slice
+from .report import ExperimentResult, Table
+
+__all__ = ["run", "SLICES"]
+
+#: (panel, fixed axis, value) — (c) and (d) are the paper's stated values.
+SLICES = (
+    ("a", "q_b_plus", 0.1),
+    ("b", "q_b_plus", 0.4),
+    ("c", "normalized_mu", 0.02),
+    ("d", "normalized_mu", 0.05),
+)
+
+
+def _slice_table(panel: str, axis_name: str, value: float, points: int) -> Table:
+    if axis_name == "q_b_plus":
+        series = cr_slice(fixed_q_b_plus=value, points=points)
+    else:
+        series = cr_slice(fixed_normalized_mu=value, points=points)
+    rows = []
+    for index in range(series["axis"].size):
+        rows.append(
+            (
+                round(float(series["axis"][index]), 6),
+                *(
+                    round(float(series[name][index]), 6)
+                    if np.isfinite(series[name][index])
+                    else ""
+                    for name in ("TOI", "DET", "b-DET", "N-Rand", "Proposed")
+                ),
+            )
+        )
+    return Table(
+        name=f"panel {panel} ({axis_name}={value})",
+        headers=(series["axis_name"], "TOI", "DET", "b-DET", "N-Rand", "Proposed"),
+        rows=rows,
+    )
+
+
+def run(points: int = 120) -> ExperimentResult:
+    """Reproduce the four Figure 2 panels."""
+    tables = [
+        _slice_table(panel, axis, value, points) for panel, axis, value in SLICES
+    ]
+    # Headline check of the figure: the proposed curve is the lower
+    # envelope everywhere, and panels (c)-(d) contain a strict b-DET win.
+    notes = []
+    for table, (panel, axis, value) in zip(tables, SLICES):
+        data = np.array(
+            [[cell if cell != "" else np.nan for cell in row[1:]] for row in table.rows],
+            dtype=float,
+        )
+        envelope_ok = np.allclose(
+            data[:, 4], np.nanmin(data[:, :4], axis=1), equal_nan=True
+        )
+        bdet_strict = np.nansum(
+            data[:, 2] < np.nanmin(data[:, [0, 1, 3]], axis=1) - 1e-9
+        )
+        notes.append(
+            f"panel {panel}: proposed == lower envelope: {envelope_ok}; "
+            f"points where b-DET strictly wins: {int(bdet_strict)}"
+        )
+    return ExperimentResult(
+        experiment_id="fig2",
+        title="Projected views of worst-case CR (slices of Figure 1b)",
+        tables=tables,
+        notes=notes,
+    )

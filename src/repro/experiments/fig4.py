@@ -1,0 +1,122 @@
+"""Figure 4: per-vehicle CR comparison across strategies and areas.
+
+Top row of the paper's figure: SSV (``B = 28 s``); bottom row:
+conventional vehicles (``B = 47 s``).  Per area and per ``B`` we report
+each strategy's worst-case CR (largest over vehicles) and average CR,
+plus the win counts the paper quotes in the text:
+
+* B=28: proposed best on 1169 / 1182 vehicles; mean CR 1.11 / 1.32 / 1.10
+  (California / Chicago / Atlanta);
+* B=47: best on 977 / 1182; mean CR 1.35 / 1.42 / 1.35.
+"""
+
+from __future__ import annotations
+
+from ..constants import B_CONVENTIONAL, B_SSV
+from ..evaluation import STRATEGY_NAMES, evaluate_fleet
+from ..fleet import DEFAULT_SEED, load_fleets, total_vehicle_count
+from .report import ExperimentResult, Table
+
+__all__ = ["run", "PAPER_MEAN_CR"]
+
+#: The paper's reported mean CRs for the proposed strategy, per area.
+PAPER_MEAN_CR = {
+    B_SSV: {"california": 1.11, "chicago": 1.32, "atlanta": 1.10},
+    B_CONVENTIONAL: {"california": 1.35, "chicago": 1.42, "atlanta": 1.35},
+}
+
+#: The paper's win counts (vehicles where the proposed strategy is best).
+PAPER_WIN_COUNTS = {B_SSV: 1169, B_CONVENTIONAL: 977}
+
+
+def run(
+    vehicles_per_area: int | None = None,
+    seed: int = DEFAULT_SEED,
+    break_evens: tuple[float, ...] = (B_SSV, B_CONVENTIONAL),
+    with_significance: bool = True,
+) -> ExperimentResult:
+    """Reproduce Figure 4.
+
+    ``vehicles_per_area=None`` uses the full 217/312/653 fleets (the
+    paper's 1182 vehicles); pass a small number for a fast preview.
+    ``with_significance`` adds Wilson win-rate intervals and paired
+    bootstrap CR-difference CIs to the notes.
+    """
+    import numpy as np
+
+    from ..evaluation.significance import compare_strategies, win_rate_interval
+
+    fleets = load_fleets(seed=seed, vehicles_per_area=vehicles_per_area)
+    total = total_vehicle_count(fleets)
+    cr_rows = []
+    win_rows = []
+    notes = []
+    significance_rng = np.random.default_rng(seed)
+    for break_even in break_evens:
+        total_proposed_wins = 0
+        for area in sorted(fleets):
+            evaluation = evaluate_fleet(fleets[area], break_even)
+            if with_significance:
+                for diff in compare_strategies(
+                    evaluation, rng=significance_rng, n_bootstrap=500
+                ):
+                    if diff.other in {"DET", "N-Rand"}:
+                        notes.append(
+                            f"B={break_even:g} {area}: mean CR({diff.other}) - "
+                            f"mean CR(Proposed) = {diff.mean_difference:+.3f} "
+                            f"[{diff.ci_low:+.3f}, {diff.ci_high:+.3f}]"
+                            f"{' (significant)' if diff.significant else ''}"
+                        )
+            for name in STRATEGY_NAMES:
+                cr_rows.append(
+                    (
+                        break_even,
+                        area,
+                        name,
+                        round(evaluation.worst_cr(name), 4),
+                        round(evaluation.mean_cr(name), 4),
+                    )
+                )
+            wins = evaluation.win_counts()
+            total_proposed_wins += wins["Proposed"]
+            win_rows.append(
+                (
+                    break_even,
+                    area,
+                    evaluation.vehicle_count,
+                    *(wins[name] for name in STRATEGY_NAMES),
+                )
+            )
+            paper_mean = PAPER_MEAN_CR.get(break_even, {}).get(area)
+            if paper_mean is not None:
+                notes.append(
+                    f"B={break_even:g} {area}: proposed mean CR "
+                    f"{evaluation.mean_cr('Proposed'):.3f} (paper: {paper_mean})"
+                )
+        paper_wins = PAPER_WIN_COUNTS.get(break_even)
+        if paper_wins is not None:
+            suffix = ""
+            if with_significance:
+                _, low, high = win_rate_interval(total_proposed_wins, total)
+                suffix = f"; win-rate 95% CI [{low:.3f}, {high:.3f}]"
+            notes.append(
+                f"B={break_even:g}: proposed best on {total_proposed_wins}/{total} "
+                f"vehicles (paper: {paper_wins}/1182){suffix}"
+            )
+    return ExperimentResult(
+        experiment_id="fig4",
+        title="Individual vehicle test: worst/mean CR per strategy, area and B",
+        tables=[
+            Table(
+                name="cr",
+                headers=("break_even", "area", "strategy", "worst_cr", "mean_cr"),
+                rows=cr_rows,
+            ),
+            Table(
+                name="win counts",
+                headers=("break_even", "area", "vehicles", *STRATEGY_NAMES),
+                rows=win_rows,
+            ),
+        ],
+        notes=notes,
+    )

@@ -1,0 +1,32 @@
+"""NREL-like synthetic fleets (the paper's evaluation dataset substitute)."""
+
+from .areas import AREA_NAMES, AREAS, AreaConfig, area_config
+from .daily import (
+    DailyFleetGenerator,
+    DailyPattern,
+    TimedVehicleRecord,
+    default_daily_pattern,
+)
+from .generator import FleetGenerator, VehicleRecord
+from .io import load_fleet_dataset, save_fleet_dataset
+from .nrel import DEFAULT_SEED, load_area, load_fleets, pooled_stops, total_vehicle_count
+
+__all__ = [
+    "AreaConfig",
+    "AREAS",
+    "AREA_NAMES",
+    "area_config",
+    "FleetGenerator",
+    "VehicleRecord",
+    "load_area",
+    "load_fleets",
+    "pooled_stops",
+    "total_vehicle_count",
+    "DEFAULT_SEED",
+    "save_fleet_dataset",
+    "load_fleet_dataset",
+    "DailyPattern",
+    "DailyFleetGenerator",
+    "TimedVehicleRecord",
+    "default_daily_pattern",
+]

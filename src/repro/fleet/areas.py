@@ -1,0 +1,150 @@
+"""Per-area fleet configurations calibrated to the paper's description.
+
+The paper evaluates on NREL driving records from three areas; we cannot
+redistribute that data, so each area is described by:
+
+* the vehicle count used in the Figure 4 evaluation (California 217,
+  Chicago 312, Atlanta 653 — Section 5);
+* stops-per-day statistics matching Table 1 (note Table 1's vehicle
+  counts differ from Section 5's; we follow Section 5 for fleet sizes and
+  Table 1 for the stops/day moments);
+* a heavy-tailed stop-length mixture:
+
+  - a *signal* component (lognormal, tens of seconds — red lights),
+  - a *congestion* component (lognormal, around a minute — queues),
+  - an *errand/parking* tail (Pareto — the heavy tail that makes the KS
+    test reject exponentiality, Figure 3).
+
+The three areas share the mixture *shape* and differ mainly in scale and
+tail weight ("their shapes of the stop length distributions are quite
+similar" — Section 5).  Chicago is calibrated as the signal-dominated,
+short-stop area: its stops cluster near the break-even interval, which is
+the hardest regime for any online strategy and is why its mean CR in
+Figure 4 (1.32 for SSV) is visibly worse than California's and Atlanta's
+(1.11 / 1.10).  Chicago also records the most stops per day (Table 1),
+consistent with dense signalized urban driving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..distributions import LogNormal, MixtureDistribution, Pareto, StopLengthDistribution
+from ..errors import InvalidParameterError
+
+__all__ = ["AreaConfig", "AREAS", "area_config", "AREA_NAMES"]
+
+
+@dataclass(frozen=True)
+class AreaConfig:
+    """Configuration of one metropolitan area's synthetic fleet.
+
+    Attributes
+    ----------
+    name:
+        Area label.
+    vehicle_count:
+        Number of vehicles (Section 5 counts).
+    stops_per_day_mean, stops_per_day_std:
+        Table 1 moments of the per-vehicle stops/day statistic.
+    signal_mu, signal_sigma:
+        Lognormal parameters of the signal-stop component (seconds).
+    congestion_mu, congestion_sigma:
+        Lognormal parameters of the congestion-stop component.
+    tail_alpha, tail_scale:
+        Pareto parameters of the errand/parking tail.
+    weights:
+        Mixture weights (signal, congestion, tail).
+    vehicle_scale_sigma:
+        Lognormal sigma of the per-vehicle stop-length scale factor
+        (driver heterogeneity).
+    recording_days:
+        Length of each vehicle's record (the paper records one week).
+    """
+
+    name: str
+    vehicle_count: int
+    stops_per_day_mean: float
+    stops_per_day_std: float
+    signal_mu: float
+    signal_sigma: float
+    congestion_mu: float
+    congestion_sigma: float
+    tail_alpha: float
+    tail_scale: float
+    weights: tuple[float, float, float]
+    vehicle_scale_sigma: float = 0.25
+    recording_days: float = 7.0
+
+    def stop_length_distribution(self) -> StopLengthDistribution:
+        """The area-level stop-length mixture."""
+        mixture = MixtureDistribution(
+            [
+                LogNormal(self.signal_mu, self.signal_sigma),
+                LogNormal(self.congestion_mu, self.congestion_sigma),
+                Pareto(alpha=self.tail_alpha, scale=self.tail_scale),
+            ],
+            list(self.weights),
+            name=f"{self.name}-stop-mixture",
+        )
+        return mixture
+
+
+#: Table 1 stops/day moments: Atlanta (10.37, 8.42), Chicago (12.49, 9.97),
+#: California (9.37, 7.68).  Mixture parameters are calibrated so that the
+#: resulting fleets reproduce the *shape* facts the paper reports: heavy
+#: non-exponential tails, similar shapes across areas, Chicago the slowest
+#: traffic, and Figure 4's strategy ordering.
+AREAS: dict[str, AreaConfig] = {
+    "california": AreaConfig(
+        name="california",
+        vehicle_count=217,
+        stops_per_day_mean=9.37,
+        stops_per_day_std=7.68,
+        signal_mu=3.55,
+        signal_sigma=0.55,
+        congestion_mu=4.3,
+        congestion_sigma=0.6,
+        tail_alpha=1.7,
+        tail_scale=400.0,
+        weights=(0.47, 0.35, 0.18),
+    ),
+    "chicago": AreaConfig(
+        name="chicago",
+        vehicle_count=312,
+        stops_per_day_mean=12.49,
+        stops_per_day_std=9.97,
+        signal_mu=3.0,
+        signal_sigma=0.65,
+        congestion_mu=3.8,
+        congestion_sigma=0.6,
+        tail_alpha=1.8,
+        tail_scale=340.0,
+        weights=(0.62, 0.28, 0.10),
+    ),
+    "atlanta": AreaConfig(
+        name="atlanta",
+        vehicle_count=653,
+        stops_per_day_mean=10.37,
+        stops_per_day_std=8.42,
+        signal_mu=3.5,
+        signal_sigma=0.55,
+        congestion_mu=4.25,
+        congestion_sigma=0.6,
+        tail_alpha=1.75,
+        tail_scale=380.0,
+        weights=(0.48, 0.35, 0.17),
+    ),
+}
+
+AREA_NAMES = tuple(AREAS)
+
+
+def area_config(name: str) -> AreaConfig:
+    """Look up an area configuration by (case-insensitive) name."""
+    key = name.lower()
+    if key not in AREAS:
+        raise InvalidParameterError(
+            f"unknown area {name!r}; available: {', '.join(AREAS)}"
+        )
+    return AREAS[key]

@@ -1,0 +1,192 @@
+"""Time-of-day structured fleets.
+
+The base generator (:mod:`repro.fleet.generator`) draws stop lengths
+i.i.d. from one area mixture; real driving has strong diurnal structure:
+rush hours are dense with short signal/queue stops, midday brings
+errands, nights are sparse and parking-heavy.  This module synthesizes
+that structure so context-aware strategies
+(:class:`~repro.core.contextual.ContextualProposed`) have something real
+to exploit:
+
+* a 24-entry stop-intensity profile (stops per hour of day);
+* per-hour mixture weights over the same three components as the area
+  configs (signal / congestion / errand-tail), shifted toward signals at
+  the peaks and toward the tail off-peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..distributions import LogNormal, MixtureDistribution, Pareto
+from ..errors import InvalidParameterError
+from ..traces.events import SECONDS_PER_DAY, DrivingTrace, StopEvent, Trip
+from .areas import AreaConfig, area_config
+
+__all__ = ["DailyPattern", "TimedVehicleRecord", "DailyFleetGenerator", "default_daily_pattern"]
+
+#: Relative stop intensity per hour of day (normalized internally):
+#: AM peak 7-9, PM peak 16-19, quiet nights.
+_DEFAULT_HOURLY_INTENSITY = np.array(
+    [0.2, 0.1, 0.1, 0.1, 0.2, 0.5, 1.2, 2.2, 2.4, 1.4, 1.0, 1.1,
+     1.3, 1.1, 1.0, 1.2, 2.0, 2.4, 2.2, 1.4, 1.0, 0.8, 0.5, 0.3]
+)
+
+
+@dataclass(frozen=True)
+class DailyPattern:
+    """Diurnal structure: hourly intensity + per-hour mixture weights.
+
+    ``hourly_weights[h]`` is a (signal, congestion, tail) weight triple
+    for hour ``h``.
+    """
+
+    hourly_intensity: np.ndarray
+    hourly_weights: tuple[tuple[float, float, float], ...]
+
+    def __post_init__(self) -> None:
+        intensity = np.asarray(self.hourly_intensity, dtype=float)
+        if intensity.shape != (24,) or np.any(intensity < 0.0) or intensity.sum() <= 0:
+            raise InvalidParameterError(
+                "hourly_intensity must be 24 non-negative values with positive sum"
+            )
+        if len(self.hourly_weights) != 24:
+            raise InvalidParameterError("hourly_weights must have 24 entries")
+        for triple in self.hourly_weights:
+            if len(triple) != 3 or any(w < 0 for w in triple) or sum(triple) <= 0:
+                raise InvalidParameterError(f"bad mixture weights {triple!r}")
+        object.__setattr__(self, "hourly_intensity", intensity)
+
+    def hour_probabilities(self) -> np.ndarray:
+        return self.hourly_intensity / self.hourly_intensity.sum()
+
+
+def default_daily_pattern(config: AreaConfig) -> DailyPattern:
+    """Derive a diurnal pattern from an area config: its average mixture
+    weights, tilted toward signals at the peaks (x1.6 signal weight) and
+    toward the errand tail at night (x3 tail weight)."""
+    base_signal, base_congestion, base_tail = config.weights
+    weights = []
+    for hour in range(24):
+        peak = hour in (7, 8, 16, 17, 18)
+        night = hour < 6 or hour >= 22
+        signal = base_signal * (1.6 if peak else 1.0) * (0.4 if night else 1.0)
+        congestion = base_congestion * (1.3 if peak else 1.0)
+        tail = base_tail * (3.0 if night else 1.0) * (0.5 if peak else 1.0)
+        weights.append((signal, congestion, tail))
+    return DailyPattern(
+        hourly_intensity=_DEFAULT_HOURLY_INTENSITY.copy(),
+        hourly_weights=tuple(weights),
+    )
+
+
+@dataclass
+class TimedVehicleRecord:
+    """A vehicle's week of stops *with start timestamps* (seconds from
+    the recording start)."""
+
+    vehicle_id: str
+    area: str
+    start_times: np.ndarray
+    stop_lengths: np.ndarray
+    recording_days: float = 7.0
+    _trace: DrivingTrace | None = field(default=None, repr=False)
+
+    def hours_of_day(self) -> np.ndarray:
+        """Hour-of-day (0-23) per stop."""
+        return ((self.start_times % SECONDS_PER_DAY) // 3600.0).astype(int)
+
+    def to_trace(self) -> DrivingTrace:
+        """Materialize as a DrivingTrace (one trip per day)."""
+        if self._trace is not None:
+            return self._trace
+        trips = []
+        order = np.argsort(self.start_times)
+        starts, lengths = self.start_times[order], self.stop_lengths[order]
+        for day in range(int(np.ceil(self.recording_days))):
+            lo, hi = day * SECONDS_PER_DAY, (day + 1) * SECONDS_PER_DAY
+            mask = (starts >= lo) & (starts < hi)
+            if not mask.any():
+                continue
+            day_starts, day_lengths = starts[mask], lengths[mask]
+            stops = []
+            cursor = float(day_starts[0])
+            for start, length in zip(day_starts, day_lengths):
+                start = max(float(start), cursor)  # de-overlap
+                stops.append(StopEvent(start_time=start, duration=float(length)))
+                cursor = start + float(length) + 1.0
+            trips.append(
+                Trip(
+                    start_time=min(float(day_starts[0]), stops[0].start_time),
+                    duration=cursor + 1.0 - float(day_starts[0]),
+                    stops=tuple(stops),
+                )
+            )
+        self._trace = DrivingTrace(
+            vehicle_id=self.vehicle_id,
+            trips=tuple(trips),
+            recording_days=self.recording_days,
+            area=self.area,
+        )
+        return self._trace
+
+
+class DailyFleetGenerator:
+    """Synthesizes vehicles with diurnal stop structure."""
+
+    def __init__(
+        self,
+        config: AreaConfig | str,
+        pattern: DailyPattern | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = area_config(config) if isinstance(config, str) else config
+        self.pattern = pattern if pattern is not None else default_daily_pattern(self.config)
+        self.seed = int(seed)
+        self._hour_mixtures = [
+            MixtureDistribution(
+                [
+                    LogNormal(self.config.signal_mu, self.config.signal_sigma),
+                    LogNormal(self.config.congestion_mu, self.config.congestion_sigma),
+                    Pareto(self.config.tail_alpha, self.config.tail_scale),
+                ],
+                list(np.asarray(w, dtype=float) / sum(w)),
+            )
+            for w in self.pattern.hourly_weights
+        ]
+
+    def generate_vehicle(self, index: int, rng: np.random.Generator) -> TimedVehicleRecord:
+        config = self.config
+        days = int(config.recording_days)
+        total_stops = max(
+            1, int(rng.poisson(config.stops_per_day_mean * config.recording_days))
+        )
+        hour_probabilities = self.pattern.hour_probabilities()
+        hours = rng.choice(24, size=total_stops, p=hour_probabilities)
+        offsets = rng.uniform(0.0, 3600.0, size=total_stops)
+        day_indices = rng.integers(0, days, size=total_stops)
+        start_times = day_indices * SECONDS_PER_DAY + hours * 3600.0 + offsets
+        lengths = np.empty(total_stops)
+        for hour in range(24):
+            mask = hours == hour
+            n = int(mask.sum())
+            if n:
+                lengths[mask] = np.maximum(
+                    self._hour_mixtures[hour].sample(n, rng), 1.0
+                )
+        order = np.argsort(start_times)
+        return TimedVehicleRecord(
+            vehicle_id=f"{config.name}-daily-{index:04d}",
+            area=config.name,
+            start_times=start_times[order],
+            stop_lengths=lengths[order],
+            recording_days=config.recording_days,
+        )
+
+    def generate(self, vehicle_count: int) -> list[TimedVehicleRecord]:
+        if vehicle_count <= 0:
+            raise InvalidParameterError(f"vehicle_count must be >= 1, got {vehicle_count}")
+        rng = np.random.default_rng(self.seed)
+        return [self.generate_vehicle(index, rng) for index in range(vehicle_count)]

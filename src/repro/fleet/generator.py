@@ -1,0 +1,117 @@
+"""Synthetic fleet generation.
+
+Turns an :class:`~repro.fleet.areas.AreaConfig` into per-vehicle driving
+records.  Each vehicle gets:
+
+* a stops-per-day rate drawn from a gamma distribution matching the
+  area's Table 1 mean/std (gamma keeps the rate positive and reproduces
+  the long right tail of the stops/day histogram);
+* a private lognormal *scale factor* on stop lengths (driver and route
+  heterogeneity — the reason different vehicles in one area see different
+  ``(mu_B_minus, q_B_plus)`` and the proposed selector picks different
+  vertices for them);
+* one week of stop lengths drawn from the scaled area mixture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..distributions import ScaledDistribution
+from ..errors import InvalidParameterError
+from ..traces.events import DrivingTrace
+from .areas import AreaConfig
+
+__all__ = ["VehicleRecord", "FleetGenerator"]
+
+
+@dataclass
+class VehicleRecord:
+    """One synthetic vehicle's week of stops."""
+
+    vehicle_id: str
+    area: str
+    stop_lengths: np.ndarray
+    scale_factor: float
+    recording_days: float = 7.0
+    _trace: DrivingTrace | None = field(default=None, repr=False)
+
+    @property
+    def stops_per_day(self) -> float:
+        return self.stop_lengths.size / self.recording_days
+
+    def to_trace(self) -> DrivingTrace:
+        """Materialize a DrivingTrace (lazy, cached)."""
+        if self._trace is None:
+            self._trace = DrivingTrace.from_stop_lengths(
+                self.vehicle_id,
+                self.stop_lengths,
+                recording_days=self.recording_days,
+                area=self.area,
+            )
+        return self._trace
+
+
+class FleetGenerator:
+    """Generates the synthetic fleet of one area.
+
+    Parameters
+    ----------
+    config:
+        Area configuration (counts, Table 1 moments, mixture parameters).
+    seed:
+        Seed of the fleet's private random generator; a fixed seed
+        regenerates the identical fleet, which the experiment harness
+        relies on.
+    """
+
+    def __init__(self, config: AreaConfig, seed: int = 0) -> None:
+        self.config = config
+        self.seed = int(seed)
+
+    def _stops_per_day_rate(self, rng: np.random.Generator) -> float:
+        """Per-vehicle stops/day rate: gamma with the Table 1 moments."""
+        mean = self.config.stops_per_day_mean
+        std = self.config.stops_per_day_std
+        shape = (mean / std) ** 2
+        scale = std * std / mean
+        return float(max(0.5, rng.gamma(shape, scale)))
+
+    def generate_vehicle(
+        self, index: int, rng: np.random.Generator
+    ) -> VehicleRecord:
+        """Generate one vehicle's record."""
+        if index < 0:
+            raise InvalidParameterError(f"vehicle index must be >= 0, got {index}")
+        config = self.config
+        rate = self._stops_per_day_rate(rng)
+        stop_count = max(1, int(rng.poisson(rate * config.recording_days)))
+        scale = float(
+            np.exp(rng.normal(-0.5 * config.vehicle_scale_sigma**2, config.vehicle_scale_sigma))
+        )
+        distribution = ScaledDistribution(config.stop_length_distribution(), scale)
+        lengths = distribution.sample(stop_count, rng)
+        # Physical floor: a recorded stop is at least one sample (1 s).
+        lengths = np.maximum(lengths, 1.0)
+        return VehicleRecord(
+            vehicle_id=f"{config.name}-{index:04d}",
+            area=config.name,
+            stop_lengths=lengths,
+            scale_factor=scale,
+            recording_days=config.recording_days,
+        )
+
+    def generate(self, vehicle_count: int | None = None) -> list[VehicleRecord]:
+        """Generate the full fleet (``config.vehicle_count`` by default)."""
+        count = self.config.vehicle_count if vehicle_count is None else int(vehicle_count)
+        if count <= 0:
+            raise InvalidParameterError(f"vehicle_count must be >= 1, got {count}")
+        rng = np.random.default_rng(self.seed)
+        return [self.generate_vehicle(index, rng) for index in range(count)]
+
+    def pooled_stop_lengths(self, vehicle_count: int | None = None) -> np.ndarray:
+        """All stop lengths of the fleet pooled (Figure 3's histogram)."""
+        vehicles = self.generate(vehicle_count)
+        return np.concatenate([vehicle.stop_lengths for vehicle in vehicles])

@@ -1,0 +1,103 @@
+"""Fleet dataset persistence.
+
+Synthetic fleets are pure functions of (config, seed), but persisting
+them matters for (a) sharing the exact evaluation dataset alongside
+results, and (b) swapping in real data with the same loader interface.
+
+Format: one directory per dataset containing
+
+* ``manifest.json`` — dataset seed, per-area configs and vehicle counts;
+* ``stops.csv`` — the flat stop table (``vehicle_id,start_time,duration``)
+  of every vehicle, via :mod:`repro.traces.io`.
+
+``load_fleet_dataset`` reconstructs ``{area: [VehicleRecord, ...]}`` and
+verifies counts against the manifest.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import TraceFormatError
+from ..traces.io import read_stops_csv, write_stops_csv
+from .areas import AREAS, AreaConfig
+from .generator import VehicleRecord
+
+__all__ = ["save_fleet_dataset", "load_fleet_dataset"]
+
+_MANIFEST_NAME = "manifest.json"
+_STOPS_NAME = "stops.csv"
+
+
+def save_fleet_dataset(
+    directory: str | Path,
+    fleets: dict[str, list[VehicleRecord]],
+    seed: int | None = None,
+) -> Path:
+    """Persist a fleet dataset; returns the dataset directory."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest = {
+        "seed": seed,
+        "areas": {
+            area: {
+                "vehicle_count": len(vehicles),
+                "vehicle_ids": [v.vehicle_id for v in vehicles],
+                "scale_factors": [v.scale_factor for v in vehicles],
+                "recording_days": vehicles[0].recording_days if vehicles else 7.0,
+                "config": asdict(AREAS[area]) if area in AREAS else None,
+            }
+            for area, vehicles in fleets.items()
+        },
+    }
+    with open(directory / _MANIFEST_NAME, "w") as handle:
+        json.dump(manifest, handle, indent=2)
+    traces = [
+        vehicle.to_trace() for vehicles in fleets.values() for vehicle in vehicles
+    ]
+    write_stops_csv(directory / _STOPS_NAME, traces)
+    return directory
+
+
+def load_fleet_dataset(directory: str | Path) -> dict[str, list[VehicleRecord]]:
+    """Load a dataset written by :func:`save_fleet_dataset`."""
+    directory = Path(directory)
+    manifest_path = directory / _MANIFEST_NAME
+    stops_path = directory / _STOPS_NAME
+    if not manifest_path.exists() or not stops_path.exists():
+        raise TraceFormatError(
+            f"{directory} is not a fleet dataset (missing manifest or stops table)"
+        )
+    with open(manifest_path) as handle:
+        manifest = json.load(handle)
+    per_vehicle = read_stops_csv(stops_path)
+    fleets: dict[str, list[VehicleRecord]] = {}
+    for area, info in manifest["areas"].items():
+        vehicles = []
+        ids = info["vehicle_ids"]
+        scales = info.get("scale_factors", [1.0] * len(ids))
+        for vehicle_id, scale in zip(ids, scales):
+            if vehicle_id not in per_vehicle:
+                raise TraceFormatError(
+                    f"manifest lists {vehicle_id!r} but the stop table has no rows for it"
+                )
+            vehicles.append(
+                VehicleRecord(
+                    vehicle_id=vehicle_id,
+                    area=area,
+                    stop_lengths=np.asarray(per_vehicle[vehicle_id], dtype=float),
+                    scale_factor=float(scale),
+                    recording_days=float(info.get("recording_days", 7.0)),
+                )
+            )
+        if len(vehicles) != info["vehicle_count"]:
+            raise TraceFormatError(
+                f"area {area!r}: manifest promises {info['vehicle_count']} vehicles, "
+                f"reconstructed {len(vehicles)}"
+            )
+        fleets[area] = vehicles
+    return fleets

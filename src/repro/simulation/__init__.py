@@ -1,0 +1,28 @@
+"""Event-level stop-start controller simulation and cost accounting."""
+
+from .accounting import CostLedger
+from .controller import OfflineController, StopDecision, StopStartController
+from .engine_sim import SimulationResult, realized_cr, simulate_stops, simulate_trace
+from .multistate import (
+    EnvelopeController,
+    MultistateSimulationResult,
+    MultistateStopRecord,
+    RandomizedMultislopeController,
+    simulate_multistate,
+)
+
+__all__ = [
+    "CostLedger",
+    "StopDecision",
+    "StopStartController",
+    "OfflineController",
+    "SimulationResult",
+    "simulate_stops",
+    "simulate_trace",
+    "realized_cr",
+    "MultistateStopRecord",
+    "MultistateSimulationResult",
+    "EnvelopeController",
+    "RandomizedMultislopeController",
+    "simulate_multistate",
+]

@@ -1,0 +1,99 @@
+"""Cost accounting for stop-start simulations.
+
+The :class:`CostLedger` accumulates what a controller actually did over a
+driving record — idling seconds, restart count — and converts to costs:
+the canonical normalized unit (seconds of idling, where one restart costs
+``B`` seconds), physical fuel (cc), and money (cents, via a
+:class:`~repro.vehicle.costmodel.VehicleCostModel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from ..vehicle.costmodel import VehicleCostModel
+
+__all__ = ["CostLedger"]
+
+
+@dataclass
+class CostLedger:
+    """Accumulated idling/restart activity of one simulated controller.
+
+    Attributes
+    ----------
+    break_even:
+        The break-even interval ``B`` used to normalize restart costs.
+    idle_seconds:
+        Total engine-on idle time across all stops.
+    restarts:
+        Number of engine restarts performed.
+    stops:
+        Number of stop events processed.
+    """
+
+    break_even: float
+    idle_seconds: float = 0.0
+    restarts: int = 0
+    stops: int = 0
+    _per_stop_costs: list = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.break_even) or self.break_even <= 0.0:
+            raise InvalidParameterError(
+                f"break_even must be > 0, got {self.break_even!r}"
+            )
+
+    def record_stop(self, idle_seconds: float, restarted: bool) -> None:
+        """Record one stop's outcome."""
+        if not np.isfinite(idle_seconds) or idle_seconds < 0.0:
+            raise InvalidParameterError(
+                f"idle_seconds must be >= 0, got {idle_seconds!r}"
+            )
+        self.idle_seconds += idle_seconds
+        self.stops += 1
+        if restarted:
+            self.restarts += 1
+        self._per_stop_costs.append(
+            idle_seconds + (self.break_even if restarted else 0.0)
+        )
+
+    @property
+    def total_cost_seconds(self) -> float:
+        """Total cost in the normalized unit: idle seconds plus ``B`` per
+        restart (exactly the paper's cost model)."""
+        return self.idle_seconds + self.restarts * self.break_even
+
+    @property
+    def per_stop_costs(self) -> np.ndarray:
+        """Normalized cost of each recorded stop, in order."""
+        return np.asarray(self._per_stop_costs, dtype=float)
+
+    def fuel_cc(self, cost_model: VehicleCostModel) -> float:
+        """Physical fuel burned (cc): idle burn plus restart burn."""
+        rate = cost_model.engine.idle_rate_cc_per_s()
+        restart_cc = cost_model.restart_fuel_seconds * rate
+        return self.idle_seconds * rate + self.restarts * restart_cc
+
+    def cost_cents(self, cost_model: VehicleCostModel) -> float:
+        """Monetary cost (cents): idling plus full restart cost (fuel,
+        wear, emissions) per the vehicle's cost model."""
+        idle_rate = cost_model.idling_cost_cents_per_s()
+        return self.idle_seconds * idle_rate + self.restarts * cost_model.restart_cost_cents()
+
+    def merge(self, other: "CostLedger") -> "CostLedger":
+        """Combine two ledgers (e.g. per-trip ledgers into a vehicle
+        ledger).  Break-even intervals must match."""
+        if abs(other.break_even - self.break_even) > 1e-12:
+            raise InvalidParameterError(
+                "cannot merge ledgers with different break-even intervals"
+            )
+        merged = CostLedger(self.break_even)
+        merged.idle_seconds = self.idle_seconds + other.idle_seconds
+        merged.restarts = self.restarts + other.restarts
+        merged.stops = self.stops + other.stops
+        merged._per_stop_costs = list(self._per_stop_costs) + list(other._per_stop_costs)
+        return merged

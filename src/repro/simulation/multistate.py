@@ -1,0 +1,169 @@
+"""Event-level simulation of multislope (multi-engine-state) policies.
+
+Extends the two-state simulation of :mod:`repro.simulation.engine_sim`
+to the multislope setting of :mod:`repro.core.multislope`: during one
+stop the controller walks down the engine states at its chosen switch
+times, paying each state's idle rate and each switch's incremental cost.
+
+Two controllers are provided:
+
+* :class:`EnvelopeController` — the deterministic follow-the-envelope
+  policy (switch times = the offline transition points);
+* :class:`RandomizedMultislopeController` — draws a pure switch profile
+  per stop from a :class:`~repro.core.multislope_game.MultislopeGameSolution`
+  (the LP-optimal randomization).
+
+Costs are validated against :func:`~repro.core.multislope_game.pure_strategy_cost`
+by the tests, and the offline reference is the multislope envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.multislope import FollowTheEnvelope, MultislopeProblem
+from ..core.multislope_game import MultislopeGameSolution, pure_strategy_cost
+from ..errors import InvalidParameterError
+
+__all__ = [
+    "MultistateStopRecord",
+    "MultistateSimulationResult",
+    "EnvelopeController",
+    "RandomizedMultislopeController",
+    "simulate_multistate",
+]
+
+
+@dataclass(frozen=True)
+class MultistateStopRecord:
+    """One stop's outcome: the profile used, final state and cost."""
+
+    stop_length: float
+    switch_times: tuple[float, ...]
+    final_state: int
+    cost: float
+
+
+@dataclass
+class MultistateSimulationResult:
+    """Aggregate outcome over a stop sequence."""
+
+    records: list[MultistateStopRecord]
+    offline_cost: float
+
+    @property
+    def total_cost(self) -> float:
+        return float(sum(record.cost for record in self.records))
+
+    @property
+    def realized_cr(self) -> float:
+        if self.offline_cost <= 0.0:
+            raise InvalidParameterError("offline cost is zero; CR undefined")
+        return self.total_cost / self.offline_cost
+
+    def state_usage(self) -> dict[int, int]:
+        """How many stops ended in each engine state."""
+        usage: dict[int, int] = {}
+        for record in self.records:
+            usage[record.final_state] = usage.get(record.final_state, 0) + 1
+        return usage
+
+
+def _final_state(switch_times, stop_length: float) -> int:
+    state = 0
+    for next_state, t in enumerate(switch_times, start=1):
+        if stop_length < t:
+            break
+        state = next_state
+    return state
+
+
+class EnvelopeController:
+    """Deterministic multislope controller: follow the offline envelope.
+
+    The switch profile has one entry per state; a state the envelope
+    skips gets the same switch time as the next state actually entered
+    (entering and immediately advancing pays the same telescoped switch
+    cost as skipping directly).  States past the envelope's deepest
+    reachable state get ``inf`` (never entered).
+    """
+
+    def __init__(self, problem: MultislopeProblem) -> None:
+        self.problem = problem
+        self._times = self._full_arity_profile(problem)
+
+    @staticmethod
+    def _full_arity_profile(problem: MultislopeProblem) -> tuple[float, ...]:
+        state_count = len(problem.slopes)
+        entered_at = {0: 0.0}
+        state = 0
+        for boundary in problem.transition_points:
+            state = problem._next_envelope_state(state)
+            entered_at[state] = boundary
+        times = []
+        for j in range(1, state_count):
+            later = [entered_at[s] for s in entered_at if s >= j]
+            times.append(min(later) if later else np.inf)
+        return tuple(times)
+
+    def profile_for_stop(self, rng: np.random.Generator) -> tuple[float, ...]:
+        return self._times
+
+
+class RandomizedMultislopeController:
+    """Randomized multislope controller: one profile draw per stop from
+    the LP-optimal mixture."""
+
+    def __init__(
+        self, problem: MultislopeProblem, solution: MultislopeGameSolution
+    ) -> None:
+        if len(solution.pure_strategies[0]) != len(problem.slopes) - 1:
+            raise InvalidParameterError(
+                "game solution arity does not match the multislope problem"
+            )
+        self.problem = problem
+        self.solution = solution
+        self._profiles = solution.pure_strategies
+        weights = np.clip(np.asarray(solution.weights, dtype=float), 0.0, None)
+        total = weights.sum()
+        if total <= 0.0:
+            raise InvalidParameterError("game solution carries no probability mass")
+        self._weights = weights / total
+
+    def profile_for_stop(self, rng: np.random.Generator) -> tuple[float, ...]:
+        index = rng.choice(len(self._profiles), p=self._weights)
+        return self._profiles[index]
+
+
+def simulate_multistate(
+    problem: MultislopeProblem,
+    stop_lengths: np.ndarray,
+    controller,
+    rng: np.random.Generator | None = None,
+) -> MultistateSimulationResult:
+    """Run a multistate controller over a stop sequence.
+
+    ``controller`` must expose ``profile_for_stop(rng)``; the offline
+    reference is the multislope envelope ``OPT(y)`` summed over stops.
+    """
+    y = np.asarray(stop_lengths, dtype=float)
+    if y.size == 0:
+        raise InvalidParameterError("cannot simulate zero stops")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    records = []
+    for stop_length in y:
+        profile = tuple(controller.profile_for_stop(rng))
+        cost = pure_strategy_cost(problem, profile, float(stop_length))
+        records.append(
+            MultistateStopRecord(
+                stop_length=float(stop_length),
+                switch_times=profile,
+                final_state=_final_state(profile, float(stop_length)),
+                cost=cost,
+            )
+        )
+    offline = float(sum(problem.offline_cost(float(v)) for v in y))
+    return MultistateSimulationResult(records=records, offline_cost=offline)

@@ -1,0 +1,34 @@
+"""Driving traces: stop events, speed profiles, extraction and IO."""
+
+from .events import SECONDS_PER_DAY, DrivingTrace, StopEvent, Trip
+from .io import (
+    read_stops_csv,
+    read_traces_json,
+    trace_from_dict,
+    trace_to_dict,
+    write_stops_csv,
+    write_traces_json,
+)
+from .segmentation import segment_trips, trace_from_daily_log
+from .speed import SpeedTrace, extract_stops
+from .summarize import TraceSummary, stops_per_day_table, summarize_trace
+
+__all__ = [
+    "SECONDS_PER_DAY",
+    "StopEvent",
+    "Trip",
+    "DrivingTrace",
+    "SpeedTrace",
+    "extract_stops",
+    "segment_trips",
+    "trace_from_daily_log",
+    "write_stops_csv",
+    "read_stops_csv",
+    "trace_to_dict",
+    "trace_from_dict",
+    "write_traces_json",
+    "read_traces_json",
+    "TraceSummary",
+    "summarize_trace",
+    "stops_per_day_table",
+]

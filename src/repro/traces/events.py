@@ -1,0 +1,174 @@
+"""Driving-trace event model.
+
+The NREL data the paper uses is, for our purposes, a collection of
+*stop events* per vehicle over one week of driving.  This module defines
+the value objects carrying that structure:
+
+* :class:`StopEvent` — one contiguous period at rest (start time +
+  duration);
+* :class:`Trip` — one ignition-on period containing its stops;
+* :class:`DrivingTrace` — a vehicle's full record (trips + metadata).
+
+Times are seconds since the start of the recording; durations are seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import TraceFormatError
+
+__all__ = ["StopEvent", "Trip", "DrivingTrace", "SECONDS_PER_DAY"]
+
+SECONDS_PER_DAY = 86400.0
+
+
+@dataclass(frozen=True)
+class StopEvent:
+    """A contiguous vehicle stop: the engine-idling decision point."""
+
+    start_time: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.start_time) or self.start_time < 0.0:
+            raise TraceFormatError(f"stop start_time must be >= 0, got {self.start_time!r}")
+        if not np.isfinite(self.duration) or self.duration < 0.0:
+            raise TraceFormatError(f"stop duration must be >= 0, got {self.duration!r}")
+
+    @property
+    def end_time(self) -> float:
+        return self.start_time + self.duration
+
+
+@dataclass(frozen=True)
+class Trip:
+    """One ignition-on period: driving plus its embedded stops."""
+
+    start_time: float
+    duration: float
+    stops: tuple[StopEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.start_time) or self.start_time < 0.0:
+            raise TraceFormatError(f"trip start_time must be >= 0, got {self.start_time!r}")
+        if not np.isfinite(self.duration) or self.duration <= 0.0:
+            raise TraceFormatError(f"trip duration must be > 0, got {self.duration!r}")
+        for stop in self.stops:
+            if stop.start_time < self.start_time - 1e-9 or stop.end_time > self.end_time + 1e-9:
+                raise TraceFormatError(
+                    f"stop {stop} falls outside trip window "
+                    f"[{self.start_time}, {self.end_time}]"
+                )
+        object.__setattr__(self, "stops", tuple(self.stops))
+
+    @property
+    def end_time(self) -> float:
+        return self.start_time + self.duration
+
+    @property
+    def total_stop_time(self) -> float:
+        return float(sum(stop.duration for stop in self.stops))
+
+    @property
+    def idle_fraction(self) -> float:
+        """Fraction of the trip spent stopped (paper: 13-23% on average)."""
+        return self.total_stop_time / self.duration
+
+
+@dataclass
+class DrivingTrace:
+    """A vehicle's driving record over a recording window.
+
+    Attributes
+    ----------
+    vehicle_id:
+        Stable identifier within a fleet.
+    trips:
+        Chronologically ordered, non-overlapping trips.
+    recording_days:
+        Length of the recording window (the paper's records are 7 days).
+    area:
+        Optional area label ("california", "chicago", "atlanta").
+    """
+
+    vehicle_id: str
+    trips: Sequence[Trip]
+    recording_days: float = 7.0
+    area: str | None = None
+    _trips: tuple[Trip, ...] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.recording_days) or self.recording_days <= 0.0:
+            raise TraceFormatError(
+                f"recording_days must be > 0, got {self.recording_days!r}"
+            )
+        trips = tuple(self.trips)
+        for earlier, later in zip(trips, trips[1:]):
+            if later.start_time < earlier.end_time - 1e-9:
+                raise TraceFormatError(
+                    f"trips overlap: {earlier.end_time} > {later.start_time}"
+                )
+        self._trips = trips
+        self.trips = trips
+
+    @classmethod
+    def from_stop_lengths(
+        cls,
+        vehicle_id: str,
+        stop_lengths: Iterable[float],
+        recording_days: float = 7.0,
+        area: str | None = None,
+    ) -> "DrivingTrace":
+        """Build a minimal trace directly from stop lengths.
+
+        The stops are laid out sequentially inside one synthetic trip
+        (with unit driving gaps); convenient when only the stop-length
+        sample matters, which is all the competitive analysis needs.
+        """
+        lengths = [float(v) for v in stop_lengths]
+        cursor = 1.0
+        stops = []
+        for length in lengths:
+            stops.append(StopEvent(start_time=cursor, duration=length))
+            cursor += length + 1.0
+        trip = Trip(start_time=0.0, duration=cursor + 1.0, stops=tuple(stops))
+        return cls(
+            vehicle_id=vehicle_id,
+            trips=(trip,),
+            recording_days=recording_days,
+            area=area,
+        )
+
+    @property
+    def stops(self) -> tuple[StopEvent, ...]:
+        """All stop events across all trips, in chronological order."""
+        return tuple(stop for trip in self._trips for stop in trip.stops)
+
+    def stop_lengths(self) -> np.ndarray:
+        """The stop-length sample — the input to every strategy."""
+        return np.array([stop.duration for stop in self.stops], dtype=float)
+
+    @property
+    def stop_count(self) -> int:
+        return sum(len(trip.stops) for trip in self._trips)
+
+    @property
+    def stops_per_day(self) -> float:
+        """Average stops per recorded day (the Table 1 quantity)."""
+        return self.stop_count / self.recording_days
+
+    @property
+    def total_drive_time(self) -> float:
+        return float(sum(trip.duration for trip in self._trips))
+
+    @property
+    def idle_fraction(self) -> float:
+        """Fraction of total driving time spent stopped."""
+        drive = self.total_drive_time
+        if drive <= 0.0:
+            return 0.0
+        return float(sum(trip.total_stop_time for trip in self._trips)) / drive

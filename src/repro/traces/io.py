@@ -1,0 +1,125 @@
+"""Trace serialization: CSV stop tables and JSON trace documents.
+
+Two interchange formats are supported:
+
+* **stop CSV** — one row per stop (``vehicle_id,start_time,duration``);
+  the minimal format every analysis consumes;
+* **trace JSON** — full :class:`~repro.traces.events.DrivingTrace`
+  documents including trip structure and metadata.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from ..errors import TraceFormatError
+from .events import DrivingTrace, StopEvent, Trip
+
+__all__ = [
+    "write_stops_csv",
+    "read_stops_csv",
+    "trace_to_dict",
+    "trace_from_dict",
+    "write_traces_json",
+    "read_traces_json",
+]
+
+_CSV_HEADER = ["vehicle_id", "start_time", "duration"]
+
+
+def write_stops_csv(path: str | Path, traces: Iterable[DrivingTrace]) -> None:
+    """Write all stops of the given traces as a flat CSV table."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_CSV_HEADER)
+        for trace in traces:
+            for stop in trace.stops:
+                writer.writerow([trace.vehicle_id, stop.start_time, stop.duration])
+
+
+def read_stops_csv(path: str | Path) -> dict[str, np.ndarray]:
+    """Read a stop CSV back as ``{vehicle_id: stop_lengths}``."""
+    per_vehicle: dict[str, list[float]] = {}
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != _CSV_HEADER:
+            raise TraceFormatError(
+                f"unexpected stop CSV header {header!r}; expected {_CSV_HEADER!r}"
+            )
+        for line_number, row in enumerate(reader, start=2):
+            if len(row) != 3:
+                raise TraceFormatError(f"line {line_number}: expected 3 columns, got {len(row)}")
+            vehicle_id, _, duration = row
+            try:
+                value = float(duration)
+            except ValueError as exc:
+                raise TraceFormatError(
+                    f"line {line_number}: bad duration {duration!r}"
+                ) from exc
+            per_vehicle.setdefault(vehicle_id, []).append(value)
+    return {vid: np.asarray(values, dtype=float) for vid, values in per_vehicle.items()}
+
+
+def trace_to_dict(trace: DrivingTrace) -> dict:
+    """Serialize a trace to a JSON-compatible dict."""
+    return {
+        "vehicle_id": trace.vehicle_id,
+        "recording_days": trace.recording_days,
+        "area": trace.area,
+        "trips": [
+            {
+                "start_time": trip.start_time,
+                "duration": trip.duration,
+                "stops": [
+                    {"start_time": stop.start_time, "duration": stop.duration}
+                    for stop in trip.stops
+                ],
+            }
+            for trip in trace.trips
+        ],
+    }
+
+
+def trace_from_dict(document: Mapping) -> DrivingTrace:
+    """Deserialize a trace document (inverse of :func:`trace_to_dict`)."""
+    try:
+        trips = tuple(
+            Trip(
+                start_time=float(trip["start_time"]),
+                duration=float(trip["duration"]),
+                stops=tuple(
+                    StopEvent(float(stop["start_time"]), float(stop["duration"]))
+                    for stop in trip.get("stops", [])
+                ),
+            )
+            for trip in document["trips"]
+        )
+        return DrivingTrace(
+            vehicle_id=str(document["vehicle_id"]),
+            trips=trips,
+            recording_days=float(document.get("recording_days", 7.0)),
+            area=document.get("area"),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceFormatError(f"malformed trace document: {exc}") from exc
+
+
+def write_traces_json(path: str | Path, traces: Iterable[DrivingTrace]) -> None:
+    """Write traces as a JSON array of trace documents."""
+    with open(path, "w") as handle:
+        json.dump([trace_to_dict(trace) for trace in traces], handle)
+
+
+def read_traces_json(path: str | Path) -> list[DrivingTrace]:
+    """Read traces previously written by :func:`write_traces_json`."""
+    with open(path) as handle:
+        documents = json.load(handle)
+    if not isinstance(documents, list):
+        raise TraceFormatError("trace JSON must contain an array of trace documents")
+    return [trace_from_dict(document) for document in documents]

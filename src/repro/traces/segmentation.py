@@ -1,0 +1,108 @@
+"""Trip segmentation: splitting raw speed records into trips.
+
+Telematics devices usually log one long speed stream per day; the
+ski-rental analysis needs *within-trip* stops (ignition on, engine
+idling) separated from *between-trip* parking (ignition off — no idling
+decision exists).  :func:`segment_trips` applies the standard heuristic:
+a stationary period longer than ``ignition_off_gap`` ends the trip; the
+stationary time itself belongs to neither trip.
+
+The resulting trips carry their own extracted stops (via
+:func:`~repro.traces.speed.extract_stops` with the given thresholds), so
+``segment_trips`` is the one-call bridge from a raw daily speed log to a
+:class:`~repro.traces.events.DrivingTrace`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TraceFormatError
+from .events import DrivingTrace, Trip
+from .speed import SpeedTrace, extract_stops
+
+__all__ = ["segment_trips", "trace_from_daily_log"]
+
+
+def segment_trips(
+    trace: SpeedTrace,
+    ignition_off_gap: float = 300.0,
+    speed_threshold: float = 0.5,
+    min_duration: float = 2.0,
+    merge_gap: float = 3.0,
+    min_trip_duration: float = 30.0,
+) -> list[Trip]:
+    """Split a raw speed log into trips.
+
+    Parameters
+    ----------
+    trace:
+        The full-day (or longer) speed record.
+    ignition_off_gap:
+        Stationary periods at least this long (s) are treated as
+        ignition-off parking and split trips.
+    speed_threshold, min_duration, merge_gap:
+        Passed to the within-trip stop extraction.
+    min_trip_duration:
+        Trips shorter than this (s) are discarded (GPS jitter while
+        parked).
+    """
+    if ignition_off_gap <= 0.0:
+        raise TraceFormatError(f"ignition_off_gap must be > 0, got {ignition_off_gap!r}")
+    if min_trip_duration < 0.0:
+        raise TraceFormatError(
+            f"min_trip_duration must be >= 0, got {min_trip_duration!r}"
+        )
+    moving = trace.speeds >= speed_threshold
+    if not moving.any():
+        return []
+    gap_samples = int(np.ceil(ignition_off_gap / trace.dt))
+    moving_indices = np.flatnonzero(moving)
+    # Trip boundaries: breaks between consecutive moving samples longer
+    # than the ignition gap.
+    breaks = np.flatnonzero(np.diff(moving_indices) > gap_samples)
+    starts = [moving_indices[0]] + [moving_indices[i + 1] for i in breaks]
+    ends = [moving_indices[i] for i in breaks] + [moving_indices[-1]]
+    trips = []
+    for start, end in zip(starts, ends):
+        duration = (end - start + 1) * trace.dt
+        if duration < min_trip_duration:
+            continue
+        start_time = trace.start_time + start * trace.dt
+        segment = SpeedTrace(
+            start_time=start_time,
+            dt=trace.dt,
+            speeds=trace.speeds[start : end + 1],
+        )
+        stops = extract_stops(
+            segment,
+            speed_threshold=speed_threshold,
+            min_duration=min_duration,
+            merge_gap=merge_gap,
+        )
+        trips.append(
+            Trip(start_time=start_time, duration=duration, stops=tuple(stops))
+        )
+    return trips
+
+
+def trace_from_daily_log(
+    vehicle_id: str,
+    trace: SpeedTrace,
+    recording_days: float | None = None,
+    area: str | None = None,
+    **segmentation_kwargs,
+) -> DrivingTrace:
+    """One-call pipeline: raw speed log → segmented DrivingTrace."""
+    trips = segment_trips(trace, **segmentation_kwargs)
+    days = (
+        recording_days
+        if recording_days is not None
+        else max(trace.duration / 86400.0, 1e-6)
+    )
+    return DrivingTrace(
+        vehicle_id=vehicle_id,
+        trips=tuple(trips),
+        recording_days=days,
+        area=area,
+    )

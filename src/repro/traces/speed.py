@@ -1,0 +1,133 @@
+"""Speed traces and stop extraction.
+
+Real driving data arrives as second-resolution speed profiles; stops must
+be *extracted* before any ski-rental analysis.  :class:`SpeedTrace` is a
+uniformly sampled speed time series; :func:`extract_stops` applies the
+standard threshold + debounce pipeline:
+
+1. mark samples with speed below ``speed_threshold`` as "at rest";
+2. merge rest periods separated by sub-``merge_gap`` blips (creeping in a
+   queue should count as one stop, not many);
+3. drop rest periods shorter than ``min_duration`` (sensor noise).
+
+The thresholds are exposed because the ablation benchmark studies their
+effect on the extracted stop-length distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TraceFormatError
+from .events import StopEvent
+
+__all__ = ["SpeedTrace", "extract_stops"]
+
+
+@dataclass
+class SpeedTrace:
+    """A uniformly sampled speed profile.
+
+    Attributes
+    ----------
+    start_time:
+        Timestamp of the first sample (seconds).
+    dt:
+        Sampling period in seconds (NREL-style data is 1 Hz).
+    speeds:
+        Speed samples in m/s; non-negative.
+    """
+
+    start_time: float
+    dt: float
+    speeds: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.speeds = np.asarray(self.speeds, dtype=float)
+        if self.speeds.ndim != 1 or self.speeds.size == 0:
+            raise TraceFormatError("speeds must be a non-empty 1-D array")
+        if np.any(~np.isfinite(self.speeds)) or np.any(self.speeds < 0.0):
+            raise TraceFormatError("speeds must be non-negative and finite")
+        if not np.isfinite(self.dt) or self.dt <= 0.0:
+            raise TraceFormatError(f"dt must be > 0, got {self.dt!r}")
+        if not np.isfinite(self.start_time) or self.start_time < 0.0:
+            raise TraceFormatError(f"start_time must be >= 0, got {self.start_time!r}")
+
+    @property
+    def duration(self) -> float:
+        return self.speeds.size * self.dt
+
+    @property
+    def times(self) -> np.ndarray:
+        return self.start_time + self.dt * np.arange(self.speeds.size)
+
+    def distance(self) -> float:
+        """Total distance travelled (m), by rectangle-rule integration."""
+        return float(self.speeds.sum() * self.dt)
+
+
+def _rest_runs(at_rest: np.ndarray) -> list[tuple[int, int]]:
+    """Contiguous True runs of the rest mask as (start, stop) index pairs
+    (stop exclusive)."""
+    if not at_rest.any():
+        return []
+    padded = np.concatenate([[False], at_rest, [False]])
+    changes = np.flatnonzero(np.diff(padded.astype(int)))
+    return list(zip(changes[0::2], changes[1::2]))
+
+
+def extract_stops(
+    trace: SpeedTrace,
+    speed_threshold: float = 0.5,
+    min_duration: float = 2.0,
+    merge_gap: float = 3.0,
+) -> list[StopEvent]:
+    """Extract stop events from a speed trace.
+
+    Parameters
+    ----------
+    trace:
+        The speed profile to segment.
+    speed_threshold:
+        Speed (m/s) below which the vehicle counts as at rest.
+    min_duration:
+        Minimum stop duration (s); shorter rest periods are discarded.
+    merge_gap:
+        Rest periods separated by moving gaps shorter than this (s) are
+        merged into one stop (queue creep).
+
+    Returns
+    -------
+    list[StopEvent]
+        Chronologically ordered stops.
+    """
+    if speed_threshold < 0.0:
+        raise TraceFormatError(f"speed_threshold must be >= 0, got {speed_threshold!r}")
+    if min_duration < 0.0 or merge_gap < 0.0:
+        raise TraceFormatError("min_duration and merge_gap must be >= 0")
+    at_rest = trace.speeds < speed_threshold
+    runs = _rest_runs(at_rest)
+    if not runs:
+        return []
+    # Merge runs separated by short moving gaps.
+    gap_samples = merge_gap / trace.dt
+    merged: list[list[int]] = [list(runs[0])]
+    for start, stop in runs[1:]:
+        if start - merged[-1][1] < gap_samples:
+            merged[-1][1] = stop
+        else:
+            merged.append([start, stop])
+    stops = []
+    min_samples = max(1, int(np.ceil(min_duration / trace.dt)))
+    for start, stop in merged:
+        if stop - start < min_samples:
+            continue
+        stops.append(
+            StopEvent(
+                start_time=trace.start_time + start * trace.dt,
+                duration=(stop - start) * trace.dt,
+            )
+        )
+    return stops

@@ -1,0 +1,38 @@
+"""The Appendix C vehicle cost model: idling cost, restart cost and the
+break-even interval derivation."""
+
+from .battery import TABLE1_STOPS_PER_DAY_BOUND, BatteryModel, STOP_START_BATTERY
+from .costmodel import (
+    BreakEvenBreakdown,
+    VehicleCostModel,
+    conventional_cost_model,
+    ssv_cost_model,
+)
+from .emissions import (
+    ARGONNE_MEASUREMENTS,
+    SWEDEN_NOX_PRICING,
+    EmissionInventory,
+    EmissionPricing,
+)
+from .engine import CC_PER_GALLON, FORD_FUSION_2011, EngineSpec
+from .starter import CONVENTIONAL_STARTER, SSV_STARTER, StarterModel
+
+__all__ = [
+    "EngineSpec",
+    "FORD_FUSION_2011",
+    "CC_PER_GALLON",
+    "StarterModel",
+    "CONVENTIONAL_STARTER",
+    "SSV_STARTER",
+    "BatteryModel",
+    "STOP_START_BATTERY",
+    "TABLE1_STOPS_PER_DAY_BOUND",
+    "EmissionInventory",
+    "EmissionPricing",
+    "ARGONNE_MEASUREMENTS",
+    "SWEDEN_NOX_PRICING",
+    "BreakEvenBreakdown",
+    "VehicleCostModel",
+    "ssv_cost_model",
+    "conventional_cost_model",
+]

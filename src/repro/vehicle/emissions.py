@@ -1,0 +1,120 @@
+"""Exhaust-emission accounting (Appendix C.2.3).
+
+CO₂ scales with fuel burned, so a restart emits the CO₂ of ~10 s of
+idling — already inside the fuel term.  The catalyst-cooling emissions
+(THC, NOx, CO) are larger per restart than per idling second; Argonne's
+measurements (used verbatim here):
+
+=========  ==============  =================
+Species    per restart     per idling second
+=========  ==============  =================
+THC        44 mg           0.266 mg
+NOx        6 mg            0.0097 mg
+CO         1253 mg         0.108 mg
+=========  ==============  =================
+
+Monetized at Sweden's NOx charge (~4.3 EUR/kg, the only species with a
+meaningful levy) a restart costs ~$0.0035 *cents* — about 0.14 seconds of
+idling, which is why the paper (and our presets) round the emission term
+away in the final break-even.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+
+__all__ = ["EmissionInventory", "EmissionPricing", "ARGONNE_MEASUREMENTS", "SWEDEN_NOX_PRICING"]
+
+
+@dataclass(frozen=True)
+class EmissionInventory:
+    """Measured emissions per restart and per idling second (mg)."""
+
+    restart_thc_mg: float
+    restart_nox_mg: float
+    restart_co_mg: float
+    idle_thc_mg_per_s: float
+    idle_nox_mg_per_s: float
+    idle_co_mg_per_s: float
+
+    def __post_init__(self) -> None:
+        for name in (
+            "restart_thc_mg",
+            "restart_nox_mg",
+            "restart_co_mg",
+            "idle_thc_mg_per_s",
+            "idle_nox_mg_per_s",
+            "idle_co_mg_per_s",
+        ):
+            value = getattr(self, name)
+            if not np.isfinite(value) or value < 0.0:
+                raise InvalidParameterError(f"{name} must be >= 0, got {value!r}")
+
+    def restart_equivalent_idle_seconds(self, species: str) -> float:
+        """Seconds of idling that emit as much of ``species`` as one
+        restart — the physical (un-monetized) comparison."""
+        pairs = {
+            "thc": (self.restart_thc_mg, self.idle_thc_mg_per_s),
+            "nox": (self.restart_nox_mg, self.idle_nox_mg_per_s),
+            "co": (self.restart_co_mg, self.idle_co_mg_per_s),
+        }
+        if species not in pairs:
+            raise InvalidParameterError(
+                f"unknown species {species!r}; expected one of {sorted(pairs)}"
+            )
+        restart, idle_rate = pairs[species]
+        if idle_rate <= 0.0:
+            return float("inf") if restart > 0.0 else 0.0
+        return restart / idle_rate
+
+
+@dataclass(frozen=True)
+class EmissionPricing:
+    """Monetary charges per kilogram of pollutant (cents/kg)."""
+
+    thc_cents_per_kg: float = 0.0
+    nox_cents_per_kg: float = 0.0
+    co_cents_per_kg: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("thc_cents_per_kg", "nox_cents_per_kg", "co_cents_per_kg"):
+            value = getattr(self, name)
+            if not np.isfinite(value) or value < 0.0:
+                raise InvalidParameterError(f"{name} must be >= 0, got {value!r}")
+
+    def restart_cost_cents(self, inventory: EmissionInventory) -> float:
+        """Monetized emission cost of one restart, in cents."""
+        mg_to_kg = 1e-6
+        return (
+            inventory.restart_thc_mg * mg_to_kg * self.thc_cents_per_kg
+            + inventory.restart_nox_mg * mg_to_kg * self.nox_cents_per_kg
+            + inventory.restart_co_mg * mg_to_kg * self.co_cents_per_kg
+        )
+
+    def idling_cost_cents_per_s(self, inventory: EmissionInventory) -> float:
+        """Monetized emission cost of one idling second, in cents."""
+        mg_to_kg = 1e-6
+        return (
+            inventory.idle_thc_mg_per_s * mg_to_kg * self.thc_cents_per_kg
+            + inventory.idle_nox_mg_per_s * mg_to_kg * self.nox_cents_per_kg
+            + inventory.idle_co_mg_per_s * mg_to_kg * self.co_cents_per_kg
+        )
+
+
+#: Argonne National Laboratory's measurements, as cited in Appendix C.2.3.
+ARGONNE_MEASUREMENTS = EmissionInventory(
+    restart_thc_mg=44.0,
+    restart_nox_mg=6.0,
+    restart_co_mg=1253.0,
+    idle_thc_mg_per_s=0.266,
+    idle_nox_mg_per_s=0.0097,
+    idle_co_mg_per_s=0.108,
+)
+
+#: Sweden's NOx charge: ~4.3 EUR/kg ≈ 580 cents/kg at 2014 exchange rates.
+#: One restart then costs 6 mg * 580 cents/kg ≈ 0.0035 cents.
+SWEDEN_NOX_PRICING = EmissionPricing(nox_cents_per_kg=580.0)

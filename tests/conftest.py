@@ -1,0 +1,53 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.stats import StopStatistics
+
+
+@pytest.fixture
+def rng():
+    """A deterministically seeded random generator."""
+    return np.random.default_rng(12345)
+
+
+def feasible_statistics(
+    min_break_even: float = 1.0,
+    max_break_even: float = 100.0,
+    allow_degenerate: bool = False,
+) -> st.SearchStrategy:
+    """Hypothesis strategy producing feasible ``StopStatistics``.
+
+    Draws ``B``, ``q_B_plus`` and a fraction of the feasible
+    ``mu_B_minus`` budget ``(1 - q⁺) B``.  With ``allow_degenerate=False``
+    the expected offline cost is bounded away from zero so CRs are
+    well defined.
+    """
+
+    def build(break_even: float, q: float, mu_fraction: float) -> StopStatistics:
+        mu = mu_fraction * (1.0 - q) * break_even
+        return StopStatistics(mu_b_minus=mu, q_b_plus=q, break_even=break_even)
+
+    q_strategy = st.floats(
+        min_value=0.0 if allow_degenerate else 0.001,
+        max_value=1.0 if allow_degenerate else 0.999,
+        allow_nan=False,
+        allow_infinity=False,
+    )
+    return st.builds(
+        build,
+        break_even=st.floats(min_value=min_break_even, max_value=max_break_even),
+        q=q_strategy,
+        mu_fraction=st.floats(min_value=0.0, max_value=1.0),
+    )
+
+
+def stop_samples(max_size: int = 200, max_length: float = 1000.0) -> st.SearchStrategy:
+    """Hypothesis strategy producing non-empty stop-length arrays."""
+    return st.lists(
+        st.floats(min_value=0.0, max_value=max_length, allow_nan=False),
+        min_size=1,
+        max_size=max_size,
+    ).map(np.asarray)

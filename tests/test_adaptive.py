@@ -1,0 +1,126 @@
+"""Unit tests for the adaptive (online-estimating) selector."""
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveProposed, ProposedOnline, StopStatistics
+from repro.errors import InvalidParameterError
+
+B = 28.0
+
+
+class TestColdStart:
+    def test_plays_nrand_before_min_samples(self):
+        adaptive = AdaptiveProposed(B, min_samples=10)
+        assert adaptive.selected_name == "N-Rand"
+        for stop in [10.0] * 9:
+            adaptive.observe(stop)
+        assert adaptive.selected_name == "N-Rand"
+
+    def test_switches_after_min_samples(self):
+        adaptive = AdaptiveProposed(B, min_samples=5)
+        for stop in [10.0] * 5:  # all short -> DET territory
+            adaptive.observe(stop)
+        assert adaptive.selected_name == "DET"
+
+    def test_min_samples_validated(self):
+        with pytest.raises(InvalidParameterError):
+            AdaptiveProposed(B, min_samples=0)
+
+
+class TestStreamingEstimator:
+    def test_statistics_match_batch(self):
+        stops = np.array([5.0, 40.0, 12.0, 90.0, 3.0, 28.0])
+        adaptive = AdaptiveProposed(B, min_samples=1, prior_stops=stops)
+        streaming = adaptive.current_statistics()
+        batch = StopStatistics.from_samples(stops, B)
+        assert streaming.mu_b_minus == pytest.approx(batch.mu_b_minus)
+        assert streaming.q_b_plus == pytest.approx(batch.q_b_plus)
+
+    def test_no_statistics_before_first_stop(self):
+        assert AdaptiveProposed(B).current_statistics() is None
+
+    def test_observed_count(self):
+        adaptive = AdaptiveProposed(B, prior_stops=[1.0, 2.0, 3.0])
+        assert adaptive.observed_stops == 3
+
+    def test_all_zero_stops_keeps_fallback(self):
+        adaptive = AdaptiveProposed(B, min_samples=2, prior_stops=[0.0, 0.0, 0.0])
+        assert adaptive.selected_name == "N-Rand"
+
+
+class TestDecay:
+    def test_decay_one_matches_full_history(self):
+        stops = [5.0, 40.0, 12.0, 90.0]
+        full = AdaptiveProposed(B, min_samples=1, prior_stops=stops)
+        decayed = AdaptiveProposed(B, min_samples=1, prior_stops=stops, decay=1.0)
+        a, b = full.current_statistics(), decayed.current_statistics()
+        assert a.mu_b_minus == pytest.approx(b.mu_b_minus)
+        assert a.q_b_plus == pytest.approx(b.q_b_plus)
+
+    def test_decay_forgets_old_regime(self):
+        # 200 short stops then 200 long stops: the decayed estimator's
+        # q_B_plus approaches 1, the full-history one stays near 0.5.
+        stops = [5.0] * 200 + [100.0] * 200
+        full = AdaptiveProposed(B, min_samples=1, prior_stops=stops)
+        decayed = AdaptiveProposed(B, min_samples=1, prior_stops=stops, decay=0.95)
+        assert full.current_statistics().q_b_plus == pytest.approx(0.5)
+        assert decayed.current_statistics().q_b_plus > 0.95
+
+    def test_decay_tracks_regime_shift_selection(self):
+        # After the shift to long stops, the decayed selector moves to
+        # TOI while the full-history one is still blending regimes.
+        stops = [5.0] * 300 + [200.0] * 100
+        decayed = AdaptiveProposed(B, min_samples=1, prior_stops=stops, decay=0.9)
+        assert decayed.selected_name == "TOI"
+
+    def test_invalid_decay_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            AdaptiveProposed(B, decay=0.0)
+        with pytest.raises(InvalidParameterError):
+            AdaptiveProposed(B, decay=1.5)
+
+
+class TestConvergence:
+    def test_converges_to_static_selection(self, rng):
+        from repro.fleet import area_config
+
+        distribution = area_config("california").stop_length_distribution()
+        stops = distribution.sample(400, rng)
+        adaptive = AdaptiveProposed(B, min_samples=10, prior_stops=stops)
+        static = ProposedOnline.from_samples(stops, B)
+        assert adaptive.selected_name == static.selected_name
+
+    def test_run_online_costs_match_protocol(self, rng):
+        # With min_samples=1 and deterministic vertex winners, costs must
+        # follow Eq. (3) with the threshold selected *before* each stop.
+        adaptive = AdaptiveProposed(B, min_samples=1)
+        stops = np.array([10.0, 10.0, 100.0])
+        costs = adaptive.run_online(stops, rng)
+        # First stop: N-Rand draw (cost <= stop + B); later stops use the
+        # re-selected strategy.
+        assert costs.shape == (3,)
+        assert np.all(costs <= stops + B + 1e-9)
+        assert np.all(costs >= np.minimum(stops, B) - 1e-9)
+
+    def test_regret_shrinks_with_experience(self, rng):
+        # Realized mean cost of the adaptive controller approaches the
+        # static (omniscient) proposed strategy's expected cost.
+        from repro.core.analysis import empirical_online_cost
+        from repro.fleet import area_config
+
+        distribution = area_config("chicago").stop_length_distribution()
+        stops = distribution.sample(1500, rng)
+        adaptive = AdaptiveProposed(B, min_samples=10)
+        realized = adaptive.run_online(stops, rng).mean()
+        static = ProposedOnline.from_samples(stops, B)
+        expected = empirical_online_cost(static, stops)
+        assert realized == pytest.approx(expected, rel=0.1)
+
+    def test_expected_cost_delegates(self):
+        adaptive = AdaptiveProposed(B, min_samples=1, prior_stops=[5.0, 6.0])
+        # DET selected: expected cost of a short stop is the stop itself.
+        assert adaptive.expected_cost(10.0) == 10.0
+        np.testing.assert_allclose(
+            adaptive.expected_cost_vec(np.array([10.0, 100.0])), [10.0, B + B]
+        )

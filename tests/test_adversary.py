@@ -1,0 +1,108 @@
+"""Unit tests for the adversarial distribution constructions."""
+
+import pytest
+
+from repro.core.adversary import (
+    appendix_a_adversary,
+    conditional_mean_adversary,
+    worst_case_for_bdet,
+)
+from repro.core.analysis import expected_online_cost
+from repro.core.deterministic import BDet, Deterministic, optimal_b
+from repro.core.stats import StopStatistics
+from repro.core.strategy import DeterministicThresholdStrategy
+from repro.errors import InvalidParameterError
+
+B = 28.0
+
+
+def statistics_round_trip(distribution, break_even):
+    return StopStatistics.from_distribution(distribution, break_even)
+
+
+class TestWorstCaseForBDet:
+    def test_statistics_round_trip(self):
+        stats = StopStatistics(0.05 * B, 0.3, B)
+        b = optimal_b(stats)
+        adversary = worst_case_for_bdet(stats, b)
+        recovered = statistics_round_trip(adversary, B)
+        assert recovered.mu_b_minus == pytest.approx(stats.mu_b_minus)
+        assert recovered.q_b_plus == pytest.approx(stats.q_b_plus)
+
+    def test_achieves_eq34_cost(self):
+        # Against its worst case, b-DET's cost is exactly
+        # (b + B)(mu-/b + q+).
+        stats = StopStatistics(0.05 * B, 0.3, B)
+        b = optimal_b(stats)
+        adversary = worst_case_for_bdet(stats, b)
+        cost = expected_online_cost(BDet(B, b), adversary)
+        expected = (b + B) * (stats.mu_b_minus / b + stats.q_b_plus)
+        assert cost == pytest.approx(expected)
+
+    def test_rejects_b_outside_range(self):
+        stats = StopStatistics(0.05 * B, 0.3, B)
+        with pytest.raises(InvalidParameterError):
+            worst_case_for_bdet(stats, 0.0)
+        with pytest.raises(InvalidParameterError):
+            worst_case_for_bdet(stats, B)
+
+    def test_rejects_b_below_conditional_constraint(self):
+        # q2 = mu-/b must fit in the available short-stop mass.
+        stats = StopStatistics(0.5 * B, 0.4, B)
+        tiny_b = stats.mu_b_minus / (1.0 - stats.q_b_plus) * 0.5
+        with pytest.raises(InvalidParameterError):
+            worst_case_for_bdet(stats, tiny_b)
+
+    def test_custom_long_length_validated(self):
+        stats = StopStatistics(0.05 * B, 0.3, B)
+        with pytest.raises(InvalidParameterError):
+            worst_case_for_bdet(stats, optimal_b(stats), long_length=B / 2)
+
+
+class TestConditionalMeanAdversary:
+    def test_statistics_round_trip(self):
+        stats = StopStatistics(0.2 * B, 0.3, B)
+        adversary = conditional_mean_adversary(stats)
+        recovered = statistics_round_trip(adversary, B)
+        assert recovered.mu_b_minus == pytest.approx(stats.mu_b_minus)
+        assert recovered.q_b_plus == pytest.approx(stats.q_b_plus)
+
+    def test_punishes_low_b(self):
+        # Any b-DET with b <= conditional mean pays b + B on every stop,
+        # which is worse than TOI's B.
+        stats = StopStatistics(0.2 * B, 0.3, B)
+        adversary = conditional_mean_adversary(stats)
+        low_b = stats.short_stop_conditional_mean
+        cost = expected_online_cost(BDet(B, low_b), adversary)
+        assert cost == pytest.approx(low_b + B)
+        assert cost > B
+
+    def test_rejects_all_long(self):
+        with pytest.raises(InvalidParameterError):
+            conditional_mean_adversary(StopStatistics(0.0, 1.0, B))
+
+
+class TestAppendixAAdversary:
+    def test_idling_past_b_is_dominated_by_det(self):
+        # Eq. (40): cost of threshold c > B dominates DET's cost.
+        stats = StopStatistics(0.2 * B, 0.3, B)
+        for c in (1.2 * B, 2.0 * B, 5.0 * B):
+            adversary = appendix_a_adversary(stats, c)
+            cost_c = expected_online_cost(
+                DeterministicThresholdStrategy(B, threshold=c), adversary
+            )
+            cost_det = expected_online_cost(Deterministic(B), adversary)
+            assert cost_c >= cost_det - 1e-9
+            expected = stats.mu_b_minus + stats.q_b_plus * (c + B)
+            assert cost_c == pytest.approx(expected, rel=1e-6)
+
+    def test_requires_c_above_b(self):
+        stats = StopStatistics(0.2 * B, 0.3, B)
+        with pytest.raises(InvalidParameterError):
+            appendix_a_adversary(stats, B)
+
+    def test_all_long_variant(self):
+        stats = StopStatistics(0.0, 1.0, B)
+        adversary = appendix_a_adversary(stats, 2.0 * B)
+        recovered = statistics_round_trip(adversary, B)
+        assert recovered.q_b_plus == 1.0

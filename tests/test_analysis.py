@@ -1,0 +1,214 @@
+"""Unit tests for the expected-cost / CR evaluation layer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import E
+from repro.core.analysis import (
+    empirical_cr,
+    empirical_offline_cost,
+    empirical_online_cost,
+    expected_cr,
+    expected_cr_prime,
+    expected_offline_cost,
+    expected_online_cost,
+    monte_carlo_online_cost,
+    worst_case_cr,
+    worst_case_expected_cost,
+)
+from repro.core.constrained import ConstrainedSkiRentalSolver, ProposedOnline
+from repro.core.deterministic import BDet, Deterministic, NeverOff, TurnOffImmediately
+from repro.core.randomized import MOMRand, NRand
+from repro.core.stats import StopStatistics
+from repro.distributions import (
+    DiscreteStopDistribution,
+    EmpiricalDistribution,
+    Exponential,
+    Uniform,
+)
+from repro.errors import InvalidParameterError
+
+B = 28.0
+
+
+class TestExpectedOfflineCost:
+    def test_matches_eq13(self):
+        dist = Exponential(40.0)
+        stats = StopStatistics.from_distribution(dist, B)
+        assert expected_offline_cost(dist, B) == pytest.approx(
+            stats.expected_offline_cost
+        )
+
+    def test_uniform_all_short(self):
+        assert expected_offline_cost(Uniform(0, 20), B) == pytest.approx(10.0)
+
+
+class TestExpectedOnlineCost:
+    def test_deterministic_threshold_closed_form(self):
+        dist = Exponential(40.0)
+        det = Deterministic(B)
+        # mu_B_minus + 2 q_B_plus B for DET (Eq. 14).
+        stats = StopStatistics.from_distribution(dist, B)
+        assert expected_online_cost(det, dist) == pytest.approx(
+            stats.mu_b_minus + 2 * stats.q_b_plus * B, rel=1e-9
+        )
+
+    def test_toi_constant_b(self):
+        assert expected_online_cost(TurnOffImmediately(B), Exponential(40.0)) == pytest.approx(B)
+
+    def test_nev_is_distribution_mean(self):
+        assert expected_online_cost(NeverOff(B), Exponential(40.0)) == pytest.approx(40.0)
+
+    def test_nrand_ratio_property(self):
+        dist = Exponential(40.0)
+        assert expected_online_cost(NRand(B), dist) == pytest.approx(
+            E / (E - 1) * expected_offline_cost(dist, B), rel=1e-7
+        )
+
+    def test_discrete_distribution_exact_sum(self):
+        dist = DiscreteStopDistribution([5.0, 60.0], [0.5, 0.5])
+        nr = NRand(B)
+        expected = 0.5 * nr.expected_cost(5.0) + 0.5 * nr.expected_cost(60.0)
+        assert expected_online_cost(nr, dist) == pytest.approx(expected)
+
+    def test_empirical_distribution_exact_sum(self):
+        stops = np.array([5.0, 60.0, 12.0])
+        dist = EmpiricalDistribution(stops)
+        det = Deterministic(B)
+        assert expected_online_cost(det, dist) == pytest.approx(
+            det.expected_cost_vec(stops).mean()
+        )
+
+    def test_break_even_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            expected_online_cost(Deterministic(B), Exponential(40.0), break_even=47.0)
+
+
+class TestExpectedCR:
+    def test_cr_at_least_one(self):
+        dist = Exponential(40.0)
+        for strategy in (Deterministic(B), TurnOffImmediately(B), NRand(B), BDet(B, 10.0)):
+            assert expected_cr(strategy, dist) >= 1.0 - 1e-9
+
+    def test_nrand_cr_is_constant(self):
+        for mean in (10.0, 40.0, 200.0):
+            assert expected_cr(NRand(B), Exponential(mean)) == pytest.approx(
+                E / (E - 1), rel=1e-7
+            )
+
+    def test_zero_offline_rejected(self):
+        dist = DiscreteStopDistribution([0.0], [1.0])
+        with pytest.raises(InvalidParameterError):
+            expected_cr(Deterministic(B), dist)
+
+
+class TestCRPrime:
+    def test_momrand_bound_holds(self):
+        # CR' <= 1 + mu / (2B(e-2)) in the revised regime (Eq. 8 metric).
+        dist = Uniform(0.0, 40.0)  # mean 20 <= 0.836 B
+        mom = MOMRand(B, 20.0)
+        bound = mom.cr_prime_bound()
+        assert expected_cr_prime(mom, dist) <= bound + 1e-9
+
+    def test_discrete_excludes_zero_stops(self):
+        dist = DiscreteStopDistribution([0.0, 10.0], [0.5, 0.5])
+        det = Deterministic(B)
+        # Among positive stops, DET is offline-optimal (y < B -> ratio 1).
+        assert expected_cr_prime(det, dist) == pytest.approx(1.0)
+
+    def test_all_zero_stops_rejected(self):
+        dist = DiscreteStopDistribution([0.0], [1.0])
+        with pytest.raises(InvalidParameterError):
+            expected_cr_prime(Deterministic(B), dist)
+
+
+class TestEmpiricalEvaluators:
+    def test_offline_mean(self):
+        stops = np.array([10.0, 100.0])
+        assert empirical_offline_cost(stops, B) == pytest.approx((10.0 + B) / 2)
+
+    def test_online_uses_expected_cost(self):
+        stops = np.array([10.0, 100.0])
+        nr = NRand(B)
+        assert empirical_online_cost(nr, stops) == pytest.approx(
+            nr.expected_cost_vec(stops).mean()
+        )
+
+    def test_cr_ratio(self):
+        stops = np.array([10.0, 100.0])
+        det = Deterministic(B)
+        expected = det.expected_cost_vec(stops).mean() / empirical_offline_cost(stops, B)
+        assert empirical_cr(det, stops) == pytest.approx(expected)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            empirical_offline_cost(np.array([]), B)
+        with pytest.raises(InvalidParameterError):
+            empirical_online_cost(Deterministic(B), np.array([]))
+
+
+class TestMonteCarlo:
+    def test_agrees_with_exact_for_randomized(self, rng):
+        stops = Exponential(40.0).sample(20000, rng)
+        nr = NRand(B)
+        mc = monte_carlo_online_cost(nr, stops, rng)
+        exact = empirical_online_cost(nr, stops)
+        assert mc == pytest.approx(exact, rel=0.02)
+
+    def test_nev_infinite_threshold_handled(self, rng):
+        stops = np.array([10.0, 500.0])
+        assert monte_carlo_online_cost(NeverOff(B), stops, rng) == pytest.approx(255.0)
+
+
+class TestWorstCaseOverQ:
+    def test_matches_analytic_det(self):
+        stats = StopStatistics(0.2 * B, 0.3, B)
+        numeric = worst_case_expected_cost(Deterministic(B), stats)
+        assert numeric == pytest.approx(stats.mu_b_minus + 2 * stats.q_b_plus * B, rel=1e-6)
+
+    def test_matches_analytic_toi(self):
+        stats = StopStatistics(0.2 * B, 0.3, B)
+        assert worst_case_expected_cost(TurnOffImmediately(B), stats) == pytest.approx(
+            B, rel=1e-6
+        )
+
+    def test_matches_analytic_nrand(self):
+        stats = StopStatistics(0.2 * B, 0.3, B)
+        assert worst_case_expected_cost(NRand(B), stats) == pytest.approx(
+            E / (E - 1) * stats.expected_offline_cost, rel=1e-4
+        )
+
+    def test_matches_eq34_for_bdet(self):
+        stats = StopStatistics(0.05 * B, 0.3, B)
+        from repro.core.deterministic import optimal_b
+
+        b = optimal_b(stats)
+        numeric = worst_case_expected_cost(BDet(B, b), stats, grid_size=4096)
+        expected = (b + B) * (stats.mu_b_minus / b + stats.q_b_plus)
+        assert numeric == pytest.approx(expected, rel=1e-3)
+
+    def test_nev_unbounded_with_long_stops(self):
+        stats = StopStatistics(0.2 * B, 0.3, B)
+        assert worst_case_expected_cost(NeverOff(B), stats) == math.inf
+
+    def test_nev_bounded_without_long_stops(self):
+        stats = StopStatistics(0.2 * B, 0.0, B)
+        assert worst_case_expected_cost(NeverOff(B), stats) == pytest.approx(
+            stats.mu_b_minus
+        )
+
+    def test_proposed_minimizes_worst_case(self):
+        # The proposed strategy's numeric worst case never exceeds any
+        # baseline's numeric worst case (the paper's headline guarantee).
+        for mu_frac, q in [(0.02, 0.3), (0.3, 0.3), (0.6, 0.1), (0.05, 0.7)]:
+            stats = StopStatistics(mu_frac * B, q, B)
+            proposed_cr = worst_case_cr(ProposedOnline(stats), stats)
+            for baseline in (Deterministic(B), TurnOffImmediately(B), NRand(B)):
+                assert proposed_cr <= worst_case_cr(baseline, stats) + 1e-4
+
+    def test_tiny_grid_rejected(self):
+        stats = StopStatistics(0.2 * B, 0.3, B)
+        with pytest.raises(InvalidParameterError):
+            worst_case_expected_cost(Deterministic(B), stats, grid_size=2)

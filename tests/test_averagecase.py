@@ -1,0 +1,91 @@
+"""Unit tests for the average-case (known-distribution) analysis [10]."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.averagecase import (
+    expected_cost_of_threshold,
+    exponential_expected_cost,
+    exponential_optimal_threshold,
+    optimal_threshold,
+)
+from repro.distributions import DiscreteStopDistribution, Exponential, Uniform
+from repro.errors import InvalidParameterError
+
+B = 28.0
+
+
+class TestExponentialClosedForm:
+    def test_matches_generic_evaluator(self):
+        dist = Exponential(40.0)
+        for x in (0.0, 10.0, B, 2 * B):
+            assert exponential_expected_cost(x, 40.0, B) == pytest.approx(
+                expected_cost_of_threshold(x, dist, B), rel=1e-9
+            )
+
+    def test_infinite_threshold_is_mean(self):
+        assert exponential_expected_cost(math.inf, 40.0, B) == 40.0
+
+    def test_monotone_decreasing_when_mean_below_b(self):
+        costs = [exponential_expected_cost(x, 20.0, B) for x in (0.0, 10.0, 50.0)]
+        assert costs[0] > costs[1] > costs[2]
+
+    def test_monotone_increasing_when_mean_above_b(self):
+        costs = [exponential_expected_cost(x, 60.0, B) for x in (0.0, 10.0, 50.0)]
+        assert costs[0] < costs[1] < costs[2]
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            exponential_expected_cost(10.0, -1.0, B)
+        with pytest.raises(InvalidParameterError):
+            exponential_expected_cost(-1.0, 10.0, B)
+
+
+class TestExponentialBangBang:
+    def test_short_mean_prefers_nev(self):
+        result = exponential_optimal_threshold(20.0, B)
+        assert math.isinf(result.threshold)
+        assert result.expected_cost == 20.0
+
+    def test_long_mean_prefers_toi(self):
+        result = exponential_optimal_threshold(60.0, B)
+        assert result.threshold == 0.0
+        assert result.expected_cost == B
+
+    def test_numeric_search_agrees(self):
+        for mean in (15.0, 80.0):
+            closed = exponential_optimal_threshold(mean, B)
+            numeric = optimal_threshold(Exponential(mean), B, grid_size=64)
+            assert numeric.expected_cost == pytest.approx(closed.expected_cost, rel=0.01)
+
+
+class TestNumericSearch:
+    def test_interior_optimum_for_bimodal(self):
+        # Short stops at 5 s (80%) and long at 200 s (20%): the optimum
+        # waits out the short stops then shuts off -> interior threshold.
+        dist = DiscreteStopDistribution([5.0, 200.0], [0.8, 0.2])
+        result = optimal_threshold(dist, B)
+        assert 5.0 <= result.threshold < 200.0
+        assert not math.isinf(result.threshold)
+        # Expected cost at the optimum: 0.8*5 + 0.2*(x + B) minimized at
+        # any x in (5, 200]... actually just above 5: ~ 4 + 0.2*(5+28).
+        assert result.expected_cost == pytest.approx(0.8 * 5 + 0.2 * (5 + B), rel=0.05)
+
+    def test_never_worse_than_standard_thresholds(self):
+        for dist in (Exponential(40.0), Uniform(0.0, 120.0)):
+            best = optimal_threshold(dist, B)
+            for x in (0.0, B / 2, B, 2 * B):
+                assert best.expected_cost <= expected_cost_of_threshold(x, dist, B) + 1e-6
+
+    def test_never_worse_than_offline_bound(self):
+        from repro.core.analysis import expected_offline_cost
+
+        dist = Uniform(0.0, 120.0)
+        best = optimal_threshold(dist, B)
+        assert best.expected_cost >= expected_offline_cost(dist, B) - 1e-9
+
+    def test_tiny_grid_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            optimal_threshold(Exponential(40.0), B, grid_size=4)

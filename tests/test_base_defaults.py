@@ -1,0 +1,79 @@
+"""Tests for default implementations on the abstract base classes and
+the package-level docstring example."""
+
+import doctest
+
+import numpy as np
+import pytest
+
+import repro
+from repro.distributions.base import StopLengthDistribution
+from repro.errors import InvalidDistributionError
+
+
+class TriangularStops(StopLengthDistribution):
+    """Minimal concrete distribution: triangular on [0, 2m] with mean m.
+
+    Implements only cdf/pdf/sample — everything else exercises the base
+    class defaults (survival, quadrature partial_expectation, survival-
+    integral mean).
+    """
+
+    def __init__(self, mean: float) -> None:
+        self.peak = 2.0 * mean
+        self.name = "triangular"
+
+    def pdf(self, y: float) -> float:
+        if not 0.0 <= y <= self.peak:
+            return 0.0
+        return 2.0 * (self.peak - y) / (self.peak * self.peak)
+
+    def cdf(self, y: float) -> float:
+        if y <= 0.0:
+            return 0.0
+        if y >= self.peak:
+            return 1.0
+        return 1.0 - (self.peak - y) ** 2 / (self.peak * self.peak)
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        u = rng.uniform(size=count)
+        return self.peak * (1.0 - np.sqrt(1.0 - u))
+
+
+class TestBaseDefaults:
+    @pytest.fixture(scope="class")
+    def dist(self):
+        return TriangularStops(mean=30.0)
+
+    def test_default_survival(self, dist):
+        assert dist.survival(20.0) == pytest.approx(1.0 - dist.cdf(20.0))
+
+    def test_default_mean_via_survival_integral(self, dist):
+        # Triangular(0, 0, peak) has mean peak/3 = 20... careful: with
+        # pdf 2(p - y)/p^2, the mean is p/3.
+        assert dist.mean() == pytest.approx(dist.peak / 3.0, rel=1e-6)
+
+    def test_default_partial_expectation_quadrature(self, dist):
+        full = dist.partial_expectation(dist.peak + 1.0)
+        assert full == pytest.approx(dist.mean(), rel=1e-6)
+        assert dist.partial_expectation(0.0) == 0.0
+        partial = dist.partial_expectation(dist.peak / 2.0)
+        assert 0.0 < partial < full
+
+    def test_sampling_matches_moments(self, dist, rng):
+        samples = dist.sample(50000, rng)
+        assert samples.mean() == pytest.approx(dist.mean(), rel=0.03)
+
+    def test_discrete_pdf_raises(self):
+        from repro.distributions import DiscreteStopDistribution
+
+        dist = DiscreteStopDistribution([1.0], [1.0])
+        with pytest.raises(InvalidDistributionError):
+            dist.pdf(1.0)
+
+
+class TestPackageDocstring:
+    def test_quickstart_doctest(self):
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+        assert results.attempted >= 2

@@ -1,0 +1,179 @@
+"""Unit tests for b-Rand (the truncated-exponential improvement) and the
+five-candidate improved solver."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.constants import E, E_RATIO
+from repro.core import (
+    BRand,
+    ConstrainedSkiRentalSolver,
+    ImprovedConstrainedSolver,
+    NRand,
+    StopStatistics,
+    b_rand_worst_case_cost,
+    optimal_beta,
+)
+from repro.core.analysis import worst_case_cr
+from repro.errors import InvalidParameterError
+
+B = 28.0
+
+
+class TestBRandDistribution:
+    def test_pdf_integrates_to_one(self):
+        for beta in (5.0, 14.0, B):
+            strategy = BRand(B, beta)
+            total, _ = integrate.quad(strategy.pdf, 0.0, beta)
+            assert total == pytest.approx(1.0, rel=1e-9)
+
+    def test_reduces_to_nrand_at_full_support(self):
+        brand = BRand(B, B)
+        nrand = NRand(B)
+        for x in (0.0, 10.0, B):
+            assert brand.pdf(x) == pytest.approx(nrand.pdf(x))
+        for y in (5.0, B, 100.0):
+            assert brand.expected_cost(y) == pytest.approx(nrand.expected_cost(y))
+
+    def test_cdf_matches_quadrature(self):
+        strategy = BRand(B, 10.0)
+        for x in (2.0, 5.0, 9.0):
+            numeric, _ = integrate.quad(strategy.pdf, 0.0, x)
+            assert strategy.cdf(x) == pytest.approx(numeric, rel=1e-9)
+
+    def test_inverse_cdf_round_trips(self):
+        strategy = BRand(B, 10.0)
+        for u in (0.0, 0.3, 0.7, 1.0):
+            assert strategy.cdf(strategy.inverse_cdf(u)) == pytest.approx(u, abs=1e-12)
+
+    def test_invalid_beta_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            BRand(B, 0.0)
+        with pytest.raises(InvalidParameterError):
+            BRand(B, B + 1.0)
+
+    def test_sampling_stays_in_support(self, rng):
+        strategy = BRand(B, 9.0)
+        draws = strategy.draw_thresholds(300, rng)
+        assert np.all((draws >= 0.0) & (draws <= 9.0))
+
+
+class TestBRandCost:
+    def test_linear_then_flat(self):
+        strategy = BRand(B, 10.0)
+        slope = strategy.expected_cost(1.0)
+        for y in (2.0, 5.0, 10.0):
+            assert strategy.expected_cost(y) == pytest.approx(slope * y, rel=1e-12)
+        flat = strategy.expected_cost(10.0)
+        for y in (11.0, B, 500.0):
+            assert strategy.expected_cost(y) == pytest.approx(flat, rel=1e-12)
+
+    def test_expected_cost_matches_quadrature(self):
+        strategy = BRand(B, 10.0)
+        for y in (4.0, 9.0, 15.0):
+            numeric, _ = integrate.quad(
+                lambda x: (x + B) * strategy.pdf(x), 0.0, min(y, 10.0)
+            )
+            numeric += y * (1.0 - strategy.cdf(y))
+            assert strategy.expected_cost(y) == pytest.approx(numeric, rel=1e-8)
+
+    def test_vectorised_matches_scalar(self):
+        strategy = BRand(B, 10.0)
+        y = np.array([0.0, 5.0, 10.0, B, 100.0])
+        np.testing.assert_allclose(
+            strategy.expected_cost_vec(y), [strategy.expected_cost(v) for v in y]
+        )
+
+
+class TestOptimalBeta:
+    def test_stationarity_condition(self):
+        # e^t - 1 - t = mu- / (q+ B) at the optimum.
+        stats = StopStatistics(0.02 * B, 0.3, B)
+        t = optimal_beta(stats) / B
+        assert math.expm1(t) - t == pytest.approx(
+            stats.mu_b_minus / (stats.q_b_plus * B), rel=1e-9
+        )
+
+    def test_full_support_beyond_threshold(self):
+        # mu- > (e-2) q+ B -> beta* = B (N-Rand).
+        # Construct directly: ratio = mu-/(q+B) > e-2.
+        stats = StopStatistics((E - 2.0) * 0.3 * B * 1.2, 0.3, B)
+        assert optimal_beta(stats) == B
+
+    def test_beta_minimizes_cost(self):
+        stats = StopStatistics(0.02 * B, 0.3, B)
+        beta_star = optimal_beta(stats)
+        best = b_rand_worst_case_cost(stats)
+        for factor in (0.5, 0.8, 1.2, 2.0):
+            other = beta_star * factor
+            if 0.0 < other <= B:
+                cost = worst_case_cr(BRand(B, other), stats, grid_size=1024)
+                assert best / stats.expected_offline_cost <= cost + 1e-4
+
+    def test_no_long_stops_gives_full_support(self):
+        assert optimal_beta(StopStatistics(10.0, 0.0, B)) == B
+
+
+class TestWorstCaseCost:
+    def test_matches_moment_lp(self):
+        # The concavity argument vs the general-purpose adversary LP.
+        for mu_frac, q in [(0.02, 0.3), (0.1, 0.2), (0.3, 0.3)]:
+            stats = StopStatistics(mu_frac * B, q, B)
+            beta = optimal_beta(stats)
+            analytic = b_rand_worst_case_cost(stats) / stats.expected_offline_cost
+            numeric = worst_case_cr(BRand(B, max(beta, 1e-9 * B)), stats, grid_size=4096)
+            assert analytic == pytest.approx(numeric, rel=2e-3)
+
+    def test_never_exceeds_nrand(self):
+        for mu_frac in (0.01, 0.1, 0.3, 0.6):
+            for q in (0.05, 0.2, 0.5, 0.9):
+                if mu_frac > 1 - q:
+                    continue
+                stats = StopStatistics(mu_frac * B, q, B)
+                cr = b_rand_worst_case_cost(stats) / stats.expected_offline_cost
+                assert cr <= E_RATIO + 1e-9
+
+
+class TestImprovedSolver:
+    def test_never_worse_than_paper(self):
+        for mu_frac in (0.0, 0.02, 0.1, 0.3, 0.6, 0.9):
+            for q in (0.01, 0.1, 0.3, 0.6, 0.95):
+                if mu_frac > 1 - q:
+                    continue
+                stats = StopStatistics(mu_frac * B, q, B)
+                improved = ImprovedConstrainedSolver(stats).select()
+                assert improved.worst_case_cr <= (
+                    improved.paper_selection.worst_case_cr + 1e-9
+                )
+                assert improved.improvement_over_paper >= -1e-9
+
+    def test_strictly_better_in_bdet_region(self):
+        stats = StopStatistics(0.02 * B, 0.3, B)
+        improved = ImprovedConstrainedSolver(stats).select()
+        assert improved.chosen_name == "b-Rand"
+        assert improved.paper_selection.name == "b-DET"
+        assert improved.improvement_over_paper > 0.1
+
+    def test_agrees_with_paper_in_det_toi_regions(self):
+        for mu_frac, q, expected in [(0.5, 0.05, "DET"), (0.05, 0.8, "TOI")]:
+            improved = ImprovedConstrainedSolver(
+                StopStatistics(mu_frac * B, q, B)
+            ).select()
+            assert improved.chosen_name == expected
+            assert improved.improvement_over_paper == pytest.approx(0.0, abs=1e-12)
+
+    def test_build_strategy_matches_choice(self):
+        stats = StopStatistics(0.02 * B, 0.3, B)
+        improved = ImprovedConstrainedSolver(stats).select()
+        strategy = improved.build_strategy()
+        assert strategy.name == "b-Rand"
+        # The built strategy achieves the reported worst case (moment LP).
+        numeric = worst_case_cr(strategy, stats, grid_size=4096)
+        assert numeric == pytest.approx(improved.worst_case_cr, rel=2e-3)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ImprovedConstrainedSolver(StopStatistics(0.0, 0.0, B))

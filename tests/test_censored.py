@@ -1,0 +1,83 @@
+"""Unit tests for right-censored stop observations and their effect on
+the constrained statistics vs the first moment."""
+
+import numpy as np
+import pytest
+
+from repro.constants import MOM_RAND_MU_THRESHOLD
+from repro.core import MOMRand, StopStatistics
+from repro.distributions import CensoredDistribution, Exponential, Pareto
+from repro.errors import InvalidParameterError
+
+B = 28.0
+
+
+class TestCensoredDistribution:
+    @pytest.fixture(scope="class")
+    def censored(self):
+        return CensoredDistribution(Exponential(60.0), ceiling=300.0)
+
+    def test_cdf_saturates_at_ceiling(self, censored):
+        assert censored.cdf(300.0) == 1.0
+        assert censored.cdf(100.0) == pytest.approx(Exponential(60.0).cdf(100.0))
+
+    def test_survival_zero_past_ceiling(self, censored):
+        assert censored.survival(301.0) == 0.0
+        # The atom at the ceiling keeps the closed-event convention.
+        assert censored.survival(300.0) == pytest.approx(
+            Exponential(60.0).survival(300.0)
+        )
+
+    def test_mean_is_expected_min(self, censored, rng):
+        samples = np.minimum(Exponential(60.0).sample(100000, rng), 300.0)
+        assert censored.mean() == pytest.approx(samples.mean(), rel=0.02)
+
+    def test_sampling_capped(self, censored, rng):
+        samples = censored.sample(5000, rng)
+        assert samples.max() <= 300.0
+
+    def test_censoring_probability(self, censored):
+        assert censored.censoring_probability() == pytest.approx(
+            np.exp(-300.0 / 60.0), rel=1e-9
+        )
+
+    def test_invalid_ceiling_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            CensoredDistribution(Exponential(60.0), 0.0)
+
+
+class TestCensoringBias:
+    def test_constrained_statistics_unbiased_above_b(self):
+        # With the ceiling above B, (mu-, q+) are exactly the base's.
+        base = Pareto(alpha=1.6, scale=200.0)
+        censored = CensoredDistribution(base, ceiling=600.0)
+        base_stats = StopStatistics.from_distribution(base, B)
+        censored_stats = StopStatistics.from_distribution(censored, B)
+        assert censored_stats.mu_b_minus == pytest.approx(base_stats.mu_b_minus, rel=1e-9)
+        assert censored_stats.q_b_plus == pytest.approx(base_stats.q_b_plus, rel=1e-9)
+
+    def test_first_moment_biased_down(self):
+        base = Pareto(alpha=1.6, scale=200.0)
+        censored = CensoredDistribution(base, ceiling=600.0)
+        assert censored.mean() < base.mean()
+
+    def test_censoring_can_flip_mom_rand_regime(self):
+        # A heavy tail keeps the true mean above the MOM-Rand threshold,
+        # but aggressive censoring drags the *observed* mean below it —
+        # MOM-Rand would then wrongly switch to its revised pdf while the
+        # (mu-, q+) statistics are untouched.
+        base = Pareto(alpha=1.2, scale=30.0)  # true mean 150
+        threshold = MOM_RAND_MU_THRESHOLD * B  # ~23.4 s
+        assert base.mean() > threshold
+        censored = CensoredDistribution(base, ceiling=B + 1.0)
+        assert censored.mean() < threshold
+        assert not MOMRand(B, base.mean()).uses_revised_pdf
+        assert MOMRand(B, censored.mean()).uses_revised_pdf
+
+    def test_ceiling_below_b_does_bias_q_plus(self):
+        # Documented failure mode: censoring below B destroys the
+        # long-stop statistic too (stops appear short).
+        base = Exponential(60.0)
+        censored = CensoredDistribution(base, ceiling=B / 2.0)
+        stats = StopStatistics.from_distribution(censored, B)
+        assert stats.q_b_plus == 0.0  # everything observed below B

@@ -1,0 +1,129 @@
+"""Unit tests for the repro-idling command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_requires_known_experiment(self, capsys):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "fig99"])
+
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+
+class TestCommands:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in ("fig1", "fig4", "table1", "appc"):
+            assert experiment_id in out
+
+    def test_run_appc(self, capsys):
+        assert main(["run", "appc"]) == 0
+        out = capsys.readouterr().out
+        assert "break-even" in out
+        assert "28" in out and "47" in out
+
+    def test_run_with_csv_output(self, tmp_path, capsys):
+        assert main(["run", "appc", "--out", str(tmp_path)]) == 0
+        written = list(tmp_path.glob("appc_*.csv"))
+        assert len(written) == 3
+
+    def test_run_fast_fig1(self, capsys):
+        assert main(["run", "fig1", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "region" in out
+
+    def test_advise_with_inline_stops(self, capsys):
+        stops = ",".join(["12", "45", "300", "8", "22", "90", "15", "600"])
+        assert main(["advise", "--stops", stops, "--break-even", "28"]) == 0
+        out = capsys.readouterr().out
+        assert "selected strategy" in out
+        assert "worst-case expected CR" in out
+
+    def test_advise_with_stop_file(self, tmp_path, capsys):
+        path = tmp_path / "stops.txt"
+        path.write_text("12\n45\n300\n8\n")
+        assert main(["advise", "--stops", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "stops observed:        4" in out
+
+    def test_advise_reports_error_for_bad_input(self, capsys):
+        # Negative stop lengths are invalid -> exit code 1 + stderr note.
+        assert main(["advise", "--stops=-5,10"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_all_fast_runs_every_experiment(self, tmp_path, capsys):
+        assert main(["all", "--fast", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in (
+            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "table1", "appc",
+            "improved",
+        ):
+            assert f"== {experiment_id}:" in out
+        # CSVs were written for every experiment.
+        assert len(list(tmp_path.glob("*.csv"))) >= 9
+
+    def test_breakeven_ssv_default(self, capsys):
+        assert main(["breakeven"]) == 0
+        out = capsys.readouterr().out
+        assert "break-even interval B" in out
+        assert "starter wear" in out
+
+    def test_breakeven_conventional_larger(self, capsys):
+        assert main(["breakeven", "--conventional"]) == 0
+        conventional = capsys.readouterr().out
+        assert main(["breakeven"]) == 0
+        ssv = capsys.readouterr().out
+
+        def extract(text):
+            line = [l for l in text.splitlines() if l.startswith("break-even")][0]
+            return float(line.split()[-2])
+
+        assert extract(conventional) > extract(ssv)
+
+    def test_breakeven_measured_rate_override(self, capsys):
+        assert main(["breakeven", "--measured-idle-cc-per-s", "0.279"]) == 0
+        out = capsys.readouterr().out
+        assert "0.279 cc/s" in out
+
+    def test_simulate_runs(self, capsys):
+        assert main(["simulate", "--area", "chicago", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "offline optimum" in out
+        assert "factory TOI" in out
+
+    def test_simulate_unknown_area_errors(self, capsys):
+        assert main(["simulate", "--area", "gotham"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_advise_improved_flag(self, capsys):
+        # A b-DET-region sample: the corrected solver proposes b-Rand
+        # with a strictly better guarantee.
+        stops = ",".join(["1"] * 14 + ["100"] * 6)
+        assert main(["advise", "--stops", stops, "--break-even", "28", "--improved"]) == 0
+        out = capsys.readouterr().out
+        assert "b-Rand correction" in out
+        assert "corrected worst-case CR" in out
+
+    def test_dataset_round_trip(self, tmp_path, capsys):
+        assert main(["dataset", str(tmp_path / "ds"), "--vehicles", "3", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote 9 vehicles" in out
+        from repro.fleet import load_fleet_dataset
+
+        fleets = load_fleet_dataset(tmp_path / "ds")
+        assert sum(len(v) for v in fleets.values()) == 9
+
+    def test_advise_each_strategy_branch(self, capsys):
+        # All short stops -> DET advice text.
+        assert main(["advise", "--stops", "5,6,7,8", "--break-even", "28"]) == 0
+        assert "idle until B" in capsys.readouterr().out
+        # All long stops -> TOI advice text.
+        assert main(["advise", "--stops", "100,200,300", "--break-even", "28"]) == 0
+        assert "immediately" in capsys.readouterr().out

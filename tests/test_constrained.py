@@ -1,0 +1,130 @@
+"""Unit tests for the constrained ski-rental solver (Section 4)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import E
+from repro.core.constrained import (
+    ConstrainedSkiRentalSolver,
+    ProposedOnline,
+    worst_case_cost_bdet,
+    worst_case_cost_det,
+    worst_case_cost_nrand,
+    worst_case_cost_toi,
+)
+from repro.core.stats import StopStatistics
+from repro.errors import InvalidParameterError
+
+B = 28.0
+
+
+class TestVertexCosts:
+    def test_nrand_cost(self):
+        stats = StopStatistics(7.0, 0.25, B)
+        assert worst_case_cost_nrand(stats) == pytest.approx(
+            E / (E - 1) * (7.0 + 0.25 * B)
+        )
+
+    def test_toi_cost_is_b(self):
+        assert worst_case_cost_toi(StopStatistics(7.0, 0.25, B)) == B
+
+    def test_det_cost_eq14(self):
+        stats = StopStatistics(7.0, 0.25, B)
+        assert worst_case_cost_det(stats) == pytest.approx(7.0 + 2 * 0.25 * B)
+
+    def test_bdet_cost_eq35(self):
+        stats = StopStatistics(0.05 * B, 0.3, B)
+        expected = (math.sqrt(0.05 * B) + math.sqrt(0.3 * B)) ** 2
+        assert worst_case_cost_bdet(stats) == pytest.approx(expected)
+
+    def test_bdet_inadmissible_is_inf(self):
+        assert worst_case_cost_bdet(StopStatistics(10.0, 0.0, B)) == math.inf
+
+    def test_bdet_degenerate_zero_mu(self):
+        stats = StopStatistics(0.0, 0.4, B)
+        assert worst_case_cost_bdet(stats) == pytest.approx(0.4 * B)
+
+
+class TestSolverSelection:
+    def test_degenerate_statistics_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ConstrainedSkiRentalSolver(StopStatistics(0.0, 0.0, B))
+
+    def test_no_long_stops_selects_det(self):
+        # With q+ = 0, DET matches the offline optimum exactly (CR = 1).
+        selection = ConstrainedSkiRentalSolver(StopStatistics(10.0, 0.0, B)).select()
+        assert selection.name == "DET"
+        assert selection.worst_case_cr == pytest.approx(1.0)
+
+    def test_all_long_stops_selects_toi(self):
+        # With q+ = 1, TOI matches the offline optimum exactly (CR = 1).
+        selection = ConstrainedSkiRentalSolver(StopStatistics(0.0, 1.0, B)).select()
+        assert selection.name == "TOI"
+        assert selection.worst_case_cr == pytest.approx(1.0)
+
+    def test_bdet_region_exists(self):
+        # Fig. 2(c): mu- = 0.02B with moderate q+ is b-DET territory.
+        selection = ConstrainedSkiRentalSolver(StopStatistics(0.02 * B, 0.3, B)).select()
+        assert selection.name == "b-DET"
+        assert "b" in selection.chosen.parameters
+
+    def test_nrand_region_exists(self):
+        # Balanced statistics: randomization wins.
+        selection = ConstrainedSkiRentalSolver(StopStatistics(0.2 * B, 0.4, B)).select()
+        assert selection.name == "N-Rand"
+        assert selection.worst_case_cr == pytest.approx(E / (E - 1))
+
+    def test_chosen_is_minimum_over_vertices(self):
+        for mu_frac, q in [(0.02, 0.3), (0.3, 0.3), (0.05, 0.05), (0.1, 0.9), (0.6, 0.2)]:
+            stats = StopStatistics(mu_frac * B, q, B)
+            selection = ConstrainedSkiRentalSolver(stats).select()
+            finite = [v.worst_case_cost for v in selection.vertices if math.isfinite(v.worst_case_cost)]
+            assert selection.chosen.worst_case_cost == pytest.approx(min(finite))
+
+    def test_worst_case_cr_below_nrand_bound(self):
+        for mu_frac in (0.01, 0.1, 0.4, 0.8):
+            for q in (0.01, 0.2, 0.5, 0.9):
+                if mu_frac > 1 - q:
+                    continue
+                stats = StopStatistics(mu_frac * B, q, B)
+                selection = ConstrainedSkiRentalSolver(stats).select()
+                assert selection.worst_case_cr <= E / (E - 1) + 1e-12
+                assert selection.worst_case_cr >= 1.0 - 1e-12
+
+    def test_build_strategy_matches_name(self):
+        stats = StopStatistics(0.02 * B, 0.3, B)
+        selection = ConstrainedSkiRentalSolver(stats).select()
+        strategy = selection.build_strategy()
+        assert strategy.name == selection.name
+
+
+class TestProposedOnline:
+    def test_delegates_to_winner(self, rng):
+        stats = StopStatistics(0.02 * B, 0.3, B)
+        proposed = ProposedOnline(stats)
+        assert proposed.selected_name == "b-DET"
+        delegate = proposed.delegate
+        assert proposed.expected_cost(10.0) == delegate.expected_cost(10.0)
+        assert proposed.draw_threshold(rng) == delegate.threshold
+
+    def test_from_samples_end_to_end(self):
+        stops = np.array([5.0, 8.0, 12.0, 100.0, 200.0, 3.0, 7.0, 40.0])
+        proposed = ProposedOnline.from_samples(stops, B)
+        assert proposed.selected_name in {"TOI", "DET", "b-DET", "N-Rand"}
+        assert 1.0 <= proposed.worst_case_cr <= E / (E - 1) + 1e-12
+
+    def test_expected_cost_vec_consistent(self):
+        proposed = ProposedOnline(StopStatistics(0.3 * B, 0.3, B))
+        y = np.array([1.0, 10.0, B, 100.0])
+        np.testing.assert_allclose(
+            proposed.expected_cost_vec(y), [proposed.expected_cost(v) for v in y]
+        )
+
+    def test_degenerate_bdet_threshold_positive(self):
+        proposed = ProposedOnline(StopStatistics(0.0, 0.4, B))
+        assert proposed.selected_name == "b-DET"
+        assert 0.0 < proposed.delegate.threshold < B
+        # Cost approaches the infimum q+ * B.
+        assert proposed.worst_case_cr == pytest.approx(1.0, rel=1e-6)

@@ -1,0 +1,131 @@
+"""Unit tests for the contextual selector and worst-case CR' analysis."""
+
+import numpy as np
+import pytest
+
+from repro.constants import E_RATIO
+from repro.core import (
+    BDet,
+    ContextualProposed,
+    Deterministic,
+    MOMRand,
+    NeverOff,
+    NRand,
+    StopStatistics,
+    TurnOffImmediately,
+    hour_of_day_context,
+    worst_case_cr_prime,
+)
+from repro.errors import InvalidParameterError
+
+B = 28.0
+
+
+class TestHourContext:
+    def test_buckets(self):
+        assert hour_of_day_context(0.0) == 0
+        assert hour_of_day_context(3600.0 * 7 + 12) == 7
+        assert hour_of_day_context(86400.0 + 3600.0 * 7) == 7  # next day wraps
+
+
+class TestContextualProposed:
+    def test_contexts_created_on_demand(self, rng):
+        contextual = ContextualProposed(B, min_samples=2)
+        contextual.observe(0.0, 5.0)
+        contextual.observe(3600.0 * 12, 100.0)
+        assert contextual.context_count == 2
+
+    def test_per_context_selection_diverges(self, rng):
+        # Morning: all short stops -> DET; evening: all long stops -> TOI.
+        contextual = ContextualProposed(B, min_samples=3)
+        for _ in range(10):
+            contextual.observe(3600.0 * 8, 5.0)     # hour 8, short
+            contextual.observe(3600.0 * 20, 150.0)  # hour 20, long
+        names = contextual.selected_names()
+        assert names[8] == "DET"
+        assert names[20] == "TOI"
+
+    def test_contextual_beats_pooled_on_bimodal_workload(self, rng):
+        # Context A: deterministic 10 s stops; context B: 150 s stops.
+        # Pooled statistics blur them; per-context selection is near
+        # offline-optimal.
+        from repro.core import ProposedOnline
+        from repro.core.analysis import empirical_offline_cost, empirical_online_cost
+
+        n = 400
+        tokens = np.concatenate([np.full(n, 3600.0 * 8), np.full(n, 3600.0 * 20)])
+        stops = np.concatenate([np.full(n, 10.0), np.full(n, 150.0)])
+        order = rng.permutation(stops.size)
+        tokens, stops = tokens[order], stops[order]
+        contextual = ContextualProposed(B, min_samples=5)
+        contextual_cost = contextual.run_online(tokens, stops, rng).mean()
+        pooled = ProposedOnline.from_samples(stops, B)
+        pooled_cost = empirical_online_cost(pooled, stops)
+        assert contextual_cost < pooled_cost
+        offline = empirical_offline_cost(stops, B)
+        assert contextual_cost / offline < 1.1  # near-optimal after warmup
+
+    def test_run_online_validates_shapes(self, rng):
+        contextual = ContextualProposed(B)
+        with pytest.raises(InvalidParameterError):
+            contextual.run_online(np.array([1.0]), np.array([1.0, 2.0]), rng)
+
+    def test_custom_context_function(self, rng):
+        contextual = ContextualProposed(B, context_of=lambda token: token > 0)
+        contextual.observe(-1.0, 5.0)
+        contextual.observe(1.0, 5.0)
+        assert contextual.context_count == 2
+
+    def test_non_callable_context_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ContextualProposed(B, context_of="hour")
+
+
+class TestWorstCaseCRPrime:
+    def test_det_closed_form(self):
+        # DET: per-stop ratio 1 on short stops, 2 on long -> CR' over Q
+        # is (1 - q+) + 2 q+.
+        stats = StopStatistics(0.2 * B, 0.3, B)
+        value = worst_case_cr_prime(Deterministic(B), stats)
+        assert value == pytest.approx((1 - 0.3) + 2 * 0.3, rel=1e-6)
+
+    def test_nrand_constant(self):
+        stats = StopStatistics(0.2 * B, 0.3, B)
+        assert worst_case_cr_prime(NRand(B), stats) == pytest.approx(
+            E_RATIO, rel=1e-6
+        )
+
+    def test_momrand_bounded_by_its_flat_max(self):
+        # Revised MOM-Rand's per-stop ratio is 1 + min(y,B)/(2B(e-2)),
+        # maximized at y = B.
+        stats = StopStatistics(0.2 * B, 0.3, B)
+        mom = MOMRand(B, 10.0)
+        value = worst_case_cr_prime(mom, stats)
+        flat_max = 1.0 + 1.0 / (2.0 * (np.e - 2.0))
+        assert value <= flat_max + 1e-6
+
+    def test_toi_diverges_with_grid(self):
+        # TOI's per-stop ratio blows up on tiny stops; the worst-case
+        # CR' grows without bound as the grid refines.
+        stats = StopStatistics(0.2 * B, 0.3, B)
+        coarse = worst_case_cr_prime(TurnOffImmediately(B), stats, grid_size=64)
+        fine = worst_case_cr_prime(TurnOffImmediately(B), stats, grid_size=1024)
+        assert fine > coarse > 1.0
+
+    def test_nev_unbounded_with_long_stops(self):
+        stats = StopStatistics(0.2 * B, 0.3, B)
+        assert worst_case_cr_prime(NeverOff(B), stats) == np.inf
+
+    def test_nev_trivial_without_long_stops(self):
+        stats = StopStatistics(0.2 * B, 0.0, B)
+        assert worst_case_cr_prime(NeverOff(B), stats) == 1.0
+
+    def test_all_long_stops(self):
+        stats = StopStatistics(0.0, 1.0, B)
+        value = worst_case_cr_prime(BDet(B, 10.0), stats)
+        assert value == pytest.approx((10.0 + B) / B)
+
+    def test_small_grid_rejected(self):
+        stats = StopStatistics(0.2 * B, 0.3, B)
+        with pytest.raises(InvalidParameterError):
+            worst_case_cr_prime(Deterministic(B), stats, grid_size=2)

@@ -1,0 +1,133 @@
+"""Unit tests for the ski-rental cost primitives (Eqs. 2-4)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.costs import (
+    competitive_ratio,
+    competitive_ratio_vec,
+    offline_cost,
+    offline_cost_vec,
+    online_cost,
+    online_cost_vec,
+    validate_break_even,
+    validate_stop_length,
+)
+from repro.errors import InvalidParameterError
+
+B = 28.0
+
+
+class TestValidation:
+    def test_break_even_accepts_positive(self):
+        assert validate_break_even(28) == 28.0
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, math.inf, math.nan])
+    def test_break_even_rejects_nonpositive(self, bad):
+        with pytest.raises(InvalidParameterError):
+            validate_break_even(bad)
+
+    def test_stop_length_accepts_zero(self):
+        assert validate_stop_length(0) == 0.0
+
+    @pytest.mark.parametrize("bad", [-0.1, math.inf, math.nan])
+    def test_stop_length_rejects_invalid(self, bad):
+        with pytest.raises(InvalidParameterError):
+            validate_stop_length(bad)
+
+
+class TestOfflineCost:
+    def test_short_stop_costs_its_length(self):
+        assert offline_cost(10.0, B) == 10.0
+
+    def test_long_stop_costs_break_even(self):
+        assert offline_cost(100.0, B) == B
+
+    def test_boundary_stop_costs_break_even(self):
+        # Eq. (2): y >= B is the long branch.
+        assert offline_cost(B, B) == B
+
+    def test_zero_stop_is_free(self):
+        assert offline_cost(0.0, B) == 0.0
+
+
+class TestOnlineCost:
+    def test_stop_shorter_than_threshold_costs_stop(self):
+        assert online_cost(20.0, 5.0, B) == 5.0
+
+    def test_stop_at_threshold_pays_restart(self):
+        # Eq. (3): the y >= x branch.
+        assert online_cost(20.0, 20.0, B) == 20.0 + B
+
+    def test_stop_longer_than_threshold_pays_threshold_plus_restart(self):
+        assert online_cost(20.0, 500.0, B) == 20.0 + B
+
+    def test_toi_threshold_zero_always_pays_restart(self):
+        assert online_cost(0.0, 3.0, B) == B
+
+    def test_online_never_cheaper_than_offline(self):
+        for x in (0.0, 5.0, B, 2 * B):
+            for y in (0.0, 1.0, 10.0, B, 3 * B):
+                assert online_cost(x, y, B) >= offline_cost(y, B) - 1e-12
+
+
+class TestCompetitiveRatio:
+    def test_det_worst_case_is_two(self):
+        # The classic result (Eq. 6): the adversary stops just past B.
+        assert competitive_ratio(B, B, B) == pytest.approx(2.0)
+
+    def test_short_stop_under_det_is_optimal(self):
+        assert competitive_ratio(B, 10.0, B) == pytest.approx(1.0)
+
+    def test_zero_stop_with_positive_threshold(self):
+        assert competitive_ratio(10.0, 0.0, B) == 1.0
+
+    def test_zero_stop_with_toi_is_infinite(self):
+        assert competitive_ratio(0.0, 0.0, B) == math.inf
+
+    def test_ratio_at_least_one(self):
+        for x in (0.0, 1.0, 14.0, B):
+            for y in (0.5, 13.0, B, 100.0):
+                assert competitive_ratio(x, y, B) >= 1.0 - 1e-12
+
+
+class TestVectorised:
+    def test_offline_matches_scalar(self):
+        y = np.array([0.0, 5.0, B, 40.0, 200.0])
+        expected = [offline_cost(v, B) for v in y]
+        np.testing.assert_allclose(offline_cost_vec(y, B), expected)
+
+    def test_online_matches_scalar_with_scalar_threshold(self):
+        y = np.array([0.0, 5.0, 20.0, B, 40.0])
+        expected = [online_cost(20.0, v, B) for v in y]
+        np.testing.assert_allclose(online_cost_vec(20.0, y, B), expected)
+
+    def test_online_broadcasts_per_stop_thresholds(self):
+        y = np.array([10.0, 10.0, 10.0])
+        x = np.array([5.0, 15.0, 10.0])
+        np.testing.assert_allclose(online_cost_vec(x, y, B), [5.0 + B, 10.0, 10.0 + B])
+
+    def test_ratio_matches_scalar(self):
+        y = np.array([0.5, 13.0, B, 100.0])
+        expected = [competitive_ratio(14.0, v, B) for v in y]
+        np.testing.assert_allclose(competitive_ratio_vec(14.0, y, B), expected)
+
+    def test_ratio_zero_stop_conventions(self):
+        y = np.array([0.0, 0.0])
+        x = np.array([5.0, 0.0])
+        result = competitive_ratio_vec(x, y, B)
+        assert result[0] == 1.0
+        assert result[1] == math.inf
+
+    def test_rejects_negative_stops(self):
+        with pytest.raises(InvalidParameterError):
+            offline_cost_vec(np.array([1.0, -2.0]), B)
+
+    def test_rejects_negative_thresholds(self):
+        with pytest.raises(InvalidParameterError):
+            online_cost_vec(np.array([-1.0]), np.array([1.0]), B)
+
+    def test_empty_arrays_pass_through(self):
+        assert offline_cost_vec(np.array([]), B).size == 0

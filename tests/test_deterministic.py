@@ -1,0 +1,144 @@
+"""Unit tests for NEV, TOI, DET and b-DET (Sections 2.2 and 4.4)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.deterministic import (
+    BDet,
+    Deterministic,
+    NeverOff,
+    TurnOffImmediately,
+    b_det_condition_holds,
+    b_det_worst_case_cost,
+    optimal_b,
+)
+from repro.core.stats import StopStatistics
+from repro.errors import InvalidParameterError
+
+B = 28.0
+
+
+class TestNeverOff:
+    def test_cost_is_stop_length(self):
+        nev = NeverOff(B)
+        for y in (0.0, 10.0, B, 1000.0):
+            assert nev.expected_cost(y) == y
+
+    def test_unbounded_ratio(self):
+        nev = NeverOff(B)
+        assert nev.expected_cost(100 * B) / B == pytest.approx(100.0)
+
+
+class TestTurnOffImmediately:
+    def test_cost_is_break_even(self):
+        toi = TurnOffImmediately(B)
+        for y in (0.0, 1.0, B, 500.0):
+            assert toi.expected_cost(y) == B
+
+    def test_vectorised(self):
+        toi = TurnOffImmediately(B)
+        np.testing.assert_allclose(toi.expected_cost_vec(np.array([1.0, 99.0])), [B, B])
+
+
+class TestDeterministic:
+    def test_threshold_is_break_even(self):
+        assert Deterministic(B).threshold == B
+
+    def test_two_competitive(self):
+        det = Deterministic(B)
+        # Just past B: online pays 2B while offline pays B.
+        assert det.expected_cost(B) / B == pytest.approx(2.0)
+
+    def test_optimal_for_short_stops(self):
+        det = Deterministic(B)
+        assert det.expected_cost(10.0) == 10.0
+
+
+class TestOptimalB:
+    def test_formula(self):
+        stats = StopStatistics(mu_b_minus=7.0, q_b_plus=0.25, break_even=B)
+        assert optimal_b(stats) == pytest.approx(math.sqrt(7.0 * B / 0.25))
+
+    def test_minimizes_eq34(self):
+        stats = StopStatistics(mu_b_minus=0.56, q_b_plus=0.3, break_even=B)
+        b_star = optimal_b(stats)
+
+        def eq34(b):
+            return (b + B) * (stats.mu_b_minus / b + stats.q_b_plus)
+
+        for b in np.linspace(0.1, B - 0.1, 50):
+            assert eq34(b_star) <= eq34(b) + 1e-9
+
+    def test_undefined_without_long_stops(self):
+        stats = StopStatistics(10.0, 0.0, B)
+        with pytest.raises(InvalidParameterError):
+            optimal_b(stats)
+
+
+class TestCondition36:
+    def test_holds_for_small_mu(self):
+        stats = StopStatistics(mu_b_minus=0.02 * B, q_b_plus=0.3, break_even=B)
+        assert b_det_condition_holds(stats)
+
+    def test_fails_for_large_mu(self):
+        # mu/B = 0.8 vs (1-0.5)^2/0.5 = 0.5.
+        with pytest.raises(InvalidParameterError):
+            # infeasible anyway: 0.8 > 1 - q = 0.5
+            StopStatistics(0.8 * B, 0.5, B)
+        stats = StopStatistics(0.45 * B, 0.5, B)  # 0.45 > 0.5^2/0.5 = 0.5? no: 0.45 < 0.5
+        assert b_det_condition_holds(stats)
+        stats2 = StopStatistics(0.45 * B, 0.55, B)  # bound = 0.45^2/0.55 ≈ 0.368 < 0.45
+        assert not b_det_condition_holds(stats2)
+
+    def test_equivalent_to_b_above_conditional_mean(self):
+        for mu_frac, q in [(0.1, 0.2), (0.3, 0.4), (0.05, 0.6), (0.5, 0.3)]:
+            stats = StopStatistics(mu_frac * B * (1 - q), q, B)
+            if stats.q_b_plus == 0:
+                continue
+            holds = b_det_condition_holds(stats)
+            b_star = optimal_b(stats)
+            above = b_star > stats.short_stop_conditional_mean
+            assert holds == above
+
+    def test_fails_when_all_stops_long(self):
+        assert not b_det_condition_holds(StopStatistics(0.0, 1.0, B))
+
+    def test_fails_when_no_long_stops(self):
+        assert not b_det_condition_holds(StopStatistics(10.0, 0.0, B))
+
+
+class TestBDetWorstCaseCost:
+    def test_eq35(self):
+        stats = StopStatistics(0.05 * B, 0.3, B)
+        expected = (math.sqrt(0.05 * B) + math.sqrt(0.3 * B)) ** 2
+        assert b_det_worst_case_cost(stats) == pytest.approx(expected)
+
+    def test_infinite_when_inadmissible(self):
+        stats = StopStatistics(0.45 * B, 0.55, B)
+        assert b_det_worst_case_cost(stats) == math.inf
+
+
+class TestBDetStrategy:
+    def test_threshold_bounds_enforced(self):
+        with pytest.raises(InvalidParameterError):
+            BDet(B, 0.0)
+        with pytest.raises(InvalidParameterError):
+            BDet(B, B)
+
+    def test_from_statistics_uses_optimal_b(self):
+        stats = StopStatistics(0.05 * B, 0.3, B)
+        bdet = BDet.from_statistics(stats)
+        assert bdet.threshold == pytest.approx(optimal_b(stats))
+
+    def test_from_statistics_rejects_inadmissible(self):
+        stats = StopStatistics(0.45 * B, 0.55, B)
+        with pytest.raises(InvalidParameterError):
+            BDet.from_statistics(stats)
+
+    def test_cost_behaviour(self):
+        bdet = BDet(B, 5.0)
+        assert bdet.expected_cost(3.0) == 3.0
+        assert bdet.expected_cost(5.0) == 5.0 + B
+        assert bdet.expected_cost(1000.0) == 5.0 + B

@@ -1,0 +1,231 @@
+"""Unit tests for the stop-length distribution toolkit."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.distributions import (
+    DiscreteStopDistribution,
+    EmpiricalDistribution,
+    Exponential,
+    LogNormal,
+    MixtureDistribution,
+    Pareto,
+    ScaledDistribution,
+    Uniform,
+    Weibull,
+    scale_to_mean,
+    three_point,
+    two_point,
+)
+from repro.errors import InvalidDistributionError, InvalidParameterError
+
+
+class TestExponential:
+    def test_mean(self):
+        assert Exponential(40.0).mean() == pytest.approx(40.0)
+
+    def test_partial_expectation_closed_form(self):
+        dist = Exponential(40.0)
+        numeric, _ = integrate.quad(lambda y: y * dist.pdf(y), 0, 28.0)
+        assert dist.partial_expectation(28.0) == pytest.approx(numeric, rel=1e-9)
+
+    def test_survival(self):
+        assert Exponential(40.0).survival(40.0) == pytest.approx(math.exp(-1))
+
+    def test_sampling_mean(self, rng):
+        samples = Exponential(40.0).sample(20000, rng)
+        assert samples.mean() == pytest.approx(40.0, rel=0.05)
+
+    def test_invalid_mean_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Exponential(0.0)
+
+
+class TestUniform:
+    def test_partial_expectation(self):
+        dist = Uniform(0.0, 20.0)
+        assert dist.partial_expectation(10.0) == pytest.approx(2.5)
+        assert dist.partial_expectation(20.0) == pytest.approx(10.0)
+        assert dist.partial_expectation(100.0) == pytest.approx(10.0)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Uniform(10.0, 5.0)
+        with pytest.raises(InvalidParameterError):
+            Uniform(-1.0, 5.0)
+
+
+class TestLogNormal:
+    def test_partial_expectation_matches_quadrature(self):
+        dist = LogNormal(mu=3.0, sigma=1.0)
+        numeric, _ = integrate.quad(lambda y: y * dist.pdf(y), 0, 50.0)
+        assert dist.partial_expectation(50.0) == pytest.approx(numeric, rel=1e-6)
+
+    def test_mean_closed_form(self):
+        dist = LogNormal(mu=3.0, sigma=1.0)
+        assert dist.mean() == pytest.approx(math.exp(3.5), rel=1e-9)
+
+    def test_partial_expectation_converges_to_mean(self):
+        dist = LogNormal(mu=3.0, sigma=1.0)
+        assert dist.partial_expectation(1e9) == pytest.approx(dist.mean(), rel=1e-6)
+
+
+class TestParetoAndWeibull:
+    def test_pareto_mean(self):
+        assert Pareto(alpha=2.5, scale=30.0).mean() == pytest.approx(20.0)
+
+    def test_pareto_infinite_mean(self):
+        assert Pareto(alpha=0.9, scale=30.0).mean() == math.inf
+
+    def test_pareto_survival_power_law(self):
+        dist = Pareto(alpha=2.0, scale=30.0)
+        assert dist.survival(30.0) == pytest.approx(0.25)
+
+    def test_weibull_mean(self):
+        # shape=1 reduces to exponential.
+        assert Weibull(shape=1.0, scale=40.0).mean() == pytest.approx(40.0)
+
+
+class TestDiscrete:
+    def test_moments(self):
+        dist = DiscreteStopDistribution([5.0, 60.0], [0.5, 0.5])
+        assert dist.mean() == pytest.approx(32.5)
+        assert dist.partial_expectation(28.0) == pytest.approx(2.5)
+        assert dist.survival(28.0) == pytest.approx(0.5)
+
+    def test_survival_includes_atom(self):
+        dist = DiscreteStopDistribution([28.0], [1.0])
+        assert dist.survival(28.0) == 1.0
+        assert dist.partial_expectation(28.0) == 0.0
+
+    def test_sampling(self, rng):
+        dist = DiscreteStopDistribution([5.0, 60.0], [0.9, 0.1])
+        samples = dist.sample(5000, rng)
+        assert set(np.unique(samples)) <= {5.0, 60.0}
+        assert (samples == 5.0).mean() == pytest.approx(0.9, abs=0.03)
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscreteStopDistribution([1.0, 2.0], [0.5, 0.6])
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscreteStopDistribution([1.0, 1.0], [0.5, 0.5])
+
+    def test_two_point_constructor(self):
+        dist = two_point(5.0, 60.0, 0.25)
+        assert dist.survival(60.0) == pytest.approx(0.25)
+
+    def test_two_point_degenerate_cases(self):
+        assert two_point(5.0, 60.0, 0.0).mean() == 5.0
+        assert two_point(5.0, 60.0, 1.0).mean() == 60.0
+
+    def test_three_point_constructor(self):
+        dist = three_point(10.0, 0.3, 60.0, 0.2)
+        assert dist.cdf(0.0) == pytest.approx(0.5)
+        assert dist.mean() == pytest.approx(0.3 * 10.0 + 0.2 * 60.0)
+
+    def test_three_point_invalid_masses(self):
+        with pytest.raises(InvalidParameterError):
+            three_point(10.0, 0.8, 60.0, 0.3)
+
+
+class TestMixture:
+    def test_moments_are_weighted(self):
+        mix = MixtureDistribution([Exponential(10.0), Exponential(100.0)], [0.7, 0.3])
+        assert mix.mean() == pytest.approx(0.7 * 10 + 0.3 * 100)
+        b = 28.0
+        expected = 0.7 * Exponential(10.0).partial_expectation(b) + 0.3 * Exponential(
+            100.0
+        ).partial_expectation(b)
+        assert mix.partial_expectation(b) == pytest.approx(expected)
+
+    def test_pdf_integrates_to_one(self):
+        mix = MixtureDistribution([Exponential(10.0), Exponential(100.0)], [0.7, 0.3])
+        total, _ = integrate.quad(mix.pdf, 0, np.inf, limit=200)
+        assert total == pytest.approx(1.0, rel=1e-6)
+
+    def test_sampling_mixes(self, rng):
+        mix = MixtureDistribution([Exponential(10.0), Exponential(1000.0)], [0.5, 0.5])
+        samples = mix.sample(20000, rng)
+        assert samples.mean() == pytest.approx(505.0, rel=0.1)
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(InvalidDistributionError):
+            MixtureDistribution([Exponential(10.0)], [0.9])
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            MixtureDistribution([], [])
+
+
+class TestEmpirical:
+    def test_cdf_and_survival(self):
+        dist = EmpiricalDistribution([1.0, 2.0, 3.0, 4.0])
+        assert dist.cdf(2.0) == pytest.approx(0.5)
+        assert dist.survival(2.0) == pytest.approx(0.75)  # closed event
+
+    def test_partial_expectation(self):
+        dist = EmpiricalDistribution([10.0, 20.0, 100.0, 200.0])
+        assert dist.partial_expectation(28.0) == pytest.approx(7.5)
+
+    def test_mean_and_quantile(self):
+        dist = EmpiricalDistribution([1.0, 3.0])
+        assert dist.mean() == 2.0
+        assert dist.quantile(0.5) == pytest.approx(2.0)
+
+    def test_histogram_masses(self):
+        dist = EmpiricalDistribution([1.0, 2.0, 3.0, 10.0])
+        masses = dist.histogram([0.0, 5.0, 20.0])
+        np.testing.assert_allclose(masses, [0.75, 0.25])
+
+    def test_bootstrap_sampling(self, rng):
+        dist = EmpiricalDistribution([1.0, 2.0])
+        samples = dist.sample(1000, rng)
+        assert set(np.unique(samples)) <= {1.0, 2.0}
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            EmpiricalDistribution([])
+
+    def test_count(self):
+        assert EmpiricalDistribution([1.0, 2.0, 3.0]).count == 3
+
+
+class TestScaled:
+    def test_mean_scales(self):
+        base = Exponential(10.0)
+        scaled = ScaledDistribution(base, 3.0)
+        assert scaled.mean() == pytest.approx(30.0)
+
+    def test_shape_preserved(self):
+        # Normalized survival is unchanged: S_scaled(s*y) = S_base(y).
+        base = LogNormal(3.0, 1.0)
+        scaled = ScaledDistribution(base, 2.0)
+        for y in (10.0, 50.0, 200.0):
+            assert scaled.survival(2.0 * y) == pytest.approx(base.survival(y), rel=1e-9)
+
+    def test_partial_expectation_scales(self):
+        base = Exponential(10.0)
+        scaled = ScaledDistribution(base, 3.0)
+        numeric, _ = integrate.quad(lambda y: y * scaled.pdf(y), 0, 28.0)
+        assert scaled.partial_expectation(28.0) == pytest.approx(numeric, rel=1e-8)
+
+    def test_scale_to_mean(self):
+        base = LogNormal(3.0, 1.0)
+        scaled = scale_to_mean(base, 75.0)
+        assert scaled.mean() == pytest.approx(75.0, rel=1e-9)
+
+    def test_sampling_scales(self, rng):
+        base = Exponential(10.0)
+        scaled = ScaledDistribution(base, 3.0)
+        assert scaled.sample(20000, rng).mean() == pytest.approx(30.0, rel=0.05)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ScaledDistribution(Exponential(10.0), 0.0)
+        with pytest.raises(InvalidParameterError):
+            scale_to_mean(Exponential(10.0), -5.0)

@@ -1,0 +1,186 @@
+"""Unit tests for the drive-cycle substrate: signals, roads, congestion,
+driver behaviour and the trip simulator."""
+
+import numpy as np
+import pytest
+
+from repro.drivecycle import (
+    CongestionModel,
+    DriveCycleSimulator,
+    DriverProfile,
+    TrafficSignal,
+    grid_network,
+)
+from repro.errors import InvalidParameterError, SimulationError
+from repro.traces import extract_stops
+
+
+class TestTrafficSignal:
+    def test_green_then_red(self):
+        signal = TrafficSignal(cycle_length=100.0, green_fraction=0.6, offset=0.0)
+        assert signal.is_green(10.0)
+        assert not signal.is_green(70.0)
+
+    def test_wait_time_zero_in_green(self):
+        signal = TrafficSignal(cycle_length=100.0, green_fraction=0.6)
+        assert signal.wait_time(30.0) == 0.0
+
+    def test_wait_time_remaining_red(self):
+        signal = TrafficSignal(cycle_length=100.0, green_fraction=0.6)
+        # Arrive at 70 s into the cycle: red until 100 -> wait 30 s.
+        assert signal.wait_time(70.0) == pytest.approx(30.0)
+
+    def test_offset_shifts_phase(self):
+        signal = TrafficSignal(cycle_length=100.0, green_fraction=0.6, offset=70.0)
+        assert signal.is_green(70.0)
+
+    def test_expected_wait_formula(self):
+        signal = TrafficSignal(cycle_length=100.0, green_fraction=0.6)
+        # red = 40; expected wait = 40^2 / 200 = 8.
+        assert signal.expected_wait() == pytest.approx(8.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"cycle_length": 0.0},
+        {"green_fraction": 0.0},
+        {"green_fraction": 1.0},
+        {"offset": np.inf},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            TrafficSignal(**kwargs)
+
+
+class TestRoadNetwork:
+    def test_grid_properties(self):
+        network = grid_network(rows=4, cols=4, signal_density=0.5)
+        assert len(network.intersections) == 16
+        assert 0 < network.signalized_count() <= 16
+
+    def test_route_is_connected_path(self):
+        network = grid_network(rows=4, cols=4)
+        route = network.route((0, 0), (3, 3))
+        assert route[0] == (0, 0) and route[-1] == (3, 3)
+        for u, v in zip(route, route[1:]):
+            assert network.edge_data(u, v)["length"] > 0
+
+    def test_random_node_pair_min_hops(self, rng):
+        network = grid_network(rows=4, cols=4)
+        origin, destination = network.random_node_pair(rng, min_hops=3)
+        assert len(network.route(origin, destination)) >= 4
+
+    def test_unknown_endpoint_rejected(self):
+        network = grid_network(rows=3, cols=3)
+        with pytest.raises(SimulationError):
+            network.route((0, 0), (99, 99))
+
+    def test_tiny_grid_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            grid_network(rows=1, cols=5)
+
+    def test_signal_density_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            grid_network(signal_density=1.5)
+
+    def test_zero_density_has_no_signals(self):
+        network = grid_network(rows=3, cols=3, signal_density=0.0)
+        assert network.signalized_count() == 0
+
+
+class TestCongestionModel:
+    def test_effective_speed_decreases_with_level(self):
+        free = CongestionModel(level=0.0).effective_speed(10.0)
+        jam = CongestionModel(level=1.0).effective_speed(10.0)
+        assert free == 10.0
+        assert jam == pytest.approx(3.0)
+
+    def test_queue_delay_zero_at_free_flow(self, rng):
+        assert CongestionModel(level=0.0).queue_delay(rng) == 0.0
+
+    def test_queue_delay_positive_under_congestion(self, rng):
+        delays = [CongestionModel(level=0.8).queue_delay(rng) for _ in range(50)]
+        assert np.mean(delays) > 0.0
+
+    def test_wave_stop_probability_scales(self, rng):
+        free = sum(CongestionModel(level=0.0).wave_stop(rng) > 0 for _ in range(200))
+        heavy = sum(CongestionModel(level=1.0).wave_stop(rng) > 0 for _ in range(200))
+        assert free == 0
+        assert heavy > 0
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            CongestionModel(level=1.5)
+
+
+class TestDriverProfile:
+    def test_daily_trip_count_at_least_one(self, rng):
+        profile = DriverProfile(trips_per_day=0.1)
+        assert all(profile.daily_trip_count(rng) >= 1 for _ in range(20))
+
+    def test_errand_duration_mean(self, rng):
+        profile = DriverProfile(errand_duration_mean=300.0)
+        durations = [profile.errand_duration(rng) for _ in range(5000)]
+        assert np.mean(durations) == pytest.approx(300.0, rel=0.15)
+
+    def test_wants_errand_respects_probability(self, rng):
+        always = DriverProfile(errand_probability=1.0)
+        never = DriverProfile(errand_probability=0.0)
+        assert always.wants_errand(rng)
+        assert not never.wants_errand(rng)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            DriverProfile(trips_per_day=0.0)
+        with pytest.raises(InvalidParameterError):
+            DriverProfile(acceleration=-1.0)
+
+
+class TestDriveCycleSimulator:
+    @pytest.fixture(scope="class")
+    def simulator(self):
+        return DriveCycleSimulator(
+            grid_network(rows=5, cols=5, signal_density=0.7),
+            CongestionModel(level=0.4),
+            DriverProfile(trips_per_day=3.0),
+        )
+
+    def test_trip_ends_at_rest(self, simulator, rng):
+        result = simulator.simulate_trip(rng)
+        assert result.speed_trace.speeds[-1] == 0.0
+
+    def test_trip_covers_route_distance(self, simulator, rng):
+        result = simulator.simulate_trip(rng)
+        hops = len(result.route_nodes) - 1
+        expected = hops * 250.0
+        assert result.speed_trace.distance() == pytest.approx(expected, rel=0.2)
+
+    def test_signal_stops_visible_in_trace(self, simulator, rng):
+        # Over several trips some signal stop must appear in the speeds.
+        found = False
+        for _ in range(10):
+            result = simulator.simulate_trip(rng)
+            if result.signal_stops > 0:
+                stops = extract_stops(result.speed_trace)
+                found = found or len(stops) > 0
+        assert found
+
+    def test_vehicle_record_structure(self, simulator, rng):
+        trace = simulator.simulate_vehicle("veh", days=2, rng=rng, area="test")
+        assert trace.recording_days == 2.0
+        assert trace.area == "test"
+        assert len(trace.trips) >= 2
+        for earlier, later in zip(trace.trips, trace.trips[1:]):
+            assert later.start_time >= earlier.end_time - 1e-9
+
+    def test_stop_lengths_positive(self, simulator, rng):
+        trace = simulator.simulate_vehicle("veh", days=2, rng=rng)
+        lengths = trace.stop_lengths()
+        if lengths.size:
+            assert np.all(lengths > 0.0)
+
+    def test_zero_days_rejected(self, simulator, rng):
+        with pytest.raises(SimulationError):
+            simulator.simulate_vehicle("veh", days=0, rng=rng)
+
+    def test_nonunit_dt_rejected(self):
+        with pytest.raises(SimulationError):
+            DriveCycleSimulator(grid_network(rows=3, cols=3), dt=0.5)

@@ -1,0 +1,190 @@
+"""Unit tests for the competitive-analysis harness."""
+
+import numpy as np
+import pytest
+
+from repro.constants import E
+from repro.errors import InvalidParameterError
+from repro.evaluation import (
+    STRATEGY_NAMES,
+    FleetEvaluation,
+    bootstrap_cr_interval,
+    build_strategies,
+    evaluate_fleet,
+    evaluate_vehicle,
+    monte_carlo_cr,
+    sweep_analytic,
+    sweep_simulated,
+)
+from repro.fleet import FleetGenerator, area_config
+from repro.fleet.generator import VehicleRecord
+
+B = 28.0
+
+
+def make_vehicle(stop_lengths, vehicle_id="v", area="test"):
+    return VehicleRecord(
+        vehicle_id=vehicle_id,
+        area=area,
+        stop_lengths=np.asarray(stop_lengths, dtype=float),
+        scale_factor=1.0,
+    )
+
+
+class TestBuildStrategies:
+    def test_all_six_present(self):
+        strategies = build_strategies(np.array([10.0, 60.0]), B)
+        assert set(strategies) == set(STRATEGY_NAMES)
+
+    def test_momrand_gets_sample_mean(self):
+        strategies = build_strategies(np.array([10.0, 30.0]), B)
+        assert strategies["MOM-Rand"].mean_stop_length == pytest.approx(20.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            build_strategies(np.array([]), B)
+
+
+class TestEvaluateVehicle:
+    def test_crs_at_least_one(self):
+        evaluation = evaluate_vehicle(make_vehicle([5.0, 15.0, 120.0, 40.0]), B)
+        for name in STRATEGY_NAMES:
+            assert evaluation.crs[name] >= 1.0 - 1e-9
+
+    def test_proposed_cr_matches_selected_vertex(self):
+        # The proposed strategy's empirical CR equals that of the vertex
+        # strategy it delegates to.
+        vehicle = make_vehicle([5.0, 15.0, 120.0, 40.0])
+        evaluation = evaluate_vehicle(vehicle, B)
+        assert evaluation.selected_vertex in {"TOI", "DET", "b-DET", "N-Rand"}
+        if evaluation.selected_vertex in evaluation.crs:
+            assert evaluation.crs["Proposed"] == pytest.approx(
+                evaluation.crs[evaluation.selected_vertex]
+            )
+
+    def test_best_strategy_tie_goes_to_proposed(self):
+        # All stops short: DET and NEV are offline-optimal; proposed picks
+        # DET and ties -> counted as a Proposed win.
+        evaluation = evaluate_vehicle(make_vehicle([5.0, 10.0, 15.0]), B)
+        assert evaluation.crs["Proposed"] == pytest.approx(1.0)
+        assert evaluation.best_strategy == "Proposed"
+
+
+class TestFleetEvaluation:
+    @pytest.fixture(scope="class")
+    def fleet_eval(self):
+        vehicles = FleetGenerator(area_config("chicago"), seed=11).generate(40)
+        return evaluate_fleet(vehicles, B)
+
+    def test_worst_at_least_mean(self, fleet_eval):
+        for name in STRATEGY_NAMES:
+            assert fleet_eval.worst_cr(name) >= fleet_eval.mean_cr(name) - 1e-12
+
+    def test_win_counts_sum_to_fleet(self, fleet_eval):
+        assert sum(fleet_eval.win_counts().values()) == fleet_eval.vehicle_count
+
+    def test_proposed_wins_majority(self, fleet_eval):
+        wins = fleet_eval.win_counts()
+        assert wins["Proposed"] >= 0.8 * fleet_eval.vehicle_count
+
+    def test_nrand_cr_constant(self, fleet_eval):
+        crs = fleet_eval.crs_of("N-Rand")
+        np.testing.assert_allclose(crs, E / (E - 1), rtol=1e-9)
+
+    def test_vertex_selection_counts(self, fleet_eval):
+        counts = fleet_eval.vertex_selection_counts()
+        assert sum(counts.values()) == fleet_eval.vehicle_count
+        assert set(counts) <= {"TOI", "DET", "b-DET", "N-Rand"}
+
+    def test_summary_rows_structure(self, fleet_eval):
+        rows = fleet_eval.summary_rows()
+        assert [row["strategy"] for row in rows] == list(STRATEGY_NAMES)
+
+    def test_unknown_strategy_rejected(self, fleet_eval):
+        with pytest.raises(InvalidParameterError):
+            fleet_eval.worst_cr("bogus")
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            FleetEvaluation(evaluations=[])
+
+
+class TestSweeps:
+    @pytest.fixture(scope="class")
+    def base(self):
+        return area_config("chicago").stop_length_distribution()
+
+    def test_simulated_shapes(self, base):
+        means = [10.0, 60.0, 200.0]
+        result = sweep_simulated(base, means, B, vehicles_per_point=5, stops_per_vehicle=30)
+        assert result.mode == "simulated"
+        for name in STRATEGY_NAMES:
+            assert result.series[name].shape == (3,)
+            assert np.all(result.series[name] >= 1.0 - 1e-9)
+
+    def test_analytic_proposed_is_minimum(self, base):
+        means = [10.0, 30.0, 60.0, 150.0]
+        result = sweep_analytic(base, means, B, grid_size=128)
+        for name in ("TOI", "DET", "N-Rand", "MOM-Rand"):
+            assert np.all(result.series["Proposed"] <= result.series[name] + 1e-6)
+
+    def test_analytic_det_toi_crossover(self, base):
+        means = np.linspace(10.0, 300.0, 12)
+        result = sweep_analytic(base, means, B, grid_size=128)
+        # DET best in light traffic, TOI best in heavy traffic.
+        assert result.series["DET"][0] < result.series["TOI"][0]
+        assert result.series["TOI"][-1] < result.series["DET"][-1]
+        assert result.crossover_mean("DET", "TOI") is not None
+
+    def test_nev_nan_in_analytic(self, base):
+        result = sweep_analytic(base, [30.0], B, grid_size=64)
+        assert np.isnan(result.series["NEV"][0])
+
+    def test_invalid_means_rejected(self, base):
+        with pytest.raises(InvalidParameterError):
+            sweep_simulated(base, [], B)
+        with pytest.raises(InvalidParameterError):
+            sweep_simulated(base, [-5.0], B)
+
+    def test_simulated_reproducible(self, base):
+        a = sweep_simulated(base, [30.0], B, vehicles_per_point=3, stops_per_vehicle=20, seed=9)
+        b = sweep_simulated(base, [30.0], B, vehicles_per_point=3, stops_per_vehicle=20, seed=9)
+        for name in STRATEGY_NAMES:
+            np.testing.assert_array_equal(a.series[name], b.series[name])
+
+
+class TestMonteCarlo:
+    def test_deterministic_strategy_zero_std(self, rng):
+        from repro.core import Deterministic
+
+        stops = np.array([10.0, 50.0, 100.0])
+        result = monte_carlo_cr(Deterministic(B), stops, repetitions=5, rng=rng)
+        assert result.std == 0.0
+
+    def test_randomized_matches_exact(self, rng):
+        from repro.core import NRand
+        from repro.core.analysis import empirical_cr
+
+        stops = rng.exponential(60.0, size=400)
+        result = monte_carlo_cr(NRand(B), stops, repetitions=60, rng=rng)
+        exact = empirical_cr(NRand(B), stops, B)
+        assert result.mean == pytest.approx(exact, rel=0.03)
+
+    def test_bootstrap_interval_contains_point(self, rng):
+        from repro.core import Deterministic
+        from repro.core.analysis import empirical_cr
+
+        stops = rng.exponential(60.0, size=300)
+        low, high = bootstrap_cr_interval(Deterministic(B), stops, rng)
+        point = empirical_cr(Deterministic(B), stops, B)
+        assert low - 1e-9 <= point <= high + 1e-9
+
+    def test_invalid_parameters_rejected(self, rng):
+        from repro.core import Deterministic
+
+        with pytest.raises(InvalidParameterError):
+            monte_carlo_cr(Deterministic(B), np.array([1.0]), repetitions=0, rng=rng)
+        with pytest.raises(InvalidParameterError):
+            bootstrap_cr_interval(Deterministic(B), np.array([1.0]), rng, n_bootstrap=1)
+        with pytest.raises(InvalidParameterError):
+            bootstrap_cr_interval(Deterministic(B), np.array([1.0]), rng, confidence=1.5)

@@ -1,0 +1,271 @@
+"""Integration tests: every paper experiment runs and reproduces its
+headline shape facts (at reduced sizes for speed)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.report import ExperimentResult, Table, format_table
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(("a", "bb"), [(1, 2.5), (10, 0.123456)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+
+    def test_table_validates_row_width(self):
+        with pytest.raises(InvalidParameterError):
+            Table(name="t", headers=("a", "b"), rows=[(1,)])
+
+    def test_write_csv_round_trip(self, tmp_path):
+        table = Table(name="t", headers=("a", "b"), rows=[(1, 2.0)])
+        path = tmp_path / "t.csv"
+        table.write_csv(path)
+        assert path.read_text().splitlines() == ["a,b", "1,2.0"]
+
+    def test_experiment_result_lookup(self):
+        result = ExperimentResult(
+            experiment_id="x", title="t", tables=[Table("one", ("a",), [(1,)])]
+        )
+        assert result.table("one").rows == [(1,)]
+        with pytest.raises(InvalidParameterError):
+            result.table("missing")
+
+    def test_write_csvs_names_files(self, tmp_path):
+        result = ExperimentResult(
+            experiment_id="x", title="t", tables=[Table("my table", ("a",), [(1,)])]
+        )
+        paths = result.write_csvs(tmp_path)
+        assert paths[0].name == "x_my_table.csv"
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "table1", "appc",
+            "improved", "holdout", "seeds",
+        }
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            run_experiment("fig99")
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("fig1", mu_points=25, q_points=25)
+
+    def test_all_regions_present(self, result):
+        regions = {row[2] for row in result.table("grid").rows}
+        assert {"TOI", "DET", "b-DET", "N-Rand"} <= regions
+
+    def test_fractions_sum_to_one(self, result):
+        total = sum(row[1] for row in result.table("region fractions").rows)
+        assert total == pytest.approx(1.0, abs=0.01)
+
+    def test_cr_bounds(self, result):
+        crs = [row[3] for row in result.table("grid").rows if row[3] != ""]
+        assert min(crs) >= 1.0 - 1e-9
+        # Grid rows are rounded to 6 decimals, so allow that much slack.
+        assert max(crs) <= np.e / (np.e - 1) + 1e-6
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("fig2", points=50)
+
+    def test_four_panels(self, result):
+        assert len(result.tables) == 4
+
+    def test_envelope_notes_confirm(self, result):
+        for note in result.notes:
+            assert "proposed == lower envelope: True" in note
+
+    def test_bdet_strictly_wins_in_cd(self, result):
+        # Panels (c) and (d) are the paper's b-DET showcase.
+        for note in result.notes[2:]:
+            count = int(note.rsplit(":", 1)[1])
+            assert count > 0
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("fig3", vehicles_per_area=30)
+
+    def test_every_area_rejects_exponential(self, result):
+        diagnostics = result.table("diagnostics")
+        rejected_index = diagnostics.headers.index("exponential_rejected")
+        for row in diagnostics.rows:
+            assert row[rejected_index] is True or row[rejected_index] == True  # noqa: E712
+
+    def test_histogram_masses_sum_to_one(self, result):
+        histogram = result.table("histogram")
+        for column in range(2, len(histogram.headers)):
+            total = sum(row[column] for row in histogram.rows)
+            assert total == pytest.approx(1.0, abs=0.01)
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("fig4", vehicles_per_area=30)
+
+    def test_proposed_has_smallest_worst_cr(self, result):
+        rows = result.table("cr").rows
+        by_group = {}
+        for break_even, area, name, worst, _mean in rows:
+            by_group.setdefault((break_even, area), {})[name] = worst
+        for group, values in by_group.items():
+            others = {k: v for k, v in values.items() if k != "Proposed"}
+            assert values["Proposed"] <= min(others.values()) + 1e-9, group
+
+    def test_proposed_wins_most_vehicles(self, result):
+        win_table = result.table("win counts")
+        proposed_index = win_table.headers.index("Proposed")
+        vehicles_index = win_table.headers.index("vehicles")
+        for row in win_table.rows:
+            assert row[proposed_index] >= 0.7 * row[vehicles_index]
+
+    def test_b47_rows_present(self, result):
+        break_evens = {row[0] for row in result.table("cr").rows}
+        assert break_evens == {28.0, 47.0}
+
+
+class TestSweepExperiments:
+    @pytest.mark.parametrize("experiment_id", ["fig5", "fig6"])
+    def test_proposed_lowest_analytic_curve(self, experiment_id):
+        result = run_experiment(
+            experiment_id,
+            means=(10.0, 40.0, 120.0),
+            vehicles_per_point=4,
+            stops_per_vehicle=25,
+            grid_size=64,
+        )
+        analytic = result.table("worst-case CR (analytic)")
+        proposed_index = analytic.headers.index("Proposed")
+        for row in analytic.rows:
+            others = [
+                row[i]
+                for i, name in enumerate(analytic.headers)
+                if name in {"TOI", "DET", "N-Rand", "MOM-Rand"} and row[i] != ""
+            ]
+            assert row[proposed_index] <= min(others) + 1e-6
+        assert not any("WARNING" in note for note in result.notes)
+
+
+class TestTable1:
+    def test_moments_close_to_paper(self):
+        result = run_experiment("table1", vehicles_per_area=150)
+        from repro.experiments.table1 import PAPER_TABLE1
+
+        table = result.table("stops per day")
+        for row in table.rows:
+            area = row[0]
+            assert row[2] == pytest.approx(PAPER_TABLE1[area]["mean"], rel=0.25)
+            assert row[4] > 0.85  # P{X <= mu + 2 sigma}
+
+
+class TestImprovedRegions:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("improved", mu_points=25, q_points=25)
+
+    def test_improvement_never_negative(self, result):
+        grid = result.table("grid")
+        improvement_index = grid.headers.index("improvement")
+        assert all(row[improvement_index] >= -1e-9 for row in grid.rows)
+
+    def test_brand_replaces_nrand_and_bdet(self, result):
+        # The corrected map contains b-Rand but neither N-Rand nor b-DET
+        # (truncation strictly improves both everywhere on this grid).
+        counts = {row[0]: row[1] for row in result.table("region counts").rows}
+        assert counts.get("b-Rand", 0) > 0
+        assert counts.get("N-Rand", 0) == 0
+
+    def test_det_toi_regions_unchanged(self, result):
+        grid = result.table("grid")
+        idx = {name: i for i, name in enumerate(grid.headers)}
+        for row in grid.rows:
+            if row[idx["paper_choice"]] in {"DET", "TOI"}:
+                # Where the paper's deterministic vertices are optimal,
+                # the corrected solver agrees (they match the game value).
+                assert row[idx["improved_choice"]] == row[idx["paper_choice"]] or (
+                    row[idx["improvement"]] > 0
+                )
+
+    def test_headline_gap_present(self, result):
+        grid = result.table("grid")
+        improvement_index = grid.headers.index("improvement")
+        assert max(row[improvement_index] for row in grid.rows) > 0.1
+
+    def test_corrected_slices_lower_envelope(self, result):
+        for mu in ("0.02", "0.05"):
+            table = result.table(f"corrected slice (mu={mu}B)")
+            idx = {name: i for i, name in enumerate(table.headers)}
+            for row in table.rows:
+                candidates = [
+                    row[idx[name]]
+                    for name in ("TOI", "DET", "b-DET", "N-Rand", "b-Rand")
+                    if row[idx[name]] != ""
+                ]
+                assert row[idx["Corrected"]] <= min(candidates) + 1e-6
+
+
+class TestHoldoutExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("holdout", vehicles_per_area=25)
+
+    def test_covers_both_break_evens(self, result):
+        table = result.table("comparison")
+        assert {row[0] for row in table.rows} == {28.0, 47.0}
+
+    def test_proposed_optimism_small(self, result):
+        table = result.table("comparison")
+        idx = {name: i for i, name in enumerate(table.headers)}
+        for row in table.rows:
+            if row[idx["strategy"]] == "Proposed":
+                assert abs(row[idx["optimism"]]) < 0.1
+
+    def test_nrand_protocol_invariant(self, result):
+        table = result.table("comparison")
+        idx = {name: i for i, name in enumerate(table.headers)}
+        for row in table.rows:
+            if row[idx["strategy"]] == "N-Rand":
+                assert row[idx["optimism"]] == pytest.approx(0.0, abs=1e-3)
+
+
+class TestSeedsExperiment:
+    def test_headline_stable_across_seeds(self):
+        result = run_experiment("seeds", seeds=(1, 2, 3), vehicles_per_area=30)
+        table = result.table("per seed")
+        per_seed_rows = table.rows[:-1]
+        win_rates = [row[3] for row in per_seed_rows]
+        assert min(win_rates) > 0.85
+        mean_crs = [row[4] for row in per_seed_rows]
+        assert max(mean_crs) - min(mean_crs) < 0.1
+
+
+class TestAppendixC:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("appc")
+
+    def test_break_even_matches_paper(self, result):
+        summary = result.table("summary")
+        values = {row[0]: (row[2], row[3]) for row in summary.rows}
+        computed_ssv, paper_ssv = values["SSV"]
+        computed_conv, paper_conv = values["conventional"]
+        assert computed_ssv == pytest.approx(paper_ssv, abs=1.5)
+        assert computed_conv == pytest.approx(paper_conv, abs=1.5)
+
+    def test_idling_cost_matches_eq46(self, result):
+        summary = result.table("summary")
+        for row in summary.rows:
+            assert row[1] == pytest.approx(0.0258, abs=0.0002)

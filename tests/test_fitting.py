@@ -1,0 +1,75 @@
+"""Unit tests for the distribution diagnostics (Figure 3's KS claim)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Exponential,
+    LogNormal,
+    MixtureDistribution,
+    Pareto,
+    ks_test_exponential,
+    moment_summary,
+    tail_weight,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestKSTest:
+    def test_exponential_sample_not_rejected(self, rng):
+        samples = Exponential(40.0).sample(2000, rng)
+        result = ks_test_exponential(samples)
+        assert not result.rejected
+
+    def test_heavy_tail_rejected(self, rng):
+        # A lognormal/Pareto mixture is what the synthetic fleets use;
+        # the paper reports KS rejection for the real data.
+        mix = MixtureDistribution(
+            [LogNormal(3.2, 0.8), Pareto(alpha=1.6, scale=600.0)], [0.8, 0.2]
+        )
+        samples = mix.sample(2000, rng)
+        result = ks_test_exponential(samples)
+        assert result.rejected
+        assert result.p_value < 0.05
+
+    def test_small_sample_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ks_test_exponential(np.array([1.0, 2.0]))
+
+    def test_invalid_alpha_rejected(self, rng):
+        samples = Exponential(40.0).sample(100, rng)
+        with pytest.raises(InvalidParameterError):
+            ks_test_exponential(samples, alpha=1.5)
+
+    def test_negative_samples_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ks_test_exponential(np.array([-1.0] * 20))
+
+
+class TestTailWeight:
+    def test_heavier_tail_scores_higher(self, rng):
+        exp_samples = Exponential(40.0).sample(5000, rng)
+        heavy_samples = Pareto(alpha=1.5, scale=20.0).sample(5000, rng)
+        assert tail_weight(heavy_samples) > tail_weight(exp_samples)
+
+    def test_small_sample_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            tail_weight(np.arange(5, dtype=float))
+
+    def test_invalid_quantile_rejected(self, rng):
+        samples = Exponential(40.0).sample(100, rng)
+        with pytest.raises(InvalidParameterError):
+            tail_weight(samples, quantile=1.0)
+
+
+class TestMomentSummary:
+    def test_fields(self, rng):
+        samples = Exponential(40.0).sample(1000, rng)
+        summary = moment_summary(samples)
+        assert summary["count"] == 1000
+        assert summary["mean"] == pytest.approx(40.0, rel=0.2)
+        assert summary["max"] >= summary["median"]
+
+    def test_too_small_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            moment_summary(np.array([1.0]))

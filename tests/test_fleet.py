@@ -1,0 +1,116 @@
+"""Unit tests for the synthetic fleet layer (the NREL substitution)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import ks_test_exponential
+from repro.errors import InvalidParameterError
+from repro.fleet import (
+    AREAS,
+    FleetGenerator,
+    area_config,
+    load_area,
+    load_fleets,
+    total_vehicle_count,
+)
+from repro.fleet.nrel import pooled_stops
+
+
+class TestAreaConfig:
+    def test_lookup_case_insensitive(self):
+        assert area_config("Chicago").name == "chicago"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            area_config("detroit")
+
+    def test_paper_vehicle_counts(self):
+        # Section 5: California 217, Chicago 312, Atlanta 653.
+        assert AREAS["california"].vehicle_count == 217
+        assert AREAS["chicago"].vehicle_count == 312
+        assert AREAS["atlanta"].vehicle_count == 653
+
+    def test_mixture_is_valid_distribution(self, rng):
+        dist = area_config("chicago").stop_length_distribution()
+        samples = dist.sample(1000, rng)
+        assert np.all(samples >= 0.0)
+        assert np.isfinite(dist.mean())
+
+
+class TestFleetGenerator:
+    def test_reproducible(self):
+        config = area_config("california")
+        a = FleetGenerator(config, seed=42).generate(10)
+        b = FleetGenerator(config, seed=42).generate(10)
+        for va, vb in zip(a, b):
+            np.testing.assert_array_equal(va.stop_lengths, vb.stop_lengths)
+
+    def test_different_seeds_differ(self):
+        config = area_config("california")
+        a = FleetGenerator(config, seed=1).generate(5)
+        b = FleetGenerator(config, seed=2).generate(5)
+        assert any(
+            va.stop_lengths.size != vb.stop_lengths.size
+            or not np.allclose(va.stop_lengths, vb.stop_lengths)
+            for va, vb in zip(a, b)
+        )
+
+    def test_vehicle_ids_unique(self):
+        vehicles = FleetGenerator(area_config("atlanta"), seed=0).generate(20)
+        ids = [v.vehicle_id for v in vehicles]
+        assert len(set(ids)) == 20
+
+    def test_stop_lengths_floor(self):
+        vehicles = FleetGenerator(area_config("chicago"), seed=0).generate(20)
+        for vehicle in vehicles:
+            assert np.all(vehicle.stop_lengths >= 1.0)
+
+    def test_to_trace_round_trip(self):
+        vehicle = FleetGenerator(area_config("chicago"), seed=0).generate(1)[0]
+        trace = vehicle.to_trace()
+        np.testing.assert_allclose(trace.stop_lengths(), vehicle.stop_lengths)
+        assert trace.area == "chicago"
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            FleetGenerator(area_config("chicago")).generate(0)
+
+    def test_stops_per_day_roughly_calibrated(self):
+        config = area_config("chicago")
+        vehicles = FleetGenerator(config, seed=3).generate(300)
+        rates = np.array([v.stops_per_day for v in vehicles])
+        assert rates.mean() == pytest.approx(config.stops_per_day_mean, rel=0.2)
+        assert rates.std() == pytest.approx(config.stops_per_day_std, rel=0.35)
+
+
+class TestLoadFleets:
+    def test_default_counts(self):
+        fleets = load_fleets(vehicles_per_area=5)
+        assert set(fleets) == set(AREAS)
+        assert total_vehicle_count(fleets) == 15
+
+    def test_full_counts_match_paper(self):
+        # Only check the requested sizes, not generating everything.
+        assert sum(config.vehicle_count for config in AREAS.values()) == 1182
+
+    def test_areas_are_independent_but_reproducible(self):
+        a = load_area("chicago", seed=7, vehicle_count=3)
+        b = load_area("chicago", seed=7, vehicle_count=3)
+        c = load_area("atlanta", seed=7, vehicle_count=3)
+        np.testing.assert_array_equal(a[0].stop_lengths, b[0].stop_lengths)
+        assert a[0].stop_lengths.size != c[0].stop_lengths.size or not np.allclose(
+            a[0].stop_lengths, c[0].stop_lengths
+        )
+
+    def test_heavy_tails_reject_exponential(self):
+        # The Figure 3 claim must hold on every synthetic area.
+        fleets = load_fleets(vehicles_per_area=40)
+        for area, lengths in pooled_stops(fleets).items():
+            assert ks_test_exponential(lengths).rejected, area
+
+    def test_chicago_shortest_stops(self):
+        # Calibration: Chicago is the signal-dominated short-stop area.
+        fleets = load_fleets(vehicles_per_area=60)
+        stops = pooled_stops(fleets)
+        assert np.median(stops["chicago"]) < np.median(stops["california"])
+        assert np.median(stops["chicago"]) < np.median(stops["atlanta"])

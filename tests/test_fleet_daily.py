@@ -1,0 +1,115 @@
+"""Unit tests for the diurnal (time-of-day structured) fleet generator."""
+
+import numpy as np
+import pytest
+
+from repro.constants import B_SSV
+from repro.core import ContextualProposed, ProposedOnline
+from repro.core.analysis import empirical_offline_cost, empirical_online_cost
+from repro.errors import InvalidParameterError
+from repro.fleet import (
+    DailyFleetGenerator,
+    DailyPattern,
+    area_config,
+    default_daily_pattern,
+)
+
+
+class TestDailyPattern:
+    def test_default_pattern_valid(self):
+        pattern = default_daily_pattern(area_config("chicago"))
+        assert pattern.hourly_intensity.shape == (24,)
+        assert len(pattern.hourly_weights) == 24
+        probabilities = pattern.hour_probabilities()
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_peaks_more_intense_than_night(self):
+        pattern = default_daily_pattern(area_config("chicago"))
+        assert pattern.hourly_intensity[8] > pattern.hourly_intensity[3]
+
+    def test_peak_hours_signal_heavy(self):
+        pattern = default_daily_pattern(area_config("chicago"))
+        peak_signal = pattern.hourly_weights[8][0] / sum(pattern.hourly_weights[8])
+        night_signal = pattern.hourly_weights[2][0] / sum(pattern.hourly_weights[2])
+        assert peak_signal > night_signal
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            DailyPattern(np.zeros(24), tuple([(1.0, 1.0, 1.0)] * 24))
+        with pytest.raises(InvalidParameterError):
+            DailyPattern(np.ones(10), tuple([(1.0, 1.0, 1.0)] * 24))
+        with pytest.raises(InvalidParameterError):
+            DailyPattern(np.ones(24), tuple([(1.0, -1.0, 1.0)] * 24))
+
+
+class TestDailyFleetGenerator:
+    @pytest.fixture(scope="class")
+    def vehicle(self):
+        return DailyFleetGenerator("chicago", seed=5).generate(1)[0]
+
+    def test_start_times_sorted_and_in_window(self, vehicle):
+        assert np.all(np.diff(vehicle.start_times) >= 0.0)
+        assert vehicle.start_times.min() >= 0.0
+        assert vehicle.start_times.max() < vehicle.recording_days * 86400.0
+
+    def test_hours_of_day_in_range(self, vehicle):
+        hours = vehicle.hours_of_day()
+        assert hours.min() >= 0 and hours.max() <= 23
+
+    def test_diurnal_intensity_visible(self):
+        # Pool many vehicles: peak hours collect far more stops than 3am.
+        vehicles = DailyFleetGenerator("chicago", seed=6).generate(60)
+        hours = np.concatenate([v.hours_of_day() for v in vehicles])
+        counts = np.bincount(hours, minlength=24)
+        assert counts[8] > 4 * max(counts[3], 1)
+
+    def test_night_stops_longer(self):
+        # The night tail weight is tripled: median night stop exceeds
+        # median peak stop.
+        vehicles = DailyFleetGenerator("chicago", seed=7).generate(80)
+        hours = np.concatenate([v.hours_of_day() for v in vehicles])
+        lengths = np.concatenate([v.stop_lengths for v in vehicles])
+        night = lengths[(hours < 6) | (hours >= 22)]
+        peak = lengths[(hours == 8) | (hours == 17)]
+        assert np.median(night) > np.median(peak)
+
+    def test_to_trace_round_trip(self, vehicle):
+        trace = vehicle.to_trace()
+        assert trace.stop_count == vehicle.stop_lengths.size
+        np.testing.assert_allclose(
+            np.sort(trace.stop_lengths()), np.sort(vehicle.stop_lengths)
+        )
+
+    def test_reproducible(self):
+        a = DailyFleetGenerator("chicago", seed=9).generate(2)
+        b = DailyFleetGenerator("chicago", seed=9).generate(2)
+        np.testing.assert_array_equal(a[0].stop_lengths, b[0].stop_lengths)
+        np.testing.assert_array_equal(a[0].start_times, b[0].start_times)
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            DailyFleetGenerator("chicago").generate(0)
+
+
+class TestContextualOnDailyFleet:
+    def test_contextual_at_least_matches_pooled(self):
+        # On diurnally structured stops, per-hour selection should do at
+        # least as well as the pooled selector (and usually better),
+        # once warm.
+        rng = np.random.default_rng(11)
+        generator = DailyFleetGenerator("chicago", seed=12)
+        # One long synthetic record: 20 vehicles' weeks concatenated as a
+        # warm-up + evaluation stream for a single controller.
+        vehicles = generator.generate(20)
+        tokens = np.concatenate([v.start_times for v in vehicles])
+        stops = np.concatenate([v.stop_lengths for v in vehicles])
+        contextual = ContextualProposed(B_SSV, min_samples=8)
+        contextual_costs = contextual.run_online(tokens, stops, rng)
+        pooled = ProposedOnline.from_samples(stops, B_SSV)
+        pooled_cost = empirical_online_cost(pooled, stops)
+        # Evaluate on the post-warmup half.
+        half = stops.size // 2
+        offline = empirical_offline_cost(stops[half:], B_SSV)
+        contextual_cr = contextual_costs[half:].mean() / offline
+        pooled_cr = pooled.expected_cost_vec(stops[half:]).mean() / offline
+        assert contextual_cr <= pooled_cr * 1.05  # never meaningfully worse

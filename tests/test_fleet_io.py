@@ -1,0 +1,61 @@
+"""Unit tests for fleet dataset persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.fleet import load_fleet_dataset, load_fleets, save_fleet_dataset
+
+
+@pytest.fixture
+def small_fleets():
+    return load_fleets(seed=9, vehicles_per_area=4)
+
+
+class TestRoundTrip:
+    def test_stop_lengths_preserved(self, tmp_path, small_fleets):
+        save_fleet_dataset(tmp_path / "ds", small_fleets, seed=9)
+        restored = load_fleet_dataset(tmp_path / "ds")
+        assert set(restored) == set(small_fleets)
+        for area in small_fleets:
+            for original, loaded in zip(small_fleets[area], restored[area]):
+                assert original.vehicle_id == loaded.vehicle_id
+                np.testing.assert_allclose(original.stop_lengths, loaded.stop_lengths)
+                assert original.scale_factor == pytest.approx(loaded.scale_factor)
+
+    def test_manifest_contents(self, tmp_path, small_fleets):
+        path = save_fleet_dataset(tmp_path / "ds", small_fleets, seed=9)
+        manifest = json.loads((path / "manifest.json").read_text())
+        assert manifest["seed"] == 9
+        assert manifest["areas"]["chicago"]["vehicle_count"] == 4
+
+    def test_evaluation_identical_after_round_trip(self, tmp_path, small_fleets):
+        from repro.evaluation import evaluate_fleet
+
+        save_fleet_dataset(tmp_path / "ds", small_fleets, seed=9)
+        restored = load_fleet_dataset(tmp_path / "ds")
+        for area in small_fleets:
+            original = evaluate_fleet(small_fleets[area], 28.0)
+            loaded = evaluate_fleet(restored[area], 28.0)
+            assert original.mean_cr("Proposed") == pytest.approx(
+                loaded.mean_cr("Proposed")
+            )
+            assert original.win_counts() == loaded.win_counts()
+
+
+class TestErrors:
+    def test_missing_dataset_rejected(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            load_fleet_dataset(tmp_path / "nope")
+
+    def test_manifest_vehicle_mismatch_rejected(self, tmp_path, small_fleets):
+        path = save_fleet_dataset(tmp_path / "ds", small_fleets, seed=9)
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["areas"]["chicago"]["vehicle_ids"].append("chicago-9999")
+        manifest["areas"]["chicago"]["scale_factors"].append(1.0)
+        manifest["areas"]["chicago"]["vehicle_count"] += 1
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(TraceFormatError):
+            load_fleet_dataset(path)

@@ -1,0 +1,125 @@
+"""Cross-module integration tests: the full pipelines a user would run."""
+
+import numpy as np
+import pytest
+
+from repro.constants import B_SSV, E_RATIO
+from repro.core import AdaptiveProposed, ProposedOnline, TurnOffImmediately
+from repro.core.analysis import empirical_cr
+from repro.drivecycle import (
+    CongestionModel,
+    DriveCycleSimulator,
+    DriverProfile,
+    grid_network,
+)
+from repro.evaluation import evaluate_fleet
+from repro.fleet import FleetGenerator, area_config
+from repro.simulation import realized_cr, simulate_trace
+from repro.traces import read_stops_csv, write_stops_csv
+from repro.vehicle import ssv_cost_model
+
+
+class TestDriveCycleToPolicy:
+    """The examples/drivecycle_to_policy.py pipeline, asserted."""
+
+    @pytest.fixture(scope="class")
+    def weeks(self):
+        rng = np.random.default_rng(123)
+        simulator = DriveCycleSimulator(
+            grid_network(rows=5, cols=5, signal_density=0.8, rng=rng),
+            CongestionModel(level=0.4),
+            DriverProfile(trips_per_day=5.0),
+        )
+        week1 = simulator.simulate_vehicle("w1", days=5, rng=rng)
+        week2 = simulator.simulate_vehicle("w2", days=5, rng=rng)
+        return week1, week2
+
+    def test_policy_learned_from_simulated_driving(self, weeks):
+        week1, week2 = weeks
+        assert week1.stop_count > 5
+        policy = ProposedOnline.from_samples(week1.stop_lengths(), B_SSV)
+        assert policy.selected_name in {"TOI", "DET", "b-DET", "N-Rand"}
+        assert 1.0 <= policy.worst_case_cr <= E_RATIO + 1e-12
+
+    def test_deployment_never_beats_offline(self, weeks):
+        week1, week2 = weeks
+        rng = np.random.default_rng(5)
+        policy = ProposedOnline.from_samples(week1.stop_lengths(), B_SSV)
+        offline = simulate_trace(week2, break_even=B_SSV)
+        deployed = simulate_trace(week2, strategy=policy, rng=rng)
+        cr = realized_cr(deployed, offline)
+        assert cr >= 1.0 - 1e-9
+
+    def test_money_accounting_consistent(self, weeks):
+        _, week2 = weeks
+        model = ssv_cost_model()
+        rng = np.random.default_rng(6)
+        result = simulate_trace(week2, strategy=TurnOffImmediately(B_SSV), rng=rng)
+        # Cents = idle * rate + restarts * restart cost, exactly.
+        expected = (
+            result.ledger.idle_seconds * model.idling_cost_cents_per_s()
+            + result.ledger.restarts * model.restart_cost_cents()
+        )
+        assert result.cost_cents(model) == pytest.approx(expected)
+
+
+class TestFleetRoundTripThroughCSV:
+    """Synthesize -> persist -> reload -> evaluate: numbers unchanged."""
+
+    def test_csv_round_trip_preserves_evaluation(self, tmp_path):
+        vehicles = FleetGenerator(area_config("california"), seed=21).generate(8)
+        traces = [vehicle.to_trace() for vehicle in vehicles]
+        path = tmp_path / "stops.csv"
+        write_stops_csv(path, traces)
+        loaded = read_stops_csv(path)
+        for vehicle in vehicles:
+            direct = ProposedOnline.from_samples(vehicle.stop_lengths, B_SSV)
+            reloaded = ProposedOnline.from_samples(loaded[vehicle.vehicle_id], B_SSV)
+            assert direct.selected_name == reloaded.selected_name
+            assert direct.worst_case_cr == pytest.approx(reloaded.worst_case_cr)
+
+
+class TestAdaptiveAgainstFleet:
+    def test_adaptive_beats_nrand_on_realistic_traffic(self):
+        # After a warm-up, the adaptive controller's realized mean cost
+        # beats always-playing N-Rand on the same stop stream.
+        rng = np.random.default_rng(77)
+        distribution = area_config("california").stop_length_distribution()
+        stops = distribution.sample(1200, rng)
+        adaptive = AdaptiveProposed(B_SSV, min_samples=20)
+        adaptive_costs = adaptive.run_online(stops, rng)
+        from repro.core import NRand
+
+        nrand_expected = NRand(B_SSV).expected_cost_vec(stops)
+        # Compare the post-warmup halves.
+        half = stops.size // 2
+        assert adaptive_costs[half:].mean() < nrand_expected[half:].mean() + 1e-9
+
+
+class TestFleetEvaluationAgainstSimulation:
+    def test_expected_cr_matches_realized_for_deterministic_winner(self):
+        # For vehicles where the proposed selector picks a deterministic
+        # vertex, the exact CR equals the realized event-level CR.
+        vehicles = FleetGenerator(area_config("atlanta"), seed=31).generate(10)
+        evaluation = evaluate_fleet(vehicles, B_SSV)
+        rng = np.random.default_rng(0)
+        for vehicle, vehicle_eval in zip(vehicles, evaluation.evaluations):
+            if vehicle_eval.selected_vertex == "N-Rand":
+                continue
+            policy = ProposedOnline.from_samples(vehicle.stop_lengths, B_SSV)
+            trace = vehicle.to_trace()
+            online = simulate_trace(trace, strategy=policy, rng=rng)
+            offline = simulate_trace(trace, break_even=B_SSV)
+            assert realized_cr(online, offline) == pytest.approx(
+                vehicle_eval.crs["Proposed"], rel=1e-9
+            )
+
+    def test_empirical_cr_definition(self):
+        # evaluate_fleet's CR equals the direct empirical_cr computation.
+        vehicles = FleetGenerator(area_config("chicago"), seed=41).generate(5)
+        evaluation = evaluate_fleet(vehicles, B_SSV)
+        for vehicle, vehicle_eval in zip(vehicles, evaluation.evaluations):
+            direct = empirical_cr(
+                TurnOffImmediately(B_SSV), vehicle.stop_lengths, B_SSV
+            )
+            assert vehicle_eval.crs["TOI"] == pytest.approx(direct)

@@ -1,0 +1,92 @@
+"""Unit tests for the Section 4.4 LP cross-check."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import E
+from repro.core.constrained import ConstrainedSkiRentalSolver
+from repro.core.lp import lp_coefficients, solve_lp, verify_against_lp
+from repro.core.stats import StopStatistics
+
+B = 28.0
+
+
+class TestCoefficients:
+    def test_k_alpha_matches_paper(self):
+        stats = StopStatistics(7.0, 0.25, B)
+        offline = stats.expected_offline_cost
+        coeffs = lp_coefficients(stats)
+        assert coeffs.k_alpha == pytest.approx(B - E / (E - 1) * offline)
+
+    def test_k_beta_matches_paper(self):
+        stats = StopStatistics(7.0, 0.25, B)
+        offline = stats.expected_offline_cost
+        coeffs = lp_coefficients(stats)
+        assert coeffs.k_beta == pytest.approx(
+            (7.0 + 2 * 0.25 * B) - E / (E - 1) * offline
+        )
+
+    def test_k_gamma_uses_eq35(self):
+        stats = StopStatistics(0.05 * B, 0.3, B)
+        offline = stats.expected_offline_cost
+        coeffs = lp_coefficients(stats)
+        bdet = (math.sqrt(0.05 * B) + math.sqrt(0.3 * B)) ** 2
+        assert coeffs.k_gamma == pytest.approx(bdet - E / (E - 1) * offline)
+
+    def test_k_gamma_infinite_when_inadmissible(self):
+        coeffs = lp_coefficients(StopStatistics(10.0, 0.0, B))
+        assert not coeffs.b_det_admissible
+        assert coeffs.k_gamma == math.inf
+
+    def test_constant_is_nrand_cost(self):
+        stats = StopStatistics(7.0, 0.25, B)
+        coeffs = lp_coefficients(stats)
+        assert coeffs.constant == pytest.approx(E / (E - 1) * stats.expected_offline_cost)
+
+
+class TestSolveLP:
+    @pytest.mark.parametrize(
+        "mu_frac,q,expected",
+        [
+            (0.2, 0.4, "N-Rand"),
+            (0.02, 0.3, "b-DET"),
+            (0.5, 0.0001, "DET"),
+            (0.04, 0.8, "TOI"),
+        ],
+    )
+    def test_lp_vertex_matches_analytic(self, mu_frac, q, expected):
+        stats = StopStatistics(mu_frac * B, q, B)
+        solution = solve_lp(stats)
+        assert solution.vertex_name == expected
+        analytic = ConstrainedSkiRentalSolver(stats).select()
+        assert analytic.name == expected
+        assert solution.cost == pytest.approx(analytic.chosen.worst_case_cost, rel=1e-9)
+
+    def test_masses_are_vertex_like(self):
+        stats = StopStatistics(0.02 * B, 0.3, B)
+        solution = solve_lp(stats)
+        masses = np.array([solution.alpha, solution.beta, solution.gamma])
+        assert np.isclose(masses.sum(), masses.max())  # all mass on one atom
+        assert masses.max() == pytest.approx(1.0)
+
+    def test_inadmissible_bdet_gets_zero_gamma(self):
+        solution = solve_lp(StopStatistics(10.0, 0.0, B))
+        assert solution.gamma == 0.0
+
+
+class TestVerifyAgainstLP:
+    def test_agreement_over_grid(self):
+        for mu_frac in (0.01, 0.05, 0.2, 0.5, 0.9):
+            for q in (0.01, 0.1, 0.3, 0.7, 0.99):
+                if mu_frac > 1 - q:
+                    continue
+                stats = StopStatistics(mu_frac * B, q, B)
+                selection = verify_against_lp(stats)
+                assert selection.name in {"TOI", "DET", "b-DET", "N-Rand"}
+
+    def test_returns_analytic_selection(self):
+        stats = StopStatistics(0.3 * B, 0.3, B)
+        selection = verify_against_lp(stats)
+        assert selection.stats is stats

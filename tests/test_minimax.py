@@ -1,0 +1,109 @@
+"""Unit tests for the numeric minimax game solver.
+
+These tests are the library's independent validation of the theory: the
+game values must reproduce (a) the classic e/(e-1) bound and (b) the
+constrained solver's values wherever the paper's four-vertex solution is
+actually optimal.
+"""
+
+import numpy as np
+import pytest
+
+from repro.constants import E_RATIO
+from repro.core import (
+    ConstrainedSkiRentalSolver,
+    NRand,
+    StopStatistics,
+    solve_constrained_game,
+    solve_unconstrained_game,
+)
+from repro.core.minimax import solve_first_moment_game
+from repro.errors import InvalidParameterError
+
+B = 28.0
+
+
+class TestUnconstrainedGame:
+    @pytest.fixture(scope="class")
+    def solution(self):
+        return solve_unconstrained_game(B, grid_size=100)
+
+    def test_value_is_e_ratio(self, solution):
+        # Player discretization can only raise the value slightly.
+        assert solution.value == pytest.approx(E_RATIO, abs=0.01)
+        assert solution.value >= E_RATIO - 1e-6
+
+    def test_optimal_player_looks_like_nrand(self, solution):
+        # The recovered mixed strategy's mean matches N-Rand's B/(e-1).
+        assert solution.mean_threshold() == pytest.approx(
+            NRand(B).mean_threshold(), rel=0.05
+        )
+
+    def test_player_distribution_normalized(self, solution):
+        assert solution.player_distribution.sum() == pytest.approx(1.0)
+        assert np.all(solution.player_distribution >= 0.0)
+
+    def test_small_grid_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            solve_unconstrained_game(B, grid_size=4)
+
+
+class TestFirstMomentGame:
+    """Numeric check of Appendix B: the first moment alone does not
+    improve on N-Rand's e/(e-1)."""
+
+    @pytest.mark.parametrize("mu", [0.5 * B, B, 2 * B, 3 * B])
+    def test_value_stays_at_e_ratio(self, mu):
+        solution = solve_first_moment_game(B, mu, grid_size=90)
+        assert solution.value == pytest.approx(E_RATIO, abs=0.012)
+
+    def test_mean_constraint_actually_enforced(self):
+        # Sanity: an absurd mean far beyond the adversary's grid is
+        # rejected; a barely-feasible one binds the adversary and can
+        # only *lower* the value (less adversarial freedom).
+        with pytest.raises(InvalidParameterError):
+            solve_first_moment_game(B, 1000 * B)
+        squeezed = solve_first_moment_game(B, 6.0 * B, grid_size=60)
+        assert squeezed.value <= E_RATIO + 0.02
+
+    def test_invalid_mean_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            solve_first_moment_game(B, 0.0)
+
+
+class TestConstrainedGame:
+    @pytest.mark.parametrize(
+        "mu_frac,q",
+        [(0.5, 0.05), (0.3, 0.15), (0.05, 0.8), (0.02, 0.9)],
+    )
+    def test_matches_paper_in_det_and_toi_regions(self, mu_frac, q):
+        # Where DET or TOI is optimal, the four-vertex solution is the
+        # true game optimum and the numeric value must agree.
+        stats = StopStatistics(mu_frac * B, q, B)
+        analytic = ConstrainedSkiRentalSolver(stats).select()
+        game = solve_constrained_game(stats, grid_size=150)
+        assert analytic.name in {"DET", "TOI"}
+        assert game.value == pytest.approx(analytic.worst_case_cr, abs=0.01)
+
+    def test_game_never_exceeds_paper_value(self):
+        # The game optimizes over a richer strategy space than the
+        # paper's ansatz, so (up to discretization) its value is <= the
+        # paper's optimal worst-case CR.
+        for mu_frac, q in [(0.02, 0.3), (0.1, 0.2), (0.2, 0.4), (0.4, 0.1)]:
+            stats = StopStatistics(mu_frac * B, q, B)
+            analytic = ConstrainedSkiRentalSolver(stats).select()
+            game = solve_constrained_game(stats, grid_size=150)
+            assert game.value <= analytic.worst_case_cr + 0.01
+
+    def test_documents_bdet_region_gap(self):
+        # The reproduction finding: in the paper's b-DET region the true
+        # game value is strictly below the paper's Eq. (38) CR.
+        stats = StopStatistics(0.02 * B, 0.3, B)
+        analytic = ConstrainedSkiRentalSolver(stats).select()
+        assert analytic.name == "b-DET"
+        game = solve_constrained_game(stats, grid_size=150)
+        assert game.value < analytic.worst_case_cr - 0.1
+
+    def test_degenerate_statistics_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            solve_constrained_game(StopStatistics(0.0, 0.0, B))

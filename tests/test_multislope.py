@@ -1,0 +1,104 @@
+"""Unit tests for the multislope ski-rental extension [14]."""
+
+import numpy as np
+import pytest
+
+from repro.core.multislope import FollowTheEnvelope, MultislopeProblem, Slope
+from repro.errors import InvalidParameterError
+
+B = 28.0
+
+
+class TestSlope:
+    def test_cost(self):
+        assert Slope(10.0, 0.5).cost(20.0) == pytest.approx(20.0)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Slope(-1.0, 0.5)
+        with pytest.raises(InvalidParameterError):
+            Slope(1.0, -0.5)
+
+
+class TestMultislopeProblem:
+    def test_classic_reduces_to_ski_rental(self):
+        problem = MultislopeProblem.classic(B)
+        assert problem.offline_cost(10.0) == 10.0
+        assert problem.offline_cost(100.0) == B
+        assert problem.transition_points == (B,)
+
+    def test_envelope_state_convention(self):
+        problem = MultislopeProblem.classic(B)
+        assert problem.envelope_state(B - 1e-9) == 0
+        assert problem.envelope_state(B) == 1  # y >= B is the long branch
+
+    def test_three_state_transitions_increasing(self):
+        problem = MultislopeProblem.automotive_three_state()
+        points = problem.transition_points
+        assert len(points) == 2
+        assert points[0] < points[1]
+
+    def test_offline_cost_is_lower_envelope(self):
+        problem = MultislopeProblem.automotive_three_state()
+        for y in np.linspace(0.0, 100.0, 40):
+            direct = min(s.cost(y) for s in problem.slopes)
+            assert problem.offline_cost(float(y)) == pytest.approx(direct)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            MultislopeProblem([Slope(0.0, 1.0)])  # too few
+        with pytest.raises(InvalidParameterError):
+            MultislopeProblem([Slope(1.0, 1.0), Slope(2.0, 0.5)])  # state 0 not free
+        with pytest.raises(InvalidParameterError):
+            MultislopeProblem([Slope(0.0, 1.0), Slope(0.0, 0.5)])  # cost not increasing
+        with pytest.raises(InvalidParameterError):
+            MultislopeProblem([Slope(0.0, 1.0), Slope(5.0, 1.0)])  # rate not decreasing
+
+    def test_tuple_inputs_accepted(self):
+        problem = MultislopeProblem([(0.0, 1.0), (B, 0.0)])
+        assert problem.offline_cost(100.0) == B
+
+
+class TestFollowTheEnvelope:
+    def test_classic_is_det(self):
+        policy = FollowTheEnvelope(MultislopeProblem.classic(B))
+        assert policy.online_cost(10.0) == 10.0
+        assert policy.online_cost(B) == pytest.approx(2 * B)
+        assert policy.online_cost(1000.0) == pytest.approx(2 * B)
+
+    def test_two_competitive_everywhere(self):
+        for problem in (
+            MultislopeProblem.classic(B),
+            MultislopeProblem.automotive_three_state(),
+            MultislopeProblem([(0.0, 1.0), (5.0, 0.6), (15.0, 0.3), (40.0, 0.0)]),
+        ):
+            policy = FollowTheEnvelope(problem)
+            for y in np.linspace(0.01, 200.0, 100):
+                assert policy.competitive_ratio(float(y)) <= 2.0 + 1e-9
+
+    def test_cost_decomposition(self):
+        # online = OPT(t) + cumulative switch cost of the final state.
+        problem = MultislopeProblem.automotive_three_state()
+        policy = FollowTheEnvelope(problem)
+        for y in (5.0, 30.0, 80.0, 200.0):
+            state = problem.envelope_state(y)
+            expected = problem.offline_cost(y) + problem.slopes[state].switch_cost
+            assert policy.online_cost(y) == pytest.approx(expected, rel=1e-9)
+
+    def test_accessory_state_helps_mid_stops(self):
+        # The three-state policy beats the classic two-state DET on
+        # middle-length stops (the accessory state's raison d'etre).
+        three = FollowTheEnvelope(MultislopeProblem.automotive_three_state())
+        two = FollowTheEnvelope(MultislopeProblem.classic(B))
+        mid = 30.0
+        assert three.online_cost(mid) < two.online_cost(mid)
+
+    def test_zero_stop_free(self):
+        policy = FollowTheEnvelope(MultislopeProblem.classic(B))
+        assert policy.online_cost(0.0) == 0.0
+        assert policy.competitive_ratio(0.0) == 1.0
+
+    def test_negative_stop_rejected(self):
+        policy = FollowTheEnvelope(MultislopeProblem.classic(B))
+        with pytest.raises(InvalidParameterError):
+            policy.online_cost(-1.0)

@@ -1,0 +1,103 @@
+"""Unit tests for the randomized multislope game solver."""
+
+import numpy as np
+import pytest
+
+from repro.constants import E_RATIO
+from repro.core.multislope import FollowTheEnvelope, MultislopeProblem
+from repro.core.multislope_game import (
+    MultislopeGameSolution,
+    pure_strategy_cost,
+    solve_multislope_game,
+)
+from repro.errors import InvalidParameterError
+
+B = 28.0
+
+
+class TestPureStrategyCost:
+    def test_classic_matches_eq3(self):
+        problem = MultislopeProblem.classic(B)
+        # Switch at t: cost y for y < t, t + B for y >= t.
+        assert pure_strategy_cost(problem, (10.0,), 5.0) == 5.0
+        assert pure_strategy_cost(problem, (10.0,), 10.0) == pytest.approx(10.0 + B)
+        assert pure_strategy_cost(problem, (10.0,), 500.0) == pytest.approx(10.0 + B)
+
+    def test_three_state_sequence(self):
+        problem = MultislopeProblem.automotive_three_state()
+        # Switch to accessory at 10, deep off at 40.
+        times = (10.0, 40.0)
+        # y = 5: still idling.
+        assert pure_strategy_cost(problem, times, 5.0) == 5.0
+        # y = 20: idled 10 (rate 1), paid 12 switch, accessory 10 s at 0.25.
+        assert pure_strategy_cost(problem, times, 20.0) == pytest.approx(
+            10.0 + 12.0 + 0.25 * 10.0
+        )
+        # y = 100: + accessory until 40, + (28-12) switch, then rate 0.
+        assert pure_strategy_cost(problem, times, 100.0) == pytest.approx(
+            10.0 + 12.0 + 0.25 * 30.0 + 16.0
+        )
+
+    def test_follow_envelope_is_a_pure_strategy(self):
+        # The deterministic 2-competitive policy equals the pure strategy
+        # whose switch times are the offline transition points.
+        problem = MultislopeProblem.automotive_three_state()
+        policy = FollowTheEnvelope(problem)
+        times = problem.transition_points
+        for y in (3.0, 20.0, 50.0, 200.0):
+            assert pure_strategy_cost(problem, times, y) == pytest.approx(
+                policy.online_cost(y)
+            )
+
+    def test_validation(self):
+        problem = MultislopeProblem.classic(B)
+        with pytest.raises(InvalidParameterError):
+            pure_strategy_cost(problem, (10.0, 20.0), 5.0)  # wrong arity
+        with pytest.raises(InvalidParameterError):
+            pure_strategy_cost(problem, (-1.0,), 5.0)
+        three = MultislopeProblem.automotive_three_state()
+        with pytest.raises(InvalidParameterError):
+            pure_strategy_cost(three, (20.0, 10.0), 5.0)  # decreasing
+
+
+class TestGameSolver:
+    def test_classic_converges_to_e_ratio(self):
+        solution = solve_multislope_game(MultislopeProblem.classic(B), time_points=80)
+        # Player discretization biases upward only.
+        assert solution.value >= E_RATIO - 1e-9
+        assert solution.value == pytest.approx(E_RATIO, abs=0.02)
+
+    def test_three_state_beats_two_state(self):
+        # The accessory state lowers the optimal randomized CR.
+        three = solve_multislope_game(
+            MultislopeProblem.automotive_three_state(), time_points=18
+        )
+        assert three.value < E_RATIO
+
+    def test_value_bounded_by_deterministic(self):
+        for problem in (
+            MultislopeProblem.classic(B),
+            MultislopeProblem.automotive_three_state(),
+        ):
+            solution = solve_multislope_game(problem, time_points=14)
+            assert 1.0 <= solution.value <= 2.0 + 1e-9
+
+    def test_weights_normalized(self):
+        solution = solve_multislope_game(MultislopeProblem.classic(B), time_points=20)
+        assert solution.weights.sum() == pytest.approx(1.0)
+        assert np.all(solution.weights >= 0.0)
+
+    def test_support_filters(self):
+        solution = solve_multislope_game(MultislopeProblem.classic(B), time_points=20)
+        support = solution.support()
+        assert 0 < len(support) <= len(solution.pure_strategies)
+        assert all(weight > 1e-6 for _, weight in support)
+
+    def test_requires_zero_final_rate(self):
+        problem = MultislopeProblem([(0.0, 1.0), (10.0, 0.2)])
+        with pytest.raises(InvalidParameterError):
+            solve_multislope_game(problem)
+
+    def test_tiny_grid_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            solve_multislope_game(MultislopeProblem.classic(B), time_points=2)

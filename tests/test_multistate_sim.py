@@ -1,0 +1,117 @@
+"""Unit tests for the multistate (multislope) event-level simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.multislope import FollowTheEnvelope, MultislopeProblem
+from repro.core.multislope_game import solve_multislope_game
+from repro.errors import InvalidParameterError
+from repro.simulation import (
+    EnvelopeController,
+    RandomizedMultislopeController,
+    simulate_multistate,
+)
+
+B = 28.0
+
+
+class TestEnvelopeController:
+    def test_matches_follow_the_envelope_costs(self, rng):
+        problem = MultislopeProblem.automotive_three_state()
+        policy = FollowTheEnvelope(problem)
+        stops = np.array([3.0, 20.0, 50.0, 200.0])
+        result = simulate_multistate(problem, stops, EnvelopeController(problem), rng)
+        for record in result.records:
+            assert record.cost == pytest.approx(policy.online_cost(record.stop_length))
+
+    def test_realized_cr_at_most_two(self, rng):
+        problem = MultislopeProblem.automotive_three_state()
+        stops = np.linspace(0.5, 300.0, 50)
+        result = simulate_multistate(problem, stops, EnvelopeController(problem), rng)
+        assert 1.0 - 1e-9 <= result.realized_cr <= 2.0 + 1e-9
+
+    def test_state_usage_tracks_stop_lengths(self, rng):
+        problem = MultislopeProblem.automotive_three_state()
+        t1, t2 = problem.transition_points
+        stops = np.array([t1 / 2, (t1 + t2) / 2, t2 * 2])
+        result = simulate_multistate(problem, stops, EnvelopeController(problem), rng)
+        usage = result.state_usage()
+        assert usage == {0: 1, 1: 1, 2: 1}
+
+    def test_classic_instance_is_det(self, rng):
+        problem = MultislopeProblem.classic(B)
+        stops = np.array([10.0, 100.0])
+        result = simulate_multistate(problem, stops, EnvelopeController(problem), rng)
+        assert result.total_cost == pytest.approx(10.0 + 2 * B)
+
+
+class TestRandomizedController:
+    @pytest.fixture(scope="class")
+    def game(self):
+        problem = MultislopeProblem.classic(B)
+        return problem, solve_multislope_game(problem, time_points=30)
+
+    def test_mean_cost_near_game_value(self, game, rng):
+        problem, solution = game
+        controller = RandomizedMultislopeController(problem, solution)
+        # Adversarial stop just past B: the randomized mixture's expected
+        # ratio should be near the game value, far below DET's 2.
+        stops = np.full(4000, B * 1.01)
+        result = simulate_multistate(problem, stops, controller, rng)
+        assert result.realized_cr == pytest.approx(solution.value, rel=0.05)
+        assert result.realized_cr < 1.75
+
+    def test_profiles_come_from_support(self, game, rng):
+        problem, solution = game
+        controller = RandomizedMultislopeController(problem, solution)
+        support = {profile for profile, _ in solution.support(threshold=0.0)}
+        stops = np.full(100, 10.0)
+        result = simulate_multistate(problem, stops, controller, rng)
+        for record in result.records:
+            assert record.switch_times in support
+
+    def test_arity_mismatch_rejected(self, game):
+        _, solution = game
+        three_state = MultislopeProblem.automotive_three_state()
+        with pytest.raises(InvalidParameterError):
+            RandomizedMultislopeController(three_state, solution)
+
+
+class TestEnvelopeWithSkippedStates:
+    def test_skipped_state_profile_matches_follow_envelope(self, rng):
+        # State 1 is valid (costs increase, rates decrease) but never on
+        # the envelope: the jump straight to state 2 is always better.
+        problem = MultislopeProblem(
+            [(0.0, 1.0), (27.0, 0.9), (28.0, 0.0)]
+        )
+        # Envelope: state 0 until the 0->2 crossing at 28, never state 1.
+        controller = EnvelopeController(problem)
+        policy = FollowTheEnvelope(problem)
+        stops = np.array([5.0, 27.5, 28.0, 100.0])
+        result = simulate_multistate(problem, stops, controller, rng)
+        for record in result.records:
+            assert record.cost == pytest.approx(
+                policy.online_cost(record.stop_length)
+            ), record
+
+    def test_profile_arity_matches_states(self, rng):
+        problem = MultislopeProblem([(0.0, 1.0), (27.0, 0.9), (28.0, 0.0)])
+        controller = EnvelopeController(problem)
+        profile = controller.profile_for_stop(rng)
+        assert len(profile) == len(problem.slopes) - 1
+        assert profile[0] <= profile[1]
+
+
+class TestValidation:
+    def test_empty_stops_rejected(self, rng):
+        problem = MultislopeProblem.classic(B)
+        with pytest.raises(InvalidParameterError):
+            simulate_multistate(problem, np.array([]), EnvelopeController(problem), rng)
+
+    def test_zero_offline_cr_rejected(self, rng):
+        problem = MultislopeProblem.classic(B)
+        result = simulate_multistate(
+            problem, np.array([0.0]), EnvelopeController(problem), rng
+        )
+        with pytest.raises(InvalidParameterError):
+            result.realized_cr

@@ -1,0 +1,85 @@
+"""Unit tests for the mean-variance Pareto analysis and the risk CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.errors import InvalidParameterError
+from repro.evaluation import CostMoments, pareto_frontier, vehicle_pareto_report
+
+B = 28.0
+
+
+class TestParetoFrontier:
+    def test_single_point_is_efficient(self):
+        points = pareto_frontier({"only": CostMoments(mean=10.0, std=1.0)})
+        assert points[0].efficient
+
+    def test_dominated_point_flagged(self):
+        points = pareto_frontier(
+            {
+                "good": CostMoments(mean=10.0, std=1.0),
+                "bad": CostMoments(mean=12.0, std=2.0),
+            }
+        )
+        flags = {p.strategy: p.efficient for p in points}
+        assert flags["good"] and not flags["bad"]
+
+    def test_tradeoff_keeps_both(self):
+        points = pareto_frontier(
+            {
+                "low-mean": CostMoments(mean=10.0, std=3.0),
+                "low-std": CostMoments(mean=12.0, std=0.0),
+            }
+        )
+        assert all(p.efficient for p in points)
+
+    def test_sorted_by_mean(self):
+        points = pareto_frontier(
+            {
+                "a": CostMoments(mean=12.0, std=0.0),
+                "b": CostMoments(mean=10.0, std=3.0),
+            }
+        )
+        assert [p.strategy for p in points] == ["b", "a"]
+
+    def test_equal_points_both_efficient(self):
+        points = pareto_frontier(
+            {
+                "x": CostMoments(mean=10.0, std=1.0),
+                "y": CostMoments(mean=10.0, std=1.0),
+            }
+        )
+        assert all(p.efficient for p in points)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            pareto_frontier({})
+
+
+class TestVehicleReport:
+    def test_proposed_always_efficient(self, rng):
+        # The proposed strategy has the (weakly) smallest expected cost
+        # among the six; it can only be dominated by an equal-mean,
+        # lower-std point — and its delegate ties it exactly, which does
+        # not count as domination.
+        stops = rng.exponential(60.0, size=200)
+        points = vehicle_pareto_report(stops, B)
+        flags = {p.strategy: p.efficient for p in points}
+        assert flags["Proposed"]
+
+    def test_deterministic_points_zero_std(self, rng):
+        stops = rng.exponential(60.0, size=100)
+        points = {p.strategy: p for p in vehicle_pareto_report(stops, B)}
+        for name in ("TOI", "DET", "NEV"):
+            assert points[name].std == 0.0
+
+
+class TestRiskCLI:
+    def test_risk_report_prints(self, capsys):
+        stops = "12,45,8,33,95,22,410,28,51,1260"
+        assert main(["risk", "--stops", stops, "--break-even", "28"]) == 0
+        out = capsys.readouterr().out
+        assert "pareto-efficient" in out
+        assert "Proposed" in out
+        assert "NEV" in out

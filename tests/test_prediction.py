@@ -1,0 +1,129 @@
+"""Unit tests for the learning-augmented (PSK) strategy."""
+
+import numpy as np
+import pytest
+
+from repro.core.costs import offline_cost, online_cost
+from repro.core.prediction import (
+    NoisyOracle,
+    PSKStrategy,
+    consistency_bound,
+    psk_threshold,
+    robustness_bound,
+)
+from repro.errors import InvalidParameterError
+
+B = 28.0
+
+
+class TestThresholdRule:
+    def test_long_prediction_commits_early(self):
+        assert psk_threshold(100.0, B, trust=0.5) == pytest.approx(0.5 * B)
+
+    def test_short_prediction_holds_out(self):
+        assert psk_threshold(5.0, B, trust=0.5) == pytest.approx(2.0 * B)
+
+    def test_trust_one_recovers_det(self):
+        assert psk_threshold(100.0, B, trust=1.0) == B
+        assert psk_threshold(5.0, B, trust=1.0) == B
+
+    def test_invalid_trust_rejected(self):
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(InvalidParameterError):
+                psk_threshold(10.0, B, trust=bad)
+
+
+class TestGuarantees:
+    @pytest.mark.parametrize("trust", [0.1, 0.25, 0.5, 0.9, 1.0])
+    def test_consistency_with_perfect_prediction(self, trust):
+        # With y_hat == y the per-stop ratio never exceeds 1 + trust.
+        bound = consistency_bound(trust)
+        for y in np.linspace(0.1, 5 * B, 200):
+            x = psk_threshold(y, B, trust)
+            ratio = online_cost(x, y, B) / offline_cost(y, B)
+            assert ratio <= bound + 1e-9
+
+    @pytest.mark.parametrize("trust", [0.1, 0.25, 0.5, 0.9, 1.0])
+    def test_robustness_against_adversarial_prediction(self, trust):
+        # Even the worst prediction cannot push the ratio past 1 + 1/trust.
+        bound = robustness_bound(trust)
+        for y in np.linspace(0.1, 5 * B, 60):
+            for y_hat in (0.0, 1.0, B - 1e-6, B, 10 * B):
+                x = psk_threshold(y_hat, B, trust)
+                ratio = online_cost(x, y, B) / offline_cost(y, B)
+                assert ratio <= bound + 1e-9
+
+    def test_consistency_bound_tight_somewhere(self):
+        # The 1 + trust bound is attained by a perfectly-predicted long
+        # stop: pay trust*B of idling plus the restart, offline pays B.
+        trust = 0.5
+        y = 2 * B
+        x = psk_threshold(y, B, trust)  # perfect long prediction -> x = 0.5 B
+        ratio = online_cost(x, y, B) / offline_cost(y, B)
+        assert ratio == pytest.approx(consistency_bound(trust))
+
+    def test_bounds_monotone_in_trust(self):
+        trusts = [0.1, 0.3, 0.6, 1.0]
+        consistencies = [consistency_bound(t) for t in trusts]
+        robustnesses = [robustness_bound(t) for t in trusts]
+        assert consistencies == sorted(consistencies)
+        assert robustnesses == sorted(robustnesses, reverse=True)
+
+
+class TestPSKStrategy:
+    def test_decide_sequence_uses_per_stop_predictions(self, rng):
+        stops = np.array([5.0, 100.0, 40.0])
+        oracle = NoisyOracle(stops, sigma=0.0, rng=rng)
+        strategy = PSKStrategy(B, trust=0.5, predictor=oracle)
+        decisions = strategy.decide_sequence(stops)
+        assert decisions[0].threshold == pytest.approx(2 * B)   # short
+        assert decisions[1].threshold == pytest.approx(0.5 * B)  # long
+        assert decisions[2].threshold == pytest.approx(0.5 * B)  # long
+
+    def test_realized_costs_follow_eq3(self, rng):
+        stops = np.array([5.0, 100.0])
+        oracle = NoisyOracle(stops, sigma=0.0, rng=rng)
+        strategy = PSKStrategy(B, trust=0.5, predictor=oracle)
+        costs = strategy.realized_costs(stops)
+        np.testing.assert_allclose(costs, [5.0, 0.5 * B + B])
+
+    def test_perfect_oracle_beats_det_on_mixed_stream(self, rng):
+        stops = np.concatenate([np.full(50, 5.0), np.full(50, 4 * B)])
+        oracle = NoisyOracle(stops, sigma=0.0, rng=rng)
+        psk = PSKStrategy(B, trust=0.3, predictor=oracle)
+        psk_cost = psk.realized_costs(stops).sum()
+        det_cost = sum(online_cost(B, y, B) for y in stops)
+        assert psk_cost < det_cost
+
+    def test_strategy_interface(self, rng):
+        stops = np.array([50.0])
+        oracle = NoisyOracle(stops, sigma=0.0, rng=rng)
+        strategy = PSKStrategy(B, trust=0.5, predictor=oracle)
+        assert strategy.draw_threshold(rng) == pytest.approx(0.5 * B)
+        assert strategy.expected_cost(100.0) == pytest.approx(0.5 * B + B)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            PSKStrategy(B, trust=0.0, predictor=lambda i: 1.0)
+        with pytest.raises(InvalidParameterError):
+            PSKStrategy(B, trust=0.5, predictor="not callable")
+
+
+class TestNoisyOracle:
+    def test_zero_noise_is_exact(self, rng):
+        stops = np.array([10.0, 20.0])
+        oracle = NoisyOracle(stops, sigma=0.0, rng=rng)
+        assert oracle(0) == 10.0
+        assert oracle(1) == 20.0
+
+    def test_noise_perturbs(self, rng):
+        stops = np.full(100, 50.0)
+        oracle = NoisyOracle(stops, sigma=0.5, rng=rng)
+        assert np.std(oracle.predictions) > 0.0
+        assert np.all(oracle.predictions > 0.0)
+
+    def test_validation(self, rng):
+        with pytest.raises(InvalidParameterError):
+            NoisyOracle([], sigma=0.1, rng=rng)
+        with pytest.raises(InvalidParameterError):
+            NoisyOracle([1.0], sigma=-0.1, rng=rng)

@@ -1,0 +1,147 @@
+"""Property-based tests (hypothesis) for the distribution toolkit."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.stats import StopStatistics
+from repro.distributions import (
+    DiscreteStopDistribution,
+    EmpiricalDistribution,
+    Exponential,
+    LogNormal,
+    MixtureDistribution,
+    ScaledDistribution,
+    Uniform,
+)
+
+from .conftest import stop_samples
+
+positive = st.floats(min_value=0.01, max_value=1000.0, allow_nan=False)
+
+
+def discrete_distributions() -> st.SearchStrategy:
+    """Random finite-support stop distributions."""
+
+    def build(values, raw_weights):
+        values = sorted(set(values))
+        raw = np.asarray(raw_weights[: len(values)], dtype=float) + 1e-6
+        if len(raw) < len(values):
+            values = values[: len(raw)]
+        probs = raw / raw.sum()
+        return DiscreteStopDistribution(values, probs)
+
+    return st.builds(
+        build,
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+            min_size=1,
+            max_size=8,
+            unique=True,
+        ),
+        raw_weights=st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=8,
+            max_size=8,
+        ),
+    )
+
+
+class TestDiscreteInvariants:
+    @given(dist=discrete_distributions(), point=st.floats(min_value=0.0, max_value=600.0))
+    def test_cdf_plus_strict_survival(self, dist, point):
+        # cdf (closed below) + survival (closed above) double-counts only
+        # the atom at the point itself.
+        atom = float(dist.probabilities[dist.values == point].sum())
+        assert dist.cdf(point) + dist.survival(point) == pytest.approx(1.0 + atom)
+
+    @given(dist=discrete_distributions(), b=positive)
+    def test_statistics_feasible(self, dist, b):
+        stats = StopStatistics.from_distribution(dist, b)
+        assert 0.0 <= stats.q_b_plus <= 1.0
+        assert stats.mu_b_minus <= (1.0 - stats.q_b_plus) * b + 1e-9
+
+    @given(dist=discrete_distributions())
+    def test_partial_expectation_monotone(self, dist):
+        values = np.linspace(0.0, 600.0, 13)
+        partials = [dist.partial_expectation(v) for v in values]
+        assert all(a <= b_ + 1e-12 for a, b_ in zip(partials, partials[1:]))
+        assert partials[-1] <= dist.mean() + 1e-9
+
+    @given(dist=discrete_distributions(), scale=st.floats(min_value=0.1, max_value=10.0))
+    def test_scaling_commutes_with_moments(self, dist, scale):
+        scaled = ScaledDistribution(dist, scale)
+        assert scaled.mean() == pytest.approx(scale * dist.mean(), rel=1e-9)
+        for b in (1.0, 50.0):
+            assert scaled.partial_expectation(b) == pytest.approx(
+                scale * dist.partial_expectation(b / scale), rel=1e-9
+            )
+
+
+class TestEmpiricalInvariants:
+    @given(stops=stop_samples(max_size=100))
+    def test_empirical_matches_sample_statistics(self, stops):
+        dist = EmpiricalDistribution(stops)
+        assert dist.mean() == pytest.approx(float(np.mean(stops)))
+        for b in (1.0, 28.0, 500.0):
+            stats = StopStatistics.from_distribution(dist, b)
+            batch = StopStatistics.from_samples(stops, b)
+            assert stats.mu_b_minus == pytest.approx(batch.mu_b_minus)
+            assert stats.q_b_plus == pytest.approx(batch.q_b_plus)
+
+    @given(stops=stop_samples(max_size=50), q=st.floats(min_value=0.0, max_value=1.0))
+    def test_quantile_within_range(self, stops, q):
+        dist = EmpiricalDistribution(stops)
+        value = dist.quantile(q)
+        assert stops.min() - 1e-12 <= value <= stops.max() + 1e-12
+
+
+class TestMixtureInvariants:
+    @given(
+        mean_a=st.floats(min_value=1.0, max_value=100.0),
+        mean_b=st.floats(min_value=1.0, max_value=1000.0),
+        weight=st.floats(min_value=0.01, max_value=0.99),
+        b=st.floats(min_value=1.0, max_value=200.0),
+    )
+    @settings(max_examples=50)
+    def test_mixture_moments_are_convex_combinations(self, mean_a, mean_b, weight, b):
+        components = [Exponential(mean_a), Exponential(mean_b)]
+        mix = MixtureDistribution(components, [weight, 1.0 - weight])
+        assert mix.mean() == pytest.approx(
+            weight * mean_a + (1 - weight) * mean_b, rel=1e-9
+        )
+        expected_pe = weight * components[0].partial_expectation(b) + (
+            1 - weight
+        ) * components[1].partial_expectation(b)
+        assert mix.partial_expectation(b) == pytest.approx(expected_pe, rel=1e-9)
+        expected_sf = weight * components[0].survival(b) + (1 - weight) * components[
+            1
+        ].survival(b)
+        assert mix.survival(b) == pytest.approx(expected_sf, rel=1e-9)
+
+
+class TestParametricInvariants:
+    @given(mean=st.floats(min_value=0.5, max_value=500.0), b=positive)
+    def test_exponential_offline_identity(self, mean, b):
+        # E[min(y, B)] = m (1 - e^{-B/m}) for exponential stops.
+        dist = Exponential(mean)
+        offline = dist.partial_expectation(b) + dist.survival(b) * b
+        assert offline == pytest.approx(mean * (1 - np.exp(-b / mean)), rel=1e-9)
+
+    @given(
+        mu=st.floats(min_value=0.0, max_value=5.0),
+        sigma=st.floats(min_value=0.1, max_value=2.0),
+    )
+    @settings(max_examples=30)
+    def test_lognormal_partial_expectation_converges(self, mu, sigma):
+        dist = LogNormal(mu, sigma)
+        assert dist.partial_expectation(1e12) == pytest.approx(dist.mean(), rel=1e-6)
+
+    @given(
+        low=st.floats(min_value=0.0, max_value=50.0),
+        width=st.floats(min_value=1.0, max_value=100.0),
+    )
+    def test_uniform_mean(self, low, width):
+        dist = Uniform(low, low + width)
+        assert dist.mean() == pytest.approx(low + width / 2, rel=1e-9)

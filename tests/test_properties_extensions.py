@@ -1,0 +1,164 @@
+"""Property-based tests (hypothesis) for the extension modules:
+b-Rand, PSK, multislope and the adaptive estimator."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.constants import E, E_RATIO
+from repro.core.adaptive import AdaptiveProposed
+from repro.core.brand import BRand, ImprovedConstrainedSolver, optimal_beta
+from repro.core.costs import offline_cost, online_cost
+from repro.core.multislope import FollowTheEnvelope, MultislopeProblem, Slope
+from repro.core.multislope_game import pure_strategy_cost
+from repro.core.prediction import psk_threshold, robustness_bound
+from repro.core.stats import StopStatistics
+
+from .conftest import feasible_statistics, stop_samples
+
+positive_b = st.floats(min_value=1.0, max_value=200.0, allow_nan=False)
+
+
+class TestBRandProperties:
+    @given(stats=feasible_statistics())
+    @settings(max_examples=150)
+    def test_improved_never_worse_than_paper(self, stats):
+        assume(stats.expected_offline_cost > 1e-9)
+        selection = ImprovedConstrainedSolver(stats).select()
+        assert selection.worst_case_cr <= selection.paper_selection.worst_case_cr + 1e-9
+        assert 1.0 - 1e-9 <= selection.worst_case_cr <= E_RATIO + 1e-9
+
+    @given(stats=feasible_statistics())
+    @settings(max_examples=100)
+    def test_optimal_beta_in_range(self, stats):
+        assume(stats.expected_offline_cost > 1e-9)
+        beta = optimal_beta(stats)
+        assert 0.0 <= beta <= stats.break_even
+
+    @given(
+        b=positive_b,
+        beta_frac=st.floats(min_value=0.05, max_value=1.0),
+        y=st.floats(min_value=0.0, max_value=1000.0),
+    )
+    def test_brand_cost_dominates_offline(self, b, beta_frac, y):
+        strategy = BRand(b, beta_frac * b)
+        assert strategy.expected_cost(y) >= offline_cost(y, b) - 1e-9
+
+    @given(b=positive_b, beta_frac=st.floats(min_value=0.05, max_value=1.0))
+    def test_brand_cost_concave_shape(self, b, beta_frac):
+        # Linear up to beta (equal increments), constant after.
+        strategy = BRand(b, beta_frac * b)
+        beta = strategy.beta
+        first = strategy.expected_cost(beta / 3)
+        second = strategy.expected_cost(2 * beta / 3)
+        third = strategy.expected_cost(beta)
+        assert second - first == pytest.approx(first, rel=1e-6)
+        assert third - second == pytest.approx(first, rel=1e-6)
+        assert strategy.expected_cost(beta * 1.5) == pytest.approx(third, rel=1e-9)
+
+
+class TestPSKProperties:
+    @given(
+        b=positive_b,
+        trust=st.floats(min_value=0.01, max_value=1.0),
+        y=st.floats(min_value=1e-3, max_value=2000.0),
+        y_hat=st.floats(min_value=0.0, max_value=2000.0),
+    )
+    @settings(max_examples=300)
+    def test_robustness_bound_universal(self, b, trust, y, y_hat):
+        x = psk_threshold(y_hat, b, trust)
+        ratio = online_cost(x, y, b) / offline_cost(y, b)
+        assert ratio <= robustness_bound(trust) + 1e-9
+
+    @given(
+        b=positive_b,
+        trust=st.floats(min_value=0.01, max_value=1.0),
+        y=st.floats(min_value=1e-3, max_value=2000.0),
+    )
+    @settings(max_examples=300)
+    def test_consistency_bound_with_perfect_prediction(self, b, trust, y):
+        x = psk_threshold(y, b, trust)
+        ratio = online_cost(x, y, b) / offline_cost(y, b)
+        assert ratio <= 1.0 + trust + 1e-9
+
+
+def multislope_problems() -> st.SearchStrategy:
+    """Random valid multislope instances ending in a zero-rate state."""
+
+    def build(raw_costs, raw_rates):
+        count = min(len(raw_costs), len(raw_rates)) + 1
+        costs = [0.0] + sorted(set(np.cumsum(np.asarray(raw_costs[: count - 1]) + 0.1)))
+        rates = sorted(set(raw_rates[: len(costs) - 1]), reverse=True)
+        rates = [1.0] + [r for r in rates if r < 1.0]
+        rates = rates[: len(costs) - 1] + [0.0]
+        costs = costs[: len(rates)]
+        if len(costs) < 2:
+            return None
+        return MultislopeProblem(
+            [Slope(c, r) for c, r in zip(costs, rates)]
+        )
+
+    return st.builds(
+        build,
+        raw_costs=st.lists(
+            st.floats(min_value=0.1, max_value=50.0), min_size=1, max_size=4
+        ),
+        raw_rates=st.lists(
+            st.floats(min_value=0.01, max_value=0.99), min_size=1, max_size=4
+        ),
+    ).filter(lambda p: p is not None)
+
+
+class TestMultislopeProperties:
+    @given(problem=multislope_problems(), y=st.floats(min_value=0.0, max_value=500.0))
+    @settings(max_examples=200)
+    def test_follow_envelope_two_competitive(self, problem, y):
+        policy = FollowTheEnvelope(problem)
+        assert policy.online_cost(y) <= 2.0 * problem.offline_cost(y) + 1e-9
+
+    @given(
+        problem=multislope_problems(),
+        y=st.floats(min_value=0.0, max_value=500.0),
+        anchor=st.floats(min_value=0.1, max_value=200.0),
+    )
+    @settings(max_examples=200)
+    def test_any_pure_strategy_dominates_offline(self, problem, y, anchor):
+        arity = len(problem.slopes) - 1
+        times = tuple(anchor * (1.0 + j) for j in range(arity))
+        assert pure_strategy_cost(problem, times, y) >= problem.offline_cost(y) - 1e-9
+
+    @given(problem=multislope_problems())
+    @settings(max_examples=100)
+    def test_offline_cost_concave_nondecreasing(self, problem):
+        ys = np.linspace(0.0, 300.0, 31)
+        values = [problem.offline_cost(float(y)) for y in ys]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+        # Concavity: second differences non-positive.
+        diffs = np.diff(values)
+        assert np.all(np.diff(diffs) <= 1e-9)
+
+
+class TestAdaptiveProperties:
+    @given(stops=stop_samples(max_size=80), b=positive_b)
+    @settings(max_examples=100, deadline=None)
+    def test_streaming_statistics_match_batch(self, stops, b):
+        adaptive = AdaptiveProposed(b, min_samples=1, prior_stops=stops)
+        streaming = adaptive.current_statistics()
+        batch = StopStatistics.from_samples(stops, b)
+        assert streaming.mu_b_minus == pytest.approx(batch.mu_b_minus, abs=1e-9)
+        assert streaming.q_b_plus == pytest.approx(batch.q_b_plus, abs=1e-12)
+
+    @given(
+        stops=stop_samples(max_size=60),
+        b=positive_b,
+        decay=st.floats(min_value=0.5, max_value=1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_decayed_statistics_always_feasible(self, stops, b, decay):
+        adaptive = AdaptiveProposed(b, min_samples=1, prior_stops=stops, decay=decay)
+        stats = adaptive.current_statistics()
+        assert 0.0 <= stats.q_b_plus <= 1.0
+        assert stats.mu_b_minus <= (1.0 - stats.q_b_plus) * b + 1e-6 * b

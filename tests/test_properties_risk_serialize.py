@@ -1,0 +1,111 @@
+"""Property-based tests (hypothesis) for variance, serialization and
+censoring invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BDet,
+    BRand,
+    Deterministic,
+    MOMRand,
+    NRand,
+    TurnOffImmediately,
+)
+from repro.core.serialize import strategy_from_dict, strategy_to_dict
+from repro.distributions import CensoredDistribution, Exponential
+
+positive_b = st.floats(min_value=1.0, max_value=200.0, allow_nan=False)
+lengths = st.floats(min_value=0.0, max_value=2000.0, allow_nan=False)
+
+
+def random_strategies(b: float, fraction: float, mu_fraction: float):
+    """A representative spread of serializable strategies."""
+    inner = min(max(fraction * b, 1e-6), b * (1 - 1e-9))
+    return [
+        TurnOffImmediately(b),
+        Deterministic(b),
+        NRand(b),
+        BDet(b, inner),
+        BRand(b, max(inner, 1e-6)),
+        MOMRand(b, mu_fraction * b),
+    ]
+
+
+class TestVarianceProperties:
+    @given(
+        b=positive_b,
+        fraction=st.floats(min_value=0.01, max_value=0.99),
+        mu_fraction=st.floats(min_value=0.0, max_value=2.0),
+        y=lengths,
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_second_moment_dominates_square_of_mean(self, b, fraction, mu_fraction, y):
+        for strategy in random_strategies(b, fraction, mu_fraction):
+            mean = strategy.expected_cost(y)
+            second = strategy.expected_cost_squared(y)
+            assert second >= mean * mean - 1e-6 * max(1.0, mean * mean)
+            assert strategy.cost_variance(y) >= 0.0
+
+    @given(b=positive_b, y=lengths)
+    @settings(max_examples=100)
+    def test_deterministic_variance_zero(self, b, y):
+        for strategy in (TurnOffImmediately(b), Deterministic(b)):
+            assert strategy.cost_variance(y) == 0.0
+
+
+class TestSerializationProperties:
+    @given(
+        b=positive_b,
+        fraction=st.floats(min_value=0.01, max_value=0.99),
+        mu_fraction=st.floats(min_value=0.0, max_value=2.0),
+        y=lengths,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_preserves_expected_cost(self, b, fraction, mu_fraction, y):
+        for strategy in random_strategies(b, fraction, mu_fraction):
+            restored = strategy_from_dict(strategy_to_dict(strategy))
+            assert restored.expected_cost(y) == pytest.approx(
+                strategy.expected_cost(y), rel=1e-9, abs=1e-9
+            )
+
+
+class TestCensoringProperties:
+    @given(
+        mean=st.floats(min_value=1.0, max_value=500.0),
+        ceiling=st.floats(min_value=1.0, max_value=2000.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_censored_mean_never_exceeds_base(self, mean, ceiling):
+        base = Exponential(mean)
+        censored = CensoredDistribution(base, ceiling)
+        assert censored.mean() <= base.mean() + 1e-9
+
+    @given(
+        mean=st.floats(min_value=1.0, max_value=500.0),
+        ceiling=st.floats(min_value=1.0, max_value=2000.0),
+        b=positive_b,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_statistics_unbiased_when_ceiling_above_b(self, mean, ceiling, b):
+        if ceiling < b:
+            ceiling = b + ceiling  # force the valid regime
+        base = Exponential(mean)
+        censored = CensoredDistribution(base, ceiling)
+        assert censored.partial_expectation(b) == pytest.approx(
+            base.partial_expectation(b), rel=1e-9, abs=1e-12
+        )
+        assert censored.survival(b) == pytest.approx(base.survival(b), rel=1e-9)
+
+    @given(
+        mean=st.floats(min_value=1.0, max_value=500.0),
+        ceiling=st.floats(min_value=1.0, max_value=2000.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sampled_observations_respect_ceiling(self, mean, ceiling):
+        rng = np.random.default_rng(0)
+        censored = CensoredDistribution(Exponential(mean), ceiling)
+        samples = censored.sample(200, rng)
+        assert samples.max() <= ceiling + 1e-12

@@ -1,0 +1,79 @@
+"""Property-based tests (hypothesis) tying the event-level simulation to
+the analytic layer: what the controller pays must equal what the math
+predicts."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import BDet, Deterministic, NeverOff, TurnOffImmediately
+from repro.core.analysis import empirical_offline_cost, empirical_online_cost
+from repro.core.costs import offline_cost_vec
+from repro.simulation import realized_cr, simulate_stops
+
+from .conftest import stop_samples
+
+positive_b = st.floats(min_value=1.0, max_value=200.0, allow_nan=False)
+
+
+def deterministic_strategies(b: float):
+    return [
+        TurnOffImmediately(b),
+        Deterministic(b),
+        BDet(b, b / 2),
+        NeverOff(b),
+    ]
+
+
+class TestSimulationMatchesAnalysis:
+    @given(stops=stop_samples(max_size=60), b=positive_b)
+    @settings(max_examples=100, deadline=None)
+    def test_deterministic_simulation_equals_expected_cost(self, stops, b):
+        for strategy in deterministic_strategies(b):
+            result = simulate_stops(stops, strategy=strategy)
+            expected = empirical_online_cost(strategy, stops) * stops.size
+            assert result.total_cost_seconds == pytest.approx(expected, rel=1e-9)
+
+    @given(stops=stop_samples(max_size=60), b=positive_b)
+    @settings(max_examples=100, deadline=None)
+    def test_offline_simulation_equals_eq2(self, stops, b):
+        result = simulate_stops(stops, break_even=b)
+        assert result.total_cost_seconds == pytest.approx(
+            float(offline_cost_vec(stops, b).sum()), rel=1e-9
+        )
+
+    @given(stops=stop_samples(max_size=60), b=positive_b)
+    @settings(max_examples=100, deadline=None)
+    def test_realized_cr_at_least_one(self, stops, b):
+        assume(float(np.minimum(stops, b).sum()) > 1e-9)
+        offline = simulate_stops(stops, break_even=b)
+        for strategy in deterministic_strategies(b):
+            online = simulate_stops(stops, strategy=strategy)
+            assert realized_cr(online, offline) >= 1.0 - 1e-9
+
+    @given(stops=stop_samples(max_size=60), b=positive_b)
+    @settings(max_examples=50, deadline=None)
+    def test_ledger_restart_accounting(self, stops, b):
+        strategy = Deterministic(b)
+        result = simulate_stops(stops, strategy=strategy)
+        # DET restarts exactly on stops with y >= B.
+        assert result.ledger.restarts == int((stops >= b).sum())
+        assert result.ledger.idle_seconds == pytest.approx(
+            float(np.minimum(stops, b).sum())
+        )
+
+    @given(stops=stop_samples(max_size=40), b=positive_b)
+    @settings(max_examples=50, deadline=None)
+    def test_per_stop_costs_sum_to_total(self, stops, b):
+        result = simulate_stops(stops, strategy=TurnOffImmediately(b))
+        assert result.ledger.per_stop_costs.sum() == pytest.approx(
+            result.total_cost_seconds
+        )
+
+    @given(stops=stop_samples(max_size=40), b=positive_b)
+    @settings(max_examples=50, deadline=None)
+    def test_offline_cost_function_agreement(self, stops, b):
+        assert empirical_offline_cost(stops, b) * stops.size == pytest.approx(
+            simulate_stops(stops, break_even=b).total_cost_seconds, rel=1e-9
+        )

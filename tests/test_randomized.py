@@ -1,0 +1,172 @@
+"""Unit tests for N-Rand (Eq. 7) and MOM-Rand (Eq. 9).
+
+The closed forms in repro.core.randomized are checked against the generic
+quadrature defaults of the base class and against the published bounds.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.constants import E, MOM_RAND_MU_THRESHOLD
+from repro.core.randomized import (
+    MOMRand,
+    NRand,
+    mom_rand_cr_prime_bound,
+    mom_rand_uses_revised_pdf,
+)
+from repro.errors import InvalidParameterError
+
+B = 28.0
+
+
+class TestNRandPdf:
+    def test_pdf_matches_eq7(self):
+        nr = NRand(B)
+        for x in (0.0, 10.0, B):
+            assert nr.pdf(x) == pytest.approx(math.exp(x / B) / (B * (E - 1.0)))
+
+    def test_pdf_zero_outside_support(self):
+        nr = NRand(B)
+        assert nr.pdf(-1.0) == 0.0
+        assert nr.pdf(B + 1.0) == 0.0
+
+    def test_pdf_integrates_to_one(self):
+        nr = NRand(B)
+        total, _ = integrate.quad(nr.pdf, 0.0, B)
+        assert total == pytest.approx(1.0, rel=1e-9)
+
+    def test_cdf_matches_quadrature(self):
+        nr = NRand(B)
+        for y in (5.0, 14.0, 25.0):
+            numeric, _ = integrate.quad(nr.pdf, 0.0, y)
+            assert nr.cdf(y) == pytest.approx(numeric, rel=1e-9)
+
+    def test_inverse_cdf_round_trips(self):
+        nr = NRand(B)
+        for u in (0.0, 0.1, 0.5, 0.9, 1.0):
+            assert nr.cdf(nr.inverse_cdf(u)) == pytest.approx(u, abs=1e-12)
+
+
+class TestNRandExpectedCost:
+    def test_pointwise_ratio_is_e_over_e_minus_one(self):
+        # The defining property of N-Rand: E[cost | y] = e/(e-1) min(y, B).
+        nr = NRand(B)
+        for y in (0.1, 5.0, 14.0, B, 2 * B, 100 * B):
+            offline = min(y, B)
+            assert nr.expected_cost(y) / offline == pytest.approx(E / (E - 1.0))
+
+    def test_closed_form_matches_quadrature(self):
+        nr = NRand(B)
+        for y in (3.0, 17.0, B):
+            numeric, _ = integrate.quad(lambda x: (x + B) * nr.pdf(x), 0.0, y)
+            numeric += y * (1.0 - nr.cdf(y))
+            assert nr.expected_cost(y) == pytest.approx(numeric, rel=1e-8)
+
+    def test_partial_cost_integral_closed_form(self):
+        nr = NRand(B)
+        for y in (3.0, 17.0, B):
+            numeric, _ = integrate.quad(lambda x: (x + B) * nr.pdf(x), 0.0, y)
+            assert nr.partial_cost_integral(y) == pytest.approx(numeric, rel=1e-9)
+
+    def test_vectorised_matches_scalar(self):
+        nr = NRand(B)
+        y = np.array([0.0, 5.0, B, 100.0])
+        np.testing.assert_allclose(
+            nr.expected_cost_vec(y), [nr.expected_cost(v) for v in y]
+        )
+
+    def test_mean_threshold_closed_form(self):
+        nr = NRand(B)
+        numeric, _ = integrate.quad(lambda x: x * nr.pdf(x), 0.0, B)
+        assert nr.mean_threshold() == pytest.approx(numeric, rel=1e-9)
+
+    def test_monte_carlo_agrees(self, rng):
+        nr = NRand(B)
+        draws = nr.draw_thresholds(20000, rng)
+        y = 15.0
+        costs = np.where(y < draws, y, draws + B)
+        assert costs.mean() == pytest.approx(nr.expected_cost(y), rel=0.02)
+
+
+class TestMOMRandRegimes:
+    def test_threshold_constant(self):
+        assert MOM_RAND_MU_THRESHOLD == pytest.approx(2 * (E - 2) / (E - 1))
+
+    def test_revised_regime_detection(self):
+        assert mom_rand_uses_revised_pdf(0.5 * B, B)
+        assert not mom_rand_uses_revised_pdf(0.9 * B, B)
+
+    def test_negative_mu_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            mom_rand_uses_revised_pdf(-1.0, B)
+        with pytest.raises(InvalidParameterError):
+            MOMRand(B, -1.0)
+
+    def test_fallback_to_nrand(self):
+        mom = MOMRand(B, 0.9 * B)
+        nr = NRand(B)
+        assert not mom.uses_revised_pdf
+        for y in (5.0, 20.0, 50.0):
+            assert mom.expected_cost(y) == pytest.approx(nr.expected_cost(y))
+        assert mom.pdf(10.0) == pytest.approx(nr.pdf(10.0))
+        assert mom.cr_prime_bound() == pytest.approx(E / (E - 1.0))
+
+
+class TestMOMRandRevisedPdf:
+    def test_pdf_matches_eq9(self):
+        mom = MOMRand(B, 10.0)
+        for x in (0.0, 10.0, B):
+            assert mom.pdf(x) == pytest.approx(
+                (math.exp(x / B) - 1.0) / (B * (E - 2.0))
+            )
+
+    def test_pdf_integrates_to_one(self):
+        mom = MOMRand(B, 10.0)
+        total, _ = integrate.quad(mom.pdf, 0.0, B)
+        assert total == pytest.approx(1.0, rel=1e-9)
+
+    def test_cdf_matches_quadrature(self):
+        mom = MOMRand(B, 10.0)
+        for y in (5.0, 14.0, 25.0):
+            numeric, _ = integrate.quad(mom.pdf, 0.0, y)
+            assert mom.cdf(y) == pytest.approx(numeric, rel=1e-9)
+
+    def test_expected_cost_closed_form(self):
+        # E[cost | y] = y + y^2 / (2B(e-2)) for y <= B.
+        mom = MOMRand(B, 10.0)
+        for y in (1.0, 10.0, 20.0, B):
+            assert mom.expected_cost(y) == pytest.approx(
+                y + y * y / (2.0 * B * (E - 2.0))
+            )
+
+    def test_expected_cost_matches_quadrature(self):
+        mom = MOMRand(B, 10.0)
+        for y in (4.0, 18.0):
+            numeric, _ = integrate.quad(lambda x: (x + B) * mom.pdf(x), 0.0, y)
+            numeric += y * (1.0 - mom.cdf(y))
+            assert mom.expected_cost(y) == pytest.approx(numeric, rel=1e-8)
+
+    def test_continuous_at_break_even(self):
+        mom = MOMRand(B, 10.0)
+        assert mom.expected_cost(B) == pytest.approx(mom.expected_cost(B + 100.0))
+
+    def test_cr_prime_bound_formula(self):
+        mu = 10.0
+        assert mom_rand_cr_prime_bound(mu, B) == pytest.approx(
+            1.0 + mu / (2.0 * B * (E - 2.0))
+        )
+
+    def test_sampling_stays_in_support(self, rng):
+        mom = MOMRand(B, 10.0)
+        draws = mom.draw_thresholds(500, rng)
+        assert np.all((draws >= 0.0) & (draws <= B))
+
+    def test_vectorised_matches_scalar(self):
+        mom = MOMRand(B, 10.0)
+        y = np.array([0.0, 5.0, B, 100.0])
+        np.testing.assert_allclose(
+            mom.expected_cost_vec(y), [mom.expected_cost(v) for v in y]
+        )

@@ -1,0 +1,108 @@
+"""Unit tests for the Figure 1/2 region and slice computations."""
+
+import numpy as np
+import pytest
+
+from repro.constants import E
+from repro.core.regions import STRATEGY_CODES, compute_region_grid, cr_slice
+from repro.errors import InvalidParameterError
+
+
+class TestRegionGrid:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return compute_region_grid(break_even=1.0, mu_points=31, q_points=31)
+
+    def test_shapes(self, grid):
+        assert grid.region_codes.shape == (31, 31)
+        assert grid.worst_case_cr.shape == (31, 31)
+
+    def test_infeasible_marked(self, grid):
+        # Top-right corner (mu/B ~ 1, q ~ 1) is infeasible.
+        assert grid.region_codes[-1, -1] == STRATEGY_CODES["infeasible"]
+        assert np.isnan(grid.worst_case_cr[-1, -1])
+
+    def test_all_four_strategies_appear(self, grid):
+        # Figure 1(a): the plane is partitioned among all four vertices.
+        present = set(np.unique(grid.region_codes)) - {STRATEGY_CODES["infeasible"]}
+        assert present == {
+            STRATEGY_CODES["TOI"],
+            STRATEGY_CODES["DET"],
+            STRATEGY_CODES["b-DET"],
+            STRATEGY_CODES["N-Rand"],
+        }
+
+    def test_cr_bounded_by_nrand(self, grid):
+        feasible = grid.region_codes >= 0
+        crs = grid.worst_case_cr[feasible]
+        assert np.all(crs <= E / (E - 1) + 1e-12)
+        assert np.all(crs >= 1.0 - 1e-12)
+
+    def test_det_wins_low_q(self, grid):
+        # Bottom edge (q -> 0): DET approaches the offline optimum.
+        assert grid.region_codes[0, 15] == STRATEGY_CODES["DET"]
+
+    def test_toi_wins_high_q(self, grid):
+        # Left edge with high q: TOI approaches the offline optimum.
+        assert grid.region_codes[-1, 0] == STRATEGY_CODES["TOI"]
+
+    def test_region_fractions_sum_to_one(self, grid):
+        fractions = grid.region_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_region_name_round_trip(self, grid):
+        assert grid.region_name_at(15, 0) == "DET"
+
+    def test_bad_grid_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            compute_region_grid(mu_points=1)
+        with pytest.raises(InvalidParameterError):
+            compute_region_grid(mu_max=0.0)
+
+
+class TestCRSlice:
+    def test_requires_exactly_one_fixed_axis(self):
+        with pytest.raises(InvalidParameterError):
+            cr_slice()
+        with pytest.raises(InvalidParameterError):
+            cr_slice(fixed_q_b_plus=0.3, fixed_normalized_mu=0.1)
+
+    def test_fixed_q_slice_shapes(self):
+        series = cr_slice(fixed_q_b_plus=0.3, points=50)
+        assert series["axis_name"] == "normalized_mu"
+        assert series["axis"].size == 50
+        for name in ("TOI", "DET", "b-DET", "N-Rand", "Proposed"):
+            assert series[name].size == 50
+
+    def test_proposed_is_lower_envelope(self):
+        # Figure 2: the proposed CR is the minimum of the vertex CRs.
+        for kwargs in (
+            {"fixed_q_b_plus": 0.3},
+            {"fixed_normalized_mu": 0.02},
+            {"fixed_normalized_mu": 0.05},
+        ):
+            series = cr_slice(points=60, **kwargs)
+            stacked = np.vstack(
+                [series[name] for name in ("TOI", "DET", "b-DET", "N-Rand")]
+            )
+            envelope = np.nanmin(stacked, axis=0)
+            np.testing.assert_allclose(series["Proposed"], envelope, rtol=1e-12)
+
+    def test_figure_2cd_bdet_improves(self):
+        # Figs. 2(c)-(d): at mu- = 0.02B and 0.05B there is a q+ range
+        # where b-DET strictly beats every other vertex.
+        for mu_norm in (0.02, 0.05):
+            series = cr_slice(fixed_normalized_mu=mu_norm, points=200)
+            others = np.vstack([series[n] for n in ("TOI", "DET", "N-Rand")])
+            strictly_better = series["b-DET"] < np.nanmin(others, axis=0) - 1e-9
+            assert strictly_better.any()
+
+    def test_nrand_slice_is_flat(self):
+        series = cr_slice(fixed_q_b_plus=0.3, points=40)
+        np.testing.assert_allclose(series["N-Rand"], E / (E - 1), rtol=1e-12)
+
+    def test_invalid_fixed_values_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            cr_slice(fixed_q_b_plus=0.0)
+        with pytest.raises(InvalidParameterError):
+            cr_slice(fixed_normalized_mu=1.0)

@@ -1,0 +1,89 @@
+"""Unit tests for trip segmentation from raw speed logs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.traces import SpeedTrace, segment_trips, trace_from_daily_log
+
+
+def log(*segments, dt=1.0, start=0.0):
+    """Build a speed trace from (speed, seconds) pairs."""
+    speeds = np.concatenate([np.full(int(n), v, dtype=float) for v, n in segments])
+    return SpeedTrace(start_time=start, dt=dt, speeds=speeds)
+
+
+class TestSegmentTrips:
+    def test_single_trip(self):
+        trace = log((10.0, 120))
+        trips = segment_trips(trace)
+        assert len(trips) == 1
+        assert trips[0].duration == pytest.approx(120.0)
+
+    def test_parking_splits_trips(self):
+        trace = log((10.0, 120), (0.0, 600), (10.0, 120))
+        trips = segment_trips(trace, ignition_off_gap=300.0)
+        assert len(trips) == 2
+        assert trips[1].start_time == pytest.approx(720.0)
+
+    def test_short_stop_does_not_split(self):
+        trace = log((10.0, 120), (0.0, 60), (10.0, 120))
+        trips = segment_trips(trace, ignition_off_gap=300.0)
+        assert len(trips) == 1
+        # The 60 s stop belongs to the trip's stop list.
+        assert len(trips[0].stops) == 1
+        assert trips[0].stops[0].duration == pytest.approx(60.0)
+
+    def test_parking_time_excluded_from_trips(self):
+        trace = log((10.0, 120), (0.0, 600), (10.0, 120))
+        trips = segment_trips(trace, ignition_off_gap=300.0)
+        total = sum(trip.duration for trip in trips)
+        assert total == pytest.approx(240.0, abs=2.0)
+
+    def test_jitter_trips_discarded(self):
+        trace = log((10.0, 10), (0.0, 600), (10.0, 120))
+        trips = segment_trips(trace, min_trip_duration=30.0)
+        assert len(trips) == 1
+        assert trips[0].duration == pytest.approx(120.0)
+
+    def test_all_parked_returns_empty(self):
+        assert segment_trips(log((0.0, 500))) == []
+
+    def test_invalid_parameters_rejected(self):
+        trace = log((10.0, 60))
+        with pytest.raises(TraceFormatError):
+            segment_trips(trace, ignition_off_gap=0.0)
+        with pytest.raises(TraceFormatError):
+            segment_trips(trace, min_trip_duration=-1.0)
+
+
+class TestTraceFromDailyLog:
+    def test_end_to_end(self):
+        trace = log(
+            (10.0, 300), (0.0, 45), (10.0, 300),   # trip 1 with a 45 s stop
+            (0.0, 1200),                            # parking
+            (10.0, 200), (0.0, 20), (10.0, 100),   # trip 2 with a 20 s stop
+        )
+        driving = trace_from_daily_log("veh", trace, recording_days=1.0)
+        assert len(driving.trips) == 2
+        lengths = driving.stop_lengths()
+        assert lengths.size == 2
+        np.testing.assert_allclose(sorted(lengths), [20.0, 45.0])
+
+    def test_default_recording_days_from_duration(self):
+        trace = log((10.0, 86400))
+        driving = trace_from_daily_log("veh", trace)
+        assert driving.recording_days == pytest.approx(1.0)
+
+    def test_statistics_flow_through(self):
+        # The segmented trace feeds the selector end to end.
+        from repro.core import ProposedOnline
+
+        trace = log(
+            (10.0, 100), (0.0, 10), (10.0, 100), (0.0, 40), (10.0, 100),
+            (0.0, 900),
+            (10.0, 100), (0.0, 15), (10.0, 100),
+        )
+        driving = trace_from_daily_log("veh", trace, recording_days=1.0)
+        policy = ProposedOnline.from_samples(driving.stop_lengths(), 28.0)
+        assert policy.selected_name in {"TOI", "DET", "b-DET", "N-Rand"}

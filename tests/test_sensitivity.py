@@ -1,0 +1,91 @@
+"""Unit tests for statistics-misspecification sensitivity."""
+
+import numpy as np
+import pytest
+
+from repro.constants import E_RATIO
+from repro.core import StopStatistics
+from repro.core.sensitivity import (
+    misspecified_worst_case_cr,
+    perturbed_statistics,
+    robustness_margin,
+)
+from repro.errors import InvalidParameterError
+
+B = 28.0
+
+
+class TestPerturbedStatistics:
+    def test_identity_factors(self):
+        stats = StopStatistics(0.2 * B, 0.3, B)
+        same = perturbed_statistics(stats, 1.0, 1.0)
+        assert same.mu_b_minus == stats.mu_b_minus
+        assert same.q_b_plus == stats.q_b_plus
+
+    def test_q_clipped_to_one(self):
+        stats = StopStatistics(0.0, 0.8, B)
+        perturbed = perturbed_statistics(stats, 1.0, 2.0)
+        assert perturbed.q_b_plus == 1.0
+
+    def test_mu_clipped_to_feasible(self):
+        stats = StopStatistics(0.5 * B, 0.4, B)
+        perturbed = perturbed_statistics(stats, 3.0, 1.0)
+        assert perturbed.mu_b_minus <= (1 - perturbed.q_b_plus) * B + 1e-12
+
+    def test_negative_factors_rejected(self):
+        stats = StopStatistics(0.2 * B, 0.3, B)
+        with pytest.raises(InvalidParameterError):
+            perturbed_statistics(stats, -1.0, 1.0)
+
+
+class TestMisspecifiedCR:
+    def test_exact_statistics_recover_guarantee(self):
+        from repro.core import ConstrainedSkiRentalSolver
+
+        stats = StopStatistics(0.2 * B, 0.3, B)
+        value = misspecified_worst_case_cr(stats, stats, grid_size=512)
+        guarantee = ConstrainedSkiRentalSolver(stats).select().worst_case_cr
+        assert value == pytest.approx(guarantee, rel=1e-3)
+
+    def test_misspecification_never_helps(self):
+        # Evaluated against the true ambiguity set, a strategy built from
+        # wrong statistics is at best as good as the correctly-built one.
+        true_stats = StopStatistics(0.2 * B, 0.3, B)
+        correct = misspecified_worst_case_cr(true_stats, true_stats, grid_size=256)
+        for mu_factor, q_factor in [(0.5, 1.0), (2.0, 1.0), (1.0, 0.5), (1.0, 2.0)]:
+            estimated = perturbed_statistics(true_stats, mu_factor, q_factor)
+            value = misspecified_worst_case_cr(true_stats, estimated, grid_size=256)
+            assert value >= correct - 1e-6
+
+    def test_wild_misspecification_can_break_guarantee(self):
+        # True: long-stop heavy (TOI territory).  Estimated: almost no
+        # long stops -> selector picks DET, which the true adversary
+        # punishes with CR near 2 > e/(e-1).
+        true_stats = StopStatistics(0.02 * B, 0.9, B)
+        estimated = StopStatistics(0.6 * B, 0.01, B)
+        value = misspecified_worst_case_cr(true_stats, estimated, grid_size=256)
+        assert value > E_RATIO
+
+    def test_break_even_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            misspecified_worst_case_cr(
+                StopStatistics(1.0, 0.3, B), StopStatistics(1.0, 0.3, 47.0)
+            )
+
+
+class TestRobustnessMargin:
+    def test_interior_point_tolerates_some_error(self):
+        # Deep in the TOI region, even sizeable misestimates still pick
+        # TOI (or something beating N-Rand).
+        stats = StopStatistics(0.02 * B, 0.8, B)
+        margin = robustness_margin(stats, factors=(1.1, 1.5, 2.0), grid_size=128)
+        assert margin >= 1.5
+
+    def test_returns_at_most_largest_factor(self):
+        stats = StopStatistics(0.2 * B, 0.3, B)
+        margin = robustness_margin(stats, factors=(1.05, 1.1), grid_size=128)
+        assert margin <= 1.1
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            robustness_margin(StopStatistics(0.0, 0.0, B))

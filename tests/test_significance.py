@@ -1,0 +1,99 @@
+"""Unit tests for the statistical-significance helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.evaluation import (
+    compare_strategies,
+    evaluate_fleet,
+    paired_bootstrap_mean_difference,
+    win_rate_interval,
+)
+from repro.fleet import FleetGenerator, area_config
+
+
+class TestPairedBootstrap:
+    def test_identical_arrays_zero_difference(self, rng):
+        crs = np.array([1.1, 1.2, 1.3, 1.4])
+        point, low, high = paired_bootstrap_mean_difference(crs, crs, rng)
+        assert point == 0.0
+        assert low == 0.0 and high == 0.0
+
+    def test_constant_offset_detected(self, rng):
+        reference = np.full(50, 1.2)
+        other = reference + 0.1
+        point, low, high = paired_bootstrap_mean_difference(reference, other, rng)
+        assert point == pytest.approx(0.1)
+        assert low > 0.0  # significantly worse than reference
+
+    def test_noisy_but_better_reference(self, rng):
+        reference = 1.1 + 0.05 * rng.standard_normal(300)
+        other = reference + 0.2 + 0.05 * rng.standard_normal(300)
+        point, low, high = paired_bootstrap_mean_difference(reference, other, rng)
+        assert low > 0.0
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(InvalidParameterError):
+            paired_bootstrap_mean_difference(np.ones(3), np.ones(4), rng)
+
+    def test_parameters_validated(self, rng):
+        crs = np.ones(5)
+        with pytest.raises(InvalidParameterError):
+            paired_bootstrap_mean_difference(crs, crs, rng, n_bootstrap=10)
+        with pytest.raises(InvalidParameterError):
+            paired_bootstrap_mean_difference(crs, crs, rng, confidence=1.5)
+
+
+class TestWinRateInterval:
+    def test_point_estimate(self):
+        p, low, high = win_rate_interval(90, 100)
+        assert p == pytest.approx(0.9)
+        assert low < 0.9 < high
+
+    def test_interval_narrows_with_n(self):
+        _, low_small, high_small = win_rate_interval(9, 10)
+        _, low_large, high_large = win_rate_interval(900, 1000)
+        assert (high_large - low_large) < (high_small - low_small)
+
+    def test_bounds_clamped(self):
+        _, low, high = win_rate_interval(0, 10)
+        assert low == 0.0
+        _, low, high = win_rate_interval(10, 10)
+        assert high == pytest.approx(1.0, abs=1e-12)
+        assert high <= 1.0
+
+    def test_paper_win_count_significantly_above_half(self):
+        # 1169/1182 wins: the CI floor is far above 50%.
+        _, low, _ = win_rate_interval(1169, 1182)
+        assert low > 0.97
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            win_rate_interval(5, 0)
+        with pytest.raises(InvalidParameterError):
+            win_rate_interval(11, 10)
+
+
+class TestCompareStrategies:
+    @pytest.fixture(scope="class")
+    def evaluation(self):
+        vehicles = FleetGenerator(area_config("california"), seed=13).generate(60)
+        return evaluate_fleet(vehicles, 28.0)
+
+    def test_proposed_significantly_beats_nev_and_det(self, evaluation):
+        results = {r.other: r for r in compare_strategies(evaluation)}
+        assert results["NEV"].mean_difference > 0.0
+        assert results["NEV"].significant
+        assert results["DET"].significant
+        assert results["DET"].mean_difference > 0.0
+
+    def test_all_differences_nonnegative(self, evaluation):
+        # Proposed has the best mean CR, so every paired difference
+        # (other - proposed) is >= 0 in expectation.
+        for result in compare_strategies(evaluation):
+            assert result.mean_difference >= -1e-9
+
+    def test_unknown_reference_rejected(self, evaluation):
+        with pytest.raises(InvalidParameterError):
+            compare_strategies(evaluation, reference="bogus")

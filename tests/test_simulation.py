@@ -1,0 +1,169 @@
+"""Unit tests for the event-level stop-start simulation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Deterministic, NeverOff, NRand, TurnOffImmediately
+from repro.errors import InvalidParameterError, SimulationError
+from repro.simulation import (
+    CostLedger,
+    OfflineController,
+    StopStartController,
+    realized_cr,
+    simulate_stops,
+    simulate_trace,
+)
+from repro.traces import DrivingTrace
+from repro.vehicle import ssv_cost_model
+
+B = 28.0
+
+
+class TestCostLedger:
+    def test_total_cost(self):
+        ledger = CostLedger(break_even=B)
+        ledger.record_stop(idle_seconds=10.0, restarted=False)
+        ledger.record_stop(idle_seconds=5.0, restarted=True)
+        assert ledger.total_cost_seconds == pytest.approx(15.0 + B)
+        assert ledger.stops == 2
+        assert ledger.restarts == 1
+
+    def test_per_stop_costs(self):
+        ledger = CostLedger(break_even=B)
+        ledger.record_stop(10.0, False)
+        ledger.record_stop(5.0, True)
+        np.testing.assert_allclose(ledger.per_stop_costs, [10.0, 5.0 + B])
+
+    def test_fuel_and_money(self):
+        model = ssv_cost_model()
+        ledger = CostLedger(break_even=B)
+        ledger.record_stop(100.0, True)
+        rate = model.engine.idle_rate_cc_per_s()
+        assert ledger.fuel_cc(model) == pytest.approx(100.0 * rate + 10.0 * rate)
+        expected_cents = 100.0 * model.idling_cost_cents_per_s() + model.restart_cost_cents()
+        assert ledger.cost_cents(model) == pytest.approx(expected_cents)
+
+    def test_merge(self):
+        a, b_ledger = CostLedger(B), CostLedger(B)
+        a.record_stop(10.0, True)
+        b_ledger.record_stop(20.0, False)
+        merged = a.merge(b_ledger)
+        assert merged.stops == 2
+        assert merged.total_cost_seconds == pytest.approx(30.0 + B)
+
+    def test_merge_mismatched_b_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            CostLedger(B).merge(CostLedger(47.0))
+
+    def test_negative_idle_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            CostLedger(B).record_stop(-1.0, False)
+
+
+class TestControllers:
+    def test_online_short_stop_no_restart(self):
+        controller = StopStartController(Deterministic(B))
+        decision = controller.decide(10.0)
+        assert not decision.restarted
+        assert decision.idle_seconds == 10.0
+
+    def test_online_long_stop_restarts(self):
+        controller = StopStartController(Deterministic(B))
+        decision = controller.decide(100.0)
+        assert decision.restarted
+        assert decision.idle_seconds == B
+
+    def test_toi_always_restarts(self):
+        controller = StopStartController(TurnOffImmediately(B))
+        decision = controller.decide(1.0)
+        assert decision.restarted
+        assert decision.idle_seconds == 0.0
+
+    def test_nev_never_restarts(self):
+        controller = StopStartController(NeverOff(B))
+        decision = controller.decide(10000.0)
+        assert not decision.restarted
+        assert decision.idle_seconds == 10000.0
+
+    def test_offline_matches_eq2(self):
+        offline = OfflineController(B)
+        short = offline.decide(10.0)
+        assert not short.restarted and short.idle_seconds == 10.0
+        long = offline.decide(100.0)
+        assert long.restarted and long.idle_seconds == 0.0
+        boundary = offline.decide(B)
+        assert boundary.restarted
+
+    def test_randomized_draws_vary(self):
+        controller = StopStartController(NRand(B), rng=np.random.default_rng(1))
+        thresholds = {controller.decide(100.0).threshold for _ in range(20)}
+        assert len(thresholds) > 1
+
+
+class TestSimulateStops:
+    def test_offline_total_is_sum_of_offline_costs(self):
+        stops = np.array([10.0, 50.0, 100.0])
+        result = simulate_stops(stops, break_even=B)
+        assert result.total_cost_seconds == pytest.approx(10.0 + B + B)
+
+    def test_deterministic_online_total(self):
+        stops = np.array([10.0, 50.0])
+        result = simulate_stops(stops, strategy=Deterministic(B))
+        assert result.total_cost_seconds == pytest.approx(10.0 + 2 * B)
+
+    def test_realized_cr_det(self):
+        stops = np.array([10.0, 50.0])
+        online = simulate_stops(stops, strategy=Deterministic(B))
+        offline = simulate_stops(stops, break_even=B)
+        assert realized_cr(online, offline) == pytest.approx((10 + 2 * B) / (10 + B))
+
+    def test_realized_cr_converges_to_expected(self, rng):
+        # N-Rand realized over many stops -> e/(e-1) within a few percent.
+        stops = rng.exponential(60.0, size=20000)
+        online = simulate_stops(stops, strategy=NRand(B), rng=rng)
+        offline = simulate_stops(stops, break_even=B)
+        assert realized_cr(online, offline) == pytest.approx(
+            math.e / (math.e - 1), rel=0.02
+        )
+
+    def test_simulate_trace_uses_all_stops(self):
+        trace = DrivingTrace.from_stop_lengths("v", [10.0, 50.0, 5.0])
+        result = simulate_trace(trace, break_even=B)
+        assert result.ledger.stops == 3
+
+    def test_mismatched_b_rejected(self):
+        stops = np.array([10.0])
+        online = simulate_stops(stops, strategy=Deterministic(B))
+        offline = simulate_stops(stops, break_even=47.0)
+        with pytest.raises(InvalidParameterError):
+            realized_cr(online, offline)
+
+    def test_zero_offline_rejected(self):
+        stops = np.array([0.0])
+        online = simulate_stops(stops, strategy=Deterministic(B))
+        offline = simulate_stops(stops, break_even=B)
+        with pytest.raises(InvalidParameterError):
+            realized_cr(online, offline)
+
+    def test_empty_stops_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            simulate_stops(np.array([]), break_even=B)
+
+    def test_offline_requires_break_even(self):
+        with pytest.raises(InvalidParameterError):
+            simulate_stops(np.array([1.0]))
+
+    def test_mean_cost(self):
+        stops = np.array([10.0, 50.0])
+        result = simulate_stops(stops, strategy=Deterministic(B))
+        assert result.mean_cost_seconds == pytest.approx((10.0 + 2 * B) / 2)
+
+    def test_money_accounting_ordering(self):
+        # Online cost in cents always >= offline cost in cents.
+        model = ssv_cost_model()
+        stops = np.array([10.0, 50.0, 200.0, 3.0])
+        online = simulate_stops(stops, strategy=TurnOffImmediately(B))
+        offline = simulate_stops(stops, break_even=B)
+        assert online.cost_cents(model) >= offline.cost_cents(model) - 1e-9

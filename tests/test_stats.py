@@ -1,0 +1,104 @@
+"""Unit tests for the (mu_B_minus, q_B_plus) statistics (Eqs. 10-13)."""
+
+import numpy as np
+import pytest
+
+from repro.core.stats import (
+    StopStatistics,
+    mu_b_minus_from_samples,
+    q_b_plus_from_samples,
+)
+from repro.distributions import Exponential, Uniform
+from repro.errors import InvalidParameterError
+
+B = 28.0
+
+
+class TestSampleEstimators:
+    def test_mu_b_minus_counts_only_short_stops(self):
+        stops = np.array([10.0, 20.0, 100.0, 200.0])
+        # (10 + 20) / 4: long stops contribute zero mass-weighted length.
+        assert mu_b_minus_from_samples(stops, B) == pytest.approx(7.5)
+
+    def test_stop_exactly_at_b_is_long(self):
+        stops = np.array([B, 10.0])
+        assert mu_b_minus_from_samples(stops, B) == pytest.approx(5.0)
+        assert q_b_plus_from_samples(stops, B) == pytest.approx(0.5)
+
+    def test_q_b_plus_fraction(self):
+        stops = np.array([1.0, 2.0, 30.0, 40.0, 50.0])
+        assert q_b_plus_from_samples(stops, B) == pytest.approx(3 / 5)
+
+    def test_all_short(self):
+        stops = np.array([1.0, 2.0, 3.0])
+        assert q_b_plus_from_samples(stops, B) == 0.0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            mu_b_minus_from_samples(np.array([]), B)
+        with pytest.raises(InvalidParameterError):
+            q_b_plus_from_samples(np.array([]), B)
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            mu_b_minus_from_samples(np.array([-1.0]), B)
+
+
+class TestStopStatistics:
+    def test_expected_offline_cost_eq13(self):
+        stats = StopStatistics(mu_b_minus=10.0, q_b_plus=0.25, break_even=B)
+        assert stats.expected_offline_cost == pytest.approx(10.0 + 0.25 * B)
+
+    def test_from_samples_round_trip(self):
+        stops = np.array([5.0, 15.0, 60.0, 90.0])
+        stats = StopStatistics.from_samples(stops, B)
+        assert stats.mu_b_minus == pytest.approx(5.0)
+        assert stats.q_b_plus == pytest.approx(0.5)
+
+    def test_from_distribution_exponential(self):
+        dist = Exponential(mean=40.0)
+        stats = StopStatistics.from_distribution(dist, B)
+        # Closed forms: q+ = e^{-B/m}, mu- = m - (B + m) e^{-B/m}.
+        q_expected = np.exp(-B / 40.0)
+        mu_expected = 40.0 - (B + 40.0) * q_expected
+        assert stats.q_b_plus == pytest.approx(q_expected, rel=1e-9)
+        assert stats.mu_b_minus == pytest.approx(mu_expected, rel=1e-9)
+
+    def test_from_distribution_uniform_all_short(self):
+        dist = Uniform(0.0, 20.0)
+        stats = StopStatistics.from_distribution(dist, B)
+        assert stats.q_b_plus == 0.0
+        assert stats.mu_b_minus == pytest.approx(10.0)
+
+    def test_normalized_mu(self):
+        stats = StopStatistics(14.0, 0.1, B)
+        assert stats.normalized_mu == pytest.approx(0.5)
+
+    def test_conditional_mean(self):
+        stats = StopStatistics(10.0, 0.5, B)
+        assert stats.short_stop_conditional_mean == pytest.approx(20.0)
+
+    def test_conditional_mean_no_short_stops(self):
+        stats = StopStatistics(0.0, 1.0, B)
+        assert stats.short_stop_conditional_mean == 0.0
+
+    def test_infeasible_statistics_rejected(self):
+        # mu_B_minus cannot exceed (1 - q) * B.
+        with pytest.raises(InvalidParameterError):
+            StopStatistics(mu_b_minus=20.0, q_b_plus=0.5, break_even=B)
+
+    def test_feasibility_boundary_allowed(self):
+        stats = StopStatistics(mu_b_minus=(1 - 0.5) * B, q_b_plus=0.5, break_even=B)
+        assert stats.mu_b_minus == pytest.approx(14.0)
+
+    @pytest.mark.parametrize("mu,q", [(-1.0, 0.5), (1.0, -0.1), (1.0, 1.1)])
+    def test_out_of_domain_rejected(self, mu, q):
+        with pytest.raises(InvalidParameterError):
+            StopStatistics(mu, q, B)
+
+    def test_rescaled_keeps_values(self):
+        stats = StopStatistics(5.0, 0.2, B)
+        rescaled = stats.rescaled(47.0)
+        assert rescaled.break_even == 47.0
+        assert rescaled.mu_b_minus == stats.mu_b_minus
+        assert rescaled.q_b_plus == stats.q_b_plus

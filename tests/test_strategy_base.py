@@ -1,0 +1,159 @@
+"""Unit tests for the strategy base classes, including the generic
+quadrature/root-finding fall-backs of ContinuousRandomizedStrategy and the
+mixed atoms+continuous form of Eq. (18)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.strategy import (
+    Atom,
+    ContinuousRandomizedStrategy,
+    DeterministicThresholdStrategy,
+    MixedStrategy,
+)
+from repro.errors import InvalidParameterError
+
+B = 10.0
+
+
+class UniformThreshold(ContinuousRandomizedStrategy):
+    """Minimal subclass providing only a pdf: uniform on [0, B].
+
+    Exercises every quadrature/Brent default of the base class.  Closed
+    forms for comparison: CDF(t) = t/B and, for y <= B,
+    E[cost | y] = ∫₀^y (x+B)/B dx + y (1 - y/B) = y²/(2B) + y + y - y²/B
+                = 2y - y²/(2B).
+    """
+
+    name = "uniform-threshold"
+
+    def pdf(self, threshold: float) -> float:
+        return 1.0 / self.break_even if 0.0 <= threshold <= self.break_even else 0.0
+
+
+class TestDeterministicThresholdStrategy:
+    def test_expected_cost_matches_eq3(self):
+        strategy = DeterministicThresholdStrategy(B, threshold=4.0)
+        assert strategy.expected_cost(3.0) == 3.0
+        assert strategy.expected_cost(4.0) == 4.0 + B
+        assert strategy.expected_cost(100.0) == 4.0 + B
+
+    def test_infinite_threshold_never_restarts(self):
+        strategy = DeterministicThresholdStrategy(B, threshold=math.inf)
+        assert strategy.expected_cost(1000.0) == 1000.0
+
+    def test_vectorised_matches_scalar(self):
+        strategy = DeterministicThresholdStrategy(B, threshold=4.0)
+        y = np.array([0.0, 3.0, 4.0, 50.0])
+        np.testing.assert_allclose(
+            strategy.expected_cost_vec(y), [strategy.expected_cost(v) for v in y]
+        )
+
+    def test_draw_is_constant(self, rng):
+        strategy = DeterministicThresholdStrategy(B, threshold=4.0)
+        assert strategy.draw_threshold(rng) == 4.0
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            DeterministicThresholdStrategy(B, threshold=-1.0)
+
+    def test_draw_thresholds_count_validated(self, rng):
+        strategy = DeterministicThresholdStrategy(B, threshold=4.0)
+        with pytest.raises(InvalidParameterError):
+            strategy.draw_thresholds(-1, rng)
+
+
+class TestContinuousDefaults:
+    def test_default_cdf_from_pdf(self):
+        strategy = UniformThreshold(B)
+        assert strategy.cdf(5.0) == pytest.approx(0.5, rel=1e-8)
+        assert strategy.cdf(-1.0) == 0.0
+        assert strategy.cdf(B + 1.0) == 1.0
+
+    def test_default_expected_cost_matches_closed_form(self):
+        strategy = UniformThreshold(B)
+        for y in (0.0, 2.0, 5.0, B):
+            closed = 2.0 * y - y * y / (2.0 * B)
+            assert strategy.expected_cost(y) == pytest.approx(closed, rel=1e-7)
+
+    def test_expected_cost_constant_past_b(self):
+        strategy = UniformThreshold(B)
+        assert strategy.expected_cost(B + 50.0) == pytest.approx(
+            strategy.expected_cost(B), rel=1e-7
+        )
+
+    def test_default_inverse_cdf_round_trips(self):
+        strategy = UniformThreshold(B)
+        for u in (0.0, 0.25, 0.5, 0.9, 1.0):
+            assert strategy.cdf(strategy.inverse_cdf(u)) == pytest.approx(u, abs=1e-6)
+
+    def test_inverse_cdf_rejects_bad_quantile(self):
+        with pytest.raises(InvalidParameterError):
+            UniformThreshold(B).inverse_cdf(1.5)
+
+    def test_default_mean_threshold(self):
+        assert UniformThreshold(B).mean_threshold() == pytest.approx(B / 2, rel=1e-8)
+
+    def test_sampling_stays_in_support(self, rng):
+        strategy = UniformThreshold(B)
+        draws = strategy.draw_thresholds(200, rng)
+        assert np.all(draws >= 0.0) and np.all(draws <= B)
+        # Uniform draws should roughly cover the support.
+        assert draws.std() > B / 6
+
+
+class TestAtom:
+    def test_valid_atom(self):
+        atom = Atom(3.0, 0.5)
+        assert atom.location == 3.0 and atom.mass == 0.5
+
+    @pytest.mark.parametrize("loc,mass", [(-1.0, 0.5), (1.0, -0.1), (1.0, 1.5)])
+    def test_invalid_atom_rejected(self, loc, mass):
+        with pytest.raises(InvalidParameterError):
+            Atom(loc, mass)
+
+
+class TestMixedStrategy:
+    def test_pure_atoms_expected_cost(self):
+        # 50/50 between TOI (x=0) and DET (x=B).
+        strategy = MixedStrategy(B, [Atom(0.0, 0.5), Atom(B, 0.5)])
+        y = 5.0
+        expected = 0.5 * B + 0.5 * y
+        assert strategy.expected_cost(y) == pytest.approx(expected)
+
+    def test_atoms_plus_continuous(self):
+        continuous = UniformThreshold(B)
+        strategy = MixedStrategy(B, [Atom(0.0, 0.25)], continuous=continuous)
+        y = 4.0
+        expected = 0.25 * B + 0.75 * continuous.expected_cost(y)
+        assert strategy.expected_cost(y) == pytest.approx(expected, rel=1e-7)
+
+    def test_vectorised_matches_scalar(self):
+        continuous = UniformThreshold(B)
+        strategy = MixedStrategy(B, [Atom(0.0, 0.25)], continuous=continuous)
+        y = np.array([0.0, 4.0, B, 2 * B])
+        np.testing.assert_allclose(
+            strategy.expected_cost_vec(y),
+            [strategy.expected_cost(v) for v in y],
+            rtol=1e-6,
+        )
+
+    def test_draw_respects_atom_masses(self, rng):
+        strategy = MixedStrategy(B, [Atom(0.0, 0.5), Atom(B, 0.5)])
+        draws = strategy.draw_thresholds(400, rng)
+        assert set(np.unique(draws)) <= {0.0, B}
+        assert 0.3 < (draws == 0.0).mean() < 0.7
+
+    def test_overweight_atoms_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MixedStrategy(B, [Atom(0.0, 0.7), Atom(B, 0.7)])
+
+    def test_missing_continuous_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MixedStrategy(B, [Atom(0.0, 0.5)])
+
+    def test_mismatched_break_even_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MixedStrategy(B, [Atom(0.0, 0.5)], continuous=UniformThreshold(2 * B))

@@ -1,0 +1,74 @@
+"""Unit tests for the driving-trace event model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.traces import DrivingTrace, StopEvent, Trip
+
+
+class TestStopEvent:
+    def test_end_time(self):
+        stop = StopEvent(start_time=10.0, duration=5.0)
+        assert stop.end_time == 15.0
+
+    def test_zero_duration_allowed(self):
+        assert StopEvent(0.0, 0.0).duration == 0.0
+
+    @pytest.mark.parametrize("start,duration", [(-1.0, 5.0), (0.0, -1.0), (np.nan, 1.0)])
+    def test_invalid_rejected(self, start, duration):
+        with pytest.raises(TraceFormatError):
+            StopEvent(start, duration)
+
+
+class TestTrip:
+    def test_idle_fraction(self):
+        trip = Trip(
+            start_time=0.0,
+            duration=100.0,
+            stops=(StopEvent(10.0, 10.0), StopEvent(50.0, 10.0)),
+        )
+        assert trip.total_stop_time == 20.0
+        assert trip.idle_fraction == pytest.approx(0.2)
+
+    def test_stop_outside_window_rejected(self):
+        with pytest.raises(TraceFormatError):
+            Trip(start_time=0.0, duration=10.0, stops=(StopEvent(5.0, 20.0),))
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(TraceFormatError):
+            Trip(start_time=0.0, duration=0.0)
+
+
+class TestDrivingTrace:
+    def _trace(self):
+        trips = (
+            Trip(0.0, 100.0, stops=(StopEvent(10.0, 20.0),)),
+            Trip(200.0, 100.0, stops=(StopEvent(210.0, 30.0), StopEvent(260.0, 5.0))),
+        )
+        return DrivingTrace("v1", trips, recording_days=2.0)
+
+    def test_stop_lengths(self):
+        np.testing.assert_allclose(self._trace().stop_lengths(), [20.0, 30.0, 5.0])
+
+    def test_stops_per_day(self):
+        assert self._trace().stops_per_day == pytest.approx(1.5)
+
+    def test_idle_fraction(self):
+        assert self._trace().idle_fraction == pytest.approx(55.0 / 200.0)
+
+    def test_overlapping_trips_rejected(self):
+        trips = (Trip(0.0, 100.0), Trip(50.0, 100.0))
+        with pytest.raises(TraceFormatError):
+            DrivingTrace("v1", trips)
+
+    def test_from_stop_lengths_round_trip(self):
+        lengths = [5.0, 60.0, 12.5]
+        trace = DrivingTrace.from_stop_lengths("v2", lengths, area="chicago")
+        np.testing.assert_allclose(trace.stop_lengths(), lengths)
+        assert trace.area == "chicago"
+        assert trace.stop_count == 3
+
+    def test_invalid_recording_days_rejected(self):
+        with pytest.raises(TraceFormatError):
+            DrivingTrace("v1", (), recording_days=0.0)

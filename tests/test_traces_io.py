@@ -1,0 +1,76 @@
+"""Unit tests for trace serialization (CSV and JSON round trips)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.traces import (
+    DrivingTrace,
+    read_stops_csv,
+    read_traces_json,
+    trace_from_dict,
+    trace_to_dict,
+    write_stops_csv,
+    write_traces_json,
+)
+
+
+@pytest.fixture
+def traces():
+    return [
+        DrivingTrace.from_stop_lengths("v1", [10.0, 60.0], area="chicago"),
+        DrivingTrace.from_stop_lengths("v2", [5.0], area="atlanta"),
+    ]
+
+
+class TestStopsCSV:
+    def test_round_trip(self, tmp_path, traces):
+        path = tmp_path / "stops.csv"
+        write_stops_csv(path, traces)
+        loaded = read_stops_csv(path)
+        np.testing.assert_allclose(loaded["v1"], [10.0, 60.0])
+        np.testing.assert_allclose(loaded["v2"], [5.0])
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(TraceFormatError):
+            read_stops_csv(path)
+
+    def test_bad_duration_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("vehicle_id,start_time,duration\nv1,0,notanumber\n")
+        with pytest.raises(TraceFormatError):
+            read_stops_csv(path)
+
+    def test_wrong_column_count_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("vehicle_id,start_time,duration\nv1,0\n")
+        with pytest.raises(TraceFormatError):
+            read_stops_csv(path)
+
+
+class TestTraceJSON:
+    def test_dict_round_trip(self, traces):
+        document = trace_to_dict(traces[0])
+        restored = trace_from_dict(document)
+        assert restored.vehicle_id == "v1"
+        assert restored.area == "chicago"
+        np.testing.assert_allclose(restored.stop_lengths(), [10.0, 60.0])
+
+    def test_file_round_trip(self, tmp_path, traces):
+        path = tmp_path / "traces.json"
+        write_traces_json(path, traces)
+        restored = read_traces_json(path)
+        assert [t.vehicle_id for t in restored] == ["v1", "v2"]
+        np.testing.assert_allclose(restored[0].stop_lengths(), [10.0, 60.0])
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(TraceFormatError):
+            trace_from_dict({"vehicle_id": "v1"})  # missing trips
+
+    def test_non_array_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"not": "an array"}')
+        with pytest.raises(TraceFormatError):
+            read_traces_json(path)

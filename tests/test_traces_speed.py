@@ -1,0 +1,86 @@
+"""Unit tests for speed traces and stop extraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.traces import SpeedTrace, extract_stops
+
+
+def make_trace(speeds, start=0.0, dt=1.0):
+    return SpeedTrace(start_time=start, dt=dt, speeds=np.asarray(speeds, dtype=float))
+
+
+class TestSpeedTrace:
+    def test_duration_and_times(self):
+        trace = make_trace([1.0, 2.0, 3.0], start=5.0)
+        assert trace.duration == 3.0
+        np.testing.assert_allclose(trace.times, [5.0, 6.0, 7.0])
+
+    def test_distance(self):
+        trace = make_trace([10.0, 10.0, 0.0])
+        assert trace.distance() == pytest.approx(20.0)
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(TraceFormatError):
+            make_trace([1.0, -1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceFormatError):
+            make_trace([])
+
+    def test_bad_dt_rejected(self):
+        with pytest.raises(TraceFormatError):
+            SpeedTrace(start_time=0.0, dt=0.0, speeds=np.array([1.0]))
+
+
+class TestExtractStops:
+    def test_single_stop(self):
+        speeds = [10.0] * 5 + [0.0] * 10 + [10.0] * 5
+        stops = extract_stops(make_trace(speeds))
+        assert len(stops) == 1
+        assert stops[0].start_time == 5.0
+        assert stops[0].duration == 10.0
+
+    def test_no_stops(self):
+        assert extract_stops(make_trace([10.0] * 20)) == []
+
+    def test_threshold_counts_creep_as_stopped(self):
+        speeds = [10.0] * 5 + [0.3] * 10 + [10.0] * 5
+        stops = extract_stops(make_trace(speeds), speed_threshold=0.5)
+        assert len(stops) == 1
+        assert stops[0].duration == 10.0
+
+    def test_merge_gap_joins_blips(self):
+        # Two rest periods separated by a 2 s moving blip -> one stop.
+        speeds = [10.0] * 5 + [0.0] * 5 + [5.0] * 2 + [0.0] * 5 + [10.0] * 5
+        stops = extract_stops(make_trace(speeds), merge_gap=3.0)
+        assert len(stops) == 1
+        assert stops[0].duration == 12.0
+
+    def test_no_merge_when_gap_large(self):
+        speeds = [10.0] * 5 + [0.0] * 5 + [5.0] * 10 + [0.0] * 5 + [10.0] * 5
+        stops = extract_stops(make_trace(speeds), merge_gap=3.0)
+        assert len(stops) == 2
+
+    def test_min_duration_filters_noise(self):
+        speeds = [10.0] * 5 + [0.0] * 1 + [10.0] * 5
+        assert extract_stops(make_trace(speeds), min_duration=2.0) == []
+
+    def test_stop_at_trace_end(self):
+        speeds = [10.0] * 5 + [0.0] * 8
+        stops = extract_stops(make_trace(speeds))
+        assert len(stops) == 1
+        assert stops[0].duration == 8.0
+
+    def test_offset_start_time(self):
+        speeds = [10.0] * 3 + [0.0] * 5 + [10.0] * 2
+        stops = extract_stops(make_trace(speeds, start=100.0))
+        assert stops[0].start_time == 103.0
+
+    def test_invalid_parameters_rejected(self):
+        trace = make_trace([1.0, 0.0, 1.0])
+        with pytest.raises(TraceFormatError):
+            extract_stops(trace, speed_threshold=-1.0)
+        with pytest.raises(TraceFormatError):
+            extract_stops(trace, min_duration=-1.0)

@@ -1,0 +1,55 @@
+"""Unit tests for trace summaries (Table 1 machinery)."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.traces import DrivingTrace, stops_per_day_table, summarize_trace
+
+
+def trace_with(lengths, vehicle_id="v", days=7.0):
+    return DrivingTrace.from_stop_lengths(vehicle_id, lengths, recording_days=days)
+
+
+class TestSummarizeTrace:
+    def test_fields(self):
+        summary = summarize_trace(trace_with([10.0, 20.0, 60.0]))
+        assert summary.stop_count == 3
+        assert summary.stops_per_day == pytest.approx(3 / 7)
+        assert summary.mean_stop_length == pytest.approx(30.0)
+        assert summary.median_stop_length == pytest.approx(20.0)
+        assert summary.max_stop_length == 60.0
+        assert 0.0 < summary.idle_fraction < 1.0
+
+    def test_empty_trace_rejected(self):
+        empty = DrivingTrace("v", (), recording_days=7.0)
+        with pytest.raises(TraceFormatError):
+            summarize_trace(empty)
+
+
+class TestStopsPerDayTable:
+    def test_statistics(self):
+        traces = [
+            trace_with([1.0] * 7),   # 1 stop/day
+            trace_with([1.0] * 14),  # 2 stops/day
+            trace_with([1.0] * 21),  # 3 stops/day
+        ]
+        stats = stops_per_day_table(traces)
+        assert stats["vehicles"] == 3
+        assert stats["mean"] == pytest.approx(2.0)
+        assert stats["std"] == pytest.approx(1.0)
+        # All three fall within mean + 2 std = 4.
+        assert stats["p_within_2_sigma"] == 1.0
+
+    def test_outlier_detected(self):
+        traces = [trace_with([1.0] * 7) for _ in range(30)]
+        traces.append(trace_with([1.0] * 700))  # 100 stops/day outlier
+        stats = stops_per_day_table(traces)
+        assert stats["p_within_2_sigma"] < 1.0
+
+    def test_single_vehicle_zero_std(self):
+        stats = stops_per_day_table([trace_with([1.0] * 7)])
+        assert stats["std"] == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceFormatError):
+            stops_per_day_table([])

@@ -1,0 +1,137 @@
+"""Unit tests for cost-variance analysis and strategy serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BDet,
+    BRand,
+    Deterministic,
+    MOMRand,
+    NeverOff,
+    NRand,
+    ProposedOnline,
+    StopStatistics,
+    TurnOffImmediately,
+)
+from repro.core.serialize import strategy_from_dict, strategy_to_dict
+from repro.errors import InvalidParameterError
+from repro.evaluation.variance import risk_report, weekly_cost_moments
+
+B = 28.0
+
+
+class TestCostVariance:
+    def test_deterministic_strategies_zero_variance(self):
+        for strategy in (Deterministic(B), TurnOffImmediately(B), BDet(B, 10.0), NeverOff(B)):
+            for y in (5.0, B, 100.0):
+                assert strategy.cost_variance(y) == 0.0
+
+    def test_nrand_variance_matches_monte_carlo(self, rng):
+        strategy = NRand(B)
+        y = 20.0
+        draws = strategy.draw_thresholds(100000, rng)
+        costs = np.where(y < draws, y, draws + B)
+        assert strategy.cost_variance(y) == pytest.approx(costs.var(), rel=0.03)
+
+    def test_momrand_variance_positive(self):
+        assert MOMRand(B, 10.0).cost_variance(20.0) > 0.0
+
+    def test_nrand_closed_form_matches_quadrature(self):
+        from scipy import integrate
+
+        strategy = NRand(B)
+        for y in (3.0, 17.0, B, 80.0):
+            upper = min(y, B)
+            quad, _ = integrate.quad(
+                lambda x: (x + B) ** 2 * strategy.pdf(x), 0.0, upper
+            )
+            quad += y * y * (1.0 - strategy.cdf(y))
+            assert strategy.expected_cost_squared(y) == pytest.approx(quad, rel=1e-9)
+
+    def test_brand_closed_form_matches_quadrature(self):
+        from scipy import integrate
+
+        strategy = BRand(B, 11.0)
+        for y in (3.0, 11.0, 20.0, 80.0):
+            upper = min(y, strategy.beta)
+            quad, _ = integrate.quad(
+                lambda x: (x + B) ** 2 * strategy.pdf(x), 0.0, upper
+            )
+            quad += y * y * (1.0 - strategy.cdf(y))
+            assert strategy.expected_cost_squared(y) == pytest.approx(quad, rel=1e-9)
+
+    def test_brand_variance_vanishes_below_support(self):
+        strategy = BRand(B, 10.0)
+        # Stops shorter than any threshold draw... a stop of 0 costs 0
+        # under every draw except threshold 0 (measure zero).
+        assert strategy.cost_variance(0.0) == pytest.approx(0.0, abs=1e-9)
+        assert strategy.cost_variance(20.0) > 0.0
+
+    def test_weekly_moments_sum_per_stop(self, rng):
+        stops = np.array([10.0, 20.0, 50.0])
+        strategy = NRand(B)
+        moments = weekly_cost_moments(strategy, stops)
+        expected_mean = strategy.expected_cost_vec(stops).sum()
+        expected_var = sum(strategy.cost_variance(float(v)) for v in stops)
+        assert moments.mean == pytest.approx(expected_mean)
+        assert moments.std == pytest.approx(np.sqrt(expected_var))
+
+    def test_risk_report_shape(self, rng):
+        stops = np.array([10.0, 40.0, 90.0, 5.0])
+        report = risk_report(stops, B)
+        assert set(report) == {"Proposed", "TOI", "NEV", "DET", "N-Rand", "MOM-Rand"}
+        # Deterministic baselines: zero std.  Randomized: positive when
+        # some stop can straddle the draw.
+        assert report["TOI"].std == 0.0
+        assert report["DET"].std == 0.0
+        assert report["N-Rand"].std > 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            weekly_cost_moments(Deterministic(B), np.array([]))
+
+
+class TestSerialization:
+    @pytest.mark.parametrize(
+        "strategy",
+        [
+            NeverOff(B),
+            TurnOffImmediately(B),
+            Deterministic(B),
+            NRand(B),
+            BDet(B, 9.5),
+            BRand(B, 12.0),
+            MOMRand(B, 17.0),
+        ],
+        ids=lambda s: s.name,
+    )
+    def test_round_trip_preserves_behaviour(self, strategy):
+        document = json.loads(json.dumps(strategy_to_dict(strategy)))
+        restored = strategy_from_dict(document)
+        assert type(restored) is type(strategy)
+        for y in (0.0, 5.0, B, 100.0):
+            assert restored.expected_cost(y) == pytest.approx(strategy.expected_cost(y))
+
+    def test_proposed_round_trip_reselects(self):
+        original = ProposedOnline(StopStatistics(0.02 * B, 0.3, B))
+        restored = strategy_from_dict(strategy_to_dict(original))
+        assert isinstance(restored, ProposedOnline)
+        assert restored.selected_name == original.selected_name
+        assert restored.worst_case_cr == pytest.approx(original.worst_case_cr)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            strategy_from_dict({"type": "martian", "break_even": B})
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            strategy_from_dict({"break_even": B})
+
+    def test_unserializable_strategy_rejected(self):
+        from repro.core import AdaptiveProposed
+
+        with pytest.raises(InvalidParameterError):
+            strategy_to_dict(AdaptiveProposed(B))

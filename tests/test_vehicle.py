@@ -1,0 +1,153 @@
+"""Unit tests for the Appendix C vehicle cost model."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.vehicle import (
+    ARGONNE_MEASUREMENTS,
+    CONVENTIONAL_STARTER,
+    FORD_FUSION_2011,
+    SSV_STARTER,
+    STOP_START_BATTERY,
+    SWEDEN_NOX_PRICING,
+    BatteryModel,
+    EngineSpec,
+    StarterModel,
+    conventional_cost_model,
+    ssv_cost_model,
+)
+
+
+class TestEngineSpec:
+    def test_eq45_regression(self):
+        # 2.5 L: 0.3644 * 2.5 + 0.5188 = 1.4298 L/h.
+        engine = EngineSpec(displacement_liters=2.5)
+        assert engine.regression_idle_rate_l_per_h() == pytest.approx(1.4298)
+
+    def test_measured_rate_overrides_regression(self):
+        assert FORD_FUSION_2011.idle_rate_cc_per_s() == pytest.approx(0.279)
+
+    def test_regression_rate_in_cc_per_s(self):
+        engine = EngineSpec(displacement_liters=2.5)
+        assert engine.idle_rate_cc_per_s() == pytest.approx(1.4298 * 1000 / 3600)
+
+    def test_paper_idling_cost(self):
+        # 0.279 cc/s at $3.5/gallon -> ~0.0258 cents/s (Eq. 46).
+        cents = FORD_FUSION_2011.idling_cost_cents_per_s(3.5)
+        assert cents == pytest.approx(0.0258, abs=0.0001)
+
+    def test_invalid_displacement_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            EngineSpec(displacement_liters=0.0)
+
+    def test_invalid_fuel_price_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            FORD_FUSION_2011.idling_cost_cents_per_s(0.0)
+
+
+class TestStarterModel:
+    def test_paper_range_low_end(self):
+        # $55 + $115 over 34,000 starts -> 0.5 cents/start.
+        assert CONVENTIONAL_STARTER.cost_per_start_cents() == pytest.approx(0.5)
+
+    def test_paper_range_high_end(self):
+        expensive = StarterModel(400.0, 225.0, 20000.0)
+        # Paper's upper bound: ~4 cents per start ->
+        # 155 seconds at 0.0258 cents/s.
+        assert expensive.cost_per_start_cents() == pytest.approx(3.125)
+        seconds = expensive.equivalent_idling_seconds(0.0258)
+        assert 100.0 < seconds < 160.0
+
+    def test_conventional_equivalent_seconds(self):
+        # Paper: 0.5 cents -> 19.38 s of idling.
+        seconds = CONVENTIONAL_STARTER.equivalent_idling_seconds(0.0258)
+        assert seconds == pytest.approx(19.38, abs=0.05)
+
+    def test_ssv_starter_negligible(self):
+        assert SSV_STARTER.equivalent_idling_seconds(0.0258) == pytest.approx(0.0)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            StarterModel(-1.0, 0.0, 1000.0)
+        with pytest.raises(InvalidParameterError):
+            StarterModel(1.0, 1.0, 0.0)
+
+
+class TestBatteryModel:
+    def test_paper_cost_range(self):
+        # $230 over 2-4 years at 32.43 stops/day -> 0.9713 to 0.4841 cents.
+        short = BatteryModel(230.0, warranty_years=2.0)
+        long = BatteryModel(230.0, warranty_years=4.0)
+        assert short.cost_per_start_cents() == pytest.approx(0.9713, abs=0.001)
+        assert long.cost_per_start_cents() == pytest.approx(0.4857, abs=0.001)
+
+    def test_paper_minimum_equivalent_seconds(self):
+        # Paper: at least 18.76 s of idling per start.
+        seconds = STOP_START_BATTERY.equivalent_idling_seconds(0.0258)
+        assert seconds == pytest.approx(18.8, abs=0.2)
+
+    def test_lifetime_starts(self):
+        battery = BatteryModel(230.0, warranty_years=1.0, stops_per_day=10.0)
+        assert battery.lifetime_starts() == pytest.approx(3650.0)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            BatteryModel(0.0, 2.0)
+
+
+class TestEmissions:
+    def test_restart_equivalents(self):
+        # THC: 44 / 0.266 ~ 165 s; NOx: 6 / 0.0097 ~ 619 s; CO huge.
+        assert ARGONNE_MEASUREMENTS.restart_equivalent_idle_seconds("thc") == pytest.approx(165.4, abs=0.5)
+        assert ARGONNE_MEASUREMENTS.restart_equivalent_idle_seconds("nox") == pytest.approx(618.6, abs=1.0)
+        assert ARGONNE_MEASUREMENTS.restart_equivalent_idle_seconds("co") > 10000
+
+    def test_unknown_species_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ARGONNE_MEASUREMENTS.restart_equivalent_idle_seconds("co2")
+
+    def test_sweden_nox_restart_cost_tiny(self):
+        cents = SWEDEN_NOX_PRICING.restart_cost_cents(ARGONNE_MEASUREMENTS)
+        # Paper: ~0.0035 cents per restart (~0.14 s of idling).
+        assert cents == pytest.approx(0.0035, abs=0.0005)
+
+
+class TestCostModels:
+    def test_ssv_break_even_near_28(self):
+        b = ssv_cost_model().break_even_seconds()
+        assert 28.0 <= b <= 30.0  # paper floors 28.96 -> 28
+
+    def test_conventional_break_even_near_47(self):
+        b = conventional_cost_model().break_even_seconds()
+        assert 47.0 <= b <= 49.5  # paper floors 48.34 -> 47
+
+    def test_conventional_exceeds_ssv(self):
+        assert (
+            conventional_cost_model().break_even_seconds()
+            > ssv_cost_model().break_even_seconds()
+        )
+
+    def test_breakdown_sums(self):
+        breakdown = ssv_cost_model().breakdown()
+        assert breakdown.total_seconds == pytest.approx(
+            breakdown.fuel_seconds
+            + breakdown.starter_seconds
+            + breakdown.battery_seconds
+            + breakdown.emission_seconds
+        )
+
+    def test_restart_cost_consistency(self):
+        model = ssv_cost_model()
+        assert model.restart_cost_cents() == pytest.approx(
+            model.break_even_seconds() * model.idling_cost_cents_per_s()
+        )
+
+    def test_breakdown_rows(self):
+        rows = ssv_cost_model().breakdown().as_rows()
+        assert [name for name, _ in rows] == [
+            "fuel",
+            "starter wear",
+            "battery wear",
+            "emissions",
+            "total (B)",
+        ]
