@@ -15,12 +15,16 @@ RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 @pytest.fixture(scope="session")
 def results_dir() -> Path:
-    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     return RESULTS_DIR
 
 
 def emit(result, results_dir: Path) -> None:
-    """Write an ExperimentResult's tables as CSV and its report as text."""
+    """Write an ExperimentResult's tables as CSV and its report as text.
+
+    Timings are elided from the stored report so the committed
+    ``results/`` files stay byte-stable across machines and runs.
+    """
     result.write_csvs(results_dir)
     report_path = results_dir / f"{result.experiment_id}_report.txt"
-    report_path.write_text(result.to_ascii() + "\n")
+    report_path.write_text(result.to_ascii(include_timings=False) + "\n")

@@ -2,13 +2,19 @@
 
 Subcommands
 -----------
-``run <experiment> [--out DIR] [--vehicles N] [--fast]``
+``run <experiment> [--out DIR] [--vehicles N] [--fast] [--jobs N] [--no-cache]``
     Run one paper experiment (fig1..fig6, table1, appc) and print its
-    ASCII report; ``--out`` also writes the CSV series.
+    ASCII report; ``--out`` also writes the CSV series.  ``--jobs``
+    fans the work out over worker processes (results are bit-identical
+    for any worker count); ``--no-cache`` bypasses the on-disk result
+    cache.
 ``list``
     List available experiments.
-``all [--out DIR] [--fast]``
+``all [--out DIR] [--fast] [--jobs N] [--no-cache]``
     Run every experiment in sequence.
+``cache [clear|info]``
+    Inspect or empty the on-disk result cache
+    (``~/.cache/repro-idling`` unless ``REPRO_CACHE_DIR`` is set).
 ``advise --stops <csv-or-values> --break-even B``
     The end-user feature: given observed stop lengths, print which
     strategy the proposed algorithm selects and its guarantee.
@@ -35,8 +41,9 @@ import numpy as np
 
 from .constants import B_SSV
 from .core import ConstrainedSkiRentalSolver, StopStatistics
+from .engine import ResultCache, get_default_jobs
 from .errors import ReproError
-from .experiments import EXPERIMENTS, run_experiment
+from .experiments import EXPERIMENTS, cached_run
 
 __all__ = ["main", "build_parser"]
 
@@ -75,12 +82,35 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument(
         "--fast", action="store_true", help="reduced sizes for a quick preview"
     )
+    run_cmd.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: REPRO_JOBS or 1); results are "
+        "bit-identical for any value",
+    )
+    run_cmd.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute even if a cached result exists",
+    )
 
     sub.add_parser("list", help="list experiments")
 
     all_cmd = sub.add_parser("all", help="run every experiment")
     all_cmd.add_argument("--out", type=Path, default=None)
     all_cmd.add_argument("--fast", action="store_true")
+    all_cmd.add_argument("--jobs", type=int, default=None)
+    all_cmd.add_argument("--no-cache", action="store_true")
+
+    cache_cmd = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache_cmd.add_argument(
+        "action",
+        nargs="?",
+        choices=("info", "clear"),
+        default="info",
+        help="'info' (default) prints location/entry count; 'clear' empties it",
+    )
 
     advise = sub.add_parser(
         "advise", help="select the optimal strategy for observed stops"
@@ -180,12 +210,30 @@ def _parse_stops(spec: str) -> np.ndarray:
 
 
 def _run_and_report(experiment_id: str, args) -> None:
-    result = run_experiment(experiment_id, **_experiment_params(experiment_id, args))
+    jobs = args.jobs if args.jobs is not None else get_default_jobs()
+    result = cached_run(
+        experiment_id,
+        _experiment_params(experiment_id, args),
+        jobs=jobs,
+        use_cache=not args.no_cache,
+    )
     print(result.to_ascii())
     if args.out is not None:
         paths = result.write_csvs(args.out)
         for path in paths:
             print(f"wrote {path}")
+
+
+def _cache(args) -> None:
+    cache = ResultCache()
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.root}")
+    else:
+        entries = cache.entries()
+        print(f"cache directory: {cache.root}")
+        print(f"entries:         {len(entries)}")
+        print(f"size:            {cache.size_bytes() / 1024:.1f} KiB")
 
 
 def _advise(args) -> None:
@@ -347,6 +395,8 @@ def main(argv: list[str] | None = None) -> int:
             _dataset(args)
         elif args.command == "risk":
             _risk(args)
+        elif args.command == "cache":
+            _cache(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -13,9 +13,11 @@ grid cells are reported with ``region = "infeasible"`` and NaN CRs.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
+from ..engine import ParallelMap
 from ..errors import InvalidParameterError
 from .constrained import ConstrainedSkiRentalSolver
 from .stats import StopStatistics
@@ -68,16 +70,39 @@ class RegionGrid:
         return fractions
 
 
+def _grid_row(
+    q: float, normalized_mu: np.ndarray, break_even: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """One constant-``q`` row of the region grid (pure — the parallel
+    task unit of :func:`compute_region_grid`)."""
+    codes = np.empty(normalized_mu.size, dtype=int)
+    crs = np.full(normalized_mu.size, np.nan)
+    for mi, mu_norm in enumerate(normalized_mu):
+        if mu_norm > (1.0 - q) + 1e-12:
+            codes[mi] = STRATEGY_CODES["infeasible"]
+            continue
+        stats = StopStatistics(
+            mu_b_minus=mu_norm * break_even, q_b_plus=q, break_even=break_even
+        )
+        selection = ConstrainedSkiRentalSolver(stats).select()
+        codes[mi] = STRATEGY_CODES[selection.name]
+        crs[mi] = selection.worst_case_cr
+    return codes, crs
+
+
 def compute_region_grid(
     break_even: float = 1.0,
     mu_points: int = 101,
     q_points: int = 101,
     mu_max: float = 1.0,
+    jobs: int | None = None,
 ) -> RegionGrid:
     """Evaluate the solver on a dense ``(mu⁻/B, q⁺)`` grid (Figure 1).
 
     Grid points sit strictly inside ``(0, mu_max) × (0, 1)`` to avoid the
-    degenerate corners (CR is undefined at ``mu⁻ = q⁺ = 0``).
+    degenerate corners (CR is undefined at ``mu⁻ = q⁺ = 0``).  Rows fan
+    out over ``jobs`` worker processes (the computation is pure, so the
+    grid is identical for every value).
     """
     if mu_points < 2 or q_points < 2:
         raise InvalidParameterError("grids need at least 2 points per axis")
@@ -85,19 +110,10 @@ def compute_region_grid(
         raise InvalidParameterError(f"mu_max must lie in (0, 1], got {mu_max!r}")
     normalized_mu = np.linspace(0.0, mu_max, mu_points + 1, endpoint=False)[1:]
     q_values = np.linspace(0.0, 1.0, q_points + 1, endpoint=False)[1:]
-    codes = np.empty((q_points, mu_points), dtype=int)
-    crs = np.full((q_points, mu_points), np.nan)
-    for qi, q in enumerate(q_values):
-        for mi, mu_norm in enumerate(normalized_mu):
-            if mu_norm > (1.0 - q) + 1e-12:
-                codes[qi, mi] = STRATEGY_CODES["infeasible"]
-                continue
-            stats = StopStatistics(
-                mu_b_minus=mu_norm * break_even, q_b_plus=q, break_even=break_even
-            )
-            selection = ConstrainedSkiRentalSolver(stats).select()
-            codes[qi, mi] = STRATEGY_CODES[selection.name]
-            crs[qi, mi] = selection.worst_case_cr
+    worker = partial(_grid_row, normalized_mu=normalized_mu, break_even=break_even)
+    rows = ParallelMap(jobs).map(worker, q_values.tolist())
+    codes = np.stack([row_codes for row_codes, _ in rows])
+    crs = np.stack([row_crs for _, row_crs in rows])
     return RegionGrid(
         normalized_mu=normalized_mu,
         q_b_plus=q_values,

@@ -1,0 +1,41 @@
+"""Parallel experiment engine: execution backends, deterministic seed
+fan-out, the on-disk result cache, and per-stage instrumentation.
+
+This package is the scaling substrate every experiment and evaluation
+helper builds on (see ``docs/engine.md``):
+
+* :class:`ParallelMap` — order-preserving map over tasks with a serial
+  or ``ProcessPoolExecutor`` backend, selected by ``jobs`` / the
+  ``REPRO_JOBS`` environment variable;
+* :func:`spawn_seeds` / :func:`spawn_rngs` — ``SeedSequence``-based
+  fan-out, so serial and parallel runs draw identical random streams
+  regardless of worker count;
+* :class:`ResultCache` — content-addressed experiment-result cache
+  keyed by (experiment id, params, code version) with hit/miss
+  counters;
+* :class:`Instrumentation` — per-stage wall-time and task-count
+  records surfaced in every ``ExperimentResult`` report.
+
+Layering: ``engine`` depends only on numpy and ``repro.errors`` —
+everything above it (fleet, evaluation, experiments, cli) may use it.
+"""
+
+from .cache import ResultCache, cache_key, code_version, default_cache_dir
+from .instrument import Instrumentation, StageTiming
+from .parallel import ParallelMap, ParallelTaskError, get_default_jobs, parallel_map
+from .seeding import spawn_rngs, spawn_seeds
+
+__all__ = [
+    "ParallelMap",
+    "ParallelTaskError",
+    "parallel_map",
+    "get_default_jobs",
+    "spawn_seeds",
+    "spawn_rngs",
+    "ResultCache",
+    "cache_key",
+    "code_version",
+    "default_cache_dir",
+    "Instrumentation",
+    "StageTiming",
+]

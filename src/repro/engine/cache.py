@@ -1,0 +1,175 @@
+"""On-disk content-addressed result cache.
+
+Repeated invocations of the same experiment with the same parameters
+and the same code are pure recomputation; this cache makes them free.
+
+Layout and keying (see ``docs/engine.md`` for the full contract):
+
+* root directory — ``$REPRO_CACHE_DIR`` if set, else
+  ``$XDG_CACHE_HOME/repro-idling``, else ``~/.cache/repro-idling``;
+* one entry per key at ``<root>/<key[:2]>/<key>.json`` — the canonical
+  JSON payload of an ``ExperimentResult``;
+* the key is ``sha256({experiment, params, code})`` where ``code`` is
+  :func:`code_version`, a digest over every ``repro`` source file — so
+  **any** source edit invalidates every entry, and parameter values
+  (not their dict order) address the result.
+
+Writes are atomic (write-to-temp + rename), so a crashed or concurrent
+run never leaves a torn entry.  ``hits`` / ``misses`` counters expose
+cache effectiveness to tests and the CLI without wall-clock flakiness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from ..errors import InvalidParameterError
+
+__all__ = ["ResultCache", "cache_key", "code_version", "default_cache_dir"]
+
+_CODE_VERSION: str | None = None
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache root (environment-sensitive, evaluated lazily)."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-idling"
+
+
+def code_version() -> str:
+    """Digest of every ``repro`` source file (memoized per process).
+
+    Hashing file *contents* (not mtimes or the package version string)
+    makes the cache content-addressed on the code itself: editing any
+    module yields a new version and therefore fresh keys.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(path.relative_to(package_root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+def _canonical(value):
+    """Reduce a parameter value to a JSON-stable form."""
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _canonical(item) for key, item in value.items()}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "tolist"):  # numpy scalars and arrays
+        return _canonical(value.tolist())
+    return repr(value)
+
+
+def cache_key(experiment_id: str, params: dict, version: str | None = None) -> str:
+    """Content address of one experiment invocation."""
+    if not experiment_id:
+        raise InvalidParameterError("experiment_id must be non-empty")
+    canonical = json.dumps(
+        {
+            "experiment": experiment_id,
+            "params": _canonical(dict(params)),
+            "code": version if version is not None else code_version(),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def encode_payload(payload: dict) -> bytes:
+    """Canonical byte encoding of a result payload (stable across runs)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+class ResultCache:
+    """Filesystem-backed result store with hit/miss accounting.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; ``None`` resolves :func:`default_cache_dir` at
+        construction time (so tests can redirect via ``REPRO_CACHE_DIR``).
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def entry_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get_bytes(self, key: str) -> bytes | None:
+        """Raw stored payload, or None on a miss; counts the access."""
+        try:
+            data = self.entry_path(key).read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return data
+
+    def get(self, key: str) -> dict | None:
+        """Stored payload decoded from JSON, or None on a miss.
+
+        A corrupt entry (truncated by hand, never by us — writes are
+        atomic) counts as a miss and is dropped.
+        """
+        data = self.get_bytes(key)
+        if data is None:
+            return None
+        try:
+            return json.loads(data)
+        except ValueError:
+            self.hits -= 1
+            self.misses += 1
+            self.entry_path(key).unlink(missing_ok=True)
+            return None
+
+    def put(self, key: str, payload: dict) -> bytes:
+        """Store a payload atomically; returns the canonical bytes."""
+        data = encode_payload(payload)
+        path = self.entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temp = path.with_name(path.name + f".tmp{os.getpid()}")
+        temp.write_bytes(data)
+        temp.replace(path)
+        return data
+
+    def entries(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.json"))
+
+    def size_bytes(self) -> int:
+        return sum(path.stat().st_size for path in self.entries())
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            path.unlink(missing_ok=True)
+            removed += 1
+        for bucket in self.root.glob("*"):
+            if bucket.is_dir():
+                try:
+                    bucket.rmdir()
+                except OSError:
+                    pass  # non-empty (foreign files) — leave it
+        return removed

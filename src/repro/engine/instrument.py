@@ -1,0 +1,56 @@
+"""Per-stage wall-time and task-count instrumentation.
+
+Experiments wrap their phases (fleet generation, per-``B`` evaluation,
+sweeps, ...) in :meth:`Instrumentation.stage` and attach the collected
+:class:`StageTiming` records to their ``ExperimentResult``, which
+renders them as a ``timings`` section in the CLI report.  ``tasks``
+records how many units of work the stage fanned out (vehicles, grid
+rows, repetitions), so throughput is readable directly from the report.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = ["StageTiming", "Instrumentation"]
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """One timed stage of an experiment run."""
+
+    stage: str
+    seconds: float
+    tasks: int | None = None
+
+    def to_payload(self) -> dict:
+        return {"stage": self.stage, "seconds": self.seconds, "tasks": self.tasks}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "StageTiming":
+        return cls(
+            stage=payload["stage"],
+            seconds=payload["seconds"],
+            tasks=payload["tasks"],
+        )
+
+
+class Instrumentation:
+    """Collects :class:`StageTiming` records for one experiment run."""
+
+    def __init__(self) -> None:
+        self.timings: list[StageTiming] = []
+
+    @contextmanager
+    def stage(self, name: str, tasks: int | None = None):
+        """Time a ``with`` block as one stage."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - start, tasks)
+
+    def add(self, name: str, seconds: float, tasks: int | None = None) -> None:
+        self.timings.append(StageTiming(stage=name, seconds=float(seconds), tasks=tasks))

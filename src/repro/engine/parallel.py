@@ -1,0 +1,140 @@
+"""Order-preserving parallel map with selectable backends.
+
+``ParallelMap`` is the single fan-out primitive of the repository: the
+fleet generator, the fleet evaluator, the traffic sweeps, the
+Monte-Carlo estimators and the region-grid experiments all express their
+per-vehicle / per-grid-cell / per-repetition work as a function applied
+to a task list and hand it here.
+
+Backends
+--------
+``jobs == 1`` (the default)
+    Plain in-process loop — zero overhead, natural exception
+    propagation.
+``jobs > 1``
+    A ``concurrent.futures.ProcessPoolExecutor`` with ``jobs`` workers.
+    Results always come back in task order, and a worker-side exception
+    is re-raised in the parent with the original exception instance,
+    chained to a :class:`ParallelTaskError` carrying the worker's
+    formatted traceback.
+
+Because results are ordered and all randomness is injected per-task via
+:mod:`repro.engine.seeding`, a computation produces bit-identical output
+for every ``jobs`` value — the property the determinism test suite
+(``tests/test_engine_determinism.py``) pins.
+
+The process backend pickles the task function, so it must be a
+module-level callable or a ``functools.partial`` of one.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, TypeVar
+
+from ..errors import InvalidParameterError
+
+__all__ = ["ParallelMap", "ParallelTaskError", "get_default_jobs", "parallel_map"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable consulted when ``jobs`` is not given explicitly.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+
+class ParallelTaskError(Exception):
+    """Carries the worker-side traceback of a failed parallel task.
+
+    The original exception is re-raised in the parent process with this
+    error attached as its ``__cause__``, so both the original type and
+    the remote traceback text survive the process boundary.
+    """
+
+    def __init__(self, task_index: int, traceback_text: str) -> None:
+        super().__init__(
+            f"task {task_index} failed in a worker process; "
+            f"worker traceback:\n{traceback_text}"
+        )
+        self.task_index = task_index
+        self.traceback_text = traceback_text
+
+
+def get_default_jobs() -> int:
+    """The worker count used when ``jobs`` is not given: ``REPRO_JOBS``
+    if set (and >= 1), else 1 (serial)."""
+    raw = os.environ.get(JOBS_ENV_VAR)
+    if raw is None or not raw.strip():
+        return 1
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise InvalidParameterError(
+            f"{JOBS_ENV_VAR} must be an integer, got {raw!r}"
+        ) from None
+    if jobs < 1:
+        raise InvalidParameterError(f"{JOBS_ENV_VAR} must be >= 1, got {jobs}")
+    return jobs
+
+
+def _guarded_call(payload: tuple[int, Callable, object]) -> tuple[bool, object, str | None]:
+    """Worker-side wrapper: never raises, so the parent can re-raise the
+    first failure *in task order* with its remote traceback attached."""
+    index, fn, item = payload
+    try:
+        return (True, fn(item), None)
+    except Exception as exc:  # noqa: BLE001 — re-raised in the parent
+        return (False, exc, traceback.format_exc())
+
+
+class ParallelMap:
+    """Order-preserving map over a task list (see module docstring).
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``None`` falls back to :func:`get_default_jobs`
+        (the ``REPRO_JOBS`` environment variable, default 1). ``1`` runs
+        serially in-process.
+    """
+
+    def __init__(self, jobs: int | None = None) -> None:
+        self.jobs = get_default_jobs() if jobs is None else int(jobs)
+        if self.jobs < 1:
+            raise InvalidParameterError(f"jobs must be >= 1, got {self.jobs}")
+
+    @property
+    def backend(self) -> str:
+        """``"serial"`` or ``"process"``."""
+        return "serial" if self.jobs == 1 else "process"
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """Apply ``fn`` to every item, preserving input order.
+
+        The first failing task's exception propagates: directly (with
+        its original traceback) on the serial backend, re-raised from a
+        :class:`ParallelTaskError` on the process backend.
+        """
+        tasks = list(items)
+        if self.jobs == 1 or len(tasks) <= 1:
+            return [fn(item) for item in tasks]
+        workers = min(self.jobs, len(tasks))
+        chunksize = max(1, len(tasks) // (workers * 4))
+        payloads = [(index, fn, item) for index, item in enumerate(tasks)]
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            outcomes = list(executor.map(_guarded_call, payloads, chunksize=chunksize))
+        results: list[R] = []
+        for index, (ok, value, traceback_text) in enumerate(outcomes):
+            if not ok:
+                raise value from ParallelTaskError(index, traceback_text)
+            results.append(value)
+        return results
+
+
+def parallel_map(
+    fn: Callable[[T], R], items: Iterable[T], jobs: int | None = None
+) -> list[R]:
+    """Functional shorthand for ``ParallelMap(jobs).map(fn, items)``."""
+    return ParallelMap(jobs).map(fn, items)

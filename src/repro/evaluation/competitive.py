@@ -17,11 +17,13 @@ evaluates each strategy's expected CR on the vehicle's own stops
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from ..core.analysis import empirical_cr
+from ..engine import ParallelMap
 from ..core.constrained import ProposedOnline
 from ..core.deterministic import Deterministic, NeverOff, TurnOffImmediately
 from ..core.randomized import MOMRand, NRand
@@ -161,7 +163,14 @@ class FleetEvaluation:
 def evaluate_fleet(
     vehicles: Sequence[VehicleRecord] | Iterable[VehicleRecord],
     break_even: float,
+    jobs: int | None = None,
 ) -> FleetEvaluation:
-    """Evaluate every vehicle in a fleet (one area, one ``B``)."""
-    evaluations = [evaluate_vehicle(vehicle, break_even) for vehicle in vehicles]
+    """Evaluate every vehicle in a fleet (one area, one ``B``).
+
+    Per-vehicle evaluation is pure, so ``jobs`` fans it out over worker
+    processes with no effect on the result or its ordering.
+    """
+    evaluations = ParallelMap(jobs).map(
+        partial(evaluate_vehicle, break_even=break_even), vehicles
+    )
     return FleetEvaluation(evaluations=evaluations)

@@ -10,11 +10,13 @@ scripts that show sampling noise to users.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
 from ..core.analysis import empirical_offline_cost
 from ..core.strategy import Strategy
+from ..engine import ParallelMap, spawn_rngs
 from ..errors import InvalidParameterError
 from ..simulation.engine_sim import simulate_stops
 
@@ -31,11 +33,23 @@ class MonteCarloCR:
     samples: np.ndarray
 
 
+def _realized_ratio(
+    rep_rng: np.random.Generator,
+    strategy: Strategy,
+    stop_lengths: np.ndarray,
+    offline: float,
+) -> float:
+    """One Monte-Carlo repetition with its own independent generator."""
+    online = simulate_stops(stop_lengths, strategy=strategy, rng=rep_rng)
+    return float(online.total_cost_seconds / offline)
+
+
 def monte_carlo_cr(
     strategy: Strategy,
     stop_lengths: np.ndarray,
     repetitions: int,
     rng: np.random.Generator,
+    jobs: int | None = None,
 ) -> MonteCarloCR:
     """Realized CR over ``repetitions`` independent randomizations of the
     strategy on a fixed stop sample.
@@ -43,6 +57,10 @@ def monte_carlo_cr(
     For deterministic strategies every repetition is identical and the
     std is zero; for randomized strategies the spread shows how much an
     actual vehicle's weekly cost varies around the expected CR.
+
+    Each repetition runs on its own generator spawned from ``rng`` in
+    the parent, so the estimate is bit-identical for every ``jobs``
+    value (and repetitions may run in worker processes).
     """
     if repetitions <= 0:
         raise InvalidParameterError(f"repetitions must be >= 1, got {repetitions}")
@@ -50,10 +68,8 @@ def monte_carlo_cr(
     offline = empirical_offline_cost(y, strategy.break_even) * y.size
     if offline <= 0.0:
         raise InvalidParameterError("offline cost is zero over the sample; CR undefined")
-    ratios = np.empty(repetitions)
-    for index in range(repetitions):
-        online = simulate_stops(y, strategy=strategy, rng=rng)
-        ratios[index] = online.total_cost_seconds / offline
+    worker = partial(_realized_ratio, strategy=strategy, stop_lengths=y, offline=offline)
+    ratios = np.asarray(ParallelMap(jobs).map(worker, spawn_rngs(rng, repetitions)))
     return MonteCarloCR(
         mean=float(ratios.mean()),
         std=float(ratios.std(ddof=1)) if repetitions > 1 else 0.0,

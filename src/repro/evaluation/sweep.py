@@ -22,6 +22,7 @@ interpolates; the proposed curve lower-bounds them all.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
@@ -30,6 +31,7 @@ from ..core.constrained import ProposedOnline
 from ..core.stats import StopStatistics
 from ..distributions.base import StopLengthDistribution
 from ..distributions.scaled import scale_to_mean
+from ..engine import ParallelMap, spawn_seeds
 from ..errors import InvalidParameterError
 from .competitive import STRATEGY_NAMES, build_strategies
 
@@ -62,6 +64,30 @@ def _validate_means(mean_stop_lengths) -> np.ndarray:
     return means
 
 
+def _simulated_point(
+    task: tuple[float, np.random.SeedSequence],
+    base_distribution: StopLengthDistribution,
+    break_even: float,
+    vehicles_per_point: int,
+    stops_per_vehicle: int,
+) -> dict[str, float]:
+    """One swept mean: worst CR per strategy over a small synthetic
+    fleet.  Each vehicle draws from its own seed child, so the point is
+    a pure function of its task and identical under any worker count."""
+    mean, point_seed = task
+    scaled = scale_to_mean(base_distribution, float(mean))
+    worst = {name: 0.0 for name in STRATEGY_NAMES}
+    for child in point_seed.spawn(vehicles_per_point):
+        rng = np.random.default_rng(child)
+        stops = np.maximum(scaled.sample(stops_per_vehicle, rng), 1e-6)
+        strategies = build_strategies(stops, break_even)
+        for name, strategy in strategies.items():
+            cr = empirical_cr(strategy, stops, break_even)
+            if cr > worst[name]:
+                worst[name] = cr
+    return worst
+
+
 def sweep_simulated(
     base_distribution: StopLengthDistribution,
     mean_stop_lengths,
@@ -69,29 +95,30 @@ def sweep_simulated(
     vehicles_per_point: int = 40,
     stops_per_vehicle: int = 80,
     seed: int = 0,
+    jobs: int | None = None,
 ) -> SweepResult:
     """Figure 5/6, simulated mode.
 
     Per swept mean: scale the base distribution to that mean, draw
     ``vehicles_per_point`` vehicles of ``stops_per_vehicle`` stops each,
     evaluate all six strategies per vehicle, and record the worst
-    (largest) CR per strategy.
+    (largest) CR per strategy.  Points fan out over ``jobs`` workers;
+    per-point seed children keep the result independent of the count.
     """
     means = _validate_means(mean_stop_lengths)
     if vehicles_per_point <= 0 or stops_per_vehicle <= 0:
         raise InvalidParameterError("vehicle and stop counts must be >= 1")
-    rng = np.random.default_rng(seed)
+    tasks = list(zip(means.tolist(), spawn_seeds(seed, means.size)))
+    worker = partial(
+        _simulated_point,
+        base_distribution=base_distribution,
+        break_even=break_even,
+        vehicles_per_point=vehicles_per_point,
+        stops_per_vehicle=stops_per_vehicle,
+    )
+    per_point = ParallelMap(jobs).map(worker, tasks)
     series = {name: np.empty(means.size) for name in STRATEGY_NAMES}
-    for index, mean in enumerate(means):
-        scaled = scale_to_mean(base_distribution, float(mean))
-        worst = {name: 0.0 for name in STRATEGY_NAMES}
-        for _ in range(vehicles_per_point):
-            stops = np.maximum(scaled.sample(stops_per_vehicle, rng), 1e-6)
-            strategies = build_strategies(stops, break_even)
-            for name, strategy in strategies.items():
-                cr = empirical_cr(strategy, stops, break_even)
-                if cr > worst[name]:
-                    worst[name] = cr
+    for index, worst in enumerate(per_point):
         for name in STRATEGY_NAMES:
             series[name][index] = worst[name]
     return SweepResult(
@@ -99,11 +126,40 @@ def sweep_simulated(
     )
 
 
+def _analytic_point(
+    mean: float,
+    base_distribution: StopLengthDistribution,
+    break_even: float,
+    grid_size: int,
+) -> dict[str, float]:
+    """One swept mean of the analytic sweep (pure, no randomness)."""
+    scaled = scale_to_mean(base_distribution, float(mean))
+    stats = StopStatistics.from_distribution(scaled, break_even)
+    proposed = ProposedOnline(stats)
+    strategies = {
+        # Use a representative sample only to size MOM-Rand's mu; the
+        # deterministic/randomized baselines need no data.
+        name: strategy
+        for name, strategy in build_strategies(
+            np.array([float(mean)]), break_even
+        ).items()
+        if name != "Proposed"
+    }
+    point = {name: np.nan for name in STRATEGY_NAMES}
+    point["Proposed"] = proposed.worst_case_cr
+    for name, strategy in strategies.items():
+        if name == "NEV":
+            continue  # unbounded over Q; keep NaN
+        point[name] = worst_case_cr(strategy, stats, grid_size)
+    return point
+
+
 def sweep_analytic(
     base_distribution: StopLengthDistribution,
     mean_stop_lengths,
     break_even: float,
     grid_size: int = 512,
+    jobs: int | None = None,
 ) -> SweepResult:
     """Figure 5/6, analytic mode: guaranteed worst-case CR over Q.
 
@@ -113,25 +169,17 @@ def sweep_analytic(
     (its worst case over Q is unbounded whenever long stops exist).
     """
     means = _validate_means(mean_stop_lengths)
+    worker = partial(
+        _analytic_point,
+        base_distribution=base_distribution,
+        break_even=break_even,
+        grid_size=grid_size,
+    )
+    per_point = ParallelMap(jobs).map(worker, means.tolist())
     series = {name: np.full(means.size, np.nan) for name in STRATEGY_NAMES}
-    for index, mean in enumerate(means):
-        scaled = scale_to_mean(base_distribution, float(mean))
-        stats = StopStatistics.from_distribution(scaled, break_even)
-        proposed = ProposedOnline(stats)
-        strategies = {
-            # Use a representative sample only to size MOM-Rand's mu; the
-            # deterministic/randomized baselines need no data.
-            name: strategy
-            for name, strategy in build_strategies(
-                np.array([float(mean)]), break_even
-            ).items()
-            if name != "Proposed"
-        }
-        series["Proposed"][index] = proposed.worst_case_cr
-        for name, strategy in strategies.items():
-            if name == "NEV":
-                continue  # unbounded over Q; keep NaN
-            series[name][index] = worst_case_cr(strategy, stats, grid_size)
+    for index, point in enumerate(per_point):
+        for name in STRATEGY_NAMES:
+            series[name][index] = point[name]
     return SweepResult(
         mean_stop_lengths=means, series=series, break_even=break_even, mode="analytic"
     )

@@ -2,8 +2,20 @@
 
 Every experiment exposes ``run(**params) -> ExperimentResult``; the
 registry maps experiment ids (``fig1`` ... ``fig6``, ``table1``,
-``appc``) to those callables for the CLI and the benchmarks.
+``appc``) to those callables for the CLI and the benchmarks.  All
+experiments accept a ``jobs`` parameter (worker processes for the
+parallel engine; results are bit-identical for every value) and report
+per-stage wall times in their result.
+
+:func:`cached_run` is the caching entry point the CLI uses: results are
+stored in the content-addressed on-disk cache
+(:mod:`repro.engine.cache`), keyed by experiment id, parameters and
+code version, so repeated invocations skip recomputation entirely.
 """
+
+from __future__ import annotations
+
+import time
 
 from . import (
     appendix_c,
@@ -17,6 +29,8 @@ from . import (
     sweeps,
     table1,
 )
+from ..engine.cache import ResultCache, cache_key
+from ..engine.instrument import StageTiming
 from .report import ExperimentResult, Table, format_table
 
 __all__ = [
@@ -25,6 +39,7 @@ __all__ = [
     "format_table",
     "EXPERIMENTS",
     "run_experiment",
+    "cached_run",
 ]
 
 #: Registry: experiment id -> run callable.
@@ -45,11 +60,56 @@ EXPERIMENTS = {
 
 
 def run_experiment(experiment_id: str, **params) -> ExperimentResult:
-    """Run one experiment by id (see :data:`EXPERIMENTS`)."""
+    """Run one experiment by id (see :data:`EXPERIMENTS`).
+
+    Appends a ``total`` stage timing so even experiments without
+    internal stages report their wall time.
+    """
     if experiment_id not in EXPERIMENTS:
         from ..errors import InvalidParameterError
 
         raise InvalidParameterError(
             f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
         )
-    return EXPERIMENTS[experiment_id](**params)
+    start = time.perf_counter()
+    result = EXPERIMENTS[experiment_id](**params)
+    result.timings.append(
+        StageTiming(stage="total", seconds=time.perf_counter() - start)
+    )
+    return result
+
+
+def cached_run(
+    experiment_id: str,
+    params: dict | None = None,
+    *,
+    jobs: int | None = None,
+    use_cache: bool = True,
+    cache: ResultCache | None = None,
+) -> ExperimentResult:
+    """Run an experiment through the on-disk result cache.
+
+    ``jobs`` is deliberately excluded from the cache key: the engine
+    guarantees results are bit-identical for every worker count, so a
+    serial run may serve a later ``--jobs 8`` invocation and vice versa.
+    On a hit the stored payload is returned verbatim (its ``timings``
+    are the original run's); on a miss the experiment runs and its
+    payload is stored atomically.
+    """
+    if jobs is not None and jobs < 1:
+        from ..errors import InvalidParameterError
+
+        raise InvalidParameterError(f"jobs must be >= 1, got {jobs}")
+    params = dict(params or {})
+    params.pop("jobs", None)
+    if not use_cache:
+        return run_experiment(experiment_id, **params, jobs=jobs)
+    if cache is None:
+        cache = ResultCache()
+    key = cache_key(experiment_id, params)
+    payload = cache.get(key)
+    if payload is not None:
+        return ExperimentResult.from_payload(payload)
+    result = run_experiment(experiment_id, **params, jobs=jobs)
+    cache.put(key, result.to_payload())
+    return result

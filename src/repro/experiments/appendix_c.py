@@ -19,8 +19,13 @@ from .report import ExperimentResult, Table
 __all__ = ["run"]
 
 
-def run() -> ExperimentResult:
-    """Reproduce the Appendix C derivation."""
+def run(jobs: int | None = None) -> ExperimentResult:
+    """Reproduce the Appendix C derivation.
+
+    ``jobs`` is accepted for engine/CLI uniformity and ignored: the
+    derivation is two closed-form cost-model rollups.
+    """
+    del jobs
     models = {
         "SSV": (ssv_cost_model(), B_SSV),
         "conventional": (conventional_cost_model(), B_CONVENTIONAL),

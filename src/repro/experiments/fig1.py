@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.regions import STRATEGY_CODES, compute_region_grid
+from ..engine import Instrumentation
 from .report import ExperimentResult, Table
 
 __all__ = ["run"]
@@ -31,7 +32,9 @@ def _ascii_region_map(grid) -> str:
     return "\n".join(lines) + "\n" + legend
 
 
-def run(mu_points: int = 61, q_points: int = 61) -> ExperimentResult:
+def run(
+    mu_points: int = 61, q_points: int = 61, jobs: int | None = None
+) -> ExperimentResult:
     """Reproduce Figure 1.
 
     Parameters
@@ -39,26 +42,32 @@ def run(mu_points: int = 61, q_points: int = 61) -> ExperimentResult:
     mu_points, q_points:
         Grid resolution; the default 61x61 renders in well under a
         second and is dense enough to show every region.
+    jobs:
+        Worker processes for the grid fan-out (one task per ``q`` row);
+        the grid is identical for every value.
     """
-    grid = compute_region_grid(
-        break_even=1.0, mu_points=mu_points, q_points=q_points
-    )
-    grid_rows = []
-    for qi, q in enumerate(grid.q_b_plus):
-        for mi, mu in enumerate(grid.normalized_mu):
-            cr = grid.worst_case_cr[qi, mi]
-            grid_rows.append(
-                (
-                    round(float(mu), 6),
-                    round(float(q), 6),
-                    grid.region_name_at(mi, qi),
-                    round(float(cr), 6) if np.isfinite(cr) else "",
+    instrumentation = Instrumentation()
+    with instrumentation.stage("region grid", tasks=q_points):
+        grid = compute_region_grid(
+            break_even=1.0, mu_points=mu_points, q_points=q_points, jobs=jobs
+        )
+    with instrumentation.stage("emit tables", tasks=mu_points * q_points):
+        grid_rows = []
+        for qi, q in enumerate(grid.q_b_plus):
+            for mi, mu in enumerate(grid.normalized_mu):
+                cr = grid.worst_case_cr[qi, mi]
+                grid_rows.append(
+                    (
+                        round(float(mu), 6),
+                        round(float(q), 6),
+                        grid.region_name_at(mi, qi),
+                        round(float(cr), 6) if np.isfinite(cr) else "",
+                    )
                 )
-            )
-    fraction_rows = [
-        (name, round(fraction, 4))
-        for name, fraction in sorted(grid.region_fractions().items())
-    ]
+        fraction_rows = [
+            (name, round(fraction, 4))
+            for name, fraction in sorted(grid.region_fractions().items())
+        ]
     result = ExperimentResult(
         experiment_id="fig1",
         title="Strategy selection regions (a) and worst-case CR surface (b)",
@@ -78,5 +87,6 @@ def run(mu_points: int = 61, q_points: int = 61) -> ExperimentResult:
             "region map (q_B_plus increases upward, mu_B_minus/B rightward):",
             *_ascii_region_map(grid).split("\n"),
         ],
+        timings=instrumentation.timings,
     )
     return result

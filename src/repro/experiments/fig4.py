@@ -12,7 +12,10 @@ plus the win counts the paper quotes in the text:
 
 from __future__ import annotations
 
+import time
+
 from ..constants import B_CONVENTIONAL, B_SSV
+from ..engine import Instrumentation
 from ..evaluation import STRATEGY_NAMES, evaluate_fleet
 from ..fleet import DEFAULT_SEED, load_fleets, total_vehicle_count
 from .report import ExperimentResult, Table
@@ -34,28 +37,35 @@ def run(
     seed: int = DEFAULT_SEED,
     break_evens: tuple[float, ...] = (B_SSV, B_CONVENTIONAL),
     with_significance: bool = True,
+    jobs: int | None = None,
 ) -> ExperimentResult:
     """Reproduce Figure 4.
 
     ``vehicles_per_area=None`` uses the full 217/312/653 fleets (the
     paper's 1182 vehicles); pass a small number for a fast preview.
     ``with_significance`` adds Wilson win-rate intervals and paired
-    bootstrap CR-difference CIs to the notes.
+    bootstrap CR-difference CIs to the notes.  ``jobs`` fans fleet
+    synthesis and per-vehicle evaluation out over worker processes
+    without changing any number.
     """
     import numpy as np
 
     from ..evaluation.significance import compare_strategies, win_rate_interval
 
-    fleets = load_fleets(seed=seed, vehicles_per_area=vehicles_per_area)
+    instrumentation = Instrumentation()
+    start = time.perf_counter()
+    fleets = load_fleets(seed=seed, vehicles_per_area=vehicles_per_area, jobs=jobs)
     total = total_vehicle_count(fleets)
+    instrumentation.add("synthesize fleets", time.perf_counter() - start, total)
     cr_rows = []
     win_rows = []
     notes = []
     significance_rng = np.random.default_rng(seed)
     for break_even in break_evens:
+        stage_start = time.perf_counter()
         total_proposed_wins = 0
         for area in sorted(fleets):
-            evaluation = evaluate_fleet(fleets[area], break_even)
+            evaluation = evaluate_fleet(fleets[area], break_even, jobs=jobs)
             if with_significance:
                 for diff in compare_strategies(
                     evaluation, rng=significance_rng, n_bootstrap=500
@@ -103,6 +113,9 @@ def run(
                 f"B={break_even:g}: proposed best on {total_proposed_wins}/{total} "
                 f"vehicles (paper: {paper_wins}/1182){suffix}"
             )
+        instrumentation.add(
+            f"evaluate B={break_even:g}", time.perf_counter() - stage_start, total
+        )
     return ExperimentResult(
         experiment_id="fig4",
         title="Individual vehicle test: worst/mean CR per strategy, area and B",
@@ -119,4 +132,5 @@ def run(
             ),
         ],
         notes=notes,
+        timings=instrumentation.timings,
     )

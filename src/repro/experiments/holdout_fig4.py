@@ -9,7 +9,10 @@ quantifying how much estimation optimism the in-sample numbers carry
 
 from __future__ import annotations
 
+import time
+
 from ..constants import B_CONVENTIONAL, B_SSV
+from ..engine import Instrumentation
 from ..evaluation import STRATEGY_NAMES, compare_in_vs_out_of_sample
 from ..fleet import DEFAULT_SEED, load_fleets
 from .report import ExperimentResult, Table
@@ -22,11 +25,20 @@ def run(
     seed: int = DEFAULT_SEED,
     train_fraction: float = 0.5,
     break_evens: tuple[float, ...] = (B_SSV, B_CONVENTIONAL),
+    jobs: int | None = None,
 ) -> ExperimentResult:
     """Run the paired in-sample / out-of-sample comparison."""
-    fleets = load_fleets(seed=seed, vehicles_per_area=vehicles_per_area)
+    instrumentation = Instrumentation()
+    start = time.perf_counter()
+    fleets = load_fleets(seed=seed, vehicles_per_area=vehicles_per_area, jobs=jobs)
+    instrumentation.add(
+        "synthesize fleets",
+        time.perf_counter() - start,
+        sum(len(v) for v in fleets.values()),
+    )
     rows = []
     notes = []
+    stage_start = time.perf_counter()
     for break_even in break_evens:
         for area in sorted(fleets):
             comparisons = compare_in_vs_out_of_sample(
@@ -51,6 +63,11 @@ def run(
                 f"{proposed.optimism:+.4f} CR "
                 f"(wins {proposed.in_sample_wins} -> {proposed.out_of_sample_wins})"
             )
+    instrumentation.add(
+        "train/test comparison",
+        time.perf_counter() - stage_start,
+        len(break_evens) * len(fleets),
+    )
     return ExperimentResult(
         experiment_id="holdout",
         title="Out-of-sample Figure 4: train/test split per vehicle",
@@ -71,4 +88,5 @@ def run(
             )
         ],
         notes=notes,
+        timings=instrumentation.timings,
     )

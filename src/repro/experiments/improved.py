@@ -10,11 +10,14 @@ optimum.
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from ..core.brand import ImprovedConstrainedSolver
 from ..core.regions import cr_slice
 from ..core.stats import StopStatistics
+from ..engine import Instrumentation, ParallelMap
 from ..errors import InvalidParameterError
 from .report import ExperimentResult, Table
 
@@ -54,30 +57,20 @@ def _corrected_slice(normalized_mu: float, points: int, break_even: float) -> Ta
 _GLYPHS = {"TOI": "T", "DET": "D", "b-DET": "d", "b-Rand": "r", "N-Rand": "R"}
 
 
-def run(mu_points: int = 61, q_points: int = 61, break_even: float = 1.0) -> ExperimentResult:
-    """Compute the corrected region map and the improvement heatmap."""
-    if mu_points < 2 or q_points < 2:
-        raise InvalidParameterError("grids need at least 2 points per axis")
-    mu_values = np.linspace(0.0, 1.0, mu_points + 1, endpoint=False)[1:]
-    q_values = np.linspace(0.0, 1.0, q_points + 1, endpoint=False)[1:]
-    rows = []
-    glyph_rows = []
-    improvements = []
-    region_counts: dict[str, int] = {}
-    for q in q_values[::-1]:
-        glyphs = []
-        for mu_norm in mu_values:
-            if mu_norm > (1.0 - q) + 1e-12:
-                glyphs.append(".")
-                continue
-            stats = StopStatistics(mu_norm * break_even, q, break_even)
-            selection = ImprovedConstrainedSolver(stats).select()
-            glyphs.append(_GLYPHS[selection.chosen_name])
-            region_counts[selection.chosen_name] = (
-                region_counts.get(selection.chosen_name, 0) + 1
-            )
-            improvements.append(selection.improvement_over_paper)
-            rows.append(
+def _grid_row(q: float, mu_values: np.ndarray, break_even: float):
+    """One fixed-q row of the corrected region grid: glyph string plus
+    the per-cell (row tuple, improvement) records, feasible cells only."""
+    glyphs = []
+    cells = []
+    for mu_norm in mu_values:
+        if mu_norm > (1.0 - q) + 1e-12:
+            glyphs.append(".")
+            continue
+        stats = StopStatistics(mu_norm * break_even, q, break_even)
+        selection = ImprovedConstrainedSolver(stats).select()
+        glyphs.append(_GLYPHS[selection.chosen_name])
+        cells.append(
+            (
                 (
                     round(float(mu_norm), 6),
                     round(float(q), 6),
@@ -86,9 +79,39 @@ def run(mu_points: int = 61, q_points: int = 61, break_even: float = 1.0) -> Exp
                     round(selection.paper_selection.worst_case_cr, 6),
                     round(selection.worst_case_cr, 6),
                     round(selection.improvement_over_paper, 6),
-                )
+                ),
+                selection.chosen_name,
+                selection.improvement_over_paper,
             )
-        glyph_rows.append("".join(glyphs))
+        )
+    return "".join(glyphs), cells
+
+
+def run(
+    mu_points: int = 61,
+    q_points: int = 61,
+    break_even: float = 1.0,
+    jobs: int | None = None,
+) -> ExperimentResult:
+    """Compute the corrected region map and the improvement heatmap."""
+    if mu_points < 2 or q_points < 2:
+        raise InvalidParameterError("grids need at least 2 points per axis")
+    instrumentation = Instrumentation()
+    mu_values = np.linspace(0.0, 1.0, mu_points + 1, endpoint=False)[1:]
+    q_values = np.linspace(0.0, 1.0, q_points + 1, endpoint=False)[1:]
+    rows = []
+    glyph_rows = []
+    improvements = []
+    region_counts: dict[str, int] = {}
+    with instrumentation.stage("corrected region grid", tasks=q_values.size):
+        worker = partial(_grid_row, mu_values=mu_values, break_even=break_even)
+        row_results = ParallelMap(jobs).map(worker, q_values[::-1].tolist())
+    for glyphs, cells in row_results:
+        glyph_rows.append(glyphs)
+        for row, chosen_name, improvement in cells:
+            rows.append(row)
+            region_counts[chosen_name] = region_counts.get(chosen_name, 0) + 1
+            improvements.append(improvement)
     improvements = np.asarray(improvements)
     total = sum(region_counts.values())
     fraction_rows = [
@@ -96,6 +119,11 @@ def run(mu_points: int = 61, q_points: int = 61, break_even: float = 1.0) -> Exp
         for name, count in sorted(region_counts.items())
     ]
     legend = "  ".join(f"{glyph}={name}" for name, glyph in _GLYPHS.items())
+    with instrumentation.stage("corrected slices", tasks=2):
+        corrected_slices = [
+            _corrected_slice(mu, max(40, q_points), break_even)
+            for mu in (0.02, 0.05)
+        ]
     return ExperimentResult(
         experiment_id="improved",
         title="Corrected strategy regions with the b-Rand family (reproduction finding)",
@@ -118,8 +146,7 @@ def run(mu_points: int = 61, q_points: int = 61, break_even: float = 1.0) -> Exp
                 headers=("strategy", "cells", "fraction"),
                 rows=fraction_rows,
             ),
-            _corrected_slice(0.02, max(40, q_points), break_even),
-            _corrected_slice(0.05, max(40, q_points), break_even),
+            *corrected_slices,
         ],
         notes=[
             f"cells strictly improved over the paper: "
@@ -129,4 +156,5 @@ def run(mu_points: int = 61, q_points: int = 61, break_even: float = 1.0) -> Exp
             *glyph_rows,
             legend + "  .=infeasible",
         ],
+        timings=instrumentation.timings,
     )

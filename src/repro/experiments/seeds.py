@@ -9,9 +9,12 @@ stable properties of the calibrated model, not of one draw.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..constants import B_SSV
+from ..engine import Instrumentation
 from ..evaluation import evaluate_fleet
 from ..fleet import load_fleets, total_vehicle_count
 from .report import ExperimentResult, Table
@@ -23,18 +26,21 @@ def run(
     seeds: tuple[int, ...] = (1, 2, 3, 4, 5),
     vehicles_per_area: int | None = 100,
     break_even: float = B_SSV,
+    jobs: int | None = None,
 ) -> ExperimentResult:
     """Evaluate the headline quantities under several dataset seeds."""
+    instrumentation = Instrumentation()
     rows = []
     win_rates = []
     mean_crs = []
+    stage_start = time.perf_counter()
     for seed in seeds:
-        fleets = load_fleets(seed=seed, vehicles_per_area=vehicles_per_area)
+        fleets = load_fleets(seed=seed, vehicles_per_area=vehicles_per_area, jobs=jobs)
         total = total_vehicle_count(fleets)
         wins = 0
         crs = []
         for area in sorted(fleets):
-            evaluation = evaluate_fleet(fleets[area], break_even)
+            evaluation = evaluate_fleet(fleets[area], break_even, jobs=jobs)
             wins += evaluation.win_counts()["Proposed"]
             crs.append(evaluation.mean_cr("Proposed"))
         win_rate = wins / total
@@ -50,6 +56,9 @@ def run(
         f"{np.mean(mean_crs):.4f} +/- {np.std(mean_crs):.4f}",
     )
     rows.append(summary)
+    instrumentation.add(
+        "per-seed evaluations", time.perf_counter() - stage_start, len(seeds)
+    )
     return ExperimentResult(
         experiment_id="seeds",
         title=f"Seed robustness of the headline results (B = {break_even:g})",
@@ -65,4 +74,5 @@ def run(
             f"{min(win_rates):.3f} - {max(win_rates):.3f}",
             f"mean CR spread: {min(mean_crs):.3f} - {max(mean_crs):.3f}",
         ],
+        timings=instrumentation.timings,
     )

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..constants import B_CONVENTIONAL, B_SSV
+from ..engine import Instrumentation
 from ..evaluation import STRATEGY_NAMES, sweep_analytic, sweep_simulated
 from ..fleet.areas import area_config
 from .report import ExperimentResult, Table
@@ -36,17 +37,23 @@ def _run(
     stops_per_vehicle: int,
     seed: int,
     grid_size: int,
+    jobs: int | None = None,
 ) -> ExperimentResult:
     base = area_config("chicago").stop_length_distribution()
-    simulated = sweep_simulated(
-        base,
-        means,
-        break_even,
-        vehicles_per_point=vehicles_per_point,
-        stops_per_vehicle=stops_per_vehicle,
-        seed=seed,
-    )
-    analytic = sweep_analytic(base, means, break_even, grid_size=grid_size)
+    instrumentation = Instrumentation()
+    point_count = len(tuple(means))
+    with instrumentation.stage("simulated sweep", tasks=point_count):
+        simulated = sweep_simulated(
+            base,
+            means,
+            break_even,
+            vehicles_per_point=vehicles_per_point,
+            stops_per_vehicle=stops_per_vehicle,
+            seed=seed,
+            jobs=jobs,
+        )
+    with instrumentation.stage("analytic sweep", tasks=point_count):
+        analytic = sweep_analytic(base, means, break_even, grid_size=grid_size, jobs=jobs)
     tables = []
     for label, sweep in (("simulated", simulated), ("analytic", analytic)):
         rows = []
@@ -88,6 +95,7 @@ def _run(
         title=f"Worst-case CR vs mean stop length (B = {break_even:g})",
         tables=tables,
         notes=notes,
+        timings=instrumentation.timings,
     )
 
 
@@ -97,10 +105,12 @@ def run_fig5(
     stops_per_vehicle: int = 80,
     seed: int = 5,
     grid_size: int = 512,
+    jobs: int | None = None,
 ) -> ExperimentResult:
     """Figure 5: the sweep at ``B = 28`` (stop-start vehicles)."""
     return _run(
-        "fig5", B_SSV, means, vehicles_per_point, stops_per_vehicle, seed, grid_size
+        "fig5", B_SSV, means, vehicles_per_point, stops_per_vehicle, seed, grid_size,
+        jobs=jobs,
     )
 
 
@@ -110,6 +120,7 @@ def run_fig6(
     stops_per_vehicle: int = 80,
     seed: int = 6,
     grid_size: int = 512,
+    jobs: int | None = None,
 ) -> ExperimentResult:
     """Figure 6: the sweep at ``B = 47`` (no stop-start system)."""
     return _run(
@@ -120,4 +131,5 @@ def run_fig6(
         stops_per_vehicle,
         seed,
         grid_size,
+        jobs=jobs,
     )

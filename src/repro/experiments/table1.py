@@ -8,7 +8,10 @@ amortization of Appendix C.
 
 from __future__ import annotations
 
-from ..fleet import DEFAULT_SEED, load_fleets
+import time
+
+from ..engine import Instrumentation
+from ..fleet import DEFAULT_SEED, load_fleets, total_vehicle_count
 from ..traces import stops_per_day_table
 from .report import ExperimentResult, Table
 
@@ -25,12 +28,20 @@ PAPER_TABLE1 = {
 
 
 def run(
-    vehicles_per_area: int | None = None, seed: int = DEFAULT_SEED
+    vehicles_per_area: int | None = None,
+    seed: int = DEFAULT_SEED,
+    jobs: int | None = None,
 ) -> ExperimentResult:
     """Reproduce Table 1 on the synthetic fleets."""
-    fleets = load_fleets(seed=seed, vehicles_per_area=vehicles_per_area)
+    instrumentation = Instrumentation()
+    start = time.perf_counter()
+    fleets = load_fleets(seed=seed, vehicles_per_area=vehicles_per_area, jobs=jobs)
+    instrumentation.add(
+        "synthesize fleets", time.perf_counter() - start, total_vehicle_count(fleets)
+    )
     rows = []
     notes = []
+    stage_start = time.perf_counter()
     for area in sorted(fleets):
         traces = [vehicle.to_trace() for vehicle in fleets[area]]
         stats = stops_per_day_table(traces)
@@ -50,6 +61,9 @@ def run(
             f"std {stats['std']:.2f} (paper {paper['std']}), "
             f"P within 2 sigma {stats['p_within_2_sigma']:.3f} (paper {paper['p']})"
         )
+    instrumentation.add(
+        "stops/day statistics", time.perf_counter() - stage_start, len(fleets)
+    )
     return ExperimentResult(
         experiment_id="table1",
         title="Stops per day in 3 locations",
@@ -68,4 +82,5 @@ def run(
             )
         ],
         notes=notes,
+        timings=instrumentation.timings,
     )

@@ -11,6 +11,11 @@ records.  Each vehicle gets:
   ``(mu_B_minus, q_B_plus)`` and the proposed selector picks different
   vertices for them);
 * one week of stop lengths drawn from the scaled area mixture.
+
+Generation fans out one independent ``SeedSequence`` child per vehicle
+(:mod:`repro.engine.seeding`), so vehicle ``i`` is a pure function of
+``(config, seed, i)`` — the fleet is bit-identical whether it is built
+serially or by any number of worker processes (``jobs``).
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..distributions import ScaledDistribution
+from ..engine import ParallelMap, spawn_seeds
 from ..errors import InvalidParameterError
 from ..traces.events import DrivingTrace
 from .areas import AreaConfig
@@ -103,15 +109,30 @@ class FleetGenerator:
             recording_days=config.recording_days,
         )
 
-    def generate(self, vehicle_count: int | None = None) -> list[VehicleRecord]:
-        """Generate the full fleet (``config.vehicle_count`` by default)."""
+    def _vehicle_from_task(
+        self, task: tuple[int, np.random.SeedSequence]
+    ) -> VehicleRecord:
+        """Worker entry: build one vehicle from its (index, child seed)."""
+        index, child = task
+        return self.generate_vehicle(index, np.random.default_rng(child))
+
+    def generate(
+        self, vehicle_count: int | None = None, jobs: int | None = None
+    ) -> list[VehicleRecord]:
+        """Generate the full fleet (``config.vehicle_count`` by default).
+
+        Each vehicle draws from its own ``SeedSequence`` child, so the
+        result is identical for every ``jobs`` value.
+        """
         count = self.config.vehicle_count if vehicle_count is None else int(vehicle_count)
         if count <= 0:
             raise InvalidParameterError(f"vehicle_count must be >= 1, got {count}")
-        rng = np.random.default_rng(self.seed)
-        return [self.generate_vehicle(index, rng) for index in range(count)]
+        tasks = list(enumerate(spawn_seeds(self.seed, count)))
+        return ParallelMap(jobs).map(self._vehicle_from_task, tasks)
 
-    def pooled_stop_lengths(self, vehicle_count: int | None = None) -> np.ndarray:
+    def pooled_stop_lengths(
+        self, vehicle_count: int | None = None, jobs: int | None = None
+    ) -> np.ndarray:
         """All stop lengths of the fleet pooled (Figure 3's histogram)."""
-        vehicles = self.generate(vehicle_count)
+        vehicles = self.generate(vehicle_count, jobs=jobs)
         return np.concatenate([vehicle.stop_lengths for vehicle in vehicles])

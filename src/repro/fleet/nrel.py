@@ -38,21 +38,25 @@ def load_area(
     name: str,
     seed: int = DEFAULT_SEED,
     vehicle_count: int | None = None,
+    jobs: int | None = None,
 ) -> list[VehicleRecord]:
     """Load (synthesize) one area's fleet.
 
     The per-area generator seed mixes the dataset seed with a stable
-    per-area offset so areas are independent but reproducible.
+    per-area offset so areas are independent but reproducible.  ``jobs``
+    fans vehicle generation out over worker processes without changing
+    the fleet (per-vehicle seed children).
     """
     config = area_config(name)
     offset = sorted(AREAS).index(config.name)
     generator = FleetGenerator(config, seed=seed + offset)
-    return generator.generate(vehicle_count)
+    return generator.generate(vehicle_count, jobs=jobs)
 
 
 def load_fleets(
     seed: int = DEFAULT_SEED,
     vehicles_per_area: int | None = None,
+    jobs: int | None = None,
 ) -> dict[str, list[VehicleRecord]]:
     """Load all three areas: ``{area_name: [VehicleRecord, ...]}``.
 
@@ -60,7 +64,7 @@ def load_fleets(
     fast tests); None reproduces the paper's 217/312/653 split.
     """
     return {
-        name: load_area(name, seed=seed, vehicle_count=vehicles_per_area)
+        name: load_area(name, seed=seed, vehicle_count=vehicles_per_area, jobs=jobs)
         for name in AREAS
     }
 

@@ -1,0 +1,57 @@
+"""Smoke tests for the benchmark suite's ``emit`` helper.
+
+``emit`` is what writes the committed ``results/`` artifacts, so it must
+create the output directory (including missing parents, e.g. on a fresh
+clone with ``results/`` absent), write every table as CSV, and keep the
+stored report text free of run-dependent wall times.
+"""
+
+import csv
+
+from benchmarks import conftest as bench_conftest
+from benchmarks.conftest import emit
+from repro.engine import StageTiming
+from repro.experiments.report import ExperimentResult, Table
+
+
+def _sample_result() -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id="smoke",
+        title="emit round-trip smoke",
+        tables=[
+            Table(
+                name="values",
+                headers=("name", "value"),
+                rows=[("alpha", 1.5), ("beta", 2)],
+            )
+        ],
+        notes=["one note"],
+        timings=[StageTiming(stage="total", seconds=0.123, tasks=2)],
+    )
+
+
+def test_emit_round_trips_csv_and_report(tmp_path):
+    result = _sample_result()
+    emit(result, tmp_path)
+
+    csv_path = tmp_path / "smoke_values.csv"
+    with csv_path.open() as handle:
+        rows = list(csv.reader(handle))
+    assert rows[0] == list(result.tables[0].headers)
+    assert rows[1:] == [["alpha", "1.5"], ["beta", "2"]]
+
+    report = (tmp_path / "smoke_report.txt").read_text()
+    assert "emit round-trip smoke" in report
+    assert "alpha" in report and "one note" in report
+    # Stored reports stay byte-stable across machines: no wall times.
+    assert "timings" not in report
+    # ... but the interactive report (CLI) does show them.
+    assert "timings" in result.to_ascii()
+
+
+def test_results_dir_fixture_creates_missing_parents(tmp_path, monkeypatch):
+    target = tmp_path / "deep" / "nested" / "results"
+    monkeypatch.setattr(bench_conftest, "RESULTS_DIR", target)
+    created = bench_conftest.results_dir.__wrapped__()
+    assert created == target
+    assert target.is_dir()

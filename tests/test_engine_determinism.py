@@ -1,0 +1,100 @@
+"""The engine's central promise: worker count never changes results.
+
+Every parallelized entry point spawns its per-task random state from a
+single ``SeedSequence`` in the parent *before* dispatch, so a serial
+run, ``--jobs 2`` and ``--jobs 4`` must be bit-identical — and a cached
+result must serve later invocations byte for byte, asserted through the
+cache's hit counter rather than wall-clock.
+"""
+
+import numpy as np
+import pytest
+
+from repro.constants import B_SSV
+from repro.core import NRand
+from repro.engine import ResultCache, cache_key
+from repro.evaluation import monte_carlo_cr
+from repro.experiments import cached_run, run_experiment
+
+JOB_COUNTS = (1, 2, 4)
+
+#: Small enough to run three times per figure in a few seconds.
+SWEEP_PARAMS = {
+    "means": (10.0, 30.0, 120.0),
+    "vehicles_per_point": 6,
+    "stops_per_vehicle": 20,
+    "grid_size": 64,
+}
+
+
+def _comparable_payload(result) -> dict:
+    """The result payload minus wall-time measurements."""
+    payload = result.to_payload()
+    payload.pop("timings", None)
+    return payload
+
+
+@pytest.mark.parametrize("experiment_id", ["fig5", "fig6"])
+def test_sweeps_identical_across_worker_counts(experiment_id):
+    reference = None
+    for jobs in JOB_COUNTS:
+        result = run_experiment(experiment_id, jobs=jobs, **SWEEP_PARAMS)
+        payload = _comparable_payload(result)
+        if reference is None:
+            reference = payload
+        else:
+            assert payload == reference, f"jobs={jobs} diverged from serial"
+
+
+def test_monte_carlo_identical_across_worker_counts():
+    stops = np.random.default_rng(7).exponential(40.0, size=50)
+    samples = {}
+    for jobs in JOB_COUNTS:
+        estimate = monte_carlo_cr(
+            NRand(B_SSV), stops, repetitions=24, rng=np.random.default_rng(3), jobs=jobs
+        )
+        samples[jobs] = estimate.samples
+    assert np.array_equal(samples[1], samples[2])
+    assert np.array_equal(samples[1], samples[4])
+    # Randomized strategy: the draws must actually vary across repetitions.
+    assert np.std(samples[1]) > 0.0
+
+
+class TestResultCache:
+    def test_cached_run_skips_recomputation(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = cached_run("appc", cache=cache)
+        assert (cache.hits, cache.misses) == (0, 1)
+        second = cached_run("appc", cache=cache)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert _comparable_payload(first) == _comparable_payload(second)
+        # A cache hit replays the stored run verbatim, timings included.
+        assert second.to_payload() == first.to_payload()
+
+    def test_hit_payload_is_byte_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = run_experiment("appc")
+        key = cache_key("appc", {})
+        stored = cache.put(key, result.to_payload())
+        assert cache.get_bytes(key) == stored
+        assert cache.get_bytes(key) == stored  # stable across reads
+
+    def test_jobs_excluded_from_cache_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cached_run("appc", cache=cache, jobs=1)
+        cached_run("appc", cache=cache, jobs=4)
+        assert cache.hits == 1  # the jobs=4 call was served by the jobs=1 entry
+
+    def test_no_cache_bypasses_store(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cached_run("appc", cache=cache, use_cache=False)
+        assert (cache.hits, cache.misses) == (0, 0)
+        assert cache.entries() == []
+
+    def test_clear_empties_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cached_run("appc", cache=cache)
+        assert len(cache.entries()) == 1
+        assert cache.clear() == 1
+        assert cache.entries() == []
+        assert cache.size_bytes() == 0

@@ -1,0 +1,129 @@
+"""Property tests for the parallel engine (ParallelMap + seed fan-out).
+
+Workers must behave like ``[fn(x) for x in items]`` in every observable
+way — ordering, exceptions — and the seed fan-out must never hand two
+tasks the same random stream.  Process-backed examples are capped at a
+handful of Hypothesis examples because each one forks a pool.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import (
+    ParallelMap,
+    ParallelTaskError,
+    get_default_jobs,
+    parallel_map,
+    spawn_rngs,
+    spawn_seeds,
+)
+from repro.engine.parallel import JOBS_ENV_VAR
+from repro.errors import InvalidParameterError
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _explode_on_negative(x: int) -> int:
+    if x < 0:
+        raise ValueError(f"poison value {x}")
+    return x
+
+
+class TestOrderPreservation:
+    @given(items=st.lists(st.integers(min_value=-10**6, max_value=10**6)))
+    def test_serial_matches_comprehension(self, items):
+        assert ParallelMap(1).map(_square, items) == [_square(x) for x in items]
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        items=st.lists(
+            st.integers(min_value=-10**6, max_value=10**6), min_size=2, max_size=12
+        ),
+        jobs=st.sampled_from([2, 3, 4]),
+    )
+    def test_process_backend_matches_comprehension(self, items, jobs):
+        assert ParallelMap(jobs).map(_square, items) == [_square(x) for x in items]
+
+    def test_backend_selection(self):
+        assert ParallelMap(1).backend == "serial"
+        assert ParallelMap(4).backend == "process"
+
+
+class TestExceptionPropagation:
+    @settings(max_examples=6, deadline=None)
+    @given(
+        prefix=st.lists(st.integers(min_value=0, max_value=100), max_size=4),
+        suffix=st.lists(st.integers(min_value=0, max_value=100), max_size=4),
+    )
+    def test_original_exception_and_traceback_surface(self, prefix, suffix):
+        # The trailing healthy item keeps len(items) >= 2, which forces
+        # the process backend (single-task lists short-circuit to serial).
+        items = [*prefix, -1, *suffix, 7]
+        with pytest.raises(ValueError, match="poison value -1") as excinfo:
+            parallel_map(_explode_on_negative, items, jobs=2)
+        cause = excinfo.value.__cause__
+        assert isinstance(cause, ParallelTaskError)
+        assert cause.task_index == len(prefix)
+        # The worker's traceback (with the raising frame) rides along.
+        assert "_explode_on_negative" in cause.traceback_text
+
+    def test_serial_path_raises_plainly(self):
+        with pytest.raises(ValueError, match="poison value"):
+            parallel_map(_explode_on_negative, [1, -5], jobs=1)
+
+
+class TestSeedFanOut:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**63 - 1),
+        count=st.integers(min_value=1, max_value=64),
+    )
+    def test_children_never_collide(self, seed, count):
+        children = spawn_seeds(seed, count)
+        states = {tuple(child.generate_state(4)) for child in children}
+        assert len(states) == count
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**63 - 1),
+        count=st.integers(min_value=1, max_value=16),
+    )
+    def test_fan_out_is_deterministic(self, seed, count):
+        first = [rng.random() for rng in spawn_rngs(seed, count)]
+        second = [rng.random() for rng in spawn_rngs(seed, count)]
+        assert first == second
+
+    @given(seed=st.integers(min_value=0, max_value=2**63 - 1))
+    def test_rng_streams_differ_between_children(self, seed):
+        a, b = spawn_rngs(seed, 2)
+        assert a.random() != b.random()
+
+    def test_generator_root_is_consumed_not_copied(self):
+        # Spawning from a Generator advances its spawn state, so two
+        # fan-outs from the same generator must not repeat streams.
+        root = np.random.default_rng(0)
+        first = [rng.random() for rng in spawn_rngs(root, 2)]
+        second = [rng.random() for rng in spawn_rngs(root, 2)]
+        assert first != second
+
+
+class TestJobsResolution:
+    def test_env_var_sets_default(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "3")
+        assert get_default_jobs() == 3
+
+    def test_unset_defaults_to_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert get_default_jobs() == 1
+
+    @pytest.mark.parametrize("value", ["0", "-2", "two"])
+    def test_invalid_env_value_rejected(self, monkeypatch, value):
+        monkeypatch.setenv(JOBS_ENV_VAR, value)
+        with pytest.raises(InvalidParameterError):
+            get_default_jobs()
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ParallelMap(0)

@@ -1,0 +1,128 @@
+"""Golden regression tests for the committed ``results/`` artifacts.
+
+Two complementary layers:
+
+* **Stored-artifact pins** assert that key rows of the committed CSVs
+  match literals recorded here, so an accidental edit or a stale
+  regeneration of ``results/`` fails loudly.
+* **Fresh-run pins** regenerate the same artifacts from source with the
+  experiments' fixed default seeds (full size where cheap, ``--fast``
+  sizes where not) and assert the values, so a behavioural change in the
+  pipeline — generator, evaluator, seeding — fails even when nobody
+  touched ``results/``.
+
+If a change is *intentional* (e.g. a seeding or calibration change),
+regenerate ``results/`` via ``pytest benchmarks/ -q``, update the
+literals below from the new files, and update the numbers quoted in
+EXPERIMENTS.md and README.md in the same commit.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import run_experiment
+
+RESULTS = Path(__file__).resolve().parent.parent / "results"
+
+
+def _stored_lines(name: str) -> list[str]:
+    path = RESULTS / name
+    if not path.exists():
+        pytest.skip(f"{name} not present (results/ not generated)")
+    return path.read_text().splitlines()
+
+
+class TestStoredArtifacts:
+    """The committed CSVs contain the rows the docs quote."""
+
+    def test_fig1_grid_rows(self):
+        lines = _stored_lines("fig1_grid.csv")
+        assert lines[0] == "normalized_mu,q_b_plus,region,worst_case_cr"
+        assert lines[1] == "0.012195,0.012195,DET,1.5"
+        assert "0.5,0.256098,TOI,1.322581" in lines
+
+    def test_fig4_proposed_rows(self):
+        lines = _stored_lines("fig4_cr.csv")
+        expected = [
+            "28.0,atlanta,Proposed,1.4707,1.0913",
+            "28.0,california,Proposed,1.3822,1.0846",
+            "28.0,chicago,Proposed,1.5466,1.2728",
+            "47.0,atlanta,Proposed,1.582,1.2459",
+            "47.0,california,Proposed,1.516,1.2287",
+            "47.0,chicago,Proposed,1.582,1.3628",
+        ]
+        for row in expected:
+            assert row in lines
+
+    def test_table1_full_content(self):
+        assert _stored_lines("table1_stops_per_day.csv") == [
+            "location,vehicles,mean,std,p_within_2_sigma,mu_plus_2sigma",
+            "atlanta,653,10.21,8.34,0.9556,26.89",
+            "california,217,9.23,7.77,0.9539,24.77",
+            "chicago,312,11.73,9.22,0.9487,30.17",
+        ]
+
+    def test_appc_summary_full_content(self):
+        assert _stored_lines("appc_summary.csv") == [
+            "vehicle,idling_cost_cents_per_s,computed_B_s,paper_B_s,restart_cost_cents",
+            "SSV,0.0258,28.96,28.0,0.7473",
+            "conventional,0.0258,48.34,47.0,1.2473",
+        ]
+
+
+class TestFreshRuns:
+    """Regenerating the artifacts from source reproduces the pins."""
+
+    def test_fig1_full_size_matches_stored(self, tmp_path):
+        # Deterministic and sub-second even at the stored 81x81 size, so
+        # compare the regenerated CSVs to the committed ones byte for byte.
+        result = run_experiment("fig1", mu_points=81, q_points=81)
+        result.write_csvs(tmp_path)
+        for name in ("fig1_grid.csv", "fig1_region_fractions.csv"):
+            if not (RESULTS / name).exists():
+                pytest.skip(f"{name} not present")
+            assert (tmp_path / name).read_bytes() == (RESULTS / name).read_bytes()
+
+    def test_appc_matches_stored(self, tmp_path):
+        result = run_experiment("appc")
+        result.write_csvs(tmp_path)
+        for name in (
+            "appc_summary.csv",
+            "appc_components.csv",
+            "appc_emission_equivalents.csv",
+        ):
+            if not (RESULTS / name).exists():
+                pytest.skip(f"{name} not present")
+            assert (tmp_path / name).read_bytes() == (RESULTS / name).read_bytes()
+
+    def test_fig4_fast_run_pins(self):
+        result = run_experiment("fig4", vehicles_per_area=40)
+        proposed = [
+            row for row in result.table("cr").rows if row[2] == "Proposed"
+        ]
+        assert proposed == [
+            (28.0, "atlanta", "Proposed", 1.3159, 1.0939),
+            (28.0, "california", "Proposed", 1.3512, 1.1044),
+            (28.0, "chicago", "Proposed", 1.4763, 1.2745),
+            (47.0, "atlanta", "Proposed", 1.4509, 1.2441),
+            (47.0, "california", "Proposed", 1.4669, 1.2442),
+            (47.0, "chicago", "Proposed", 1.582, 1.3766),
+        ]
+        wins = {(row[0], row[1]): row[3] for row in result.table("win counts").rows}
+        assert wins == {
+            (28.0, "atlanta"): 40,
+            (28.0, "california"): 39,
+            (28.0, "chicago"): 38,
+            (47.0, "atlanta"): 38,
+            (47.0, "california"): 38,
+            (47.0, "chicago"): 34,
+        }
+
+    def test_table1_fast_run_pins(self):
+        result = run_experiment("table1", vehicles_per_area=60)
+        assert result.table("stops per day").rows == [
+            ("atlanta", 60, 11.34, 9.63, 0.9333, 30.59),
+            ("california", 60, 9.93, 7.86, 0.95, 25.65),
+            ("chicago", 60, 14.03, 10.65, 0.9333, 35.33),
+        ]
