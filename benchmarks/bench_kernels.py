@@ -1,0 +1,208 @@
+"""Benchmark: batched analytic kernels vs the scalar reference path.
+
+Four ops, each measured against its scalar counterpart in the same run
+(same machine, same process) and checked for numerical agreement before
+any timing is reported:
+
+* ``fleet_eval`` — the Figure 4 per-vehicle path: prefix-sum
+  :class:`~repro.evaluation.batch.StrategyPlan` vs six strategy objects
+  + ``empirical_cr`` scans (target >= 5x);
+* ``bootstrap`` — the vectorised index-matrix bootstrap vs the
+  per-replicate resampling loop at ``n_bootstrap=200`` (target >= 20x);
+* ``continuous_quadrature`` — the cached Gauss-Legendre
+  ``expected_cost_vec`` vs per-element adaptive ``integrate.quad``;
+* ``draw_thresholds`` — one batched inverse-CDF call vs a scalar draw
+  loop.
+
+Agreement failures always fail the test (1e-9, the kernel contract).
+Speedup floors are asserted only in full mode; with ``REPRO_BENCH_QUICK``
+set (CI smoke) the sizes shrink and perf numbers are informational.
+The module writes ``results/BENCH_kernels.json`` on teardown — see
+``docs/performance.md`` for how to read it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import bootstrap_cr_samples, bootstrap_resample_indices
+from repro.core.randomized import NRand
+from repro.core.strategy import ContinuousRandomizedStrategy
+from repro.evaluation.competitive import (
+    STRATEGY_NAMES,
+    _evaluate_vehicle_scalar,
+    build_strategies,
+    evaluate_vehicle,
+)
+from repro.evaluation.montecarlo import bootstrap_cr_interval
+from repro.fleet import DEFAULT_SEED, load_fleets
+
+from .conftest import emit_bench_json
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+BREAK_EVEN = 28.0  # the paper's vehicle class 1
+_RECORDS: list[dict] = []
+
+
+@pytest.fixture(scope="module")
+def bench_records(results_dir):
+    yield _RECORDS
+    emit_bench_json(_RECORDS, results_dir)
+
+
+@pytest.fixture(scope="module")
+def fleet_vehicles():
+    per_area = 10 if QUICK else 40
+    fleets = load_fleets(seed=DEFAULT_SEED, vehicles_per_area=per_area, jobs=None)
+    return [vehicle for vehicles in fleets.values() for vehicle in vehicles]
+
+
+def _best_seconds(fn, rounds: int) -> float:
+    fn()  # warm-up (JIT-free, but primes caches and lazy imports)
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _record(op: str, n: int, kernel_s: float, scalar_s: float, diff: float) -> dict:
+    entry = {
+        "op": op,
+        "n": n,
+        "wall_time_s": kernel_s,
+        "scalar_wall_time_s": scalar_s,
+        "speedup": scalar_s / kernel_s,
+        "max_abs_diff": diff,
+    }
+    _RECORDS.append(entry)
+    return entry
+
+
+def test_fleet_evaluation_kernel(benchmark, bench_records, fleet_vehicles):
+    """Figure 4 fleet path: StrategyPlan kernels vs scalar strategy objects."""
+    kernel = lambda: [evaluate_vehicle(v, BREAK_EVEN) for v in fleet_vehicles]
+    scalar = lambda: [_evaluate_vehicle_scalar(v, BREAK_EVEN) for v in fleet_vehicles]
+
+    diff = 0.0
+    for k, s in zip(kernel(), scalar()):
+        assert k.best_strategy == s.best_strategy
+        assert k.selected_vertex == s.selected_vertex
+        for name in STRATEGY_NAMES:
+            diff = max(diff, abs(k.crs[name] - s.crs[name]))
+    assert diff < 1e-9, f"kernel/scalar CR disagreement: {diff}"
+
+    rounds = 1 if QUICK else 5
+    kernel_s = _best_seconds(kernel, rounds)
+    scalar_s = _best_seconds(scalar, rounds)
+    benchmark.pedantic(kernel, iterations=1, rounds=rounds)
+    entry = _record("fleet_eval", len(fleet_vehicles), kernel_s, scalar_s, diff)
+    if not QUICK:
+        assert entry["speedup"] >= 5.0, f"fleet_eval speedup {entry['speedup']:.2f}x < 5x"
+
+
+def test_bootstrap_kernel(benchmark, bench_records, fleet_vehicles):
+    """Vectorised bootstrap vs the per-replicate loop at n_bootstrap=200."""
+    stops = fleet_vehicles[0].stop_lengths
+    strategy = build_strategies(stops, BREAK_EVEN)["Proposed"]
+    n_bootstrap = 50 if QUICK else 200
+
+    # Agreement: the vectorised path must replay a same-stream index loop
+    # exactly (the documented rng.integers row-major stream).
+    indices = bootstrap_resample_indices(np.random.default_rng(11), n_bootstrap, stops.size)
+    vectorised = bootstrap_cr_samples(strategy, stops, indices, BREAK_EVEN)
+    loop_rng = np.random.default_rng(11)
+    reference = []
+    for _ in range(n_bootstrap):
+        resampled = stops[loop_rng.integers(0, stops.size, size=stops.size)]
+        offline = float(np.minimum(resampled, BREAK_EVEN).sum())
+        if offline > 0.0:
+            reference.append(float(strategy.expected_cost_vec(resampled).sum()) / offline)
+    diff = float(np.abs(vectorised - np.asarray(reference)).max())
+    assert diff < 1e-9, f"bootstrap kernel/loop disagreement: {diff}"
+
+    kernel = lambda: bootstrap_cr_interval(
+        strategy, stops, np.random.default_rng(11), n_bootstrap=n_bootstrap
+    )
+    scalar = lambda: bootstrap_cr_interval(
+        strategy, stops, np.random.default_rng(11), n_bootstrap=n_bootstrap,
+        use_kernels=False,
+    )
+    rounds = 1 if QUICK else 5
+    kernel_s = _best_seconds(kernel, rounds)
+    scalar_s = _best_seconds(scalar, rounds)
+    benchmark.pedantic(kernel, iterations=1, rounds=rounds)
+    entry = _record("bootstrap", n_bootstrap, kernel_s, scalar_s, diff)
+    if not QUICK:
+        assert entry["speedup"] >= 20.0, f"bootstrap speedup {entry['speedup']:.2f}x < 20x"
+
+
+class _PdfOnlyUniform(ContinuousRandomizedStrategy):
+    """A uniform-density strategy with no closed-form expected cost.
+
+    Supplies ``pdf_vec`` (the kernel-layer contract for perf-sensitive
+    densities) so the Gauss-Legendre path evaluates the whole node grid
+    in one vectorised call; ``expected_cost`` still goes through
+    per-element adaptive quadrature, which is what the benchmark
+    compares against.
+    """
+
+    name = "uniform-threshold"
+
+    def pdf(self, threshold: float) -> float:
+        t = float(threshold)
+        return 1.0 / self.break_even if 0.0 <= t <= self.break_even else 0.0
+
+    def pdf_vec(self, thresholds: np.ndarray) -> np.ndarray:
+        t = np.asarray(thresholds, dtype=float)
+        inside = (t >= 0.0) & (t <= self.break_even)
+        return np.where(inside, 1.0 / self.break_even, 0.0)
+
+
+def test_continuous_quadrature_kernel(benchmark, bench_records):
+    """Cached Gauss-Legendre expected_cost_vec vs per-element quad."""
+    strategy = _PdfOnlyUniform(BREAK_EVEN)
+    count = 50 if QUICK else 200
+    stops = np.linspace(0.0, 2.0 * BREAK_EVEN, count)
+
+    vectorised = strategy.expected_cost_vec(stops)
+    scalar_values = np.array([strategy.expected_cost(y) for y in stops])
+    diff = float(np.abs(vectorised - scalar_values).max())
+    assert diff < 1e-9, f"quadrature kernel/scalar disagreement: {diff}"
+
+    kernel = lambda: strategy.expected_cost_vec(stops)
+    scalar = lambda: np.array([strategy.expected_cost(y) for y in stops])
+    rounds = 1 if QUICK else 5
+    kernel_s = _best_seconds(kernel, rounds)
+    scalar_s = _best_seconds(scalar, rounds)
+    benchmark.pedantic(kernel, iterations=1, rounds=rounds)
+    _record("continuous_quadrature", count, kernel_s, scalar_s, diff)
+
+
+def test_draw_thresholds_kernel(benchmark, bench_records):
+    """Batched inverse-CDF sampling vs the scalar draw loop (same stream)."""
+    strategy = NRand(BREAK_EVEN)
+    count = 1_000 if QUICK else 10_000
+
+    batched = strategy.draw_thresholds(count, np.random.default_rng(5))
+    loop_rng = np.random.default_rng(5)
+    loop = np.array([strategy.draw_threshold(loop_rng) for _ in range(count)])
+    diff = float(np.abs(batched - loop).max())
+    assert diff < 1e-9, f"draw_thresholds batched/loop disagreement: {diff}"
+
+    kernel = lambda: strategy.draw_thresholds(count, np.random.default_rng(5))
+
+    def scalar():
+        rng = np.random.default_rng(5)
+        return np.array([strategy.draw_threshold(rng) for _ in range(count)])
+
+    rounds = 1 if QUICK else 5
+    kernel_s = _best_seconds(kernel, rounds)
+    scalar_s = _best_seconds(scalar, rounds)
+    benchmark.pedantic(kernel, iterations=1, rounds=rounds)
+    _record("draw_thresholds", count, kernel_s, scalar_s, diff)

@@ -4,8 +4,18 @@ Each benchmark regenerates one paper artifact (timed with
 pytest-benchmark) and writes the reproduced tables to ``results/`` at the
 repository root, so the rows the paper reports are inspectable after a
 ``pytest benchmarks/ --benchmark-only`` run.
+
+``emit_bench_json`` additionally writes the machine-readable perf
+trajectory (``BENCH_*.json``): op name, problem size, wall time, speedup
+versus the scalar reference path measured in the same run, and the git
+SHA the numbers were taken at — so every PR has a comparable baseline.
 """
 
+from __future__ import annotations
+
+import json
+import os
+import subprocess
 from pathlib import Path
 
 import pytest
@@ -28,3 +38,40 @@ def emit(result, results_dir: Path) -> None:
     result.write_csvs(results_dir)
     report_path = results_dir / f"{result.experiment_id}_report.txt"
     report_path.write_text(result.to_ascii(include_timings=False) + "\n")
+
+
+def _git_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=10,
+        ).stdout.strip()
+    except Exception:  # detached tarballs, missing git, ...
+        return "unknown"
+
+
+def emit_bench_json(
+    records: list[dict], results_dir: Path, filename: str = "BENCH_kernels.json"
+) -> Path:
+    """Write the perf-trajectory JSON for a benchmark module.
+
+    ``records`` entries carry ``op`` (kernel name), ``n`` (problem
+    size), ``wall_time_s`` / ``scalar_wall_time_s`` (best-of-rounds
+    seconds for the kernel and the scalar reference measured in the
+    same run), ``speedup`` and ``max_abs_diff`` (the kernel-vs-scalar
+    agreement actually observed).  Layout is stable so files from
+    successive PRs can be diffed mechanically.
+    """
+    payload = {
+        "schema": "repro-bench-v1",
+        "git_sha": _git_sha(),
+        "quick_mode": bool(os.environ.get("REPRO_BENCH_QUICK")),
+        "benchmarks": sorted(records, key=lambda record: record["op"]),
+    }
+    path = results_dir / filename
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path

@@ -39,6 +39,15 @@ from .costs import (
     online_cost,
     online_cost_vec,
 )
+from .kernels import (
+    PrefixSumSample,
+    bootstrap_cr_samples,
+    bootstrap_resample_indices,
+    empirical_cr_kernel,
+    gauss_legendre_rule,
+    quantile_pair,
+    strategy_cost,
+)
 from .deterministic import (
     BDet,
     Deterministic,
@@ -155,6 +164,14 @@ __all__ = [
     "worst_case_expected_cost",
     "worst_case_cr",
     "worst_case_cr_prime",
+    # batched kernels
+    "PrefixSumSample",
+    "strategy_cost",
+    "empirical_cr_kernel",
+    "bootstrap_resample_indices",
+    "bootstrap_cr_samples",
+    "gauss_legendre_rule",
+    "quantile_pair",
     # regions
     "RegionGrid",
     "compute_region_grid",

@@ -93,6 +93,12 @@ def expected_online_cost(
         if math.isinf(x):  # NEV: always pay the full stop
             return distribution.mean()
         return distribution.partial_expectation(x) + distribution.survival(x) * (x + b)
+    if isinstance(distribution, EmpiricalDistribution):
+        # Closed forms on the cached prefix sums (one binary search per
+        # threshold) instead of a per-value expected_cost_vec scan.
+        from .kernels import strategy_cost
+
+        return strategy_cost(distribution.prefix_sample, strategy)
     atoms = _atoms_of(distribution)
     if atoms is not None:
         values, probabilities = atoms

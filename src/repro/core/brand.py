@@ -96,6 +96,23 @@ class BRand(ContinuousRandomizedStrategy):
             u * math.expm1(self.beta / self.break_even)
         )
 
+    def pdf_vec(self, thresholds: np.ndarray) -> np.ndarray:
+        x = np.asarray(thresholds, dtype=float)
+        inside = (x >= 0.0) & (x <= self.beta)
+        return np.where(
+            inside,
+            self._c * np.exp(np.clip(x, 0.0, self.beta) / self.break_even),
+            0.0,
+        )
+
+    def inverse_cdf_vec(self, quantiles: np.ndarray) -> np.ndarray:
+        u = np.asarray(quantiles, dtype=float)
+        if np.any(~np.isfinite(u)) or np.any((u < 0.0) | (u > 1.0)):
+            raise InvalidParameterError("quantiles must lie in [0, 1]")
+        return self.break_even * np.log1p(
+            u * math.expm1(self.beta / self.break_even)
+        )
+
     def partial_cost_integral(self, stop_length: float) -> float:
         # ∫₀^y (x + B) c e^{x/B} dx = c B y e^{y/B}  (same primitive as N-Rand).
         y = min(float(stop_length), self.beta)

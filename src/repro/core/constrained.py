@@ -69,7 +69,7 @@ __all__ = [
 #: the BDet strategy requires a strictly positive threshold.  The cost of
 #: b-DET at threshold ``b`` is ``(b + B) q⁺`` there, so any tiny positive
 #: value approaches the Eq. (35) infimum ``q⁺ B``.
-_DEGENERATE_B_FRACTION = 1e-9
+DEGENERATE_B_FRACTION = 1e-9
 
 #: Fixed tie-breaking order when several vertices share the minimal
 #: worst-case cost (e.g. on region boundaries of Figure 1(a)).  Simpler /
@@ -190,7 +190,7 @@ class ConstrainedSkiRentalSolver:
                 else:
                     candidate = optimal_b(stats)
                 if candidate <= 0.0:  # mu- == 0 or subnormal underflow
-                    parameters["b"] = _DEGENERATE_B_FRACTION * stats.break_even
+                    parameters["b"] = DEGENERATE_B_FRACTION * stats.break_even
                     parameters["degenerate"] = True
                 else:
                     parameters["b"] = candidate
@@ -259,6 +259,9 @@ class ProposedOnline(Strategy):
 
     def draw_threshold(self, rng: np.random.Generator) -> float:
         return self._delegate.draw_threshold(rng)
+
+    def draw_thresholds(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        return self._delegate.draw_thresholds(count, rng)
 
     def expected_cost(self, stop_length: float) -> float:
         return self._delegate.expected_cost(stop_length)

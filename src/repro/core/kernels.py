@@ -1,0 +1,308 @@
+"""Batched analytic-evaluation kernels: sort-once prefix-sum algebra.
+
+The fleet evaluation layer asks the same two questions about an empirical
+stop sample over and over: *what is the probability mass at or above a
+threshold* (``survival``) and *what do the stops below a threshold sum
+to* (``partial_expectation``).  The scalar path answers them with one
+:math:`O(n)` numpy scan per (strategy, threshold) pair — six strategies,
+thousands of vehicles.  This module answers them for **all** thresholds
+of all strategies from a single ``np.sort`` + ``np.cumsum`` per vehicle:
+
+* :class:`PrefixSumSample` — a stop sample in sorted order with prefix
+  sums of the values and their squares; every moment query becomes one
+  ``np.searchsorted`` (:math:`O(\\log n)`) plus scalar arithmetic.
+* :func:`strategy_cost` — the exact mean per-stop expected online cost
+  of any :class:`~repro.core.strategy.Strategy` over the sample, via
+  closed forms on the prefix sums (deterministic thresholds, N-Rand,
+  MOM-Rand, b-Rand, mixed atoms) with a vectorised fallback.
+* :func:`empirical_cr_kernel` — the Figure 4 per-vehicle CR from the
+  same prefix sums.
+* :func:`bootstrap_resample_indices` / :func:`bootstrap_cr_samples` —
+  the vectorised bootstrap: per-stop expected costs are memoized on the
+  unique values of the base sample, so resampling is one
+  ``rng.integers`` call plus an index-gather and a matrix sum.
+* :func:`gauss_legendre_rule` — cached fixed-node quadrature backing
+  the vectorised ``expected_cost_vec`` of generic continuous strategies
+  (replacing per-call adaptive ``scipy.integrate.quad``).
+
+Validate-once convention
+------------------------
+Kernel inputs are validated when a :class:`PrefixSumSample` is built
+(finite, non-negative, non-empty) and never again on the hot path; see
+``docs/performance.md``.  All kernels agree with the scalar path within
+1e-9 (enforced by ``tests/test_kernels.py`` and the benchmark gate).
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+import numpy as np
+
+from ..constants import E
+from ..errors import InvalidParameterError
+from .brand import BRand
+from .constrained import ProposedOnline
+from .randomized import MOMRand, NRand
+from .strategy import (
+    DeterministicThresholdStrategy,
+    MixedStrategy,
+    Strategy,
+)
+
+__all__ = [
+    "PrefixSumSample",
+    "strategy_cost",
+    "empirical_cr_kernel",
+    "bootstrap_resample_indices",
+    "bootstrap_cr_samples",
+    "gauss_legendre_rule",
+    "quantile_pair",
+]
+
+
+@lru_cache(maxsize=32)
+def gauss_legendre_rule(order: int = 96) -> tuple[np.ndarray, np.ndarray]:
+    """Gauss–Legendre nodes and weights mapped to ``[0, 1]``, cached.
+
+    A fixed-node rule of this order integrates the smooth threshold
+    densities of the strategy layer to well below the 1e-9 agreement
+    tolerance, and — unlike adaptive ``integrate.quad`` — evaluates the
+    integrand as one vectorised call.
+    """
+    if order < 2:
+        raise InvalidParameterError(f"quadrature order must be >= 2, got {order}")
+    nodes, weights = np.polynomial.legendre.leggauss(order)
+    nodes = 0.5 * (nodes + 1.0)
+    weights = 0.5 * weights
+    nodes.setflags(write=False)
+    weights.setflags(write=False)
+    return nodes, weights
+
+
+class PrefixSumSample:
+    """An empirical stop sample prepared for prefix-sum moment queries.
+
+    One ``np.sort`` and two (lazy) ``np.cumsum`` calls at construction;
+    afterwards every ``partial_expectation`` / ``survival`` /
+    ``expected_min`` query costs one binary search.  Queries accept
+    scalars or arrays of thresholds.
+    """
+
+    __slots__ = ("values", "_prefix", "_prefix_sq")
+
+    def __init__(self, stop_lengths, presorted: bool = False) -> None:
+        y = np.asarray(stop_lengths, dtype=float).ravel()
+        if y.size == 0:
+            raise InvalidParameterError("cannot build a kernel sample from zero stops")
+        values = y if presorted else np.sort(y)
+        prefix = np.empty(y.size + 1)
+        prefix[0] = 0.0
+        np.cumsum(values, out=prefix[1:])
+        # Single-pass validation off the prefix we need anyway: NaN/inf
+        # propagate into the final cumsum entry, negatives sort first
+        # (``presorted`` asserts ascending order).
+        if values[0] < 0.0 or not math.isfinite(prefix[-1]):
+            raise InvalidParameterError(
+                "stop lengths must be non-negative and finite"
+            )
+        self.values = values
+        self._prefix = prefix
+        self._prefix_sq = None  # lazily built; only MOM-Rand's regime needs it
+
+    @property
+    def size(self) -> int:
+        return self.values.size
+
+    def mean(self) -> float:
+        """Sample mean ``E[y]``."""
+        return float(self._prefix[-1] / self.values.size)
+
+    def _count_below(self, threshold) -> np.ndarray:
+        """How many sample values are strictly below each threshold."""
+        return self.values.searchsorted(threshold, side="left")
+
+    def partial_expectation(self, threshold):
+        """``E[y · 1{y < x}]`` — the mass-weighted short-stop mean (Eq. 10
+        when ``x = B``).  Scalar in, scalar out; array in, array out."""
+        idx = self._count_below(threshold)
+        return self._prefix[idx] / self.values.size
+
+    def square_prefix(self) -> np.ndarray:
+        """The (lazily built) prefix sums of the squared values."""
+        if self._prefix_sq is None:
+            prefix_sq = np.empty(self.values.size + 1)
+            prefix_sq[0] = 0.0
+            np.cumsum(self.values * self.values, out=prefix_sq[1:])
+            self._prefix_sq = prefix_sq
+        return self._prefix_sq
+
+    def partial_square_expectation(self, threshold):
+        """``E[y² · 1{y < x}]`` from the squared prefix."""
+        idx = self._count_below(threshold)
+        return self.square_prefix()[idx] / self.values.size
+
+    def survival(self, threshold):
+        """``P{y >= x}`` — the closed event, matching Eq. (11)."""
+        idx = self._count_below(threshold)
+        return (self.values.size - idx) / self.values.size
+
+    def expected_min(self, cap):
+        """``E[min(y, c)] = E[y·1{y<c}] + c·P{y>=c}`` — the offline cost
+        when ``c = B`` (Eq. 2)."""
+        idx = self._count_below(cap)
+        n = self.values.size
+        return self._prefix[idx] / n + cap * (n - idx) / n
+
+    def expected_min_square(self, cap):
+        """``E[min(y, c)²]`` — MOM-Rand's second-moment term."""
+        return self.partial_square_expectation(cap) + cap * cap * self.survival(cap)
+
+    def deterministic_cost(self, threshold: float, break_even: float) -> float:
+        """Mean expected cost of a fixed-threshold strategy over the
+        sample: ``E[y·1{y<x}] + (x + B)·P{y>=x}`` (``E[y]`` for NEV)."""
+        if math.isinf(threshold):
+            return self.mean()
+        idx = int(self._count_below(threshold))
+        n = self.values.size
+        return float(
+            self._prefix[idx] / n + (threshold + break_even) * (n - idx) / n
+        )
+
+    def offline_cost(self, break_even: float) -> float:
+        """Mean clairvoyant cost ``E[min(y, B)]`` (Eq. 2)."""
+        return float(self.expected_min(break_even))
+
+
+def strategy_cost(sample: PrefixSumSample, strategy: Strategy) -> float:
+    """Mean per-stop expected online cost of ``strategy`` over ``sample``.
+
+    Exact closed forms on the prefix sums for every strategy family of
+    the paper (and b-Rand); arbitrary strategies fall back to one
+    vectorised ``expected_cost_vec`` scan, which is still correct and
+    never slower than the scalar path.
+    """
+    b = strategy.break_even
+    if isinstance(strategy, ProposedOnline):
+        return strategy_cost(sample, strategy.delegate)
+    if isinstance(strategy, DeterministicThresholdStrategy):
+        return sample.deterministic_cost(strategy.threshold, b)
+    if isinstance(strategy, MOMRand):
+        if strategy.uses_revised_pdf:
+            # E[yc + yc²/(2B(e-2))] with yc = min(y, B).
+            return float(
+                sample.expected_min(b)
+                + sample.expected_min_square(b) / (2.0 * b * (E - 2.0))
+            )
+        return E / (E - 1.0) * sample.offline_cost(b)
+    if isinstance(strategy, NRand):
+        # N-Rand's per-stop cost is exactly e/(e-1) times the offline cost.
+        return E / (E - 1.0) * sample.offline_cost(b)
+    if isinstance(strategy, BRand):
+        # Cost is (1 + cB)·y below the truncation and continuous at it, so
+        # E[cost] = (1 + cB)·E[min(y, beta)] with cB = 1/(e^{beta/B} - 1).
+        cb = 1.0 / math.expm1(strategy.beta / b)
+        return float((1.0 + cb) * sample.expected_min(strategy.beta))
+    if isinstance(strategy, MixedStrategy):
+        cost = 0.0
+        for atom in strategy.atoms:
+            cost += atom.mass * sample.deterministic_cost(atom.location, b)
+        if strategy.continuous is not None and strategy.continuous_weight > 0.0:
+            cost += strategy.continuous_weight * strategy_cost(
+                sample, strategy.continuous
+            )
+        return cost
+    return float(strategy.expected_cost_vec(sample.values).mean())
+
+
+def empirical_cr_kernel(
+    sample: PrefixSumSample, strategy: Strategy, break_even: float | None = None
+) -> float:
+    """Per-vehicle CR (the Figure 4 quantity) from prefix sums: mean
+    expected online cost over mean offline cost."""
+    b = break_even if break_even is not None else strategy.break_even
+    offline = sample.offline_cost(b)
+    if offline <= 0.0:
+        raise InvalidParameterError("offline cost is zero over the sample; CR undefined")
+    return strategy_cost(sample, strategy) / offline
+
+
+def bootstrap_resample_indices(
+    rng: np.random.Generator, n_bootstrap: int, size: int
+) -> np.ndarray:
+    """The vectorised bootstrap's index matrix: one ``rng.integers`` call
+    drawing ``(n_bootstrap, size)`` positions with replacement.
+
+    RNG stream note: this consumes the generator exactly as
+    ``n_bootstrap`` successive ``rng.integers(0, size, size=size)`` calls
+    would (row-major fill), which is the loop reference the property
+    tests replay — but it is a **different stream** from the pre-kernel
+    implementation that used ``rng.choice`` per replicate.
+    """
+    if n_bootstrap <= 1:
+        raise InvalidParameterError(f"n_bootstrap must be >= 2, got {n_bootstrap}")
+    if size <= 0:
+        raise InvalidParameterError(f"sample size must be >= 1, got {size}")
+    return rng.integers(0, size, size=(n_bootstrap, size))
+
+
+def bootstrap_cr_samples(
+    strategy: Strategy,
+    stop_lengths: np.ndarray,
+    indices: np.ndarray,
+    break_even: float | None = None,
+) -> np.ndarray:
+    """Bootstrap-resampled expected CRs, fully vectorised.
+
+    The per-stop expected online cost depends only on the stop's value,
+    so it is evaluated **once** on the unique values of the base sample
+    and gathered per replicate; each replicate's online/offline totals
+    are then one matrix sum.  Replicates whose offline cost is zero are
+    dropped (mirroring the scalar loop).
+    """
+    y = np.asarray(stop_lengths, dtype=float).ravel()
+    if y.size == 0:
+        raise InvalidParameterError("cannot bootstrap zero stops")
+    b = break_even if break_even is not None else strategy.break_even
+    unique_values, inverse = np.unique(y, return_inverse=True)
+    online_per_stop = strategy.expected_cost_vec(unique_values)[inverse]
+    offline_per_stop = np.minimum(y, b)
+    online = online_per_stop[indices].sum(axis=1)
+    offline = offline_per_stop[indices].sum(axis=1)
+    valid = offline > 0.0
+    if not np.any(valid):
+        raise InvalidParameterError("all bootstrap resamples had zero offline cost")
+    return online[valid] / offline[valid]
+
+
+def quantile_pair(values: np.ndarray, lower: float, upper: float) -> tuple[float, float]:
+    """Two linear-interpolation quantiles from one sort.
+
+    Bit-identical to ``np.quantile(values, q)`` with the default
+    ``"linear"`` method (same floor index and same branch of the
+    interpolation formula), but a single ``np.sort`` plus two scalar
+    interpolations instead of two full quantile dispatches — the
+    dominant fixed cost of a bootstrap interval once the resample sums
+    themselves are vectorised.
+    """
+    y = np.asarray(values, dtype=float).ravel()
+    if y.size == 0:
+        raise InvalidParameterError("cannot take quantiles of an empty sample")
+    for q in (lower, upper):
+        if not 0.0 <= q <= 1.0:
+            raise InvalidParameterError(f"quantiles must lie in [0, 1], got {q!r}")
+    ordered = np.sort(y)
+    last = ordered.size - 1
+    out = []
+    for q in (lower, upper):
+        position = q * last
+        idx = int(position)
+        frac = position - idx
+        lo = ordered[idx]
+        hi = ordered[idx + 1] if idx < last else ordered[idx]
+        delta = hi - lo
+        # np.quantile's lerp switches formulas at 0.5 for accuracy;
+        # mirroring it keeps the pair bitwise equal to two np.quantile calls.
+        out.append(float(hi - delta * (1.0 - frac)) if frac >= 0.5 else float(lo + delta * frac))
+    return out[0], out[1]

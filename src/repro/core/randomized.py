@@ -71,6 +71,20 @@ class NRand(ContinuousRandomizedStrategy):
             raise InvalidParameterError(f"quantile must lie in [0, 1], got {quantile!r}")
         return self.break_even * math.log1p(u * (E - 1.0))
 
+    def pdf_vec(self, thresholds: np.ndarray) -> np.ndarray:
+        x = np.asarray(thresholds, dtype=float)
+        b = self.break_even
+        inside = (x >= 0.0) & (x <= b)
+        return np.where(
+            inside, np.exp(np.clip(x, 0.0, b) / b) / (b * (E - 1.0)), 0.0
+        )
+
+    def inverse_cdf_vec(self, quantiles: np.ndarray) -> np.ndarray:
+        u = np.asarray(quantiles, dtype=float)
+        if np.any(~np.isfinite(u)) or np.any((u < 0.0) | (u > 1.0)):
+            raise InvalidParameterError("quantiles must lie in [0, 1]")
+        return self.break_even * np.log1p(u * (E - 1.0))
+
     def partial_cost_integral(self, stop_length: float) -> float:
         y = min(float(stop_length), self.break_even)
         if y <= 0.0:
@@ -162,6 +176,21 @@ class MOMRand(ContinuousRandomizedStrategy):
         if not 0.0 <= x <= b:
             return 0.0
         return (math.exp(x / b) - 1.0) / (b * (E - 2.0))
+
+    def pdf_vec(self, thresholds: np.ndarray) -> np.ndarray:
+        if self._fallback is not None:
+            return self._fallback.pdf_vec(thresholds)
+        x = np.asarray(thresholds, dtype=float)
+        b = self.break_even
+        inside = (x >= 0.0) & (x <= b)
+        return np.where(
+            inside, np.expm1(np.clip(x, 0.0, b) / b) / (b * (E - 2.0)), 0.0
+        )
+
+    def inverse_cdf_vec(self, quantiles: np.ndarray) -> np.ndarray:
+        if self._fallback is not None:
+            return self._fallback.inverse_cdf_vec(quantiles)
+        return super().inverse_cdf_vec(quantiles)
 
     def cdf(self, threshold: float) -> float:
         if self._fallback is not None:

@@ -31,11 +31,23 @@ class EmpiricalDistribution(StopLengthDistribution):
             raise InvalidDistributionError("stop lengths must be non-negative and finite")
         self.stop_lengths = np.sort(y)
         self.name = name
+        self._prefix_sample = None
 
     @property
     def count(self) -> int:
         """Number of observed stops."""
         return int(self.stop_lengths.size)
+
+    @property
+    def prefix_sample(self):
+        """The sample as a cached
+        :class:`~repro.core.kernels.PrefixSumSample` (values already
+        sorted, so construction skips the sort)."""
+        if self._prefix_sample is None:
+            from ..core.kernels import PrefixSumSample
+
+            self._prefix_sample = PrefixSumSample(self.stop_lengths, presorted=True)
+        return self._prefix_sample
 
     def cdf(self, stop_length: float) -> float:
         return float(

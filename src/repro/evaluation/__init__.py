@@ -1,6 +1,7 @@
 """Competitive-analysis harness: fleet evaluation, traffic sweeps and
 Monte-Carlo estimators."""
 
+from .batch import StrategyPlan, fleet_cr_matrix, select_vertex
 from .competitive import (
     STRATEGY_NAMES,
     FleetEvaluation,
@@ -28,6 +29,9 @@ from .variance import CostMoments, risk_report, weekly_cost_moments
 
 __all__ = [
     "STRATEGY_NAMES",
+    "StrategyPlan",
+    "select_vertex",
+    "fleet_cr_matrix",
     "build_strategies",
     "VehicleEvaluation",
     "FleetEvaluation",

@@ -1,0 +1,186 @@
+"""Batched fleet-CR evaluation on prefix-sum kernels.
+
+The scalar Figure 4 path instantiates six strategy objects per vehicle
+and runs one :func:`~repro.core.analysis.empirical_cr` scan per
+strategy.  This module collapses that to a :class:`StrategyPlan` — the
+handful of scalars that determine every strategy's CR on a sample — and
+evaluates all six from one :class:`~repro.core.kernels.PrefixSumSample`:
+a single sort, one (lazy) pair of prefix sums, and a few binary
+searches per vehicle.
+
+The plan/sample split also gives the out-of-sample protocol for free:
+build the plan on a training prefix, evaluate ``crs_on`` a test-suffix
+sample (see :mod:`repro.evaluation.holdout`).
+
+Exact-tie discipline
+--------------------
+``crs_on`` computes the Proposed strategy's CR by re-using the *same*
+closed form (and the same floats) as the vertex it delegates to, so the
+exact CR ties the scalar path produces (Proposed == its vertex, MOM-Rand
+== N-Rand in the fallback regime) are preserved bit-for-bit — win counts
+are unchanged.  The lean vertex selector mirrors
+:class:`~repro.core.constrained.ConstrainedSkiRentalSolver` (same costs,
+same tie order, same degenerate corners); ``tests/test_kernels.py``
+cross-checks them property-style.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import E
+from ..core.constrained import (
+    DEGENERATE_B_FRACTION,
+    worst_case_cost_bdet,
+    worst_case_cost_det,
+    worst_case_cost_nrand,
+    worst_case_cost_toi,
+)
+from ..core.deterministic import optimal_b
+from ..core.kernels import PrefixSumSample
+from ..core.randomized import mom_rand_uses_revised_pdf
+from ..core.stats import StopStatistics
+from ..errors import InvalidParameterError
+
+__all__ = ["StrategyPlan", "select_vertex", "fleet_cr_matrix"]
+
+#: Vertex tie-break order of the constrained solver (simpler first).
+_VERTEX_TIE_ORDER = {"TOI": 0, "DET": 1, "b-DET": 2, "N-Rand": 3}
+
+
+def select_vertex(stats: StopStatistics) -> tuple[str, float | None]:
+    """The constrained solver's vertex choice, without object overhead.
+
+    Returns ``(vertex_name, b_star)`` where ``b_star`` is the b-DET
+    threshold when that vertex wins (``None`` otherwise).  Mirrors
+    :meth:`~repro.core.constrained.ConstrainedSkiRentalSolver.select`:
+    same four costs, same TOI < DET < b-DET < N-Rand tie order, same
+    degenerate ``mu_B_minus == 0`` corner.
+    """
+    if stats.expected_offline_cost <= 0.0:
+        raise InvalidParameterError(
+            "degenerate statistics: expected offline cost is zero "
+            "(every stop has zero length); competitive ratios are undefined"
+        )
+    costs = (
+        ("TOI", worst_case_cost_toi(stats)),
+        ("DET", worst_case_cost_det(stats)),
+        ("b-DET", worst_case_cost_bdet(stats)),
+        ("N-Rand", worst_case_cost_nrand(stats)),
+    )
+    name, _ = min(costs, key=lambda item: (item[1], _VERTEX_TIE_ORDER[item[0]]))
+    if name != "b-DET":
+        return name, None
+    if stats.mu_b_minus == 0.0:
+        return name, DEGENERATE_B_FRACTION * stats.break_even
+    candidate = optimal_b(stats)
+    if candidate <= 0.0:  # subnormal underflow corner
+        return name, DEGENERATE_B_FRACTION * stats.break_even
+    return name, candidate
+
+
+@dataclass(frozen=True)
+class StrategyPlan:
+    """Everything the six Figure 4 strategies need, as plain scalars.
+
+    Built once per vehicle from a (training) sample; ``crs_on`` then
+    evaluates any number of (test) samples without touching strategy
+    objects.
+    """
+
+    break_even: float
+    stats: StopStatistics
+    selected_vertex: str
+    b_star: float | None
+    mom_mean: float
+    mom_revised: bool
+
+    @classmethod
+    def from_sample(cls, sample: PrefixSumSample, break_even: float) -> "StrategyPlan":
+        """Estimate the plan from a prefix-sum sample (statistics come
+        straight off the prefix sums — one binary search, no scans)."""
+        n = sample.values.size
+        idx = sample.values.searchsorted(break_even, side="left")
+        stats = StopStatistics(
+            mu_b_minus=float(sample._prefix[idx] / n),
+            q_b_plus=float((n - idx) / n),
+            break_even=break_even,
+        )
+        vertex, b_star = select_vertex(stats)
+        mom_mean = sample.mean()
+        return cls(
+            break_even=stats.break_even,
+            stats=stats,
+            selected_vertex=vertex,
+            b_star=b_star,
+            mom_mean=mom_mean,
+            mom_revised=mom_rand_uses_revised_pdf(mom_mean, stats.break_even),
+        )
+
+    @classmethod
+    def from_stop_lengths(cls, stop_lengths, break_even: float) -> "StrategyPlan":
+        return cls.from_sample(PrefixSumSample(stop_lengths), break_even)
+
+    def crs_on(self, sample: PrefixSumSample) -> dict[str, float]:
+        """CR of all six strategies on a sample, from its prefix sums.
+
+        Keys match :data:`~repro.evaluation.competitive.STRATEGY_NAMES`.
+        One binary search at ``B`` serves every strategy (the b-DET
+        threshold, when selected, needs a second); the formulas are the
+        :class:`~repro.core.kernels.PrefixSumSample` method bodies
+        inlined so shared terms are computed once.
+        """
+        b = self.break_even
+        values = sample.values
+        n = values.size
+        prefix = sample._prefix
+        idx = values.searchsorted(b, side="left")
+        short = prefix[idx] / n            # partial_expectation(B)
+        long_frac = (n - idx) / n          # survival(B)
+        offline = float(short + b * long_frac)
+        if offline <= 0.0:
+            raise InvalidParameterError(
+                "offline cost is zero over the sample; CR undefined"
+            )
+        costs = {
+            # deterministic_cost(0, B): no value sorts below 0.
+            "TOI": float((0.0 + b) * n / n),
+            "NEV": float(prefix[-1] / n),
+            "DET": float(short + (b + b) * long_frac),
+            "N-Rand": E / (E - 1.0) * offline,
+        }
+        if self.mom_revised:
+            sq_short = sample.square_prefix()[idx] / n
+            costs["MOM-Rand"] = float(
+                offline + (sq_short + b * b * long_frac) / (2.0 * b * (E - 2.0))
+            )
+        else:
+            costs["MOM-Rand"] = costs["N-Rand"]
+        if self.selected_vertex == "b-DET":
+            costs["Proposed"] = sample.deterministic_cost(self.b_star, b)
+        else:
+            # Same float as the winning baseline: exact ties (and hence
+            # win counts) match the scalar path.
+            costs["Proposed"] = costs[self.selected_vertex]
+        return {name: cost / offline for name, cost in costs.items()}
+
+
+def fleet_cr_matrix(
+    stop_samples, break_even: float, strategy_names
+) -> np.ndarray:
+    """CR matrix ``(vehicles, strategies)`` for a fleet of stop arrays.
+
+    Convenience entry point for benchmarks and bulk analyses; the
+    orchestrated path lives in
+    :func:`repro.evaluation.competitive.evaluate_fleet`.
+    """
+    rows = np.empty((len(stop_samples), len(strategy_names)))
+    for i, stops in enumerate(stop_samples):
+        sample = PrefixSumSample(stops)
+        crs = StrategyPlan.from_sample(sample, break_even).crs_on(sample)
+        for j, name in enumerate(strategy_names):
+            rows[i, j] = crs[name]
+    return rows

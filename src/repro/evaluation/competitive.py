@@ -17,7 +17,7 @@ evaluates each strategy's expected CR on the vehicle's own stops
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import partial
+from functools import cached_property, partial
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -26,11 +26,13 @@ from ..core.analysis import empirical_cr
 from ..engine import ParallelMap
 from ..core.constrained import ProposedOnline
 from ..core.deterministic import Deterministic, NeverOff, TurnOffImmediately
+from ..core.kernels import PrefixSumSample
 from ..core.randomized import MOMRand, NRand
 from ..core.stats import StopStatistics
 from ..core.strategy import Strategy
 from ..errors import InvalidParameterError
 from ..fleet.generator import VehicleRecord
+from .batch import StrategyPlan
 
 __all__ = [
     "STRATEGY_NAMES",
@@ -84,9 +86,35 @@ class VehicleEvaluation:
 
 
 def evaluate_vehicle(
+    vehicle: VehicleRecord, break_even: float, use_kernels: bool = True
+) -> VehicleEvaluation:
+    """Evaluate the six strategies on one vehicle's stop sample.
+
+    The default path goes through the prefix-sum kernels
+    (:class:`~repro.evaluation.batch.StrategyPlan`): one sort per
+    vehicle, no strategy objects.  ``use_kernels=False`` takes the
+    original scalar path (six strategy objects, one
+    :func:`~repro.core.analysis.empirical_cr` scan each) — kept as the
+    reference implementation for tests and benchmarks; the two agree
+    within 1e-9 (``tests/test_kernels.py``).
+    """
+    if not use_kernels:
+        return _evaluate_vehicle_scalar(vehicle, break_even)
+    sample = PrefixSumSample(vehicle.stop_lengths)
+    plan = StrategyPlan.from_sample(sample, break_even)
+    return VehicleEvaluation(
+        vehicle_id=vehicle.vehicle_id,
+        area=vehicle.area,
+        stats=plan.stats,
+        crs=plan.crs_on(sample),
+        selected_vertex=plan.selected_vertex,
+    )
+
+
+def _evaluate_vehicle_scalar(
     vehicle: VehicleRecord, break_even: float
 ) -> VehicleEvaluation:
-    """Evaluate the six strategies on one vehicle's stop sample."""
+    """The pre-kernel scalar reference path (see :func:`evaluate_vehicle`)."""
     y = vehicle.stop_lengths
     strategies = build_strategies(y, break_even)
     crs = {
@@ -105,7 +133,12 @@ def evaluate_vehicle(
 
 @dataclass
 class FleetEvaluation:
-    """Aggregated CRs over a fleet of vehicles."""
+    """Aggregated CRs over a fleet of vehicles.
+
+    The per-strategy CR matrix is built once (``cached_property``) and
+    shared by every aggregate; ``evaluations`` is treated as immutable
+    after construction.
+    """
 
     evaluations: list[VehicleEvaluation]
 
@@ -117,12 +150,24 @@ class FleetEvaluation:
     def vehicle_count(self) -> int:
         return len(self.evaluations)
 
+    @cached_property
+    def cr_matrix(self) -> np.ndarray:
+        """Read-only CR matrix ``(vehicles, strategies)`` in
+        ``STRATEGY_NAMES`` column order."""
+        matrix = np.empty((len(self.evaluations), len(STRATEGY_NAMES)))
+        for i, evaluation in enumerate(self.evaluations):
+            crs = evaluation.crs
+            for j, name in enumerate(STRATEGY_NAMES):
+                matrix[i, j] = crs[name]
+        matrix.setflags(write=False)
+        return matrix
+
     def crs_of(self, strategy_name: str) -> np.ndarray:
         if strategy_name not in STRATEGY_NAMES:
             raise InvalidParameterError(
                 f"unknown strategy {strategy_name!r}; expected one of {STRATEGY_NAMES}"
             )
-        return np.array([e.crs[strategy_name] for e in self.evaluations])
+        return self.cr_matrix[:, STRATEGY_NAMES.index(strategy_name)]
 
     def worst_cr(self, strategy_name: str) -> float:
         """The largest CR over vehicles — Figure 4's 'worst case CR'."""
@@ -133,11 +178,15 @@ class FleetEvaluation:
         return float(self.crs_of(strategy_name).mean())
 
     def win_counts(self) -> dict[str, int]:
-        """How many vehicles each strategy is best on."""
-        counts = {name: 0 for name in STRATEGY_NAMES}
-        for evaluation in self.evaluations:
-            counts[evaluation.best_strategy] += 1
-        return counts
+        """How many vehicles each strategy is best on.
+
+        ``argmin`` returns the first minimizing column, which in display
+        order is exactly the tie rule of
+        :attr:`VehicleEvaluation.best_strategy`.
+        """
+        best = np.argmin(self.cr_matrix, axis=1)
+        counts = np.bincount(best, minlength=len(STRATEGY_NAMES))
+        return {name: int(counts[j]) for j, name in enumerate(STRATEGY_NAMES)}
 
     def vertex_selection_counts(self) -> dict[str, int]:
         """Which vertex the proposed selector picked, per vehicle."""
@@ -164,6 +213,7 @@ def evaluate_fleet(
     vehicles: Sequence[VehicleRecord] | Iterable[VehicleRecord],
     break_even: float,
     jobs: int | None = None,
+    use_kernels: bool = True,
 ) -> FleetEvaluation:
     """Evaluate every vehicle in a fleet (one area, one ``B``).
 
@@ -171,6 +221,7 @@ def evaluate_fleet(
     processes with no effect on the result or its ordering.
     """
     evaluations = ParallelMap(jobs).map(
-        partial(evaluate_vehicle, break_even=break_even), vehicles
+        partial(evaluate_vehicle, break_even=break_even, use_kernels=use_kernels),
+        vehicles,
     )
     return FleetEvaluation(evaluations=evaluations)

@@ -23,29 +23,19 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..core.analysis import empirical_cr
+from ..core.kernels import PrefixSumSample
 from ..errors import InvalidParameterError
 from ..fleet.generator import VehicleRecord
+from .batch import StrategyPlan
 from .competitive import STRATEGY_NAMES, FleetEvaluation, VehicleEvaluation, build_strategies
 
 __all__ = ["holdout_evaluate_vehicle", "holdout_evaluate_fleet", "HoldoutComparison", "compare_in_vs_out_of_sample"]
 
 
-def holdout_evaluate_vehicle(
-    vehicle: VehicleRecord,
-    break_even: float,
-    train_fraction: float = 0.5,
-) -> VehicleEvaluation:
-    """Train strategies on the chronological prefix, evaluate the suffix.
-
-    Vehicles whose split would leave an empty side are evaluated on the
-    whole sample for both phases (falling back to the in-sample protocol
-    rather than dropping the vehicle).
-    """
-    if not 0.0 < train_fraction < 1.0:
-        raise InvalidParameterError(
-            f"train_fraction must lie in (0, 1), got {train_fraction!r}"
-        )
-    stops = vehicle.stop_lengths
+def _split_stops(
+    stops: np.ndarray, break_even: float, train_fraction: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Chronological train/test split with the degenerate fallbacks."""
     split = int(round(stops.size * train_fraction))
     if split == 0 or split == stops.size:
         training = test = stops
@@ -53,6 +43,42 @@ def holdout_evaluate_vehicle(
         training, test = stops[:split], stops[split:]
     if float(np.minimum(test, break_even).sum()) <= 0.0:
         test = stops  # degenerate suffix: all zero-length
+    return training, test
+
+
+def holdout_evaluate_vehicle(
+    vehicle: VehicleRecord,
+    break_even: float,
+    train_fraction: float = 0.5,
+    use_kernels: bool = True,
+) -> VehicleEvaluation:
+    """Train strategies on the chronological prefix, evaluate the suffix.
+
+    Vehicles whose split would leave an empty side are evaluated on the
+    whole sample for both phases (falling back to the in-sample protocol
+    rather than dropping the vehicle).
+
+    The default path builds a :class:`~repro.evaluation.batch.StrategyPlan`
+    on the training prefix and evaluates ``crs_on`` the test sample —
+    the plan/sample split is exactly this protocol.  ``use_kernels=False``
+    takes the original strategy-object path.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise InvalidParameterError(
+            f"train_fraction must lie in (0, 1), got {train_fraction!r}"
+        )
+    stops = vehicle.stop_lengths
+    training, test = _split_stops(stops, break_even, train_fraction)
+    if use_kernels:
+        plan = StrategyPlan.from_stop_lengths(training, break_even)
+        crs = plan.crs_on(PrefixSumSample(test))
+        return VehicleEvaluation(
+            vehicle_id=vehicle.vehicle_id,
+            area=vehicle.area,
+            stats=plan.stats,
+            crs=crs,
+            selected_vertex=plan.selected_vertex,
+        )
     strategies = build_strategies(training, break_even)
     crs = {
         name: empirical_cr(strategy, test, break_even)
@@ -72,10 +98,11 @@ def holdout_evaluate_fleet(
     vehicles: Sequence[VehicleRecord] | Iterable[VehicleRecord],
     break_even: float,
     train_fraction: float = 0.5,
+    use_kernels: bool = True,
 ) -> FleetEvaluation:
     """Out-of-sample evaluation over a fleet."""
     evaluations = [
-        holdout_evaluate_vehicle(vehicle, break_even, train_fraction)
+        holdout_evaluate_vehicle(vehicle, break_even, train_fraction, use_kernels)
         for vehicle in vehicles
     ]
     return FleetEvaluation(evaluations=evaluations)

@@ -15,6 +15,11 @@ from functools import partial
 import numpy as np
 
 from ..core.analysis import empirical_offline_cost
+from ..core.kernels import (
+    bootstrap_cr_samples,
+    bootstrap_resample_indices,
+    quantile_pair,
+)
 from ..core.strategy import Strategy
 from ..engine import ParallelMap, spawn_rngs
 from ..errors import InvalidParameterError
@@ -84,11 +89,21 @@ def bootstrap_cr_interval(
     rng: np.random.Generator,
     n_bootstrap: int = 200,
     confidence: float = 0.95,
+    use_kernels: bool = True,
 ) -> tuple[float, float]:
     """Bootstrap confidence interval of the *expected* CR over the stop
     sample (resampling stops with replacement).
 
     Captures how sensitive a vehicle's CR is to which week was recorded.
+
+    The default path is fully vectorised: one ``rng.integers`` call
+    builds the whole ``(n_bootstrap, n)`` index matrix and per-stop
+    costs are memoized on the sample's unique values
+    (:func:`~repro.core.kernels.bootstrap_cr_samples`).  **RNG stream
+    note:** this consumes the generator differently from the historical
+    per-replicate ``rng.choice`` loop, so seeded intervals differ from
+    pre-kernel releases (statistically equivalent).  ``use_kernels=False``
+    keeps the old ``rng.choice`` stream.
     """
     if n_bootstrap <= 1:
         raise InvalidParameterError(f"n_bootstrap must be >= 2, got {n_bootstrap}")
@@ -98,18 +113,19 @@ def bootstrap_cr_interval(
     if y.size == 0:
         raise InvalidParameterError("cannot bootstrap zero stops")
     b = strategy.break_even
-    ratios = []
-    for _ in range(n_bootstrap):
-        resampled = rng.choice(y, size=y.size, replace=True)
-        offline = float(np.minimum(resampled, b).sum())
-        if offline <= 0.0:
-            continue
-        online = float(strategy.expected_cost_vec(resampled).sum())
-        ratios.append(online / offline)
-    if not ratios:
-        raise InvalidParameterError("all bootstrap resamples had zero offline cost")
+    if use_kernels:
+        indices = bootstrap_resample_indices(rng, n_bootstrap, y.size)
+        ratios = bootstrap_cr_samples(strategy, y, indices, b)
+    else:
+        ratios = []
+        for _ in range(n_bootstrap):
+            resampled = rng.choice(y, size=y.size, replace=True)
+            offline = float(np.minimum(resampled, b).sum())
+            if offline <= 0.0:
+                continue
+            online = float(strategy.expected_cost_vec(resampled).sum())
+            ratios.append(online / offline)
+        if not ratios:
+            raise InvalidParameterError("all bootstrap resamples had zero offline cost")
     tail = (1.0 - confidence) / 2.0
-    return (
-        float(np.quantile(ratios, tail)),
-        float(np.quantile(ratios, 1.0 - tail)),
-    )
+    return quantile_pair(np.asarray(ratios), tail, 1.0 - tail)

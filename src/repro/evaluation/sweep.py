@@ -26,13 +26,15 @@ from functools import partial
 
 import numpy as np
 
-from ..core.analysis import empirical_cr, worst_case_cr
+from ..core.analysis import worst_case_cr
 from ..core.constrained import ProposedOnline
+from ..core.kernels import PrefixSumSample
 from ..core.stats import StopStatistics
 from ..distributions.base import StopLengthDistribution
 from ..distributions.scaled import scale_to_mean
 from ..engine import ParallelMap, spawn_seeds
 from ..errors import InvalidParameterError
+from .batch import StrategyPlan
 from .competitive import STRATEGY_NAMES, build_strategies
 
 __all__ = ["SweepResult", "sweep_simulated", "sweep_analytic"]
@@ -80,9 +82,9 @@ def _simulated_point(
     for child in point_seed.spawn(vehicles_per_point):
         rng = np.random.default_rng(child)
         stops = np.maximum(scaled.sample(stops_per_vehicle, rng), 1e-6)
-        strategies = build_strategies(stops, break_even)
-        for name, strategy in strategies.items():
-            cr = empirical_cr(strategy, stops, break_even)
+        sample = PrefixSumSample(stops)
+        crs = StrategyPlan.from_sample(sample, break_even).crs_on(sample)
+        for name, cr in crs.items():
             if cr > worst[name]:
                 worst[name] = cr
     return worst

@@ -69,8 +69,13 @@ class StopStartController:
 
     def decide(self, stop_length: float) -> StopDecision:
         """Handle one stop: draw the threshold, compute what happens."""
+        return self.apply(stop_length, self.strategy.draw_threshold(self.rng))
+
+    def apply(self, stop_length: float, threshold: float) -> StopDecision:
+        """Resolve one stop against an already-drawn threshold — the
+        entry point for batched draws (:meth:`Strategy.draw_thresholds`)."""
         y = validate_stop_length(stop_length)
-        x = self.strategy.draw_threshold(self.rng)
+        x = float(threshold)
         if y < x:
             return StopDecision(
                 stop_length=y, threshold=x, idle_seconds=y, restarted=False

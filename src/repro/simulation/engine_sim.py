@@ -80,10 +80,20 @@ def simulate_stops(
         name = "offline"
     ledger = CostLedger(break_even=b)
     decisions = []
-    for stop_length in y:
-        decision = controller.decide(float(stop_length))
-        ledger.record_stop(decision.idle_seconds, decision.restarted)
-        decisions.append(decision)
+    if strategy is not None:
+        # One batched draw for the whole sequence (same RNG stream as
+        # per-stop draws); the ledger still records sequentially so
+        # totals accumulate in the same order as before.
+        thresholds = strategy.draw_thresholds(y.size, controller.rng)
+        for stop_length, threshold in zip(y, thresholds):
+            decision = controller.apply(float(stop_length), float(threshold))
+            ledger.record_stop(decision.idle_seconds, decision.restarted)
+            decisions.append(decision)
+    else:
+        for stop_length in y:
+            decision = controller.decide(float(stop_length))
+            ledger.record_stop(decision.idle_seconds, decision.restarted)
+            decisions.append(decision)
     return SimulationResult(controller_name=name, ledger=ledger, decisions=decisions)
 
 
