@@ -2,19 +2,22 @@
 
 Subcommands
 -----------
-``run <experiment> [--out DIR] [--vehicles N] [--fast] [--jobs N] [--no-cache]``
+``run <experiment> [--out DIR] [--vehicles N] [--fast] [--jobs N] [--no-cache] [--ledger PATH]``
     Run one paper experiment (fig1..fig6, table1, appc) and print its
     ASCII report; ``--out`` also writes the CSV series.  ``--jobs``
     fans the work out over worker processes (results are bit-identical
     for any worker count); ``--no-cache`` bypasses the on-disk result
-    cache.
+    cache; ``--ledger`` writes a JSONL event log (task lifecycle,
+    retries, pool crashes, cache hits) and prints its summary next to
+    the timings.
 ``list``
     List available experiments.
-``all [--out DIR] [--fast] [--jobs N] [--no-cache]``
-    Run every experiment in sequence.
-``cache [clear|info]``
-    Inspect or empty the on-disk result cache
-    (``~/.cache/repro-idling`` unless ``REPRO_CACHE_DIR`` is set).
+``all [--out DIR] [--fast] [--jobs N] [--no-cache] [--ledger PATH]``
+    Run every experiment in sequence (one ledger spans the batch).
+``cache [clear|info|doctor]``
+    Inspect, empty, or health-check the on-disk result cache
+    (``~/.cache/repro-idling`` unless ``REPRO_CACHE_DIR`` is set);
+    ``doctor`` scans for orphaned temp files and invalid entries.
 ``advise --stops <csv-or-values> --break-even B``
     The end-user feature: given observed stop lengths, print which
     strategy the proposed algorithm selects and its guarantee.
@@ -41,9 +44,9 @@ import numpy as np
 
 from .constants import B_SSV
 from .core import ConstrainedSkiRentalSolver, StopStatistics
-from .engine import ResultCache, get_default_jobs
+from .engine import ResultCache, RunLedger, get_default_jobs, use_ledger
 from .errors import ReproError
-from .experiments import EXPERIMENTS, cached_run
+from .experiments import EXPERIMENTS, cached_run, format_table
 
 __all__ = ["main", "build_parser"]
 
@@ -94,6 +97,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="recompute even if a cached result exists",
     )
+    run_cmd.add_argument(
+        "--ledger",
+        type=Path,
+        default=None,
+        help="write a JSONL run ledger (task/retry/pool-crash/cache events) "
+        "to this path and print its summary with the report",
+    )
 
     sub.add_parser("list", help="list experiments")
 
@@ -102,14 +112,16 @@ def build_parser() -> argparse.ArgumentParser:
     all_cmd.add_argument("--fast", action="store_true")
     all_cmd.add_argument("--jobs", type=int, default=None)
     all_cmd.add_argument("--no-cache", action="store_true")
+    all_cmd.add_argument("--ledger", type=Path, default=None)
 
     cache_cmd = sub.add_parser("cache", help="inspect or clear the result cache")
     cache_cmd.add_argument(
         "action",
         nargs="?",
-        choices=("info", "clear"),
+        choices=("info", "clear", "doctor"),
         default="info",
-        help="'info' (default) prints location/entry count; 'clear' empties it",
+        help="'info' (default) prints location/entry count; 'clear' empties "
+        "it; 'doctor' scans for orphaned temp files and invalid entries",
     )
 
     advise = sub.add_parser(
@@ -209,15 +221,22 @@ def _parse_stops(spec: str) -> np.ndarray:
     return np.asarray(values, dtype=float)
 
 
-def _run_and_report(experiment_id: str, args) -> None:
+def _run_and_report(experiment_id: str, args, ledger: RunLedger | None = None) -> None:
     jobs = args.jobs if args.jobs is not None else get_default_jobs()
-    result = cached_run(
-        experiment_id,
-        _experiment_params(experiment_id, args),
-        jobs=jobs,
-        use_cache=not args.no_cache,
-    )
+    params = _experiment_params(experiment_id, args)
+    use_cache = not args.no_cache
+    if ledger is not None:
+        with use_ledger(ledger):
+            result = cached_run(experiment_id, params, jobs=jobs, use_cache=use_cache)
+    else:
+        result = cached_run(experiment_id, params, jobs=jobs, use_cache=use_cache)
     print(result.to_ascii())
+    if ledger is not None:
+        print("\n-- ledger --")
+        rows = list(ledger.summary().items())
+        print(format_table(("event", "count"), rows))
+        if ledger.path is not None:
+            print(f"events written to {ledger.path}")
     if args.out is not None:
         paths = result.write_csvs(args.out)
         for path in paths:
@@ -228,12 +247,27 @@ def _cache(args) -> None:
     cache = ResultCache()
     if args.action == "clear":
         removed = cache.clear()
-        print(f"removed {removed} cached result(s) from {cache.root}")
+        print(f"removed {removed} cached file(s) from {cache.root}")
+    elif args.action == "doctor":
+        report = cache.doctor()
+        print(f"cache directory: {cache.root}")
+        print(f"entries:         {len(cache.entries())}")
+        print(f"orphaned tmp:    {len(report['orphans'])}")
+        print(f"invalid JSON:    {len(report['invalid'])}")
+        for path in report["orphans"]:
+            print(f"  orphan  {path}")
+        for path in report["invalid"]:
+            print(f"  invalid {path}")
+        if not report["orphans"] and not report["invalid"]:
+            print("cache is healthy")
+        else:
+            print("run 'repro-idling cache clear' to reclaim the space")
     else:
         entries = cache.entries()
         print(f"cache directory: {cache.root}")
         print(f"entries:         {len(entries)}")
         print(f"size:            {cache.size_bytes() / 1024:.1f} KiB")
+        print(f"orphaned tmp:    {len(cache.orphan_tmp_files())}")
 
 
 def _advise(args) -> None:
@@ -380,10 +414,14 @@ def main(argv: list[str] | None = None) -> int:
             for experiment_id in sorted(EXPERIMENTS):
                 print(experiment_id)
         elif args.command == "run":
-            _run_and_report(args.experiment, args)
+            ledger = RunLedger(args.ledger) if args.ledger is not None else None
+            _run_and_report(args.experiment, args, ledger)
         elif args.command == "all":
+            # One ledger spans the whole batch (a single JSONL record of
+            # the run), created before the first experiment starts.
+            ledger = RunLedger(args.ledger) if args.ledger is not None else None
             for experiment_id in sorted(EXPERIMENTS):
-                _run_and_report(experiment_id, args)
+                _run_and_report(experiment_id, args, ledger)
                 print()
         elif args.command == "advise":
             _advise(args)

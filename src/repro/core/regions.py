@@ -111,7 +111,7 @@ def compute_region_grid(
     normalized_mu = np.linspace(0.0, mu_max, mu_points + 1, endpoint=False)[1:]
     q_values = np.linspace(0.0, 1.0, q_points + 1, endpoint=False)[1:]
     worker = partial(_grid_row, normalized_mu=normalized_mu, break_even=break_even)
-    rows = ParallelMap(jobs).map(worker, q_values.tolist())
+    rows = ParallelMap(jobs, label="region-grid").map(worker, q_values.tolist())
     codes = np.stack([row_codes for row_codes, _ in rows])
     crs = np.stack([row_crs for _, row_crs in rows])
     return RegionGrid(

@@ -1,33 +1,58 @@
 """Parallel experiment engine: execution backends, deterministic seed
-fan-out, the on-disk result cache, and per-stage instrumentation.
+fan-out, the on-disk result cache, per-stage instrumentation, and the
+fault-tolerance/observability layer.
 
 This package is the scaling substrate every experiment and evaluation
 helper builds on (see ``docs/engine.md``):
 
-* :class:`ParallelMap` — order-preserving map over tasks with a serial
-  or ``ProcessPoolExecutor`` backend, selected by ``jobs`` / the
-  ``REPRO_JOBS`` environment variable;
+* :class:`ParallelMap` — order-preserving, fault-tolerant map over
+  tasks with a serial or ``ProcessPoolExecutor`` backend, selected by
+  ``jobs`` / the ``REPRO_JOBS`` environment variable; per-task timeout,
+  bounded retry with exponential backoff, pool-crash recovery with a
+  serial fallback, and optional :class:`MapCheckpoint` resumability;
 * :func:`spawn_seeds` / :func:`spawn_rngs` — ``SeedSequence``-based
   fan-out, so serial and parallel runs draw identical random streams
   regardless of worker count;
 * :class:`ResultCache` — content-addressed experiment-result cache
   keyed by (experiment id, params, code version) with hit/miss
-  counters;
+  counters and a :meth:`~ResultCache.doctor` consistency scan;
+* :class:`RunLedger` — structured JSONL event log (task lifecycle,
+  retries, pool crashes, cache hits) with monotonic timestamps,
+  installed ambiently via :func:`use_ledger`;
 * :class:`Instrumentation` — per-stage wall-time and task-count
-  records surfaced in every ``ExperimentResult`` report.
+  records surfaced in every ``ExperimentResult`` report;
+* :mod:`repro.engine.faults` — deterministic fault injection (raise /
+  hang / kill) for testing every recovery path without flakiness.
 
 Layering: ``engine`` depends only on numpy and ``repro.errors`` —
 everything above it (fleet, evaluation, experiments, cli) may use it.
 """
 
-from .cache import ResultCache, cache_key, code_version, default_cache_dir
+from .cache import (
+    ResultCache,
+    cache_key,
+    code_version,
+    decode_payload,
+    default_cache_dir,
+    encode_payload,
+)
 from .instrument import Instrumentation, StageTiming
-from .parallel import ParallelMap, ParallelTaskError, get_default_jobs, parallel_map
+from .ledger import RunLedger, active_ledger, use_ledger
+from .parallel import (
+    MapCheckpoint,
+    ParallelMap,
+    ParallelTaskError,
+    ParallelTimeoutError,
+    get_default_jobs,
+    parallel_map,
+)
 from .seeding import spawn_rngs, spawn_seeds
 
 __all__ = [
+    "MapCheckpoint",
     "ParallelMap",
     "ParallelTaskError",
+    "ParallelTimeoutError",
     "parallel_map",
     "get_default_jobs",
     "spawn_seeds",
@@ -35,7 +60,12 @@ __all__ = [
     "ResultCache",
     "cache_key",
     "code_version",
+    "decode_payload",
     "default_cache_dir",
+    "encode_payload",
+    "RunLedger",
+    "active_ledger",
+    "use_ledger",
     "Instrumentation",
     "StageTiming",
 ]

@@ -14,23 +14,46 @@ Layout and keying (see ``docs/engine.md`` for the full contract):
   **any** source edit invalidates every entry, and parameter values
   (not their dict order) address the result.
 
+Canonicalization is injective where it matters: dict keys are tagged
+with their original type (``{1: "a"}`` and ``{"1": "a"}`` must not
+share a key), and non-finite floats are rewritten to a tagged marker
+(``{"$nonfinite": "nan"}``) so every key and every stored payload is
+strict JSON — ``allow_nan=False`` end to end, no ``NaN`` token ever on
+disk.  :func:`decode_payload` restores the markers on read, so payloads
+containing NaN/±inf round-trip losslessly (the marker dict itself is
+reserved and must not appear as a literal payload value).
+
 Writes are atomic (write-to-temp + rename), so a crashed or concurrent
-run never leaves a torn entry.  ``hits`` / ``misses`` counters expose
-cache effectiveness to tests and the CLI without wall-clock flakiness.
+run never leaves a torn entry — but a *killed* writer can orphan its
+temp file; ``clear()`` sweeps those and :meth:`ResultCache.doctor`
+reports them.  ``hits`` / ``misses`` counters expose cache
+effectiveness to tests and the CLI without wall-clock flakiness.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
 from pathlib import Path
 
 from ..errors import InvalidParameterError
 
-__all__ = ["ResultCache", "cache_key", "code_version", "default_cache_dir"]
+__all__ = [
+    "ResultCache",
+    "cache_key",
+    "code_version",
+    "decode_payload",
+    "default_cache_dir",
+    "encode_payload",
+]
 
 _CODE_VERSION: str | None = None
+
+#: Reserved marker key for canonicalized non-finite floats.
+_NONFINITE_KEY = "$nonfinite"
+_NONFINITE_VALUES = {"nan": float("nan"), "inf": float("inf"), "-inf": float("-inf")}
 
 
 def default_cache_dir() -> Path:
@@ -63,12 +86,37 @@ def code_version() -> str:
     return _CODE_VERSION
 
 
+def _nonfinite_token(value: float) -> str:
+    if math.isnan(value):
+        return "nan"
+    return "inf" if value > 0 else "-inf"
+
+
+def _tag_key(key) -> str:
+    """JSON object key carrying the original Python key type.
+
+    Bare ``str(key)`` coercion collides (``{1: "a"}`` vs ``{"1": "a"}``);
+    the type prefix keeps distinct params on distinct cache keys.
+    """
+    if isinstance(key, bool):  # before int: bool is an int subclass
+        return f"bool:{key}"
+    if isinstance(key, int):
+        return f"int:{key}"
+    if isinstance(key, float):
+        return f"float:{key!r}"
+    if isinstance(key, str):
+        return f"str:{key}"
+    return f"repr:{key!r}"
+
+
 def _canonical(value):
-    """Reduce a parameter value to a JSON-stable form."""
+    """Reduce a parameter value to a strict-JSON-stable form."""
     if isinstance(value, (list, tuple)):
         return [_canonical(item) for item in value]
     if isinstance(value, dict):
-        return {str(key): _canonical(item) for key, item in value.items()}
+        return {_tag_key(key): _canonical(item) for key, item in value.items()}
+    if isinstance(value, float) and not math.isfinite(value):
+        return {_NONFINITE_KEY: _nonfinite_token(value)}
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     if hasattr(value, "tolist"):  # numpy scalars and arrays
@@ -88,13 +136,55 @@ def cache_key(experiment_id: str, params: dict, version: str | None = None) -> s
         },
         sort_keys=True,
         separators=(",", ":"),
+        allow_nan=False,
     )
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
+def _strip_nonfinite(value):
+    """Replace non-finite floats with their reserved marker dict."""
+    if isinstance(value, dict):
+        return {key: _strip_nonfinite(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_strip_nonfinite(item) for item in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return {_NONFINITE_KEY: _nonfinite_token(value)}
+    return value
+
+
+def _restore_nonfinite(value):
+    if isinstance(value, dict):
+        if set(value) == {_NONFINITE_KEY} and value[_NONFINITE_KEY] in _NONFINITE_VALUES:
+            return _NONFINITE_VALUES[value[_NONFINITE_KEY]]
+        return {key: _restore_nonfinite(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_restore_nonfinite(item) for item in value]
+    return value
+
+
 def encode_payload(payload: dict) -> bytes:
-    """Canonical byte encoding of a result payload (stable across runs)."""
-    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    """Canonical strict-JSON byte encoding of a result payload.
+
+    Non-finite floats become marker dicts (restored by
+    :func:`decode_payload`); ``allow_nan=False`` guarantees no ``NaN`` /
+    ``Infinity`` token can reach the store.
+    """
+    return json.dumps(
+        _strip_nonfinite(payload),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    ).encode()
+
+
+def decode_payload(data: bytes) -> dict:
+    """Inverse of :func:`encode_payload` (raises ``ValueError`` on
+    malformed JSON)."""
+    return _restore_nonfinite(json.loads(data))
+
+
+def _reject_constant(token: str):
+    raise ValueError(f"non-standard JSON constant {token!r}")
 
 
 class ResultCache:
@@ -135,7 +225,7 @@ class ResultCache:
         if data is None:
             return None
         try:
-            return json.loads(data)
+            return decode_payload(data)
         except ValueError:
             self.hits -= 1
             self.misses += 1
@@ -157,13 +247,25 @@ class ResultCache:
             return []
         return sorted(self.root.glob("*/*.json"))
 
+    def orphan_tmp_files(self) -> list[Path]:
+        """Temp files left behind by writers killed mid-``put``.
+
+        Invisible to :meth:`entries` (they never count as results) but
+        they do consume disk, so ``clear()`` sweeps them and the CLI
+        ``cache`` subcommand reports them.
+        """
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.json.tmp*"))
+
     def size_bytes(self) -> int:
         return sum(path.stat().st_size for path in self.entries())
 
     def clear(self) -> int:
-        """Remove every entry; returns how many were removed."""
+        """Remove every entry and orphaned temp file; returns how many
+        files were removed."""
         removed = 0
-        for path in self.entries():
+        for path in self.entries() + self.orphan_tmp_files():
             path.unlink(missing_ok=True)
             removed += 1
         for bucket in self.root.glob("*"):
@@ -173,3 +275,18 @@ class ResultCache:
                 except OSError:
                     pass  # non-empty (foreign files) — leave it
         return removed
+
+    def doctor(self) -> dict[str, list[Path]]:
+        """Consistency scan: ``{"orphans": [...], "invalid": [...]}``.
+
+        ``orphans`` are crashed writers' temp files; ``invalid`` are
+        entries that are not *strict* JSON (malformed, or containing
+        ``NaN`` / ``Infinity`` tokens written by pre-fix code).
+        """
+        invalid = []
+        for path in self.entries():
+            try:
+                json.loads(path.read_bytes(), parse_constant=_reject_constant)
+            except ValueError:
+                invalid.append(path)
+        return {"orphans": self.orphan_tmp_files(), "invalid": invalid}

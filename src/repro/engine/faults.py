@@ -1,0 +1,131 @@
+"""Deterministic fault injection for exercising ParallelMap recovery.
+
+Testing the engine's failure paths (retry, timeout, pool-crash
+recovery, serial fallback) requires faults that fire *exactly* where
+and *exactly* as often as the test says — across worker processes,
+across pool rebuilds, without wall-clock races.  :class:`FaultInjector`
+wraps a task function and fires a :class:`Fault` the first ``times``
+attempts a chosen item is executed, then steps aside forever, so a
+"flaky" task deterministically fails N times and then succeeds.
+
+The once-per-attempt bookkeeping must survive the process boundary
+(the faulting attempt may run in a worker that is then SIGKILLed), so
+claims are sentinel files created with ``O_CREAT | O_EXCL`` in a shared
+``state_dir`` — atomic on every platform, and naturally shared between
+the parent, every worker, and every rebuilt pool.
+
+Fault kinds
+-----------
+``"raise"``
+    Raise :class:`InjectedFault` (a plain task failure — exercises the
+    retry/backoff path).
+``"hang"``
+    Sleep ``hang_seconds`` *before* computing the normal result
+    (exercises the per-task timeout path; without a timeout the map
+    merely slows down and results are unchanged).
+``"kill"``
+    ``SIGKILL`` the current worker process (exercises
+    ``BrokenProcessPool`` recovery).  As a safety net the injector
+    remembers the pid that built it and downgrades ``kill`` to
+    :class:`InjectedFault` when it fires in that process, so a serial
+    fallback run can never SIGKILL the test (or CLI) process itself.
+
+The wrapper is picklable as long as the wrapped function is (the same
+module-level-callable rule as ParallelMap itself).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+from ..errors import InvalidParameterError
+
+__all__ = ["Fault", "FaultInjector", "InjectedFault"]
+
+_KINDS = ("raise", "hang", "kill")
+
+
+class InjectedFault(Exception):
+    """Raised by a ``"raise"``-kind (or parent-side ``"kill"``) fault."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One fault to inject on one item: what, and how many attempts."""
+
+    kind: str
+    times: int = 1
+    hang_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise InvalidParameterError(
+                f"fault kind must be one of {_KINDS}, got {self.kind!r}"
+            )
+        if self.times < 1:
+            raise InvalidParameterError(f"fault times must be >= 1, got {self.times}")
+        if self.hang_seconds < 0:
+            raise InvalidParameterError(
+                f"hang_seconds must be >= 0, got {self.hang_seconds}"
+            )
+
+
+def _item_digest(item) -> str:
+    """Stable per-item key (items are matched by ``repr``)."""
+    return hashlib.sha256(repr(item).encode()).hexdigest()[:16]
+
+
+class FaultInjector:
+    """Wrap ``fn`` so chosen items fault on their first ``times`` attempts.
+
+    Parameters
+    ----------
+    fn:
+        The real task function (module-level callable).
+    faults:
+        ``{item: Fault}`` — items are matched by ``repr``, so any
+        deterministic-``repr`` task item works as a key.
+    state_dir:
+        Directory for the cross-process claim sentinels; use a fresh
+        temporary directory per test.
+    """
+
+    def __init__(self, fn, faults: dict, state_dir) -> None:
+        self.fn = fn
+        self.faults = {_item_digest(item): fault for item, fault in faults.items()}
+        self.state_dir = str(state_dir)
+        self._creator_pid = os.getpid()
+
+    def _claim(self, digest: str, fault: Fault) -> bool:
+        """Atomically claim one of the fault's ``times`` firings."""
+        os.makedirs(self.state_dir, exist_ok=True)
+        for attempt in range(fault.times):
+            path = os.path.join(self.state_dir, f"{digest}.{attempt}")
+            try:
+                handle = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            os.close(handle)
+            return True
+        return False
+
+    def __call__(self, item):
+        digest = _item_digest(item)
+        fault = self.faults.get(digest)
+        if fault is not None and self._claim(digest, fault):
+            if fault.kind == "raise":
+                raise InjectedFault(f"injected failure on item {item!r}")
+            if fault.kind == "kill":
+                if os.getpid() == self._creator_pid or not hasattr(signal, "SIGKILL"):
+                    raise InjectedFault(
+                        f"injected kill on item {item!r} downgraded in parent process"
+                    )
+                os.kill(os.getpid(), signal.SIGKILL)
+            # "hang": delay, then fall through to the normal result so
+            # an un-timed-out hang changes nothing but wall time.
+            time.sleep(fault.hang_seconds)
+        return self.fn(item)

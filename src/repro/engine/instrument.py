@@ -30,10 +30,12 @@ class StageTiming:
 
     @classmethod
     def from_payload(cls, payload: dict) -> "StageTiming":
+        # ``tasks`` was added after the first cached payloads shipped, so
+        # it must stay optional on read (pre-existing entries lack it).
         return cls(
             stage=payload["stage"],
             seconds=payload["seconds"],
-            tasks=payload["tasks"],
+            tasks=payload.get("tasks"),
         )
 
 

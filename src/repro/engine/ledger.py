@@ -1,0 +1,105 @@
+"""Structured run ledger: JSONL events with monotonic timestamps.
+
+Long-horizon runs (multi-hour sweeps, pause/resume-style workloads)
+need an answer to "what actually happened?" that survives the run: how
+many tasks ran, which were retried, when a worker pool crashed, which
+results came from the cache.  :class:`RunLedger` collects those events
+in memory and — when given a path — appends each one as a JSON line the
+moment it is emitted, so a killed run still leaves a complete record of
+everything up to the kill.
+
+Event schema (every record):
+
+``{"seq": int, "t": float, "event": str, ...fields}``
+
+* ``seq`` — 0-based emission index, contiguous per ledger;
+* ``t`` — seconds since the ledger was created, from
+  ``time.monotonic()`` (never jumps backwards, unaffected by wall-clock
+  adjustments);
+* ``event`` — the event name; the engine emits ``map-start``,
+  ``task-start``, ``task-finish``, ``task-retry``, ``task-timeout``,
+  ``pool-crash``, ``serial-fallback``, ``checkpoint-hit``,
+  ``map-finish``, and the experiment cache layer adds ``cache-hit`` /
+  ``cache-miss``;
+* remaining fields are event-specific (task index, attempt number,
+  error text, ...).
+
+The *active* ledger is carried in a :mod:`contextvars` variable so the
+engine can log without every call site threading a ledger argument:
+wrap a run in :func:`use_ledger` (the CLI does this for ``--ledger``)
+and every :class:`~repro.engine.parallel.ParallelMap` underneath logs
+to it.  All events are emitted from the parent process, so ``seq`` and
+``t`` are globally ordered.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from pathlib import Path
+
+__all__ = ["RunLedger", "active_ledger", "use_ledger"]
+
+_ACTIVE: ContextVar["RunLedger | None"] = ContextVar("repro_run_ledger", default=None)
+
+
+def active_ledger() -> "RunLedger | None":
+    """The ledger installed by the innermost :func:`use_ledger`, if any."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def use_ledger(ledger: "RunLedger"):
+    """Make ``ledger`` the active ledger inside the ``with`` block."""
+    token = _ACTIVE.set(ledger)
+    try:
+        yield ledger
+    finally:
+        _ACTIVE.reset(token)
+
+
+class RunLedger:
+    """Append-only event log for one run.
+
+    Parameters
+    ----------
+    path:
+        Optional JSONL file.  Truncated at construction (one ledger =
+        one run) and appended to on every :meth:`emit`, so the on-disk
+        record is complete even if the process dies mid-run.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self.events: list[dict] = []
+        self._origin = time.monotonic()
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text("")
+
+    def emit(self, event: str, **fields) -> dict:
+        """Record one event; returns the full record."""
+        record = {
+            "seq": len(self.events),
+            "t": round(time.monotonic() - self._origin, 6),
+            "event": event,
+        }
+        record.update(fields)
+        self.events.append(record)
+        if self.path is not None:
+            with open(self.path, "a") as handle:
+                handle.write(json.dumps(record, sort_keys=True, default=repr) + "\n")
+        return record
+
+    def count(self, event: str) -> int:
+        """How many events of one type were emitted."""
+        return sum(1 for record in self.events if record["event"] == event)
+
+    def summary(self) -> dict[str, int]:
+        """Event-type counts, in first-emission order."""
+        counts: dict[str, int] = {}
+        for record in self.events:
+            counts[record["event"]] = counts.get(record["event"], 0) + 1
+        return counts

@@ -1,4 +1,4 @@
-"""Order-preserving parallel map with selectable backends.
+"""Order-preserving, fault-tolerant parallel map.
 
 ``ParallelMap`` is the single fan-out primitive of the repository: the
 fleet generator, the fleet evaluator, the traffic sweeps, the
@@ -12,16 +12,45 @@ Backends
     Plain in-process loop — zero overhead, natural exception
     propagation.
 ``jobs > 1``
-    A ``concurrent.futures.ProcessPoolExecutor`` with ``jobs`` workers.
+    A ``concurrent.futures.ProcessPoolExecutor`` with ``jobs`` workers
+    and a sliding submission window of at most ``jobs`` in-flight tasks.
     Results always come back in task order, and a worker-side exception
     is re-raised in the parent with the original exception instance,
     chained to a :class:`ParallelTaskError` carrying the worker's
     formatted traceback.
 
-Because results are ordered and all randomness is injected per-task via
-:mod:`repro.engine.seeding`, a computation produces bit-identical output
-for every ``jobs`` value — the property the determinism test suite
-(``tests/test_engine_determinism.py``) pins.
+Fault tolerance (see ``docs/engine.md`` — "Failure semantics")
+--------------------------------------------------------------
+* **Retry with exponential backoff** — a task attempt that raises is
+  retried up to ``retries`` times (``REPRO_TASK_RETRIES``, default 0),
+  sleeping ``backoff * 2**(failures-1)`` seconds between attempts.
+* **Per-task timeout** — on the process backend, a task running longer
+  than ``timeout`` seconds (``REPRO_TASK_TIMEOUT``, default none) counts
+  as a failed attempt; the pool is torn down to reclaim the hung worker
+  and every other in-flight task is re-dispatched (completed results
+  are kept).  The serial backend cannot preempt, so ``timeout`` is a
+  process-backend-only guarantee.
+* **Pool-crash recovery** — a worker dying mid-run (OOM kill, SIGKILL,
+  segfault) breaks the whole ``ProcessPoolExecutor``.  Completed task
+  results are kept, surviving tasks are re-dispatched to a fresh pool,
+  and after ``max_pool_failures`` crashes (``REPRO_MAX_POOL_FAILURES``,
+  default 2) the map degrades gracefully to the serial backend instead
+  of aborting.
+* **Checkpointing** — pass a :class:`MapCheckpoint` to spill each
+  completed task result through the on-disk :class:`ResultCache`,
+  keyed by the task's content digest, so a re-run of the same map
+  resumes from the completed prefix instead of restarting.
+* **Ledger** — every lifecycle event (task start/finish/retry/timeout,
+  pool crash, serial fallback, checkpoint hit) is emitted to the
+  :class:`~repro.engine.ledger.RunLedger` given explicitly or installed
+  via :func:`~repro.engine.ledger.use_ledger`.
+
+Because results are ordered, all randomness is injected per-task via
+:mod:`repro.engine.seeding`, and recovery only ever *re-runs* pure
+tasks, a computation produces bit-identical output for every ``jobs``
+value — with or without faults along the way — the property the
+determinism suites (``tests/test_engine_determinism.py``,
+``tests/test_engine_faults.py``) pin.
 
 The process backend pickles the task function, so it must be a
 module-level callable or a ``functools.partial`` of one.
@@ -30,19 +59,42 @@ module-level callable or a ``functools.partial`` of one.
 from __future__ import annotations
 
 import os
+import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor, wait
+from dataclasses import dataclass
 from typing import Callable, Iterable, TypeVar
 
-from ..errors import InvalidParameterError
+from ..errors import InvalidParameterError, ReproError
+from .cache import ResultCache, cache_key
+from .ledger import RunLedger, active_ledger
 
-__all__ = ["ParallelMap", "ParallelTaskError", "get_default_jobs", "parallel_map"]
+__all__ = [
+    "MapCheckpoint",
+    "ParallelMap",
+    "ParallelTaskError",
+    "ParallelTimeoutError",
+    "get_default_jobs",
+    "parallel_map",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
 
-#: Environment variable consulted when ``jobs`` is not given explicitly.
+#: Environment variables consulted when the arguments are not given.
 JOBS_ENV_VAR = "REPRO_JOBS"
+TIMEOUT_ENV_VAR = "REPRO_TASK_TIMEOUT"
+RETRIES_ENV_VAR = "REPRO_TASK_RETRIES"
+POOL_FAILURES_ENV_VAR = "REPRO_MAX_POOL_FAILURES"
+
+#: Longest single backoff sleep, regardless of attempt count.
+_BACKOFF_CAP_SECONDS = 30.0
+
+#: Distinguishes "argument not given" from an explicit ``timeout=None``.
+_UNSET = object()
+
+#: Sentinel for a checkpoint miss (``None`` is a valid task result).
+_CHECKPOINT_MISS = object()
 
 
 class ParallelTaskError(Exception):
@@ -62,26 +114,69 @@ class ParallelTaskError(Exception):
         self.traceback_text = traceback_text
 
 
+class ParallelTimeoutError(ReproError, TimeoutError):
+    """A task exceeded its per-attempt timeout on every allowed attempt."""
+
+    def __init__(self, task_index: int, timeout: float, attempts: int) -> None:
+        super().__init__(
+            f"task {task_index} exceeded its {timeout:g} s timeout on "
+            f"all {attempts} attempt(s)"
+        )
+        self.task_index = task_index
+        self.timeout = timeout
+        self.attempts = attempts
+
+
+def _env_int(name: str, default: int, minimum: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise InvalidParameterError(f"{name} must be an integer, got {raw!r}") from None
+    if value < minimum:
+        raise InvalidParameterError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
 def get_default_jobs() -> int:
     """The worker count used when ``jobs`` is not given: ``REPRO_JOBS``
     if set (and >= 1), else 1 (serial)."""
-    raw = os.environ.get(JOBS_ENV_VAR)
+    return _env_int(JOBS_ENV_VAR, default=1, minimum=1)
+
+
+def get_default_timeout() -> float | None:
+    """Per-task timeout when not given: ``REPRO_TASK_TIMEOUT`` seconds
+    if set, else no timeout."""
+    raw = os.environ.get(TIMEOUT_ENV_VAR)
     if raw is None or not raw.strip():
-        return 1
+        return None
     try:
-        jobs = int(raw)
+        value = float(raw)
     except ValueError:
         raise InvalidParameterError(
-            f"{JOBS_ENV_VAR} must be an integer, got {raw!r}"
+            f"{TIMEOUT_ENV_VAR} must be a number, got {raw!r}"
         ) from None
-    if jobs < 1:
-        raise InvalidParameterError(f"{JOBS_ENV_VAR} must be >= 1, got {jobs}")
-    return jobs
+    if value <= 0:
+        raise InvalidParameterError(f"{TIMEOUT_ENV_VAR} must be > 0, got {value:g}")
+    return value
+
+
+def get_default_retries() -> int:
+    """Retry budget when not given: ``REPRO_TASK_RETRIES``, default 0."""
+    return _env_int(RETRIES_ENV_VAR, default=0, minimum=0)
+
+
+def get_default_max_pool_failures() -> int:
+    """Pool crashes tolerated before the serial fallback:
+    ``REPRO_MAX_POOL_FAILURES``, default 2."""
+    return _env_int(POOL_FAILURES_ENV_VAR, default=2, minimum=1)
 
 
 def _guarded_call(payload: tuple[int, Callable, object]) -> tuple[bool, object, str | None]:
-    """Worker-side wrapper: never raises, so the parent can re-raise the
-    first failure *in task order* with its remote traceback attached."""
+    """Worker-side wrapper: never raises, so the parent can attach the
+    remote traceback and apply its retry policy."""
     index, fn, item = payload
     try:
         return (True, fn(item), None)
@@ -89,8 +184,95 @@ def _guarded_call(payload: tuple[int, Callable, object]) -> tuple[bool, object, 
         return (False, exc, traceback.format_exc())
 
 
+def _terminate_pool(executor: ProcessPoolExecutor) -> None:
+    """Best-effort hard teardown: never blocks on hung or dead workers."""
+    try:
+        executor.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # noqa: BLE001 — a broken pool may refuse politely
+        pass
+    processes = getattr(executor, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:  # noqa: BLE001 — already dead
+            pass
+    for process in list(processes.values()):
+        try:
+            process.join(timeout=1.0)
+        except Exception:  # noqa: BLE001
+            pass
+
+
+def _jsonable(value):
+    """Unwrap numpy scalars/arrays so plain results JSON-encode exactly
+    (``float(np.float64)`` is lossless); anything else passes through."""
+    if isinstance(value, dict):
+        return {key: _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    return value
+
+
+@dataclass
+class MapCheckpoint:
+    """Spills completed task results through a :class:`ResultCache`.
+
+    Each completed task is stored under
+    ``cache_key("checkpoint:" + scope, {"index": i, "task": item})`` —
+    the item itself is canonicalized into the key, so a checkpoint only
+    ever resumes a map over *identical* tasks (and, because
+    ``cache_key`` folds in the code version, identical code).  ``scope``
+    must distinguish maps whose behaviour differs through closed-over
+    state that is not part of the task items (e.g. sweep grid size).
+
+    ``encode`` / ``decode`` convert a task result to and from a
+    JSON-storable value; the default coding unwraps numpy scalars and
+    arrays (``tolist``) and otherwise stores the value as-is, so results
+    that JSON still cannot store are silently not checkpointed (the map
+    returns them regardless — checkpointing is best-effort by design).
+
+    Keys are snapshotted at :meth:`load` time: a worker that mutates its
+    task in place (e.g. ``SeedSequence.spawn`` bumping
+    ``n_children_spawned``, which changes the repr) must not shift the
+    key the result is later stored under, or a re-run — whose pristine
+    items hash like the originals — would never see the spill.
+    """
+
+    cache: ResultCache
+    scope: str
+    encode: Callable[[object], object] | None = None
+    decode: Callable[[object], object] | None = None
+
+    def __post_init__(self) -> None:
+        self._keys: dict[int, tuple[int, str]] = {}
+
+    def _key(self, index: int, item) -> str:
+        memo = self._keys.get(index)
+        if memo is not None and memo[0] == id(item):
+            return memo[1]
+        key = cache_key(f"checkpoint:{self.scope}", {"index": index, "task": item})
+        self._keys[index] = (id(item), key)
+        return key
+
+    def load(self, index: int, item):
+        payload = self.cache.get(self._key(index, item))
+        if payload is None or "value" not in payload:
+            return _CHECKPOINT_MISS
+        value = payload["value"]
+        return self.decode(value) if self.decode is not None else value
+
+    def store(self, index: int, item, value) -> None:
+        encoded = self.encode(value) if self.encode is not None else _jsonable(value)
+        try:
+            self.cache.put(self._key(index, item), {"value": encoded})
+        except (TypeError, ValueError):
+            pass  # un-JSON-able result: skip the spill, keep the result
+
+
 class ParallelMap:
-    """Order-preserving map over a task list (see module docstring).
+    """Order-preserving, fault-tolerant map over a task list.
 
     Parameters
     ----------
@@ -98,39 +280,364 @@ class ParallelMap:
         Worker processes; ``None`` falls back to :func:`get_default_jobs`
         (the ``REPRO_JOBS`` environment variable, default 1). ``1`` runs
         serially in-process.
+    timeout:
+        Per-task-attempt wall-time limit in seconds (process backend
+        only); default :func:`get_default_timeout`, ``None`` disables.
+    retries:
+        Failed attempts tolerated per task beyond the first; default
+        :func:`get_default_retries` (0 — fail fast, the historical
+        behaviour).
+    backoff:
+        Base of the exponential retry delay (seconds); attempt ``k``
+        sleeps ``backoff * 2**(k-1)``, capped at 30 s.
+    max_pool_failures:
+        Pool crashes tolerated before degrading to the serial backend;
+        default :func:`get_default_max_pool_failures`.
+    ledger:
+        Explicit :class:`RunLedger`; ``None`` uses the ambient ledger
+        installed via :func:`~repro.engine.ledger.use_ledger`, if any.
+    label:
+        Human-readable tag recorded in the ledger's ``map-start`` event.
     """
 
-    def __init__(self, jobs: int | None = None) -> None:
+    def __init__(
+        self,
+        jobs: int | None = None,
+        *,
+        timeout: float | None = _UNSET,  # type: ignore[assignment]
+        retries: int | None = None,
+        backoff: float = 0.25,
+        max_pool_failures: int | None = None,
+        ledger: RunLedger | None = None,
+        label: str | None = None,
+    ) -> None:
         self.jobs = get_default_jobs() if jobs is None else int(jobs)
         if self.jobs < 1:
             raise InvalidParameterError(f"jobs must be >= 1, got {self.jobs}")
+        if timeout is _UNSET:
+            self.timeout = get_default_timeout()
+        else:
+            self.timeout = None if timeout is None else float(timeout)
+        if self.timeout is not None and self.timeout <= 0:
+            raise InvalidParameterError(f"timeout must be > 0, got {self.timeout:g}")
+        self.retries = get_default_retries() if retries is None else int(retries)
+        if self.retries < 0:
+            raise InvalidParameterError(f"retries must be >= 0, got {self.retries}")
+        self.backoff = float(backoff)
+        if self.backoff < 0:
+            raise InvalidParameterError(f"backoff must be >= 0, got {self.backoff:g}")
+        self.max_pool_failures = (
+            get_default_max_pool_failures()
+            if max_pool_failures is None
+            else int(max_pool_failures)
+        )
+        if self.max_pool_failures < 1:
+            raise InvalidParameterError(
+                f"max_pool_failures must be >= 1, got {self.max_pool_failures}"
+            )
+        self.ledger = ledger
+        self.label = label
 
     @property
     def backend(self) -> str:
         """``"serial"`` or ``"process"``."""
         return "serial" if self.jobs == 1 else "process"
 
-    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        *,
+        checkpoint: MapCheckpoint | None = None,
+    ) -> list[R]:
         """Apply ``fn`` to every item, preserving input order.
 
-        The first failing task's exception propagates: directly (with
-        its original traceback) on the serial backend, re-raised from a
-        :class:`ParallelTaskError` on the process backend.
+        A task whose attempts are exhausted propagates its exception:
+        directly (with its original traceback) on the serial backend,
+        re-raised from a :class:`ParallelTaskError` on the process
+        backend; a hung task raises :class:`ParallelTimeoutError`.
         """
         tasks = list(items)
-        if self.jobs == 1 or len(tasks) <= 1:
-            return [fn(item) for item in tasks]
-        workers = min(self.jobs, len(tasks))
-        chunksize = max(1, len(tasks) // (workers * 4))
-        payloads = [(index, fn, item) for index, item in enumerate(tasks)]
-        with ProcessPoolExecutor(max_workers=workers) as executor:
-            outcomes = list(executor.map(_guarded_call, payloads, chunksize=chunksize))
-        results: list[R] = []
-        for index, (ok, value, traceback_text) in enumerate(outcomes):
-            if not ok:
-                raise value from ParallelTaskError(index, traceback_text)
-            results.append(value)
-        return results
+        ledger = self.ledger if self.ledger is not None else active_ledger()
+        results: dict[int, R] = {}
+        pending: list[int] = []
+        for index, item in enumerate(tasks):
+            if checkpoint is not None:
+                value = checkpoint.load(index, item)
+                if value is not _CHECKPOINT_MISS:
+                    results[index] = value
+                    self._emit(ledger, "checkpoint-hit", task=index)
+                    continue
+            pending.append(index)
+        self._emit(
+            ledger,
+            "map-start",
+            backend=self.backend,
+            label=self.label,
+            jobs=self.jobs,
+            tasks=len(tasks),
+            restored=len(results),
+        )
+        if pending:
+            if self.jobs == 1 or len(pending) <= 1:
+                self._run_serial(fn, tasks, pending, results, {}, ledger, checkpoint)
+            else:
+                self._run_process(fn, tasks, pending, results, ledger, checkpoint)
+        self._emit(ledger, "map-finish", label=self.label, tasks=len(tasks))
+        return [results[index] for index in range(len(tasks))]
+
+    # ------------------------------------------------------------------
+    # shared helpers
+
+    @staticmethod
+    def _emit(ledger: RunLedger | None, event: str, **fields) -> None:
+        if ledger is not None:
+            ledger.emit(event, **fields)
+
+    def _backoff_delay(self, failures: int) -> float:
+        return min(self.backoff * (2.0 ** (failures - 1)), _BACKOFF_CAP_SECONDS)
+
+    def _record(self, index, item, value, results, ledger, checkpoint) -> None:
+        results[index] = value
+        if checkpoint is not None:
+            checkpoint.store(index, item, value)
+        self._emit(ledger, "task-finish", task=index)
+
+    # ------------------------------------------------------------------
+    # serial backend (also the degraded mode after repeated pool crashes)
+
+    def _run_serial(
+        self, fn, tasks, pending, results, attempts, ledger, checkpoint
+    ) -> None:
+        for index in pending:
+            while True:
+                self._emit(
+                    ledger,
+                    "task-start",
+                    task=index,
+                    attempt=attempts.get(index, 0) + 1,
+                    backend="serial",
+                )
+                try:
+                    value = fn(tasks[index])
+                except Exception as exc:
+                    attempts[index] = attempts.get(index, 0) + 1
+                    if attempts[index] > self.retries:
+                        raise
+                    self._emit(
+                        ledger,
+                        "task-retry",
+                        task=index,
+                        attempt=attempts[index],
+                        error=repr(exc),
+                    )
+                    delay = self._backoff_delay(attempts[index])
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                self._record(index, tasks[index], value, results, ledger, checkpoint)
+                break
+
+    # ------------------------------------------------------------------
+    # process backend
+
+    def _run_process(self, fn, tasks, pending, results, ledger, checkpoint) -> None:
+        queue = list(pending)
+        attempts: dict[int, int] = {}
+        not_before: dict[int, float] = {}
+        pool_failures = 0
+        while queue:
+            if pool_failures >= self.max_pool_failures:
+                self._emit(
+                    ledger,
+                    "serial-fallback",
+                    remaining=len(queue),
+                    pool_failures=pool_failures,
+                )
+                self._run_serial(
+                    fn, tasks, sorted(queue), results, attempts, ledger, checkpoint
+                )
+                return
+            workers = min(self.jobs, len(queue))
+            executor = ProcessPoolExecutor(max_workers=workers)
+            try:
+                queue, crashed = self._drain_pool(
+                    executor,
+                    workers,
+                    fn,
+                    tasks,
+                    queue,
+                    results,
+                    attempts,
+                    not_before,
+                    ledger,
+                    checkpoint,
+                )
+            finally:
+                _terminate_pool(executor)
+            if crashed:
+                pool_failures += 1
+                self._emit(
+                    ledger,
+                    "pool-crash",
+                    failures=pool_failures,
+                    remaining=len(queue),
+                )
+
+    def _drain_pool(
+        self,
+        executor,
+        workers,
+        fn,
+        tasks,
+        queue,
+        results,
+        attempts,
+        not_before,
+        ledger,
+        checkpoint,
+    ) -> tuple[list[int], bool]:
+        """Run tasks on one pool until it is empty, crashes, or a hung
+        task forces a restart.  Returns ``(unfinished tasks, crashed)``.
+        """
+        queue = list(queue)
+        inflight: dict[object, int] = {}
+        deadlines: dict[object, float] = {}
+
+        def recovered() -> list[int]:
+            return sorted(set(queue) | set(inflight.values()))
+
+        while queue or inflight:
+            # Refill the submission window with whatever is off backoff.
+            now = time.monotonic()
+            while queue and len(inflight) < workers:
+                position = next(
+                    (
+                        pos
+                        for pos, index in enumerate(queue)
+                        if not_before.get(index, 0.0) <= now
+                    ),
+                    None,
+                )
+                if position is None:
+                    break
+                index = queue.pop(position)
+                try:
+                    future = executor.submit(_guarded_call, (index, fn, tasks[index]))
+                except BrokenExecutor:
+                    queue.append(index)
+                    return recovered(), True
+                inflight[future] = index
+                if self.timeout is not None:
+                    deadlines[future] = time.monotonic() + self.timeout
+                self._emit(
+                    ledger,
+                    "task-start",
+                    task=index,
+                    attempt=attempts.get(index, 0) + 1,
+                    backend="process",
+                )
+            if not inflight:
+                # Everything left is waiting out its backoff delay.
+                next_ready = min(not_before.get(index, 0.0) for index in queue)
+                time.sleep(max(0.0, next_ready - time.monotonic()))
+                continue
+            done, _ = wait(
+                set(inflight),
+                timeout=self._wait_timeout(queue, not_before, deadlines),
+                return_when=FIRST_COMPLETED,
+            )
+            crashed = False
+            for future in sorted(done, key=inflight.__getitem__):
+                index = inflight.pop(future)
+                deadlines.pop(future, None)
+                error = future.exception()
+                if error is not None:
+                    if isinstance(error, BrokenExecutor):
+                        crashed = True
+                        queue.append(index)
+                        continue
+                    # Executor-side task failure (e.g. unpicklable
+                    # result): apply the normal retry policy.
+                    self._register_failure(
+                        index,
+                        error,
+                        "".join(
+                            traceback.format_exception(
+                                type(error), error, error.__traceback__
+                            )
+                        ),
+                        attempts,
+                        not_before,
+                        queue,
+                        ledger,
+                    )
+                    continue
+                ok, value, traceback_text = future.result()
+                if ok:
+                    self._record(index, tasks[index], value, results, ledger, checkpoint)
+                else:
+                    self._register_failure(
+                        index, value, traceback_text, attempts, not_before, queue, ledger
+                    )
+            if crashed:
+                return recovered(), True
+            if deadlines:
+                expired = sorted(
+                    inflight[future]
+                    for future, deadline in list(deadlines.items())
+                    if future in inflight and deadline <= time.monotonic()
+                )
+                if expired:
+                    # A hung worker cannot be preempted through the
+                    # executor API: count the timeout against each hung
+                    # task, then restart the pool to reclaim the workers
+                    # (the caller terminates it; completed results stay).
+                    for index in expired:
+                        attempts[index] = attempts.get(index, 0) + 1
+                        if attempts[index] > self.retries:
+                            raise ParallelTimeoutError(
+                                index, self.timeout, attempts[index]
+                            )
+                        self._emit(
+                            ledger,
+                            "task-timeout",
+                            task=index,
+                            attempt=attempts[index],
+                            timeout=self.timeout,
+                        )
+                        not_before[index] = (
+                            time.monotonic() + self._backoff_delay(attempts[index])
+                        )
+                    return recovered(), False
+        return [], False
+
+    def _register_failure(
+        self, index, exc, traceback_text, attempts, not_before, queue, ledger
+    ) -> None:
+        """Count one failed attempt; re-queue or raise."""
+        attempts[index] = attempts.get(index, 0) + 1
+        if attempts[index] > self.retries:
+            raise exc from ParallelTaskError(index, traceback_text or "")
+        self._emit(
+            ledger, "task-retry", task=index, attempt=attempts[index], error=repr(exc)
+        )
+        not_before[index] = time.monotonic() + self._backoff_delay(attempts[index])
+        queue.append(index)
+
+    def _wait_timeout(self, queue, not_before, deadlines) -> float | None:
+        """How long ``wait`` may block before backoffs/deadlines need a
+        look; ``None`` (forever) when neither is in play."""
+        now = time.monotonic()
+        candidates = []
+        if deadlines:
+            candidates.append(min(deadlines.values()) - now)
+        waiting = [not_before[index] for index in queue if index in not_before]
+        if waiting:
+            candidates.append(min(waiting) - now)
+        if not candidates:
+            return None
+        return max(0.0, min(candidates)) + 0.01
 
 
 def parallel_map(

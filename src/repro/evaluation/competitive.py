@@ -220,7 +220,7 @@ def evaluate_fleet(
     Per-vehicle evaluation is pure, so ``jobs`` fans it out over worker
     processes with no effect on the result or its ordering.
     """
-    evaluations = ParallelMap(jobs).map(
+    evaluations = ParallelMap(jobs, label="fleet-eval").map(
         partial(evaluate_vehicle, break_even=break_even, use_kernels=use_kernels),
         vehicles,
     )

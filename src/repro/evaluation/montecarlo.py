@@ -74,7 +74,9 @@ def monte_carlo_cr(
     if offline <= 0.0:
         raise InvalidParameterError("offline cost is zero over the sample; CR undefined")
     worker = partial(_realized_ratio, strategy=strategy, stop_lengths=y, offline=offline)
-    ratios = np.asarray(ParallelMap(jobs).map(worker, spawn_rngs(rng, repetitions)))
+    ratios = np.asarray(
+        ParallelMap(jobs, label="monte-carlo").map(worker, spawn_rngs(rng, repetitions))
+    )
     return MonteCarloCR(
         mean=float(ratios.mean()),
         std=float(ratios.std(ddof=1)) if repetitions > 1 else 0.0,

@@ -32,7 +32,7 @@ from ..core.kernels import PrefixSumSample
 from ..core.stats import StopStatistics
 from ..distributions.base import StopLengthDistribution
 from ..distributions.scaled import scale_to_mean
-from ..engine import ParallelMap, spawn_seeds
+from ..engine import MapCheckpoint, ParallelMap, ResultCache, spawn_seeds
 from ..errors import InvalidParameterError
 from .batch import StrategyPlan
 from .competitive import STRATEGY_NAMES, build_strategies
@@ -98,6 +98,7 @@ def sweep_simulated(
     stops_per_vehicle: int = 80,
     seed: int = 0,
     jobs: int | None = None,
+    checkpoint_cache: ResultCache | None = None,
 ) -> SweepResult:
     """Figure 5/6, simulated mode.
 
@@ -106,6 +107,11 @@ def sweep_simulated(
     evaluate all six strategies per vehicle, and record the worst
     (largest) CR per strategy.  Points fan out over ``jobs`` workers;
     per-point seed children keep the result independent of the count.
+
+    ``checkpoint_cache`` spills each completed point through the result
+    cache so an interrupted sweep resumes from its completed prefix
+    (the per-point worker params ride in the checkpoint scope; the mean
+    and its seed child are part of the task digest itself).
     """
     means = _validate_means(mean_stop_lengths)
     if vehicles_per_point <= 0 or stops_per_vehicle <= 0:
@@ -118,7 +124,18 @@ def sweep_simulated(
         vehicles_per_point=vehicles_per_point,
         stops_per_vehicle=stops_per_vehicle,
     )
-    per_point = ParallelMap(jobs).map(worker, tasks)
+    checkpoint = None
+    if checkpoint_cache is not None:
+        checkpoint = MapCheckpoint(
+            cache=checkpoint_cache,
+            scope=(
+                f"sweep-simulated:B={break_even:g}:v={vehicles_per_point}"
+                f":s={stops_per_vehicle}:d={base_distribution!r}"
+            ),
+        )
+    per_point = ParallelMap(jobs, label="sweep-simulated").map(
+        worker, tasks, checkpoint=checkpoint
+    )
     series = {name: np.empty(means.size) for name in STRATEGY_NAMES}
     for index, worst in enumerate(per_point):
         for name in STRATEGY_NAMES:
@@ -162,6 +179,7 @@ def sweep_analytic(
     break_even: float,
     grid_size: int = 512,
     jobs: int | None = None,
+    checkpoint_cache: ResultCache | None = None,
 ) -> SweepResult:
     """Figure 5/6, analytic mode: guaranteed worst-case CR over Q.
 
@@ -169,6 +187,9 @@ def sweep_analytic(
     ``(mu_B_minus, q_B_plus)``, then each strategy's worst-case expected
     CR over the ambiguity set via the moment LP.  NEV is reported as NaN
     (its worst case over Q is unbounded whenever long stops exist).
+    ``checkpoint_cache`` makes the sweep resumable (see
+    :func:`sweep_simulated`); the non-task worker params — grid size,
+    break-even, distribution — are folded into the checkpoint scope.
     """
     means = _validate_means(mean_stop_lengths)
     worker = partial(
@@ -177,7 +198,18 @@ def sweep_analytic(
         break_even=break_even,
         grid_size=grid_size,
     )
-    per_point = ParallelMap(jobs).map(worker, means.tolist())
+    checkpoint = None
+    if checkpoint_cache is not None:
+        checkpoint = MapCheckpoint(
+            cache=checkpoint_cache,
+            scope=(
+                f"sweep-analytic:B={break_even:g}:g={grid_size}"
+                f":d={base_distribution!r}"
+            ),
+        )
+    per_point = ParallelMap(jobs, label="sweep-analytic").map(
+        worker, means.tolist(), checkpoint=checkpoint
+    )
     series = {name: np.full(means.size, np.nan) for name in STRATEGY_NAMES}
     for index, point in enumerate(per_point):
         for name in STRATEGY_NAMES:

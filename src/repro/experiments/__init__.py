@@ -31,6 +31,7 @@ from . import (
 )
 from ..engine.cache import ResultCache, cache_key
 from ..engine.instrument import StageTiming
+from ..engine.ledger import active_ledger
 from .report import ExperimentResult, Table, format_table
 
 __all__ = [
@@ -108,8 +109,13 @@ def cached_run(
         cache = ResultCache()
     key = cache_key(experiment_id, params)
     payload = cache.get(key)
+    ledger = active_ledger()
     if payload is not None:
+        if ledger is not None:
+            ledger.emit("cache-hit", experiment=experiment_id, key=key)
         return ExperimentResult.from_payload(payload)
+    if ledger is not None:
+        ledger.emit("cache-miss", experiment=experiment_id, key=key)
     result = run_experiment(experiment_id, **params, jobs=jobs)
     cache.put(key, result.to_payload())
     return result

@@ -66,7 +66,7 @@ def run(points: int = 120, jobs: int | None = None) -> ExperimentResult:
     """Reproduce the four Figure 2 panels (one parallel task each)."""
     instrumentation = Instrumentation()
     with instrumentation.stage("panel slices", tasks=len(SLICES)):
-        tables = ParallelMap(jobs).map(
+        tables = ParallelMap(jobs, label="fig2-panels").map(
             partial(_slice_task, points=points), SLICES
         )
     # Headline check of the figure: the proposed curve is the lower

@@ -105,7 +105,9 @@ def run(
     region_counts: dict[str, int] = {}
     with instrumentation.stage("corrected region grid", tasks=q_values.size):
         worker = partial(_grid_row, mu_values=mu_values, break_even=break_even)
-        row_results = ParallelMap(jobs).map(worker, q_values[::-1].tolist())
+        row_results = ParallelMap(jobs, label="improved-grid").map(
+            worker, q_values[::-1].tolist()
+        )
     for glyphs, cells in row_results:
         glyph_rows.append(glyphs)
         for row, chosen_name, improvement in cells:

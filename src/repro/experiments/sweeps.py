@@ -14,15 +14,28 @@ curve below everything at every mean.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from ..constants import B_CONVENTIONAL, B_SSV
-from ..engine import Instrumentation
+from ..engine import Instrumentation, ResultCache
 from ..evaluation import STRATEGY_NAMES, sweep_analytic, sweep_simulated
 from ..fleet.areas import area_config
 from .report import ExperimentResult, Table
 
 __all__ = ["run_fig5", "run_fig6", "DEFAULT_MEANS"]
+
+#: Set (non-empty, not "0") to spill per-point sweep results through the
+#: result cache so an interrupted sweep resumes instead of restarting.
+CHECKPOINT_ENV_VAR = "REPRO_CHECKPOINT"
+
+
+def _checkpoint_cache() -> ResultCache | None:
+    flag = os.environ.get(CHECKPOINT_ENV_VAR, "").strip()
+    if not flag or flag == "0":
+        return None
+    return ResultCache()
 
 #: Swept mean stop lengths (seconds): spans light traffic (means well
 #: below either break-even) to heavy (minutes-long average stops).
@@ -41,6 +54,7 @@ def _run(
 ) -> ExperimentResult:
     base = area_config("chicago").stop_length_distribution()
     instrumentation = Instrumentation()
+    checkpoint_cache = _checkpoint_cache()
     point_count = len(tuple(means))
     with instrumentation.stage("simulated sweep", tasks=point_count):
         simulated = sweep_simulated(
@@ -51,9 +65,17 @@ def _run(
             stops_per_vehicle=stops_per_vehicle,
             seed=seed,
             jobs=jobs,
+            checkpoint_cache=checkpoint_cache,
         )
     with instrumentation.stage("analytic sweep", tasks=point_count):
-        analytic = sweep_analytic(base, means, break_even, grid_size=grid_size, jobs=jobs)
+        analytic = sweep_analytic(
+            base,
+            means,
+            break_even,
+            grid_size=grid_size,
+            jobs=jobs,
+            checkpoint_cache=checkpoint_cache,
+        )
     tables = []
     for label, sweep in (("simulated", simulated), ("analytic", analytic)):
         rows = []

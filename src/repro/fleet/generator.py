@@ -128,7 +128,9 @@ class FleetGenerator:
         if count <= 0:
             raise InvalidParameterError(f"vehicle_count must be >= 1, got {count}")
         tasks = list(enumerate(spawn_seeds(self.seed, count)))
-        return ParallelMap(jobs).map(self._vehicle_from_task, tasks)
+        return ParallelMap(jobs, label="fleet-generate").map(
+            self._vehicle_from_task, tasks
+        )
 
     def pooled_stop_lengths(
         self, vehicle_count: int | None = None, jobs: int | None = None

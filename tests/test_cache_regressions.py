@@ -1,0 +1,154 @@
+"""Regression tests for the cache-keying and payload-integrity fixes.
+
+Each class pins one historical bug:
+
+* dict params whose keys differed only in Python type (``{1: "a"}`` vs
+  ``{"1": "a"}``) collided onto one cache key;
+* non-finite floats either crashed ``cache_key`` or leaked ``NaN`` /
+  ``Infinity`` tokens (non-standard JSON) into stored payloads;
+* temp files orphaned by killed writers survived ``clear()`` forever;
+* ``StageTiming.from_payload`` crashed on pre-``tasks`` payloads.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    ResultCache,
+    StageTiming,
+    cache_key,
+    decode_payload,
+    encode_payload,
+)
+
+#: Pinned code version so keys in this file don't depend on source edits.
+_V = "test-version"
+
+
+def _key(params: dict) -> str:
+    return cache_key("regression", params, version=_V)
+
+
+class TestKeyTypeCollisions:
+    def test_int_and_str_keys_are_distinct(self):
+        assert _key({1: "a"}) != _key({"1": "a"})
+
+    def test_bool_and_int_keys_are_distinct(self):
+        # bool is an int subclass; str(True) != str(1) saves the naive
+        # coercion here, but the tagged form must still keep them apart
+        # from each other and from the string spellings.
+        keys = [_key({k: "a"}) for k in (True, 1, "True", "1")]
+        assert len(set(keys)) == len(keys)
+
+    def test_float_and_int_keys_are_distinct(self):
+        assert _key({1.0: "a"}) != _key({1: "a"})
+
+    def test_nested_dict_keys_are_tagged_too(self):
+        assert _key({"outer": {2: "x"}}) != _key({"outer": {"2": "x"}})
+
+    def test_equal_params_still_share_a_key(self):
+        # The fix must not break the point of the cache: same params
+        # (regardless of dict order) address the same entry.
+        assert _key({"a": 1, "b": 2}) == _key({"b": 2, "a": 1})
+
+
+class TestNonFiniteParams:
+    def test_nan_param_is_keyable(self):
+        _key({"threshold": float("nan")})  # must not raise
+
+    def test_nonfinite_values_key_distinctly(self):
+        keys = [
+            _key({"x": value})
+            for value in (float("nan"), float("inf"), float("-inf"), 0.0)
+        ]
+        assert len(set(keys)) == len(keys)
+
+    def test_no_nan_token_in_stored_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = _key({"x": 1})
+        cache.put(key, {"series": [1.0, float("nan"), float("inf")]})
+        raw = cache.entry_path(key).read_text()
+        for token in ("NaN", "Infinity"):
+            assert token not in raw
+
+    def test_nonfinite_payload_round_trips_losslessly(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = _key({"x": 2})
+        cache.put(key, {"v": [float("nan"), float("inf"), float("-inf"), 3.5]})
+        restored = cache.get(key)["v"]
+        assert math.isnan(restored[0])
+        assert restored[1] == float("inf")
+        assert restored[2] == float("-inf")
+        assert restored[3] == 3.5
+
+    def test_encode_decode_inverse_on_nested_payloads(self):
+        payload = {"a": {"b": [float("nan"), {"c": float("-inf")}]}, "d": 1}
+        restored = decode_payload(encode_payload(payload))
+        assert math.isnan(restored["a"]["b"][0])
+        assert restored["a"]["b"][1]["c"] == float("-inf")
+        assert restored["d"] == 1
+
+    def test_numpy_nonfinite_scalars_handled(self):
+        _key({"x": np.float64("nan"), "y": np.array([np.inf, 1.0])})
+
+
+class TestOrphanSweep:
+    def _orphan(self, cache: ResultCache):
+        bucket = cache.root / "ab"
+        bucket.mkdir(parents=True, exist_ok=True)
+        orphan = bucket / "abcd.json.tmp12345"
+        orphan.write_text('{"partial":')
+        return orphan
+
+    def test_orphans_are_not_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        orphan = self._orphan(cache)
+        assert orphan not in cache.entries()
+        assert cache.orphan_tmp_files() == [orphan]
+
+    def test_clear_sweeps_orphans(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_key({"x": 1}), {"value": 1})
+        self._orphan(cache)
+        assert cache.clear() == 2
+        assert cache.entries() == []
+        assert cache.orphan_tmp_files() == []
+
+    def test_doctor_reports_orphans_and_invalid_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_key({"x": 1}), {"value": 1})  # healthy
+        orphan = self._orphan(cache)
+        # An entry written by pre-fix code: carries a NaN token.
+        legacy = cache.root / "cd" / "cdef.json"
+        legacy.parent.mkdir(parents=True, exist_ok=True)
+        legacy.write_text('{"value": NaN}')
+        report = cache.doctor()
+        assert report["orphans"] == [orphan]
+        assert report["invalid"] == [legacy]
+
+    def test_doctor_clean_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_key({"x": 1}), {"value": 1})
+        report = cache.doctor()
+        assert report["orphans"] == [] and report["invalid"] == []
+
+
+class TestStageTimingPayloads:
+    def test_from_payload_tolerates_missing_tasks(self):
+        # Cached payloads written before `tasks` existed lack the field;
+        # reading them must not raise.
+        timing = StageTiming.from_payload({"stage": "sweep", "seconds": 1.5})
+        assert timing == StageTiming(stage="sweep", seconds=1.5, tasks=None)
+
+    @pytest.mark.parametrize("tasks", [None, 0, 64])
+    def test_round_trip(self, tasks):
+        timing = StageTiming(stage="eval", seconds=0.25, tasks=tasks)
+        assert StageTiming.from_payload(timing.to_payload()) == timing
+
+    def test_payload_survives_json(self):
+        timing = StageTiming(stage="grid", seconds=2.0, tasks=16)
+        restored = StageTiming.from_payload(json.loads(json.dumps(timing.to_payload())))
+        assert restored == timing

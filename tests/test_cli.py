@@ -1,5 +1,7 @@
 """Unit tests for the repro-idling command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -119,6 +121,61 @@ class TestCommands:
 
         fleets = load_fleet_dataset(tmp_path / "ds")
         assert sum(len(v) for v in fleets.values()) == 9
+
+    def test_run_with_ledger_writes_jsonl_and_summary(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        ledger_path = tmp_path / "run.jsonl"
+        assert main(["run", "appc", "--ledger", str(ledger_path)]) == 0
+        out = capsys.readouterr().out
+        assert "-- ledger --" in out
+        assert f"events written to {ledger_path}" in out
+        events = [json.loads(line) for line in ledger_path.read_text().splitlines()]
+        assert events, "ledger file must not be empty"
+        assert [e["seq"] for e in events] == list(range(len(events)))
+        assert any(e["event"] == "cache-miss" for e in events)
+        # Second run hits the cache — and the ledger records it.
+        assert main(["run", "appc", "--ledger", str(ledger_path)]) == 0
+        assert "cache-hit" in capsys.readouterr().out
+
+    def test_cache_doctor_healthy(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["cache", "doctor"]) == 0
+        out = capsys.readouterr().out
+        assert "orphaned tmp:    0" in out
+        assert "invalid JSON:    0" in out
+        assert "cache is healthy" in out
+
+    def test_cache_doctor_flags_orphans_and_invalid(self, tmp_path, capsys, monkeypatch):
+        root = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(root))
+        bucket = root / "ab"
+        bucket.mkdir(parents=True)
+        (bucket / "abcd.json.tmp99").write_text("{")
+        (bucket / "abcd.json").write_text('{"value": NaN}')
+        assert main(["cache", "doctor"]) == 0
+        out = capsys.readouterr().out
+        assert "orphaned tmp:    1" in out
+        assert "invalid JSON:    1" in out
+        assert "cache clear" in out
+
+    def test_cache_info_reports_orphans(self, tmp_path, capsys, monkeypatch):
+        root = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(root))
+        bucket = root / "cd"
+        bucket.mkdir(parents=True)
+        (bucket / "cdef.json.tmp7").write_text("{")
+        assert main(["cache"]) == 0
+        assert "orphaned tmp:    1" in capsys.readouterr().out
+
+    def test_cache_clear_sweeps_orphans(self, tmp_path, capsys, monkeypatch):
+        root = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(root))
+        bucket = root / "ef"
+        bucket.mkdir(parents=True)
+        (bucket / "efab.json.tmp3").write_text("{")
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1 cached file(s)" in capsys.readouterr().out
+        assert not list(root.glob("*/*"))
 
     def test_advise_each_strategy_branch(self, capsys):
         # All short stops -> DET advice text.
