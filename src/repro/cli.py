@@ -32,6 +32,16 @@ Subcommands
     Mean/std weekly-cost table per strategy with Pareto-efficiency flags.
 ``dataset <dir> [--seed S] [--vehicles N]``
     Generate and persist the synthetic evaluation dataset.
+``data doctor <path> [--policy P] [--report FILE] [--ledger FILE]``
+    Diagnose a data file or dataset directory: run every ingestion
+    check, print the validation report, optionally write it as JSON
+    and/or divert bad records to quarantine sidecars.  Exits non-zero
+    when error-grade issues remain unhandled.
+
+``run``/``all`` additionally accept ``--dataset DIR`` (evaluate an
+on-disk fleet dataset instead of synthesizing — fig3/fig4/table1) and
+``--policy {strict,repair,quarantine}`` governing its ingestion;
+``advise``/``risk`` accept the same ``--policy`` for their stop input.
 """
 
 from __future__ import annotations
@@ -47,6 +57,9 @@ from .core import ConstrainedSkiRentalSolver, StopStatistics
 from .engine import ResultCache, RunLedger, get_default_jobs, use_ledger
 from .errors import ReproError
 from .experiments import EXPERIMENTS, cached_run, format_table
+from .validation import Policy
+
+_POLICY_CHOICES = tuple(member.value for member in Policy)
 
 __all__ = ["main", "build_parser"]
 
@@ -104,6 +117,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a JSONL run ledger (task/retry/pool-crash/cache events) "
         "to this path and print its summary with the report",
     )
+    run_cmd.add_argument(
+        "--dataset",
+        type=Path,
+        default=None,
+        help="evaluate an on-disk fleet dataset (fig3/fig4/table1) instead "
+        "of synthesizing one",
+    )
+    run_cmd.add_argument(
+        "--policy",
+        choices=_POLICY_CHOICES,
+        default="strict",
+        help="validation policy for --dataset ingestion (default: strict)",
+    )
 
     sub.add_parser("list", help="list experiments")
 
@@ -113,6 +139,8 @@ def build_parser() -> argparse.ArgumentParser:
     all_cmd.add_argument("--jobs", type=int, default=None)
     all_cmd.add_argument("--no-cache", action="store_true")
     all_cmd.add_argument("--ledger", type=Path, default=None)
+    all_cmd.add_argument("--dataset", type=Path, default=None)
+    all_cmd.add_argument("--policy", choices=_POLICY_CHOICES, default="strict")
 
     cache_cmd = sub.add_parser("cache", help="inspect or clear the result cache")
     cache_cmd.add_argument(
@@ -144,6 +172,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also consider the b-Rand family (the reproduction's "
         "correction to the paper's four-vertex optimum)",
+    )
+    advise.add_argument(
+        "--policy",
+        choices=_POLICY_CHOICES,
+        default="strict",
+        help="validation policy for the stop input (default: strict)",
     )
 
     breakeven = sub.add_parser(
@@ -185,6 +219,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated stop lengths or a one-column file",
     )
     risk.add_argument("--break-even", type=float, default=B_SSV)
+    risk.add_argument("--policy", choices=_POLICY_CHOICES, default="strict")
+
+    data_cmd = sub.add_parser(
+        "data", help="diagnose and repair data files (validation layer)"
+    )
+    data_cmd.add_argument(
+        "action", choices=("doctor",), help="'doctor' runs every ingestion check"
+    )
+    data_cmd.add_argument(
+        "path",
+        type=Path,
+        help="a fleet dataset directory, stop CSV, trace JSON, or any CSV "
+        "(structural lint)",
+    )
+    data_cmd.add_argument(
+        "--policy",
+        choices=_POLICY_CHOICES,
+        default="repair",
+        help="strict: stop at the first error; repair: drop bad records; "
+        "quarantine: divert them to sidecar files (default: repair)",
+    )
+    data_cmd.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        help="also write the full validation report as JSON to this path",
+    )
+    data_cmd.add_argument(
+        "--ledger",
+        type=Path,
+        default=None,
+        help="write a JSONL run ledger including the validation events",
+    )
 
     dataset = sub.add_parser(
         "dataset", help="generate and persist the synthetic evaluation dataset"
@@ -198,6 +265,31 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Experiments that can evaluate an on-disk dataset via ``--dataset``.
+_DATASET_EXPERIMENTS = {"fig3", "fig4", "table1"}
+
+
+def _dataset_digest(directory: Path) -> str:
+    """Content hash of a fleet dataset's payload files.
+
+    Used to salt the result-cache key for ``--dataset`` runs: the same
+    directory path with different bytes must not serve a stale cached
+    result.  Quarantine sidecars and report files are deliberately
+    excluded — a quarantine pass writes them next to the sources, and
+    they must not invalidate the cache for the unchanged payload.
+    """
+    import hashlib
+
+    directory = Path(directory)
+    digest = hashlib.sha256()
+    for name in ("manifest.json", "stops.csv"):
+        file_path = directory / name
+        digest.update(name.encode())
+        if file_path.exists():
+            digest.update(file_path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
 def _experiment_params(experiment_id: str, args) -> dict:
     params: dict = {}
     if getattr(args, "fast", False):
@@ -205,19 +297,64 @@ def _experiment_params(experiment_id: str, args) -> dict:
     vehicles = getattr(args, "vehicles", None)
     if vehicles is not None and experiment_id in {"fig3", "fig4", "table1", "holdout", "seeds"}:
         params["vehicles_per_area"] = vehicles
+    dataset = getattr(args, "dataset", None)
+    if dataset is not None and experiment_id in _DATASET_EXPERIMENTS:
+        params["dataset"] = str(dataset)
+        params["policy"] = args.policy
+        params["_dataset_digest"] = _dataset_digest(dataset)
     return params
 
 
-def _parse_stops(spec: str) -> np.ndarray:
+def _parse_stops(spec: str, policy: str = "strict") -> np.ndarray:
+    """Parse ``--stops`` (a file path or comma-separated values).
+
+    Both forms run through the validation layer: under ``strict`` a bad
+    value raises a typed error naming the offending line (or token),
+    under ``repair``/``quarantine`` bad values are dropped and logged.
+    """
+    from .validation import PolicyEnforcer
+
     path = Path(spec)
     if path.exists():
-        values = [
-            float(line.strip())
-            for line in path.read_text().splitlines()
-            if line.strip()
-        ]
+        source = str(path)
+        tokens = path.read_text().splitlines()
     else:
-        values = [float(token) for token in spec.split(",") if token.strip()]
+        source = "--stops"
+        tokens = spec.split(",")
+    enforcer = PolicyEnforcer(policy, None, source)
+    values = []
+    for line_number, token in enumerate(tokens, start=1):
+        token = token.strip()
+        if not token:
+            continue
+        enforcer.report.records_checked += 1
+        try:
+            value = float(token)
+        except ValueError:
+            enforcer.flag(
+                "unparseable-duration",
+                f"could not parse {token!r} as a stop length",
+                line=line_number,
+                record=[token],
+            )
+            continue
+        if not np.isfinite(value):
+            if not enforcer.flag(
+                "non-finite-duration",
+                f"stop length {token!r} is not finite",
+                line=line_number,
+                record=[token],
+            ):
+                continue
+        elif value < 0.0:
+            if not enforcer.flag(
+                "negative-duration",
+                f"stop length {value!r} is negative",
+                line=line_number,
+                record=[token],
+            ):
+                continue
+        values.append(value)
     return np.asarray(values, dtype=float)
 
 
@@ -270,8 +407,18 @@ def _cache(args) -> None:
         print(f"orphaned tmp:    {len(cache.orphan_tmp_files())}")
 
 
+def _warn_break_even(break_even: float) -> None:
+    """Unit-sanity warnings for ``--break-even`` (seconds expected)."""
+    from .validation import break_even_findings
+
+    for _check, message, severity in break_even_findings(break_even):
+        if severity == "warning":
+            print(f"warning: {message}", file=sys.stderr)
+
+
 def _advise(args) -> None:
-    stops = _parse_stops(args.stops)
+    _warn_break_even(args.break_even)
+    stops = _parse_stops(args.stops, args.policy)
     stats = StopStatistics.from_samples(stops, args.break_even)
     selection = ConstrainedSkiRentalSolver(stats).select()
     print(f"stops observed:        {stops.size}")
@@ -384,7 +531,8 @@ def _simulate(args) -> None:
 def _risk(args) -> None:
     from .evaluation import vehicle_pareto_report
 
-    stops = _parse_stops(args.stops)
+    _warn_break_even(args.break_even)
+    stops = _parse_stops(args.stops, args.policy)
     points = vehicle_pareto_report(stops, args.break_even)
     print(f"weekly cost (idle-second units) over {stops.size} stops, "
           f"B = {args.break_even:g} s:")
@@ -392,6 +540,109 @@ def _risk(args) -> None:
     for point in points:
         print(f"{point.strategy:<10}{point.mean:>10.1f}{point.std:>10.2f}  "
               f"{'yes' if point.efficient else 'no'}")
+
+
+_STOPS_HEADER = "vehicle_id,start_time,duration"
+
+
+def _lint_generic_csv(path: Path, report) -> None:
+    """Structural lint for arbitrary CSVs (e.g. committed results).
+
+    Deliberately value-agnostic: result tables legitimately contain
+    strings like ``inf`` and ``infeasible``, so the only checks are
+    byte-level decodability and a consistent column count.  Findings
+    stay ``reported`` (nothing is dropped — the file is not ingested).
+    """
+    import csv
+    import io
+
+    from .validation import Issue
+
+    report.add_source(str(path))
+    raw = path.read_bytes()
+    try:
+        text = raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        report.add(Issue("undecodable-bytes", f"not valid UTF-8: {exc}", str(path)))
+        return
+    rows = list(csv.reader(io.StringIO(text)))
+    report.records_checked += len(rows)
+    if not rows:
+        report.add(Issue("empty-table", "no rows", str(path)))
+        return
+    width = len(rows[0])
+    for line_number, row in enumerate(rows[1:], start=2):
+        if row and len(row) != width:
+            report.add(
+                Issue(
+                    "inconsistent-column-count",
+                    f"row has {len(row)} column(s); header has {width}",
+                    str(path),
+                    line_number,
+                )
+            )
+    print(f"generic CSV: {len(rows)} row(s), {width} column(s)")
+
+
+def _data_doctor(args) -> int:
+    """``data doctor``: run every ingestion check against a path.
+
+    Exit status: 0 when the input is clean or every error was handled
+    (dropped/quarantined/repaired under the policy); 1 when error-grade
+    issues remain unhandled — a strict-mode raise (via the main()
+    handler) or generic-lint findings, which are never repaired.
+    """
+    from .validation import ValidationReport, resolve_policy
+
+    path = Path(args.path)
+    policy = resolve_policy(args.policy)
+    report = ValidationReport(policy.value)
+    ledger = RunLedger(args.ledger) if args.ledger is not None else None
+
+    def _examine() -> None:
+        if path.is_dir():
+            from .fleet import load_fleet_dataset
+
+            fleets = load_fleet_dataset(path, policy=policy, report=report)
+            total = sum(len(vehicles) for vehicles in fleets.values())
+            print(f"fleet dataset: {total} vehicle(s) across {len(fleets)} area(s)")
+        elif path.suffix == ".json":
+            from .traces import read_traces_json
+
+            traces = read_traces_json(path, policy=policy, report=report)
+            print(f"trace JSON: {len(traces)} valid trace(s)")
+        else:
+            with open(path, newline="") as handle:
+                first = handle.readline().strip()
+            if first == _STOPS_HEADER:
+                from .traces import read_stops_csv
+
+                per_vehicle = read_stops_csv(path, policy=policy, report=report)
+                stops = sum(values.size for values in per_vehicle.values())
+                print(f"stop table: {len(per_vehicle)} vehicle(s), {stops} stop(s)")
+            else:
+                _lint_generic_csv(path, report)
+
+    if ledger is not None:
+        with use_ledger(ledger):
+            _examine()
+    else:
+        _examine()
+    print(report.format())
+    if args.report is not None:
+        written = report.write_json(args.report)
+        print(f"report written to {written}")
+    if ledger is not None and ledger.path is not None:
+        print(f"ledger written to {ledger.path}")
+    unhandled = [
+        issue
+        for issue in report.issues
+        if issue.severity == "error" and issue.action in ("reported", "raised")
+    ]
+    if unhandled:
+        print(f"{len(unhandled)} unhandled error(s)", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _dataset(args) -> None:
@@ -435,7 +686,12 @@ def main(argv: list[str] | None = None) -> int:
             _risk(args)
         elif args.command == "cache":
             _cache(args)
+        elif args.command == "data":
+            return _data_doctor(args)
     except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     return 0

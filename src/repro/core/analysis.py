@@ -29,7 +29,7 @@ from scipy import integrate, optimize
 from ..distributions.base import StopLengthDistribution
 from ..distributions.discrete import DiscreteStopDistribution
 from ..distributions.empirical import EmpiricalDistribution
-from ..errors import InvalidParameterError, SolverError
+from ..errors import DegenerateStatisticsError, InvalidParameterError, SolverError
 from .costs import offline_cost_vec, online_cost_vec, validate_break_even
 from .stats import StopStatistics
 from .strategy import DeterministicThresholdStrategy, Strategy
@@ -118,7 +118,7 @@ def expected_cr(
     b = break_even if break_even is not None else strategy.break_even
     offline = expected_offline_cost(distribution, b)
     if offline <= 0.0:
-        raise InvalidParameterError(
+        raise DegenerateStatisticsError(
             "expected offline cost is zero (all stops have zero length); CR undefined"
         )
     return expected_online_cost(strategy, distribution, b) / offline
@@ -184,7 +184,7 @@ def empirical_cr(
     b = break_even if break_even is not None else strategy.break_even
     offline = empirical_offline_cost(stop_lengths, b)
     if offline <= 0.0:
-        raise InvalidParameterError("offline cost is zero over the sample; CR undefined")
+        raise DegenerateStatisticsError("offline cost is zero over the sample; CR undefined")
     return empirical_online_cost(strategy, stop_lengths) / offline
 
 
@@ -264,7 +264,7 @@ def worst_case_cr(
     expected offline cost ``mu_B_minus + q_B_plus B``."""
     offline = stats.expected_offline_cost
     if offline <= 0.0:
-        raise InvalidParameterError("expected offline cost is zero; CR undefined")
+        raise DegenerateStatisticsError("expected offline cost is zero; CR undefined")
     return worst_case_expected_cost(strategy, stats, grid_size) / offline
 
 

@@ -38,7 +38,7 @@ import numpy as np
 from scipy import optimize
 
 from ..constants import E
-from ..errors import InvalidParameterError
+from ..errors import DegenerateStatisticsError, InvalidParameterError
 from .constrained import ConstrainedSkiRentalSolver, Selection, VertexEvaluation
 from .costs import validate_break_even, validate_stop_length
 from .stats import StopStatistics
@@ -252,7 +252,7 @@ class ImprovedConstrainedSolver:
 
     def __init__(self, stats: StopStatistics) -> None:
         if stats.expected_offline_cost <= 0.0:
-            raise InvalidParameterError(
+            raise DegenerateStatisticsError(
                 "degenerate statistics: expected offline cost is zero"
             )
         self.stats = stats

@@ -40,7 +40,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..constants import E
-from ..errors import InvalidParameterError
+from ..errors import DegenerateStatisticsError, InvalidParameterError
 from .deterministic import (
     BDet,
     Deterministic,
@@ -166,7 +166,7 @@ class ConstrainedSkiRentalSolver:
 
     def __init__(self, stats: StopStatistics) -> None:
         if stats.expected_offline_cost <= 0.0:
-            raise InvalidParameterError(
+            raise DegenerateStatisticsError(
                 "degenerate statistics: expected offline cost is zero "
                 "(every stop has zero length); competitive ratios are undefined"
             )

@@ -86,7 +86,13 @@ def optimal_b(stats: StopStatistics) -> float:
             "optimal_b is undefined for q_B_plus == 0 (no long stops); "
             "DET is the optimal strategy there"
         )
-    return math.sqrt(stats.mu_b_minus * stats.break_even / stats.q_b_plus)
+    ratio = stats.mu_b_minus * stats.break_even / stats.q_b_plus
+    if math.isfinite(ratio):
+        return math.sqrt(ratio)
+    # A subnormal q⁺ overflows the division even though b* itself is
+    # representable; sqrt each factor separately in that corner only, so
+    # normal inputs keep their exact historical value.
+    return math.sqrt(stats.mu_b_minus * stats.break_even) / math.sqrt(stats.q_b_plus)
 
 
 def b_det_condition_holds(stats: StopStatistics) -> bool:

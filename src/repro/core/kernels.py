@@ -41,7 +41,7 @@ from functools import lru_cache
 import numpy as np
 
 from ..constants import E
-from ..errors import InvalidParameterError
+from ..errors import DegenerateStatisticsError, InvalidParameterError
 from .brand import BRand
 from .constrained import ProposedOnline
 from .randomized import MOMRand, NRand
@@ -224,7 +224,7 @@ def empirical_cr_kernel(
     b = break_even if break_even is not None else strategy.break_even
     offline = sample.offline_cost(b)
     if offline <= 0.0:
-        raise InvalidParameterError("offline cost is zero over the sample; CR undefined")
+        raise DegenerateStatisticsError("offline cost is zero over the sample; CR undefined")
     return strategy_cost(sample, strategy) / offline
 
 

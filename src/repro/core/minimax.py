@@ -33,7 +33,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import optimize
 
-from ..errors import InvalidParameterError, SolverError
+from ..errors import DegenerateStatisticsError, InvalidParameterError, SolverError
 from .costs import validate_break_even
 from .stats import StopStatistics
 
@@ -199,7 +199,7 @@ def solve_constrained_game(stats: StopStatistics, grid_size: int = 120) -> GameS
     the analytic vertex selection.
     """
     if stats.expected_offline_cost <= 0.0:
-        raise InvalidParameterError("degenerate statistics: offline cost is zero")
+        raise DegenerateStatisticsError("degenerate statistics: offline cost is zero")
     b = stats.break_even
     x_grid, y_grid = _grids(b, grid_size)
     cost = _cost_matrix(x_grid, y_grid, b)

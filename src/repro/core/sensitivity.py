@@ -21,7 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..constants import E_RATIO
-from ..errors import InvalidParameterError
+from ..errors import DegenerateStatisticsError, InvalidParameterError
 from .analysis import worst_case_cr
 from .constrained import ProposedOnline
 from .stats import StopStatistics
@@ -52,7 +52,7 @@ def misspecified_worst_case_cr(
     if abs(true_stats.break_even - estimated_stats.break_even) > 1e-12:
         raise InvalidParameterError("statistics must share the break-even interval")
     if estimated_stats.expected_offline_cost <= 0.0:
-        raise InvalidParameterError("estimated statistics are degenerate")
+        raise DegenerateStatisticsError("estimated statistics are degenerate")
     strategy = ProposedOnline(estimated_stats)
     return worst_case_cr(strategy.delegate, true_stats, grid_size)
 
@@ -71,7 +71,7 @@ def robustness_margin(
     largest tested factor when nothing breaks it.
     """
     if true_stats.expected_offline_cost <= 0.0:
-        raise InvalidParameterError("true statistics are degenerate")
+        raise DegenerateStatisticsError("true statistics are degenerate")
     safe = 1.0
     for factor in sorted(factors):
         worst = 1.0

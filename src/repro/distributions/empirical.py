@@ -23,8 +23,14 @@ class EmpiricalDistribution(StopLengthDistribution):
     ``sample`` draws with replacement (bootstrap).
     """
 
-    def __init__(self, stop_lengths, name: str = "empirical") -> None:
+    def __init__(
+        self, stop_lengths, name: str = "empirical", policy=None, report=None
+    ) -> None:
         y = np.asarray(stop_lengths, dtype=float).ravel()
+        if policy is not None:
+            from ..validation import clean_stop_lengths
+
+            y = clean_stop_lengths(y, policy, report, source=f"empirical:{name}")
         if y.size == 0:
             raise InvalidDistributionError("empirical distribution needs at least one stop")
         if np.any(~np.isfinite(y)) or np.any(y < 0.0):

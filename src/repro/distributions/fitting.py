@@ -18,6 +18,23 @@ from ..errors import InvalidParameterError
 __all__ = ["KSResult", "ks_test_exponential", "tail_weight", "moment_summary"]
 
 
+def _clean(stop_lengths, policy, report, source: str) -> np.ndarray:
+    """Optionally route a sample through the validation layer.
+
+    ``policy=None`` preserves the historical contract (the checks below
+    raise :class:`InvalidParameterError` on dirty data); a policy routes
+    non-finite/negative values through
+    :func:`repro.validation.clean_stop_lengths` first, so diagnostics can
+    run directly on quarantine-grade telemetry.
+    """
+    y = np.asarray(stop_lengths, dtype=float).ravel()
+    if policy is None:
+        return y
+    from ..validation import clean_stop_lengths
+
+    return clean_stop_lengths(y, policy, report, source=source)
+
+
 @dataclass(frozen=True)
 class KSResult:
     """Result of a Kolmogorov-Smirnov goodness-of-fit test."""
@@ -28,7 +45,9 @@ class KSResult:
     alpha: float
 
 
-def ks_test_exponential(stop_lengths, alpha: float = 0.05) -> KSResult:
+def ks_test_exponential(
+    stop_lengths, alpha: float = 0.05, policy=None, report=None
+) -> KSResult:
     """KS test of a stop sample against the exponential with matched mean.
 
     Note: fitting the rate from the same sample makes the plain KS p-value
@@ -36,7 +55,7 @@ def ks_test_exponential(stop_lengths, alpha: float = 0.05) -> KSResult:
     simply reports rejection, which heavy-tailed samples of NREL size
     produce overwhelmingly, so the plain test suffices here.
     """
-    y = np.asarray(stop_lengths, dtype=float).ravel()
+    y = _clean(stop_lengths, policy, report, "ks-test")
     if y.size < 8:
         raise InvalidParameterError("need at least 8 stops for a meaningful KS test")
     if np.any(~np.isfinite(y)) or np.any(y < 0.0):
@@ -55,14 +74,16 @@ def ks_test_exponential(stop_lengths, alpha: float = 0.05) -> KSResult:
     )
 
 
-def tail_weight(stop_lengths, quantile: float = 0.95) -> float:
+def tail_weight(
+    stop_lengths, quantile: float = 0.95, policy=None, report=None
+) -> float:
     """Ratio of the tail conditional mean to the overall mean.
 
     ``E[y | y > Q(quantile)] / E[y]`` — equals ``(1 + ln 20) ≈ 4.0``-ish for
     an exponential at the default 0.95 quantile; substantially larger for
     heavy-tailed samples.  A cheap, robust heavy-tail indicator.
     """
-    y = np.asarray(stop_lengths, dtype=float).ravel()
+    y = _clean(stop_lengths, policy, report, "tail-weight")
     if y.size < 20:
         raise InvalidParameterError("need at least 20 stops to estimate tail weight")
     if not 0.0 < quantile < 1.0:
@@ -74,9 +95,9 @@ def tail_weight(stop_lengths, quantile: float = 0.95) -> float:
     return float(tail.mean() / y.mean())
 
 
-def moment_summary(stop_lengths) -> dict:
+def moment_summary(stop_lengths, policy=None, report=None) -> dict:
     """Mean, standard deviation, skewness and excess kurtosis of a sample."""
-    y = np.asarray(stop_lengths, dtype=float).ravel()
+    y = _clean(stop_lengths, policy, report, "moment-summary")
     if y.size < 2:
         raise InvalidParameterError("need at least 2 stops for a moment summary")
     return {

@@ -28,6 +28,56 @@ class TraceFormatError(ReproError, ValueError):
     """A driving trace or trace file violates the expected format."""
 
 
+class DataValidationError(TraceFormatError):
+    """A data record failed a validation check under the ``strict`` policy.
+
+    Subclasses :class:`TraceFormatError` so existing ``except
+    TraceFormatError`` call sites keep working; adds provenance so error
+    messages (and programmatic handlers) can point at the offending
+    record.
+
+    Attributes
+    ----------
+    check:
+        Name of the failed check from the catalog in
+        :mod:`repro.validation.schemas` (e.g. ``"non-finite-duration"``).
+    source:
+        The file or logical source the record came from, if known.
+    line:
+        1-based line (CSV) or record index (JSON) of the offending
+        record, if known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        check: str | None = None,
+        source: str | None = None,
+        line: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.check = check
+        self.source = source
+        self.line = line
+
+
+class DegenerateStatisticsError(InvalidParameterError):
+    """The ``(mu_B_minus, q_B_plus, B)`` statistics admit no competitive
+    ratio: the expected offline cost ``mu_B_minus + q_B_plus * B`` is zero
+    (every compatible stop has zero length), so every CR is 0/0.
+
+    Raised uniformly by the constrained solver
+    (:class:`repro.core.constrained.ConstrainedSkiRentalSolver`), the lean
+    selector (:func:`repro.evaluation.batch.select_vertex`), the improved
+    solver (:class:`repro.core.brand.ImprovedConstrainedSolver`) and
+    :meth:`repro.evaluation.batch.StrategyPlan.crs_on`.  Subclasses
+    :class:`InvalidParameterError` so pre-existing handlers keep working,
+    while callers that can *recover* (e.g. by skipping a vehicle) can
+    catch this specific type.
+    """
+
+
 class SimulationError(ReproError, RuntimeError):
     """The drive-cycle or stop-start simulation reached an invalid state."""
 

@@ -43,7 +43,7 @@ from ..core.deterministic import optimal_b
 from ..core.kernels import PrefixSumSample
 from ..core.randomized import mom_rand_uses_revised_pdf
 from ..core.stats import StopStatistics
-from ..errors import InvalidParameterError
+from ..errors import DegenerateStatisticsError, InvalidParameterError
 
 __all__ = ["StrategyPlan", "select_vertex", "fleet_cr_matrix"]
 
@@ -61,7 +61,7 @@ def select_vertex(stats: StopStatistics) -> tuple[str, float | None]:
     degenerate ``mu_B_minus == 0`` corner.
     """
     if stats.expected_offline_cost <= 0.0:
-        raise InvalidParameterError(
+        raise DegenerateStatisticsError(
             "degenerate statistics: expected offline cost is zero "
             "(every stop has zero length); competitive ratios are undefined"
         )
@@ -142,7 +142,7 @@ class StrategyPlan:
         long_frac = (n - idx) / n          # survival(B)
         offline = float(short + b * long_frac)
         if offline <= 0.0:
-            raise InvalidParameterError(
+            raise DegenerateStatisticsError(
                 "offline cost is zero over the sample; CR undefined"
             )
         costs = {

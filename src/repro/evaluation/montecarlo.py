@@ -22,7 +22,7 @@ from ..core.kernels import (
 )
 from ..core.strategy import Strategy
 from ..engine import ParallelMap, spawn_rngs
-from ..errors import InvalidParameterError
+from ..errors import DegenerateStatisticsError, InvalidParameterError
 from ..simulation.engine_sim import simulate_stops
 
 __all__ = ["MonteCarloCR", "monte_carlo_cr", "bootstrap_cr_interval"]
@@ -72,7 +72,7 @@ def monte_carlo_cr(
     y = np.asarray(stop_lengths, dtype=float)
     offline = empirical_offline_cost(y, strategy.break_even) * y.size
     if offline <= 0.0:
-        raise InvalidParameterError("offline cost is zero over the sample; CR undefined")
+        raise DegenerateStatisticsError("offline cost is zero over the sample; CR undefined")
     worker = partial(_realized_ratio, strategy=strategy, stop_lengths=y, offline=offline)
     ratios = np.asarray(
         ParallelMap(jobs, label="monte-carlo").map(worker, spawn_rngs(rng, repetitions))

@@ -93,6 +93,10 @@ def cached_run(
     ``jobs`` is deliberately excluded from the cache key: the engine
     guarantees results are bit-identical for every worker count, so a
     serial run may serve a later ``--jobs 8`` invocation and vice versa.
+    Underscore-prefixed params (e.g. ``_dataset_digest``, a content hash
+    of an on-disk dataset) are the reverse: they salt the cache key but
+    are stripped before the experiment runs — the experiment reads the
+    dataset itself, the key just has to change when the bytes do.
     On a hit the stored payload is returned verbatim (its ``timings``
     are the original run's); on a miss the experiment runs and its
     payload is stored atomically.
@@ -103,8 +107,9 @@ def cached_run(
         raise InvalidParameterError(f"jobs must be >= 1, got {jobs}")
     params = dict(params or {})
     params.pop("jobs", None)
+    run_params = {k: v for k, v in params.items() if not k.startswith("_")}
     if not use_cache:
-        return run_experiment(experiment_id, **params, jobs=jobs)
+        return run_experiment(experiment_id, **run_params, jobs=jobs)
     if cache is None:
         cache = ResultCache()
     key = cache_key(experiment_id, params)
@@ -116,6 +121,6 @@ def cached_run(
         return ExperimentResult.from_payload(payload)
     if ledger is not None:
         ledger.emit("cache-miss", experiment=experiment_id, key=key)
-    result = run_experiment(experiment_id, **params, jobs=jobs)
+    result = run_experiment(experiment_id, **run_params, jobs=jobs)
     cache.put(key, result.to_payload())
     return result

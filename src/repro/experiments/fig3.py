@@ -14,7 +14,7 @@ import numpy as np
 
 from ..distributions import ks_test_exponential, moment_summary, tail_weight
 from ..engine import Instrumentation
-from ..fleet import DEFAULT_SEED, load_fleets, total_vehicle_count
+from ..fleet import DEFAULT_SEED, load_fleets_or_dataset, total_vehicle_count
 from ..fleet.nrel import pooled_stops
 from .report import ExperimentResult, Table
 
@@ -31,15 +31,21 @@ def run(
     seed: int = DEFAULT_SEED,
     bin_edges=DEFAULT_BIN_EDGES,
     jobs: int | None = None,
+    dataset: str | None = None,
+    policy: str = "strict",
 ) -> ExperimentResult:
     """Reproduce Figure 3 on the synthetic fleets.
 
     ``vehicles_per_area=None`` uses the paper's 217/312/653 split;
     ``jobs`` parallelizes fleet synthesis (identical fleets regardless).
+    ``dataset`` analyzes an on-disk fleet dataset instead of
+    synthesizing, ingested under validation ``policy``.
     """
     instrumentation = Instrumentation()
     start = time.perf_counter()
-    fleets = load_fleets(seed=seed, vehicles_per_area=vehicles_per_area, jobs=jobs)
+    fleets = load_fleets_or_dataset(
+        dataset, policy, seed=seed, vehicles_per_area=vehicles_per_area, jobs=jobs
+    )
     instrumentation.add(
         "synthesize fleets", time.perf_counter() - start, total_vehicle_count(fleets)
     )

@@ -17,7 +17,7 @@ import time
 from ..constants import B_CONVENTIONAL, B_SSV
 from ..engine import Instrumentation
 from ..evaluation import STRATEGY_NAMES, evaluate_fleet
-from ..fleet import DEFAULT_SEED, load_fleets, total_vehicle_count
+from ..fleet import DEFAULT_SEED, load_fleets_or_dataset, total_vehicle_count
 from .report import ExperimentResult, Table
 
 __all__ = ["run", "PAPER_MEAN_CR"]
@@ -38,6 +38,8 @@ def run(
     break_evens: tuple[float, ...] = (B_SSV, B_CONVENTIONAL),
     with_significance: bool = True,
     jobs: int | None = None,
+    dataset: str | None = None,
+    policy: str = "strict",
 ) -> ExperimentResult:
     """Reproduce Figure 4.
 
@@ -46,7 +48,9 @@ def run(
     ``with_significance`` adds Wilson win-rate intervals and paired
     bootstrap CR-difference CIs to the notes.  ``jobs`` fans fleet
     synthesis and per-vehicle evaluation out over worker processes
-    without changing any number.
+    without changing any number.  ``dataset`` evaluates an on-disk
+    fleet dataset (see :func:`repro.fleet.load_fleet_dataset`) instead
+    of synthesizing, ingested under validation ``policy``.
     """
     import numpy as np
 
@@ -54,7 +58,9 @@ def run(
 
     instrumentation = Instrumentation()
     start = time.perf_counter()
-    fleets = load_fleets(seed=seed, vehicles_per_area=vehicles_per_area, jobs=jobs)
+    fleets = load_fleets_or_dataset(
+        dataset, policy, seed=seed, vehicles_per_area=vehicles_per_area, jobs=jobs
+    )
     total = total_vehicle_count(fleets)
     instrumentation.add("synthesize fleets", time.perf_counter() - start, total)
     cr_rows = []

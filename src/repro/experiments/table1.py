@@ -11,7 +11,7 @@ from __future__ import annotations
 import time
 
 from ..engine import Instrumentation
-from ..fleet import DEFAULT_SEED, load_fleets, total_vehicle_count
+from ..fleet import DEFAULT_SEED, load_fleets_or_dataset, total_vehicle_count
 from ..traces import stops_per_day_table
 from .report import ExperimentResult, Table
 
@@ -31,11 +31,16 @@ def run(
     vehicles_per_area: int | None = None,
     seed: int = DEFAULT_SEED,
     jobs: int | None = None,
+    dataset: str | None = None,
+    policy: str = "strict",
 ) -> ExperimentResult:
-    """Reproduce Table 1 on the synthetic fleets."""
+    """Reproduce Table 1 on the synthetic fleets (or an on-disk
+    ``dataset`` ingested under validation ``policy``)."""
     instrumentation = Instrumentation()
     start = time.perf_counter()
-    fleets = load_fleets(seed=seed, vehicles_per_area=vehicles_per_area, jobs=jobs)
+    fleets = load_fleets_or_dataset(
+        dataset, policy, seed=seed, vehicles_per_area=vehicles_per_area, jobs=jobs
+    )
     instrumentation.add(
         "synthesize fleets", time.perf_counter() - start, total_vehicle_count(fleets)
     )

@@ -9,7 +9,15 @@ from .daily import (
 )
 from .generator import FleetGenerator, VehicleRecord
 from .io import load_fleet_dataset, save_fleet_dataset
-from .nrel import DEFAULT_SEED, load_area, load_fleets, pooled_stops, total_vehicle_count
+from .nrel import (
+    DEFAULT_SEED,
+    load_area,
+    load_fleets,
+    load_fleets_or_dataset,
+    pooled_stops,
+    total_vehicle_count,
+    validate_fleets,
+)
 
 __all__ = [
     "AreaConfig",
@@ -20,8 +28,10 @@ __all__ = [
     "VehicleRecord",
     "load_area",
     "load_fleets",
+    "load_fleets_or_dataset",
     "pooled_stops",
     "total_vehicle_count",
+    "validate_fleets",
     "DEFAULT_SEED",
     "save_fleet_dataset",
     "load_fleet_dataset",

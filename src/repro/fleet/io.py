@@ -24,6 +24,13 @@ import numpy as np
 
 from ..errors import TraceFormatError
 from ..traces.io import read_stops_csv, write_stops_csv
+from ..validation import (
+    JsonQuarantineWriter,
+    Policy,
+    PolicyEnforcer,
+    ValidationReport,
+    manifest_area_findings,
+)
 from .areas import AREAS, AreaConfig
 from .generator import VehicleRecord
 
@@ -63,8 +70,26 @@ def save_fleet_dataset(
     return directory
 
 
-def load_fleet_dataset(directory: str | Path) -> dict[str, list[VehicleRecord]]:
-    """Load a dataset written by :func:`save_fleet_dataset`."""
+def load_fleet_dataset(
+    directory: str | Path,
+    policy: Policy | str = Policy.STRICT,
+    report: ValidationReport | None = None,
+) -> dict[str, list[VehicleRecord]]:
+    """Load a dataset written by :func:`save_fleet_dataset`.
+
+    Manifest integrity is validated under ``policy``: duplicate
+    ``vehicle_ids`` (within and across areas), ``scale_factors`` length
+    mismatches, non-positive/non-finite scale factors, vehicles listed
+    in the manifest but absent from the stop table (including vehicles
+    emptied by stop-row repair), ``vehicle_count`` disagreements and bad
+    ``recording_days``.  ``strict`` raises a typed error at the first
+    problem; ``repair`` drops offending vehicles with deterministic
+    rules (first occurrence wins, missing scale factors default to 1.0)
+    and records the actual count; ``quarantine`` additionally diverts
+    dropped manifest entries to ``manifest.json.quarantine.json``.  The
+    stop table is read through :func:`~repro.traces.io.read_stops_csv`
+    with the same policy and report.
+    """
     directory = Path(directory)
     manifest_path = directory / _MANIFEST_NAME
     stops_path = directory / _STOPS_NAME
@@ -73,31 +98,87 @@ def load_fleet_dataset(directory: str | Path) -> dict[str, list[VehicleRecord]]:
             f"{directory} is not a fleet dataset (missing manifest or stops table)"
         )
     with open(manifest_path) as handle:
-        manifest = json.load(handle)
-    per_vehicle = read_stops_csv(stops_path)
+        try:
+            manifest = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"{manifest_path}: invalid JSON: {exc}") from exc
+    if not isinstance(manifest, dict) or not isinstance(manifest.get("areas"), dict):
+        raise TraceFormatError(f"{manifest_path}: manifest must map 'areas' to objects")
+    enforcer = PolicyEnforcer(policy, report, manifest_path)
+    if enforcer.policy is Policy.QUARANTINE:
+        enforcer.attach_quarantine_writer(
+            JsonQuarantineWriter(manifest_path, enforcer.report)
+        )
+    per_vehicle = read_stops_csv(stops_path, policy=policy, report=enforcer.report)
     fleets: dict[str, list[VehicleRecord]] = {}
-    for area, info in manifest["areas"].items():
-        vehicles = []
-        ids = info["vehicle_ids"]
-        scales = info.get("scale_factors", [1.0] * len(ids))
-        for vehicle_id, scale in zip(ids, scales):
-            if vehicle_id not in per_vehicle:
-                raise TraceFormatError(
-                    f"manifest lists {vehicle_id!r} but the stop table has no rows for it"
+    claimed: set[str] = set()
+    try:
+        for area, info in manifest["areas"].items():
+            enforcer.report.records_checked += 1
+            structural = manifest_area_findings(area, info)
+            fatal = [f for f in structural if f[0] == "malformed-document"]
+            if fatal:
+                for check, message in fatal:
+                    enforcer.flag(check, message, record={area: info})
+                continue  # repair/quarantine: skip the unusable area entry
+            for check, message in structural:
+                # Count/length mismatches are repairable: report them and
+                # reconstruct from the per-vehicle data below.
+                enforcer.flag(check, message, record={area: info}, repaired=True)
+            ids = info["vehicle_ids"]
+            scales = info.get("scale_factors")
+            if not isinstance(scales, list) or len(scales) != len(ids):
+                scales = [1.0] * len(ids)
+            vehicles = []
+            for index, (vehicle_id, scale) in enumerate(zip(ids, scales)):
+                record = {"area": area, "vehicle_id": vehicle_id, "scale_factor": scale}
+                if vehicle_id in claimed:
+                    if not enforcer.flag(
+                        "duplicate-vehicle-id",
+                        f"area {area!r}: vehicle {vehicle_id!r} already listed",
+                        line=index,
+                        record=record,
+                    ):
+                        continue
+                claimed.add(vehicle_id)
+                if not isinstance(scale, (int, float)) or not np.isfinite(scale) or scale <= 0.0:
+                    if not enforcer.flag(
+                        "bad-scale-factor",
+                        f"area {area!r}: vehicle {vehicle_id!r} has scale factor {scale!r}",
+                        line=index,
+                        record=record,
+                    ):
+                        continue
+                if vehicle_id not in per_vehicle:
+                    if not enforcer.flag(
+                        "missing-vehicle-stops",
+                        f"manifest lists {vehicle_id!r} but the stop table has no rows for it",
+                        line=index,
+                        record=record,
+                    ):
+                        continue
+                days = info.get("recording_days", 7.0)
+                if not isinstance(days, (int, float)) or not np.isfinite(days) or days <= 0.0:
+                    days = 7.0  # deterministic default, already reported above
+                vehicles.append(
+                    VehicleRecord(
+                        vehicle_id=vehicle_id,
+                        area=area,
+                        stop_lengths=np.asarray(per_vehicle[vehicle_id], dtype=float),
+                        scale_factor=float(scale),
+                        recording_days=float(days),
+                    )
                 )
-            vehicles.append(
-                VehicleRecord(
-                    vehicle_id=vehicle_id,
-                    area=area,
-                    stop_lengths=np.asarray(per_vehicle[vehicle_id], dtype=float),
-                    scale_factor=float(scale),
-                    recording_days=float(info.get("recording_days", 7.0)),
+            if len(vehicles) != info.get("vehicle_count", len(vehicles)):
+                enforcer.flag(
+                    "vehicle-count-mismatch",
+                    f"area {area!r}: manifest promises {info['vehicle_count']} vehicles, "
+                    f"reconstructed {len(vehicles)}",
+                    record={area: info},
+                    repaired=True,
                 )
-            )
-        if len(vehicles) != info["vehicle_count"]:
-            raise TraceFormatError(
-                f"area {area!r}: manifest promises {info['vehicle_count']} vehicles, "
-                f"reconstructed {len(vehicles)}"
-            )
-        fleets[area] = vehicles
+            fleets[area] = vehicles
+    finally:
+        enforcer.close()
+    enforcer.report.emit_to_ledger(source=str(manifest_path))
     return fleets

@@ -25,10 +25,18 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..validation import Policy, PolicyEnforcer, ValidationReport
 from .areas import AREAS, area_config
 from .generator import FleetGenerator, VehicleRecord
 
-__all__ = ["load_fleets", "load_area", "total_vehicle_count", "DEFAULT_SEED"]
+__all__ = [
+    "load_fleets",
+    "load_fleets_or_dataset",
+    "load_area",
+    "total_vehicle_count",
+    "validate_fleets",
+    "DEFAULT_SEED",
+]
 
 #: Default dataset seed: fixed so every experiment sees the same fleets.
 DEFAULT_SEED = 20140601  # DAC'14 was June 1-5, 2014.
@@ -61,12 +69,96 @@ def load_fleets(
     """Load all three areas: ``{area_name: [VehicleRecord, ...]}``.
 
     ``vehicles_per_area`` overrides every area's fleet size (useful for
-    fast tests); None reproduces the paper's 217/312/653 split.
+    fast tests); None reproduces the paper's 217/312/653 split.  The
+    generated fleets are passed through :func:`validate_fleets` in
+    strict mode — a cheap invariant check that the substitution dataset
+    honours the same contract real data must (non-empty vehicles,
+    finite non-negative stops, unique ids).
     """
-    return {
+    fleets = {
         name: load_area(name, seed=seed, vehicle_count=vehicles_per_area, jobs=jobs)
         for name in AREAS
     }
+    validate_fleets(fleets)
+    return fleets
+
+
+def load_fleets_or_dataset(
+    dataset: str | None = None,
+    policy: Policy | str = Policy.STRICT,
+    report: ValidationReport | None = None,
+    seed: int = DEFAULT_SEED,
+    vehicles_per_area: int | None = None,
+    jobs: int | None = None,
+) -> dict[str, list["VehicleRecord"]]:
+    """Load fleets from an on-disk dataset, or synthesize them.
+
+    The experiment-facing switch: ``dataset=None`` synthesizes via
+    :func:`load_fleets` (clean by construction, so ``policy`` is moot);
+    a dataset directory goes through
+    :func:`~repro.fleet.io.load_fleet_dataset` under ``policy``, so
+    experiments can run directly on repaired or quarantined real data.
+    ``vehicles_per_area`` truncates each area deterministically (manifest
+    order), mirroring the synthesis override.
+    """
+    if dataset is None:
+        return load_fleets(seed=seed, vehicles_per_area=vehicles_per_area, jobs=jobs)
+    from .io import load_fleet_dataset
+
+    fleets = load_fleet_dataset(dataset, policy=policy, report=report)
+    if vehicles_per_area is not None:
+        fleets = {
+            area: vehicles[:vehicles_per_area] for area, vehicles in fleets.items()
+        }
+    return fleets
+
+
+def validate_fleets(
+    fleets: dict[str, list[VehicleRecord]],
+    policy: Policy | str = Policy.STRICT,
+    report: ValidationReport | None = None,
+) -> dict[str, list[VehicleRecord]]:
+    """Validate in-memory fleets against the dataset contract.
+
+    Checks every vehicle for non-finite or negative stop lengths and
+    emptiness, and vehicle ids for uniqueness across areas.  ``strict``
+    raises :class:`~repro.errors.DataValidationError`; ``repair`` /
+    ``quarantine`` drop offending vehicles (in-memory, so both behave
+    as ``repair``) and return the cleaned fleets.  The input dict is
+    not mutated.
+    """
+    enforcer = PolicyEnforcer(policy, report, "fleets")
+    cleaned: dict[str, list[VehicleRecord]] = {}
+    seen: set[str] = set()
+    for area, vehicles in fleets.items():
+        kept = []
+        for vehicle in vehicles:
+            enforcer.report.records_checked += 1
+            y = np.asarray(vehicle.stop_lengths, dtype=float)
+            if vehicle.vehicle_id in seen:
+                if not enforcer.flag(
+                    "duplicate-vehicle-id",
+                    f"area {area!r}: vehicle {vehicle.vehicle_id!r} already present",
+                ):
+                    continue
+            seen.add(vehicle.vehicle_id)
+            if y.size == 0:
+                if not enforcer.flag(
+                    "empty-vehicle",
+                    f"area {area!r}: vehicle {vehicle.vehicle_id!r} has no stops",
+                ):
+                    continue
+            elif np.any(~np.isfinite(y)) or np.any(y < 0.0):
+                if not enforcer.flag(
+                    "non-finite-duration",
+                    f"area {area!r}: vehicle {vehicle.vehicle_id!r} has "
+                    "non-finite or negative stop lengths",
+                ):
+                    continue
+            kept.append(vehicle)
+        cleaned[area] = kept
+    enforcer.report.emit_to_ledger(source="fleets")
+    return cleaned
 
 
 def total_vehicle_count(fleets: dict[str, list[VehicleRecord]]) -> int:

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.strategy import Strategy
-from ..errors import InvalidParameterError, SimulationError
+from ..errors import DegenerateStatisticsError, InvalidParameterError, SimulationError
 from ..traces.events import DrivingTrace
 from ..vehicle.costmodel import VehicleCostModel
 from .accounting import CostLedger
@@ -121,7 +121,7 @@ def realized_cr(online: SimulationResult, offline: SimulationResult) -> float:
         )
     denominator = offline.total_cost_seconds
     if denominator <= 0.0:
-        raise InvalidParameterError(
+        raise DegenerateStatisticsError(
             "offline cost is zero (all stops were zero-length); CR undefined"
         )
     return online.total_cost_seconds / denominator

@@ -25,7 +25,7 @@ import numpy as np
 
 from ..core.multislope import FollowTheEnvelope, MultislopeProblem
 from ..core.multislope_game import MultislopeGameSolution, pure_strategy_cost
-from ..errors import InvalidParameterError
+from ..errors import DegenerateStatisticsError, InvalidParameterError
 
 __all__ = [
     "MultistateStopRecord",
@@ -60,7 +60,7 @@ class MultistateSimulationResult:
     @property
     def realized_cr(self) -> float:
         if self.offline_cost <= 0.0:
-            raise InvalidParameterError("offline cost is zero; CR undefined")
+            raise DegenerateStatisticsError("offline cost is zero; CR undefined")
         return self.total_cost / self.offline_cost
 
     def state_usage(self) -> dict[int, int]:

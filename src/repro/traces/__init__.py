@@ -9,7 +9,7 @@ from .io import (
     write_stops_csv,
     write_traces_json,
 )
-from .segmentation import segment_trips, trace_from_daily_log
+from .segmentation import segment_trips, speed_trace_from_samples, trace_from_daily_log
 from .speed import SpeedTrace, extract_stops
 from .summarize import TraceSummary, stops_per_day_table, summarize_trace
 
@@ -21,6 +21,7 @@ __all__ = [
     "SpeedTrace",
     "extract_stops",
     "segment_trips",
+    "speed_trace_from_samples",
     "trace_from_daily_log",
     "write_stops_csv",
     "read_stops_csv",

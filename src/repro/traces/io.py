@@ -18,6 +18,16 @@ from typing import Iterable, Mapping
 import numpy as np
 
 from ..errors import TraceFormatError
+from ..validation import (
+    CsvQuarantineWriter,
+    JsonQuarantineWriter,
+    Policy,
+    PolicyEnforcer,
+    ValidationReport,
+    stop_order_finding,
+    stop_row_findings,
+    trace_document_findings,
+)
 from .events import DrivingTrace, StopEvent, Trip
 
 __all__ = [
@@ -42,27 +52,77 @@ def write_stops_csv(path: str | Path, traces: Iterable[DrivingTrace]) -> None:
                 writer.writerow([trace.vehicle_id, stop.start_time, stop.duration])
 
 
-def read_stops_csv(path: str | Path) -> dict[str, np.ndarray]:
-    """Read a stop CSV back as ``{vehicle_id: stop_lengths}``."""
+def read_stops_csv(
+    path: str | Path,
+    policy: Policy | str = Policy.STRICT,
+    report: ValidationReport | None = None,
+) -> dict[str, np.ndarray]:
+    """Read a stop CSV back as ``{vehicle_id: stop_lengths}``.
+
+    Every row runs through the validation catalog (column count, empty
+    vehicle id, unparseable / non-finite / negative duration and start
+    time, out-of-order and overlapping stop times) under ``policy``:
+
+    * ``strict`` (default) — raise
+      :class:`~repro.errors.DataValidationError` naming the offending
+      line at the first bad row;
+    * ``repair`` — drop bad rows deterministically and log them in the
+      ``report``;
+    * ``quarantine`` — additionally divert bad rows verbatim to
+      ``<path>.quarantine.csv``.
+
+    Vehicles left with zero rows are removed (an ``empty-vehicle``
+    issue).  When a run ledger is active the report is summarized into
+    it as one ``validation`` event.
+    """
+    path = Path(path)
+    enforcer = PolicyEnforcer(policy, report, path)
+    if enforcer.policy is Policy.QUARANTINE:
+        enforcer.attach_quarantine_writer(CsvQuarantineWriter(path, enforcer.report))
     per_vehicle: dict[str, list[float]] = {}
-    with open(path, newline="") as handle:
-        reader = csv.reader(handle)
-        header = next(reader, None)
-        if header != _CSV_HEADER:
-            raise TraceFormatError(
-                f"unexpected stop CSV header {header!r}; expected {_CSV_HEADER!r}"
-            )
-        for line_number, row in enumerate(reader, start=2):
-            if len(row) != 3:
-                raise TraceFormatError(f"line {line_number}: expected 3 columns, got {len(row)}")
-            vehicle_id, _, duration = row
-            try:
-                value = float(duration)
-            except ValueError as exc:
+    # (last start_time, last end_time) per vehicle for order/overlap checks.
+    last_window: dict[str, tuple[float, float]] = {}
+    seen_vehicles: set[str] = set()
+    try:
+        with open(path, newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header != _CSV_HEADER:
                 raise TraceFormatError(
-                    f"line {line_number}: bad duration {duration!r}"
-                ) from exc
-            per_vehicle.setdefault(vehicle_id, []).append(value)
+                    f"unexpected stop CSV header {header!r}; expected {_CSV_HEADER!r}"
+                )
+            rows = 0
+            for line_number, row in enumerate(reader, start=2):
+                rows += 1
+                enforcer.report.records_checked += 1
+                findings, vehicle_id, start_time, duration = stop_row_findings(row)
+                if vehicle_id is not None:
+                    seen_vehicles.add(vehicle_id)
+                if not findings and vehicle_id in last_window:
+                    prev_start, prev_end = last_window[vehicle_id]
+                    ordering = stop_order_finding(prev_start, prev_end, start_time)
+                    if ordering is not None:
+                        findings.append(ordering)
+                kept = True
+                for check, message in findings:
+                    kept = enforcer.flag(
+                        check, message, line=line_number, record=row
+                    ) and kept
+                if not kept:
+                    continue
+                last_window[vehicle_id] = (start_time, start_time + duration)
+                per_vehicle.setdefault(vehicle_id, []).append(duration)
+            if rows == 0:
+                enforcer.flag("empty-table", "no data rows", line=None, record=[])
+        for vehicle_id in sorted(seen_vehicles - set(per_vehicle)):
+            enforcer.flag(
+                "empty-vehicle",
+                f"vehicle {vehicle_id!r} lost every stop to validation",
+                severity="warning",
+            )
+    finally:
+        enforcer.close()
+    enforcer.report.emit_to_ledger(source=str(path))
     return {vid: np.asarray(values, dtype=float) for vid, values in per_vehicle.items()}
 
 
@@ -116,10 +176,44 @@ def write_traces_json(path: str | Path, traces: Iterable[DrivingTrace]) -> None:
         json.dump([trace_to_dict(trace) for trace in traces], handle)
 
 
-def read_traces_json(path: str | Path) -> list[DrivingTrace]:
-    """Read traces previously written by :func:`write_traces_json`."""
-    with open(path) as handle:
-        documents = json.load(handle)
-    if not isinstance(documents, list):
-        raise TraceFormatError("trace JSON must contain an array of trace documents")
-    return [trace_from_dict(document) for document in documents]
+def read_traces_json(
+    path: str | Path,
+    policy: Policy | str = Policy.STRICT,
+    report: ValidationReport | None = None,
+) -> list[DrivingTrace]:
+    """Read traces previously written by :func:`write_traces_json`.
+
+    Each document runs through the structural checks of the validation
+    catalog plus the full :func:`trace_from_dict` constructor under
+    ``policy``: ``strict`` raises with the record index, ``repair``
+    drops malformed documents, ``quarantine`` diverts them to
+    ``<path>.quarantine.json``.
+    """
+    path = Path(path)
+    enforcer = PolicyEnforcer(policy, report, path)
+    if enforcer.policy is Policy.QUARANTINE:
+        enforcer.attach_quarantine_writer(JsonQuarantineWriter(path, enforcer.report))
+    try:
+        with open(path) as handle:
+            try:
+                documents = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(f"{path}: invalid JSON: {exc}") from exc
+        if not isinstance(documents, list):
+            raise TraceFormatError("trace JSON must contain an array of trace documents")
+        traces = []
+        for index, document in enumerate(documents):
+            enforcer.report.records_checked += 1
+            findings = trace_document_findings(document)
+            if not findings:
+                try:
+                    traces.append(trace_from_dict(document))
+                    continue
+                except TraceFormatError as exc:
+                    findings = [("malformed-document", str(exc))]
+            for check, message in findings:
+                enforcer.flag(check, message, line=index, record=document)
+    finally:
+        enforcer.close()
+    enforcer.report.emit_to_ledger(source=str(path))
+    return traces

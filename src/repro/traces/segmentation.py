@@ -18,10 +18,43 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import TraceFormatError
+from ..validation import Policy, PolicyEnforcer, ValidationReport, speed_sample_findings
 from .events import DrivingTrace, Trip
 from .speed import SpeedTrace, extract_stops
 
-__all__ = ["segment_trips", "trace_from_daily_log"]
+__all__ = ["segment_trips", "trace_from_daily_log", "speed_trace_from_samples"]
+
+
+def speed_trace_from_samples(
+    start_time: float,
+    dt: float,
+    speeds,
+    policy: Policy | str = Policy.STRICT,
+    report: ValidationReport | None = None,
+    source: str = "speed-log",
+) -> SpeedTrace:
+    """Build a :class:`~repro.traces.speed.SpeedTrace` from raw telemetry.
+
+    Real 1 Hz speed logs contain dropouts (NaN), sensor glitches (inf)
+    and sign noise; the :class:`SpeedTrace` constructor rejects all of
+    them outright.  This is the policy-aware front door: under
+    ``strict`` bad samples raise with their sample index; under
+    ``repair``/``quarantine`` the deterministic rule is *clamp to 0*
+    (treat the sample as stationary) for non-finite values and negative
+    values alike — dropping samples would shift every later timestamp
+    in a uniformly sampled series, which is worse than a conservative
+    stationary reading.  Each clamp is logged as a ``repaired`` issue.
+    """
+    import numpy as np
+
+    enforcer = PolicyEnforcer(policy, report, source)
+    y = np.asarray(speeds, dtype=float).ravel().copy()
+    enforcer.report.records_checked += int(y.size)
+    for index, check, message in speed_sample_findings(y):
+        enforcer.flag(check, message, line=index, repaired=True)
+        y[index] = 0.0
+    enforcer.report.emit_to_ledger(source=source)
+    return SpeedTrace(start_time=start_time, dt=dt, speeds=y)
 
 
 def segment_trips(

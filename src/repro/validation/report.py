@@ -1,0 +1,204 @@
+"""Validation issues and the per-run :class:`ValidationReport`.
+
+Every ingestion point (stop CSVs, trace JSON, fleet datasets, raw speed
+logs, distribution constructors) records what it checked and what it
+found in a :class:`ValidationReport`: one :class:`Issue` per offending
+record or structural problem, plus counters for how much data was seen
+and how much was dropped or quarantined.  The report is
+
+* printable (``format()`` — the ``repro-idling data doctor`` output),
+* serializable (``to_dict()`` — written next to quarantine sidecars),
+* and ledger-visible (``emit_to_ledger()`` — one ``validation`` event
+  per validated source in the run ledger of :mod:`repro.engine.ledger`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["Issue", "ValidationReport"]
+
+#: Issue severities.  ``error`` records are rejected/dropped/quarantined
+#: depending on the policy; ``warning`` records are kept but reported
+#: (e.g. a suspicious break-even interval that is probably in minutes).
+SEVERITIES = ("error", "warning")
+
+#: What happened to the offending record.
+ACTIONS = ("raised", "dropped", "quarantined", "repaired", "reported")
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One validation finding, with provenance.
+
+    Attributes
+    ----------
+    check:
+        Catalog name of the failed check (see
+        :mod:`repro.validation.schemas`), e.g. ``"non-finite-duration"``.
+    message:
+        Human-readable description including the offending value.
+    source:
+        File (or logical source label) the record came from.
+    line:
+        1-based CSV line / JSON record index, when applicable.
+    action:
+        What the policy did: ``dropped``, ``quarantined``, ``repaired``
+        (value replaced by a deterministic default), or ``reported``
+        (kept — warnings and generic-lint findings).
+    severity:
+        ``error`` or ``warning``.
+    """
+
+    check: str
+    message: str
+    source: str | None = None
+    line: int | None = None
+    action: str = "reported"
+    severity: str = "error"
+
+    def to_dict(self) -> dict:
+        return {
+            "check": self.check,
+            "message": self.message,
+            "source": self.source,
+            "line": self.line,
+            "action": self.action,
+            "severity": self.severity,
+        }
+
+
+class ValidationReport:
+    """Accumulates :class:`Issue` records for one validation pass.
+
+    A single report may span several sources (``load_fleet_dataset``
+    shares one across the manifest and the stop table), so issues carry
+    their own ``source`` and the report only tracks totals.
+    """
+
+    def __init__(self, policy: str | None = None) -> None:
+        self.policy = policy
+        self.issues: list[Issue] = []
+        self.records_checked = 0
+        self.sources: list[str] = []
+        #: Quarantine sidecar files written during this pass.
+        self.quarantine_paths: list[Path] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def add(self, issue: Issue) -> Issue:
+        self.issues.append(issue)
+        return issue
+
+    def add_source(self, source: str) -> None:
+        if source not in self.sources:
+            self.sources.append(source)
+
+    def add_quarantine_path(self, path: Path) -> None:
+        if path not in self.quarantine_paths:
+            self.quarantine_paths.append(path)
+
+    # -- aggregation -------------------------------------------------------
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for issue in self.issues if issue.severity == "error")
+
+    @property
+    def warning_count(self) -> int:
+        return sum(1 for issue in self.issues if issue.severity == "warning")
+
+    @property
+    def dropped_count(self) -> int:
+        return sum(1 for issue in self.issues if issue.action == "dropped")
+
+    @property
+    def quarantined_count(self) -> int:
+        return sum(1 for issue in self.issues if issue.action == "quarantined")
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity issue was found."""
+        return self.error_count == 0
+
+    def counts_by_check(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for issue in self.issues:
+            counts[issue.check] = counts.get(issue.check, 0) + 1
+        return counts
+
+    # -- output ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "sources": list(self.sources),
+            "records_checked": self.records_checked,
+            "errors": self.error_count,
+            "warnings": self.warning_count,
+            "dropped": self.dropped_count,
+            "quarantined": self.quarantined_count,
+            "counts_by_check": self.counts_by_check(),
+            "quarantine_paths": [str(path) for path in self.quarantine_paths],
+            "issues": [issue.to_dict() for issue in self.issues],
+        }
+
+    def write_json(self, path: str | Path) -> Path:
+        """Write the full report as JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        return path
+
+    def format(self, max_issues: int = 50) -> str:
+        """ASCII summary (the ``data doctor`` report body)."""
+        lines = [
+            f"policy:           {self.policy or 'strict'}",
+            f"records checked:  {self.records_checked}",
+            f"issues:           {len(self.issues)} "
+            f"({self.error_count} error(s), {self.warning_count} warning(s))",
+            f"dropped:          {self.dropped_count}",
+            f"quarantined:      {self.quarantined_count}",
+        ]
+        if self.counts_by_check():
+            lines.append("by check:")
+            for check, count in sorted(self.counts_by_check().items()):
+                lines.append(f"  {check:<28} {count}")
+        for issue in self.issues[:max_issues]:
+            where = issue.source or "?"
+            if issue.line is not None:
+                where += f":{issue.line}"
+            lines.append(f"  [{issue.severity}] {where}: {issue.message} "
+                         f"({issue.action})")
+        if len(self.issues) > max_issues:
+            lines.append(f"  ... {len(self.issues) - max_issues} more issue(s)")
+        for path in self.quarantine_paths:
+            lines.append(f"quarantine file:  {path}")
+        return "\n".join(lines)
+
+    def emit_to_ledger(self, ledger=None, source: str | None = None) -> None:
+        """Emit one ``validation`` event summarizing this report.
+
+        Uses the ambient :func:`repro.engine.ledger.active_ledger` when no
+        ledger is passed; a no-op when neither is available, so ingestion
+        can call this unconditionally.
+        """
+        if ledger is None:
+            from ..engine.ledger import active_ledger
+
+            ledger = active_ledger()
+        if ledger is None:
+            return
+        ledger.emit(
+            "validation",
+            source=source or (self.sources[-1] if self.sources else None),
+            policy=self.policy,
+            checked=self.records_checked,
+            errors=self.error_count,
+            warnings=self.warning_count,
+            dropped=self.dropped_count,
+            quarantined=self.quarantined_count,
+            checks=self.counts_by_check(),
+        )

@@ -1,0 +1,223 @@
+"""End-to-end tests for ``repro-idling data doctor`` and --dataset runs.
+
+Covers the acceptance criteria of the validation overhaul: a fixture
+corrupted in six distinct ways is fully quarantined with a
+ledger-visible report; experiments on the repaired dataset are
+byte-identical to the same experiments on a hand-cleaned copy; and the
+result cache is salted with the dataset content digest (same path,
+changed bytes -> recompute).
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import EXPERIMENTS, ExperimentResult, cached_run, fig4
+from repro.engine.cache import ResultCache
+from repro.fleet import load_fleets, save_fleet_dataset
+
+#: (line inserted into stops.csv, check it must trip).
+CORRUPT_ROWS = [
+    ("ca-x,100.0,nan", "non-finite-duration"),
+    ("ca-x,200.0,-5", "negative-duration"),
+    ("ca-x,300.0", "bad-column-count"),
+    ("ca-y,oops,12.0", "unparseable-start-time"),
+    (",400.0,3.0", "empty-vehicle-id"),
+]
+
+
+def make_corrupt_dataset(directory):
+    """A small dataset corrupted in >= 6 distinct ways.
+
+    Returns the directory; the matching hand-cleaned copy is produced by
+    :func:`make_hand_cleaned`.
+    """
+    fleets = load_fleets(seed=11, vehicles_per_area=2)
+    save_fleet_dataset(directory, fleets, seed=11)
+    stops = (directory / "stops.csv").read_text().splitlines()
+    for offset, (row, _check) in enumerate(CORRUPT_ROWS):
+        stops.insert(2 + offset, row)
+    (directory / "stops.csv").write_text("\n".join(stops) + "\n")
+    manifest = json.loads((directory / "manifest.json").read_text())
+    areas = sorted(manifest["areas"])
+    first, second = manifest["areas"][areas[0]], manifest["areas"][areas[1]]
+    # 6th corruption kind: a duplicate vehicle id across areas (plus the
+    # scale-factor truncation it drags along).
+    first["vehicle_ids"].append(second["vehicle_ids"][0])
+    first["scale_factors"] = first["scale_factors"][:1]
+    (directory / "manifest.json").write_text(json.dumps(manifest))
+    return directory
+
+
+def make_hand_cleaned(corrupt_dir, clean_dir):
+    """What deterministic repair must produce from the corrupt fixture."""
+    clean_dir.mkdir(parents=True, exist_ok=True)
+    bad_rows = {row for row, _ in CORRUPT_ROWS}
+    stops = (corrupt_dir / "stops.csv").read_text().splitlines()
+    (clean_dir / "stops.csv").write_text(
+        "\n".join(line for line in stops if line not in bad_rows) + "\n"
+    )
+    manifest = json.loads((corrupt_dir / "manifest.json").read_text())
+    areas = sorted(manifest["areas"])
+    first, second = manifest["areas"][areas[0]], manifest["areas"][areas[1]]
+    # First listing wins: the duplicate stays in its original area and
+    # is removed from the copier; truncated scale factors default to 1.
+    dup = first["vehicle_ids"].pop()
+    first["scale_factors"] = [1.0] * len(first["vehicle_ids"])
+    assert dup in second["vehicle_ids"]
+    (clean_dir / "manifest.json").write_text(json.dumps(manifest))
+    return clean_dir
+
+
+@pytest.fixture
+def corrupt_dataset(tmp_path):
+    return make_corrupt_dataset(tmp_path / "ds")
+
+
+class TestDoctorCli:
+    def test_strict_exits_nonzero_with_one_line_error(self, corrupt_dataset, capsys):
+        assert main(["data", "doctor", str(corrupt_dataset), "--policy", "strict"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "line 3" in err
+
+    def test_quarantine_diverts_every_bad_record(self, corrupt_dataset, capsys, tmp_path):
+        report_path = tmp_path / "report.json"
+        code = main(
+            [
+                "data",
+                "doctor",
+                str(corrupt_dataset),
+                "--policy",
+                "quarantine",
+                "--report",
+                str(report_path),
+            ]
+        )
+        assert code == 0
+        sidecar = corrupt_dataset / "stops.csv.quarantine.csv"
+        body = sidecar.read_text()
+        for row, check in CORRUPT_ROWS:
+            assert check in body
+            assert row.split(",")[-1] in body
+        manifest_sidecar = corrupt_dataset / "manifest.json.quarantine.json"
+        quarantined = json.loads(manifest_sidecar.read_text())
+        assert any(r["check"] == "duplicate-vehicle-id" for r in quarantined)
+        payload = json.loads(report_path.read_text())
+        assert payload["quarantined"] >= len(CORRUPT_ROWS) + 1
+        checks = set(payload["counts_by_check"])
+        assert {check for _, check in CORRUPT_ROWS} <= checks
+        out = capsys.readouterr().out
+        assert "quarantine file:" in out
+
+    def test_ledger_records_validation_events(self, corrupt_dataset, tmp_path):
+        ledger_path = tmp_path / "ledger.jsonl"
+        assert (
+            main(
+                [
+                    "data",
+                    "doctor",
+                    str(corrupt_dataset),
+                    "--policy",
+                    "repair",
+                    "--ledger",
+                    str(ledger_path),
+                ]
+            )
+            == 0
+        )
+        events = [json.loads(line) for line in ledger_path.read_text().splitlines()]
+        validation = [e for e in events if e["event"] == "validation"]
+        sources = {e["source"] for e in validation}
+        assert any(s.endswith("stops.csv") for s in sources)
+        assert any(s.endswith("manifest.json") for s in sources)
+        by_stops = next(e for e in validation if e["source"].endswith("stops.csv"))
+        assert by_stops["dropped"] >= len(CORRUPT_ROWS)
+
+    def test_stops_csv_detected(self, tmp_path, capsys):
+        path = tmp_path / "stops.csv"
+        path.write_text("vehicle_id,start_time,duration\nv1,0,10\nv1,20,nan\n")
+        assert main(["data", "doctor", str(path), "--policy", "repair"]) == 0
+        assert "stop table:" in capsys.readouterr().out
+
+    def test_traces_json_detected(self, tmp_path, capsys):
+        path = tmp_path / "traces.json"
+        path.write_text(json.dumps([{"vehicle_id": "v"}]))
+        assert main(["data", "doctor", str(path), "--policy", "repair"]) == 0
+        assert "trace JSON: 0 valid trace(s)" in capsys.readouterr().out
+
+    def test_generic_csv_lint_flags_ragged_rows(self, tmp_path, capsys):
+        path = tmp_path / "results.csv"
+        path.write_text("a,b,c\n1,2,3\n1,2\n")
+        assert main(["data", "doctor", str(path)]) == 1
+        out = capsys.readouterr()
+        assert "inconsistent-column-count" in out.out
+        assert "unhandled error" in out.err
+
+    def test_generic_csv_lint_accepts_inf_values(self, tmp_path):
+        # Committed result tables legitimately contain 'inf'/'infeasible';
+        # the lint must be structural only.
+        path = tmp_path / "results.csv"
+        path.write_text("region,cr\nfeasible,1.5\ninfeasible,inf\n")
+        assert main(["data", "doctor", str(path)]) == 0
+
+    def test_missing_file_exits_nonzero(self, tmp_path, capsys):
+        assert main(["data", "doctor", str(tmp_path / "nope.csv")]) == 1
+        assert capsys.readouterr().err.startswith("error: ")
+
+
+class TestRepairedRunsMatchHandCleaned:
+    def test_fig4_byte_identical(self, corrupt_dataset, tmp_path):
+        cleaned = make_hand_cleaned(corrupt_dataset, tmp_path / "clean")
+        repaired = fig4.run(
+            dataset=str(corrupt_dataset), policy="repair", with_significance=False
+        )
+        by_hand = fig4.run(
+            dataset=str(cleaned), policy="strict", with_significance=False
+        )
+        out_a, out_b = tmp_path / "out_a", tmp_path / "out_b"
+        repaired.write_csvs(out_a)
+        by_hand.write_csvs(out_b)
+        files_a = sorted(p.name for p in out_a.iterdir())
+        files_b = sorted(p.name for p in out_b.iterdir())
+        assert files_a == files_b
+        for name in files_a:
+            assert (out_a / name).read_bytes() == (out_b / name).read_bytes()
+
+
+class TestDatasetCacheSalt:
+    def _stub(self, calls):
+        def run(**params):
+            calls.append(params)
+            return ExperimentResult(
+                experiment_id="stub", title="stub", tables=[], notes=[], timings=[]
+            )
+
+        return run
+
+    def test_digest_salts_key_and_is_stripped(self, tmp_path, monkeypatch):
+        calls = []
+        monkeypatch.setitem(EXPERIMENTS, "stub", self._stub(calls))
+        cache = ResultCache(tmp_path / "cache")
+        params_v1 = {"dataset": "ds", "_dataset_digest": "aaaa"}
+        cached_run("stub", params_v1, cache=cache)
+        assert calls and "_dataset_digest" not in calls[0]
+        assert calls[0]["dataset"] == "ds"
+        # Same digest -> cache hit, no new run.
+        cached_run("stub", dict(params_v1), cache=cache)
+        assert len(calls) == 1
+        # Same path, new bytes (different digest) -> recompute.
+        cached_run("stub", {"dataset": "ds", "_dataset_digest": "bbbb"}, cache=cache)
+        assert len(calls) == 2
+
+    def test_cli_digest_tracks_file_content(self, corrupt_dataset):
+        from repro.cli import _dataset_digest
+
+        before = _dataset_digest(corrupt_dataset)
+        # Quarantine sidecars must not perturb the digest.
+        (corrupt_dataset / "stops.csv.quarantine.csv").write_text("line,check\n")
+        assert _dataset_digest(corrupt_dataset) == before
+        stops = corrupt_dataset / "stops.csv"
+        stops.write_text(stops.read_text() + "v-extra,0,1\n")
+        assert _dataset_digest(corrupt_dataset) != before

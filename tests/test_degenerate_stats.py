@@ -1,0 +1,147 @@
+"""Degenerate-statistics hardening: uniform typed errors, no NaN escapes.
+
+The paper's statistics pair can collapse: ``mu_B_minus == 0`` and
+``q_B_plus == 0`` together make the expected offline cost
+``mu⁻ + q⁺B`` zero, so every competitive ratio is 0/0.  These tests pin
+the contract introduced by the validation overhaul: every analytic
+entry point raises :class:`~repro.errors.DegenerateStatisticsError`
+(a subclass of the historical ``InvalidParameterError``) on that corner,
+and no reachable input produces ``ZeroDivisionError`` or silent NaNs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import ConstrainedSkiRentalSolver, StopStatistics
+from repro.core.brand import ImprovedConstrainedSolver
+from repro.core.costs import validate_break_even
+from repro.errors import DegenerateStatisticsError, InvalidParameterError
+from repro.evaluation.batch import select_vertex
+
+from .conftest import feasible_statistics, stop_samples
+
+
+def degenerate_stats(break_even: float = 28.0) -> StopStatistics:
+    return StopStatistics(mu_b_minus=0.0, q_b_plus=0.0, break_even=break_even)
+
+
+class TestTypedError:
+    def test_is_invalid_parameter_error(self):
+        # Pre-existing handlers catch InvalidParameterError; the new type
+        # must remain a subclass so they keep working.
+        assert issubclass(DegenerateStatisticsError, InvalidParameterError)
+
+    def test_constrained_solver_raises(self):
+        with pytest.raises(DegenerateStatisticsError):
+            ConstrainedSkiRentalSolver(degenerate_stats())
+
+    def test_select_vertex_raises(self):
+        with pytest.raises(DegenerateStatisticsError):
+            select_vertex(degenerate_stats())
+
+    def test_improved_solver_raises(self):
+        with pytest.raises(DegenerateStatisticsError):
+            ImprovedConstrainedSolver(degenerate_stats())
+
+    def test_minimax_game_raises(self):
+        from repro.core.minimax import solve_constrained_game
+
+        with pytest.raises(DegenerateStatisticsError):
+            solve_constrained_game(degenerate_stats(), grid_size=16)
+
+    def test_batched_kernel_raises(self):
+        from repro.core import TurnOffImmediately
+        from repro.core.kernels import PrefixSumSample, empirical_cr_kernel
+
+        sample = PrefixSumSample(np.zeros(5))
+        with pytest.raises(DegenerateStatisticsError):
+            empirical_cr_kernel(sample, TurnOffImmediately(28.0), break_even=28.0)
+
+    def test_all_zero_sample_from_samples(self):
+        stats = StopStatistics.from_samples(np.zeros(10), 28.0)
+        assert stats.expected_offline_cost == 0.0
+        with pytest.raises(DegenerateStatisticsError):
+            select_vertex(stats)
+
+
+class TestBreakEvenDomain:
+    @pytest.mark.parametrize("bad", [0.0, -1.0, np.nan, np.inf])
+    def test_non_positive_or_non_finite_rejected(self, bad):
+        with pytest.raises(InvalidParameterError):
+            validate_break_even(bad)
+
+    @pytest.mark.parametrize("bad", [0.0, -28.0, np.nan])
+    def test_stats_constructor_rejects(self, bad):
+        with pytest.raises(InvalidParameterError):
+            StopStatistics(mu_b_minus=1.0, q_b_plus=0.1, break_even=bad)
+
+
+class TestSingleAxisDegeneracy:
+    """Only one of (mu⁻, q⁺) collapsing keeps the offline cost positive."""
+
+    def test_q_zero_mu_positive_is_defined(self):
+        stats = StopStatistics(mu_b_minus=5.0, q_b_plus=0.0, break_even=28.0)
+        name, b_star = select_vertex(stats)
+        assert name in {"TOI", "DET", "b-DET", "N-Rand"}
+        selection = ConstrainedSkiRentalSolver(stats).select()
+        assert np.isfinite(selection.worst_case_cr)
+
+    def test_mu_zero_q_positive_is_defined(self):
+        stats = StopStatistics(mu_b_minus=0.0, q_b_plus=0.5, break_even=28.0)
+        name, b_star = select_vertex(stats)
+        if name == "b-DET":
+            assert b_star is not None and b_star > 0.0
+        selection = ConstrainedSkiRentalSolver(stats).select()
+        assert np.isfinite(selection.worst_case_cr)
+        assert selection.worst_case_cr >= 1.0
+
+
+class TestNoEscapes:
+    @settings(max_examples=200, deadline=None)
+    @given(stats=feasible_statistics(allow_degenerate=True))
+    def test_select_vertex_total_over_degenerate_domain(self, stats):
+        # Either a well-defined vertex or the typed error — never
+        # ZeroDivisionError, never NaN leaking out.
+        try:
+            name, b_star = select_vertex(stats)
+        except DegenerateStatisticsError:
+            assert stats.expected_offline_cost <= 0.0
+            return
+        assert name in {"TOI", "DET", "b-DET", "N-Rand"}
+        if b_star is not None:
+            assert np.isfinite(b_star) and b_star > 0.0
+
+    @settings(max_examples=200, deadline=None)
+    @given(stats=feasible_statistics(allow_degenerate=True))
+    def test_solver_cr_never_nan(self, stats):
+        try:
+            selection = ConstrainedSkiRentalSolver(stats).select()
+        except DegenerateStatisticsError:
+            assert stats.expected_offline_cost <= 0.0
+            return
+        assert not np.isnan(selection.worst_case_cr)
+        assert selection.worst_case_cr >= 1.0 - 1e-12
+
+    @settings(max_examples=100, deadline=None)
+    @given(stats=feasible_statistics(allow_degenerate=True))
+    def test_solver_and_lean_selector_agree(self, stats):
+        try:
+            selection = ConstrainedSkiRentalSolver(stats).select()
+        except DegenerateStatisticsError:
+            with pytest.raises(DegenerateStatisticsError):
+                select_vertex(stats)
+            return
+        name, _ = select_vertex(stats)
+        assert name == selection.name
+
+    @settings(max_examples=100, deadline=None)
+    @given(sample=stop_samples(max_size=50))
+    def test_from_samples_total(self, sample):
+        stats = StopStatistics.from_samples(sample, 28.0)
+        try:
+            selection = ConstrainedSkiRentalSolver(stats).select()
+        except DegenerateStatisticsError:
+            assert np.all(sample[np.isfinite(sample)] == 0.0)
+            return
+        assert not np.isnan(selection.worst_case_cr)

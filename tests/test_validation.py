@@ -1,0 +1,334 @@
+"""Unit tests for the validation layer (schemas, policies, quarantine)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.distributions import EmpiricalDistribution
+from repro.distributions.fitting import moment_summary
+from repro.engine import RunLedger, use_ledger
+from repro.errors import DataValidationError, InvalidParameterError, TraceFormatError
+from repro.fleet import load_fleet_dataset, load_fleets, save_fleet_dataset, validate_fleets
+from repro.traces import read_stops_csv, read_traces_json, speed_trace_from_samples
+from repro.validation import (
+    Policy,
+    PolicyEnforcer,
+    ValidationReport,
+    clean_stop_lengths,
+    resolve_policy,
+)
+
+STOPS_HEADER = "vehicle_id,start_time,duration\n"
+
+
+def write_stops(path, rows):
+    path.write_text(STOPS_HEADER + "".join(row + "\n" for row in rows))
+    return path
+
+
+class TestPolicy:
+    def test_resolve_accepts_names_and_members(self):
+        assert resolve_policy("strict") is Policy.STRICT
+        assert resolve_policy("REPAIR") is Policy.REPAIR
+        assert resolve_policy(Policy.QUARANTINE) is Policy.QUARANTINE
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(InvalidParameterError, match="unknown validation policy"):
+            resolve_policy("lenient")
+
+    def test_strict_flag_raises_with_provenance(self):
+        enforcer = PolicyEnforcer("strict", None, "data.csv")
+        with pytest.raises(DataValidationError) as excinfo:
+            enforcer.flag("non-finite-duration", "duration is nan", line=7)
+        error = excinfo.value
+        assert isinstance(error, TraceFormatError)
+        assert error.check == "non-finite-duration"
+        assert error.source == "data.csv"
+        assert error.line == 7
+        assert "data.csv, line 7" in str(error)
+
+    def test_repair_flag_drops_and_logs(self):
+        enforcer = PolicyEnforcer("repair", None, "data.csv")
+        assert enforcer.flag("negative-duration", "duration is -1", line=3) is False
+        issue = enforcer.report.issues[0]
+        assert issue.action == "dropped"
+        assert enforcer.report.dropped_count == 1
+
+    def test_warnings_kept_under_every_policy(self):
+        for policy in Policy:
+            enforcer = PolicyEnforcer(policy, None, "x")
+            assert enforcer.flag("empty-vehicle", "no stops", severity="warning")
+            assert enforcer.report.warning_count == 1
+
+    def test_repaired_records_are_kept(self):
+        enforcer = PolicyEnforcer("repair", None, "manifest.json")
+        assert enforcer.flag("bad-recording-days", "defaulted to 7", repaired=True)
+        assert enforcer.report.issues[0].action == "repaired"
+
+
+class TestCleanStopLengths:
+    def test_strict_raises_on_nan(self):
+        with pytest.raises(DataValidationError, match="index 1"):
+            clean_stop_lengths([1.0, np.nan, 3.0], "strict")
+
+    def test_repair_drops_with_index_provenance(self):
+        report = ValidationReport("repair")
+        cleaned = clean_stop_lengths(
+            [1.0, np.nan, -2.0, np.inf, 3.0], "repair", report
+        )
+        np.testing.assert_array_equal(cleaned, [1.0, 3.0])
+        checks = sorted(issue.check for issue in report.issues)
+        assert checks == [
+            "negative-duration",
+            "non-finite-duration",
+            "non-finite-duration",
+        ]
+        assert [issue.line for issue in report.issues] == [1, 2, 3]
+
+    def test_clean_input_passes_through(self):
+        cleaned = clean_stop_lengths([5.0, 0.0], "strict")
+        np.testing.assert_array_equal(cleaned, [5.0, 0.0])
+
+
+class TestReport:
+    def test_counts_and_roundtrip(self, tmp_path):
+        report = ValidationReport("repair")
+        enforcer = PolicyEnforcer("repair", report, "a.csv")
+        enforcer.flag("non-finite-duration", "nan", line=2)
+        enforcer.flag("empty-vehicle", "gone", severity="warning")
+        payload = report.to_dict()
+        assert payload["errors"] == 1 and payload["warnings"] == 1
+        assert payload["counts_by_check"]["non-finite-duration"] == 1
+        path = report.write_json(tmp_path / "report.json")
+        assert json.loads(path.read_text())["dropped"] == 1
+        text = report.format()
+        assert "a.csv:2" in text and "nan" in text
+
+    def test_emit_to_ledger_uses_active_ledger(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        report = ValidationReport("repair")
+        report.records_checked = 4
+        with use_ledger(ledger):
+            report.emit_to_ledger(source="a.csv")
+        events = [json.loads(line) for line in (tmp_path / "ledger.jsonl").read_text().splitlines()]
+        validation = [e for e in events if e["event"] == "validation"]
+        assert validation and validation[0]["source"] == "a.csv"
+        assert validation[0]["checked"] == 4
+
+    def test_emit_without_ledger_is_noop(self):
+        ValidationReport("strict").emit_to_ledger()
+
+
+class TestReadStopsCsv:
+    def test_strict_names_the_line(self, tmp_path):
+        path = write_stops(tmp_path / "stops.csv", ["v1,0,10", "v1,20,nan"])
+        with pytest.raises(DataValidationError) as excinfo:
+            read_stops_csv(path)
+        assert excinfo.value.line == 3
+        assert "line 3" in str(excinfo.value)
+
+    def test_repair_drops_bad_rows(self, tmp_path):
+        path = write_stops(
+            tmp_path / "stops.csv",
+            ["v1,0,10", "v1,20,nan", "v1,40,-1", "v1,60,5", "v2,0,oops"],
+        )
+        report = ValidationReport("repair")
+        per_vehicle = read_stops_csv(path, policy="repair", report=report)
+        np.testing.assert_array_equal(per_vehicle["v1"], [10.0, 5.0])
+        assert "v2" not in per_vehicle
+        # v2 lost its only row -> empty-vehicle warning.
+        assert any(
+            issue.check == "empty-vehicle" and issue.severity == "warning"
+            for issue in report.issues
+        )
+
+    def test_out_of_order_and_overlap_detected(self, tmp_path):
+        path = write_stops(
+            tmp_path / "stops.csv",
+            ["v1,100,10", "v1,50,5", "v1,105,5", "v2,0,10"],
+        )
+        report = ValidationReport("repair")
+        per_vehicle = read_stops_csv(path, policy="repair", report=report)
+        checks = {issue.check for issue in report.issues}
+        assert "out-of-order-stop" in checks
+        assert "overlapping-stop" in checks
+        np.testing.assert_array_equal(per_vehicle["v1"], [10.0])
+        np.testing.assert_array_equal(per_vehicle["v2"], [10.0])
+
+    def test_quarantine_writes_sidecar(self, tmp_path):
+        path = write_stops(
+            tmp_path / "stops.csv", ["v1,0,10", "v1,20,nan", "v1,40"]
+        )
+        report = ValidationReport("quarantine")
+        read_stops_csv(path, policy="quarantine", report=report)
+        sidecar = tmp_path / "stops.csv.quarantine.csv"
+        assert sidecar.exists()
+        assert report.quarantine_paths == [sidecar]
+        body = sidecar.read_text().splitlines()
+        assert body[0].startswith("line,check")
+        assert body[1].startswith("3,non-finite-duration,v1,20,nan")
+        assert body[2].startswith("4,bad-column-count,v1,40")
+
+    def test_empty_table_flagged(self, tmp_path):
+        path = write_stops(tmp_path / "stops.csv", [])
+        report = ValidationReport("repair")
+        read_stops_csv(path, policy="repair", report=report)
+        assert any(issue.check == "empty-table" for issue in report.issues)
+
+    def test_wrong_header_always_fatal(self, tmp_path):
+        path = tmp_path / "stops.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(TraceFormatError, match="header"):
+            read_stops_csv(path, policy="repair")
+
+
+class TestReadTracesJson:
+    def test_repair_drops_malformed_documents(self, tmp_path):
+        good = {
+            "vehicle_id": "v1",
+            "recording_days": 7.0,
+            "trips": [{"start_time": 0.0, "duration": 100.0, "stops": []}],
+        }
+        path = tmp_path / "traces.json"
+        path.write_text(json.dumps([good, {"vehicle_id": "v2"}, "nonsense"]))
+        report = ValidationReport("repair")
+        traces = read_traces_json(path, policy="repair", report=report)
+        assert [trace.vehicle_id for trace in traces] == ["v1"]
+        assert report.error_count == 2
+
+    def test_quarantine_writes_json_sidecar(self, tmp_path):
+        path = tmp_path / "traces.json"
+        path.write_text(json.dumps([{"vehicle_id": "v2"}]))
+        report = ValidationReport("quarantine")
+        read_traces_json(path, policy="quarantine", report=report)
+        sidecar = tmp_path / "traces.json.quarantine.json"
+        records = json.loads(sidecar.read_text())
+        assert records[0]["index"] == 0
+
+    def test_invalid_json_always_fatal(self, tmp_path):
+        path = tmp_path / "traces.json"
+        path.write_text("{not json")
+        with pytest.raises(TraceFormatError, match="invalid JSON"):
+            read_traces_json(path, policy="repair")
+
+
+class TestFleetDataset:
+    @pytest.fixture
+    def dataset(self, tmp_path):
+        fleets = load_fleets(seed=3, vehicles_per_area=2)
+        return save_fleet_dataset(tmp_path / "ds", fleets, seed=3), fleets
+
+    def test_roundtrip_is_clean(self, dataset):
+        directory, fleets = dataset
+        report = ValidationReport("strict")
+        loaded = load_fleet_dataset(directory, report=report)
+        assert report.ok
+        assert {a: len(v) for a, v in loaded.items()} == {
+            a: len(v) for a, v in fleets.items()
+        }
+
+    def test_duplicate_vehicle_id_first_wins(self, dataset):
+        directory, _ = dataset
+        manifest = json.loads((directory / "manifest.json").read_text())
+        areas = sorted(manifest["areas"])
+        dup = manifest["areas"][areas[1]]["vehicle_ids"][0]
+        manifest["areas"][areas[0]]["vehicle_ids"].append(dup)
+        manifest["areas"][areas[0]]["scale_factors"].append(1.0)
+        manifest["areas"][areas[0]]["vehicle_count"] += 1
+        (directory / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(DataValidationError, match="already listed"):
+            load_fleet_dataset(directory)
+        report = ValidationReport("repair")
+        fleets = load_fleet_dataset(directory, policy="repair", report=report)
+        # First listing in manifest order wins: the vehicle stays in its
+        # original area and the copied entry is dropped.
+        assert dup in {v.vehicle_id for v in fleets[areas[1]]}
+        assert dup not in {v.vehicle_id for v in fleets[areas[0]]}
+
+    def test_scale_factor_mismatch_defaults_to_one(self, dataset):
+        directory, _ = dataset
+        manifest = json.loads((directory / "manifest.json").read_text())
+        area = sorted(manifest["areas"])[0]
+        manifest["areas"][area]["scale_factors"] = [2.0]
+        (directory / "manifest.json").write_text(json.dumps(manifest))
+        report = ValidationReport("repair")
+        fleets = load_fleet_dataset(directory, policy="repair", report=report)
+        assert all(v.scale_factor == 1.0 for v in fleets[area])
+        assert any(
+            issue.check == "scale-factor-count-mismatch" for issue in report.issues
+        )
+
+    def test_missing_vehicle_stops_dropped(self, dataset):
+        directory, _ = dataset
+        manifest = json.loads((directory / "manifest.json").read_text())
+        area = sorted(manifest["areas"])[0]
+        manifest["areas"][area]["vehicle_ids"].append("ghost-1")
+        manifest["areas"][area]["scale_factors"].append(1.0)
+        (directory / "manifest.json").write_text(json.dumps(manifest))
+        report = ValidationReport("repair")
+        fleets = load_fleet_dataset(directory, policy="repair", report=report)
+        assert "ghost-1" not in {v.vehicle_id for v in fleets[area]}
+        assert any(issue.check == "missing-vehicle-stops" for issue in report.issues)
+
+    def test_missing_manifest_always_fatal(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="not a fleet dataset"):
+            load_fleet_dataset(tmp_path, policy="repair")
+
+
+class TestValidateFleets:
+    def test_in_memory_duplicate_and_bad_stops(self):
+        fleets = load_fleets(seed=5, vehicles_per_area=2)
+        # Iteration order decides which duplicate wins; use it explicitly.
+        area, other = list(fleets)[0], list(fleets)[1]
+        bad = fleets[area][0]
+        broken = type(bad)(
+            vehicle_id=bad.vehicle_id,  # duplicate of area's first vehicle
+            area=other,
+            stop_lengths=np.array([1.0, np.nan]),
+            scale_factor=1.0,
+            recording_days=7.0,
+        )
+        fleets[other] = fleets[other] + [broken]
+        with pytest.raises(DataValidationError):
+            validate_fleets(fleets)
+        report = ValidationReport("repair")
+        cleaned = validate_fleets(fleets, policy="repair", report=report)
+        assert len(cleaned[other]) == len(fleets[other]) - 1
+        # Input not mutated.
+        assert len(fleets[other]) == 3
+
+
+class TestSpeedTrace:
+    def test_strict_raises_on_nan_sample(self):
+        with pytest.raises(DataValidationError, match="sample 1"):
+            speed_trace_from_samples(0.0, 1.0, [3.0, np.nan, 5.0])
+
+    def test_repair_clamps_to_stationary(self):
+        report = ValidationReport("repair")
+        trace = speed_trace_from_samples(
+            0.0, 1.0, [3.0, np.nan, -2.0, 5.0], policy="repair", report=report
+        )
+        np.testing.assert_array_equal(trace.speeds, [3.0, 0.0, 0.0, 5.0])
+        assert all(issue.action == "repaired" for issue in report.issues)
+
+
+class TestDistributionIngestion:
+    def test_empirical_policy_routes_cleaning(self):
+        report = ValidationReport("repair")
+        dist = EmpiricalDistribution(
+            [10.0, np.nan, 20.0], policy="repair", report=report
+        )
+        assert dist.count == 2
+        assert report.dropped_count == 1
+
+    def test_fitting_policy_routes_cleaning(self):
+        values = list(np.linspace(1.0, 50.0, 30)) + [np.nan]
+        summary = moment_summary(values, policy="repair")
+        assert summary["count"] == 30
+
+    def test_default_behavior_unchanged(self):
+        from repro.errors import InvalidDistributionError
+
+        with pytest.raises(InvalidDistributionError):
+            EmpiricalDistribution([1.0, np.nan])
