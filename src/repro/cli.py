@@ -37,6 +37,15 @@ Subcommands
     check, print the validation report, optionally write it as JSON
     and/or divert bad records to quarantine sidecars.  Exits non-zero
     when error-grade issues remain unhandled.
+``serve <events> --state-dir DIR [--policy P] [--ledger FILE] ...``
+    The crash-safe online advisor: stream JSONL stop events (a file or
+    ``-`` for stdin) through durable per-vehicle sessions with drift
+    detection and graceful degradation; prints the fleet health
+    snapshot (``--health FILE`` also writes it as JSON).  Restarting
+    with the same ``--state-dir`` recovers every session bit-identically.
+``ledger <path>``
+    Summarize a JSONL run ledger (tolerates a truncated final line —
+    the crash-tolerant reader) including advisor state transitions.
 
 ``run``/``all`` additionally accept ``--dataset DIR`` (evaluate an
 on-disk fleet dataset instead of synthesizing — fig3/fig4/table1) and
@@ -151,6 +160,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="'info' (default) prints location/entry count; 'clear' empties "
         "it; 'doctor' scans for orphaned temp files and invalid entries",
     )
+    cache_cmd.add_argument(
+        "--fault-claims",
+        type=Path,
+        default=None,
+        help="with 'doctor': also sweep fault-injection claim files whose "
+        "owning process is dead (never run while a chaos harness is "
+        "mid-cycle — live kill claims are its once-only bookkeeping)",
+    )
 
     advise = sub.add_parser(
         "advise", help="select the optimal strategy for observed stops"
@@ -262,6 +279,80 @@ def build_parser() -> argparse.ArgumentParser:
         "--vehicles", type=int, default=None,
         help="vehicles per area (default: the paper's 217/312/653)",
     )
+
+    serve = sub.add_parser(
+        "serve", help="crash-safe online advisor over a stop-event stream"
+    )
+    serve.add_argument(
+        "events",
+        help="JSONL event stream: one {id, vehicle, t, stop} object per "
+        "line; '-' reads stdin",
+    )
+    serve.add_argument(
+        "--state-dir",
+        type=Path,
+        required=True,
+        help="durable state root (WAL + snapshots per vehicle); restarting "
+        "with the same directory recovers bit-identically",
+    )
+    serve.add_argument(
+        "--policy",
+        choices=_POLICY_CHOICES,
+        default="repair",
+        help="validation policy for ingestion (default: repair — a service "
+        "must survive one bad record; quarantine diverts them to a CSV "
+        "sidecar in the state directory)",
+    )
+    serve.add_argument(
+        "--ledger",
+        type=Path,
+        default=None,
+        help="append advisor state transitions to this JSONL run ledger "
+        "and print its summary",
+    )
+    serve.add_argument(
+        "--break-even",
+        type=float,
+        default=B_SSV,
+        help=f"break-even interval B in seconds (default: {B_SSV:g} for SSV)",
+    )
+    serve.add_argument(
+        "--safe-strategy",
+        choices=("nrand", "det"),
+        default="nrand",
+        help="distribution-free fallback in the SAFE state: nrand "
+        "(expected CR e/(e-1)) or det (worst-case CR 2)",
+    )
+    serve.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=64,
+        help="compact the WAL into a snapshot every N applied events",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=4096,
+        help="ingestion queue bound; beyond it events are shed and counted",
+    )
+    serve.add_argument(
+        "--health",
+        type=Path,
+        default=None,
+        help="also write the final health snapshot as JSON to this path",
+    )
+    serve.add_argument("--seed", type=int, default=None, help="RNG base seed")
+    serve.add_argument(
+        "--fsync",
+        action="store_true",
+        help="fsync WAL appends, snapshots and ledger events (durability "
+        "against power loss, not just process death)",
+    )
+
+    ledger_cmd = sub.add_parser(
+        "ledger", help="summarize a JSONL run ledger (torn-tail tolerant)"
+    )
+    ledger_cmd.add_argument("path", type=Path, help="ledger JSONL path")
     return parser
 
 
@@ -399,6 +490,14 @@ def _cache(args) -> None:
             print("cache is healthy")
         else:
             print("run 'repro-idling cache clear' to reclaim the space")
+        if args.fault_claims is not None:
+            from .engine.faults import sweep_stale_claims
+
+            removed = sweep_stale_claims(args.fault_claims)
+            print(f"fault claims:    swept {len(removed)} stale claim(s) "
+                  f"from {args.fault_claims}")
+            for name in removed:
+                print(f"  swept   {name}")
     else:
         entries = cache.entries()
         print(f"cache directory: {cache.root}")
@@ -645,6 +744,112 @@ def _data_doctor(args) -> int:
     return 0
 
 
+def _serve(args) -> int:
+    """``serve``: stream JSONL stop events through the advisor service."""
+    import json
+
+    from .service import AdvisorService
+    from .service.session import SessionConfig
+
+    _warn_break_even(args.break_even)
+    config_kwargs = dict(
+        break_even=args.break_even,
+        safe_strategy=args.safe_strategy,
+        snapshot_every=args.snapshot_every,
+    )
+    if args.seed is not None:
+        config_kwargs["seed"] = args.seed
+    config = SessionConfig(**config_kwargs)
+    ledger = (
+        RunLedger(args.ledger, fsync=args.fsync, append=True)
+        if args.ledger is not None
+        else None
+    )
+    service = AdvisorService(
+        args.state_dir,
+        config,
+        policy=args.policy,
+        max_queue=args.max_queue,
+        fsync=args.fsync,
+    )
+
+    def _pump(handle) -> None:
+        for line in handle:
+            line = line.strip()
+            if line:
+                service.ingest_line(line)
+
+    def _stream() -> None:
+        if args.events == "-":
+            _pump(sys.stdin)
+        else:
+            with open(args.events) as handle:
+                _pump(handle)
+        service.close()
+
+    if ledger is not None:
+        with use_ledger(ledger):
+            _stream()
+    else:
+        _stream()
+
+    snapshot = service.health_snapshot()
+    ingest = snapshot["ingest"]
+    print(f"fleet cost:  {snapshot['fleet_cost']:.1f} idle-s "
+          f"over {len(snapshot['vehicles'])} vehicle(s)")
+    print(f"ingestion:   {ingest['received']} received, "
+          f"{ingest['duplicates']} duplicate(s), {ingest['rejected']} rejected, "
+          f"{ingest['malformed']} malformed, {ingest['shed']} shed")
+    rows = [
+        (
+            info["vehicle"],
+            info["health"],
+            info["strategy"],
+            str(info["applied"]),
+            f"{info['total_cost']:.1f}",
+            str(len(info["transitions"])),
+        )
+        for info in snapshot["vehicles"].values()
+    ]
+    print(format_table(
+        ("vehicle", "health", "strategy", "applied", "cost", "transitions"), rows
+    ))
+    if args.health is not None:
+        args.health.parent.mkdir(parents=True, exist_ok=True)
+        args.health.write_text(json.dumps(snapshot, indent=2, sort_keys=True))
+        print(f"health snapshot written to {args.health}")
+    if ledger is not None and ledger.path is not None:
+        print(f"ledger appended at {ledger.path}")
+    return 0
+
+
+def _ledger_summary(args) -> int:
+    """``ledger``: summarize a JSONL run ledger via the tolerant reader."""
+    from collections import Counter
+
+    from .engine import read_ledger
+
+    records = read_ledger(args.path)
+    print(f"{args.path}: {len(records)} record(s)")
+    counts = Counter(str(record.get("event", "?")) for record in records)
+    print(format_table(("event", "count"), sorted(counts.items())))
+    transitions = [r for r in records if r.get("event") == "advisor-state"]
+    if transitions:
+        print("\nadvisor state transitions:")
+        rows = [
+            (
+                str(record.get("vehicle", "?")),
+                str(record.get("from", "?")),
+                str(record.get("to", "?")),
+                str(record.get("reason", "?")),
+                str(record.get("applied", "?")),
+            )
+            for record in transitions
+        ]
+        print(format_table(("vehicle", "from", "to", "reason", "applied"), rows))
+    return 0
+
+
 def _dataset(args) -> None:
     from .fleet import DEFAULT_SEED, load_fleets, save_fleet_dataset, total_vehicle_count
 
@@ -688,6 +893,10 @@ def main(argv: list[str] | None = None) -> int:
             _cache(args)
         elif args.command == "data":
             return _data_doctor(args)
+        elif args.command == "serve":
+            return _serve(args)
+        elif args.command == "ledger":
+            return _ledger_summary(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -31,6 +31,20 @@ from .strategy import Strategy
 
 __all__ = ["AdaptiveProposed"]
 
+#: How often (in observations) the decayed accumulators are checked for
+#: underflow.  Interval-based so live streams and WAL replays renormalize
+#: at identical points — the schedule is a pure function of the count.
+RENORM_INTERVAL = 4096
+
+#: Flush threshold for decayed accumulators.  With ``decay < 1`` an
+#: accumulator that stops receiving mass shrinks geometrically and, after
+#: ~``708 / (1 - decay)`` stops, drops below the smallest normal float
+#: (~2.2e-308): arithmetic on such denormals is 10-100x slower on most
+#: CPUs and eventually rounds to zero anyway.  Anything below 1e-290
+#: carries no information at automotive scales (stop lengths are
+#: O(1..1e4) seconds), so it is flushed to an exact 0.0.
+RENORM_FLUSH = 1e-290
+
 
 class AdaptiveProposed(Strategy):
     """The proposed algorithm with online statistics estimation."""
@@ -88,8 +102,105 @@ class AdaptiveProposed(Strategy):
             self._long_weight += 1.0
         else:
             self._short_sum += y
+        if self._count % RENORM_INTERVAL == 0:
+            self._renormalize()
         if self._count >= self.min_samples:
             self._reselect()
+
+    def observe_many(self, stop_lengths) -> None:
+        """Feed a batch of completed stops, re-selecting once at the end.
+
+        The estimator state after this call is bit-identical to calling
+        :meth:`observe` per stop (same sequential arithmetic, same
+        renormalization schedule); only the *selection* differs during
+        the batch — it is refreshed once after the last stop instead of
+        after every stop, which is what makes very long streams (1e7+
+        observations) tractable: re-solving the constrained problem per
+        stop dominates the cost otherwise.
+        """
+        y = np.asarray(stop_lengths, dtype=float).ravel()
+        if y.size == 0:
+            return
+        if np.any(~np.isfinite(y)) or np.any(y < 0.0):
+            raise InvalidParameterError("stop lengths must be non-negative and finite")
+        # Hot loop: locals beat attribute lookups ~3x at 1e7 iterations.
+        count = self._count
+        weight = self._weight
+        short_sum = self._short_sum
+        long_weight = self._long_weight
+        decay = self.decay
+        break_even = self.break_even
+        for value in y.tolist():
+            count += 1
+            weight = weight * decay + 1.0
+            short_sum *= decay
+            long_weight *= decay
+            if value >= break_even:
+                long_weight += 1.0
+            else:
+                short_sum += value
+            if count % RENORM_INTERVAL == 0:
+                if 0.0 < short_sum < RENORM_FLUSH:
+                    short_sum = 0.0
+                if 0.0 < long_weight < RENORM_FLUSH:
+                    long_weight = 0.0
+        self._count = count
+        self._weight = weight
+        self._short_sum = short_sum
+        self._long_weight = long_weight
+        if self._count >= self.min_samples:
+            self._reselect()
+
+    def _renormalize(self) -> None:
+        """Flush denormal-bound accumulators to an exact zero.
+
+        Only the decayed accumulators can underflow (``_weight`` is
+        bounded below by 1); flushing them to 0.0 is idempotent and
+        absorbing (``0.0 * decay == 0.0``), so replaying the same stream
+        always reproduces the same state.
+        """
+        if 0.0 < self._short_sum < RENORM_FLUSH:
+            self._short_sum = 0.0
+        if 0.0 < self._long_weight < RENORM_FLUSH:
+            self._long_weight = 0.0
+
+    def to_state(self) -> dict:
+        """JSON-serializable estimator state (see :meth:`from_state`).
+
+        Floats round-trip bit-exactly through JSON (``repr``-based
+        encoding), which is what the crash-safe advisor service relies
+        on for its snapshots.
+        """
+        return {
+            "break_even": self.break_even,
+            "min_samples": self.min_samples,
+            "decay": self.decay,
+            "count": self._count,
+            "weight": self._weight,
+            "short_sum": self._short_sum,
+            "long_weight": self._long_weight,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "AdaptiveProposed":
+        """Rebuild an estimator from :meth:`to_state` output.
+
+        The restored instance is bit-identical to the original: same
+        accumulators, and the strategy selection is re-derived from them
+        (it is a pure function of the estimator state).
+        """
+        restored = cls(
+            break_even=float(state["break_even"]),
+            min_samples=int(state["min_samples"]),
+            decay=float(state["decay"]),
+        )
+        restored._count = int(state["count"])
+        restored._weight = float(state["weight"])
+        restored._short_sum = float(state["short_sum"])
+        restored._long_weight = float(state["long_weight"])
+        if restored._count >= restored.min_samples:
+            restored._reselect()
+        return restored
 
     def current_statistics(self) -> StopStatistics | None:
         """The running (possibly decayed) estimate, or None before any

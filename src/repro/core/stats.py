@@ -120,6 +120,27 @@ class StopStatistics:
             break_even=b,
         )
 
+    def as_dict(self) -> dict:
+        """JSON-serializable form — used by service health snapshots.
+
+        Floats survive a JSON round-trip bit-exactly (``repr`` encoding),
+        so :meth:`from_dict` reconstructs the identical statistics.
+        """
+        return {
+            "mu_b_minus": self.mu_b_minus,
+            "q_b_plus": self.q_b_plus,
+            "break_even": self.break_even,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StopStatistics":
+        """Inverse of :meth:`as_dict` (revalidates the triple)."""
+        return cls(
+            mu_b_minus=float(payload["mu_b_minus"]),
+            q_b_plus=float(payload["q_b_plus"]),
+            break_even=float(payload["break_even"]),
+        )
+
     @property
     def expected_offline_cost(self) -> float:
         """Expected cost of the offline optimum, Eq. (13): ``mu⁻ + q⁺ B``.

@@ -37,7 +37,7 @@ from .cache import (
     encode_payload,
 )
 from .instrument import Instrumentation, StageTiming
-from .ledger import RunLedger, active_ledger, use_ledger
+from .ledger import RunLedger, active_ledger, read_ledger, use_ledger
 from .parallel import (
     MapCheckpoint,
     ParallelMap,
@@ -65,6 +65,7 @@ __all__ = [
     "encode_payload",
     "RunLedger",
     "active_ledger",
+    "read_ledger",
     "use_ledger",
     "Instrumentation",
     "StageTiming",

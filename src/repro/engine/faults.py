@@ -32,6 +32,16 @@ Fault kinds
 
 The wrapper is picklable as long as the wrapped function is (the same
 module-level-callable rule as ParallelMap itself).
+
+Claim files record the pid of the process that claimed them.  A run
+that dies abnormally (SIGKILL, OOM) leaves its claims behind, and a
+*rerun* in the same ``state_dir`` would then see every fault as already
+fired — silently changing the rerun's behaviour.
+:func:`sweep_stale_claims` removes claims held by dead pids; it is an
+explicit doctor-style cleanup (``repro-idling cache doctor
+--fault-claims DIR``, or :meth:`FaultInjector.sweep_stale`), **not**
+automatic, because within one run a SIGKILLed worker's claim is the
+record that its ``"kill"`` fault already fired and must survive.
 """
 
 from __future__ import annotations
@@ -44,7 +54,7 @@ from dataclasses import dataclass
 
 from ..errors import InvalidParameterError
 
-__all__ = ["Fault", "FaultInjector", "InjectedFault"]
+__all__ = ["Fault", "FaultInjector", "InjectedFault", "sweep_stale_claims"]
 
 _KINDS = ("raise", "hang", "kill")
 
@@ -79,6 +89,62 @@ def _item_digest(item) -> str:
     return hashlib.sha256(repr(item).encode()).hexdigest()[:16]
 
 
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` currently names a live process.
+
+    Signal 0 performs the permission/existence check without delivering
+    anything; ``EPERM`` means the process exists but belongs to someone
+    else, so it still counts as alive.
+    """
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True
+
+
+def sweep_stale_claims(state_dir) -> list[str]:
+    """Remove claim files whose claiming process is dead.
+
+    Returns the removed paths.  A claim with no readable pid (created
+    before pids were recorded, or torn by a crash mid-write) is treated
+    as stale — its owner cannot be identified, and keeping it would make
+    reruns in the same ``state_dir`` non-deterministic.  Pid reuse can
+    in principle make a genuinely stale claim look live; sweeps are
+    best-effort cleanup, not a correctness dependency.
+    """
+    removed: list[str] = []
+    try:
+        names = sorted(os.listdir(state_dir))
+    except FileNotFoundError:
+        return removed
+    for name in names:
+        path = os.path.join(state_dir, name)
+        if not os.path.isfile(path):
+            continue
+        try:
+            text = open(path).read().strip()
+        except OSError:
+            continue
+        stale = True
+        if text:
+            try:
+                stale = not _pid_alive(int(text))
+            except ValueError:
+                stale = True
+        if stale:
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                continue
+            removed.append(path)
+    return removed
+
+
 class FaultInjector:
     """Wrap ``fn`` so chosen items fault on their first ``times`` attempts.
 
@@ -100,8 +166,16 @@ class FaultInjector:
         self.state_dir = str(state_dir)
         self._creator_pid = os.getpid()
 
+    def sweep_stale(self) -> list[str]:
+        """Remove claims left by dead processes (see module docstring)."""
+        return sweep_stale_claims(self.state_dir)
+
     def _claim(self, digest: str, fault: Fault) -> bool:
-        """Atomically claim one of the fault's ``times`` firings."""
+        """Atomically claim one of the fault's ``times`` firings.
+
+        The claim file records the claiming pid so an abnormal exit can
+        later be recognized (and swept) by :func:`sweep_stale_claims`.
+        """
         os.makedirs(self.state_dir, exist_ok=True)
         for attempt in range(fault.times):
             path = os.path.join(self.state_dir, f"{digest}.{attempt}")
@@ -109,7 +183,10 @@ class FaultInjector:
                 handle = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
             except FileExistsError:
                 continue
-            os.close(handle)
+            try:
+                os.write(handle, str(os.getpid()).encode())
+            finally:
+                os.close(handle)
             return True
         return False
 

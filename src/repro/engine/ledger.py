@@ -35,12 +35,13 @@ to it.  All events are emitted from the parent process, so ``seq`` and
 from __future__ import annotations
 
 import json
+import os
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
 from pathlib import Path
 
-__all__ = ["RunLedger", "active_ledger", "use_ledger"]
+__all__ = ["RunLedger", "active_ledger", "read_ledger", "use_ledger"]
 
 _ACTIVE: ContextVar["RunLedger | None"] = ContextVar("repro_run_ledger", default=None)
 
@@ -60,6 +61,30 @@ def use_ledger(ledger: "RunLedger"):
         _ACTIVE.reset(token)
 
 
+def read_ledger(path: str | Path) -> list[dict]:
+    """Read a JSONL ledger file, tolerating a torn final line.
+
+    A process killed mid-:meth:`RunLedger.emit` can leave a partial last
+    line (no trailing newline, or truncated JSON).  Readers of a ledger
+    that may belong to a crashed run — the CLI ``ledger`` summary, the
+    soak harness, tests — must not die on that tail, so the *final*
+    undecodable line is silently skipped.  An undecodable line anywhere
+    else means real corruption and still raises ``json.JSONDecodeError``.
+    """
+    records: list[dict] = []
+    lines = Path(path).read_text().splitlines()
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                break
+            raise
+    return records
+
+
 class RunLedger:
     """Append-only event log for one run.
 
@@ -69,20 +94,54 @@ class RunLedger:
         Optional JSONL file.  Truncated at construction (one ledger =
         one run) and appended to on every :meth:`emit`, so the on-disk
         record is complete even if the process dies mid-run.
+    fsync:
+        When True every :meth:`emit` fsyncs the file, so the record
+        survives not just a process kill (flush already guarantees
+        that) but an OS crash or power loss.  Off by default — it turns
+        every event into a disk round-trip.
+    append:
+        Keep an existing file's records instead of truncating, and
+        continue ``seq`` after them.  Used by restartable services
+        (``repro-idling serve``) so one ledger spans every kill/restart
+        cycle of a run; a torn final line left by the previous crash is
+        not counted (see :func:`read_ledger`).
     """
 
-    def __init__(self, path: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        *,
+        fsync: bool = False,
+        append: bool = False,
+    ) -> None:
         self.path = Path(path) if path is not None else None
+        self.fsync = bool(fsync)
         self.events: list[dict] = []
+        self._seq_base = 0
         self._origin = time.monotonic()
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self.path.write_text("")
+            if append and self.path.exists():
+                self._seq_base = len(read_ledger(self.path))
+            else:
+                self.path.write_text("")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunLedger":
+        """Read an on-disk ledger back for inspection (summaries, tests).
+
+        The returned ledger is detached (``path=None``) so loading never
+        truncates or extends the file it read.  A torn final line from a
+        crashed writer is skipped, per :func:`read_ledger`.
+        """
+        ledger = cls()
+        ledger.events = read_ledger(path)
+        return ledger
 
     def emit(self, event: str, **fields) -> dict:
         """Record one event; returns the full record."""
         record = {
-            "seq": len(self.events),
+            "seq": self._seq_base + len(self.events),
             "t": round(time.monotonic() - self._origin, 6),
             "event": event,
         }
@@ -91,6 +150,9 @@ class RunLedger:
         if self.path is not None:
             with open(self.path, "a") as handle:
                 handle.write(json.dumps(record, sort_keys=True, default=repr) + "\n")
+                if self.fsync:
+                    handle.flush()
+                    os.fsync(handle.fileno())
         return record
 
     def count(self, event: str) -> int:

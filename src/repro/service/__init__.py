@@ -1,0 +1,47 @@
+"""Crash-safe online advisor service (``repro-idling serve``).
+
+The deployed face of the paper's algorithms: per-vehicle
+:class:`~repro.service.session.AdvisorSession` objects wrap
+:class:`~repro.core.adaptive.AdaptiveProposed` with
+
+* **durability** — a CRC-framed write-ahead log plus atomic compacted
+  snapshots (:mod:`repro.service.wal`): a SIGKILL at any instant
+  restores every session bit-identically;
+* **drift detection** — Page-Hinkley/CUSUM over stop lengths and over
+  the short/long split (:mod:`repro.service.drift`);
+* **graceful degradation** — a HEALTHY → DEGRADED → SAFE ladder with
+  hysteresis that ends at a provable guarantee (N-Rand's ``e/(e-1)``
+  or DET's 2-competitive bound) instead of failing open
+  (:mod:`repro.service.session`);
+* **defensive ingestion** — idempotent event ids, monotone-clock
+  enforcement through the :mod:`repro.validation` policies, and a
+  bounded queue with shed-and-count backpressure
+  (:mod:`repro.service.advisor`);
+* **a chaos harness** — kill/restart soak runs that pin cost parity
+  with the uninterrupted run (:mod:`repro.service.soak`).
+
+See ``docs/serving.md`` for the state machine, the durability
+guarantees, and the degradation ladder's competitive-ratio bounds.
+"""
+
+# NOTE: repro.service.soak is deliberately not imported here — it is
+# runnable as ``python -m repro.service.soak`` and importing it from the
+# package __init__ would shadow that execution (runpy warns).
+from .advisor import AdvisorService, parse_event_line
+from .drift import DriftDetector, PageHinkley
+from .session import AdvisorSession, HealthState, SessionConfig, vehicle_seed
+from .wal import SnapshotStore, WalCorruptionError, WriteAheadLog
+
+__all__ = [
+    "AdvisorService",
+    "AdvisorSession",
+    "DriftDetector",
+    "HealthState",
+    "PageHinkley",
+    "SessionConfig",
+    "SnapshotStore",
+    "WalCorruptionError",
+    "WriteAheadLog",
+    "parse_event_line",
+    "vehicle_seed",
+]

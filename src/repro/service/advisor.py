@@ -1,0 +1,243 @@
+"""The multi-vehicle advisor service: routing, backpressure, health.
+
+:class:`AdvisorService` owns one :class:`~repro.service.session.AdvisorSession`
+per vehicle, each with its own sub-directory of the service state
+directory (WAL + snapshot), a shared validation report/quarantine
+sidecar, and a bounded ingestion queue:
+
+* ``offer(record)`` enqueues one raw event; when the queue is full the
+  event is **shed and counted** (explicit backpressure — the caller
+  sees False and the health snapshot reports the count) rather than
+  growing memory without bound;
+* ``drain()`` parses, validates and routes everything queued;
+* ``process(record)`` is offer+drain for one event (the file/stdin
+  serving loop).
+
+Raw records are value-validated by
+:func:`repro.validation.schemas.stop_event_findings` before they reach
+a session; malformed records are policy-handled (strict raises, repair
+drops, quarantine diverts to ``events.quarantine.csv`` in the state
+directory) and fed to the owning session's failure-streak health signal
+when the vehicle is identifiable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from collections import deque
+from pathlib import Path
+
+from ..validation import CsvQuarantineWriter, PolicyEnforcer, ValidationReport
+from ..validation.schemas import stop_event_findings
+from .session import AdvisorSession, SessionConfig
+
+__all__ = ["AdvisorService", "parse_event_line"]
+
+_SAFE_DIRNAME = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+
+def _vehicle_dirname(vehicle_id: str) -> str:
+    """A filesystem-safe, collision-free directory name per vehicle."""
+    if _SAFE_DIRNAME.match(vehicle_id) and vehicle_id not in (".", ".."):
+        return vehicle_id
+    return "veh-" + hashlib.sha256(vehicle_id.encode()).hexdigest()[:16]
+
+
+def parse_event_line(line: str):
+    """Parse one JSONL event line; returns ``(record, error)``.
+
+    ``record`` is the decoded JSON value (*not* yet schema-validated);
+    ``error`` is a message when the line is not JSON at all.
+    """
+    try:
+        return json.loads(line), None
+    except json.JSONDecodeError as exc:
+        return None, f"not valid JSON: {exc}"
+
+
+class AdvisorService:
+    """Long-running advisor for a fleet (see module docstring).
+
+    Parameters
+    ----------
+    state_dir:
+        Root of the durable state; one sub-directory per vehicle.
+    config:
+        Shared :class:`SessionConfig` for every session.
+    policy:
+        Validation policy for ingestion (default ``repair`` — a
+        deployed service must not die on one bad record; pass
+        ``strict`` to make it do exactly that in tests).
+    max_queue:
+        Bound on the in-memory ingestion queue; beyond it events are
+        shed and counted.
+    fsync:
+        Forwarded to every session's WAL/snapshot writes.
+    recover:
+        Restore per-vehicle durable state found under ``state_dir``.
+    """
+
+    def __init__(
+        self,
+        state_dir: str | Path,
+        config: SessionConfig,
+        *,
+        policy: str = "repair",
+        report: ValidationReport | None = None,
+        max_queue: int = 4096,
+        fsync: bool = False,
+        recover: bool = True,
+        source: str = "events",
+    ) -> None:
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.config = config
+        self.policy = policy
+        self.fsync = bool(fsync)
+        self.recover = bool(recover)
+        if max_queue < 1:
+            max_queue = 1
+        self.max_queue = int(max_queue)
+        self.report = report if report is not None else ValidationReport(str(policy))
+        self._enforcer = PolicyEnforcer(policy, self.report, source)
+        self._enforcer.attach_quarantine_writer(
+            CsvQuarantineWriter(self.state_dir / source, self.report)
+        )
+        self.sessions: dict[str, AdvisorSession] = {}
+        self._queue: deque = deque()
+        self.shed = 0
+        self.received = 0
+        self.malformed = 0
+
+    # -- sessions ---------------------------------------------------------
+
+    def session(self, vehicle_id: str) -> AdvisorSession:
+        """The vehicle's session, creating (and recovering) it on first use."""
+        vehicle_id = str(vehicle_id)
+        existing = self.sessions.get(vehicle_id)
+        if existing is not None:
+            return existing
+        session = AdvisorSession(
+            vehicle_id,
+            self.config,
+            self.state_dir / "vehicles" / _vehicle_dirname(vehicle_id),
+            enforcer=self._enforcer,
+            fsync=self.fsync,
+            recover=self.recover,
+        )
+        self.sessions[vehicle_id] = session
+        return session
+
+    # -- ingestion --------------------------------------------------------
+
+    def offer(self, record) -> bool:
+        """Enqueue one raw event; False when it was shed (queue full)."""
+        self.received += 1
+        if len(self._queue) >= self.max_queue:
+            self.shed += 1
+            return False
+        self._queue.append(record)
+        return True
+
+    def drain(self) -> list[dict]:
+        """Process everything queued; returns the decisions made."""
+        decisions = []
+        while self._queue:
+            decision = self._handle(self._queue.popleft())
+            if decision is not None:
+                decisions.append(decision)
+        return decisions
+
+    def process(self, record) -> dict | None:
+        """Offer + drain for one event (the serving loop's hot path)."""
+        if not self.offer(record):
+            return None
+        decision = None
+        for result in self.drain():
+            decision = result
+        return decision
+
+    def ingest_line(self, line: str) -> dict | None:
+        """Parse one JSONL event line and process it (the ``serve`` loop).
+
+        Undecodable lines are policy-handled as ``malformed-event`` —
+        the raw line goes to the quarantine sidecar under the
+        ``quarantine`` policy — and never reach a session.
+        """
+        record, error = parse_event_line(line)
+        if error is not None:
+            self.received += 1
+            self.malformed += 1
+            self._enforcer.flag("malformed-event", error, record=[line])
+            return None
+        return self.process(record)
+
+    def _handle(self, record) -> dict | None:
+        findings, event = stop_event_findings(record)
+        if event is None:
+            self.malformed += 1
+            vehicle = self._identifiable_vehicle(record)
+            for check, message in findings:
+                self._enforcer.flag(
+                    check,
+                    message if vehicle is None else f"vehicle {vehicle}: {message}",
+                    record=[json.dumps(record, default=repr)],
+                )
+            # A malformed record still carries a health signal for the
+            # vehicle it claims to be from — but only for vehicles we
+            # already serve: garbage must not create sessions.
+            if vehicle is not None and vehicle in self.sessions:
+                self.sessions[vehicle].note_invalid_event(findings[0][0])
+            return None
+        event_id, vehicle, timestamp, stop_length = event
+        return self.session(vehicle).submit(event_id, timestamp, stop_length)
+
+    @staticmethod
+    def _identifiable_vehicle(record) -> str | None:
+        if isinstance(record, dict):
+            vehicle = record.get("vehicle")
+            if isinstance(vehicle, str) and vehicle.strip():
+                return vehicle
+        return None
+
+    # -- lifecycle / observability ---------------------------------------
+
+    @property
+    def fleet_cost(self) -> float:
+        """Total realized cost (idle-seconds units) across all sessions."""
+        return sum(session.total_cost for session in self.sessions.values())
+
+    def health_snapshot(self) -> dict:
+        """Operator-facing service view: fleet totals + per-vehicle state."""
+        vehicles = {
+            vehicle_id: session.health_snapshot()
+            for vehicle_id, session in sorted(self.sessions.items())
+        }
+        return {
+            "fleet_cost": self.fleet_cost,
+            "vehicles": vehicles,
+            "ingest": {
+                "received": self.received,
+                "queued": len(self._queue),
+                "max_queue": self.max_queue,
+                "shed": self.shed,
+                "malformed": self.malformed,
+                "duplicates": sum(s.duplicates for s in self.sessions.values()),
+                "rejected": sum(s.rejected for s in self.sessions.values()),
+            },
+            "states": {
+                state: sum(
+                    1 for s in self.sessions.values() if s.health.value == state
+                )
+                for state in ("healthy", "degraded", "safe")
+            },
+        }
+
+    def close(self) -> None:
+        """Flush durable state: final compaction for every session."""
+        self.drain()
+        for session in self.sessions.values():
+            session.compact()
+        self._enforcer.close()

@@ -1,0 +1,199 @@
+"""Drift detection over the stop stream: Page-Hinkley / CUSUM.
+
+The adaptive selector is only as good as its ``(mu_B_minus, q_B_plus)``
+estimate, and that estimate silently rots when the traffic regime
+shifts (new commute, construction season, a different driver).  Two
+detectors watch for that rot, one per statistic the theory cares about:
+
+* a two-sided **Page-Hinkley** test over stop lengths — the classic
+  CUSUM variant for mean shifts in a stream: it accumulates
+  ``m_t = Σ (z_i - δ)`` and alarms when ``m_t`` departs from its
+  running extremum by more than ``λ``.  ``δ`` (the drift allowance)
+  absorbs slow wander; ``λ`` (the threshold) sets the detection delay /
+  false-alarm trade-off.  Deviations ``z_i`` are **self-scaled** by a
+  running mean absolute deviation and winsorized at ``±clip``, so
+  ``δ`` and ``λ`` are in robust-σ units and one default works for
+  30-second city stops and 10-minute depot idles alike (stop lengths
+  are heavy-tailed; absolute-unit thresholds would false-alarm on any
+  stationary stream whose spread they underestimate, and unclipped
+  normalized deviations would let a single tail stop walk the CUSUM
+  most of the way to an alarm).
+* the same statistic over the **short/long indicator** ``1{y >= B}`` —
+  a Bernoulli CUSUM on exactly the split that drives the constrained
+  solver's vertex choice, so a shift in ``q_B_plus`` is seen even when
+  the mean stop length barely moves.
+
+Both are O(1) state and fully serializable, so detectors survive crash
+recovery bit-identically along with the rest of the session.
+"""
+
+from __future__ import annotations
+
+from ..errors import InvalidParameterError
+
+__all__ = ["PageHinkley", "DriftDetector"]
+
+
+class PageHinkley:
+    """Two-sided Page-Hinkley mean-shift test, O(1) state.
+
+    Parameters
+    ----------
+    delta:
+        Allowed drift per observation in robust-σ units (running mean
+        absolute deviations); slow changes within ``±delta`` never
+        alarm.
+    threshold:
+        Alarm level ``λ`` (same units) for the departure of the
+        cumulative statistic from its running extremum.
+    min_count:
+        Calibration length: the first ``min_count`` observations only
+        feed the running mean and scale — the cumulative statistic
+        starts after them.  While the sample is tiny the scale estimate
+        is noisily small, and a single spuriously huge normalized
+        deviation would be locked into the CUSUM forever.
+    clip:
+        Winsorization bound for normalized deviations (robust-σ units):
+        heavy-tailed stop streams routinely produce single 10-σ-looking
+        stops, and each would otherwise jump the CUSUM a third of the
+        way to the threshold on its own.
+    """
+
+    def __init__(
+        self, delta: float, threshold: float, min_count: int = 20, clip: float = 4.0
+    ) -> None:
+        if delta < 0.0:
+            raise InvalidParameterError(f"delta must be >= 0, got {delta!r}")
+        if threshold <= 0.0:
+            raise InvalidParameterError(f"threshold must be > 0, got {threshold!r}")
+        if min_count < 1:
+            raise InvalidParameterError(f"min_count must be >= 1, got {min_count}")
+        if clip <= 0.0:
+            raise InvalidParameterError(f"clip must be > 0, got {clip!r}")
+        self.delta = float(delta)
+        self.threshold = float(threshold)
+        self.min_count = int(min_count)
+        self.clip = float(clip)
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget all history (called on every health-state transition)."""
+        self._count = 0
+        self._mean = 0.0
+        self._scale = 0.0
+        # Separate accumulators per direction: the increase test subtracts
+        # delta (so a stationary stream drifts it *down*, tracked by its
+        # min), the decrease test adds delta (drifts *up*, tracked by its
+        # max).  Sharing one sum would let the delta allowance itself
+        # walk the statistic away from the opposite extremum and
+        # false-alarm on perfectly stationary data.
+        self._cum_inc = 0.0
+        self._min_inc = 0.0
+        self._cum_dec = 0.0
+        self._max_dec = 0.0
+
+    def update(self, value: float) -> bool:
+        """Feed one observation; True when a mean shift is detected."""
+        x = float(value)
+        self._count += 1
+        if self._count == 1:
+            # No deviation information yet; the first value just seeds
+            # the mean (the scale stays 0 until a second value arrives).
+            self._mean = x
+            return False
+        # Innovation against the *previous* mean, winsorized at
+        # ``clip`` scales before it feeds anything: one parked-overnight
+        # stop must neither walk the CUSUM toward an alarm nor poison
+        # the mean/scale estimates so badly that ordinary stops look
+        # like a downward shift afterwards.
+        deviation = x - self._mean
+        if self._scale > 0.0:
+            limit = self.clip * self._scale
+            deviation = max(-limit, min(limit, deviation))
+            normalized = deviation / self._scale
+        else:
+            normalized = 0.0
+        self._mean += deviation / self._count
+        self._scale += (abs(deviation) - self._scale) / self._count
+        if self._count <= self.min_count:
+            return False
+        self._cum_inc += normalized - self.delta
+        self._min_inc = min(self._min_inc, self._cum_inc)
+        self._cum_dec += normalized + self.delta
+        self._max_dec = max(self._max_dec, self._cum_dec)
+        return (
+            self._cum_inc - self._min_inc > self.threshold
+            or self._max_dec - self._cum_dec > self.threshold
+        )
+
+    def to_state(self) -> dict:
+        return {
+            "delta": self.delta,
+            "threshold": self.threshold,
+            "min_count": self.min_count,
+            "clip": self.clip,
+            "count": self._count,
+            "mean": self._mean,
+            "scale": self._scale,
+            "cum_inc": self._cum_inc,
+            "min_inc": self._min_inc,
+            "cum_dec": self._cum_dec,
+            "max_dec": self._max_dec,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "PageHinkley":
+        detector = cls(
+            delta=float(state["delta"]),
+            threshold=float(state["threshold"]),
+            min_count=int(state["min_count"]),
+            clip=float(state["clip"]),
+        )
+        detector._count = int(state["count"])
+        detector._mean = float(state["mean"])
+        detector._scale = float(state["scale"])
+        detector._cum_inc = float(state["cum_inc"])
+        detector._min_inc = float(state["min_inc"])
+        detector._cum_dec = float(state["cum_dec"])
+        detector._max_dec = float(state["max_dec"])
+        return detector
+
+
+class DriftDetector:
+    """The pair of tests the advisor session runs per observed stop.
+
+    ``update(stop_length, is_long)`` returns the alarm verdict: True
+    when either the stop-length mean or the short/long split rate has
+    shifted beyond its allowance.
+    """
+
+    def __init__(
+        self,
+        *,
+        length_delta: float,
+        length_threshold: float,
+        split_delta: float,
+        split_threshold: float,
+        min_count: int = 20,
+    ) -> None:
+        self.lengths = PageHinkley(length_delta, length_threshold, min_count)
+        self.split = PageHinkley(split_delta, split_threshold, min_count)
+
+    def update(self, stop_length: float, is_long: bool) -> bool:
+        length_alarm = self.lengths.update(stop_length)
+        split_alarm = self.split.update(1.0 if is_long else 0.0)
+        return length_alarm or split_alarm
+
+    def reset(self) -> None:
+        self.lengths.reset()
+        self.split.reset()
+
+    def to_state(self) -> dict:
+        return {"lengths": self.lengths.to_state(), "split": self.split.to_state()}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "DriftDetector":
+        detector = cls.__new__(cls)
+        detector.lengths = PageHinkley.from_state(state["lengths"])
+        detector.split = PageHinkley.from_state(state["split"])
+        return detector

@@ -1,0 +1,581 @@
+"""Per-vehicle advisor sessions: crash-safe state + graceful degradation.
+
+An :class:`AdvisorSession` is the long-running, deployed counterpart of
+:class:`~repro.core.adaptive.AdaptiveProposed`: it advises an idling
+threshold per stop, learns from every completed stop, and — unlike the
+batch experiments — survives crashes and distribution drift.
+
+Durability
+----------
+Every applied event is appended to a CRC-framed write-ahead log
+*before* it mutates the session, and the full session state (estimator
+accumulators, RNG stream, drift detectors, health machine, cost
+counters) is periodically compacted into an atomic snapshot.  Recovery
+loads the snapshot and replays the WAL tail through the *same* apply
+path, so a SIGKILL at any instant restores the session bit-identically
+— pinned by the soak harness (:mod:`repro.service.soak`) and the
+Hypothesis round-trip property in the tests.
+
+Degradation ladder
+------------------
+``HEALTHY → DEGRADED → SAFE``, driven by the drift detectors
+(:mod:`repro.service.drift`), by
+:class:`~repro.errors.DegenerateStatisticsError` from the solver, and
+by streaks of event-validation failures:
+
+* **HEALTHY** — play the adaptive selector on the full-history
+  estimate (the paper's proposed algorithm with estimated statistics).
+* **DEGRADED** — the estimate is suspect: rebuild the estimator over a
+  short exponentially-forgetting window of recent stops and re-solve,
+  so the advisor tracks the new regime instead of averaging across the
+  shift.  Recovers to HEALTHY after ``recover_after`` clean stops.
+* **SAFE** — estimation has failed twice; abandon estimated statistics
+  entirely and play a distribution-free guarantee: N-Rand
+  (``e/(e-1) ≈ 1.582`` expected CR against *any* distribution) or,
+  via ``safe_strategy="det"``, DET (unconditionally 2-competitive per
+  stop).  Returns to DEGRADED only after the longer
+  ``safe_recover_after`` clean streak (hysteresis — flapping between
+  guarantees is worse than staying conservative).
+
+Every transition is emitted to the ambient run ledger
+(:func:`repro.engine.ledger.active_ledger`) as an ``advisor-state``
+event.
+
+Defensive ingestion
+-------------------
+Duplicate event ids (at-least-once delivery) are no-ops; events whose
+timestamp runs behind the vehicle's clock are rejected through the
+:mod:`repro.validation` policy machinery (strict raises, repair drops,
+quarantine diverts to a sidecar); malformed values never reach the
+estimator and, in streaks, degrade the session's health.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from pathlib import Path
+
+import numpy as np
+
+from ..constants import E
+from ..core.adaptive import AdaptiveProposed
+from ..core.costs import validate_break_even
+from ..core.deterministic import Deterministic
+from ..core.randomized import NRand
+from ..errors import DegenerateStatisticsError, InvalidParameterError
+from ..engine.ledger import active_ledger
+from ..simulation.controller import StopStartController
+from ..validation import PolicyEnforcer
+from .drift import DriftDetector
+from .wal import SnapshotStore, WriteAheadLog
+
+__all__ = ["HealthState", "SessionConfig", "AdvisorSession", "vehicle_seed"]
+
+#: Snapshot schema version; bump on incompatible state layout changes.
+STATE_VERSION = 1
+
+#: Transitions kept in memory *and* in snapshots.  The cap must be
+#: identical in both places: an uncapped live list would diverge from a
+#: capped restored one and break bit-identical recovery.
+TRANSITION_HISTORY = 64
+
+
+class HealthState(str, Enum):
+    """The degradation ladder (see module docstring)."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    SAFE = "safe"
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Tuning knobs of one advisor session.
+
+    Recovery is bit-identical only when the session is reopened with
+    the same config it ran under — the config is an input of the
+    deterministic apply path, not part of the durable state.
+    """
+
+    break_even: float
+    min_samples: int = 10
+    healthy_decay: float = 1.0
+    degraded_decay: float = 0.9
+    degraded_window: int = 32
+    recent_window: int = 128
+    dedup_window: int = 1024
+    snapshot_every: int = 64
+    safe_strategy: str = "nrand"
+    # Page-Hinkley knobs, in robust-σ units (deviations are self-scaled
+    # by a running mean absolute deviation — see repro.service.drift):
+    # delta 0.25 tolerates wander up to a quarter-MAD per observation;
+    # threshold 50 keeps the stationary false-alarm rate negligible even
+    # for heavy-tailed stop streams (typical stationary departures stay
+    # under ~15) while catching a one-MAD mean shift within ~50 stops.
+    length_delta: float = 0.25
+    length_threshold: float = 50.0
+    split_delta: float = 0.25
+    split_threshold: float = 50.0
+    drift_min_count: int = 20
+    recover_after: int = 50
+    safe_recover_after: int = 200
+    bad_event_streak: int = 5
+    seed: int = 20140601
+
+    def __post_init__(self) -> None:
+        validate_break_even(self.break_even)
+        if self.safe_strategy not in ("nrand", "det"):
+            raise InvalidParameterError(
+                f"safe_strategy must be 'nrand' or 'det', got {self.safe_strategy!r}"
+            )
+        for name in ("healthy_decay", "degraded_decay"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise InvalidParameterError(f"{name} must lie in (0, 1], got {value!r}")
+        for name in (
+            "min_samples",
+            "degraded_window",
+            "recent_window",
+            "dedup_window",
+            "snapshot_every",
+            "drift_min_count",
+            "recover_after",
+            "safe_recover_after",
+            "bad_event_streak",
+        ):
+            if getattr(self, name) < 1:
+                raise InvalidParameterError(f"{name} must be >= 1, got {getattr(self, name)}")
+
+    @property
+    def safe_guarantee(self) -> float:
+        """The competitive-ratio bound of the SAFE fallback: N-Rand's
+        distribution-free ``e/(e-1)`` or DET's unconditional 2."""
+        return E / (E - 1.0) if self.safe_strategy == "nrand" else 2.0
+
+
+def vehicle_seed(base_seed: int, vehicle_id: str) -> np.random.SeedSequence:
+    """Deterministic per-vehicle seed: stable across runs and restarts."""
+    digest = hashlib.sha256(vehicle_id.encode()).digest()
+    return np.random.SeedSequence([int(base_seed), int.from_bytes(digest[:8], "big")])
+
+
+class AdvisorSession:
+    """One vehicle's online advisor (see module docstring).
+
+    Parameters
+    ----------
+    vehicle_id:
+        Routing key; also salts the session's RNG stream.
+    config:
+        :class:`SessionConfig`.
+    state_dir:
+        Directory for this session's WAL + snapshot.  ``None`` runs the
+        session in memory only (tests, ephemeral evaluation).
+    policy / report / quarantine_writer / enforcer:
+        Validation plumbing.  Pass ``enforcer`` to share one
+        :class:`~repro.validation.PolicyEnforcer` across sessions (the
+        multi-vehicle service does); otherwise one is built from
+        ``policy``/``report``.
+    fsync:
+        Fsync WAL appends and snapshots (power-loss durability; a plain
+        process kill is already covered by flush).
+    recover:
+        Restore durable state found in ``state_dir`` (default).  False
+        starts fresh even over existing state (the soak harness's
+        "uninterrupted" reference runs do this into clean directories).
+    """
+
+    def __init__(
+        self,
+        vehicle_id: str,
+        config: SessionConfig,
+        state_dir: str | Path | None = None,
+        *,
+        policy: str = "repair",
+        report=None,
+        enforcer: PolicyEnforcer | None = None,
+        fsync: bool = False,
+        recover: bool = True,
+    ) -> None:
+        self.vehicle_id = str(vehicle_id)
+        self.config = config
+        self._enforcer = (
+            enforcer
+            if enforcer is not None
+            else PolicyEnforcer(policy, report, f"events:{self.vehicle_id}")
+        )
+        self._fallback = (
+            NRand(config.break_even)
+            if config.safe_strategy == "nrand"
+            else Deterministic(config.break_even)
+        )
+        self._controller = StopStartController(self._fallback)
+        self._wal: WriteAheadLog | None = None
+        self._snapshots: SnapshotStore | None = None
+        if state_dir is not None:
+            directory = Path(state_dir)
+            self._wal = WriteAheadLog(directory / "wal.jsonl", fsync=fsync)
+            self._snapshots = SnapshotStore(directory / "snapshot.json", fsync=fsync)
+        self._init_fresh_state()
+        if recover and self._snapshots is not None:
+            self._recover()
+
+    def _init_fresh_state(self) -> None:
+        config = self.config
+        self._replaying = False
+        self.applied = 0
+        self.total_cost = 0.0
+        self.health = HealthState.HEALTHY
+        self.clean_streak = 0
+        self.bad_streak = 0
+        self.duplicates = 0
+        self.rejected = 0
+        self.last_timestamp: float | None = None
+        self.transitions: deque = deque(maxlen=TRANSITION_HISTORY)
+        self._recent_stops: deque = deque(maxlen=config.recent_window)
+        self._recent_ids: deque = deque(maxlen=config.dedup_window)
+        self._recent_id_set: set[str] = set()
+        self.estimator = AdaptiveProposed(
+            config.break_even, config.min_samples, decay=config.healthy_decay
+        )
+        self.rng = np.random.default_rng(vehicle_seed(config.seed, self.vehicle_id))
+        self.drift = DriftDetector(
+            length_delta=config.length_delta,
+            length_threshold=config.length_threshold,
+            split_delta=config.split_delta,
+            split_threshold=config.split_threshold,
+            min_count=config.drift_min_count,
+        )
+
+    # -- ingestion --------------------------------------------------------
+
+    def submit(self, event_id: str, timestamp: float, stop_length: float):
+        """Ingest one stop event; returns the decision dict, or None when
+        the event was a duplicate or was rejected.
+
+        The caller is expected to have value-validated the fields (see
+        :func:`repro.validation.schemas.stop_event_findings`); this
+        method performs the *stateful* checks — idempotency and clock
+        monotonicity — then makes the event durable and applies it.
+        """
+        event_id = str(event_id)
+        if event_id in self._recent_id_set:
+            # At-least-once delivery: a replayed event is a no-op, not an
+            # error — counted, never reported per-record (a redelivery
+            # storm after a restart must not flood the report).
+            self.duplicates += 1
+            return None
+        stop_length = float(stop_length)
+        if not math.isfinite(stop_length) or stop_length < 0.0:
+            # Defense in depth against callers that skipped the schema
+            # checks: a bad value must never reach the WAL, where its
+            # replay would poison recovery.
+            check = (
+                "negative-duration" if math.isfinite(stop_length) else "non-finite-duration"
+            )
+            kept = self._enforcer.flag(
+                check,
+                f"vehicle {self.vehicle_id}: event {event_id} stop length {stop_length!r}",
+                record=[event_id, self.vehicle_id, repr(timestamp), repr(stop_length)],
+            )
+            if not kept:
+                self.rejected += 1
+                self.note_invalid_event(check)
+                return None
+        timestamp = float(timestamp)
+        if self.last_timestamp is not None and timestamp < self.last_timestamp:
+            kept = self._enforcer.flag(
+                "non-monotonic-timestamp",
+                f"vehicle {self.vehicle_id}: event {event_id} at t={timestamp!r} "
+                f"behind clock {self.last_timestamp!r}",
+                record=[event_id, self.vehicle_id, repr(timestamp), repr(stop_length)],
+            )
+            if not kept:
+                self.rejected += 1
+                self.note_invalid_event("non-monotonic-timestamp")
+                return None
+        record = {
+            "seq": self.applied + 1,
+            "id": event_id,
+            "t": timestamp,
+            "y": float(stop_length),
+        }
+        if self._wal is not None:
+            self._wal.append(record)
+        decision = self._apply(record)
+        if self._snapshots is not None and self.applied % self.config.snapshot_every == 0:
+            self.compact()
+        return decision
+
+    def note_invalid_event(self, check: str) -> None:
+        """Feed one event-validation failure into the health machine.
+
+        Isolated bad records are routine telemetry noise; a *streak* of
+        ``bad_event_streak`` consecutive failures without a single valid
+        event in between means the feed itself is broken and the
+        estimate can no longer be trusted — treated like a drift alarm.
+        """
+        self.bad_streak += 1
+        if self.bad_streak >= self.config.bad_event_streak:
+            self.bad_streak = 0
+            self._on_alarm(f"validation-streak:{check}")
+
+    # -- the deterministic apply path (live and replay) -------------------
+
+    def _apply(self, record: dict) -> dict:
+        """Apply one durable event: decide, account, learn, adjudicate.
+
+        This is the *only* code path that mutates session state from an
+        event, used identically live and during WAL replay — which is
+        what makes recovery bit-identical.
+        """
+        stop_length = float(record["y"])
+        threshold = self.active_strategy.draw_threshold(self.rng)
+        decision = self._controller.apply(stop_length, threshold)
+        self.applied = int(record["seq"])
+        self.total_cost += decision.total_cost(self.config.break_even)
+        self.last_timestamp = float(record["t"])
+        self._remember_id(str(record["id"]))
+        self._recent_stops.append(stop_length)
+        self.bad_streak = 0
+        alarm = self.drift.update(stop_length, stop_length >= self.config.break_even)
+        degenerate = False
+        try:
+            self.estimator.observe(stop_length)
+        except DegenerateStatisticsError:
+            degenerate = True
+        if degenerate:
+            self._on_alarm("degenerate-statistics")
+        elif alarm:
+            self._on_alarm("drift")
+        else:
+            self._on_clean()
+        return {
+            "vehicle": self.vehicle_id,
+            "id": str(record["id"]),
+            "seq": self.applied,
+            "threshold": decision.threshold,
+            "idle_seconds": decision.idle_seconds,
+            "restarted": decision.restarted,
+            "cost": decision.total_cost(self.config.break_even),
+            "health": self.health.value,
+            "strategy": self.active_strategy_name,
+        }
+
+    def _remember_id(self, event_id: str) -> None:
+        if len(self._recent_ids) == self._recent_ids.maxlen:
+            self._recent_id_set.discard(self._recent_ids[0])
+        self._recent_ids.append(event_id)
+        self._recent_id_set.add(event_id)
+
+    # -- the state machine ------------------------------------------------
+
+    def _on_alarm(self, reason: str) -> None:
+        self.clean_streak = 0
+        if self.health is HealthState.HEALTHY:
+            self._transition(HealthState.DEGRADED, reason)
+        elif self.health is HealthState.DEGRADED:
+            self._transition(HealthState.SAFE, reason)
+        else:
+            # Already SAFE: stay, but restart the detectors so the clean
+            # streak required to climb back out starts from scratch.
+            self.drift.reset()
+
+    def _on_clean(self) -> None:
+        self.clean_streak += 1
+        if (
+            self.health is HealthState.DEGRADED
+            and self.clean_streak >= self.config.recover_after
+        ):
+            self._transition(HealthState.HEALTHY, "recovered")
+        elif (
+            self.health is HealthState.SAFE
+            and self.clean_streak >= self.config.safe_recover_after
+        ):
+            self._transition(HealthState.DEGRADED, "probation")
+
+    def _transition(self, to: HealthState, reason: str) -> None:
+        record = {
+            "from": self.health.value,
+            "to": to.value,
+            "reason": reason,
+            "applied": self.applied,
+        }
+        self.health = to
+        self.clean_streak = 0
+        self.drift.reset()
+        self.transitions.append(record)
+        if to is HealthState.DEGRADED:
+            self._rebuild_estimator(
+                self.config.degraded_decay, self.config.degraded_window
+            )
+        elif to is HealthState.HEALTHY:
+            self._rebuild_estimator(
+                self.config.healthy_decay, self.config.recent_window
+            )
+        # WAL replay re-derives transitions that were already emitted
+        # before the crash; re-announcing them would duplicate ledger
+        # records across restarts.
+        ledger = active_ledger()
+        if ledger is not None and not self._replaying:
+            ledger.emit("advisor-state", vehicle=self.vehicle_id, **record)
+
+    def _rebuild_estimator(self, decay: float, window: int) -> None:
+        """Re-learn from the recent-stop buffer under a new window.
+
+        A pure function of (buffer, decay, window), so replaying the
+        same events rebuilds the same estimator — transitions included.
+        """
+        self.estimator = AdaptiveProposed(
+            self.config.break_even, self.config.min_samples, decay=decay
+        )
+        tail = list(self._recent_stops)[-window:]
+        if tail:
+            self.estimator.observe_many(np.asarray(tail))
+
+    # -- advising ---------------------------------------------------------
+
+    @property
+    def active_strategy(self):
+        """What the vehicle should play *now*: the adaptive selection
+        while estimation is trusted, the guaranteed fallback in SAFE."""
+        if self.health is HealthState.SAFE:
+            return self._fallback
+        return self.estimator
+
+    @property
+    def active_strategy_name(self) -> str:
+        if self.health is HealthState.SAFE:
+            return self._fallback.name
+        return self.estimator.selected_name
+
+    # -- durability -------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """The full serializable session state (snapshot payload)."""
+        return {
+            "version": STATE_VERSION,
+            "vehicle": self.vehicle_id,
+            "applied": self.applied,
+            "total_cost": self.total_cost,
+            "health": self.health.value,
+            "clean_streak": self.clean_streak,
+            "bad_streak": self.bad_streak,
+            "duplicates": self.duplicates,
+            "rejected": self.rejected,
+            "last_timestamp": self.last_timestamp,
+            "transitions": list(self.transitions),
+            "recent_stops": list(self._recent_stops),
+            "recent_ids": list(self._recent_ids),
+            "estimator": self.estimator.to_state(),
+            "rng": self.rng.bit_generator.state,
+            "drift": self.drift.to_state(),
+        }
+
+    def _load_state(self, state: dict) -> None:
+        if int(state.get("version", -1)) != STATE_VERSION:
+            raise InvalidParameterError(
+                f"unsupported session state version {state.get('version')!r}"
+            )
+        self.applied = int(state["applied"])
+        self.total_cost = float(state["total_cost"])
+        self.health = HealthState(state["health"])
+        self.clean_streak = int(state["clean_streak"])
+        self.bad_streak = int(state["bad_streak"])
+        self.duplicates = int(state["duplicates"])
+        self.rejected = int(state["rejected"])
+        timestamp = state["last_timestamp"]
+        self.last_timestamp = None if timestamp is None else float(timestamp)
+        self.transitions = deque(state["transitions"], maxlen=TRANSITION_HISTORY)
+        self._recent_stops = deque(
+            (float(y) for y in state["recent_stops"]),
+            maxlen=self.config.recent_window,
+        )
+        self._recent_ids = deque(
+            (str(i) for i in state["recent_ids"]), maxlen=self.config.dedup_window
+        )
+        self._recent_id_set = set(self._recent_ids)
+        self.estimator = AdaptiveProposed.from_state(state["estimator"])
+        self.rng = np.random.default_rng(0)
+        self.rng.bit_generator.state = state["rng"]
+        self.drift = DriftDetector.from_state(state["drift"])
+
+    def _recover(self) -> None:
+        """Snapshot + WAL-tail replay (see the module docstring).
+
+        After replay the state is immediately re-compacted: the durable
+        snapshot then equals the in-memory state and the WAL is empty,
+        so a second crash right after recovery costs nothing.
+        """
+        snapshot = self._snapshots.load()
+        base_seq = 0
+        if snapshot is not None:
+            base_seq, state = snapshot
+            self._load_state(state)
+        replayed = 0
+        self._replaying = True
+        try:
+            for record in self._wal.replay():
+                if int(record["seq"]) <= base_seq:
+                    continue  # already folded into the snapshot (compaction crashed mid-way)
+                self._apply(record)
+                replayed += 1
+        finally:
+            self._replaying = False
+        if replayed or snapshot is None:
+            self.compact()
+
+    def compact(self) -> None:
+        """Publish a snapshot, then atomically reset the WAL.
+
+        Ordering matters: the snapshot lands first, so a crash between
+        the two steps leaves WAL records whose ``seq`` the snapshot
+        already covers — replay skips them by the seq filter.
+        """
+        if self._snapshots is None:
+            return
+        self._snapshots.save(self.applied, self.to_state())
+        self._wal.reset()
+
+    # -- observability ----------------------------------------------------
+
+    def state_digest(self) -> str:
+        """SHA-256 over the parity-relevant state.
+
+        Delivery counters (duplicates, rejections) are *excluded*: a
+        crash-recovered run legitimately sees redeliveries that the
+        uninterrupted reference run never did, while everything the
+        advisor computes — estimator, RNG stream, health, costs — must
+        match bit-for-bit.
+        """
+        state = self.to_state()
+        for volatile in ("duplicates", "rejected"):
+            state.pop(volatile)
+        body = json.dumps(state, sort_keys=True, allow_nan=False, default=str)
+        return hashlib.sha256(body.encode()).hexdigest()
+
+    def health_snapshot(self) -> dict:
+        """Operator-facing view of the session (the ``serve`` dump)."""
+        statistics = self.estimator.current_statistics()
+        return {
+            "vehicle": self.vehicle_id,
+            "health": self.health.value,
+            "strategy": self.active_strategy_name,
+            "applied": self.applied,
+            "total_cost": self.total_cost,
+            "observed_stops": self.estimator.observed_stops,
+            "statistics": None if statistics is None else statistics.as_dict(),
+            "safe_guarantee": self.config.safe_guarantee,
+            "clean_streak": self.clean_streak,
+            "transitions": list(self.transitions),
+            "delivery": {
+                "duplicates": self.duplicates,
+                "rejected": self.rejected,
+            },
+            "digest": self.state_digest(),
+        }

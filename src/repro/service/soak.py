@@ -1,0 +1,263 @@
+"""Deterministic soak/chaos harness for the advisor service.
+
+The durability contract — "a SIGKILL at any instant loses nothing" —
+is only worth stating if something kills the service mid-stream and
+checks the books afterwards.  This harness does exactly that:
+
+1. synthesize an NREL-shaped fleet event stream
+   (:func:`build_fleet_events` — the same generator the experiments
+   use, interleaved into one timestamped multi-vehicle feed);
+2. run it **uninterrupted** through an :class:`AdvisorService` into a
+   clean state directory (the reference);
+3. run the same stream through kill/restart cycles: a child process
+   serves the stream and is SIGKILLed at injected event indices
+   (reusing :class:`repro.engine.faults.FaultInjector`, whose
+   cross-process claim files make each kill fire exactly once across
+   restarts), then a fresh child recovers from the state directory and
+   replays the stream from the top — duplicate delivery is the
+   *normal* case here, exercising idempotent ingestion for free;
+4. assert the chaos run's realized fleet cost and per-vehicle state
+   digests are **bit-identical** to the uninterrupted run.
+
+Run it directly (the CI ``service-chaos`` job does)::
+
+    python -m repro.service.soak --vehicles 4 --stops 80 --kills 3 \
+        --seed 7 --out results/soak
+
+Exit status 0 means parity held; the state directories, WALs and the
+chaos ledger are left under ``--out`` for post-mortems.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import sys
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from ..engine.faults import Fault, FaultInjector
+from ..engine.ledger import RunLedger, read_ledger, use_ledger
+from ..fleet import area_config
+from ..fleet.generator import FleetGenerator
+from .advisor import AdvisorService
+from .session import SessionConfig
+
+__all__ = ["build_fleet_events", "run_stream", "run_chaos", "SoakResult", "main"]
+
+
+def build_fleet_events(
+    vehicles: int = 4,
+    stops_per_vehicle: int = 80,
+    seed: int = 7,
+    area: str = "chicago",
+) -> list[dict]:
+    """An NREL-shaped multi-vehicle event stream, round-robin interleaved.
+
+    Timestamps are the global event index, so every vehicle's clock is
+    strictly monotone and the stream is reproducible byte-for-byte from
+    ``(vehicles, stops_per_vehicle, seed, area)``.
+    """
+    config = area_config(area)
+    generator = FleetGenerator(config, seed=seed)
+    rng = np.random.default_rng(seed)
+    fleet = [generator.generate_vehicle(index, rng) for index in range(vehicles)]
+    events: list[dict] = []
+    for stop_index in range(stops_per_vehicle):
+        for vehicle in fleet:
+            stops = vehicle.stop_lengths
+            stop = float(stops[stop_index % stops.size])
+            events.append(
+                {
+                    "id": f"{vehicle.vehicle_id}-{stop_index:05d}",
+                    "vehicle": vehicle.vehicle_id,
+                    "t": float(len(events)),
+                    "stop": stop,
+                }
+            )
+    return events
+
+
+class SoakResult(dict):
+    """``{"fleet_cost": float, "digests": {vehicle: sha}, "snapshot": ...}``."""
+
+
+def _noop(item):
+    """Identity task for the kill injector (module-level: picklable)."""
+    return item
+
+
+def run_stream(
+    events: list[dict],
+    state_dir: str | Path,
+    config: SessionConfig,
+    *,
+    policy: str = "repair",
+    injector: FaultInjector | None = None,
+    ledger_path: str | Path | None = None,
+) -> SoakResult:
+    """Serve ``events`` into ``state_dir`` (recovering any prior state).
+
+    ``injector`` is consulted with the global event index before each
+    event — a ``"kill"`` fault SIGKILLs the process right there, which
+    is the whole point.
+    """
+    ledger = (
+        RunLedger(ledger_path, append=True) if ledger_path is not None else None
+    )
+    service = AdvisorService(Path(state_dir), config, policy=policy)
+    if ledger is not None:
+        with use_ledger(ledger):
+            _serve(service, events, injector)
+    else:
+        _serve(service, events, injector)
+    service.close()
+    snapshot = service.health_snapshot()
+    return SoakResult(
+        fleet_cost=service.fleet_cost,
+        digests={
+            vehicle: info["digest"] for vehicle, info in snapshot["vehicles"].items()
+        },
+        snapshot=snapshot,
+    )
+
+
+def _serve(service: AdvisorService, events: list[dict], injector) -> None:
+    for index, record in enumerate(events):
+        if injector is not None:
+            injector(index)
+        service.process(record)
+
+
+def _chaos_child(events, state_dir, config, policy, injector, ledger_path, out_path):
+    """Child-process entry: serve the stream, persist the result."""
+    result = run_stream(
+        events,
+        state_dir,
+        config,
+        policy=policy,
+        injector=injector,
+        ledger_path=ledger_path,
+    )
+    Path(out_path).write_text(json.dumps(result, sort_keys=True))
+
+
+def run_chaos(
+    events: list[dict],
+    state_dir: str | Path,
+    config: SessionConfig,
+    kill_points: list[int],
+    *,
+    policy: str = "repair",
+    ledger_path: str | Path | None = None,
+) -> tuple[SoakResult, int]:
+    """Kill/restart the service through ``kill_points``; returns the
+    final completed run's result and the number of restarts taken.
+
+    The kill injector is constructed in *this* (parent) process so the
+    child's pid differs from the creator's and the ``"kill"`` fault
+    delivers a real SIGKILL (see :mod:`repro.engine.faults`); its claim
+    files live under the state directory, so each kill fires exactly
+    once across the whole cycle — do **not** sweep stale claims between
+    restarts, the dead-pid claims are the record of kills already fired.
+    """
+    state_dir = Path(state_dir)
+    state_dir.mkdir(parents=True, exist_ok=True)
+    injector = FaultInjector(
+        _noop,
+        {index: Fault("kill") for index in kill_points},
+        state_dir / "kill-claims",
+    )
+    out_path = state_dir / "result.json"
+    context = multiprocessing.get_context("spawn")
+    restarts = -1
+    for _attempt in range(len(kill_points) + 2):
+        restarts += 1
+        child = context.Process(
+            target=_chaos_child,
+            args=(events, state_dir, config, policy, injector, ledger_path, out_path),
+        )
+        child.start()
+        child.join()
+        if child.exitcode == 0:
+            return SoakResult(json.loads(out_path.read_text())), restarts
+        if child.exitcode >= 0:
+            raise RuntimeError(f"chaos child failed with exit code {child.exitcode}")
+    raise RuntimeError(
+        f"service did not complete within {len(kill_points) + 2} restarts"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.service.soak",
+        description="SIGKILL soak test: chaos run must cost exactly what the clean run costs.",
+    )
+    parser.add_argument("--vehicles", type=int, default=4)
+    parser.add_argument("--stops", type=int, default=80, help="stops per vehicle")
+    parser.add_argument("--kills", type=int, default=3, help="SIGKILL injection count")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--area", default="chicago")
+    parser.add_argument("--break-even", type=float, default=28.0)
+    parser.add_argument("--safe-strategy", choices=("nrand", "det"), default="nrand")
+    parser.add_argument(
+        "--out", type=Path, default=Path("results/soak"), help="artifact directory"
+    )
+    args = parser.parse_args(argv)
+
+    events = build_fleet_events(args.vehicles, args.stops, args.seed, args.area)
+    config = SessionConfig(
+        break_even=args.break_even,
+        safe_strategy=args.safe_strategy,
+        # dedup must cover full-stream redelivery after each restart
+        dedup_window=max(1024, args.stops + 1),
+        seed=args.seed,
+    )
+    rng = np.random.default_rng(args.seed)
+    kill_points = sorted(
+        int(i) for i in rng.choice(np.arange(1, len(events) - 1), size=min(args.kills, len(events) - 2), replace=False)
+    )
+    print(f"{len(events)} events over {args.vehicles} vehicles; kills at {kill_points}")
+
+    clean = run_stream(events, args.out / "clean", config)
+    chaos, restarts = run_chaos(
+        events,
+        args.out / "chaos",
+        config,
+        kill_points,
+        ledger_path=args.out / "chaos-ledger.jsonl",
+    )
+    print(f"clean fleet cost: {clean['fleet_cost']!r}")
+    print(f"chaos fleet cost: {chaos['fleet_cost']!r} ({restarts} restart(s))")
+    ledger_records = read_ledger(args.out / "chaos-ledger.jsonl")
+    print(f"chaos ledger: {len(ledger_records)} record(s)")
+    (args.out / "soak-summary.json").write_text(
+        json.dumps(
+            {
+                "config": asdict(config),
+                "kill_points": kill_points,
+                "restarts": restarts,
+                "clean": clean,
+                "chaos": chaos,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    )
+    if chaos["fleet_cost"] != clean["fleet_cost"] or chaos["digests"] != clean["digests"]:
+        mismatched = [
+            vehicle
+            for vehicle in clean["digests"]
+            if chaos["digests"].get(vehicle) != clean["digests"][vehicle]
+        ]
+        print(f"PARITY FAILED: mismatched vehicles {mismatched}", file=sys.stderr)
+        return 1
+    print("PARITY OK: chaos run is bit-identical to the clean run")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI/CI
+    sys.exit(main())

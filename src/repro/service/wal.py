@@ -1,0 +1,153 @@
+"""Durable per-session state: CRC-framed write-ahead log + snapshots.
+
+The advisor service promises that a SIGKILL at *any* instant loses no
+applied work: restarting from the same state directory restores every
+session bit-identically.  Two files per session make that true:
+
+``wal.jsonl``
+    An append-only log of applied stop events.  Each line is framed as
+    ``<crc32-hex8> <json>`` where the CRC covers the JSON bytes, so a
+    torn tail (the process died mid-write) is *detected*, not parsed as
+    garbage: replay stops at the first bad frame.  Every append is
+    flushed (surviving a process kill); ``fsync=True`` additionally
+    syncs to disk (surviving an OS crash).
+``snapshot.json``
+    A periodic compaction point: the full serialized session state
+    after ``seq`` applied events, written to a temp file and atomically
+    published with ``os.replace`` — readers see either the old snapshot
+    or the new one, never a partial write.
+
+Recovery = load the snapshot (if any), then replay WAL records with
+``seq`` greater than the snapshot's.  The ``seq`` filter is what makes
+compaction crash-safe: the snapshot is published *before* the WAL is
+reset, so dying between the two steps merely leaves already-compacted
+records in the log, and replay skips them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+
+from ..errors import ReproError
+
+__all__ = ["WriteAheadLog", "SnapshotStore", "WalCorruptionError"]
+
+
+class WalCorruptionError(ReproError, RuntimeError):
+    """A WAL or snapshot frame failed its integrity check *before* the
+    final record — real corruption, not a torn tail."""
+
+
+def _frame(payload: dict) -> str:
+    body = json.dumps(payload, sort_keys=True, allow_nan=False)
+    return f"{zlib.crc32(body.encode()):08x} {body}"
+
+
+def _unframe(line: str) -> dict | None:
+    """Decode one WAL line; None means the frame is invalid."""
+    if len(line) < 10 or line[8] != " ":
+        return None
+    crc_text, body = line[:8], line[9:]
+    try:
+        crc = int(crc_text, 16)
+    except ValueError:
+        return None
+    if zlib.crc32(body.encode()) != crc:
+        return None
+    try:
+        payload = json.loads(body)
+    except json.JSONDecodeError:
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+class WriteAheadLog:
+    """Append-only CRC-framed JSONL log for one advisor session."""
+
+    def __init__(self, path: str | Path, *, fsync: bool = False) -> None:
+        self.path = Path(path)
+        self.fsync = bool(fsync)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def append(self, record: dict) -> None:
+        """Durably append one record (flush always; fsync on request)."""
+        with open(self.path, "a") as handle:
+            handle.write(_frame(record) + "\n")
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+
+    def replay(self) -> list[dict]:
+        """All intact records, in order.
+
+        The final frame may be torn by a kill mid-append and is then
+        dropped; a bad frame *followed by intact ones* means the file
+        was corrupted at rest and raises :class:`WalCorruptionError`.
+        """
+        if not self.path.exists():
+            return []
+        lines = self.path.read_text().splitlines()
+        records: list[dict] = []
+        for index, line in enumerate(lines):
+            if not line:
+                continue
+            record = _unframe(line)
+            if record is None:
+                if index == len(lines) - 1:
+                    break
+                raise WalCorruptionError(
+                    f"{self.path}: bad frame at line {index + 1} "
+                    f"(not the final line — corruption, not a torn tail)"
+                )
+            records.append(record)
+        return records
+
+    def reset(self) -> None:
+        """Atomically truncate the log (the post-snapshot compaction step).
+
+        ``os.replace`` of a fresh empty file means a crash leaves either
+        the full old log or an empty one — never a half-truncated file.
+        """
+        tmp = self.path.with_name(self.path.name + f".tmp{os.getpid()}")
+        tmp.write_text("")
+        os.replace(tmp, self.path)
+
+
+class SnapshotStore:
+    """Atomic single-file snapshot of one session's full state."""
+
+    def __init__(self, path: str | Path, *, fsync: bool = False) -> None:
+        self.path = Path(path)
+        self.fsync = bool(fsync)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def save(self, seq: int, state: dict) -> None:
+        """Publish ``state`` as the snapshot after ``seq`` applied events."""
+        body = json.dumps(
+            {"seq": int(seq), "state": state}, sort_keys=True, allow_nan=False
+        )
+        payload = f"{zlib.crc32(body.encode()):08x} {body}"
+        tmp = self.path.with_name(self.path.name + f".tmp{os.getpid()}")
+        with open(tmp, "w") as handle:
+            handle.write(payload)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+
+    def load(self) -> tuple[int, dict] | None:
+        """The latest snapshot as ``(seq, state)``, or None if absent.
+
+        The CRC guards against at-rest corruption; because publication
+        is atomic, a bad frame here is never a torn write and always
+        raises.
+        """
+        if not self.path.exists():
+            return None
+        payload = _unframe(self.path.read_text().strip())
+        if payload is None or "seq" not in payload or "state" not in payload:
+            raise WalCorruptionError(f"{self.path}: snapshot failed its CRC check")
+        return int(payload["seq"]), payload["state"]

@@ -1,7 +1,12 @@
 """Event-level stop-start controller simulation and cost accounting."""
 
 from .accounting import CostLedger
-from .controller import OfflineController, StopDecision, StopStartController
+from .controller import (
+    ObservingController,
+    OfflineController,
+    StopDecision,
+    StopStartController,
+)
 from .engine_sim import SimulationResult, realized_cr, simulate_stops, simulate_trace
 from .multistate import (
     EnvelopeController,
@@ -15,6 +20,7 @@ __all__ = [
     "CostLedger",
     "StopDecision",
     "StopStartController",
+    "ObservingController",
     "OfflineController",
     "SimulationResult",
     "simulate_stops",

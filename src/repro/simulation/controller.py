@@ -17,7 +17,12 @@ import numpy as np
 from ..core.costs import validate_break_even, validate_stop_length
 from ..core.strategy import Strategy
 
-__all__ = ["StopDecision", "StopStartController", "OfflineController"]
+__all__ = [
+    "StopDecision",
+    "StopStartController",
+    "ObservingController",
+    "OfflineController",
+]
 
 
 @dataclass(frozen=True)
@@ -47,6 +52,11 @@ class StopDecision:
         ledger; here only the idle part — the ledger adds ``B`` per
         restart.  Exposed for per-decision inspection."""
         return self.idle_seconds
+
+    def total_cost(self, break_even: float) -> float:
+        """The full Eq. (1) cost of this decision: idle time plus the
+        restart penalty ``B`` when the engine was shut off."""
+        return self.idle_seconds + (break_even if self.restarted else 0.0)
 
 
 class StopStartController:
@@ -81,6 +91,24 @@ class StopStartController:
                 stop_length=y, threshold=x, idle_seconds=y, restarted=False
             )
         return StopDecision(stop_length=y, threshold=x, idle_seconds=x, restarted=True)
+
+
+class ObservingController(StopStartController):
+    """A controller that closes the online learning loop.
+
+    After every decision the completed stop's true length is fed back to
+    the strategy's ``observe`` hook (if it has one) — the protocol
+    :class:`~repro.core.adaptive.AdaptiveProposed` and the advisor
+    service's sessions require: decide first, learn afterwards, exactly
+    once per stop.
+    """
+
+    def decide(self, stop_length: float) -> StopDecision:
+        decision = super().decide(stop_length)
+        observe = getattr(self.strategy, "observe", None)
+        if observe is not None:
+            observe(decision.stop_length)
+        return decision
 
 
 class OfflineController:

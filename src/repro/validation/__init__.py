@@ -32,6 +32,7 @@ from .schemas import (
     break_even_findings,
     manifest_area_findings,
     speed_sample_findings,
+    stop_event_findings,
     stop_order_finding,
     stop_row_findings,
     trace_document_findings,
@@ -49,6 +50,7 @@ __all__ = [
     "CHECKS",
     "stop_row_findings",
     "stop_order_finding",
+    "stop_event_findings",
     "trace_document_findings",
     "manifest_area_findings",
     "break_even_findings",

@@ -21,6 +21,7 @@ __all__ = [
     "CHECKS",
     "stop_row_findings",
     "stop_order_finding",
+    "stop_event_findings",
     "trace_document_findings",
     "manifest_area_findings",
     "break_even_findings",
@@ -55,6 +56,9 @@ CHECKS = {
     "negative-speed": "speed sample is negative",
     "inconsistent-column-count": "CSV row width differs from the header",
     "undecodable-bytes": "file is not valid UTF-8 text",
+    "malformed-event": "stop event is not a JSON object with the schema fields",
+    "duplicate-event-id": "stop event id was already applied (redelivery)",
+    "non-monotonic-timestamp": "stop event timestamp runs behind the vehicle's clock",
 }
 
 
@@ -117,6 +121,47 @@ def stop_order_finding(
             f"start_time {start_time!r} falls inside previous stop ending {prev_end!r}",
         )
     return None
+
+
+#: Required fields of one advisor-service stop event and their meaning.
+#: ``id`` is the delivery-idempotency key, ``vehicle`` routes the event
+#: to its session, ``t`` is the stop's start timestamp (seconds, any
+#: monotone per-vehicle clock), ``stop`` the completed stop length (s).
+STOP_EVENT_FIELDS = ("id", "vehicle", "t", "stop")
+
+
+def stop_event_findings(record):
+    """Check one advisor-service stop event (a parsed JSON value).
+
+    Returns ``(findings, event)`` where ``event`` is the validated
+    ``(id, vehicle, t, stop)`` tuple, or ``None`` when any finding makes
+    the record unusable.  Ordering (monotone ``t``) and idempotency
+    (fresh ``id``) are *stateful* checks performed by the session, not
+    here — this function is pure per-record structure and value
+    validation.
+    """
+    if not isinstance(record, dict):
+        return (
+            [("malformed-event", f"expected an object, got {type(record).__name__}")],
+            None,
+        )
+    findings: list[tuple[str, str]] = []
+    for field in STOP_EVENT_FIELDS:
+        if field not in record:
+            findings.append(("malformed-event", f"missing {field!r}"))
+    if findings:
+        return findings, None
+    event_id = str(record["id"])
+    vehicle = str(record["vehicle"])
+    if not event_id.strip():
+        findings.append(("malformed-event", "empty event id"))
+    if not vehicle.strip():
+        findings.append(("empty-vehicle-id", "empty vehicle id"))
+    timestamp = _parse_float(str(record["t"]), "start-time", findings)
+    stop_length = _parse_float(str(record["stop"]), "duration", findings)
+    if findings:
+        return findings, None
+    return findings, (event_id, vehicle, timestamp, stop_length)
 
 
 def trace_document_findings(document) -> list[tuple[str, str]]:

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import AdaptiveProposed, ProposedOnline, StopStatistics
+from repro.core.adaptive import RENORM_FLUSH, RENORM_INTERVAL
 from repro.errors import InvalidParameterError
 
 B = 28.0
@@ -79,6 +80,99 @@ class TestDecay:
             AdaptiveProposed(B, decay=0.0)
         with pytest.raises(InvalidParameterError):
             AdaptiveProposed(B, decay=1.5)
+
+
+class TestBatchObservation:
+    def test_observe_many_matches_sequential_observes_bit_exactly(self, rng):
+        stops = rng.lognormal(3.0, 1.0, 5000)
+        sequential = AdaptiveProposed(B, min_samples=10, decay=0.999)
+        batched = AdaptiveProposed(B, min_samples=10, decay=0.999)
+        for value in stops:
+            sequential.observe(float(value))
+        batched.observe_many(stops)
+        assert batched.to_state() == sequential.to_state()  # exact floats
+        assert batched.selected_name == sequential.selected_name
+
+    def test_observe_many_across_renorm_boundary(self, rng):
+        # Split a batch right at a renormalization point: state must not
+        # depend on the call pattern, only on the observation sequence.
+        stops = rng.lognormal(3.0, 1.0, RENORM_INTERVAL + 100)
+        whole = AdaptiveProposed(B, decay=0.99)
+        split = AdaptiveProposed(B, decay=0.99)
+        whole.observe_many(stops)
+        split.observe_many(stops[: RENORM_INTERVAL - 1])
+        split.observe_many(stops[RENORM_INTERVAL - 1 :])
+        assert split.to_state() == whole.to_state()
+
+    def test_observe_many_rejects_invalid_values(self):
+        adaptive = AdaptiveProposed(B)
+        with pytest.raises(InvalidParameterError):
+            adaptive.observe_many([1.0, -2.0])
+        with pytest.raises(InvalidParameterError):
+            adaptive.observe_many([1.0, float("nan")])
+        assert adaptive.observed_stops == 0  # validated before mutation
+
+    def test_observe_many_empty_is_a_noop(self):
+        adaptive = AdaptiveProposed(B, prior_stops=[5.0])
+        state = adaptive.to_state()
+        adaptive.observe_many([])
+        assert adaptive.to_state() == state
+
+
+class TestUnderflowRenormalization:
+    def test_decayed_accumulator_flushes_to_exact_zero_at_1e7(self):
+        # Regression for denormal underflow: ~100 short stops followed by
+        # 1e7 long stops under decay < 1.  The short-stop sum decays
+        # geometrically toward the denormal range; the renormalization
+        # schedule must flush it to an exact 0.0 (absorbing), never leave
+        # a denormal to slow down (or NaN-contaminate) the hot loop.
+        adaptive = AdaptiveProposed(B, min_samples=10, decay=0.999)
+        adaptive.observe_many(np.full(100, 5.0))  # short stops
+        assert adaptive.to_state()["short_sum"] > 0.0
+        adaptive.observe_many(np.full(10_000_000, 100.0))  # all long
+        state = adaptive.to_state()
+        assert state["short_sum"] == 0.0  # exact flush, not a denormal
+        assert state["count"] == 10_000_100
+        stats = adaptive.current_statistics()
+        assert stats.q_b_plus == pytest.approx(1.0)
+        assert stats.mu_b_minus == 0.0
+        assert adaptive.selected_name == "TOI"
+
+    def test_flush_threshold_is_far_above_denormals(self):
+        # The flush must trigger while arithmetic is still normal.
+        assert RENORM_FLUSH > 2.3e-308 * 1e10
+
+    def test_live_accumulators_are_never_flushed(self):
+        # Values above the flush threshold pass a renorm boundary intact.
+        adaptive = AdaptiveProposed(B, decay=1.0)
+        adaptive.observe_many(np.full(RENORM_INTERVAL, 5.0))
+        assert adaptive.to_state()["short_sum"] == pytest.approx(5.0 * RENORM_INTERVAL)
+
+
+class TestStateRoundTrip:
+    def test_from_state_restores_bit_identically(self, rng):
+        original = AdaptiveProposed(B, min_samples=5, decay=0.99)
+        original.observe_many(rng.lognormal(3.0, 1.0, 500))
+        restored = AdaptiveProposed.from_state(original.to_state())
+        assert restored.to_state() == original.to_state()
+        assert restored.selected_name == original.selected_name
+        # And they evolve identically afterwards.
+        tail = rng.lognormal(3.0, 1.0, 50)
+        original.observe_many(tail)
+        restored.observe_many(tail)
+        assert restored.to_state() == original.to_state()
+
+    def test_state_survives_json_round_trip(self):
+        import json
+
+        original = AdaptiveProposed(B, prior_stops=[5.0, 40.0, 0.1 + 0.2])
+        state = json.loads(json.dumps(original.to_state()))
+        assert AdaptiveProposed.from_state(state).to_state() == original.to_state()
+
+    def test_cold_state_round_trip_keeps_fallback(self):
+        restored = AdaptiveProposed.from_state(AdaptiveProposed(B).to_state())
+        assert restored.selected_name == "N-Rand"
+        assert restored.observed_stops == 0
 
 
 class TestConvergence:

@@ -10,6 +10,7 @@ worker processes), so nothing here is timing-flaky.
 """
 
 import json
+import os
 
 import numpy as np
 import pytest
@@ -22,9 +23,10 @@ from repro.engine import (
     ResultCache,
     RunLedger,
     active_ledger,
+    read_ledger,
     use_ledger,
 )
-from repro.engine.faults import Fault, FaultInjector, InjectedFault
+from repro.engine.faults import Fault, FaultInjector, InjectedFault, sweep_stale_claims
 from repro.errors import InvalidParameterError
 from repro.evaluation import sweep_simulated
 from repro.fleet.areas import area_config
@@ -256,6 +258,92 @@ class TestLedger:
         assert start["label"] == "unit-test"
         assert start["backend"] == "process"
         assert start["tasks"] == 4
+
+
+class TestLedgerCrashTolerance:
+    def test_read_ledger_skips_torn_final_line(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = RunLedger(path)
+        ledger.emit("map-start", tasks=2)
+        ledger.emit("map-finish")
+        with open(path, "a") as handle:
+            handle.write('{"seq": 2, "event": "tor')  # killed mid-write
+        assert read_ledger(path) == ledger.events
+
+    def test_read_ledger_raises_on_mid_file_corruption(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = RunLedger(path)
+        for _ in range(3):
+            ledger.emit("tick")
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:20]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(json.JSONDecodeError):
+            read_ledger(path)
+
+    def test_load_is_detached_and_torn_tolerant(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        RunLedger(path).emit("map-start", tasks=1)
+        with open(path, "a") as handle:
+            handle.write("garbage")
+        before = path.read_text()
+        loaded = RunLedger.load(path)
+        assert loaded.count("map-start") == 1
+        assert loaded.path is None
+        loaded.emit("extra")  # must not touch the file it read
+        assert path.read_text() == before
+
+    def test_append_mode_continues_seq_across_restarts(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        first = RunLedger(path)
+        first.emit("map-start", tasks=1)
+        first.emit("map-finish")
+        second = RunLedger(path, append=True)  # the restarted service
+        record = second.emit("map-start", tasks=1)
+        assert record["seq"] == 2
+        assert [r["seq"] for r in read_ledger(path)] == [0, 1, 2]
+
+    def test_fsync_mode_emits_identical_records(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = RunLedger(path, fsync=True)
+        ledger.emit("map-start", tasks=1)
+        assert read_ledger(path) == ledger.events
+
+
+class TestStaleClaimSweep:
+    def test_claims_record_the_claiming_pid(self, tmp_path):
+        fn = _injector(tmp_path, {0: Fault("raise")})
+        with pytest.raises(InjectedFault):
+            fn(0)
+        claims = list((tmp_path / "fault-state").iterdir())
+        assert len(claims) == 1
+        assert claims[0].read_text() == str(os.getpid())
+
+    def test_sweep_removes_dead_pid_claims_only(self, tmp_path):
+        state = tmp_path / "fault-state"
+        state.mkdir()
+        (state / "dead.0").write_text("999999999")
+        (state / "alive.0").write_text(str(os.getpid()))
+        (state / "empty.0").write_text("")  # unreadable owner: stale
+        removed = sweep_stale_claims(state)
+        assert sorted(os.path.basename(p) for p in removed) == ["dead.0", "empty.0"]
+        assert (state / "alive.0").exists()
+
+    def test_sweep_missing_directory_is_a_noop(self, tmp_path):
+        assert sweep_stale_claims(tmp_path / "absent") == []
+
+    def test_sweep_unblocks_a_rerun_after_abnormal_exit(self, tmp_path):
+        # A claim left by a "previous run" (dead pid) would make the
+        # rerun see the fault as already fired; sweeping restores it.
+        fn = _injector(tmp_path, {0: Fault("raise")})
+        state = tmp_path / "fault-state"
+        state.mkdir()
+        digest = next(iter(fn.faults))
+        (state / f"{digest}.0").write_text("999999999")
+        assert fn(0) == _seeded_value(0)  # claim already taken: no fault
+        assert len(fn.sweep_stale()) == 1
+        with pytest.raises(InjectedFault):
+            fn(0)  # fault restored after the sweep
 
 
 class TestFaultHarness:

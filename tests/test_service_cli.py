@@ -1,0 +1,115 @@
+"""CLI tests for ``serve``, ``ledger`` and the fault-claim sweep hook."""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.engine import RunLedger
+from repro.service.soak import build_fleet_events
+
+
+@pytest.fixture
+def events_file(tmp_path):
+    path = tmp_path / "events.jsonl"
+    events = build_fleet_events(vehicles=2, stops_per_vehicle=12, seed=5)
+    path.write_text("".join(json.dumps(event) + "\n" for event in events))
+    return path
+
+
+class TestServe:
+    def test_serve_processes_a_file(self, events_file, tmp_path, capsys):
+        assert main([
+            "serve", str(events_file), "--state-dir", str(tmp_path / "state"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fleet cost:" in out
+        assert "24 received" in out
+
+    def test_serve_reads_stdin(self, tmp_path, capsys, monkeypatch):
+        event = {"id": "e-1", "vehicle": "v1", "t": 0.0, "stop": 42.0}
+        monkeypatch.setattr("sys.stdin", io.StringIO(json.dumps(event) + "\n"))
+        assert main(["serve", "-", "--state-dir", str(tmp_path / "state")]) == 0
+        assert "v1" in capsys.readouterr().out
+
+    def test_serve_writes_health_snapshot(self, events_file, tmp_path, capsys):
+        health = tmp_path / "health.json"
+        assert main([
+            "serve", str(events_file),
+            "--state-dir", str(tmp_path / "state"),
+            "--health", str(health),
+        ]) == 0
+        snapshot = json.loads(health.read_text())
+        assert set(snapshot) == {"fleet_cost", "vehicles", "ingest", "states"}
+        assert len(snapshot["vehicles"]) == 2
+        for info in snapshot["vehicles"].values():
+            assert info["health"] in ("healthy", "degraded", "safe")
+            assert "digest" in info
+
+    def test_serve_restart_recovers_and_dedups(self, events_file, tmp_path, capsys):
+        state_dir = tmp_path / "state"
+        assert main(["serve", str(events_file), "--state-dir", str(state_dir)]) == 0
+        first = capsys.readouterr().out
+        assert main(["serve", str(events_file), "--state-dir", str(state_dir)]) == 0
+        second = capsys.readouterr().out
+        # Full redelivery after restart: same fleet cost, all duplicates.
+        cost = [line for line in first.splitlines() if "fleet cost" in line]
+        assert cost == [line for line in second.splitlines() if "fleet cost" in line]
+        assert "24 duplicate(s)" in second
+
+    def test_serve_ledger_and_summary_round_trip(self, events_file, tmp_path, capsys):
+        ledger_path = tmp_path / "ledger.jsonl"
+        assert main([
+            "serve", str(events_file),
+            "--state-dir", str(tmp_path / "state"),
+            "--ledger", str(ledger_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["ledger", str(ledger_path)]) == 0
+        assert "record(s)" in capsys.readouterr().out
+
+    def test_serve_missing_events_file_fails_cleanly(self, tmp_path, capsys):
+        assert main([
+            "serve", str(tmp_path / "absent.jsonl"),
+            "--state-dir", str(tmp_path / "state"),
+        ]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestLedgerSummary:
+    def test_truncated_final_line_is_tolerated(self, tmp_path, capsys):
+        path = tmp_path / "ledger.jsonl"
+        ledger = RunLedger(path)
+        ledger.emit("advisor-state", vehicle="v1", **{
+            "from": "healthy", "to": "degraded", "reason": "drift", "applied": 20,
+        })
+        ledger.emit("map-start", tasks=4)
+        with open(path, "a") as handle:
+            handle.write('{"event": "torn')  # crash mid-write
+        assert main(["ledger", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 record(s)" in out
+        assert "advisor state transitions:" in out
+        assert "degraded" in out
+
+    def test_missing_ledger_fails_cleanly(self, tmp_path, capsys):
+        assert main(["ledger", str(tmp_path / "absent.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFaultClaimSweep:
+    def test_cache_doctor_sweeps_dead_pid_claims(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        claims = tmp_path / "claims"
+        claims.mkdir()
+        (claims / "deadbeef.0").write_text("999999999")  # no such pid
+        (claims / "cafebabe.0").write_text(str(os.getpid()))  # alive: keep
+        assert main([
+            "cache", "doctor", "--fault-claims", str(claims),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "swept 1 stale claim(s)" in out
+        assert not (claims / "deadbeef.0").exists()
+        assert (claims / "cafebabe.0").exists()

@@ -1,0 +1,137 @@
+"""Unit tests for the self-scaling Page-Hinkley drift detectors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.service.drift import DriftDetector, PageHinkley
+
+DELTA = 0.25
+THRESHOLD = 50.0
+
+
+def _feed(detector: PageHinkley, values) -> int | None:
+    """Index (0-based) of the first alarm, or None."""
+    for index, value in enumerate(values):
+        if detector.update(float(value)):
+            return index
+    return None
+
+
+class TestParameters:
+    def test_negative_delta_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            PageHinkley(-0.1, THRESHOLD)
+
+    def test_nonpositive_threshold_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            PageHinkley(DELTA, 0.0)
+
+    def test_nonpositive_clip_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            PageHinkley(DELTA, THRESHOLD, clip=0.0)
+
+    def test_min_count_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            PageHinkley(DELTA, THRESHOLD, min_count=0)
+
+
+class TestStationary:
+    def test_no_alarm_on_stationary_heavy_tail(self, rng):
+        # Lognormal with sigma=1 has brutal tails; the winsorized
+        # self-scaled statistic must still ride through quietly.
+        for _ in range(10):
+            data = rng.lognormal(4.0, 1.0, size=2000)
+            assert _feed(PageHinkley(DELTA, THRESHOLD), data) is None
+
+    def test_no_alarm_on_constant_stream(self):
+        assert _feed(PageHinkley(DELTA, THRESHOLD), [42.0] * 500) is None
+
+    def test_no_alarm_during_calibration(self, rng):
+        # Even a violent shift cannot alarm inside the first min_count
+        # observations — they only feed the mean/scale estimates.
+        detector = PageHinkley(DELTA, THRESHOLD, min_count=50)
+        data = np.concatenate([rng.normal(10, 1, 20), rng.normal(1000, 1, 30)])
+        assert _feed(detector, data) is None
+
+    def test_scale_invariance(self, rng):
+        # The normalized statistic must not care about units: the same
+        # stream in seconds and in milliseconds alarms at the same index.
+        base = np.concatenate(
+            [rng.lognormal(3.0, 0.5, 300), rng.lognormal(4.5, 0.5, 300)]
+        )
+        a = _feed(PageHinkley(DELTA, THRESHOLD), base)
+        b = _feed(PageHinkley(DELTA, THRESHOLD), base * 1000.0)
+        assert a == b
+        assert a is not None
+
+
+class TestDetection:
+    def test_detects_upward_mean_shift(self, rng):
+        data = np.concatenate([rng.normal(30, 5, 300), rng.normal(60, 5, 300)])
+        index = _feed(PageHinkley(DELTA, THRESHOLD), data)
+        assert index is not None
+        assert 300 <= index < 400  # after the shift, within ~100 stops
+
+    def test_detects_downward_mean_shift(self, rng):
+        data = np.concatenate([rng.normal(60, 5, 300), rng.normal(30, 5, 300)])
+        index = _feed(PageHinkley(DELTA, THRESHOLD), data)
+        assert index is not None
+        assert 300 <= index < 400
+
+    def test_single_outlier_does_not_alarm(self, rng):
+        data = list(rng.normal(30, 5, 300))
+        data[150] = 1e6  # one parked-overnight stop
+        assert _feed(PageHinkley(DELTA, THRESHOLD), data) is None
+
+    def test_reset_forgets_history(self, rng):
+        detector = PageHinkley(DELTA, THRESHOLD)
+        shifted = np.concatenate([rng.normal(30, 5, 300), rng.normal(90, 5, 100)])
+        assert _feed(detector, shifted) is not None
+        detector.reset()
+        assert _feed(detector, rng.normal(90, 5, 500)) is None
+
+
+class TestSerialization:
+    def test_state_round_trip_is_bit_identical(self, rng):
+        data = rng.lognormal(4.0, 1.0, size=500)
+        live = PageHinkley(DELTA, THRESHOLD)
+        for value in data[:250]:
+            live.update(float(value))
+        restored = PageHinkley.from_state(live.to_state())
+        for value in data[250:]:
+            assert live.update(float(value)) == restored.update(float(value))
+        assert live.to_state() == restored.to_state()
+
+    def test_drift_detector_round_trip(self, rng):
+        detector = DriftDetector(
+            length_delta=DELTA,
+            length_threshold=THRESHOLD,
+            split_delta=DELTA,
+            split_threshold=THRESHOLD,
+        )
+        for value in rng.lognormal(3.0, 1.0, 100):
+            detector.update(float(value), value >= 28.0)
+        restored = DriftDetector.from_state(detector.to_state())
+        assert restored.to_state() == detector.to_state()
+
+
+class TestSplitDetector:
+    def test_split_shift_detected_when_mean_barely_moves(self, rng):
+        # Stops concentrated just under vs just over B: the mean hardly
+        # moves but q_B_plus flips — exactly what the split test is for.
+        detector = DriftDetector(
+            length_delta=DELTA,
+            length_threshold=THRESHOLD,
+            split_delta=DELTA,
+            split_threshold=THRESHOLD,
+        )
+        before = rng.normal(26.0, 0.5, 300)  # almost all short
+        after = rng.normal(30.0, 0.5, 300)  # almost all long
+        alarmed_at = None
+        for index, value in enumerate(np.concatenate([before, after])):
+            if detector.update(float(value), value >= 28.0):
+                alarmed_at = index
+                break
+        assert alarmed_at is not None
+        assert alarmed_at >= 300

@@ -1,0 +1,159 @@
+"""Crash-recovery pins: bit-identical state after any interruption.
+
+Two layers:
+
+* a Hypothesis property — for ANY split point of the event stream
+  (including splits landing inside a snapshot compaction), abandoning
+  the session mid-stream and recovering from its state directory, then
+  redelivering the FULL stream, yields a state digest bit-identical to
+  an uninterrupted in-memory run;
+* the acceptance chaos pin — a real SIGKILL delivered at arbitrary
+  event indices via :func:`repro.service.soak.run_chaos`, restart from
+  ``--state-dir``, per-vehicle thresholds (RNG stream included) and
+  total cost bit-identical to the uninterrupted run.
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service import AdvisorSession, SessionConfig
+from repro.service.soak import build_fleet_events, run_chaos, run_stream
+
+B = 28.0
+N_EVENTS = 40
+
+#: snapshot_every=3 makes most split points land near (or inside) a
+#: compaction boundary, the trickiest recovery window.
+CONFIG = SessionConfig(
+    break_even=B,
+    min_samples=3,
+    snapshot_every=3,
+    dedup_window=64,
+    drift_min_count=5,
+    seed=99,
+)
+
+
+def _events() -> list[tuple[str, float, float]]:
+    rng = np.random.default_rng(2014)
+    lengths = rng.lognormal(3.0, 1.2, N_EVENTS)
+    return [
+        (f"e-{index:04d}", float(index), float(length))
+        for index, length in enumerate(lengths)
+    ]
+
+
+EVENTS = _events()
+
+
+def _reference_digest() -> str:
+    session = AdvisorSession("v1", CONFIG)  # in-memory, uninterrupted
+    for event_id, timestamp, stop_length in EVENTS:
+        session.submit(event_id, timestamp, stop_length)
+    return session.state_digest()
+
+
+REFERENCE = _reference_digest()
+
+
+class TestSplitRecovery:
+    @settings(max_examples=30, deadline=None)
+    @given(split=st.integers(min_value=0, max_value=N_EVENTS))
+    def test_any_split_plus_full_redelivery_is_bit_identical(self, split):
+        with tempfile.TemporaryDirectory() as tmp:
+            state_dir = Path(tmp) / "v1"
+            first = AdvisorSession("v1", CONFIG, state_dir)
+            for event_id, timestamp, stop_length in EVENTS[:split]:
+                first.submit(event_id, timestamp, stop_length)
+            # Crash: the session object is simply abandoned — no close,
+            # no final compaction.  Durability must not depend on them.
+            del first
+            recovered = AdvisorSession("v1", CONFIG, state_dir)
+            # At-least-once delivery: the producer replays the WHOLE
+            # stream; everything before the split must dedup to no-ops.
+            for event_id, timestamp, stop_length in EVENTS:
+                recovered.submit(event_id, timestamp, stop_length)
+            assert recovered.applied == N_EVENTS
+            assert recovered.duplicates == split
+            assert recovered.state_digest() == REFERENCE
+
+    def test_split_inside_compaction_window(self):
+        # Deterministic pin of the exact boundary cases around
+        # snapshot_every=3: right before, at, and after a compaction.
+        for split in (2, 3, 4, 6, 39, 40):
+            with tempfile.TemporaryDirectory() as tmp:
+                state_dir = Path(tmp) / "v1"
+                first = AdvisorSession("v1", CONFIG, state_dir)
+                for event_id, timestamp, stop_length in EVENTS[:split]:
+                    first.submit(event_id, timestamp, stop_length)
+                del first
+                recovered = AdvisorSession("v1", CONFIG, state_dir)
+                for event_id, timestamp, stop_length in EVENTS[split:]:
+                    recovered.submit(event_id, timestamp, stop_length)
+                assert recovered.state_digest() == REFERENCE, f"split={split}"
+
+    def test_recovery_restores_the_rng_stream(self):
+        # The next drawn threshold after recovery equals the one the
+        # uninterrupted session would draw: the RNG state round-trips.
+        with tempfile.TemporaryDirectory() as tmp:
+            state_dir = Path(tmp) / "v1"
+            uninterrupted = AdvisorSession("v1", CONFIG)
+            first = AdvisorSession("v1", CONFIG, state_dir)
+            for event_id, timestamp, stop_length in EVENTS[:17]:
+                uninterrupted.submit(event_id, timestamp, stop_length)
+                first.submit(event_id, timestamp, stop_length)
+            del first
+            recovered = AdvisorSession("v1", CONFIG, state_dir)
+            for event_id, timestamp, stop_length in EVENTS[17:]:
+                expected = uninterrupted.submit(event_id, timestamp, stop_length)
+                actual = recovered.submit(event_id, timestamp, stop_length)
+                assert actual == expected  # thresholds bit-identical
+
+    def test_recompaction_after_recovery_leaves_empty_wal(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            state_dir = Path(tmp) / "v1"
+            first = AdvisorSession("v1", CONFIG, state_dir)
+            for event_id, timestamp, stop_length in EVENTS[:7]:
+                first.submit(event_id, timestamp, stop_length)
+            del first
+            recovered = AdvisorSession("v1", CONFIG, state_dir)
+            assert recovered.applied == 7
+            # Recovery re-compacts: WAL empty, snapshot == live state.
+            assert recovered._wal.replay() == []
+            seq, state = recovered._snapshots.load()
+            assert seq == 7
+            assert state == recovered.to_state()
+
+
+class TestSigkillChaosPin:
+    """The acceptance crash pin, with real SIGKILLs."""
+
+    @pytest.mark.slow
+    def test_chaos_run_is_bit_identical_to_clean_run(self, tmp_path):
+        events = build_fleet_events(vehicles=2, stops_per_vehicle=25, seed=3)
+        config = SessionConfig(
+            break_even=B,
+            min_samples=5,
+            snapshot_every=7,
+            dedup_window=64,
+            seed=3,
+        )
+        clean = run_stream(events, tmp_path / "clean", config)
+        kill_points = [17, 41]
+        chaos, restarts = run_chaos(
+            events,
+            tmp_path / "chaos",
+            config,
+            kill_points,
+            ledger_path=tmp_path / "chaos-ledger.jsonl",
+        )
+        assert restarts == len(kill_points)  # each kill fired exactly once
+        assert chaos["fleet_cost"] == clean["fleet_cost"]  # exact, not approx
+        assert chaos["digests"] == clean["digests"]
+        # The ledger survived the kills and is readable.
+        assert (tmp_path / "chaos-ledger.jsonl").exists()

@@ -1,0 +1,114 @@
+"""Unit tests for the CRC-framed WAL and atomic snapshot store."""
+
+import json
+import zlib
+
+import pytest
+
+from repro.service.wal import (
+    SnapshotStore,
+    WalCorruptionError,
+    WriteAheadLog,
+    _frame,
+    _unframe,
+)
+
+
+class TestFraming:
+    def test_frame_round_trip(self):
+        payload = {"seq": 3, "id": "v-00003", "t": 12.5, "y": 87.25}
+        assert _unframe(_frame(payload)) == payload
+
+    def test_floats_round_trip_bit_exactly(self):
+        value = 0.1 + 0.2  # not representable "nicely"; repr must survive
+        assert _unframe(_frame({"y": value}))["y"] == value
+
+    def test_bad_crc_rejected(self):
+        line = _frame({"seq": 1})
+        tampered = ("0" if line[0] != "0" else "1") + line[1:]
+        assert _unframe(tampered) is None
+
+    def test_tampered_body_rejected(self):
+        line = _frame({"seq": 1})
+        assert _unframe(line[:-1] + "X") is None
+
+    def test_non_dict_payload_rejected(self):
+        body = json.dumps([1, 2, 3])
+        line = f"{zlib.crc32(body.encode()):08x} {body}"
+        assert _unframe(line) is None
+
+
+class TestWriteAheadLog:
+    def test_append_replay_round_trip(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.jsonl")
+        records = [{"seq": i, "y": float(i) * 1.5} for i in range(1, 6)]
+        for record in records:
+            wal.append(record)
+        assert wal.replay() == records
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        assert WriteAheadLog(tmp_path / "absent.jsonl").replay() == []
+
+    def test_torn_final_frame_is_dropped(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path)
+        wal.append({"seq": 1})
+        wal.append({"seq": 2})
+        # Simulate a kill mid-append: half a frame at the tail.
+        with open(path, "a") as handle:
+            handle.write(_frame({"seq": 3})[:12])
+        assert wal.replay() == [{"seq": 1}, {"seq": 2}]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path)
+        for seq in range(1, 4):
+            wal.append({"seq": seq})
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:-1] + "X"  # corrupt a non-final record
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(WalCorruptionError, match="line 2"):
+            wal.replay()
+
+    def test_reset_truncates_atomically(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path)
+        wal.append({"seq": 1})
+        wal.reset()
+        assert path.exists()
+        assert wal.replay() == []
+        # No temp litter left behind.
+        assert list(tmp_path.glob("*.tmp*")) == []
+
+    def test_fsync_mode_appends_identically(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.jsonl", fsync=True)
+        wal.append({"seq": 1, "y": 2.5})
+        assert wal.replay() == [{"seq": 1, "y": 2.5}]
+
+
+class TestSnapshotStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = SnapshotStore(tmp_path / "snapshot.json")
+        state = {"applied": 7, "total_cost": 123.456, "nested": {"a": [1, 2]}}
+        store.save(7, state)
+        assert store.load() == (7, state)
+
+    def test_missing_snapshot_is_none(self, tmp_path):
+        assert SnapshotStore(tmp_path / "absent.json").load() is None
+
+    def test_save_overwrites_atomically(self, tmp_path):
+        store = SnapshotStore(tmp_path / "snapshot.json")
+        store.save(1, {"applied": 1})
+        store.save(2, {"applied": 2})
+        assert store.load() == (2, {"applied": 2})
+        assert list(tmp_path.glob("*.tmp*")) == []
+
+    def test_corrupted_snapshot_always_raises(self, tmp_path):
+        # Publication is atomic, so a bad frame is never a torn write:
+        # unlike the WAL tail, it must hard-fail.
+        path = tmp_path / "snapshot.json"
+        store = SnapshotStore(path)
+        store.save(3, {"applied": 3})
+        path.write_text(path.read_text()[:-5])
+        with pytest.raises(WalCorruptionError, match="CRC"):
+            store.load()
