@@ -780,12 +780,17 @@ def _serve(args) -> int:
                 service.ingest_line(line)
 
     def _stream() -> None:
-        if args.events == "-":
-            _pump(sys.stdin)
-        else:
-            with open(args.events) as handle:
-                _pump(handle)
-        service.close()
+        # close() in finally: even a mid-stream failure (strict-policy
+        # validation error, I/O error) must flush durable state and the
+        # quarantine sidecar.
+        try:
+            if args.events == "-":
+                _pump(sys.stdin)
+            else:
+                with open(args.events) as handle:
+                    _pump(handle)
+        finally:
+            service.close()
 
     if ledger is not None:
         with use_ledger(ledger):
@@ -900,7 +905,10 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
-    except OSError as error:
+    except (OSError, ValueError) as error:
+        # ValueError covers json.JSONDecodeError from corrupt on-disk
+        # artifacts (ledger, health snapshot) — a clean message, not a
+        # traceback, when a file the service wrote earlier is damaged.
         print(f"error: {error}", file=sys.stderr)
         return 1
     return 0

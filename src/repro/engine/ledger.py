@@ -122,9 +122,42 @@ class RunLedger:
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             if append and self.path.exists():
+                self._repair_torn_tail()
                 self._seq_base = len(read_ledger(self.path))
             else:
                 self.path.write_text("")
+
+    def _repair_torn_tail(self) -> None:
+        """Heal a torn final line before appending after a crash.
+
+        Appending blindly after a torn line would merge the next record
+        into it: the merged line silently vanishes from readers while it
+        stays final, then raises once more records follow.  A complete
+        record that lost only its newline gets one (the event is kept);
+        a partial line is dropped.  The rewrite goes through a temp file
+        + ``os.replace`` so a crash here never loses intact records.
+        """
+        raw = self.path.read_text()
+        if not raw:
+            return
+        lines = raw.splitlines(keepends=True)
+        last = lines[-1]
+        if last.endswith("\n"):
+            try:
+                json.loads(last)
+                return
+            except ValueError:
+                lines = lines[:-1]  # at-rest torn line: unreadable, drop it
+        else:
+            try:
+                json.loads(last)
+            except ValueError:
+                lines = lines[:-1]  # partial write: never fully emitted
+            else:
+                lines[-1] = last + "\n"  # complete record, newline was lost
+        tmp = self.path.with_name(self.path.name + f".tmp{os.getpid()}")
+        tmp.write_text("".join(lines))
+        os.replace(tmp, self.path)
 
     @classmethod
     def load(cls, path: str | Path) -> "RunLedger":

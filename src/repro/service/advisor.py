@@ -35,14 +35,21 @@ from .session import AdvisorSession, SessionConfig
 
 __all__ = ["AdvisorService", "parse_event_line"]
 
-_SAFE_DIRNAME = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+_UNSAFE_CHARS = re.compile(r"[^A-Za-z0-9._-]")
 
 
 def _vehicle_dirname(vehicle_id: str) -> str:
-    """A filesystem-safe, collision-free directory name per vehicle."""
-    if _SAFE_DIRNAME.match(vehicle_id) and vehicle_id not in (".", ".."):
-        return vehicle_id
-    return "veh-" + hashlib.sha256(vehicle_id.encode()).hexdigest()[:16]
+    """A filesystem-safe, collision-free directory name per vehicle.
+
+    The name always ends in a hash of the exact id, so distinct ids can
+    never share a directory — not even ids differing only in case on a
+    case-insensitive filesystem (macOS/Windows), and not an id that
+    happens to look like another id's hashed name.  A sanitized prefix
+    of the id is kept for operator readability.
+    """
+    digest = hashlib.sha256(vehicle_id.encode()).hexdigest()[:16]
+    prefix = _UNSAFE_CHARS.sub("_", vehicle_id)[:48].lstrip(".")
+    return f"{prefix}-{digest}" if prefix else f"veh-{digest}"
 
 
 def parse_event_line(line: str):

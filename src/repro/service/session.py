@@ -527,7 +527,9 @@ class AdvisorSession:
                 replayed += 1
         finally:
             self._replaying = False
-        if replayed or snapshot is None:
+        # Compacting also when the WAL tail was torn resets the log, so
+        # the torn bytes can never merge with a later append.
+        if replayed or snapshot is None or self._wal.tail_torn:
             self.compact()
 
     def compact(self) -> None:

@@ -70,12 +70,35 @@ class WriteAheadLog:
     def __init__(self, path: str | Path, *, fsync: bool = False) -> None:
         self.path = Path(path)
         self.fsync = bool(fsync)
+        #: True when the last :meth:`replay` dropped a torn final frame;
+        #: recovery uses it to force a compaction so the torn bytes never
+        #: survive into the next append.
+        self.tail_torn = False
         self.path.parent.mkdir(parents=True, exist_ok=True)
 
     def append(self, record: dict) -> None:
-        """Durably append one record (flush always; fsync on request)."""
-        with open(self.path, "a") as handle:
-            handle.write(_frame(record) + "\n")
+        """Durably append one record (flush always; fsync on request).
+
+        A previous crash can leave the file without a trailing newline.
+        Appending blindly would merge the new frame into that tail, so
+        the tail is healed first: a complete frame that lost only its
+        newline gets one (the record is preserved); a partial frame is
+        truncated away (it was never durable).
+        """
+        with open(self.path, "a+b") as handle:
+            size = handle.seek(0, os.SEEK_END)
+            if size:
+                handle.seek(size - 1)
+                if handle.read(1) != b"\n":
+                    handle.seek(0)
+                    data = handle.read()
+                    cut = data.rfind(b"\n") + 1
+                    tail = data[cut:].decode(errors="replace")
+                    if _unframe(tail) is not None:
+                        handle.write(b"\n")
+                    else:
+                        handle.truncate(cut)
+            handle.write((_frame(record) + "\n").encode())
             handle.flush()
             if self.fsync:
                 os.fsync(handle.fileno())
@@ -84,9 +107,12 @@ class WriteAheadLog:
         """All intact records, in order.
 
         The final frame may be torn by a kill mid-append and is then
-        dropped; a bad frame *followed by intact ones* means the file
-        was corrupted at rest and raises :class:`WalCorruptionError`.
+        dropped (and :attr:`tail_torn` set, so recovery compacts the
+        torn bytes away); a bad frame *followed by intact ones* means
+        the file was corrupted at rest and raises
+        :class:`WalCorruptionError`.
         """
+        self.tail_torn = False
         if not self.path.exists():
             return []
         lines = self.path.read_text().splitlines()
@@ -97,6 +123,7 @@ class WriteAheadLog:
             record = _unframe(line)
             if record is None:
                 if index == len(lines) - 1:
+                    self.tail_torn = True
                     break
                 raise WalCorruptionError(
                     f"{self.path}: bad frame at line {index + 1} "

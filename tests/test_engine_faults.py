@@ -303,6 +303,34 @@ class TestLedgerCrashTolerance:
         assert record["seq"] == 2
         assert [r["seq"] for r in read_ledger(path)] == [0, 1, 2]
 
+    def test_append_mode_repairs_a_torn_final_line(self, tmp_path):
+        # A kill mid-emit leaves a partial line; appending blindly would
+        # merge the next record into it and corrupt the ledger for every
+        # later reader.  Append mode must drop the torn tail first.
+        path = tmp_path / "ledger.jsonl"
+        RunLedger(path).emit("map-start", tasks=1)
+        with open(path, "a") as handle:
+            handle.write('{"seq": 1, "t": 0.1, "event": "task-')
+        second = RunLedger(path, append=True)
+        record = second.emit("map-finish")
+        assert record["seq"] == 1
+        assert [r["event"] for r in read_ledger(path)] == ["map-start", "map-finish"]
+        # A third restart (the merged-line JSONDecodeError crash path).
+        third = RunLedger(path, append=True)
+        third.emit("map-start", tasks=2)
+        assert [r["seq"] for r in read_ledger(path)] == [0, 1, 2]
+
+    def test_append_mode_completes_a_record_missing_its_newline(self, tmp_path):
+        # The kill can land right before the newline: the record was
+        # fully emitted and must be kept, only the newline restored.
+        path = tmp_path / "ledger.jsonl"
+        RunLedger(path).emit("map-start", tasks=1)
+        path.write_text(path.read_text()[:-1])
+        second = RunLedger(path, append=True)
+        second.emit("map-finish")
+        assert [r["event"] for r in read_ledger(path)] == ["map-start", "map-finish"]
+        assert [r["seq"] for r in read_ledger(path)] == [0, 1]
+
     def test_fsync_mode_emits_identical_records(self, tmp_path):
         path = tmp_path / "ledger.jsonl"
         ledger = RunLedger(path, fsync=True)

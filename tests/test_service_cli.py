@@ -70,6 +70,26 @@ class TestServe:
         assert main(["ledger", str(ledger_path)]) == 0
         assert "record(s)" in capsys.readouterr().out
 
+    def test_serve_strict_failure_still_flushes_state(self, tmp_path, capsys):
+        # A strict-policy validation error aborts the stream mid-pump;
+        # service.close() must still run (finally) so the applied work
+        # is compacted durably.
+        events = tmp_path / "events.jsonl"
+        good = {"id": "e-1", "vehicle": "v1", "t": 0.0, "stop": 42.0}
+        bad = {"id": "e-2", "vehicle": "v1", "t": 1.0, "stop": -1.0}
+        events.write_text(json.dumps(good) + "\n" + json.dumps(bad) + "\n")
+        state_dir = tmp_path / "state"
+        assert main([
+            "serve", str(events),
+            "--state-dir", str(state_dir),
+            "--policy", "strict",
+        ]) == 1
+        assert "error:" in capsys.readouterr().err
+        snapshots = list(state_dir.glob("vehicles/*/snapshot.json"))
+        assert len(snapshots) == 1
+        payload = json.loads(snapshots[0].read_text()[9:])  # skip crc prefix
+        assert payload["seq"] == 1  # the good event was compacted
+
     def test_serve_missing_events_file_fails_cleanly(self, tmp_path, capsys):
         assert main([
             "serve", str(tmp_path / "absent.jsonl"),
@@ -96,6 +116,19 @@ class TestLedgerSummary:
 
     def test_missing_ledger_fails_cleanly(self, tmp_path, capsys):
         assert main(["ledger", str(tmp_path / "absent.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_mid_file_corruption_fails_cleanly(self, tmp_path, capsys):
+        # Real corruption (not a torn tail) raises JSONDecodeError from
+        # the reader; the CLI must report it, not traceback.
+        path = tmp_path / "ledger.jsonl"
+        ledger = RunLedger(path)
+        ledger.emit("map-start", tasks=1)
+        ledger.emit("map-finish")
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0][:-2]  # corrupt a non-final line
+        path.write_text("\n".join(lines) + "\n")
+        assert main(["ledger", str(path)]) == 1
         assert "error:" in capsys.readouterr().err
 
 

@@ -114,6 +114,28 @@ class TestSplitRecovery:
                 actual = recovered.submit(event_id, timestamp, stop_length)
                 assert actual == expected  # thresholds bit-identical
 
+    def test_torn_wal_tail_is_compacted_away_and_parity_holds(self):
+        # split=3 lands exactly on a compaction (snapshot_every=3), so
+        # the WAL is empty except for the torn bytes: recovery replays
+        # nothing, yet must still compact so a later append can never
+        # merge into the torn frame.
+        split = 3
+        with tempfile.TemporaryDirectory() as tmp:
+            state_dir = Path(tmp) / "v1"
+            first = AdvisorSession("v1", CONFIG, state_dir)
+            for event_id, timestamp, stop_length in EVENTS[:split]:
+                first.submit(event_id, timestamp, stop_length)
+            del first
+            with open(state_dir / "wal.jsonl", "a") as handle:
+                handle.write('deadbeef {"torn')  # kill mid-append
+            recovered = AdvisorSession("v1", CONFIG, state_dir)
+            assert recovered._wal.replay() == []  # torn tail gone
+            for event_id, timestamp, stop_length in EVENTS[split:]:
+                recovered.submit(event_id, timestamp, stop_length)
+            del recovered
+            final = AdvisorSession("v1", CONFIG, state_dir)
+            assert final.state_digest() == REFERENCE
+
     def test_recompaction_after_recovery_leaves_empty_wal(self):
         with tempfile.TemporaryDirectory() as tmp:
             state_dir = Path(tmp) / "v1"

@@ -59,6 +59,41 @@ class TestWriteAheadLog:
             handle.write(_frame({"seq": 3})[:12])
         assert wal.replay() == [{"seq": 1}, {"seq": 2}]
 
+    def test_replay_reports_a_torn_tail(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path)
+        wal.append({"seq": 1})
+        assert wal.replay() == [{"seq": 1}]
+        assert wal.tail_torn is False
+        with open(path, "a") as handle:
+            handle.write(_frame({"seq": 2})[:12])
+        assert wal.replay() == [{"seq": 1}]
+        assert wal.tail_torn is True
+
+    def test_append_after_torn_tail_does_not_merge(self, tmp_path):
+        # A new frame written after a torn tail must not land on the
+        # same line: the partial frame is truncated away first.
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path)
+        wal.append({"seq": 1})
+        with open(path, "a") as handle:
+            handle.write(_frame({"seq": 2})[:12])
+        wal.append({"seq": 3})
+        assert wal.replay() == [{"seq": 1}, {"seq": 3}]
+        wal.append({"seq": 4})
+        assert wal.replay() == [{"seq": 1}, {"seq": 3}, {"seq": 4}]
+
+    def test_append_completes_a_frame_missing_only_its_newline(self, tmp_path):
+        # The kill can land between the frame bytes and the newline; the
+        # frame is complete and must be preserved, not truncated.
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path)
+        wal.append({"seq": 1})
+        with open(path, "a") as handle:
+            handle.write(_frame({"seq": 2}))
+        wal.append({"seq": 3})
+        assert wal.replay() == [{"seq": 1}, {"seq": 2}, {"seq": 3}]
+
     def test_mid_file_corruption_raises(self, tmp_path):
         path = tmp_path / "wal.jsonl"
         wal = WriteAheadLog(path)
