@@ -43,7 +43,7 @@ import numpy as np
 from ..constants import E
 from ..errors import DegenerateStatisticsError, InvalidParameterError
 from .brand import BRand
-from .constrained import ProposedOnline
+from .constrained import DEGENERATE_B_FRACTION, ProposedOnline
 from .randomized import MOMRand, NRand
 from .strategy import (
     DeterministicThresholdStrategy,
@@ -59,7 +59,86 @@ __all__ = [
     "bootstrap_cr_samples",
     "gauss_legendre_rule",
     "quantile_pair",
+    "select_vertices",
+    "VERTEX_NAMES",
 ]
+
+#: Vertex names indexed by the codes :func:`select_vertices` returns.
+#: The order IS the solver's tie order (``_TIE_ORDER`` in
+#: ``core/constrained.py``): stacking candidate costs in this order and
+#: taking the first argmin reproduces ``min(vertices, key=(cost, order))``.
+VERTEX_NAMES = ("TOI", "DET", "b-DET", "N-Rand")
+
+
+def select_vertices(mu_b_minus, q_b_plus, break_even: float):
+    """Batched ``ConstrainedSkiRentalSolver(stats).select()``.
+
+    For arrays of ``(mu_B_minus, q_B_plus)`` estimates sharing one
+    ``break_even``, returns ``(codes, thresholds)`` where ``codes[i]``
+    indexes :data:`VERTEX_NAMES` and ``thresholds[i]`` is the selected
+    vertex's fixed threshold (``0.0`` for TOI, ``B`` for DET, the
+    ``b*`` parameter for b-DET) or NaN for N-Rand, whose threshold is
+    drawn per stop.
+
+    Bit-identical to the scalar ``AdaptiveProposed._reselect`` path,
+    including its degenerate branch: rows with
+    ``expected_offline_cost <= 0`` (where the solver would raise
+    :class:`~repro.errors.DegenerateStatisticsError` and the estimator
+    falls back) yield the N-Rand code — the fallback *is* ``NRand(B)``,
+    so code and draw behavior coincide.  Every arithmetic expression
+    mirrors ``evaluate_vertices`` / ``optimal_b`` /
+    ``b_det_worst_case_cost`` operation for operation (same operand
+    order, correctly-rounded primitives only), so the produced floats —
+    not just the choices — match the scalar solver.
+    """
+    mu = np.asarray(mu_b_minus, dtype=float)
+    q = np.asarray(q_b_plus, dtype=float)
+    b_even = float(break_even)
+    if b_even <= 0.0 or not math.isfinite(b_even):
+        raise InvalidParameterError(
+            f"break_even must be finite and > 0, got {break_even!r}"
+        )
+    offline = mu + q * b_even
+    cost_toi = np.full(mu.shape, b_even)
+    cost_det = mu + 2.0 * q * b_even
+    cost_nrand = E / (E - 1.0) * offline
+    # b-DET's three-way cost branch, masked exactly like the scalar
+    # property: q <= 0 -> inf; mu == 0, q < 1 -> q*B (the exact value,
+    # not (sqrt 0 + sqrt qB)^2, which need not round identically);
+    # otherwise the closed form, gated by the feasibility condition.
+    zero_mu = (q > 0.0) & (mu == 0.0) & (q < 1.0)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        condition = (
+            (q > 0.0)
+            & (q < 1.0)
+            & (mu != 0.0)
+            & (mu / b_even < (1.0 - q) ** 2 / q)
+        )
+        closed_form = np.square(np.sqrt(mu) + np.sqrt(q * b_even))
+    cost_bdet = np.where(
+        zero_mu, q * b_even, np.where(condition, closed_form, math.inf)
+    )
+    costs = np.stack([cost_toi, cost_det, cost_bdet, cost_nrand])
+    codes = np.argmin(costs, axis=0)  # first-of-equals == tie order
+    codes = np.where(offline <= 0.0, 3, codes)
+    thresholds = np.full(mu.shape, math.nan)
+    thresholds[codes == 0] = 0.0
+    thresholds[codes == 1] = b_even
+    b_selected = codes == 2
+    if np.any(b_selected):
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            ratio = mu * b_even / q
+            candidate = np.where(
+                np.isfinite(ratio),
+                np.sqrt(np.where(np.isfinite(ratio), ratio, 1.0)),
+                np.sqrt(mu * b_even) / np.sqrt(q),
+            )
+        candidate = np.where(mu == 0.0, 0.0, candidate)
+        b_param = np.where(
+            candidate <= 0.0, DEGENERATE_B_FRACTION * b_even, candidate
+        )
+        thresholds[b_selected] = b_param[b_selected]
+    return codes, thresholds
 
 
 @lru_cache(maxsize=32)

@@ -11,7 +11,12 @@ sidecar, and a bounded ingestion queue:
   growing memory without bound;
 * ``drain()`` parses, validates and routes everything queued;
 * ``process(record)`` is offer+drain for one event (the file/stdin
-  serving loop).
+  serving loop);
+* ``process_batch(records)`` / ``ingest_lines(lines)`` are the columnar
+  fast path (``serve --batch N``): a chunk is planned into per-vehicle
+  runs (:mod:`repro.service.batch`) and each run applied through one
+  vectorized group-commit — bit-identical to the scalar loop (the
+  equivalence harness in ``tests/test_service_batch.py`` pins it).
 
 Raw records are value-validated by
 :func:`repro.validation.schemas.stop_event_findings` before they reach
@@ -26,11 +31,13 @@ from __future__ import annotations
 import hashlib
 import json
 import re
+import time
 from collections import deque
 from pathlib import Path
 
 from ..validation import CsvQuarantineWriter, PolicyEnforcer, ValidationReport
 from ..validation.schemas import stop_event_findings
+from .batch import MalformedEvent, plan_chunk
 from .session import AdvisorSession, SessionConfig
 
 __all__ = ["AdvisorService", "parse_event_line"]
@@ -117,6 +124,10 @@ class AdvisorService:
         self.shed = 0
         self.received = 0
         self.malformed = 0
+        # Batched-ingest throughput counters (health_snapshot -> ingest.batch).
+        self.batch_chunks = 0
+        self.batch_events = 0
+        self.batch_seconds = 0.0
 
     # -- sessions ---------------------------------------------------------
 
@@ -181,25 +192,104 @@ class AdvisorService:
             return None
         return self.process(record)
 
+    def process_batch(self, records) -> list:
+        """The columnar fast path: apply a chunk of parsed records.
+
+        The chunk is planned into per-vehicle runs
+        (:func:`repro.service.batch.plan_chunk`); each run is applied
+        with one vectorized
+        :meth:`~repro.service.session.AdvisorSession.submit_batch` —
+        one WAL group-commit, one fsync — and malformed markers are
+        policy-handled at their in-chunk position so per-vehicle health
+        signals land exactly where the scalar loop would put them.
+
+        Returns decisions aligned with ``records`` (None where the
+        record was malformed or dropped).  Any previously queued events
+        are drained first so ordering across ``offer``/batch mixes is
+        preserved.
+        """
+        self.drain()
+        records = list(records)
+        self.received += len(records)
+        results: list = [None] * len(records)
+        if not records:
+            return results
+        start = time.perf_counter()
+        for item in plan_chunk(records).items:
+            if isinstance(item, MalformedEvent):
+                self._flag_malformed(item.record, item.findings)
+                continue
+            decisions = self.session(item.vehicle).submit_batch(
+                item.event_ids, item.timestamps, item.stop_lengths
+            )
+            for position, decision in zip(item.indices, decisions):
+                results[int(position)] = decision
+        self.batch_chunks += 1
+        self.batch_events += len(records)
+        self.batch_seconds += time.perf_counter() - start
+        return results
+
+    def ingest_lines(self, lines) -> list:
+        """Parse a chunk of JSONL lines and apply it as one batch.
+
+        The whole chunk is decoded with a single ``json.loads`` (each
+        line is one JSON value, so joining them into an array is one
+        C-level parse instead of one call per line).  If *any* line is
+        undecodable the chunk falls back to per-line parsing, where bad
+        lines are policy-handled exactly as :meth:`ingest_line` handles
+        them and the decoded remainder still goes through
+        :meth:`process_batch`.  Returns decisions aligned with
+        ``lines``.
+        """
+        lines = list(lines)
+        try:
+            records = json.loads("[" + ",".join(lines) + "]")
+        except json.JSONDecodeError:
+            records = None
+        # Length mismatch = some line held several comma-separated JSON
+        # values (invalid alone, but legal inside the joined array) —
+        # only the per-line path flags it the way ingest_line would.
+        if records is not None and len(records) == len(lines):
+            return self.process_batch(records)
+        results: list = [None] * len(lines)
+        decodable = []
+        positions = []
+        for position, line in enumerate(lines):
+            record, error = parse_event_line(line)
+            if error is not None:
+                self.received += 1
+                self.malformed += 1
+                self._enforcer.flag("malformed-event", error, record=[line])
+                continue
+            decodable.append(record)
+            positions.append(position)
+        for position, decision in zip(positions, self.process_batch(decodable)):
+            results[position] = decision
+        return results
+
     def _handle(self, record) -> dict | None:
         findings, event = stop_event_findings(record)
         if event is None:
-            self.malformed += 1
-            vehicle = self._identifiable_vehicle(record)
-            for check, message in findings:
-                self._enforcer.flag(
-                    check,
-                    message if vehicle is None else f"vehicle {vehicle}: {message}",
-                    record=[json.dumps(record, default=repr)],
-                )
-            # A malformed record still carries a health signal for the
-            # vehicle it claims to be from — but only for vehicles we
-            # already serve: garbage must not create sessions.
-            if vehicle is not None and vehicle in self.sessions:
-                self.sessions[vehicle].note_invalid_event(findings[0][0])
+            self._flag_malformed(record, findings)
             return None
         event_id, vehicle, timestamp, stop_length = event
         return self.session(vehicle).submit(event_id, timestamp, stop_length)
+
+    def _flag_malformed(self, record, findings) -> None:
+        """Policy-handle one value-invalid record (scalar and batch paths)."""
+        self.malformed += 1
+        vehicle = self._identifiable_vehicle(record)
+        for check, message in findings:
+            self._enforcer.flag(
+                check,
+                message if vehicle is None else f"vehicle {vehicle}: {message}",
+                record=[json.dumps(record, default=repr)],
+            )
+        # A malformed record still carries a health signal for the
+        # vehicle it claims to be from — but only for vehicles we
+        # already serve: garbage must not create sessions.
+        if vehicle is not None and vehicle in self.sessions:
+            self.sessions[vehicle].note_invalid_event(findings[0][0])
 
     @staticmethod
     def _identifiable_vehicle(record) -> str | None:
@@ -233,6 +323,16 @@ class AdvisorService:
                 "malformed": self.malformed,
                 "duplicates": sum(s.duplicates for s in self.sessions.values()),
                 "rejected": sum(s.rejected for s in self.sessions.values()),
+                "batch": {
+                    "chunks": self.batch_chunks,
+                    "events": self.batch_events,
+                    "wall_s": self.batch_seconds,
+                    "events_per_s": (
+                        self.batch_events / self.batch_seconds
+                        if self.batch_seconds > 0.0
+                        else 0.0
+                    ),
+                },
             },
             "states": {
                 state: sum(

@@ -29,6 +29,8 @@ recovery bit-identically along with the rest of the session.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..errors import InvalidParameterError
 
 __all__ = ["PageHinkley", "DriftDetector"]
@@ -126,6 +128,62 @@ class PageHinkley:
             or self._max_dec - self._cum_dec > self.threshold
         )
 
+    def update_many(self, values) -> np.ndarray:
+        """Feed a batch of observations; per-observation alarm verdicts.
+
+        The recurrence is inherently sequential (each innovation is
+        measured against the mean *so far*), so this is the scalar loop
+        with the instance attributes hoisted into locals — bit-identical
+        to ``n`` scalar :meth:`update` calls, including the ``min_count``
+        calibration window, which keeps counting *observations* no
+        matter how the stream is split into batches.
+        """
+        xs = np.asarray(values, dtype=float)
+        alarms = np.zeros(xs.shape[0], dtype=bool)
+        count = self._count
+        mean = self._mean
+        scale = self._scale
+        cum_inc = self._cum_inc
+        min_inc = self._min_inc
+        cum_dec = self._cum_dec
+        max_dec = self._max_dec
+        delta = self.delta
+        threshold = self.threshold
+        min_count = self.min_count
+        clip = self.clip
+        for index in range(xs.shape[0]):
+            x = float(xs[index])
+            count += 1
+            if count == 1:
+                mean = x
+                continue
+            deviation = x - mean
+            if scale > 0.0:
+                limit = clip * scale
+                deviation = max(-limit, min(limit, deviation))
+                normalized = deviation / scale
+            else:
+                normalized = 0.0
+            mean += deviation / count
+            scale += (abs(deviation) - scale) / count
+            if count <= min_count:
+                continue
+            cum_inc += normalized - delta
+            min_inc = min(min_inc, cum_inc)
+            cum_dec += normalized + delta
+            max_dec = max(max_dec, cum_dec)
+            alarms[index] = (
+                cum_inc - min_inc > threshold or max_dec - cum_dec > threshold
+            )
+        self._count = count
+        self._mean = mean
+        self._scale = scale
+        self._cum_inc = cum_inc
+        self._min_inc = min_inc
+        self._cum_dec = cum_dec
+        self._max_dec = max_dec
+        return alarms
+
     def to_state(self) -> dict:
         return {
             "delta": self.delta,
@@ -183,6 +241,21 @@ class DriftDetector:
         length_alarm = self.lengths.update(stop_length)
         split_alarm = self.split.update(1.0 if is_long else 0.0)
         return length_alarm or split_alarm
+
+    def update_many(self, stop_lengths, is_long) -> np.ndarray:
+        """Batched :meth:`update`: per-observation alarm verdicts.
+
+        Both detectors consume the whole batch (alarms do not
+        short-circuit the feed — scalar callers likewise keep feeding
+        after an alarm until the session machinery resets us), and the
+        calibration window counts observations exactly as the scalar
+        path does, so verdicts are split-invariant.
+        """
+        lengths = np.asarray(stop_lengths, dtype=float)
+        indicators = np.where(np.asarray(is_long, dtype=bool), 1.0, 0.0)
+        length_alarms = self.lengths.update_many(lengths)
+        split_alarms = self.split.update_many(indicators)
+        return length_alarms | split_alarms
 
     def reset(self) -> None:
         self.lengths.reset()

@@ -63,10 +63,12 @@ from pathlib import Path
 import numpy as np
 
 from ..constants import E
-from ..core.adaptive import AdaptiveProposed
+from ..core.adaptive import RENORM_FLUSH, RENORM_INTERVAL, AdaptiveProposed
 from ..core.costs import validate_break_even
 from ..core.deterministic import Deterministic
+from ..core.kernels import VERTEX_NAMES, select_vertices
 from ..core.randomized import NRand
+from ..core.strategy import DeterministicThresholdStrategy
 from ..errors import DegenerateStatisticsError, InvalidParameterError
 from ..engine.ledger import active_ledger
 from ..simulation.controller import StopStartController
@@ -83,6 +85,13 @@ STATE_VERSION = 1
 #: identical in both places: an uncapped live list would diverge from a
 #: capped restored one and break bit-identical recovery.
 TRANSITION_HISTORY = 64
+
+#: Appended-event budget before a delta compaction re-bases onto a full
+#: snapshot.  Deltas grow linearly with distance from their base (every
+#: applied event appends an id + a stop), so without a cap the snapshot
+#: stream's bytes-per-event degrades over a long run; re-basing every
+#: ~1k events keeps it O(1) while deltas stay ~4x smaller than fulls.
+_DELTA_REBASE = 1024
 
 
 class HealthState(str, Enum):
@@ -228,6 +237,11 @@ class AdvisorSession:
     def _init_fresh_state(self) -> None:
         config = self.config
         self._replaying = False
+        # Delta-compaction bookkeeping (volatile; never serialized): the
+        # (applied, transition-count) coordinates of the last FULL
+        # snapshot, against which delta snapshots slice their appends.
+        self._delta_base: dict | None = None
+        self._transitions_seen = 0
         self.applied = 0
         self.total_cost = 0.0
         self.health = HealthState.HEALTHY
@@ -325,20 +339,337 @@ class AdvisorSession:
             self.bad_streak = 0
             self._on_alarm(f"validation-streak:{check}")
 
+    # -- batched ingestion (the columnar serving path) --------------------
+
+    def submit_batch(self, event_ids, timestamps, stop_lengths) -> list:
+        """Ingest a batch of stop events; one decision dict (or None)
+        per event, bit-identical to calling :meth:`submit` per event.
+
+        The batch is split into maximal **clean runs** — contiguous
+        events that pass every stateful admission check (dedup, value
+        guards, clock monotonicity) without side effects.  Each run is
+        made durable with ONE WAL group-commit (`append_many`), staged
+        with vectorized estimator/drift updates, and its thresholds are
+        drawn with one ``rng.uniform(size=k)`` when possible.  Any event
+        a check would touch (duplicate, bad value, stale clock) falls
+        back to the scalar :meth:`submit` — enforcer flags, strict-mode
+        raises, and streak bookkeeping all behave exactly as today.
+
+        Compaction is amortized: instead of snapshotting at every
+        ``snapshot_every`` boundary inside the batch, one (delta)
+        snapshot is published after the batch if a boundary was crossed.
+        """
+        ids = [str(event_id) for event_id in event_ids]
+        ts = np.asarray(timestamps, dtype=float)
+        ys = np.asarray(stop_lengths, dtype=float)
+        if not len(ids) == ts.size == ys.size:
+            raise InvalidParameterError(
+                f"batch fields disagree on length: {len(ids)} ids, "
+                f"{ts.size} timestamps, {ys.size} stop lengths"
+            )
+        results: list = [None] * len(ids)
+        if not ids:
+            return results
+        # Timestamps must also be finite for the run path: the WAL's
+        # canonical JSON rejects NaN/inf, and a non-finite clock must
+        # fail on exactly the event that carries it, not abort the run.
+        clean = np.isfinite(ys) & (ys >= 0.0) & np.isfinite(ts)
+        entry_applied = self.applied
+        index = 0
+        n = len(ids)
+        while index < n:
+            run = self._admit_run(ids, ts, clean, index)
+            if run == 0:
+                # Complication event: full scalar semantics.
+                results[index] = self.submit(
+                    ids[index], float(ts[index]), float(ys[index])
+                )
+                index += 1
+                continue
+            self._commit_run(ids, ts, ys, index, run, results)
+            index += run
+        snapshot_every = self.config.snapshot_every
+        if (
+            self._snapshots is not None
+            and self.applied // snapshot_every != entry_applied // snapshot_every
+        ):
+            self.compact(delta=True)
+        return results
+
+    def _admit_run(self, ids: list, ts, clean, start: int) -> int:
+        """Length of the longest clean run starting at ``start``.
+
+        Pure read-only scan: an event joins the run only when dedup
+        (against the durable window AND the run itself), value guards,
+        and clock monotonicity would all wave it through.  The first
+        event that would trip any check ends the run with length 0 at
+        its own position, so the caller routes it through scalar
+        :meth:`submit`.
+        """
+        last_timestamp = self.last_timestamp
+        seen = self._recent_id_set
+        local: set[str] = set()
+        index = start
+        n = len(ids)
+        while index < n:
+            if not clean[index]:
+                break
+            event_id = ids[index]
+            if event_id in seen or event_id in local:
+                break
+            timestamp = ts[index]
+            if last_timestamp is not None and timestamp < last_timestamp:
+                break
+            local.add(event_id)
+            last_timestamp = timestamp
+            index += 1
+        return index - start
+
+    def _commit_run(self, ids, ts, ys, start: int, k: int, results: list) -> None:
+        """Make one clean run durable, stage it, draw, finish.
+
+        WAL-first ordering is load-bearing: staging emits live ledger
+        events (health transitions), and the WAL-before-apply invariant
+        is what guarantees every emitted transition was caused by a
+        durable event (a crash redelivers it and dedups).
+        """
+        seq = self.applied
+        frames = [
+            {
+                "seq": seq + j + 1,
+                "id": ids[start + j],
+                "t": float(ts[start + j]),
+                "y": float(ys[start + j]),
+            }
+            for j in range(k)
+        ]
+        if self._wal is not None:
+            self._wal.append_many(frames)
+        staged = self._stage_run(frames)
+        self._finish_run(staged, results, start)
+
+    def _stage_run(self, frames: list) -> list:
+        """Stage a committed run; vectorized in HEALTHY, scalar otherwise.
+
+        Outside HEALTHY the ladder can climb *up* mid-run (recovery
+        transitions at exact clean-streak counts, estimator rebuilds),
+        so events go through the per-event :meth:`_stage`; the batch
+        still benefits from the group commit and batched draws.
+        """
+        if self.health is not HealthState.HEALTHY:
+            return [self._stage(frame) for frame in frames]
+        return self._stage_run_fast(frames)
+
+    def _stage_run_fast(self, frames: list) -> list:
+        """The columnar staging path for a clean run in HEALTHY.
+
+        Decomposition (each leg bit-identical to the scalar loop):
+
+        1. the estimator's accumulator recurrence is sequential Python
+           arithmetic (hoisted locals, same renormalization schedule),
+           recording the per-event trajectory;
+        2. drift verdicts come from one ``DriftDetector.update_many``
+           sweep — valid through the first alarm; on an alarm the
+           transition resets the detectors, wiping any post-alarm
+           pollution exactly as the scalar path's reset does;
+        3. per-event vertex selections come from one vectorized
+           ``select_vertices`` call over the trajectory (HEALTHY's only
+           downward transition is the first alarm, so selections before
+           it are a pure function of the accumulators);
+        4. state is committed through the alarm event (or the whole
+           run), the alarm — if any — is adjudicated exactly once, and
+           any remainder is staged per event under the new health.
+        """
+        estimator = self.estimator
+        config = self.config
+        break_even = config.break_even
+        k = len(frames)
+        ys = [frame["y"] for frame in frames]
+        ys_arr = np.asarray(ys)
+        # 1. Accumulator trajectories (exact observe() recurrence).
+        count0 = estimator._count
+        weight = estimator._weight
+        short_sum = estimator._short_sum
+        long_weight = estimator._long_weight
+        decay = estimator.decay
+        weights = []
+        short_sums = []
+        long_weights = []
+        count = count0
+        for value in ys:
+            count += 1
+            weight = weight * decay + 1.0
+            short_sum *= decay
+            long_weight *= decay
+            if value >= break_even:
+                long_weight += 1.0
+            else:
+                short_sum += value
+            if count % RENORM_INTERVAL == 0:
+                if 0.0 < short_sum < RENORM_FLUSH:
+                    short_sum = 0.0
+                if 0.0 < long_weight < RENORM_FLUSH:
+                    long_weight = 0.0
+            weights.append(weight)
+            short_sums.append(short_sum)
+            long_weights.append(long_weight)
+        # 2. Drift verdicts; only those up to the first alarm are used.
+        alarms = self.drift.update_many(ys_arr, ys_arr >= break_even)
+        alarm_indices = np.flatnonzero(alarms)
+        cut = int(alarm_indices[0]) if alarm_indices.size else -1
+        limit = k if cut < 0 else cut + 1
+        # 3. Per-event decision specs and post-event strategy names.
+        weight_arr = np.asarray(weights)
+        mu = np.asarray(short_sums) / weight_arr
+        q = np.minimum(1.0, np.asarray(long_weights) / weight_arr)
+        codes, vertex_thresholds = select_vertices(mu, q, break_even)
+        min_samples = estimator.min_samples
+        entering_spec = self._decision_spec()
+        entering_name = self.active_strategy_name
+        specs = []
+        names = []
+        for j in range(limit):
+            if j == 0 or count0 + j < min_samples:
+                specs.append(entering_spec)
+            elif codes[j - 1] == 3:
+                specs.append(("nrand", break_even))
+            else:
+                specs.append(("fixed", float(vertex_thresholds[j - 1])))
+            if count0 + j + 1 >= min_samples:
+                names.append(VERTEX_NAMES[codes[j]])
+            else:
+                names.append(entering_name)
+        # 4. Commit state through the alarm (or the whole run).
+        self.applied = int(frames[limit - 1]["seq"])
+        self.last_timestamp = frames[limit - 1]["t"]
+        for j in range(limit):
+            self._remember_id(frames[j]["id"])
+        self._recent_stops.extend(ys[:limit])
+        self.bad_streak = 0
+        estimator._count = count0 + limit
+        estimator._weight = weights[limit - 1]
+        estimator._short_sum = short_sums[limit - 1]
+        estimator._long_weight = long_weights[limit - 1]
+        if cut < 0:
+            self.clean_streak += limit
+            if estimator._count >= min_samples:
+                estimator._reselect()
+        else:
+            self.clean_streak += cut
+            # The transition resets the detectors and rebuilds the
+            # estimator from the recent-stop window — exactly what the
+            # scalar path does after its alarm event.
+            self._on_alarm("drift")
+        staged = []
+        for j in range(limit):
+            if j == cut:
+                health = self.health.value
+                name = self.active_strategy_name
+            else:
+                health = HealthState.HEALTHY.value
+                name = names[j]
+            staged.append(
+                {
+                    "id": frames[j]["id"],
+                    "seq": frames[j]["seq"],
+                    "y": ys[j],
+                    "spec": specs[j],
+                    "health": health,
+                    "strategy": name,
+                }
+            )
+        # Remainder after an alarm: per-event under the new health.
+        for j in range(limit, k):
+            staged.append(self._stage(frames[j]))
+        return staged
+
+    def _finish_run(self, staged: list, results: list, start: int) -> None:
+        """Draw thresholds for a staged run in event order, then finish.
+
+        ``rng.uniform(size=k)`` consumes the PCG64 stream exactly like
+        ``k`` scalar ``rng.uniform()`` calls (the same fact
+        ``Strategy.draw_thresholds`` relies on), so batching the N-Rand
+        draws preserves the RNG stream bit-for-bit.  Fixed-threshold
+        specs consume nothing, and any generic spec falls back to
+        sequential draws for the whole run.
+        """
+        kinds = [item["spec"][0] for item in staged]
+        if "generic" in kinds:
+            thresholds = [self._draw_one(item["spec"]) for item in staged]
+        else:
+            n_random = sum(1 for kind in kinds if kind == "nrand")
+            uniforms = self.rng.uniform(size=n_random) if n_random else None
+            thresholds = []
+            draw = 0
+            for item in staged:
+                kind, payload = item["spec"]
+                if kind == "fixed":
+                    thresholds.append(payload)
+                else:
+                    thresholds.append(
+                        payload * math.log1p(float(uniforms[draw]) * (E - 1.0))
+                    )
+                    draw += 1
+        for j, (item, threshold) in enumerate(zip(staged, thresholds)):
+            results[start + j] = self._finish(item, threshold)
+
     # -- the deterministic apply path (live and replay) -------------------
+    #
+    # ``_apply`` is split into three legs so the batched ingest path can
+    # interleave them differently without changing a single float:
+    #
+    # * ``_stage``  — every state mutation that does NOT depend on the
+    #   drawn threshold (learning, drift, health, histories).  Consumes
+    #   no RNG, but *captures* the decision spec active at entry — the
+    #   strategy the scalar path would have drawn from.
+    # * ``_draw_one`` — consume the RNG for one staged event, exactly as
+    #   the captured strategy's ``draw_threshold`` would.
+    # * ``_finish`` — resolve the decision and account its cost.
+    #
+    # The scalar path runs stage->draw->finish per event; the batched
+    # path stages a whole run, then draws for the run in event order
+    # (one vectorized ``rng.uniform(size=k)`` when every randomized spec
+    # is N-Rand — stream-identical to k scalar draws).  Legal because
+    # no staged mutation reads the RNG and no draw reads staged state:
+    # the decision spec is fixed before the event mutates anything.
 
-    def _apply(self, record: dict) -> dict:
-        """Apply one durable event: decide, account, learn, adjudicate.
+    def _decision_spec(self):
+        """How the *next* threshold will be drawn, frozen before the
+        event's mutations: ``("fixed", x)`` for deterministic-threshold
+        strategies (no RNG), ``("nrand", B)`` for the exact N-Rand
+        closed form (one uniform), ``("generic", strategy)`` otherwise.
+        """
+        strategy = self.active_strategy
+        if isinstance(strategy, AdaptiveProposed):
+            strategy = strategy._current
+        if isinstance(strategy, DeterministicThresholdStrategy):
+            return ("fixed", strategy.threshold)
+        if type(strategy) is NRand:
+            return ("nrand", strategy.break_even)
+        return ("generic", strategy)
 
-        This is the *only* code path that mutates session state from an
-        event, used identically live and during WAL replay — which is
-        what makes recovery bit-identical.
+    def _draw_one(self, spec) -> float:
+        kind, payload = spec
+        if kind == "fixed":
+            return payload
+        if kind == "nrand":
+            # Inlined NRand.inverse_cdf(rng.uniform()): math.log1p, not
+            # np.log1p — they can differ by 1 ulp and the batched path
+            # must reproduce the scalar stream bit-for-bit.
+            u = self.rng.uniform()
+            return payload * math.log1p(float(u) * (E - 1.0))
+        return payload.draw_threshold(self.rng)
+
+    def _stage(self, record: dict) -> dict:
+        """Mutate all threshold-independent state for one durable event.
+
+        Returns the staged event: identity, the frozen decision spec,
+        and the post-event health/strategy labels the decision dict
+        reports.
         """
         stop_length = float(record["y"])
-        threshold = self.active_strategy.draw_threshold(self.rng)
-        decision = self._controller.apply(stop_length, threshold)
+        spec = self._decision_spec()
         self.applied = int(record["seq"])
-        self.total_cost += decision.total_cost(self.config.break_even)
         self.last_timestamp = float(record["t"])
         self._remember_id(str(record["id"]))
         self._recent_stops.append(stop_length)
@@ -356,16 +687,42 @@ class AdvisorSession:
         else:
             self._on_clean()
         return {
-            "vehicle": self.vehicle_id,
             "id": str(record["id"]),
             "seq": self.applied,
-            "threshold": decision.threshold,
-            "idle_seconds": decision.idle_seconds,
-            "restarted": decision.restarted,
-            "cost": decision.total_cost(self.config.break_even),
+            "y": stop_length,
+            "spec": spec,
             "health": self.health.value,
             "strategy": self.active_strategy_name,
         }
+
+    def _finish(self, staged: dict, threshold: float) -> dict:
+        """Resolve one staged event against its drawn threshold."""
+        decision = self._controller.apply(staged["y"], threshold)
+        cost = decision.total_cost(self.config.break_even)
+        self.total_cost += cost
+        return {
+            "vehicle": self.vehicle_id,
+            "id": staged["id"],
+            "seq": staged["seq"],
+            "threshold": decision.threshold,
+            "idle_seconds": decision.idle_seconds,
+            "restarted": decision.restarted,
+            "cost": cost,
+            "health": staged["health"],
+            "strategy": staged["strategy"],
+        }
+
+    def _apply(self, record: dict) -> dict:
+        """Apply one durable event: decide, account, learn, adjudicate.
+
+        This is the *only* code path that mutates session state from an
+        event, used identically live and during WAL replay — which is
+        what makes recovery bit-identical.  (The batched path is pinned
+        to it by the equivalence harness; WAL replay itself always runs
+        per event through here.)
+        """
+        staged = self._stage(record)
+        return self._finish(staged, self._draw_one(staged["spec"]))
 
     def _remember_id(self, event_id: str) -> None:
         if len(self._recent_ids) == self._recent_ids.maxlen:
@@ -410,6 +767,7 @@ class AdvisorSession:
         self.clean_streak = 0
         self.drift.reset()
         self.transitions.append(record)
+        self._transitions_seen += 1
         if to is HealthState.DEGRADED:
             self._rebuild_estimator(
                 self.config.degraded_decay, self.config.degraded_window
@@ -532,17 +890,85 @@ class AdvisorSession:
         if replayed or snapshot is None or self._wal.tail_torn:
             self.compact()
 
-    def compact(self) -> None:
+    def compact(self, *, delta: bool = False) -> None:
         """Publish a snapshot, then atomically reset the WAL.
 
         Ordering matters: the snapshot lands first, so a crash between
         the two steps leaves WAL records whose ``seq`` the snapshot
         already covers — replay skips them by the seq filter.
+
+        ``delta=True`` (the batched path) publishes a delta overlay
+        against the last full snapshot when one exists and the overlay
+        would actually be smaller — the scalar fields plus only the
+        items appended to the bounded histories since the full base.
+        Falls back to a full snapshot otherwise.
         """
         if self._snapshots is None:
             return
+        if delta and self._try_delta_compact():
+            self._wal.reset()
+            return
         self._snapshots.save(self.applied, self.to_state())
+        self._delta_base = {
+            "applied": self.applied,
+            "transitions": self._transitions_seen,
+        }
         self._wal.reset()
+
+    def _try_delta_compact(self) -> bool:
+        """Publish a delta snapshot if profitable; False to go full.
+
+        Correct because every applied event appends exactly one entry to
+        ``recent_stops`` and ``recent_ids``: the items appended since
+        the full base are the last ``applied - base_applied`` of each
+        (capped by the deque bound — the restore path re-trims), and
+        transitions are counted by the monotone ``_transitions_seen``.
+
+        Profitability is bounded: a delta's bulk is the appended id/stop
+        history, which grows linearly with distance from the full base,
+        so past ``_DELTA_REBASE`` appended events (or the dedup window,
+        whichever is smaller) a full snapshot re-bases instead — the
+        amortized bytes-per-event of the snapshot stream stays O(1).
+        """
+        base = self._delta_base
+        if base is None:
+            return False
+        appended = self.applied - base["applied"]
+        if appended <= 0 or appended >= min(
+            self.config.dedup_window, _DELTA_REBASE
+        ):
+            return False
+        changed = {
+            "applied": self.applied,
+            "total_cost": self.total_cost,
+            "health": self.health.value,
+            "clean_streak": self.clean_streak,
+            "bad_streak": self.bad_streak,
+            "duplicates": self.duplicates,
+            "rejected": self.rejected,
+            "last_timestamp": self.last_timestamp,
+            "estimator": self.estimator.to_state(),
+            "rng": self.rng.bit_generator.state,
+            "drift": self.drift.to_state(),
+        }
+        new_transitions = self._transitions_seen - base["transitions"]
+        appended_lists = {
+            "recent_stops": list(self._recent_stops)[
+                -min(appended, self.config.recent_window):
+            ],
+            "recent_ids": list(self._recent_ids)[
+                -min(appended, self.config.dedup_window):
+            ],
+            "transitions": (
+                list(self.transitions)[-min(new_transitions, TRANSITION_HISTORY):]
+                if new_transitions > 0
+                else []
+            ),
+        }
+        self._snapshots.save_delta(
+            self.applied, base["applied"], changed, appended_lists
+        )
+        return True
 
     # -- observability ----------------------------------------------------
 

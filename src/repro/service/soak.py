@@ -98,12 +98,16 @@ def run_stream(
     policy: str = "repair",
     injector: FaultInjector | None = None,
     ledger_path: str | Path | None = None,
+    batch: int = 1,
 ) -> SoakResult:
     """Serve ``events`` into ``state_dir`` (recovering any prior state).
 
     ``injector`` is consulted with the global event index before each
     event — a ``"kill"`` fault SIGKILLs the process right there, which
-    is the whole point.
+    is the whole point.  ``batch > 1`` serves through the columnar
+    ``process_batch`` path in chunks of that size; the injector is still
+    consulted per event index (before the chunk applies), so a kill can
+    land mid-plan and tear a group-commit.
     """
     ledger = (
         RunLedger(ledger_path, append=True) if ledger_path is not None else None
@@ -111,9 +115,9 @@ def run_stream(
     service = AdvisorService(Path(state_dir), config, policy=policy)
     if ledger is not None:
         with use_ledger(ledger):
-            _serve(service, events, injector)
+            _serve(service, events, injector, batch)
     else:
-        _serve(service, events, injector)
+        _serve(service, events, injector, batch)
     service.close()
     snapshot = service.health_snapshot()
     return SoakResult(
@@ -125,14 +129,26 @@ def run_stream(
     )
 
 
-def _serve(service: AdvisorService, events: list[dict], injector) -> None:
-    for index, record in enumerate(events):
+def _serve(
+    service: AdvisorService, events: list[dict], injector, batch: int = 1
+) -> None:
+    if batch <= 1:
+        for index, record in enumerate(events):
+            if injector is not None:
+                injector(index)
+            service.process(record)
+        return
+    for start in range(0, len(events), batch):
+        chunk = events[start : start + batch]
         if injector is not None:
-            injector(index)
-        service.process(record)
+            for index in range(start, start + len(chunk)):
+                injector(index)
+        service.process_batch(chunk)
 
 
-def _chaos_child(events, state_dir, config, policy, injector, ledger_path, out_path):
+def _chaos_child(
+    events, state_dir, config, policy, injector, ledger_path, out_path, batch
+):
     """Child-process entry: serve the stream, persist the result."""
     result = run_stream(
         events,
@@ -141,6 +157,7 @@ def _chaos_child(events, state_dir, config, policy, injector, ledger_path, out_p
         policy=policy,
         injector=injector,
         ledger_path=ledger_path,
+        batch=batch,
     )
     Path(out_path).write_text(json.dumps(result, sort_keys=True))
 
@@ -153,6 +170,7 @@ def run_chaos(
     *,
     policy: str = "repair",
     ledger_path: str | Path | None = None,
+    batch: int = 1,
 ) -> tuple[SoakResult, int]:
     """Kill/restart the service through ``kill_points``; returns the
     final completed run's result and the number of restarts taken.
@@ -178,7 +196,16 @@ def run_chaos(
         restarts += 1
         child = context.Process(
             target=_chaos_child,
-            args=(events, state_dir, config, policy, injector, ledger_path, out_path),
+            args=(
+                events,
+                state_dir,
+                config,
+                policy,
+                injector,
+                ledger_path,
+                out_path,
+                batch,
+            ),
         )
         child.start()
         child.join()
@@ -204,6 +231,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--break-even", type=float, default=28.0)
     parser.add_argument("--safe-strategy", choices=("nrand", "det"), default="nrand")
     parser.add_argument(
+        "--batch",
+        type=int,
+        default=1,
+        help="serve in columnar chunks of N events; the batched clean run "
+        "is parity-checked against the scalar clean run, and the chaos "
+        "cycle itself runs batched (kills land mid-group-commit)",
+    )
+    parser.add_argument(
         "--out", type=Path, default=Path("results/soak"), help="artifact directory"
     )
     args = parser.parse_args(argv)
@@ -223,12 +258,28 @@ def main(argv: list[str] | None = None) -> int:
     print(f"{len(events)} events over {args.vehicles} vehicles; kills at {kill_points}")
 
     clean = run_stream(events, args.out / "clean", config)
+    if args.batch > 1:
+        batched = run_stream(
+            events, args.out / "clean-batch", config, batch=args.batch
+        )
+        if (
+            batched["fleet_cost"] != clean["fleet_cost"]
+            or batched["digests"] != clean["digests"]
+        ):
+            print(
+                f"PARITY FAILED: batched clean run (--batch {args.batch}) "
+                "differs from the scalar clean run",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"batched clean run (--batch {args.batch}) matches scalar")
     chaos, restarts = run_chaos(
         events,
         args.out / "chaos",
         config,
         kill_points,
         ledger_path=args.out / "chaos-ledger.jsonl",
+        batch=args.batch,
     )
     print(f"clean fleet cost: {clean['fleet_cost']!r}")
     print(f"chaos fleet cost: {chaos['fleet_cost']!r} ({restarts} restart(s))")
@@ -238,6 +289,7 @@ def main(argv: list[str] | None = None) -> int:
         json.dumps(
             {
                 "config": asdict(config),
+                "batch": args.batch,
                 "kill_points": kill_points,
                 "restarts": restarts,
                 "clean": clean,

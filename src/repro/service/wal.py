@@ -27,6 +27,7 @@ records in the log, and replay skips them.
 from __future__ import annotations
 
 import json
+import math
 import os
 import zlib
 from pathlib import Path
@@ -41,8 +42,44 @@ class WalCorruptionError(ReproError, RuntimeError):
     final record — real corruption, not a torn tail."""
 
 
+def _event_body(payload: dict) -> str | None:
+    """Hand-rolled serializer for the hot stop-event frame shape.
+
+    Byte-identical to ``json.dumps(payload, sort_keys=True)`` for a
+    plain ``{"id": str, "seq": int, "t": float, "y": float}`` record
+    (Python's ``repr`` of a finite float IS the json float form, and
+    the string field still goes through ``json.dumps`` for escaping);
+    returns None for any other shape so the general encoder handles it.
+    ``test_service_wal.py`` pins the byte identity.
+    """
+    if len(payload) != 4:
+        return None
+    try:
+        event_id = payload["id"]
+        seq = payload["seq"]
+        timestamp = payload["t"]
+        stop_length = payload["y"]
+    except KeyError:
+        return None
+    if (
+        type(event_id) is not str
+        or type(seq) is not int
+        or type(timestamp) is not float
+        or type(stop_length) is not float
+        or not math.isfinite(timestamp)
+        or not math.isfinite(stop_length)
+    ):
+        return None
+    return (
+        f'{{"id": {json.dumps(event_id)}, "seq": {seq}, '
+        f'"t": {timestamp!r}, "y": {stop_length!r}}}'
+    )
+
+
 def _frame(payload: dict) -> str:
-    body = json.dumps(payload, sort_keys=True, allow_nan=False)
+    body = _event_body(payload)
+    if body is None:
+        body = json.dumps(payload, sort_keys=True, allow_nan=False)
     return f"{zlib.crc32(body.encode()):08x} {body}"
 
 
@@ -103,6 +140,41 @@ class WriteAheadLog:
             if self.fsync:
                 os.fsync(handle.fileno())
 
+    def append_many(self, records: list[dict]) -> None:
+        """Group-commit: durably append a batch with ONE write + flush
+        (+ at most one fsync), instead of one syscall round-trip per
+        record.
+
+        The frames are concatenated into a single buffer before the
+        write, so a kill mid-commit tears the file at some byte offset
+        of that buffer: replay then recovers exactly the complete
+        leading frames — a *prefix* of the batch, never a frame from the
+        middle without its predecessors.  (POSIX does not promise a
+        single ``write`` is atomic, but it does append sequentially;
+        the prefix property is all recovery needs, and the torn-anywhere
+        Hypothesis property in ``tests/test_service_wal.py`` pins it.)
+        """
+        if not records:
+            return
+        with open(self.path, "a+b") as handle:
+            size = handle.seek(0, os.SEEK_END)
+            if size:
+                handle.seek(size - 1)
+                if handle.read(1) != b"\n":
+                    handle.seek(0)
+                    data = handle.read()
+                    cut = data.rfind(b"\n") + 1
+                    tail = data[cut:].decode(errors="replace")
+                    if _unframe(tail) is not None:
+                        handle.write(b"\n")
+                    else:
+                        handle.truncate(cut)
+            buffer = "".join(_frame(record) + "\n" for record in records)
+            handle.write(buffer.encode())
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+
     def replay(self) -> list[dict]:
         """All intact records, in order.
 
@@ -144,37 +216,110 @@ class WriteAheadLog:
 
 
 class SnapshotStore:
-    """Atomic single-file snapshot of one session's full state."""
+    """Atomic snapshot of one session's full state, plus delta overlays.
+
+    A full snapshot (``snapshot.json``) is the complete serialized
+    state.  Between full snapshots a compaction may instead publish a
+    **delta** sidecar (``snapshot.json.delta``): the scalar fields that
+    changed plus the items *appended* to the bounded history lists since
+    the full base — typically 10-50x smaller than a full snapshot whose
+    bulk is the dedup window.  Both files are published atomically, and
+    the delta names the full snapshot it extends (``base_seq``): a delta
+    left behind by a crash whose base has since moved is stale and
+    ignored, never half-applied.  Base seqs cannot collide: a delta at
+    ``seq`` proves the session durably reached ``seq``, and applied
+    counts never move backwards, so no later full snapshot can reuse the
+    delta's smaller ``base_seq``.
+    """
 
     def __init__(self, path: str | Path, *, fsync: bool = False) -> None:
         self.path = Path(path)
+        self.delta_path = self.path.with_name(self.path.name + ".delta")
         self.fsync = bool(fsync)
         self.path.parent.mkdir(parents=True, exist_ok=True)
 
-    def save(self, seq: int, state: dict) -> None:
-        """Publish ``state`` as the snapshot after ``seq`` applied events."""
-        body = json.dumps(
-            {"seq": int(seq), "state": state}, sort_keys=True, allow_nan=False
-        )
+    def _publish(self, path: Path, body: str) -> None:
         payload = f"{zlib.crc32(body.encode()):08x} {body}"
-        tmp = self.path.with_name(self.path.name + f".tmp{os.getpid()}")
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
         with open(tmp, "w") as handle:
             handle.write(payload)
             handle.flush()
             if self.fsync:
                 os.fsync(handle.fileno())
-        os.replace(tmp, self.path)
+        os.replace(tmp, path)
+
+    def save(self, seq: int, state: dict) -> None:
+        """Publish ``state`` as the full snapshot after ``seq`` events.
+
+        Any delta sidecar is deleted afterwards: it extended the
+        *previous* full snapshot.  A crash between the two steps leaves
+        a stale delta whose ``base_seq`` no longer matches — ignored on
+        load and cleaned up by the next full save.
+        """
+        body = json.dumps(
+            {"seq": int(seq), "state": state}, sort_keys=True, allow_nan=False
+        )
+        self._publish(self.path, body)
+        try:
+            os.unlink(self.delta_path)
+        except FileNotFoundError:
+            pass
+
+    def save_delta(
+        self, seq: int, base_seq: int, changed: dict, appended: dict
+    ) -> None:
+        """Publish a delta: ``changed`` fields replace the base's,
+        ``appended`` lists extend them (bounded histories re-trim on
+        load).  Always cumulative against the *full* base, so rewriting
+        the one sidecar file supersedes the previous delta."""
+        body = json.dumps(
+            {
+                "seq": int(seq),
+                "base_seq": int(base_seq),
+                "set": changed,
+                "append": appended,
+            },
+            sort_keys=True,
+            allow_nan=False,
+        )
+        self._publish(self.delta_path, body)
+
+    def _load_delta(self) -> dict | None:
+        if not self.delta_path.exists():
+            return None
+        payload = _unframe(self.delta_path.read_text().strip())
+        if (
+            payload is None
+            or "seq" not in payload
+            or "base_seq" not in payload
+            or "set" not in payload
+            or "append" not in payload
+        ):
+            raise WalCorruptionError(
+                f"{self.delta_path}: snapshot delta failed its CRC check"
+            )
+        return payload
 
     def load(self) -> tuple[int, dict] | None:
         """The latest snapshot as ``(seq, state)``, or None if absent.
 
-        The CRC guards against at-rest corruption; because publication
-        is atomic, a bad frame here is never a torn write and always
-        raises.
+        A valid delta whose ``base_seq`` matches the full snapshot is
+        merged in (appended list items are concatenated; the session's
+        bounded deques re-trim them on restore).  The CRCs guard against
+        at-rest corruption; because publication is atomic, a bad frame
+        here is never a torn write and always raises.
         """
         if not self.path.exists():
             return None
         payload = _unframe(self.path.read_text().strip())
         if payload is None or "seq" not in payload or "state" not in payload:
             raise WalCorruptionError(f"{self.path}: snapshot failed its CRC check")
-        return int(payload["seq"]), payload["state"]
+        seq, state = int(payload["seq"]), payload["state"]
+        delta = self._load_delta()
+        if delta is not None and int(delta["base_seq"]) == seq:
+            state = dict(state)
+            state.update(delta["set"])
+            for key, items in delta["append"].items():
+                state[key] = list(state.get(key, [])) + list(items)
+            seq = int(delta["seq"])
+        return seq, state

@@ -28,13 +28,17 @@ from repro.core.analysis import empirical_cr
 from repro.core.brand import BRand
 from repro.core.constrained import ConstrainedSkiRentalSolver
 from repro.core.kernels import (
+    VERTEX_NAMES,
     PrefixSumSample,
     bootstrap_cr_samples,
     bootstrap_resample_indices,
     empirical_cr_kernel,
     quantile_pair,
+    select_vertices,
     strategy_cost,
 )
+from repro.core.stats import StopStatistics
+from repro.errors import DegenerateStatisticsError
 from repro.core.randomized import MOMRand, NRand
 from repro.core.strategy import Atom, MixedStrategy
 from repro.evaluation.batch import StrategyPlan, select_vertex
@@ -142,6 +146,80 @@ class TestPrefixSumCR:
             assert b_star == pytest.approx(selection.chosen.parameters["b"], rel=1e-12)
         else:
             assert b_star is None
+
+
+class TestSelectVerticesBatched:
+    """The array-shaped ``select_vertices`` vs the scalar solver —
+    choices AND produced floats, including the degenerate fallback the
+    batched serving path leans on."""
+
+    @staticmethod
+    def _scalar(mu, q, b):
+        """(code, threshold) the scalar session path would produce."""
+        try:
+            selection = ConstrainedSkiRentalSolver(
+                StopStatistics(mu_b_minus=mu, q_b_plus=q, break_even=b)
+            ).select()
+        except DegenerateStatisticsError:
+            return 3, math.nan  # estimator falls back to NRand(B)
+        code = VERTEX_NAMES.index(selection.name)
+        if selection.name == "TOI":
+            return code, 0.0
+        if selection.name == "DET":
+            return code, b
+        if selection.name == "b-DET":
+            return code, selection.chosen.parameters["b"]
+        return code, math.nan
+
+    @given(stats=feasible_statistics(allow_degenerate=True))
+    @settings(max_examples=150, deadline=None)
+    def test_matches_solver_bit_exactly(self, stats):
+        codes, thresholds = select_vertices(
+            [stats.mu_b_minus], [stats.q_b_plus], stats.break_even
+        )
+        expected_code, expected_threshold = self._scalar(
+            stats.mu_b_minus, stats.q_b_plus, stats.break_even
+        )
+        assert int(codes[0]) == expected_code
+        if math.isnan(expected_threshold):
+            assert math.isnan(thresholds[0])
+        else:
+            # Bit-exact, not approx: the batched serving path replays
+            # these floats through the same downstream arithmetic.
+            assert float(thresholds[0]) == expected_threshold
+
+    @given(
+        b=break_evens,
+        rows=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1.0),  # mu fraction
+                st.floats(min_value=0.0, max_value=1.0),  # q
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_whole_array_matches_elementwise(self, b, rows):
+        mu = np.array([fraction * (1.0 - q) * b for fraction, q in rows])
+        q = np.array([q for _, q in rows])
+        codes, thresholds = select_vertices(mu, q, b)
+        for index in range(len(rows)):
+            expected_code, expected_threshold = self._scalar(
+                float(mu[index]), float(q[index]), b
+            )
+            assert int(codes[index]) == expected_code, index
+            if math.isnan(expected_threshold):
+                assert math.isnan(thresholds[index]), index
+            else:
+                assert float(thresholds[index]) == expected_threshold, index
+
+    def test_invalid_break_even_rejected(self):
+        from repro.errors import InvalidParameterError
+
+        for bad in (0.0, -1.0, math.inf, math.nan):
+            with pytest.raises(InvalidParameterError):
+                select_vertices([1.0], [0.5], bad)
 
 
 class TestBootstrapSameStream:

@@ -98,6 +98,89 @@ class TestServe:
         assert "error:" in capsys.readouterr().err
 
 
+class TestServeBatch:
+    @pytest.mark.parametrize("value", ["0", "-3"])
+    def test_bad_batch_value_is_usage_error(self, value, events_file, tmp_path, capsys):
+        assert main([
+            "serve", str(events_file),
+            "--state-dir", str(tmp_path / "state"),
+            "--batch", value,
+        ]) == 2
+        assert f"--batch must be >= 1, got {value}" in capsys.readouterr().err
+
+    def test_non_integer_batch_is_rejected_by_argparse(self, events_file, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "serve", str(events_file),
+                "--state-dir", str(tmp_path / "state"),
+                "--batch", "many",
+            ])
+        assert excinfo.value.code == 2
+
+    def _summary(self, events_file, tmp_path, capsys, extra):
+        state_dir = tmp_path / "state" / ("batch-" + extra[-1] if extra else "scalar")
+        assert main([
+            "serve", str(events_file), "--state-dir", str(state_dir),
+        ] + extra) == 0
+        return capsys.readouterr().out
+
+    def test_batch_output_matches_scalar(self, events_file, tmp_path, capsys):
+        scalar = self._summary(events_file, tmp_path, capsys, [])
+        batched = self._summary(events_file, tmp_path, capsys, ["--batch", "7"])
+        pick = lambda text: [
+            line for line in text.splitlines()
+            if line.startswith(("fleet cost:", "ingestion:"))
+            or line.lstrip().startswith(("v-", "veh"))
+        ]
+        assert pick(batched) == pick(scalar)
+        assert "batched:" in batched
+        assert "batched:" not in scalar
+
+    def test_batch_of_one_prints_no_batch_line(self, events_file, tmp_path, capsys):
+        scalar = self._summary(events_file, tmp_path, capsys, [])
+        one = self._summary(events_file, tmp_path, capsys, ["--batch", "1"])
+        assert "batched:" not in one
+        assert [l for l in one.splitlines() if "fleet cost" in l] == [
+            l for l in scalar.splitlines() if "fleet cost" in l
+        ]
+
+    def test_health_snapshot_reports_batch_throughput(
+        self, events_file, tmp_path, capsys
+    ):
+        health = tmp_path / "health.json"
+        assert main([
+            "serve", str(events_file),
+            "--state-dir", str(tmp_path / "state"),
+            "--health", str(health),
+            "--batch", "10",
+        ]) == 0
+        batch = json.loads(health.read_text())["ingest"]["batch"]
+        # 24 events in chunks of 10 -> 3 chunks.
+        assert batch["chunks"] == 3
+        assert batch["events"] == 24
+        assert batch["wall_s"] > 0.0
+        assert batch["events_per_s"] > 0.0
+        out = capsys.readouterr().out
+        assert "batched:     3 chunk(s) of <= 10, 24 event(s)" in out
+
+    def test_batch_mode_with_fsync_and_restart_dedups(
+        self, events_file, tmp_path, capsys
+    ):
+        state_dir = tmp_path / "state"
+        args = [
+            "serve", str(events_file),
+            "--state-dir", str(state_dir),
+            "--fsync", "--batch", "8",
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        cost = [l for l in first.splitlines() if "fleet cost" in l]
+        assert cost == [l for l in second.splitlines() if "fleet cost" in l]
+        assert "24 duplicate(s)" in second
+
+
 class TestLedgerSummary:
     def test_truncated_final_line_is_tolerated(self, tmp_path, capsys):
         path = tmp_path / "ledger.jsonl"

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import InvalidParameterError
 from repro.service.drift import DriftDetector, PageHinkley
@@ -114,6 +116,90 @@ class TestSerialization:
             detector.update(float(value), value >= 28.0)
         restored = DriftDetector.from_state(detector.to_state())
         assert restored.to_state() == detector.to_state()
+
+
+class TestBatchedUpdates:
+    """Regression: the min_count calibration window counts OBSERVATIONS,
+    so verdicts and detector state must be invariant to how the stream
+    is split into batches — including splits that land inside the
+    calibration window (the original bug's trigger)."""
+
+    @st.composite
+    def _stream_and_splits(draw):
+        seed = draw(st.integers(min_value=0, max_value=2**16))
+        n = draw(st.integers(min_value=1, max_value=120))
+        rng = np.random.default_rng(seed)
+        # A mid-stream shift so alarms actually fire in-range.
+        values = np.concatenate(
+            [rng.normal(30, 5, n), rng.normal(90, 5, n)]
+        ).tolist()
+        sizes = draw(
+            st.lists(st.integers(min_value=1, max_value=23), min_size=1, max_size=6)
+        )
+        return values, sizes
+
+    @staticmethod
+    def _batches(values, sizes):
+        position = 0
+        index = 0
+        while position < len(values):
+            size = sizes[index % len(sizes)]
+            yield values[position : position + size]
+            position += size
+            index += 1
+
+    @given(_stream_and_splits())
+    @settings(max_examples=50, deadline=None)
+    def test_update_many_is_split_invariant(self, case):
+        values, sizes = case
+        scalar = PageHinkley(DELTA, THRESHOLD, min_count=7)
+        scalar_alarms = [scalar.update(float(v)) for v in values]
+        batched = PageHinkley(DELTA, THRESHOLD, min_count=7)
+        batched_alarms = []
+        for batch in self._batches(values, sizes):
+            batched_alarms.extend(batched.update_many(batch).tolist())
+        assert batched_alarms == scalar_alarms
+        assert batched.to_state() == scalar.to_state()
+
+    @given(_stream_and_splits())
+    @settings(max_examples=30, deadline=None)
+    def test_drift_detector_update_many_is_split_invariant(self, case):
+        values, sizes = case
+        kwargs = dict(
+            length_delta=DELTA,
+            length_threshold=THRESHOLD,
+            split_delta=DELTA,
+            split_threshold=THRESHOLD,
+            min_count=5,
+        )
+        scalar = DriftDetector(**kwargs)
+        scalar_alarms = [scalar.update(float(v), v >= 28.0) for v in values]
+        batched = DriftDetector(**kwargs)
+        batched_alarms = []
+        for batch in self._batches(values, sizes):
+            batched_alarms.extend(
+                batched.update_many(batch, [v >= 28.0 for v in batch]).tolist()
+            )
+        assert batched_alarms == scalar_alarms
+        assert batched.to_state() == scalar.to_state()
+
+    def test_split_inside_calibration_window_counts_identically(self):
+        # The pointed regression: batch boundaries straddling min_count.
+        values = [float(v) for v in range(1, 30)]
+        for split in range(len(values) + 1):
+            scalar = PageHinkley(DELTA, THRESHOLD, min_count=10)
+            expected = [scalar.update(v) for v in values]
+            batched = PageHinkley(DELTA, THRESHOLD, min_count=10)
+            got = batched.update_many(values[:split]).tolist()
+            got += batched.update_many(values[split:]).tolist()
+            assert got == expected
+            assert batched.to_state() == scalar.to_state()
+
+    def test_update_many_empty_batch_is_a_no_op(self):
+        detector = PageHinkley(DELTA, THRESHOLD)
+        before = detector.to_state()
+        assert detector.update_many([]).tolist() == []
+        assert detector.to_state() == before
 
 
 class TestSplitDetector:

@@ -4,11 +4,14 @@ import json
 import zlib
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.service.wal import (
     SnapshotStore,
     WalCorruptionError,
     WriteAheadLog,
+    _event_body,
     _frame,
     _unframe,
 )
@@ -36,6 +39,37 @@ class TestFraming:
         body = json.dumps([1, 2, 3])
         line = f"{zlib.crc32(body.encode()):08x} {body}"
         assert _unframe(line) is None
+
+    @given(
+        st.text(min_size=1, max_size=40),
+        st.integers(min_value=0, max_value=2**62),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.floats(allow_nan=False, allow_infinity=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_event_body_matches_json_dumps_byte_for_byte(
+        self, event_id, seq, timestamp, stop_length
+    ):
+        # The hot-path serializer must be indistinguishable from the
+        # general encoder for the stop-event frame shape — including
+        # ids needing escaping and floats with awkward reprs.
+        payload = {"id": event_id, "seq": seq, "t": timestamp, "y": stop_length}
+        assert _event_body(payload) == json.dumps(payload, sort_keys=True)
+
+    def test_event_body_defers_other_shapes(self):
+        base = {"id": "e-1", "seq": 2, "t": 1.5, "y": 2.5}
+        assert _event_body(base) is not None
+        for bad in (
+            {**base, "extra": 1},  # wrong arity
+            {**base, "t": 1},  # int where scalar path stored float
+            {**base, "y": float("inf")},  # non-finite
+            {**base, "id": 7},  # non-str id
+            {"a": 1, "b": 2, "c": 3, "d": 4},  # wrong keys
+        ):
+            assert _event_body(bad) is None
+            # ...and the frame still encodes them via the fallback.
+            if bad != {**base, "y": float("inf")}:
+                assert _unframe(_frame(bad)) == bad
 
 
 class TestWriteAheadLog:
@@ -121,6 +155,85 @@ class TestWriteAheadLog:
         assert wal.replay() == [{"seq": 1, "y": 2.5}]
 
 
+class TestGroupCommit:
+    def test_append_many_round_trip(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.jsonl")
+        records = [
+            {"id": f"e-{i}", "seq": i, "t": float(i), "y": i * 1.5}
+            for i in range(1, 9)
+        ]
+        wal.append_many(records)
+        assert wal.replay() == records
+
+    def test_append_many_empty_is_a_no_op(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        WriteAheadLog(path).append_many([])
+        assert not path.exists()
+
+    def test_append_many_matches_append_byte_for_byte(self, tmp_path):
+        records = [{"id": f"e-{i}", "seq": i, "t": float(i), "y": 2.0} for i in range(5)]
+        one = WriteAheadLog(tmp_path / "one.jsonl")
+        for record in records:
+            one.append(record)
+        many = WriteAheadLog(tmp_path / "many.jsonl")
+        many.append_many(records)
+        assert (tmp_path / "many.jsonl").read_bytes() == (
+            tmp_path / "one.jsonl"
+        ).read_bytes()
+
+    def test_append_many_heals_a_torn_tail_first(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path)
+        wal.append({"seq": 1})
+        with open(path, "a") as handle:
+            handle.write(_frame({"seq": 2})[:12])
+        wal.append_many([{"seq": 3}, {"seq": 4}])
+        assert wal.replay() == [{"seq": 1}, {"seq": 3}, {"seq": 4}]
+
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_torn_anywhere_recovers_a_prefix(self, n, cut_seed, preexisting):
+        # Satellite guarantee: a kill at ANY byte offset of a group
+        # commit leaves the log replaying to a PREFIX of (prior records
+        # + the batch) — never a mid-batch record without its
+        # predecessors, never garbage.  The next append then heals the
+        # torn bytes.
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "wal.jsonl"
+            wal = WriteAheadLog(path)
+            prior = [{"id": f"p-{i}", "seq": i, "t": float(i), "y": 1.0}
+                     for i in range(preexisting)]
+            if prior:
+                wal.append_many(prior)
+            base = path.read_bytes() if path.exists() else b""
+            batch = [
+                {"id": f"b-{i}", "seq": preexisting + i, "t": float(i), "y": 2.0}
+                for i in range(n)
+            ]
+            wal.append_many(batch)
+            full = path.read_bytes()
+            appended = full[len(base):]
+            cut = cut_seed % (len(appended) + 1)
+            path.write_bytes(base + appended[:cut])
+
+            recovered = wal.replay()
+            expected_full = prior + batch
+            assert recovered == expected_full[: len(recovered)]
+            assert len(recovered) >= len(prior)
+
+            wal.append({"id": "after", "seq": 10**7, "t": 0.0, "y": 0.0})
+            assert wal.replay() == recovered + [
+                {"id": "after", "seq": 10**7, "t": 0.0, "y": 0.0}
+            ]
+
+
 class TestSnapshotStore:
     def test_save_load_round_trip(self, tmp_path):
         store = SnapshotStore(tmp_path / "snapshot.json")
@@ -146,4 +259,51 @@ class TestSnapshotStore:
         store.save(3, {"applied": 3})
         path.write_text(path.read_text()[:-5])
         with pytest.raises(WalCorruptionError, match="CRC"):
+            store.load()
+
+
+class TestSnapshotDeltas:
+    def test_delta_merges_over_its_base(self, tmp_path):
+        store = SnapshotStore(tmp_path / "snapshot.json")
+        store.save(10, {"applied": 10, "cost": 1.0, "recent": [1, 2]})
+        store.save_delta(13, 10, {"applied": 13, "cost": 4.5}, {"recent": [3, 4]})
+        assert store.load() == (
+            13,
+            {"applied": 13, "cost": 4.5, "recent": [1, 2, 3, 4]},
+        )
+
+    def test_delta_is_cumulative_not_chained(self, tmp_path):
+        # Rewriting the sidecar supersedes the previous delta entirely.
+        store = SnapshotStore(tmp_path / "snapshot.json")
+        store.save(10, {"applied": 10, "recent": [1]})
+        store.save_delta(12, 10, {"applied": 12}, {"recent": [2, 3]})
+        store.save_delta(15, 10, {"applied": 15}, {"recent": [2, 3, 4, 5]})
+        assert store.load() == (15, {"applied": 15, "recent": [1, 2, 3, 4, 5]})
+
+    def test_stale_delta_is_ignored(self, tmp_path):
+        # A crash between full-save and delta-unlink leaves a delta
+        # whose base_seq no longer matches: it must not be applied.
+        store = SnapshotStore(tmp_path / "snapshot.json")
+        store.save(10, {"applied": 10, "recent": []})
+        store.save_delta(12, 10, {"applied": 12}, {"recent": [1]})
+        delta_bytes = store.delta_path.read_bytes()
+        store.save(20, {"applied": 20, "recent": [9]})
+        store.delta_path.write_bytes(delta_bytes)  # resurrect the stale delta
+        assert store.load() == (20, {"applied": 20, "recent": [9]})
+
+    def test_full_save_unlinks_the_delta(self, tmp_path):
+        store = SnapshotStore(tmp_path / "snapshot.json")
+        store.save(10, {"applied": 10})
+        store.save_delta(12, 10, {"applied": 12}, {})
+        assert store.delta_path.exists()
+        store.save(12, {"applied": 12})
+        assert not store.delta_path.exists()
+        assert store.load() == (12, {"applied": 12})
+
+    def test_corrupt_delta_raises(self, tmp_path):
+        store = SnapshotStore(tmp_path / "snapshot.json")
+        store.save(10, {"applied": 10})
+        store.save_delta(12, 10, {"applied": 12}, {})
+        store.delta_path.write_text(store.delta_path.read_text()[:-3])
+        with pytest.raises(WalCorruptionError, match="delta"):
             store.load()
