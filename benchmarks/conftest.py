@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 import subprocess
 from pathlib import Path
 
@@ -54,6 +55,27 @@ def _git_sha() -> str:
         return "unknown"
 
 
+def host_metadata() -> dict:
+    """The host facts that make cross-machine BENCH numbers interpretable.
+
+    ``cpu_count`` is the *usable* core count (cgroup/affinity-aware
+    where the platform exposes it) — the number that decides whether a
+    multi-process scaling figure was physically achievable on the host
+    that produced it.
+    """
+    try:
+        usable = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        usable = os.cpu_count() or 1
+    return {
+        "cpu_count": usable,
+        "cpu_count_physical_hint": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+    }
+
+
 def emit_bench_json(
     records: list[dict], results_dir: Path, filename: str = "BENCH_kernels.json"
 ) -> Path:
@@ -70,6 +92,7 @@ def emit_bench_json(
         "schema": "repro-bench-v1",
         "git_sha": _git_sha(),
         "quick_mode": bool(os.environ.get("REPRO_BENCH_QUICK")),
+        "host": host_metadata(),
         "benchmarks": sorted(records, key=lambda record: record["op"]),
     }
     path = results_dir / filename

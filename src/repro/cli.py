@@ -356,6 +356,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="fsync WAL appends, snapshots and ledger events (durability "
         "against power loss, not just process death)",
     )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="sharded serving: consistent-hash-route vehicles across N "
+        "worker processes, each owning one shard of --state-dir "
+        "(see docs/serving.md 'Sharded serving')",
+    )
+    serve.add_argument(
+        "--listen",
+        default=None,
+        metavar="ADDR",
+        help="also accept JSONL over a socket: unix:PATH, HOST:PORT or "
+        ":PORT; GET /health on the same socket returns the fleet "
+        "snapshot (requires --shards; pass events '-' with no piped "
+        "stdin to serve socket-only)",
+    )
 
     ledger_cmd = sub.add_parser(
         "ledger", help="summarize a JSONL run ledger (torn-tail tolerant)"
@@ -500,11 +518,19 @@ def _cache(args) -> None:
             print("run 'repro-idling cache clear' to reclaim the space")
         if args.fault_claims is not None:
             from .engine.faults import sweep_stale_claims
+            from .service.shard import sweep_stale_shard_locks
 
             removed = sweep_stale_claims(args.fault_claims)
             print(f"fault claims:    swept {len(removed)} stale claim(s) "
                   f"from {args.fault_claims}")
             for name in removed:
+                print(f"  swept   {name}")
+            # SIGKILLed shard workers leave shard.lock files the same
+            # way crashed fault injectors leave claims; one doctor pass
+            # sweeps both (live-pid locks are kept).
+            locks = sweep_stale_shard_locks(args.fault_claims)
+            print(f"shard locks:     swept {len(locks)} stale lock(s)")
+            for name in locks:
                 print(f"  swept   {name}")
     else:
         entries = cache.entries()
@@ -762,6 +788,12 @@ def _serve(args) -> int:
     if args.batch < 1:
         print(f"error: --batch must be >= 1, got {args.batch}", file=sys.stderr)
         return 2
+    if args.shards is not None and args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
+    if args.listen is not None and args.shards is None:
+        print("error: --listen requires --shards N", file=sys.stderr)
+        return 2
     _warn_break_even(args.break_even)
     config_kwargs = dict(
         break_even=args.break_even,
@@ -771,6 +803,8 @@ def _serve(args) -> int:
     if args.seed is not None:
         config_kwargs["seed"] = args.seed
     config = SessionConfig(**config_kwargs)
+    if args.shards is not None:
+        return _serve_sharded(args, config)
     ledger = (
         RunLedger(args.ledger, fsync=args.fsync, append=True)
         if args.ledger is not None
@@ -847,6 +881,115 @@ def _serve(args) -> int:
     print(format_table(
         ("vehicle", "health", "strategy", "applied", "cost", "transitions"), rows
     ))
+    if args.health is not None:
+        args.health.parent.mkdir(parents=True, exist_ok=True)
+        args.health.write_text(json.dumps(snapshot, indent=2, sort_keys=True))
+        print(f"health snapshot written to {args.health}")
+    if ledger is not None and ledger.path is not None:
+        print(f"ledger appended at {ledger.path}")
+    return 0
+
+
+def _serve_sharded(args, config) -> int:
+    """``serve --shards N``: the consistent-hash multi-process fleet.
+
+    Vehicles are routed across N worker processes (each owning one
+    shard of ``--state-dir``); ``--listen`` additionally serves JSONL +
+    ``GET /health`` over a socket through the asyncio front end.  The
+    parent's ledger (``--ledger``) carries tier events (shard restarts,
+    backpressure); each worker appends its advisor-state events to
+    ``<ledger>.shard-NN``.
+    """
+    import json
+
+    from .service.frontend import JsonlFrontend
+    from .service.shard import ShardedAdvisorService
+
+    ledger = (
+        RunLedger(args.ledger, fsync=args.fsync, append=True)
+        if args.ledger is not None
+        else None
+    )
+    # Sub-batch routing granularity: workers always take the columnar
+    # ingest path, so a --batch 1 default still ships useful chunks.
+    chunk_size = args.batch if args.batch > 1 else 1024
+
+    def _run() -> dict:
+        service = ShardedAdvisorService(
+            args.state_dir,
+            config,
+            shards=args.shards,
+            policy=args.policy,
+            fsync=args.fsync,
+            max_queue=args.max_queue,
+            ledger_path=None if args.ledger is None else str(args.ledger),
+        )
+        try:
+            if args.listen is not None:
+                import asyncio
+
+                frontend = JsonlFrontend(service, batch=chunk_size)
+                stdin = None
+                if args.events != "-":
+                    stdin = open(args.events)
+                elif not sys.stdin.isatty():
+                    stdin = sys.stdin
+                try:
+                    asyncio.run(frontend.serve(args.listen, stdin=stdin))
+                finally:
+                    if stdin is not None and stdin is not sys.stdin:
+                        stdin.close()
+            else:
+                def _pump(handle) -> None:
+                    pending: list[str] = []
+                    for line in handle:
+                        line = line.strip()
+                        if line:
+                            pending.append(line)
+                            if len(pending) >= chunk_size:
+                                service.submit_lines(pending)
+                                pending.clear()
+                    if pending:
+                        service.submit_lines(pending)
+
+                if args.events == "-":
+                    _pump(sys.stdin)
+                else:
+                    with open(args.events) as handle:
+                        _pump(handle)
+                service.drain()
+            return service.health_snapshot(include_vehicles=True)
+        finally:
+            service.close()
+
+    if ledger is not None:
+        with use_ledger(ledger):
+            snapshot = _run()
+    else:
+        snapshot = _run()
+
+    ingest = snapshot["ingest"]
+    routing = snapshot["routing"]
+    print(f"fleet cost:  {snapshot['fleet_cost']:.1f} idle-s "
+          f"over {len(snapshot['vehicles'])} vehicle(s)")
+    print(f"ingestion:   {ingest['received']} received, "
+          f"{ingest['duplicates']} duplicate(s), {ingest['rejected']} rejected, "
+          f"{ingest['malformed']} malformed, {ingest['shed']} shed")
+    print(f"sharded:     {routing['shards']} shard(s), "
+          f"{routing['dispatched_events']} event(s) routed, "
+          f"{routing['restarts']} worker restart(s), "
+          f"{routing['shed_events']} shed at the tier")
+    rows = [
+        (
+            str(row["shard"]),
+            str(row["vehicles"]),
+            f"{row['fleet_cost']:.1f}",
+            str(row.get("events_acked", "-")),
+            str(row.get("restarts", "-")),
+        )
+        for row in snapshot["shards"]
+    ]
+    print(format_table(("shard", "vehicles", "cost", "events", "restarts"), rows))
     if args.health is not None:
         args.health.parent.mkdir(parents=True, exist_ok=True)
         args.health.write_text(json.dumps(snapshot, indent=2, sort_keys=True))

@@ -54,7 +54,7 @@ from dataclasses import dataclass
 
 from ..errors import InvalidParameterError
 
-__all__ = ["Fault", "FaultInjector", "InjectedFault", "sweep_stale_claims"]
+__all__ = ["Fault", "FaultInjector", "InjectedFault", "pid_alive", "sweep_stale_claims"]
 
 _KINDS = ("raise", "hang", "kill")
 
@@ -105,6 +105,11 @@ def _pid_alive(pid: int) -> bool:
     except OSError:
         return False
     return True
+
+
+#: Public name for the dead-pid check — shared by fault-claim sweeping
+#: here and shard-lock sweeping in :mod:`repro.service.shard`.
+pid_alive = _pid_alive
 
 
 def sweep_stale_claims(state_dir) -> list[str]:

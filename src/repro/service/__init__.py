@@ -18,7 +18,12 @@ The deployed face of the paper's algorithms: per-vehicle
   bounded queue with shed-and-count backpressure
   (:mod:`repro.service.advisor`);
 * **a chaos harness** — kill/restart soak runs that pin cost parity
-  with the uninterrupted run (:mod:`repro.service.soak`).
+  with the uninterrupted run (:mod:`repro.service.soak`);
+* **horizontal scale** — consistent-hash sharding across worker
+  processes with at-least-once redelivery and bit-identical shard
+  recovery (:mod:`repro.service.shard`), fronted by a JSONL
+  socket/stdin server with a ``/health`` endpoint
+  (:mod:`repro.service.frontend`).
 
 See ``docs/serving.md`` for the state machine, the durability
 guarantees, and the degradation ladder's competitive-ratio bounds.
@@ -29,19 +34,32 @@ guarantees, and the degradation ladder's competitive-ratio bounds.
 # package __init__ would shadow that execution (runpy warns).
 from .advisor import AdvisorService, parse_event_line
 from .drift import DriftDetector, PageHinkley
+from .frontend import JsonlFrontend, parse_listen
 from .session import AdvisorSession, HealthState, SessionConfig, vehicle_seed
+from .shard import (
+    HashRing,
+    ShardedAdvisorService,
+    ShardLockError,
+    sweep_stale_shard_locks,
+)
 from .wal import SnapshotStore, WalCorruptionError, WriteAheadLog
 
 __all__ = [
     "AdvisorService",
     "AdvisorSession",
     "DriftDetector",
+    "HashRing",
     "HealthState",
+    "JsonlFrontend",
     "PageHinkley",
     "SessionConfig",
+    "ShardLockError",
+    "ShardedAdvisorService",
     "SnapshotStore",
     "WalCorruptionError",
     "WriteAheadLog",
     "parse_event_line",
+    "parse_listen",
+    "sweep_stale_shard_locks",
     "vehicle_seed",
 ]

@@ -35,12 +35,18 @@ import time
 from collections import deque
 from pathlib import Path
 
+from ..engine.ledger import active_ledger
 from ..validation import CsvQuarantineWriter, PolicyEnforcer, ValidationReport
 from ..validation.schemas import stop_event_findings
 from .batch import MalformedEvent, plan_chunk
 from .session import AdvisorSession, SessionConfig
 
 __all__ = ["AdvisorService", "parse_event_line"]
+
+#: Backpressure ledger warnings fire on the first shed event and at
+#: every multiple of this — loud enough to see overload in the run
+#: ledger, quiet enough not to amplify it.
+_SHED_WARN_EVERY = 1000
 
 _UNSAFE_CHARS = re.compile(r"[^A-Za-z0-9._-]")
 
@@ -151,10 +157,27 @@ class AdvisorService:
     # -- ingestion --------------------------------------------------------
 
     def offer(self, record) -> bool:
-        """Enqueue one raw event; False when it was shed (queue full)."""
+        """Enqueue one raw event; False when it was shed (queue full).
+
+        Shedding is counted (health snapshot) *and* surfaced as a
+        rate-limited ``advisor-backpressure`` run-ledger warning — on
+        the first shed event and every `_SHED_WARN_EVERY`th thereafter —
+        so fleet operators see overload in the ledger, not just in a
+        counter they would have to poll.
+        """
         self.received += 1
         if len(self._queue) >= self.max_queue:
             self.shed += 1
+            if self.shed == 1 or self.shed % _SHED_WARN_EVERY == 0:
+                ledger = active_ledger()
+                if ledger is not None:
+                    ledger.emit(
+                        "advisor-backpressure",
+                        tier="service",
+                        shed=self.shed,
+                        received=self.received,
+                        max_queue=self.max_queue,
+                    )
             return False
         self._queue.append(record)
         return True
@@ -303,15 +326,33 @@ class AdvisorService:
 
     @property
     def fleet_cost(self) -> float:
-        """Total realized cost (idle-seconds units) across all sessions."""
-        return sum(session.total_cost for session in self.sessions.values())
+        """Total realized cost (idle-seconds units) across all sessions.
 
-    def health_snapshot(self) -> dict:
-        """Operator-facing service view: fleet totals + per-vehicle state."""
-        vehicles = {
-            vehicle_id: session.health_snapshot()
-            for vehicle_id, session in sorted(self.sessions.items())
-        }
+        Summed in sorted-vehicle order: float addition is not
+        associative, and a canonical order makes the total
+        bit-reproducible no matter how sessions were created — the
+        sharded tier's aggregated snapshot sums the same sequence.
+        """
+        return sum(
+            self.sessions[vehicle].total_cost for vehicle in sorted(self.sessions)
+        )
+
+    def health_snapshot(self, include_vehicles: bool = True) -> dict:
+        """Operator-facing service view: fleet totals + per-vehicle state.
+
+        ``include_vehicles=False`` keeps the same schema but leaves the
+        ``vehicles`` map empty — the sharded tier aggregates snapshots
+        across workers, where a 100k-vehicle per-session map would make
+        every ``/health`` poll cost megabytes of pickled payload.
+        """
+        vehicles = (
+            {
+                vehicle_id: session.health_snapshot()
+                for vehicle_id, session in sorted(self.sessions.items())
+            }
+            if include_vehicles
+            else {}
+        )
         return {
             "fleet_cost": self.fleet_cost,
             "vehicles": vehicles,

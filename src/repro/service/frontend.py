@@ -1,0 +1,248 @@
+"""Asyncio JSONL front end for the sharded advisor fleet.
+
+:class:`JsonlFrontend` puts a network face on
+:class:`~repro.service.shard.ShardedAdvisorService`: clients stream
+JSONL stop events over a Unix or TCP socket (or the process's stdin)
+and receive one JSON decision — or ``null`` for malformed/dropped
+records — per line, in input order.  The same socket speaks just enough
+HTTP for ``GET /health``: a plain ``curl`` gets the aggregated fleet
+snapshot as JSON, no extra port or dependency.
+
+The event loop only routes bytes; all advisor work happens in the shard
+worker processes (reached through ``asyncio.to_thread`` so a slow fleet
+never blocks accepting connections).  Reads are micro-batched: lines
+already buffered on a connection — plus anything arriving within a
+short linger — are routed as one chunk, so a client that streams fast
+gets the columnar batch path for free while a drip-feeding client still
+sees per-event latency close to the linger bound.
+
+``SIGTERM``/``SIGINT`` trigger graceful drain: stop accepting, let
+in-flight requests finish, then ``service.close()`` — every shard
+flushes WAL + final snapshots before the process exits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+import sys
+
+from ..errors import InvalidParameterError
+
+__all__ = ["JsonlFrontend", "parse_listen"]
+
+#: Seconds to wait for more buffered lines before routing a chunk.
+_LINGER_S = 0.005
+#: Max lines routed as one chunk (bounds per-request latency and memory).
+_MICRO_BATCH = 256
+#: Bound on one JSONL line / HTTP request line.
+_LINE_LIMIT = 1 << 20
+
+
+def parse_listen(address: str) -> tuple:
+    """Parse a ``--listen`` spec into ``("unix", path)`` or ``("tcp", host, port)``.
+
+    Accepted forms::
+
+        unix:/run/advisor.sock      explicit unix socket
+        ./advisor.sock              bare path (contains a '/')
+        tcp:127.0.0.1:8765          explicit tcp
+        127.0.0.1:8765              host:port
+        :8765                       all-defaults host (127.0.0.1)
+    """
+    address = address.strip()
+    if not address:
+        raise InvalidParameterError("empty --listen address")
+    if address.startswith("unix:"):
+        path = address[len("unix:"):]
+        if not path:
+            raise InvalidParameterError(f"no socket path in {address!r}")
+        return ("unix", path)
+    if address.startswith("tcp:"):
+        address = address[len("tcp:"):]
+    elif "/" in address:
+        return ("unix", address)
+    host, separator, port = address.rpartition(":")
+    if not separator or not port.isdigit():
+        raise InvalidParameterError(
+            f"cannot parse listen address {address!r}: expected "
+            "unix:PATH, a socket path, HOST:PORT or :PORT"
+        )
+    return ("tcp", host or "127.0.0.1", int(port))
+
+
+class JsonlFrontend:
+    """Socket/stdin front end over a sharded advisor (see module docstring).
+
+    ``service`` needs only ``request_lines``/``health_snapshot``/
+    ``close`` — a plain in-process service satisfying that shape works
+    too (the tests use both).
+    """
+
+    def __init__(self, service, *, batch: int = _MICRO_BATCH) -> None:
+        self.service = service
+        self.batch = max(1, int(batch))
+        self.connections = 0
+        self.requests = 0
+        self._stop = None  # asyncio.Event, created inside the loop
+
+    # -- protocol ---------------------------------------------------------
+
+    async def _route(self, lines: list[str]) -> list:
+        self.requests += len(lines)
+        return await asyncio.to_thread(self.service.request_lines, lines)
+
+    async def _read_chunk(self, reader) -> list[str]:
+        """One micro-batch: first line blocking, the rest within the linger."""
+        first = await reader.readline()
+        if not first:
+            return []
+        lines = [first]
+        while len(lines) < self.batch:
+            try:
+                line = await asyncio.wait_for(reader.readline(), timeout=_LINGER_S)
+            except asyncio.TimeoutError:
+                break
+            if not line:
+                break
+            lines.append(line)
+        return [line.decode("utf-8", "replace").rstrip("\r\n") for line in lines]
+
+    async def _serve_health(self, first_line: str, reader, writer) -> None:
+        # Just enough HTTP/1.0 for `curl http://host:port/health`.
+        while True:  # consume request headers up to the blank line
+            header = await reader.readline()
+            if not header or header in (b"\r\n", b"\n"):
+                break
+        target = first_line.split(" ")[1] if " " in first_line else "/"
+        if target.split("?")[0] not in ("/health", "/healthz"):
+            writer.write(
+                b"HTTP/1.0 404 Not Found\r\ncontent-type: text/plain\r\n\r\n"
+                b"only /health is served here\n"
+            )
+        else:
+            snapshot = await asyncio.to_thread(self.service.health_snapshot)
+            body = json.dumps(snapshot, indent=2).encode() + b"\n"
+            writer.write(
+                b"HTTP/1.0 200 OK\r\ncontent-type: application/json\r\n"
+                + f"content-length: {len(body)}\r\n\r\n".encode()
+                + body
+            )
+        await writer.drain()
+
+    async def _handle(self, reader, writer) -> None:
+        self.connections += 1
+        try:
+            first = await reader.readline()
+            if not first:
+                return
+            text = first.decode("utf-8", "replace").rstrip("\r\n")
+            if text.startswith(("GET ", "HEAD ")):
+                await self._serve_health(text, reader, writer)
+                return
+            pending = [text]
+            while True:
+                decisions = await self._route(pending)
+                out = b"".join(
+                    json.dumps(decision).encode() + b"\n" for decision in decisions
+                )
+                writer.write(out)
+                await writer.drain()
+                pending = await self._read_chunk(reader)
+                if not pending:
+                    return
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-stream; shard state is unaffected
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    # -- stdin pump -------------------------------------------------------
+
+    async def pump_stdin(self, stream=None, out=None) -> int:
+        """Route a JSONL stream from ``stream`` (default stdin); returns events routed."""
+        stream = stream if stream is not None else sys.stdin
+        routed = 0
+        pending: list[str] = []
+
+        async def flush() -> None:
+            nonlocal routed
+            if pending:
+                decisions = await self._route(pending)
+                routed += len(pending)
+                pending.clear()
+                if out is not None:
+                    for decision in decisions:
+                        out.write(json.dumps(decision) + "\n")
+
+        for line in stream:
+            line = line.rstrip("\r\n")
+            if not line.strip():
+                continue
+            pending.append(line)
+            if len(pending) >= self.batch:
+                await flush()
+            if self._stop is not None and self._stop.is_set():
+                break
+        await flush()
+        return routed
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def serve(
+        self,
+        listen: str | None = None,
+        *,
+        stdin=None,
+        stdin_out=None,
+        ready=None,
+        install_signals: bool = True,
+    ) -> None:
+        """Run until SIGTERM/SIGINT (or stdin EOF when socket-less).
+
+        ``listen`` is a :func:`parse_listen` spec; ``stdin`` (a line
+        iterable) additionally pumps a JSONL stream through the fleet.
+        ``ready`` (an ``asyncio.Event``) is set once the socket accepts
+        — the tests use it instead of polling.  Closing the service —
+        the graceful fleet drain — is the caller's job, so a CLI can
+        print the final fleet summary after ``serve`` returns.
+        """
+        loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        if install_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, self._stop.set)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass
+        server = None
+        if listen is not None:
+            spec = parse_listen(listen)
+            if spec[0] == "unix":
+                server = await asyncio.start_unix_server(
+                    self._handle, path=spec[1], limit=_LINE_LIMIT
+                )
+            else:
+                server = await asyncio.start_server(
+                    self._handle, host=spec[1], port=spec[2], limit=_LINE_LIMIT
+                )
+        try:
+            if ready is not None:
+                ready.set()
+            if stdin is not None:
+                await self.pump_stdin(stdin, stdin_out)
+                if server is None:
+                    return  # pure pipe mode: EOF is shutdown
+            await self._stop.wait()
+        finally:
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+
+    def request_stop(self) -> None:
+        """Thread-safe shutdown trigger (what the signal handlers call)."""
+        if self._stop is not None:
+            self._stop.set()

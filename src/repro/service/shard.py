@@ -1,0 +1,1126 @@
+"""Sharded multi-process serving tier: consistent-hash fleet routing.
+
+One :class:`~repro.service.advisor.AdvisorService` process tops out at
+one core's worth of batched ingest.  :class:`ShardedAdvisorService`
+turns that per-core path into fleet throughput by partitioning the
+vehicle-id space across N worker processes with a consistent-hash ring:
+
+* every vehicle id is owned by exactly one shard, so per-vehicle event
+  order — the thing session state depends on — is preserved without any
+  cross-process coordination;
+* each worker owns its shard's state directory (WAL, snapshots,
+  quarantine sidecar, per-shard ledger) and serves it with the stock
+  ``AdvisorService``/``AdvisorSession`` machinery, *unchanged* — the
+  sharding layer routes lines, it never touches decision logic;
+* sharding is therefore a **pure partition**: for any stream and any
+  shard count, the multiset of per-vehicle decisions and
+  ``state_digest()`` values equals the single-process run
+  (``tests/test_service_shard.py`` pins this as a Hypothesis property).
+
+Delivery is **at-least-once**: the parent keeps every dispatched chunk
+in flight until the owning worker acknowledges it.  A worker that dies
+(SIGKILL, OOM) is respawned — recovering its shard bit-identically from
+the WAL + snapshots — and the unacknowledged chunks are redelivered in
+their original dispatch order; the sessions' idempotent event ids
+absorb anything the dead worker had already applied.  ``SIGTERM`` is
+the graceful path: the worker finishes what is already queued, flushes
+WAL + final snapshots (``service.close()``) and exits, and the parent
+spawns a fresh worker for the handoff.
+
+Each worker guards its state directory with a ``shard.lock`` file
+recording its pid (``O_CREAT | O_EXCL`` — the same dead-pid discipline
+as :mod:`repro.engine.faults` claim files).  A stale lock left by a
+SIGKILLed worker is swept automatically on the next acquire, and
+``repro-idling cache doctor --fault-claims DIR`` sweeps them explicitly
+via :func:`sweep_stale_shard_locks`.
+
+See ``docs/serving.md`` ("Sharded serving") for the topology diagram,
+the routing rule, and the health endpoint schema.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+import multiprocessing
+import os
+import queue as queue_module
+import signal
+import threading
+import time
+import traceback
+from multiprocessing.connection import wait as _connection_wait
+from pathlib import Path
+
+from ..engine.ledger import RunLedger, active_ledger, use_ledger
+from ..errors import InvalidParameterError, ReproError
+from .advisor import AdvisorService
+
+__all__ = [
+    "HashRing",
+    "SHARD_LOCK_NAME",
+    "ShardLockError",
+    "ShardedAdvisorService",
+    "acquire_shard_lock",
+    "parallel_headroom",
+    "release_shard_lock",
+    "sweep_stale_shard_locks",
+]
+
+SHARD_LOCK_NAME = "shard.lock"
+#: Per-shard vehicle registry (JSONL of ids ever served) enabling warm
+#: bit-identical recovery of *every* session after a worker restart.
+_REGISTRY_NAME = "vehicles.idx"
+#: Rate limit for shard-tier backpressure ledger warnings (mirrors the
+#: per-process ``AdvisorService.offer`` policy).
+_SHED_WARN_EVERY = 1000
+
+
+def parallel_headroom() -> int:
+    """CPUs actually usable by this process (affinity-aware).
+
+    The sharded bench's scaling gate is meaningful only up to this
+    number: N workers on fewer than N cores time-slice one another and
+    honest near-linear scaling is physically unavailable.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+class HashRing:
+    """Consistent-hash ring mapping vehicle ids to shard indices.
+
+    Each shard owns ``replicas`` virtual points on a 64-bit ring
+    (``sha256`` of a stable per-replica key); an id is owned by the
+    first point clockwise from its own hash.  Properties the serving
+    tier relies on:
+
+    * **deterministic** — the mapping is a pure function of
+      ``(shards, replicas, id)``: every parent restart routes
+      identically, so a vehicle's events always reach the shard holding
+      its durable state;
+    * **balanced** — virtual points smooth the per-shard load to within
+      a few percent at the default 64 replicas;
+    * **stable under growth** — adding a shard only claims arcs from
+      existing shards, so roughly ``1/(N+1)`` of ids move (a future
+      resharding migration touches only those).
+    """
+
+    def __init__(self, shards: int, replicas: int = 64) -> None:
+        if shards < 1:
+            raise InvalidParameterError(f"shards must be >= 1, got {shards}")
+        if replicas < 1:
+            raise InvalidParameterError(f"replicas must be >= 1, got {replicas}")
+        self.shards = int(shards)
+        self.replicas = int(replicas)
+        points = sorted(
+            (self._point(f"shard-{shard:05d}/{replica:05d}"), shard)
+            for shard in range(self.shards)
+            for replica in range(self.replicas)
+        )
+        self._hashes = [point for point, _ in points]
+        self._owners = [owner for _, owner in points]
+
+    @staticmethod
+    def _point(key: str) -> int:
+        return int.from_bytes(hashlib.sha256(key.encode()).digest()[:8], "big")
+
+    def route(self, vehicle_id: str) -> int:
+        """The shard index owning ``vehicle_id``."""
+        if self.shards == 1:
+            return 0
+        index = bisect.bisect_right(self._hashes, self._point(str(vehicle_id)))
+        if index == len(self._hashes):
+            index = 0
+        return self._owners[index]
+
+
+# -- shard state-dir locks -------------------------------------------------
+
+
+class ShardLockError(ReproError):
+    """A shard state directory is already locked by a live process."""
+
+
+def _pid_from_lock(path) -> int | None:
+    try:
+        text = Path(path).read_text().strip()
+    except OSError:
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        return None
+
+
+def acquire_shard_lock(state_dir: str | Path) -> Path:
+    """Take exclusive ownership of a shard state directory.
+
+    The lock file records the owning pid (``O_CREAT | O_EXCL`` — atomic
+    everywhere).  A lock held by a **dead** pid, or torn so its pid is
+    unreadable, is swept and re-acquired (the dead-pid discipline of
+    :func:`repro.engine.faults.sweep_stale_claims`); a lock held by a
+    live pid raises :class:`ShardLockError` — two workers must never
+    share a WAL.
+    """
+    from ..engine.faults import pid_alive
+
+    state_dir = Path(state_dir)
+    state_dir.mkdir(parents=True, exist_ok=True)
+    path = state_dir / SHARD_LOCK_NAME
+    for _attempt in range(3):
+        try:
+            handle = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            pid = _pid_from_lock(path)
+            if pid is not None and pid_alive(pid):
+                raise ShardLockError(
+                    f"shard state dir {state_dir} is locked by live pid {pid}"
+                )
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+            continue
+        try:
+            os.write(handle, str(os.getpid()).encode())
+        finally:
+            os.close(handle)
+        return path
+    raise ShardLockError(f"could not acquire shard lock {path}")
+
+
+def release_shard_lock(path: str | Path) -> None:
+    """Drop a lock taken by :func:`acquire_shard_lock` (idempotent)."""
+    try:
+        os.unlink(path)
+    except FileNotFoundError:
+        pass
+
+
+def sweep_stale_shard_locks(root: str | Path) -> list[str]:
+    """Remove ``shard.lock`` files (recursively) whose owner pid is dead.
+
+    The shard-lock counterpart of
+    :func:`repro.engine.faults.sweep_stale_claims`: a SIGKILLed worker
+    leaves its lock behind, and while a *running*
+    :class:`ShardedAdvisorService` sweeps it automatically on respawn,
+    an operator restarting a torn-down fleet wants the explicit
+    doctor-style cleanup (``cache doctor --fault-claims DIR`` runs
+    both sweeps).  Locks held by live pids are kept.
+    """
+    from ..engine.faults import pid_alive
+
+    removed: list[str] = []
+    root = Path(root)
+    if not root.exists():
+        return removed
+    candidates = sorted(root.rglob(SHARD_LOCK_NAME))
+    if root.name == SHARD_LOCK_NAME and root.is_file():
+        candidates.insert(0, root)
+    for path in candidates:
+        if not path.is_file():
+            continue
+        pid = _pid_from_lock(path)
+        if pid is not None and pid_alive(pid):
+            continue
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            continue
+        removed.append(str(path))
+    return removed
+
+
+# -- worker process --------------------------------------------------------
+
+
+class _RegisteredAdvisorService(AdvisorService):
+    """An ``AdvisorService`` that can warm-recover its whole fleet.
+
+    The stock service recovers sessions lazily on first use, which is
+    fine when the full stream is redelivered after a restart — but a
+    respawned *shard* only gets its unacknowledged chunks back, so it
+    must restore every session it ever held before answering health or
+    digest queries.  Vehicle directory names are hashed and cannot be
+    inverted, so the worker keeps a registry (JSONL of vehicle ids,
+    appended and flushed *before* the session's durable state is
+    created — a crash can orphan a registry line, never a session) and
+    replays it at startup.
+    """
+
+    def __init__(self, state_dir, config, **kwargs) -> None:
+        super().__init__(state_dir, config, **kwargs)
+        self._registry_path = self.state_dir / _REGISTRY_NAME
+        known: list[str] = []
+        if self._registry_path.exists():
+            for line in self._registry_path.read_text().splitlines():
+                try:
+                    vehicle_id = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail: the id re-registers on redelivery
+                if isinstance(vehicle_id, str) and vehicle_id not in known:
+                    known.append(vehicle_id)
+        self._registered: set[str] = set()
+        self._registry = open(self._registry_path, "a")
+        if self.recover:
+            for vehicle_id in known:
+                self._registered.add(vehicle_id)
+                self.session(vehicle_id)
+        else:
+            self._registered.update(known)
+
+    def session(self, vehicle_id):
+        vehicle_id = str(vehicle_id)
+        if vehicle_id not in self._registered:
+            self._registry.write(json.dumps(vehicle_id) + "\n")
+            self._registry.flush()
+            if self.fsync:
+                os.fsync(self._registry.fileno())
+            self._registered.add(vehicle_id)
+        return super().session(vehicle_id)
+
+    def close(self) -> None:
+        super().close()
+        self._registry.close()
+
+
+def _execute_command(shard: int, service: AdvisorService, command, conn) -> None:
+    kind = command[0]
+    if kind == "chunk":
+        _, chunk_id, lines, want_decisions = command
+        decisions = service.ingest_lines(lines)
+        # The ack timestamp is CLOCK_MONOTONIC, comparable with the
+        # parent's dispatch stamp on the same host — it is the p50/p99
+        # chunk-latency sample.
+        conn.send(
+            (
+                "ack",
+                shard,
+                chunk_id,
+                time.monotonic(),
+                len(lines),
+                decisions if want_decisions else None,
+            )
+        )
+    elif kind == "health":
+        _, request_id, include_vehicles = command
+        snapshot = service.health_snapshot(include_vehicles=include_vehicles)
+        snapshot["vehicle_count"] = len(service.sessions)
+        conn.send(("reply", shard, request_id, snapshot))
+    elif kind == "digests":
+        _, request_id = command
+        digests = {
+            vehicle_id: session.state_digest()
+            for vehicle_id, session in sorted(service.sessions.items())
+        }
+        conn.send(("reply", shard, request_id, digests))
+
+
+def _worker_loop(shard, service, commands, conn, stopping) -> None:
+    while True:
+        if stopping.is_set():
+            # SIGTERM drain: finish what is already queued, take nothing
+            # new; the caller then flushes WAL + snapshots and exits.
+            while True:
+                try:
+                    command = commands.get_nowait()
+                except queue_module.Empty:
+                    return
+                if command[0] == "stop":
+                    return
+                _execute_command(shard, service, command, conn)
+        try:
+            command = commands.get(timeout=0.1)
+        except queue_module.Empty:
+            continue
+        if command[0] == "stop":
+            return
+        _execute_command(shard, service, command, conn)
+
+
+def _shard_worker(
+    shard: int,
+    state_dir: str,
+    config,
+    policy: str,
+    fsync: bool,
+    max_queue: int,
+    ledger_path: str | None,
+    commands,
+    conn,
+) -> None:
+    """Worker-process entry point (module-level: spawn-picklable).
+
+    Owns one shard: lock the state dir, warm-recover every session,
+    serve commands until ``("stop",)`` or SIGTERM, then flush WAL +
+    final snapshots and release the lock.  Any exception is reported to
+    the parent as an ``("error", ...)`` message rather than a silent
+    nonzero exit.
+    """
+    stopping = threading.Event()
+    signal.signal(signal.SIGTERM, lambda *_args: stopping.set())
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # parent owns ctrl-C
+    try:
+        lock_path = acquire_shard_lock(state_dir)
+    except ShardLockError:
+        conn.send(("error", shard, traceback.format_exc()))
+        conn.close()
+        return
+    ledger = (
+        RunLedger(ledger_path, fsync=fsync, append=True)
+        if ledger_path is not None
+        else None
+    )
+    service = None
+    error = None
+    try:
+        service = _RegisteredAdvisorService(
+            Path(state_dir),
+            config,
+            policy=policy,
+            fsync=fsync,
+            max_queue=max_queue,
+        )
+        if ledger is not None:
+            with use_ledger(ledger):
+                _worker_loop(shard, service, commands, conn, stopping)
+        else:
+            _worker_loop(shard, service, commands, conn, stopping)
+    except Exception:
+        error = traceback.format_exc()
+    if service is not None:
+        try:
+            service.close()
+        except Exception:
+            if error is None:
+                error = traceback.format_exc()
+    try:
+        conn.send(("stopped", shard) if error is None else ("error", shard, error))
+    except OSError:  # parent already gone
+        pass
+    release_shard_lock(lock_path)
+    conn.close()
+
+
+# -- the sharded tier ------------------------------------------------------
+
+
+class ShardedAdvisorService:
+    """Consistent-hash sharded advisor fleet (see module docstring).
+
+    Parameters
+    ----------
+    state_dir:
+        Root directory; shard ``i`` owns ``state_dir/shard-NN``.
+    config:
+        Shared :class:`~repro.service.session.SessionConfig`.
+    shards:
+        Worker count (>= 1).
+    workers:
+        ``True`` (default) spawns one process per shard.  ``False``
+        runs the same routing over in-process ``AdvisorService``
+        instances — no parallelism, but byte-for-byte the same
+        partition; the equivalence property tests this mode.
+    queue_depth:
+        Bound on each shard's pending-command queue.  ``submit_lines``
+        blocks on a full queue (lossless backpressure);
+        ``offer_lines`` sheds and counts instead, emitting the same
+        rate-limited ``advisor-backpressure`` ledger warning as
+        ``AdvisorService.offer``.
+    ledger_path:
+        Optional base path: worker ``i`` appends its advisor-state
+        events to ``<ledger_path>.shard-NN`` (one writer per file —
+        JSONL appends do not interleave safely across processes).
+    """
+
+    def __init__(
+        self,
+        state_dir: str | Path,
+        config,
+        *,
+        shards: int = 2,
+        policy: str = "repair",
+        fsync: bool = False,
+        max_queue: int = 4096,
+        queue_depth: int = 8,
+        replicas: int = 64,
+        workers: bool = True,
+        ledger_path: str | Path | None = None,
+        recover: bool = True,
+    ) -> None:
+        if shards < 1:
+            raise InvalidParameterError(f"shards must be >= 1, got {shards}")
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.config = config
+        self.policy = policy
+        self.fsync = bool(fsync)
+        self.max_queue = int(max_queue)
+        self.recover = bool(recover)
+        self.shards = int(shards)
+        self.queue_depth = max(1, int(queue_depth))
+        self.ring = HashRing(self.shards, replicas)
+        self.worker_mode = bool(workers)
+        self._ledger_path = None if ledger_path is None else str(ledger_path)
+        self._ledger = active_ledger()
+        self.shed = 0  # events shed by offer_lines (tier backpressure)
+        self.dispatched_events = 0
+        self.restarts = [0] * self.shards
+        if not self.worker_mode:
+            self._inline = [
+                AdvisorService(
+                    self._shard_dir(index),
+                    config,
+                    policy=policy,
+                    fsync=fsync,
+                    max_queue=max_queue,
+                    recover=recover,
+                )
+                for index in range(self.shards)
+            ]
+            self._closed = False
+            return
+        self._context = multiprocessing.get_context("spawn")
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._shard_locks = [threading.Lock() for _ in range(self.shards)]
+        self._chunk_counter = 0
+        self._request_counter = 0
+        # chunk_id -> (command, submit_monotonic, event_count); kept
+        # until the owning worker acks — the at-least-once ledger.
+        self._in_flight: list[dict[int, tuple]] = [{} for _ in range(self.shards)]
+        self._decisions: dict[int, list] = {}
+        self._replies: dict[int, object] = {}
+        self._pending_controls: dict[int, tuple[int, tuple]] = {}
+        self._latencies: list[tuple[float, int]] = []
+        self._acked_chunks = [0] * self.shards
+        self._acked_events = [0] * self.shards
+        self._stop_sent: set[int] = set()
+        self._stopped: set[int] = set()
+        self._failed: set[int] = set()
+        self._eof: set[int] = set()
+        self._errors: list[str] = []
+        self._shutdown = False
+        self._commands: list = [None] * self.shards
+        self._pipes: list = [None] * self.shards
+        self._procs: list = [None] * self.shards
+        for index in range(self.shards):
+            self._spawn(index)
+        self._collector = threading.Thread(
+            target=self._collect, name="shard-collector", daemon=True
+        )
+        self._collector.start()
+
+    # -- topology ---------------------------------------------------------
+
+    def _shard_dir(self, shard: int) -> Path:
+        return self.state_dir / f"shard-{shard:02d}"
+
+    def _worker_ledger_path(self, shard: int) -> str | None:
+        if self._ledger_path is None:
+            return None
+        return f"{self._ledger_path}.shard-{shard:02d}"
+
+    def route(self, vehicle_id: str) -> int:
+        """The shard index owning ``vehicle_id`` (pure, deterministic)."""
+        return self.ring.route(str(vehicle_id))
+
+    @property
+    def worker_pids(self) -> list[int | None]:
+        if not self.worker_mode:
+            return []
+        return [process.pid if process is not None else None for process in self._procs]
+
+    def __enter__(self) -> "ShardedAdvisorService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- routing/partition ------------------------------------------------
+
+    def _partition(self, lines: list[str]) -> list[tuple[int, tuple[list, list]]]:
+        """Group JSONL lines by owning shard, preserving in-chunk order.
+
+        Decoded once here for routing only; workers re-parse their own
+        sub-chunk (in parallel, through the same ``ingest_lines`` array
+        decode).  A line whose vehicle cannot be identified — garbage
+        JSON, or no usable ``vehicle`` field — is routed by a hash of
+        the raw line: deterministic, and behaviour-neutral because such
+        lines only touch malformed counters, never a session.
+        """
+        try:
+            records = json.loads("[" + ",".join(lines) + "]")
+            if len(records) != len(lines):
+                records = None
+        except json.JSONDecodeError:
+            records = None
+        if records is None:
+            records = []
+            for line in lines:
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    records.append(None)
+        groups: dict[int, tuple[list, list]] = {}
+        for position, (line, record) in enumerate(zip(lines, records)):
+            vehicle = AdvisorService._identifiable_vehicle(record)
+            shard = self.ring.route(vehicle if vehicle is not None else line)
+            bucket = groups.setdefault(shard, ([], []))
+            bucket[0].append(position)
+            bucket[1].append(line)
+        return sorted(groups.items())
+
+    @staticmethod
+    def _as_lines(lines) -> list[str]:
+        return [
+            line if isinstance(line, str) else json.dumps(line) for line in lines
+        ]
+
+    # -- ingestion --------------------------------------------------------
+
+    def submit_lines(self, lines) -> None:
+        """Route one chunk to its shards, blocking on full queues.
+
+        The lossless path (file pumps, benches, chaos harnesses): a
+        full shard queue exerts backpressure on the caller instead of
+        shedding.
+        """
+        lines = self._as_lines(lines)
+        if not lines:
+            return
+        for shard, (_positions, sub_lines) in self._partition(lines):
+            if self.worker_mode:
+                self._dispatch(shard, sub_lines, want_decisions=False, block=True)
+            else:
+                self._inline[shard].ingest_lines(sub_lines)
+
+    def offer_lines(self, lines) -> int:
+        """Route one chunk, shedding sub-chunks on full queues.
+
+        The overload-protection path: per-shard queues are bounded, and
+        a full one sheds the whole sub-chunk and counts it (plus a
+        rate-limited ``advisor-backpressure`` ledger warning) — silent
+        loss is never allowed, unbounded memory never happens.  Returns
+        the number of accepted events.
+        """
+        lines = self._as_lines(lines)
+        if not lines:
+            return 0
+        accepted = 0
+        for shard, (_positions, sub_lines) in self._partition(lines):
+            if not self.worker_mode:
+                self._inline[shard].ingest_lines(sub_lines)
+                accepted += len(sub_lines)
+            elif (
+                self._dispatch(shard, sub_lines, want_decisions=False, block=False)
+                is not None
+            ):
+                accepted += len(sub_lines)
+            else:
+                self._note_shed(shard, len(sub_lines))
+        return accepted
+
+    def request_lines(self, lines, timeout: float | None = None) -> list:
+        """Route one chunk and wait for its decisions, aligned with input.
+
+        The front end's request/response path: one decision (or None
+        for malformed/dropped records) per input line, in input order.
+        """
+        lines = self._as_lines(lines)
+        results: list = [None] * len(lines)
+        if not lines:
+            return results
+        partition = self._partition(lines)
+        if not self.worker_mode:
+            for shard, (positions, sub_lines) in partition:
+                decisions = self._inline[shard].ingest_lines(sub_lines)
+                for position, decision in zip(positions, decisions):
+                    results[position] = decision
+            return results
+        waiting = []
+        for shard, (positions, sub_lines) in partition:
+            chunk_id = self._dispatch(
+                shard, sub_lines, want_decisions=True, block=True
+            )
+            waiting.append((chunk_id, positions))
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._wake:
+            for chunk_id, positions in waiting:
+                while chunk_id not in self._decisions:
+                    self._raise_errors_locked()
+                    if deadline is not None and time.monotonic() > deadline:
+                        raise TimeoutError(
+                            f"no decision for chunk {chunk_id} within {timeout}s"
+                        )
+                    self._wake.wait(0.2)
+                decisions = self._decisions.pop(chunk_id)
+                for position, decision in zip(positions, decisions):
+                    results[position] = decision
+        return results
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Block until every dispatched chunk has been acknowledged."""
+        if not self.worker_mode:
+            return
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._wake:
+            while any(self._in_flight[index] for index in range(self.shards)):
+                self._raise_errors_locked()
+                if deadline is not None and time.monotonic() > deadline:
+                    pending = {
+                        index: len(self._in_flight[index])
+                        for index in range(self.shards)
+                        if self._in_flight[index]
+                    }
+                    raise TimeoutError(f"shards did not drain in time: {pending}")
+                self._wake.wait(0.2)
+
+    def _dispatch(self, shard, sub_lines, *, want_decisions, block):
+        submit_t = time.monotonic()
+        with self._wake:
+            self._raise_errors_locked()
+            if self._shutdown or shard in self._stop_sent:
+                raise ReproError("dispatch on a closed ShardedAdvisorService")
+            self._chunk_counter += 1
+            chunk_id = self._chunk_counter
+        command = ("chunk", chunk_id, sub_lines, want_decisions)
+        while True:
+            # The per-shard lock serializes this put against the
+            # collector's queue swap on worker death: a chunk either
+            # lands in the pre-swap queue *and* is recorded in flight
+            # (so the swap redelivers it) or lands in the fresh queue.
+            with self._shard_locks[shard]:
+                try:
+                    if block:
+                        self._commands[shard].put(command, timeout=0.2)
+                    else:
+                        self._commands[shard].put_nowait(command)
+                except queue_module.Full:
+                    full = True
+                else:
+                    full = False
+                    with self._lock:
+                        self._in_flight[shard][chunk_id] = (
+                            command,
+                            submit_t,
+                            len(sub_lines),
+                        )
+                        self.dispatched_events += len(sub_lines)
+            if not full:
+                return chunk_id
+            if not block:
+                return None
+            with self._lock:
+                self._raise_errors_locked()
+
+    def _note_shed(self, shard: int, events: int) -> None:
+        before = self.shed
+        self.shed += events
+        ledger = active_ledger() or self._ledger
+        if ledger is not None and (
+            before == 0 or self.shed // _SHED_WARN_EVERY > before // _SHED_WARN_EVERY
+        ):
+            ledger.emit(
+                "advisor-backpressure",
+                tier="shard",
+                shard=shard,
+                shed=self.shed,
+                queue_depth=self.queue_depth,
+            )
+
+    # -- control plane ----------------------------------------------------
+
+    def _control(self, name: str, *args, timeout: float | None = None) -> list:
+        """One control request per shard; returns payloads by shard index.
+
+        Requests are recorded in ``_pending_controls`` *before* the put
+        so a worker death between put and reply re-sends them on
+        respawn (duplicates are ignored reply-side).
+        """
+        request_ids = []
+        for shard in range(self.shards):
+            with self._wake:
+                self._raise_errors_locked()
+                self._request_counter += 1
+                request_id = self._request_counter
+            command = (name, request_id, *args)
+            with self._lock:
+                self._pending_controls[request_id] = (shard, command)
+            self._put_command(shard, command)
+            request_ids.append(request_id)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        results = []
+        with self._wake:
+            for request_id in request_ids:
+                while request_id not in self._replies:
+                    self._raise_errors_locked()
+                    if deadline is not None and time.monotonic() > deadline:
+                        raise TimeoutError(f"no {name} reply within {timeout}s")
+                    self._wake.wait(0.2)
+                results.append(self._replies.pop(request_id))
+        return results
+
+    def _put_command(self, shard: int, command) -> None:
+        """Blocking put that survives a queue swap mid-wait."""
+        while True:
+            with self._shard_locks[shard]:
+                try:
+                    self._commands[shard].put(command, timeout=0.2)
+                    return
+                except queue_module.Full:
+                    pass
+            with self._lock:
+                self._raise_errors_locked()
+
+    def _raise_errors_locked(self) -> None:
+        if self._errors:
+            raise ReproError(f"shard worker failed:\n{self._errors[0]}")
+
+    # -- observability ----------------------------------------------------
+
+    def take_latencies(self) -> list[tuple[float, int]]:
+        """Drain the accumulated per-chunk ``(latency_s, events)`` samples.
+
+        Latency is dispatch-to-worker-ack wall time — the worst case an
+        event in the chunk waited for its decision (queueing included).
+        """
+        if not self.worker_mode:
+            return []
+        with self._lock:
+            latencies, self._latencies = self._latencies, []
+        return latencies
+
+    def digests(self, timeout: float | None = None) -> dict[str, str]:
+        """Per-vehicle ``state_digest()`` across the whole fleet, sorted."""
+        if self.worker_mode:
+            parts = self._control("digests", timeout=timeout)
+        else:
+            parts = [
+                {
+                    vehicle_id: session.state_digest()
+                    for vehicle_id, session in sorted(service.sessions.items())
+                }
+                for service in self._inline
+            ]
+        merged: dict[str, str] = {}
+        for part in parts:
+            merged.update(part)
+        return dict(sorted(merged.items()))
+
+    def health_snapshot(
+        self, include_vehicles: bool = False, timeout: float | None = None
+    ) -> dict:
+        """Fleet-wide health: per-shard snapshots aggregated.
+
+        Same core schema as ``AdvisorService.health_snapshot`` —
+        ``fleet_cost`` / ``vehicles`` / ``ingest`` / ``states`` — plus
+        ``routing`` (ring + tier-level counters) and ``shards`` (one
+        row per worker: pid, liveness, restarts, acked chunks/events,
+        in-flight depth).  ``include_vehicles=False`` keeps the payload
+        O(shards), not O(fleet) — at 100k vehicles the per-vehicle map
+        is megabytes.
+        """
+        if self.worker_mode:
+            snapshots = self._control("health", include_vehicles, timeout=timeout)
+        else:
+            snapshots = []
+            for service in self._inline:
+                snapshot = service.health_snapshot(include_vehicles=include_vehicles)
+                snapshot["vehicle_count"] = len(service.sessions)
+                snapshots.append(snapshot)
+        vehicles: dict = {}
+        for snapshot in snapshots:
+            vehicles.update(snapshot["vehicles"])
+        vehicles = dict(sorted(vehicles.items()))
+        if include_vehicles and vehicles:
+            # Sum in sorted-vehicle order: bitwise-reproducible across
+            # shard counts (a single-process snapshot sums the same way).
+            fleet_cost = sum(info["total_cost"] for info in vehicles.values())
+        else:
+            fleet_cost = sum(snapshot["fleet_cost"] for snapshot in snapshots)
+
+        def _total(*keys):
+            total = 0.0 if "wall_s" in keys else 0
+            for snapshot in snapshots:
+                value = snapshot["ingest"]
+                for key in keys:
+                    value = value[key]
+                total += value
+            return total
+
+        batch_events = _total("batch", "events")
+        batch_wall = _total("batch", "wall_s")
+        shard_rows = []
+        for index, snapshot in enumerate(snapshots):
+            row = {
+                "shard": index,
+                "vehicles": snapshot["vehicle_count"],
+                "fleet_cost": snapshot["fleet_cost"],
+                "states": snapshot["states"],
+                "shed": snapshot["ingest"]["shed"],
+            }
+            if self.worker_mode:
+                process = self._procs[index]
+                with self._lock:
+                    row.update(
+                        pid=None if process is None else process.pid,
+                        alive=process is not None and process.is_alive(),
+                        restarts=self.restarts[index],
+                        chunks_acked=self._acked_chunks[index],
+                        events_acked=self._acked_events[index],
+                        in_flight=len(self._in_flight[index]),
+                    )
+            shard_rows.append(row)
+        return {
+            "fleet_cost": fleet_cost,
+            "vehicles": vehicles,
+            "ingest": {
+                "received": _total("received"),
+                "queued": _total("queued"),
+                "max_queue": self.max_queue,
+                "shed": _total("shed"),
+                "malformed": _total("malformed"),
+                "duplicates": _total("duplicates"),
+                "rejected": _total("rejected"),
+                "batch": {
+                    "chunks": _total("batch", "chunks"),
+                    "events": batch_events,
+                    "wall_s": batch_wall,
+                    "events_per_s": (
+                        batch_events / batch_wall if batch_wall > 0.0 else 0.0
+                    ),
+                },
+            },
+            "states": {
+                state: sum(snapshot["states"][state] for snapshot in snapshots)
+                for state in ("healthy", "degraded", "safe")
+            },
+            "routing": {
+                "algorithm": "consistent-hash",
+                "shards": self.shards,
+                "replicas": self.ring.replicas,
+                "queue_depth": self.queue_depth,
+                "dispatched_events": self.dispatched_events,
+                "shed_events": self.shed,
+                "restarts": sum(self.restarts),
+            },
+            "shards": shard_rows,
+        }
+
+    # -- worker lifecycle -------------------------------------------------
+
+    def _spawn(self, shard: int) -> None:
+        commands = self._context.Queue(self.queue_depth)
+        parent_conn, child_conn = self._context.Pipe(duplex=False)
+        process = self._context.Process(
+            target=_shard_worker,
+            args=(
+                shard,
+                str(self._shard_dir(shard)),
+                self.config,
+                self.policy,
+                self.fsync,
+                self.max_queue,
+                self._worker_ledger_path(shard),
+                commands,
+                child_conn,
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self._commands[shard] = commands
+        self._pipes[shard] = parent_conn
+        self._procs[shard] = process
+
+    def _collect(self) -> None:
+        while True:
+            with self._lock:
+                if self._shutdown:
+                    return
+                conns = {
+                    self._pipes[index]: index
+                    for index in range(self.shards)
+                    if self._pipes[index] is not None and index not in self._eof
+                }
+            if conns:
+                ready = _connection_wait(list(conns), timeout=0.2)
+            else:
+                time.sleep(0.05)
+                ready = []
+            for conn in ready:
+                shard = conns[conn]
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    # Clean EOF (worker exited) or a send torn by
+                    # SIGKILL; either way this pipe is done — the reap
+                    # pass below decides whether to respawn.
+                    with self._lock:
+                        self._eof.add(shard)
+                    continue
+                except Exception:  # torn pickle mid-SIGKILL
+                    with self._lock:
+                        self._eof.add(shard)
+                    continue
+                self._handle_message(message)
+            self._reap()
+
+    def _handle_message(self, message) -> None:
+        kind = message[0]
+        with self._wake:
+            if kind == "ack":
+                _, shard, chunk_id, done_t, events, decisions = message
+                entry = self._in_flight[shard].pop(chunk_id, None)
+                if entry is not None:
+                    _command, submit_t, _events = entry
+                    self._latencies.append((max(0.0, done_t - submit_t), events))
+                    self._acked_chunks[shard] += 1
+                    self._acked_events[shard] += events
+                if decisions is not None:
+                    self._decisions[chunk_id] = decisions
+            elif kind == "reply":
+                _, _shard, request_id, payload = message
+                if self._pending_controls.pop(request_id, None) is not None:
+                    self._replies[request_id] = payload
+            elif kind == "stopped":
+                self._stopped.add(message[1])
+            elif kind == "error":
+                self._errors.append(message[2])
+                self._failed.add(message[1])
+            self._wake.notify_all()
+
+    def _reap(self) -> None:
+        """Detect dead workers; respawn + redeliver (the recovery path)."""
+        for shard in range(self.shards):
+            process = self._procs[shard]
+            if process is None or process.is_alive():
+                continue
+            # Drain what the dead worker managed to send before it died
+            # (acks remove chunks from the redelivery set).
+            conn = self._pipes[shard]
+            try:
+                while conn.poll(0):
+                    self._handle_message(conn.recv())
+            except Exception:
+                pass  # EOF or a send torn by SIGKILL — nothing more to read
+            with self._lock:
+                if shard in self._failed:
+                    continue  # worker reported a real error: do not retry-loop it
+                if shard in self._stopped and shard in self._stop_sent:
+                    continue  # clean shutdown we asked for
+                # A clean SIGTERM exit we did NOT ask for is the drain/
+                # handoff path: state is flushed, hand the shard to a
+                # fresh worker.
+                self._stopped.discard(shard)
+            self._respawn(shard)
+
+    def _respawn(self, shard: int) -> None:
+        with self._shard_locks[shard]:
+            old_commands = self._commands[shard]
+            old_pipe = self._pipes[shard]
+            self._procs[shard].join(timeout=1.0)
+            self._spawn(shard)
+            with self._lock:
+                self.restarts[shard] += 1
+                self._eof.discard(shard)
+                redeliver = sorted(self._in_flight[shard].items())
+                controls = sorted(
+                    (request_id, command)
+                    for request_id, (owner, command) in self._pending_controls.items()
+                    if owner == shard
+                )
+                stop_again = shard in self._stop_sent
+                pid = self._procs[shard].pid
+            ledger = active_ledger() or self._ledger
+            if ledger is not None:
+                ledger.emit(
+                    "shard-restart",
+                    shard=shard,
+                    pid=pid,
+                    redelivered_chunks=len(redeliver),
+                )
+            # At-least-once redelivery in original dispatch order; the
+            # sessions' idempotent event ids absorb anything the dead
+            # worker had already applied and made durable.
+            for _chunk_id, (command, _submit_t, _events) in redeliver:
+                if not self._put_alive(shard, command):
+                    return  # died again already; the next reap retries
+            for _request_id, command in controls:
+                if not self._put_alive(shard, command):
+                    return
+            if stop_again:
+                self._put_alive(shard, ("stop",))
+        old_pipe.close()
+        old_commands.close()
+        old_commands.cancel_join_thread()
+
+    def _put_alive(self, shard: int, command) -> bool:
+        """Put into the (already-locked) fresh queue, aborting on death."""
+        while True:
+            try:
+                self._commands[shard].put(command, timeout=0.2)
+                return True
+            except queue_module.Full:
+                if not self._procs[shard].is_alive():
+                    return False
+
+    # -- shutdown ---------------------------------------------------------
+
+    def close(self, timeout: float = 120.0) -> None:
+        """Graceful fleet drain: every worker flushes WAL + snapshots.
+
+        Sends ``("stop",)`` behind all queued work on every shard; a
+        worker that dies mid-shutdown is respawned (recovering its
+        shard) and re-stopped, so even a close raced by a SIGKILL
+        leaves every shard durable and unlocked.
+        """
+        if not self.worker_mode:
+            if not self._closed:
+                self._closed = True
+                for service in self._inline:
+                    service.close()
+            return
+        with self._lock:
+            if self._shutdown:
+                return
+            already_failed = bool(self._errors)
+            self._stop_sent.update(range(self.shards))
+        if not already_failed:
+            for shard in range(self.shards):
+                try:
+                    self._put_command(shard, ("stop",))
+                except ReproError:
+                    break
+            deadline = time.monotonic() + timeout
+            with self._wake:
+                while len(self._stopped | self._failed) < self.shards:
+                    if time.monotonic() > deadline:
+                        break
+                    self._wake.wait(0.2)
+        with self._lock:
+            self._shutdown = True
+            errors = list(self._errors)
+            stopped = set(self._stopped)
+        self._collector.join(timeout=10.0)
+        for shard in range(self.shards):
+            process = self._procs[shard]
+            if process is None:
+                continue
+            process.join(timeout=10.0)
+            if process.is_alive():  # pragma: no cover - last-resort teardown
+                process.terminate()
+                process.join(timeout=5.0)
+            self._pipes[shard].close()
+            self._commands[shard].close()
+            self._commands[shard].cancel_join_thread()
+        if errors:
+            raise ReproError(f"shard worker failed:\n{errors[0]}")
+        if len(stopped) < self.shards:
+            missing = sorted(set(range(self.shards)) - stopped)
+            raise ReproError(f"shards {missing} did not stop cleanly")

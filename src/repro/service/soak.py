@@ -46,7 +46,14 @@ from ..fleet.generator import FleetGenerator
 from .advisor import AdvisorService
 from .session import SessionConfig
 
-__all__ = ["build_fleet_events", "run_stream", "run_chaos", "SoakResult", "main"]
+__all__ = [
+    "build_fleet_events",
+    "run_stream",
+    "run_chaos",
+    "run_sharded_chaos",
+    "SoakResult",
+    "main",
+]
 
 
 def build_fleet_events(
@@ -218,6 +225,86 @@ def run_chaos(
     )
 
 
+def run_sharded_chaos(
+    events: list[dict],
+    state_dir: str | Path,
+    config: SessionConfig,
+    *,
+    shards: int,
+    kills: int = 0,
+    chunk: int = 16,
+    policy: str = "repair",
+    ledger_path: str | Path | None = None,
+) -> tuple[SoakResult, int]:
+    """Serve the stream through a sharded fleet, SIGKILLing live workers.
+
+    Chunks of ``chunk`` events are routed through a
+    :class:`~repro.service.shard.ShardedAdvisorService`; at ``kills``
+    evenly spaced chunk boundaries a live worker (round-robin over
+    shards) gets a real ``SIGKILL`` **while the rest of the fleet keeps
+    serving** — the parent detects the death, respawns the worker
+    (which recovers its shard bit-identically from WAL + snapshots) and
+    redelivers the unacknowledged chunks.  Returns the final result and
+    the number of worker restarts observed (must equal ``kills``).
+    """
+    import os
+    import signal
+    import time
+
+    from .shard import ShardedAdvisorService
+
+    service = ShardedAdvisorService(
+        Path(state_dir),
+        config,
+        shards=shards,
+        policy=policy,
+        ledger_path=ledger_path,
+    )
+    chunks = [events[start : start + chunk] for start in range(0, len(events), chunk)]
+    kill_at: dict[int, int] = {}
+    for index in range(kills):
+        slot = 1 + (index * max(1, (len(chunks) - 2))) // max(1, kills)
+        while slot in kill_at:  # keep every kill distinct on short streams
+            slot += 1
+        kill_at[slot] = index % shards
+    fired = 0
+    try:
+        for index, batch in enumerate(chunks):
+            if index in kill_at:
+                victim = kill_at[index]
+                pid = service.worker_pids[victim]
+                if pid is not None:
+                    os.kill(pid, signal.SIGKILL)
+                    fired += 1
+                    # Wait for the respawn so consecutive kills cannot
+                    # collapse into one observed death.
+                    deadline = time.monotonic() + 60.0
+                    baseline = service.restarts[victim]
+                    while service.restarts[victim] == baseline:
+                        if time.monotonic() > deadline:
+                            raise RuntimeError(
+                                f"shard {victim} was not respawned in time"
+                            )
+                        time.sleep(0.02)
+            service.submit_lines([json.dumps(record) for record in batch])
+        service.drain(timeout=300.0)
+        digests = service.digests(timeout=120.0)
+        snapshot = service.health_snapshot(timeout=120.0)
+        restarts = sum(service.restarts)
+    finally:
+        service.close()
+    if restarts != fired:
+        raise RuntimeError(
+            f"expected exactly {fired} worker restart(s), observed {restarts}"
+        )
+    return (
+        SoakResult(
+            fleet_cost=snapshot["fleet_cost"], digests=digests, snapshot=snapshot
+        ),
+        restarts,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.service.soak",
@@ -239,9 +326,27 @@ def main(argv: list[str] | None = None) -> int:
         "cycle itself runs batched (kills land mid-group-commit)",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="also run the stream through an N-shard multi-process fleet "
+        "and parity-check it against the single-process clean run "
+        "(0 = skip the sharded phase)",
+    )
+    parser.add_argument(
+        "--kill-workers",
+        type=int,
+        default=0,
+        help="SIGKILL this many live shard workers mid-stream (requires "
+        "--shards); the fleet must keep serving and every killed shard "
+        "must recover bit-identically",
+    )
+    parser.add_argument(
         "--out", type=Path, default=Path("results/soak"), help="artifact directory"
     )
     args = parser.parse_args(argv)
+    if args.kill_workers and not args.shards:
+        parser.error("--kill-workers requires --shards N")
 
     events = build_fleet_events(args.vehicles, args.stops, args.seed, args.area)
     config = SessionConfig(
@@ -273,6 +378,49 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 1
         print(f"batched clean run (--batch {args.batch}) matches scalar")
+    if args.shards:
+        sharded, worker_restarts = run_sharded_chaos(
+            events,
+            args.out / "sharded",
+            config,
+            shards=args.shards,
+            kills=args.kill_workers,
+            chunk=max(args.batch, 8),
+            ledger_path=args.out / "sharded-ledger.jsonl",
+        )
+        if (
+            sharded["fleet_cost"] != clean["fleet_cost"]
+            or sharded["digests"] != clean["digests"]
+        ):
+            mismatched = [
+                vehicle
+                for vehicle in clean["digests"]
+                if sharded["digests"].get(vehicle) != clean["digests"][vehicle]
+            ]
+            print(
+                f"PARITY FAILED: sharded run (--shards {args.shards}, "
+                f"{args.kill_workers} worker kill(s)) mismatched vehicles "
+                f"{mismatched}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"sharded run (--shards {args.shards}) matches single-process "
+            f"after {worker_restarts} worker SIGKILL(s)"
+        )
+        (args.out / "sharded-summary.json").write_text(
+            json.dumps(
+                {
+                    "shards": args.shards,
+                    "worker_kills": args.kill_workers,
+                    "worker_restarts": worker_restarts,
+                    "fleet_cost": sharded["fleet_cost"],
+                    "digests": sharded["digests"],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
     chaos, restarts = run_chaos(
         events,
         args.out / "chaos",
