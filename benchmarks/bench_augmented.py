@@ -1,0 +1,156 @@
+"""Benchmark: learning-augmented advising vs the plain adaptive session.
+
+Two regimes over the same synthetic day/night fleet trace (short stops
+by day, long stops by night — the time-of-day structure every stop
+event already carries):
+
+* ``augmented_good`` — the contextual predictor learns the structure
+  online; the realized competitive ratio must beat the plain adaptive
+  session's on the identical trace (the acceptance gate);
+* ``augmented_corrupted`` — an adversarial :class:`ConstantPredictor`
+  always claims the stop is about to end (so the session idles up to
+  ``B/λ`` on every long night stop); the realized CR must stay within
+  the PSK ``1 + 1/λ`` robustness bound no matter how wrong the advice
+  is.
+
+Both regimes also report the CVaR tail of the per-stop cost ratio (the
+mean of the worst 5% of ``cost/opt`` outcomes) — the quantity the
+serving tier's ``--cvar-alpha`` knob caps during warm-up.  Drift
+detection is disabled (huge Page-Hinkley thresholds) so the comparison
+isolates prediction quality from ladder dynamics.  The module writes
+``results/BENCH_augmented.json`` on teardown — see
+``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    AdvisorSession,
+    AugmentedAdvisorSession,
+    AugmentedSessionConfig,
+    SessionConfig,
+)
+
+from .conftest import emit_bench_json
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+BREAK_EVEN = 28.0  # the paper's vehicle class 1
+N_EVENTS = 960 if QUICK else 4800  # 20 / 100 simulated days at 2 stops/h
+TAIL_ALPHA = 0.05
+CORRUPTED_TRUST = 0.4
+
+#: Shared session knobs; Page-Hinkley effectively off (see module doc).
+BASE = dict(
+    break_even=BREAK_EVEN,
+    min_samples=3,
+    dedup_window=4096,
+    length_threshold=1e9,
+    split_threshold=1e9,
+    seed=3,
+)
+
+_RECORDS: list[dict] = []
+
+
+@pytest.fixture(scope="module")
+def bench_records(results_dir):
+    yield _RECORDS
+    emit_bench_json(_RECORDS, results_dir, filename="BENCH_augmented.json")
+
+
+def _trace() -> list[tuple[str, float, float]]:
+    rng = np.random.default_rng(3)
+    events = []
+    for index in range(N_EVENTS):
+        timestamp = index * 1800.0  # two stops per hour
+        hour = int((timestamp % 86400.0) // 3600.0)
+        mean = 5.0 if hour < 12 else 200.0
+        stop = float(mean * rng.lognormal(0.0, 0.1))
+        events.append((f"e-{index:05d}", timestamp, stop))
+    return events
+
+
+def _run(session, events) -> dict:
+    """Ingest the trace; realized CR and the per-stop cost-ratio tail."""
+    ratios = np.empty(len(events))
+    total_cost = 0.0
+    offline = 0.0
+    t0 = time.perf_counter()
+    for index, (event_id, timestamp, stop) in enumerate(events):
+        decision = session.submit(event_id, timestamp, stop)
+        opt = min(stop, BREAK_EVEN)
+        ratios[index] = decision["cost"] / opt
+        total_cost += decision["cost"]
+        offline += opt
+    elapsed = time.perf_counter() - t0
+    k = max(1, int(round(TAIL_ALPHA * ratios.size)))
+    return {
+        "realized_cr": total_cost / offline,
+        "cvar_tail_ratio": float(np.sort(ratios)[-k:].mean()),
+        "max_ratio": float(ratios.max()),
+        "wall_time_s": elapsed,
+    }
+
+
+def test_augmented_good_and_corrupted(benchmark, bench_records):
+    events = _trace()
+
+    plain = _run(AdvisorSession("bench", SessionConfig(**BASE)), events)
+
+    good_config = AugmentedSessionConfig(
+        **BASE, predictor="contextual", predictor_min_samples=4, cvar_alpha=0.1
+    )
+    good = benchmark.pedantic(
+        _run,
+        args=(AugmentedAdvisorSession("bench", good_config), events),
+        iterations=1,
+        rounds=1,
+    )
+
+    corrupted_config = AugmentedSessionConfig(
+        **BASE, predictor="constant:0", trust=CORRUPTED_TRUST
+    )
+    corrupted = _run(AugmentedAdvisorSession("bench", corrupted_config), events)
+    bound = corrupted_config.robustness_guarantee
+
+    # Acceptance gates: good predictions must beat plain adaptive on
+    # the identical trace; corrupted ones may never breach 1 + 1/λ.
+    assert good["realized_cr"] < plain["realized_cr"]
+    assert corrupted["realized_cr"] <= bound + 1e-9
+    assert corrupted["max_ratio"] <= bound + 1e-9
+
+    bench_records.append(
+        {
+            "op": "augmented_good",
+            "n": len(events),
+            "predictor": "contextual",
+            "realized_cr": good["realized_cr"],
+            "realized_cr_plain": plain["realized_cr"],
+            "cvar_tail_ratio": good["cvar_tail_ratio"],
+            "cvar_tail_ratio_plain": plain["cvar_tail_ratio"],
+            "tail_alpha": TAIL_ALPHA,
+            "wall_time_s": good["wall_time_s"],
+        }
+    )
+    bench_records.append(
+        {
+            "op": "augmented_corrupted",
+            "n": len(events),
+            "predictor": "constant:0",
+            "trust": CORRUPTED_TRUST,
+            "robustness_bound": bound,
+            "realized_cr": corrupted["realized_cr"],
+            "realized_cr_plain": plain["realized_cr"],
+            "cvar_tail_ratio": corrupted["cvar_tail_ratio"],
+            "cvar_tail_ratio_plain": plain["cvar_tail_ratio"],
+            "max_ratio": corrupted["max_ratio"],
+            "tail_alpha": TAIL_ALPHA,
+            "wall_time_s": corrupted["wall_time_s"],
+        }
+    )

@@ -191,6 +191,30 @@ def build_parser() -> argparse.ArgumentParser:
         "correction to the paper's four-vertex optimum)",
     )
     advise.add_argument(
+        "--trust",
+        type=float,
+        default=None,
+        metavar="LAMBDA",
+        help="also report the prediction-augmented (PSK) thresholds and "
+        "consistency/robustness bounds at trust weight lambda in (0, 1]",
+    )
+    advise.add_argument(
+        "--cvar-alpha",
+        type=float,
+        default=None,
+        metavar="ALPHA",
+        help="also report the CVaR-ALPHA tail-risk-constrained strategy "
+        "(N-Rand/DET mixture honoring --cvar-cap)",
+    )
+    advise.add_argument(
+        "--cvar-cap",
+        type=float,
+        default=2.0,
+        metavar="TAU",
+        help="tail-cost cap for --cvar-alpha, as a multiple of the "
+        "offline optimum (default 2.0)",
+    )
+    advise.add_argument(
         "--policy",
         choices=_POLICY_CHOICES,
         default="strict",
@@ -373,6 +397,42 @@ def build_parser() -> argparse.ArgumentParser:
         ":PORT; GET /health on the same socket returns the fleet "
         "snapshot (requires --shards; pass events '-' with no piped "
         "stdin to serve socket-only)",
+    )
+    serve.add_argument(
+        "--predictor",
+        default="none",
+        metavar="SPEC",
+        help="learning-augmented advising: stop-length predictor feeding "
+        "the PSK interpolation — none (default), contextual (hour-of-day "
+        "running means learned from the stream itself), "
+        "contextual:MIN:DECAY, or constant:VALUE (adversarial testing); "
+        "see docs/serving.md 'Learning-augmented advising'",
+    )
+    serve.add_argument(
+        "--trust",
+        type=float,
+        default=None,
+        metavar="LAMBDA",
+        help="pin the PSK trust weight lambda in (0, 1] (default: learn "
+        "it online from the predictor's wrong-side rate; the per-stop "
+        "robustness bound is 1 + 1/lambda either way)",
+    )
+    serve.add_argument(
+        "--cvar-alpha",
+        type=float,
+        default=None,
+        metavar="ALPHA",
+        help="tail-risk control: constrain the per-stop CVaR over the "
+        "worst ALPHA-fraction of threshold draws to --cvar-cap times "
+        "the offline optimum (governs stops with no usable prediction)",
+    )
+    serve.add_argument(
+        "--cvar-cap",
+        type=float,
+        default=2.0,
+        metavar="TAU",
+        help="tail-cost cap for --cvar-alpha, as a multiple of the "
+        "offline optimum (default 2.0 — DET's unconditional worst case)",
     )
 
     ledger_cmd = sub.add_parser(
@@ -584,6 +644,25 @@ def _advise(args) -> None:
                   "(truncated exponential density)")
         print(f"  corrected worst-case CR: {improved.worst_case_cr:.4f} "
               f"(improvement {improved.improvement_over_paper:+.4f})")
+    if getattr(args, "trust", None) is not None:
+        from .core.prediction import consistency_bound, robustness_bound
+
+        lam = args.trust
+        b = args.break_even
+        print(f"\nprediction-augmented (PSK, lambda={lam:g}):")
+        print(f"  long prediction (y_hat >= B): shut off at lambda*B = {lam * b:.1f} s")
+        print(f"  short prediction:             idle until B/lambda  = {b / lam:.1f} s")
+        print(f"  consistency bound (perfect predictions): {consistency_bound(lam):.4f}")
+        print(f"  robustness bound (any predictions):      {robustness_bound(lam):.4f}")
+    if getattr(args, "cvar_alpha", None) is not None:
+        from .core.tailrisk import TailRiskRand
+
+        tail = TailRiskRand(args.break_even, args.cvar_alpha, args.cvar_cap)
+        print(f"\ntail-risk constrained (CVaR_{args.cvar_alpha:g} <= "
+              f"{args.cvar_cap:g} x OPT):")
+        print(f"  N-Rand weight rho*:      {tail.nrand_weight:.4f} "
+              f"(atom at B: {tail.atom_weight:.4f})")
+        print(f"  worst-case expected CR:  {tail.worst_case_expected_cr:.4f}")
 
 
 def _breakeven(args) -> None:
@@ -802,7 +881,23 @@ def _serve(args) -> int:
     )
     if args.seed is not None:
         config_kwargs["seed"] = args.seed
-    config = SessionConfig(**config_kwargs)
+    augmented = (
+        args.predictor != "none"
+        or args.trust is not None
+        or args.cvar_alpha is not None
+    )
+    if augmented:
+        from .service.augmented import AugmentedSessionConfig
+
+        config_kwargs.update(
+            predictor=args.predictor,
+            trust=args.trust,
+            cvar_alpha=args.cvar_alpha,
+            cvar_cap=args.cvar_cap,
+        )
+        config = AugmentedSessionConfig(**config_kwargs)
+    else:
+        config = SessionConfig(**config_kwargs)
     if args.shards is not None:
         return _serve_sharded(args, config)
     ledger = (

@@ -3,6 +3,7 @@ and the constrained ski-rental solver (Sections 2-4)."""
 
 from .adaptive import AdaptiveProposed
 from .contextual import ContextualProposed, hour_of_day_context
+from .tailrisk import TailRiskRand, max_nrand_weight, tail_cap_feasible
 from .adversary import (
     appendix_a_adversary,
     conditional_mean_adversary,
@@ -134,6 +135,10 @@ __all__ = [
     "b_det_worst_case_cost",
     "mom_rand_uses_revised_pdf",
     "mom_rand_cr_prime_bound",
+    # tail-risk control
+    "TailRiskRand",
+    "max_nrand_weight",
+    "tail_cap_feasible",
     # constrained solver
     "ConstrainedSkiRentalSolver",
     "ProposedOnline",

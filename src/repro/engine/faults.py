@@ -33,11 +33,13 @@ Fault kinds
 The wrapper is picklable as long as the wrapped function is (the same
 module-level-callable rule as ParallelMap itself).
 
-Claim files record the pid of the process that claimed them.  A run
-that dies abnormally (SIGKILL, OOM) leaves its claims behind, and a
-*rerun* in the same ``state_dir`` would then see every fault as already
-fired — silently changing the rerun's behaviour.
-:func:`sweep_stale_claims` removes claims held by dead pids; it is an
+Claim files record the pid of the process that claimed them plus its
+``/proc`` start-time token (:func:`owner_record`), so a recycled pid
+cannot impersonate the original owner.  A run that dies abnormally
+(SIGKILL, OOM) leaves its claims behind, and a *rerun* in the same
+``state_dir`` would then see every fault as already fired — silently
+changing the rerun's behaviour.
+:func:`sweep_stale_claims` removes claims held by dead owners; it is an
 explicit doctor-style cleanup (``repro-idling cache doctor
 --fault-claims DIR``, or :meth:`FaultInjector.sweep_stale`), **not**
 automatic, because within one run a SIGKILLed worker's claim is the
@@ -54,7 +56,16 @@ from dataclasses import dataclass
 
 from ..errors import InvalidParameterError
 
-__all__ = ["Fault", "FaultInjector", "InjectedFault", "pid_alive", "sweep_stale_claims"]
+__all__ = [
+    "Fault",
+    "FaultInjector",
+    "InjectedFault",
+    "owner_alive",
+    "owner_record",
+    "pid_alive",
+    "process_token",
+    "sweep_stale_claims",
+]
 
 _KINDS = ("raise", "hang", "kill")
 
@@ -112,15 +123,80 @@ def _pid_alive(pid: int) -> bool:
 pid_alive = _pid_alive
 
 
+def process_token(pid: int) -> str | None:
+    """A reuse-proof identity token for ``pid``: its start time.
+
+    Field 22 of ``/proc/<pid>/stat`` is the process start time in clock
+    ticks since boot, so the (pid, start-time) pair stays unique for
+    the life of the machine — a recycled pid gets a different token and
+    can no longer masquerade as the original claim owner.  Returns
+    ``None`` where procfs is absent (macOS, restricted containers);
+    callers then fall back to the plain dead-pid check.
+    """
+    try:
+        with open(f"/proc/{int(pid)}/stat", "rb") as handle:
+            stat = handle.read().decode("ascii", "replace")
+    except (OSError, ValueError):
+        return None
+    # comm (field 2) is parenthesized and may itself contain spaces or
+    # ')' — the remaining fields start after the *last* ')'.
+    _, closed, tail = stat.rpartition(")")
+    if not closed:
+        return None
+    fields = tail.split()
+    # starttime is field 22 of the full line = index 19 after comm/state.
+    if len(fields) < 20:
+        return None
+    return fields[19]
+
+
+def owner_record() -> str:
+    """What a claim/lock file records: ``"<pid> <token>"``.
+
+    Falls back to the bare pid where :func:`process_token` is
+    unavailable — readers treat a token-less record exactly as the
+    pre-token format.
+    """
+    pid = os.getpid()
+    token = process_token(pid)
+    return f"{pid} {token}" if token is not None else str(pid)
+
+
+def owner_alive(text: str) -> bool:
+    """Whether the owner recorded in a claim/lock file is still alive.
+
+    ``text`` is ``"<pid>"`` (legacy records) or ``"<pid> <token>"``.
+    Unreadable records count as dead, and so does a live pid whose
+    current start-time token differs from the recorded one — that pid
+    was reused by an unrelated process, and honouring it would leave a
+    genuinely stale lock in place forever.
+    """
+    parts = text.split()
+    if not parts:
+        return False
+    try:
+        pid = int(parts[0])
+    except ValueError:
+        return False
+    if not _pid_alive(pid):
+        return False
+    if len(parts) > 1:
+        current = process_token(pid)
+        if current is not None and current != parts[1]:
+            return False
+    return True
+
+
 def sweep_stale_claims(state_dir) -> list[str]:
     """Remove claim files whose claiming process is dead.
 
     Returns the removed paths.  A claim with no readable pid (created
     before pids were recorded, or torn by a crash mid-write) is treated
     as stale — its owner cannot be identified, and keeping it would make
-    reruns in the same ``state_dir`` non-deterministic.  Pid reuse can
-    in principle make a genuinely stale claim look live; sweeps are
-    best-effort cleanup, not a correctness dependency.
+    reruns in the same ``state_dir`` non-deterministic.  Claims carry a
+    start-time token alongside the pid (see :func:`owner_record`), so a
+    recycled pid no longer makes a genuinely stale claim look live;
+    token-less legacy claims keep the plain dead-pid check.
     """
     removed: list[str] = []
     try:
@@ -135,13 +211,7 @@ def sweep_stale_claims(state_dir) -> list[str]:
             text = open(path).read().strip()
         except OSError:
             continue
-        stale = True
-        if text:
-            try:
-                stale = not _pid_alive(int(text))
-            except ValueError:
-                stale = True
-        if stale:
+        if not owner_alive(text):
             try:
                 os.unlink(path)
             except FileNotFoundError:
@@ -178,8 +248,10 @@ class FaultInjector:
     def _claim(self, digest: str, fault: Fault) -> bool:
         """Atomically claim one of the fault's ``times`` firings.
 
-        The claim file records the claiming pid so an abnormal exit can
-        later be recognized (and swept) by :func:`sweep_stale_claims`.
+        The claim file records the claiming pid plus its start-time
+        token (:func:`owner_record`) so an abnormal exit can later be
+        recognized (and swept) by :func:`sweep_stale_claims` even if
+        the pid has been recycled.
         """
         os.makedirs(self.state_dir, exist_ok=True)
         for attempt in range(fault.times):
@@ -189,7 +261,7 @@ class FaultInjector:
             except FileExistsError:
                 continue
             try:
-                os.write(handle, str(os.getpid()).encode())
+                os.write(handle, owner_record().encode())
             finally:
                 os.close(handle)
             return True

@@ -33,6 +33,14 @@ guarantees, and the degradation ladder's competitive-ratio bounds.
 # runnable as ``python -m repro.service.soak`` and importing it from the
 # package __init__ would shadow that execution (runpy warns).
 from .advisor import AdvisorService, parse_event_line
+from .augmented import (
+    AugmentedAdvisorSession,
+    AugmentedSessionConfig,
+    ConstantPredictor,
+    ContextualPredictor,
+    TrustLearner,
+    build_predictor,
+)
 from .drift import DriftDetector, PageHinkley
 from .frontend import JsonlFrontend, parse_listen
 from .session import AdvisorSession, HealthState, SessionConfig, vehicle_seed
@@ -47,6 +55,10 @@ from .wal import SnapshotStore, WalCorruptionError, WriteAheadLog
 __all__ = [
     "AdvisorService",
     "AdvisorSession",
+    "AugmentedAdvisorSession",
+    "AugmentedSessionConfig",
+    "ConstantPredictor",
+    "ContextualPredictor",
     "DriftDetector",
     "HashRing",
     "HealthState",
@@ -56,8 +68,10 @@ __all__ = [
     "ShardLockError",
     "ShardedAdvisorService",
     "SnapshotStore",
+    "TrustLearner",
     "WalCorruptionError",
     "WriteAheadLog",
+    "build_predictor",
     "parse_event_line",
     "parse_listen",
     "sweep_stale_shard_locks",

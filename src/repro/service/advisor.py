@@ -143,9 +143,8 @@ class AdvisorService:
         existing = self.sessions.get(vehicle_id)
         if existing is not None:
             return existing
-        session = AdvisorSession(
+        session = self.config.build_session(
             vehicle_id,
-            self.config,
             self.state_dir / "vehicles" / _vehicle_dirname(vehicle_id),
             enforcer=self._enforcer,
             fsync=self.fsync,

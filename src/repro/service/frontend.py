@@ -39,6 +39,16 @@ _LINGER_S = 0.005
 _MICRO_BATCH = 256
 #: Bound on one JSONL line / HTTP request line.
 _LINE_LIMIT = 1 << 20
+#: Seconds an HTTP client has to finish sending its request headers.  A
+#: client that sends ``GET /health HTTP/1.0`` and then stalls (partial
+#: read, half-open connection) must not pin the handler task forever.
+_HTTP_HEADER_TIMEOUT_S = 5.0
+#: Request methods that mark a connection as speaking HTTP rather than
+#: JSONL.  Only GET/HEAD are *served*; the rest get a clean 405 instead
+#: of being misparsed as (malformed) JSONL event lines.
+_HTTP_METHODS = frozenset(
+    {"GET", "HEAD", "POST", "PUT", "DELETE", "PATCH", "OPTIONS", "TRACE", "CONNECT"}
+)
 
 
 def parse_listen(address: str) -> tuple:
@@ -110,13 +120,55 @@ class JsonlFrontend:
             lines.append(line)
         return [line.decode("utf-8", "replace").rstrip("\r\n") for line in lines]
 
-    async def _serve_health(self, first_line: str, reader, writer) -> None:
-        # Just enough HTTP/1.0 for `curl http://host:port/health`.
+    async def _consume_headers(self, reader) -> None:
         while True:  # consume request headers up to the blank line
             header = await reader.readline()
             if not header or header in (b"\r\n", b"\n"):
-                break
-        target = first_line.split(" ")[1] if " " in first_line else "/"
+                return
+
+    async def _serve_health(self, first_line: str, reader, writer) -> None:
+        # Just enough HTTP/1.0 for `curl http://host:port/health`.
+        # Every response closes the connection (HTTP/1.0 semantics), so
+        # each branch below is terminal for the handler task.
+        parts = first_line.split(" ")
+        method = parts[0]
+        target = parts[1] if len(parts) > 1 else ""
+        malformed = (
+            not target
+            or len(parts) > 3
+            or (len(parts) == 3 and not parts[2].startswith("HTTP/"))
+        )
+        if malformed:
+            # A truncated or mangled request line ("GET", "GET /health
+            # junk extra"): answer 400 and close — never fall through to
+            # the JSONL parser or hang waiting for more of it.
+            writer.write(
+                b"HTTP/1.0 400 Bad Request\r\ncontent-type: text/plain\r\n"
+                b"connection: close\r\n\r\nmalformed request line\n"
+            )
+            await writer.drain()
+            return
+        if method not in ("GET", "HEAD"):
+            writer.write(
+                b"HTTP/1.0 405 Method Not Allowed\r\nallow: GET, HEAD\r\n"
+                b"content-type: text/plain\r\nconnection: close\r\n\r\n"
+                b"only GET/HEAD /health is served here\n"
+            )
+            await writer.drain()
+            return
+        try:
+            # Bounded: a client that stalls mid-headers (partial read)
+            # must not pin this task forever.
+            await asyncio.wait_for(
+                self._consume_headers(reader), timeout=_HTTP_HEADER_TIMEOUT_S
+            )
+        except asyncio.TimeoutError:
+            writer.write(
+                b"HTTP/1.0 408 Request Timeout\r\ncontent-type: text/plain\r\n"
+                b"connection: close\r\n\r\nrequest headers never completed\n"
+            )
+            await writer.drain()
+            return
         if target.split("?")[0] not in ("/health", "/healthz"):
             writer.write(
                 b"HTTP/1.0 404 Not Found\r\ncontent-type: text/plain\r\n\r\n"
@@ -125,11 +177,11 @@ class JsonlFrontend:
         else:
             snapshot = await asyncio.to_thread(self.service.health_snapshot)
             body = json.dumps(snapshot, indent=2).encode() + b"\n"
-            writer.write(
+            head = (
                 b"HTTP/1.0 200 OK\r\ncontent-type: application/json\r\n"
                 + f"content-length: {len(body)}\r\n\r\n".encode()
-                + body
             )
+            writer.write(head if method == "HEAD" else head + body)
         await writer.drain()
 
     async def _handle(self, reader, writer) -> None:
@@ -139,7 +191,7 @@ class JsonlFrontend:
             if not first:
                 return
             text = first.decode("utf-8", "replace").rstrip("\r\n")
-            if text.startswith(("GET ", "HEAD ")):
+            if text.split(" ", 1)[0] in _HTTP_METHODS:
                 await self._serve_health(text, reader, writer)
                 return
             pending = [text]
@@ -155,6 +207,11 @@ class JsonlFrontend:
                     return
         except (ConnectionResetError, BrokenPipeError):
             pass  # client went away mid-stream; shard state is unaffected
+        except (ValueError, asyncio.LimitOverrunError):
+            # A line over _LINE_LIMIT (StreamReader.readline surfaces the
+            # overrun as ValueError): the stream is unframed from here,
+            # so close cleanly instead of crashing the handler task.
+            pass
         finally:
             with contextlib.suppress(Exception):
                 writer.close()

@@ -166,6 +166,15 @@ class SessionConfig:
         distribution-free ``e/(e-1)`` or DET's unconditional 2."""
         return E / (E - 1.0) if self.safe_strategy == "nrand" else 2.0
 
+    def build_session(self, vehicle_id: str, state_dir=None, **kwargs):
+        """Construct the session this config describes.
+
+        The service layer calls this instead of naming a session class,
+        so config subclasses (the learning-augmented tier) can swap in
+        their own session without the service knowing about them.
+        """
+        return AdvisorSession(vehicle_id, self, state_dir, **kwargs)
+
 
 def vehicle_seed(base_seed: int, vehicle_id: str) -> np.random.SeedSequence:
     """Deterministic per-vehicle seed: stable across runs and restarts."""
@@ -633,11 +642,16 @@ class AdvisorSession:
     # no staged mutation reads the RNG and no draw reads staged state:
     # the decision spec is fixed before the event mutates anything.
 
-    def _decision_spec(self):
+    def _decision_spec(self, record: dict | None = None):
         """How the *next* threshold will be drawn, frozen before the
         event's mutations: ``("fixed", x)`` for deterministic-threshold
         strategies (no RNG), ``("nrand", B)`` for the exact N-Rand
         closed form (one uniform), ``("generic", strategy)`` otherwise.
+
+        ``record`` is the durable event about to be applied; the base
+        session ignores it (its strategies depend only on session
+        state), but prediction-augmented subclasses read the event's
+        timestamp to look up a contextual stop-length prediction.
         """
         strategy = self.active_strategy
         if isinstance(strategy, AdaptiveProposed):
@@ -668,7 +682,7 @@ class AdvisorSession:
         reports.
         """
         stop_length = float(record["y"])
-        spec = self._decision_spec()
+        spec = self._decision_spec(record)
         self.applied = int(record["seq"])
         self.last_timestamp = float(record["t"])
         self._remember_id(str(record["id"]))
@@ -938,19 +952,7 @@ class AdvisorSession:
             self.config.dedup_window, _DELTA_REBASE
         ):
             return False
-        changed = {
-            "applied": self.applied,
-            "total_cost": self.total_cost,
-            "health": self.health.value,
-            "clean_streak": self.clean_streak,
-            "bad_streak": self.bad_streak,
-            "duplicates": self.duplicates,
-            "rejected": self.rejected,
-            "last_timestamp": self.last_timestamp,
-            "estimator": self.estimator.to_state(),
-            "rng": self.rng.bit_generator.state,
-            "drift": self.drift.to_state(),
-        }
+        changed = self._delta_changed_fields()
         new_transitions = self._transitions_seen - base["transitions"]
         appended_lists = {
             "recent_stops": list(self._recent_stops)[
@@ -969,6 +971,25 @@ class AdvisorSession:
             self.applied, base["applied"], changed, appended_lists
         )
         return True
+
+    def _delta_changed_fields(self) -> dict:
+        """The scalar state a delta snapshot replaces wholesale (the
+        appended histories travel separately).  Subclasses that
+        serialize extra state extend this dict, so delta compaction
+        never silently drops their fields."""
+        return {
+            "applied": self.applied,
+            "total_cost": self.total_cost,
+            "health": self.health.value,
+            "clean_streak": self.clean_streak,
+            "bad_streak": self.bad_streak,
+            "duplicates": self.duplicates,
+            "rejected": self.rejected,
+            "last_timestamp": self.last_timestamp,
+            "estimator": self.estimator.to_state(),
+            "rng": self.rng.bit_generator.state,
+            "drift": self.drift.to_state(),
+        }
 
     # -- observability ----------------------------------------------------
 

@@ -28,8 +28,9 @@ WAL + final snapshots (``service.close()``) and exits, and the parent
 spawns a fresh worker for the handoff.
 
 Each worker guards its state directory with a ``shard.lock`` file
-recording its pid (``O_CREAT | O_EXCL`` — the same dead-pid discipline
-as :mod:`repro.engine.faults` claim files).  A stale lock left by a
+recording its pid plus a ``/proc`` start-time token (``O_CREAT |
+O_EXCL`` — the same owner discipline as :mod:`repro.engine.faults`
+claim files, immune to pid reuse).  A stale lock left by a
 SIGKILLed worker is swept automatically on the next acquire, and
 ``repro-idling cache doctor --fault-claims DIR`` sweeps them explicitly
 via :func:`sweep_stale_shard_locks`.
@@ -145,28 +146,25 @@ class ShardLockError(ReproError):
     """A shard state directory is already locked by a live process."""
 
 
-def _pid_from_lock(path) -> int | None:
+def _lock_record(path) -> str:
     try:
-        text = Path(path).read_text().strip()
+        return Path(path).read_text().strip()
     except OSError:
-        return None
-    try:
-        return int(text)
-    except ValueError:
-        return None
+        return ""
 
 
 def acquire_shard_lock(state_dir: str | Path) -> Path:
     """Take exclusive ownership of a shard state directory.
 
-    The lock file records the owning pid (``O_CREAT | O_EXCL`` — atomic
-    everywhere).  A lock held by a **dead** pid, or torn so its pid is
-    unreadable, is swept and re-acquired (the dead-pid discipline of
-    :func:`repro.engine.faults.sweep_stale_claims`); a lock held by a
-    live pid raises :class:`ShardLockError` — two workers must never
-    share a WAL.
+    The lock file records the owning pid plus its start-time token
+    (``O_CREAT | O_EXCL`` — atomic everywhere; see
+    :func:`repro.engine.faults.owner_record`).  A lock whose owner is
+    **dead** — dead pid, unreadable record, or a live pid whose token
+    mismatches (the pid was recycled by an unrelated process) — is
+    swept and re-acquired; a lock held by a live owner raises
+    :class:`ShardLockError` — two workers must never share a WAL.
     """
-    from ..engine.faults import pid_alive
+    from ..engine.faults import owner_alive, owner_record
 
     state_dir = Path(state_dir)
     state_dir.mkdir(parents=True, exist_ok=True)
@@ -175,10 +173,11 @@ def acquire_shard_lock(state_dir: str | Path) -> Path:
         try:
             handle = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
         except FileExistsError:
-            pid = _pid_from_lock(path)
-            if pid is not None and pid_alive(pid):
+            record = _lock_record(path)
+            if owner_alive(record):
                 raise ShardLockError(
-                    f"shard state dir {state_dir} is locked by live pid {pid}"
+                    f"shard state dir {state_dir} is locked by live pid "
+                    f"{record.split()[0]}"
                 )
             try:
                 os.unlink(path)
@@ -186,7 +185,7 @@ def acquire_shard_lock(state_dir: str | Path) -> Path:
                 pass
             continue
         try:
-            os.write(handle, str(os.getpid()).encode())
+            os.write(handle, owner_record().encode())
         finally:
             os.close(handle)
         return path
@@ -210,9 +209,11 @@ def sweep_stale_shard_locks(root: str | Path) -> list[str]:
     :class:`ShardedAdvisorService` sweeps it automatically on respawn,
     an operator restarting a torn-down fleet wants the explicit
     doctor-style cleanup (``cache doctor --fault-claims DIR`` runs
-    both sweeps).  Locks held by live pids are kept.
+    both sweeps).  Locks held by live owners are kept; a live pid
+    whose start-time token mismatches the record is a recycled pid —
+    stale, swept.
     """
-    from ..engine.faults import pid_alive
+    from ..engine.faults import owner_alive
 
     removed: list[str] = []
     root = Path(root)
@@ -224,8 +225,7 @@ def sweep_stale_shard_locks(root: str | Path) -> list[str]:
     for path in candidates:
         if not path.is_file():
             continue
-        pid = _pid_from_lock(path)
-        if pid is not None and pid_alive(pid):
+        if owner_alive(_lock_record(path)):
             continue
         try:
             path.unlink()
@@ -467,7 +467,11 @@ class ShardedAdvisorService:
         self.worker_mode = bool(workers)
         self._ledger_path = None if ledger_path is None else str(ledger_path)
         self._ledger = active_ledger()
-        self.shed = 0  # events shed by offer_lines (tier backpressure)
+        # Events shed by offer_lines (tier backpressure), counted per
+        # shard; the aggregate is always their sum (see the ``shed``
+        # property), so health snapshots can never drift from the
+        # per-shard ledger warnings.
+        self.shed_by_shard = [0] * self.shards
         self.dispatched_events = 0
         self.restarts = [0] * self.shards
         if not self.worker_mode:
@@ -718,18 +722,36 @@ class ShardedAdvisorService:
             with self._lock:
                 self._raise_errors_locked()
 
+    @property
+    def shed(self) -> int:
+        """Total events shed by the tier — the sum of per-shard sheds."""
+        return sum(self.shed_by_shard)
+
     def _note_shed(self, shard: int, events: int) -> None:
-        before = self.shed
-        self.shed += events
+        """Count a shed sub-chunk against its shard; warn rate-limited.
+
+        The cadence matches ``AdvisorService.offer`` — the first shed
+        on a shard, then every ``_SHED_WARN_EVERY``th on that shard —
+        but stated as a boundary *crossing* because tier sheds arrive
+        in multi-event sub-chunks: a chunk that jumps the counter from
+        999 to 1003 still fires the 1000-mark warning (an exact
+        ``% _SHED_WARN_EVERY == 0`` check would skip it, and counting
+        the aggregate would mis-attribute one shard's overload to
+        whichever shard happened to cross the shared boundary).
+        """
+        before = self.shed_by_shard[shard]
+        after = before + events
+        self.shed_by_shard[shard] = after
         ledger = active_ledger() or self._ledger
         if ledger is not None and (
-            before == 0 or self.shed // _SHED_WARN_EVERY > before // _SHED_WARN_EVERY
+            before == 0 or after // _SHED_WARN_EVERY > before // _SHED_WARN_EVERY
         ):
             ledger.emit(
                 "advisor-backpressure",
                 tier="shard",
                 shard=shard,
-                shed=self.shed,
+                shed=after,
+                shed_total=self.shed,
                 queue_depth=self.queue_depth,
             )
 
@@ -862,7 +884,11 @@ class ShardedAdvisorService:
                 "vehicles": snapshot["vehicle_count"],
                 "fleet_cost": snapshot["fleet_cost"],
                 "states": snapshot["states"],
+                # Worker-level shed (AdvisorService.offer inside the
+                # shard) vs tier-level shed (offer_lines dropped the
+                # sub-chunk before it ever reached the worker).
                 "shed": snapshot["ingest"]["shed"],
+                "tier_shed": self.shed_by_shard[index],
             }
             if self.worker_mode:
                 process = self._procs[index]
@@ -907,6 +933,7 @@ class ShardedAdvisorService:
                 "queue_depth": self.queue_depth,
                 "dispatched_events": self.dispatched_events,
                 "shed_events": self.shed,
+                "shed_by_shard": list(self.shed_by_shard),
                 "restarts": sum(self.restarts),
             },
             "shards": shard_rows,

@@ -345,7 +345,10 @@ class TestStaleClaimSweep:
             fn(0)
         claims = list((tmp_path / "fault-state").iterdir())
         assert len(claims) == 1
-        assert claims[0].read_text() == str(os.getpid())
+        from repro.engine.faults import owner_record
+
+        assert claims[0].read_text() == owner_record()
+        assert claims[0].read_text().split()[0] == str(os.getpid())
 
     def test_sweep_removes_dead_pid_claims_only(self, tmp_path):
         state = tmp_path / "fault-state"
@@ -359,6 +362,21 @@ class TestStaleClaimSweep:
 
     def test_sweep_missing_directory_is_a_noop(self, tmp_path):
         assert sweep_stale_claims(tmp_path / "absent") == []
+
+    def test_sweep_detects_pid_reuse_via_start_time_token(self, tmp_path):
+        from repro.engine.faults import owner_record, process_token
+
+        if process_token(os.getpid()) is None:
+            pytest.skip("no /proc start-time tokens on this platform")
+        state = tmp_path / "fault-state"
+        state.mkdir()
+        # Live pid, stale token: the pid was recycled — claim is dead.
+        (state / "reused.0").write_text(f"{os.getpid()} 1")
+        # Live pid, matching token: the genuine owner — claim is live.
+        (state / "genuine.0").write_text(owner_record())
+        removed = sweep_stale_claims(state)
+        assert [os.path.basename(p) for p in removed] == ["reused.0"]
+        assert (state / "genuine.0").exists()
 
     def test_sweep_unblocks_a_rerun_after_abnormal_exit(self, tmp_path):
         # A claim left by a "previous run" (dead pid) would make the

@@ -192,8 +192,11 @@ def test_sharding_is_a_pure_partition(tmp_path_factory, case):
 
 
 def test_shard_lock_blocks_live_owner_and_sweeps_dead(tmp_path):
+    from repro.engine.faults import owner_record
+
     lock = acquire_shard_lock(tmp_path / "shard-00")
-    assert lock.read_text() == str(os.getpid())
+    assert lock.read_text() == owner_record()
+    assert lock.read_text().split()[0] == str(os.getpid())
     with pytest.raises(ShardLockError):
         acquire_shard_lock(tmp_path / "shard-00")
     release_shard_lock(lock)
@@ -204,7 +207,7 @@ def test_shard_lock_blocks_live_owner_and_sweeps_dead(tmp_path):
     dead.mkdir()
     (dead / SHARD_LOCK_NAME).write_text("999999999")
     lock = acquire_shard_lock(dead)
-    assert lock.read_text() == str(os.getpid())
+    assert lock.read_text() == owner_record()
     release_shard_lock(lock)
 
     # A torn lock (no readable pid) is also stale.
@@ -212,6 +215,33 @@ def test_shard_lock_blocks_live_owner_and_sweeps_dead(tmp_path):
     torn.mkdir()
     (torn / SHARD_LOCK_NAME).write_text("")
     release_shard_lock(acquire_shard_lock(torn))
+
+
+def test_shard_lock_detects_pid_reuse(tmp_path):
+    from repro.engine.faults import process_token
+
+    if process_token(os.getpid()) is None:
+        pytest.skip("no /proc start-time tokens on this platform")
+    # Simulate pid reuse: the lock names a live pid (ours) but a
+    # start-time token from a previous boot/process incarnation.  A
+    # bare dead-pid check would treat it as live forever; the token
+    # mismatch marks it stale.
+    reused = tmp_path / "shard-00"
+    reused.mkdir()
+    (reused / SHARD_LOCK_NAME).write_text(f"{os.getpid()} 1")
+    lock = acquire_shard_lock(reused)  # swept and re-acquired
+    assert lock.read_text().split()[1] == process_token(os.getpid())
+    release_shard_lock(lock)
+
+    # sweep_stale_shard_locks applies the same discipline...
+    (reused / SHARD_LOCK_NAME).write_text(f"{os.getpid()} 1")
+    assert sweep_stale_shard_locks(tmp_path) == [str(reused / SHARD_LOCK_NAME)]
+    # ...while a matching token (the genuine owner) still blocks.
+    lock = acquire_shard_lock(reused)
+    with pytest.raises(ShardLockError):
+        acquire_shard_lock(reused)
+    assert sweep_stale_shard_locks(tmp_path) == []
+    release_shard_lock(lock)
 
 
 def test_sweep_stale_shard_locks_recursive(tmp_path):
@@ -292,6 +322,41 @@ def test_sharded_offer_lines_sheds_and_warns(tmp_path):
     assert service.shed > 0
     warnings = [r for r in ledger.events if r["event"] == "advisor-backpressure"]
     assert warnings and warnings[0]["tier"] == "shard"
+    # Every warning reports the triggering shard's own count, and the
+    # aggregate can never drift from the per-shard decomposition.
+    assert all(w["shed"] <= w["shed_total"] for w in warnings)
+    assert service.shed == sum(service.shed_by_shard)
+
+
+def test_tier_shed_counts_per_shard_with_offer_warn_cadence(tmp_path):
+    ledger = RunLedger()
+    service = ShardedAdvisorService(
+        tmp_path / "fleet", CONFIG, shards=3, workers=False
+    )
+    with use_ledger(ledger):
+        service._note_shed(0, 1)    # first shed on shard 0 -> warn
+        service._note_shed(0, 998)  # 999 total: quiet
+        service._note_shed(0, 4)    # 999 -> 1003 crosses the 1000 mark -> warn
+        service._note_shed(1, 2)    # first shed on shard 1 -> warn
+        service._note_shed(1, 500)  # 502 total: quiet
+    warnings = [r for r in ledger.events if r["event"] == "advisor-backpressure"]
+    # Cadence matches AdvisorService.offer per shard (first shed, then
+    # every 1000th), stated as a boundary crossing so the multi-event
+    # jump over 1000 still warns; shard 1's first shed warns even
+    # though the *aggregate* was already past 1000.
+    assert [(w["shard"], w["shed"], w["shed_total"]) for w in warnings] == [
+        (0, 1, 1),
+        (0, 1003, 1003),
+        (1, 2, 1005),
+    ]
+    assert all(w["tier"] == "shard" for w in warnings)
+    assert service.shed_by_shard == [1003, 502, 0]
+    assert service.shed == 1505
+    snapshot = service.health_snapshot()
+    assert snapshot["routing"]["shed_events"] == 1505
+    assert snapshot["routing"]["shed_by_shard"] == [1003, 502, 0]
+    assert sum(row["tier_shed"] for row in snapshot["shards"]) == 1505
+    service.close()
 
 
 # -- process-mode fleet: smoke, registry recovery, chaos ------------------
@@ -432,6 +497,79 @@ def test_frontend_socket_decisions_and_health(tmp_path):
     snapshot = json.loads(body)
     assert snapshot["routing"]["shards"] == 3
     assert snapshot["ingest"]["received"] == len(lines)
+
+
+class _EchoService:
+    """Minimal service shape (`request_lines`/`health_snapshot`/`close`)
+    for frontend protocol tests — no advisor state involved."""
+
+    def request_lines(self, lines):
+        return [{"echo": line} for line in lines]
+
+    def health_snapshot(self):
+        return {"ok": True}
+
+    def close(self):
+        pass
+
+
+def test_frontend_http_hardening(tmp_path, monkeypatch):
+    """Malformed, partial and non-GET HTTP on the health socket get clean
+    error responses and a closed connection — never a hung handler task,
+    never a traceback, and the server keeps serving afterwards."""
+    import contextlib
+
+    from repro.service import frontend as frontend_mod
+
+    monkeypatch.setattr(frontend_mod, "_HTTP_HEADER_TIMEOUT_S", 0.2)
+    monkeypatch.setattr(frontend_mod, "_LINE_LIMIT", 1024)
+    frontend = JsonlFrontend(_EchoService())
+    sock_path = str(tmp_path / "advisor.sock")
+
+    async def exchange(payload: bytes) -> bytes:
+        reader, writer = await asyncio.open_unix_connection(sock_path)
+        writer.write(payload)
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout=10)
+        writer.close()
+        with contextlib.suppress(Exception):
+            await writer.wait_closed()
+        return raw
+
+    async def scenario():
+        ready = asyncio.Event()
+        server = asyncio.create_task(
+            frontend.serve(f"unix:{sock_path}", ready=ready, install_signals=False)
+        )
+        await asyncio.wait_for(ready.wait(), timeout=30)
+        results = {}
+        results["post"] = await exchange(b"POST /health HTTP/1.0\r\n\r\n")
+        results["bare"] = await exchange(b"GET\r\n")
+        results["junk"] = await exchange(b"GET /health HTTP/1.0 junk\r\n\r\n")
+        # Stalls mid-headers: the write side stays open, so only the
+        # bounded header read can unblock the handler.
+        results["stall"] = await exchange(b"GET /health HTTP/1.0\r\nx-partial: ")
+        results["head"] = await exchange(b"HEAD /health HTTP/1.0\r\n\r\n")
+        # One line over the stream limit: unframed from here, close.
+        results["overrun"] = await exchange(b"x" * 4096)
+        # The server survived all of it: a well-formed request still works.
+        results["ok"] = await exchange(b"GET /health HTTP/1.0\r\n\r\n")
+        frontend.request_stop()
+        await asyncio.wait_for(server, timeout=30)
+        return results
+
+    results = asyncio.run(scenario())
+    assert results["post"].startswith(b"HTTP/1.0 405")
+    assert results["bare"].startswith(b"HTTP/1.0 400")
+    assert results["junk"].startswith(b"HTTP/1.0 400")
+    assert results["stall"].startswith(b"HTTP/1.0 408")
+    head, _, body = results["head"].partition(b"\r\n\r\n")
+    assert head.startswith(b"HTTP/1.0 200")
+    assert body == b""  # HEAD: headers only
+    assert results["overrun"] == b""  # closed cleanly, no response
+    head, _, body = results["ok"].partition(b"\r\n\r\n")
+    assert head.startswith(b"HTTP/1.0 200")
+    assert json.loads(body) == {"ok": True}
 
 
 def test_frontend_stdin_pump(tmp_path):

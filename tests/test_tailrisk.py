@@ -1,0 +1,175 @@
+"""Properties of the CVaR-α-constrained strategy (repro.core.tailrisk).
+
+Three layers:
+
+* Hypothesis properties — for ANY feasible (α, τ, B) the mixture is a
+  probability distribution (continuous mass + atom integrate to 1) and
+  the realized ``CVaR_α(y)/opt(y)`` respects the cap at every stop
+  length;
+* the N-Rand limit — as α → 1 (cap ≥ 2) the constraint goes slack,
+  ``ρ* = 1`` exactly, and every observable matches N-Rand within 1e-9;
+* quadrature cross-checks — the closed-form ``cvar_cost`` branches
+  against a numeric tail mean on a dense quantile grid.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.constants import E
+from repro.core import NRand, TailRiskRand, max_nrand_weight, tail_cap_feasible
+from repro.errors import InvalidParameterError
+
+B = 28.0
+
+
+def _numeric_cvar(strategy: TailRiskRand, y: float, n: int = 400_000) -> float:
+    """Tail mean of the per-stop cost on a midpoint quantile grid."""
+    b = strategy.break_even
+    rho = strategy.nrand_weight
+    quantiles = (np.arange(n) + 0.5) / n
+    with np.errstate(divide="ignore"):
+        thresholds = np.where(
+            quantiles < rho,
+            b * np.log1p((quantiles / np.maximum(rho, 1e-300)) * (E - 1.0)),
+            b,
+        )
+    costs = np.where(thresholds <= y, thresholds + b, y)
+    k = max(1, int(round(strategy.alpha * n)))
+    return float(np.sort(costs)[n - k :].mean())
+
+
+class TestDistribution:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        alpha=st.floats(min_value=0.02, max_value=1.0),
+        cap=st.floats(min_value=1.1, max_value=4.0),
+        b=st.floats(min_value=5.0, max_value=300.0),
+    )
+    def test_mass_integrates_to_one_and_cap_is_respected(self, alpha, cap, b):
+        assume(tail_cap_feasible(alpha, cap))
+        strategy = TailRiskRand(b, alpha, cap)
+        xs = np.linspace(0.0, b, 2001)
+        mass = np.trapezoid([strategy.pdf(x) for x in xs], xs) + strategy.atom_weight
+        assert abs(mass - 1.0) < 1e-5
+        for y in np.linspace(0.05 * b, 3.0 * b, 23):
+            assert strategy.cvar_ratio(float(y)) <= cap * (1.0 + 1e-9) + 1e-9
+
+    def test_inverse_cdf_roundtrips_the_cdf(self):
+        strategy = TailRiskRand(B, 0.1, 2.0)
+        rho = strategy.nrand_weight
+        for u in np.linspace(0.0, 0.999, 41):
+            x = strategy.inverse_cdf(float(u))
+            assert 0.0 <= x <= B
+            if u < rho:  # continuous branch: exact roundtrip
+                assert strategy.cdf(x) == pytest.approx(float(u), abs=1e-12)
+            else:  # atom: everything above rho maps to B
+                assert x == B
+        with pytest.raises(InvalidParameterError):
+            strategy.inverse_cdf(1.5)
+
+    def test_draw_consumes_exactly_one_uniform(self):
+        # Stream parity with N-Rand: one uniform per draw no matter
+        # which mixture component it lands in (the serving layer's
+        # batched/scalar bit-identity depends on it).
+        strategy = TailRiskRand(B, 0.1, 2.0)
+        rng = np.random.default_rng(7)
+        draws = [strategy.draw_threshold(rng) for _ in range(50)]
+        replay = np.random.default_rng(7)
+        expected = [strategy.inverse_cdf(float(replay.uniform())) for _ in range(50)]
+        assert draws == expected
+
+
+class TestFeasibility:
+    def test_caps_at_or_above_two_always_feasible(self):
+        assert tail_cap_feasible(0.001, 2.0)
+        assert tail_cap_feasible(1.0, 2.0)
+
+    def test_caps_below_two_need_slack_nrand(self):
+        # alpha*(cap-1)*(e-1) >= 1: at cap=1.8, needs alpha >= 0.7275...
+        assert not tail_cap_feasible(0.5, 1.8)
+        assert tail_cap_feasible(0.8, 1.8)
+        assert max_nrand_weight(0.8, 1.8) == 1.0
+
+    @pytest.mark.parametrize(
+        "alpha,cap",
+        [(0.0, 2.0), (1.5, 2.0), (0.5, 1.0), (0.5, float("inf")), (0.5, 1.8)],
+    )
+    def test_bad_or_infeasible_parameters_raise(self, alpha, cap):
+        with pytest.raises(InvalidParameterError):
+            max_nrand_weight(alpha, cap)
+        with pytest.raises(InvalidParameterError):
+            TailRiskRand(B, alpha, cap)
+
+
+class TestNRandLimit:
+    @pytest.mark.parametrize("alpha", [0.59, 0.9, 1.0])
+    def test_alpha_to_one_degenerates_to_nrand_within_1e9(self, alpha):
+        # The constraint is slack at alpha >= 1/((cap-1)(e-1)) ~ 0.582
+        # for cap=2, so rho* = 1 exactly: the strategy IS N-Rand.
+        strategy = TailRiskRand(B, alpha, 2.0)
+        nrand = NRand(B)
+        assert strategy.nrand_weight == 1.0
+        assert strategy.atom_weight == 0.0
+        assert abs(strategy.worst_case_expected_cr - E / (E - 1.0)) <= 1e-9
+        for u in np.linspace(0.0, 1.0, 101):
+            delta = strategy.inverse_cdf(float(u)) - nrand.inverse_cdf(float(u))
+            assert abs(delta) <= 1e-9
+        for y in np.linspace(0.5, 3.0 * B, 37):
+            delta = strategy.expected_cost(float(y)) - nrand.expected_cost(float(y))
+            assert abs(delta) <= 1e-9
+            assert abs(strategy.pdf(float(y)) - nrand.pdf(float(y))) <= 1e-9
+
+    def test_rho_shrinks_with_tighter_tails(self):
+        weights = [max_nrand_weight(alpha, 2.0) for alpha in (0.5, 0.2, 0.1, 0.02)]
+        assert weights == sorted(weights, reverse=True)
+        assert weights[-1] == pytest.approx(0.02 * (E - 1.0))
+
+
+class TestClosedForms:
+    @pytest.mark.parametrize(
+        "alpha,cap,y",
+        [
+            (0.05, 2.0, 14.0),  # binding regime: m(y) <= alpha, y < B
+            (0.05, 2.0, 27.0),  # deep-tail regime: m(y) > alpha, y < B
+            (0.50, 2.0, 40.0),  # y >= B, tail spills past the atom
+            (0.05, 2.0, 40.0),  # y >= B, atom alone covers the tail
+            (0.25, 3.0, 10.0),  # binding regime at a looser cap
+        ],
+    )
+    def test_cvar_cost_matches_quadrature(self, alpha, cap, y):
+        strategy = TailRiskRand(B, alpha, cap)
+        closed = strategy.cvar_cost(y)
+        numeric = _numeric_cvar(strategy, y)
+        assert closed == pytest.approx(numeric, rel=1e-3)
+
+    def test_atom_only_tail_is_twice_break_even(self):
+        strategy = TailRiskRand(B, 0.05, 2.0)
+        assert 1.0 - strategy.nrand_weight >= 0.05  # atom covers the tail
+        assert strategy.cvar_cost(B) == 2.0 * B
+        assert strategy.cvar_cost(10.0 * B) == 2.0 * B
+
+    def test_cap_binds_exactly_when_rho_below_one(self):
+        strategy = TailRiskRand(B, 0.1, 2.0)
+        assert strategy.nrand_weight < 1.0
+        # sup_y CVaR/opt is attained in the binding regime where the
+        # ratio is flat at cap; verify the sup over a dense grid.
+        ratios = [strategy.cvar_ratio(float(y)) for y in np.linspace(0.1, 3 * B, 600)]
+        assert max(ratios) == pytest.approx(strategy.cap, rel=1e-9)
+
+    def test_worst_case_expected_cr_matches_grid_sup(self):
+        for alpha, cap in ((0.1, 2.0), (0.5, 2.5), (1.0, 2.0)):
+            strategy = TailRiskRand(B, alpha, cap)
+            grid = np.linspace(0.1, 5.0 * B, 800)
+            ratios = strategy.expected_cost_vec(grid) / np.minimum(grid, B)
+            assert float(ratios.max()) <= strategy.worst_case_expected_cr + 1e-9
+            assert float(ratios.max()) == pytest.approx(
+                strategy.worst_case_expected_cr, rel=1e-6
+            )
+            assert np.allclose(
+                strategy.expected_cost_vec(grid),
+                [strategy.expected_cost(float(y)) for y in grid],
+            )
