@@ -390,6 +390,33 @@ def build_parser() -> argparse.ArgumentParser:
         "(see docs/serving.md 'Sharded serving')",
     )
     serve.add_argument(
+        "--hang-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="sharded serving: declare a worker hung after this much "
+        "silence while it holds in-flight work, SIGKILL and respawn it "
+        "(0 disables hang detection; requires --shards)",
+    )
+    serve.add_argument(
+        "--restart-budget",
+        type=int,
+        default=8,
+        metavar="N",
+        help="sharded serving: consecutive worker crashes before the "
+        "shard's circuit breaker opens and its traffic is shed with "
+        "count (requires --shards)",
+    )
+    serve.add_argument(
+        "--poison-budget",
+        type=int,
+        default=3,
+        metavar="N",
+        help="sharded serving: consecutive crashes attributed to the "
+        "same head-of-queue chunk before it is quarantined to "
+        "poison.quarantine.jsonl and skipped (requires --shards)",
+    )
+    serve.add_argument(
         "--listen",
         default=None,
         metavar="ADDR",
@@ -1018,6 +1045,9 @@ def _serve_sharded(args, config) -> int:
             fsync=args.fsync,
             max_queue=args.max_queue,
             ledger_path=None if args.ledger is None else str(args.ledger),
+            hang_timeout=args.hang_timeout if args.hang_timeout > 0 else None,
+            restart_budget=args.restart_budget,
+            poison_budget=args.poison_budget,
         )
         try:
             if args.listen is not None:
@@ -1074,6 +1104,15 @@ def _serve_sharded(args, config) -> int:
           f"{routing['dispatched_events']} event(s) routed, "
           f"{routing['restarts']} worker restart(s), "
           f"{routing['shed_events']} shed at the tier")
+    hangs = routing.get("hangs", 0)
+    quarantined = routing.get("quarantined_chunks", 0)
+    breakers = routing.get("breaker_open", [])
+    if hangs or quarantined or breakers:
+        print(f"supervision: {hangs} hang(s) detected, "
+              f"{quarantined} chunk(s) quarantined "
+              f"({routing.get('quarantined_events', 0)} event(s)), "
+              f"breaker open on {breakers or 'no'} shard(s), "
+              f"{routing.get('breaker_shed', 0)} event(s) shed to breakers")
     rows = [
         (
             str(row["shard"]),

@@ -48,6 +48,7 @@ record that its ``"kill"`` fault already fired and must survive.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import os
 import signal
@@ -59,6 +60,8 @@ from ..errors import InvalidParameterError
 __all__ = [
     "Fault",
     "FaultInjector",
+    "FsFault",
+    "FsFaultInjector",
     "InjectedFault",
     "owner_alive",
     "owner_record",
@@ -283,3 +286,95 @@ class FaultInjector:
             # an un-timed-out hang changes nothing but wall time.
             time.sleep(fault.hang_seconds)
         return self.fn(item)
+
+
+# -- filesystem fault injection --------------------------------------------
+
+
+@dataclass(frozen=True)
+class FsFault:
+    """One disk-fault window: ``count`` consecutive failing operations.
+
+    ``errno_code`` is the ``errno`` value carried by the injected
+    :class:`OSError` — ``ENOSPC`` (disk full) by default; ``EIO`` and
+    ``EROFS`` model media errors and a remounted-read-only filesystem.
+    """
+
+    errno_code: int = errno.ENOSPC
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.errno_code < 1:
+            raise InvalidParameterError(
+                f"errno_code must be a positive errno, got {self.errno_code}"
+            )
+        if self.count < 1:
+            raise InvalidParameterError(f"fault count must be >= 1, got {self.count}")
+
+
+class FsFaultInjector:
+    """Deterministic disk faults for the durability layer's write path.
+
+    The WAL/snapshot/ledger writers consult :meth:`check` immediately
+    before each physical operation (append, publish, reset, probe).
+    Every call advances a global 1-based operation ordinal; when the
+    ordinal hits a key of ``faults``, a **down window** opens and that
+    operation — plus the next ``count - 1`` checks — raises ``OSError``
+    with the fault's errno, after which the disk "heals" and checks pass
+    again.  Ordinals make schedules reproducible without wall clocks,
+    the same way :class:`FaultInjector` keys kills to task items.
+
+    Window activation goes through the same ``O_CREAT | O_EXCL`` claim
+    files as the task injector (one claim per window, under
+    ``state_dir``), so a rerun over the same state directory — the soak
+    harness's recovery cycle — sees each window fire exactly once.
+
+    The ordinal counter is in-process state: share ONE injector across
+    the sessions of one service (``AdvisorService(fs=...)`` does) so
+    the schedule covers the interleaved stream, not one file.
+    """
+
+    def __init__(self, faults: dict[int, FsFault], state_dir) -> None:
+        self.faults = {}
+        for ordinal, fault in faults.items():
+            ordinal = int(ordinal)
+            if ordinal < 1:
+                raise InvalidParameterError(
+                    f"fault ordinals are 1-based, got {ordinal}"
+                )
+            self.faults[ordinal] = fault
+        self.state_dir = str(state_dir)
+        self.ops = 0
+        self.raised = 0
+        self._windows: list[tuple[int, int]] = []  # (first op past window, errno)
+
+    def _claim(self, ordinal: int) -> bool:
+        os.makedirs(self.state_dir, exist_ok=True)
+        path = os.path.join(self.state_dir, f"fs.{ordinal}")
+        try:
+            handle = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        try:
+            os.write(handle, owner_record().encode())
+        finally:
+            os.close(handle)
+        return True
+
+    def check(self, op: str, path) -> None:
+        """Count one disk operation; raise if it falls in a down window.
+
+        ``op`` and ``path`` only label the injected error — scheduling
+        is purely ordinal, so a test can place a window without knowing
+        which file the Nth operation happens to touch.
+        """
+        self.ops += 1
+        fault = self.faults.get(self.ops)
+        if fault is not None and self._claim(self.ops):
+            self._windows.append((self.ops + fault.count, fault.errno_code))
+        for until, code in self._windows:
+            if self.ops < until:
+                self.raised += 1
+                name = errno.errorcode.get(code, str(code))
+                raise OSError(code, f"injected {name} during {op}", str(path))
+        self._windows = [window for window in self._windows if self.ops < window[0]]

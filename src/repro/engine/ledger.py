@@ -105,6 +105,11 @@ class RunLedger:
         (``repro-idling serve``) so one ledger spans every kill/restart
         cycle of a run; a torn final line left by the previous crash is
         not counted (see :func:`read_ledger`).
+    fs:
+        Optional fault-injection shim (``check(op, path)``) consulted
+        before each on-disk append — how disk-fault tests schedule
+        ``OSError`` deterministically
+        (:class:`repro.engine.faults.FsFaultInjector`).
     """
 
     def __init__(
@@ -113,10 +118,15 @@ class RunLedger:
         *,
         fsync: bool = False,
         append: bool = False,
+        fs=None,
     ) -> None:
         self.path = Path(path) if path is not None else None
         self.fsync = bool(fsync)
         self.events: list[dict] = []
+        #: Disk-write failures swallowed by :meth:`emit` (see there).
+        self.io_errors = 0
+        self.last_io_error: str | None = None
+        self._fs = fs
         self._seq_base = 0
         self._origin = time.monotonic()
         if self.path is not None:
@@ -172,7 +182,15 @@ class RunLedger:
         return ledger
 
     def emit(self, event: str, **fields) -> dict:
-        """Record one event; returns the full record."""
+        """Record one event; returns the full record.
+
+        The ledger is telemetry, not state: a disk that cannot take the
+        append (``ENOSPC``, ``EIO``, read-only FS) must not take the run
+        down with it.  Write failures keep the in-memory record, bump
+        :attr:`io_errors` and are otherwise swallowed — the ledger heals
+        by itself once the disk does, with a gap in the on-disk file but
+        contiguous ``seq`` values recording how much was lost.
+        """
         record = {
             "seq": self._seq_base + len(self.events),
             "t": round(time.monotonic() - self._origin, 6),
@@ -181,11 +199,19 @@ class RunLedger:
         record.update(fields)
         self.events.append(record)
         if self.path is not None:
-            with open(self.path, "a") as handle:
-                handle.write(json.dumps(record, sort_keys=True, default=repr) + "\n")
-                if self.fsync:
-                    handle.flush()
-                    os.fsync(handle.fileno())
+            try:
+                if self._fs is not None:
+                    self._fs.check("ledger-emit", self.path)
+                with open(self.path, "a") as handle:
+                    handle.write(
+                        json.dumps(record, sort_keys=True, default=repr) + "\n"
+                    )
+                    if self.fsync:
+                        handle.flush()
+                        os.fsync(handle.fileno())
+            except OSError as exc:
+                self.io_errors += 1
+                self.last_io_error = repr(exc)
         return record
 
     def count(self, event: str) -> int:

@@ -97,6 +97,11 @@ class AdvisorService:
         Forwarded to every session's WAL/snapshot writes.
     recover:
         Restore per-vehicle durable state found under ``state_dir``.
+    fs:
+        Optional fault-injection shim shared by every session's WAL and
+        snapshot store (:class:`repro.engine.faults.FsFaultInjector`);
+        the ordinal schedule then covers the whole service's disk
+        traffic, which is how the disk-fault soak is driven.
     """
 
     def __init__(
@@ -110,12 +115,14 @@ class AdvisorService:
         fsync: bool = False,
         recover: bool = True,
         source: str = "events",
+        fs=None,
     ) -> None:
         self.state_dir = Path(state_dir)
         self.state_dir.mkdir(parents=True, exist_ok=True)
         self.config = config
         self.policy = policy
         self.fsync = bool(fsync)
+        self.fs = fs
         self.recover = bool(recover)
         if max_queue < 1:
             max_queue = 1
@@ -149,6 +156,7 @@ class AdvisorService:
             enforcer=self._enforcer,
             fsync=self.fsync,
             recover=self.recover,
+            fs=self.fs,
         )
         self.sessions[vehicle_id] = session
         return session
@@ -380,11 +388,55 @@ class AdvisorService:
                 )
                 for state in ("healthy", "degraded", "safe")
             },
+            "durability": self.durability_summary(),
         }
 
+    def durability_summary(self) -> dict:
+        """Aggregated DURABILITY_SUSPENDED overlay across sessions."""
+        sessions = self.sessions.values()
+        return {
+            "suspended_sessions": sum(
+                1 for s in sessions if s.durability_suspended
+            ),
+            "buffered_events": sum(len(s._suspend_buffer) for s in sessions),
+            "dropped_events": sum(s.suspend_dropped for s in sessions),
+            "suspensions": sum(s.suspensions for s in sessions),
+            "resumes": sum(s.resumes for s in sessions),
+        }
+
+    def readiness(self) -> dict:
+        """What a load balancer should gate on: ``{"ready", "reasons"}``.
+
+        Distinct from :meth:`health_snapshot` — health reports, readiness
+        *decides*.  A service with any durability-suspended session is
+        serving SAFE decisions (still correct under the distribution-free
+        guarantee) but cannot persist state, so new traffic should go
+        elsewhere while it heals.
+        """
+        suspended = sorted(
+            vehicle
+            for vehicle, session in self.sessions.items()
+            if session.durability_suspended
+        )
+        reasons = []
+        if suspended:
+            reasons.append(
+                f"durability suspended for {len(suspended)} session(s): "
+                f"{suspended[:5]}"
+            )
+        return {"ready": not reasons, "reasons": reasons}
+
     def close(self) -> None:
-        """Flush durable state: final compaction for every session."""
+        """Flush durable state: final compaction for every session.
+
+        A durability-suspended session gets one forced probe first — the
+        last chance to land its buffered tail before the process exits
+        (a tail still unlandable stays lost, by design: it was never
+        durable and the snapshot says so).
+        """
         self.drain()
         for session in self.sessions.values():
+            if session.durability_suspended:
+                session.probe_durability()
             session.compact()
         self._enforcer.close()

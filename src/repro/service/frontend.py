@@ -5,8 +5,12 @@
 JSONL stop events over a Unix or TCP socket (or the process's stdin)
 and receive one JSON decision — or ``null`` for malformed/dropped
 records — per line, in input order.  The same socket speaks just enough
-HTTP for ``GET /health``: a plain ``curl`` gets the aggregated fleet
-snapshot as JSON, no extra port or dependency.
+HTTP for ``GET /health`` and ``GET /ready``: a plain ``curl`` gets the
+aggregated fleet snapshot as JSON, no extra port or dependency.
+``/health`` is liveness ("the parent answers"; always 200 with the
+snapshot); ``/ready`` is the serving gate — 200 only when every shard's
+worker is alive, no circuit breaker is open, and no session is
+durability-suspended, 503 with the reasons otherwise.
 
 The event loop only routes bytes; all advisor work happens in the shard
 worker processes (reached through ``asyncio.to_thread`` so a slow fleet
@@ -152,7 +156,7 @@ class JsonlFrontend:
             writer.write(
                 b"HTTP/1.0 405 Method Not Allowed\r\nallow: GET, HEAD\r\n"
                 b"content-type: text/plain\r\nconnection: close\r\n\r\n"
-                b"only GET/HEAD /health is served here\n"
+                b"only GET/HEAD /health and /ready are served here\n"
             )
             await writer.drain()
             return
@@ -169,10 +173,20 @@ class JsonlFrontend:
             )
             await writer.drain()
             return
-        if target.split("?")[0] not in ("/health", "/healthz"):
+        path = target.split("?")[0]
+        if path in ("/ready", "/readyz"):
+            verdict = await asyncio.to_thread(self._readiness)
+            body = json.dumps(verdict, indent=2).encode() + b"\n"
+            status = b"200 OK" if verdict["ready"] else b"503 Service Unavailable"
+            head = (
+                b"HTTP/1.0 " + status + b"\r\ncontent-type: application/json\r\n"
+                + f"content-length: {len(body)}\r\n\r\n".encode()
+            )
+            writer.write(head if method == "HEAD" else head + body)
+        elif path not in ("/health", "/healthz"):
             writer.write(
                 b"HTTP/1.0 404 Not Found\r\ncontent-type: text/plain\r\n\r\n"
-                b"only /health is served here\n"
+                b"only /health and /ready are served here\n"
             )
         else:
             snapshot = await asyncio.to_thread(self.service.health_snapshot)
@@ -183,6 +197,22 @@ class JsonlFrontend:
             )
             writer.write(head if method == "HEAD" else head + body)
         await writer.drain()
+
+    def _readiness(self) -> dict:
+        """The service's readiness verdict, never raising.
+
+        A service without a ``readiness`` method (plain stand-ins in
+        tests) is ready whenever it answers; a probe that *raises* is a
+        not-ready with the error as the reason — a readiness endpoint
+        that can 500 defeats its purpose.
+        """
+        probe = getattr(self.service, "readiness", None)
+        if probe is None:
+            return {"ready": True, "reasons": []}
+        try:
+            return probe()
+        except Exception as exc:
+            return {"ready": False, "reasons": [f"readiness probe failed: {exc!r}"]}
 
     async def _handle(self, reader, writer) -> None:
         self.connections += 1

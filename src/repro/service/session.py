@@ -16,6 +16,15 @@ path, so a SIGKILL at any instant restores the session bit-identically
 — pinned by the soak harness (:mod:`repro.service.soak`) and the
 Hypothesis round-trip property in the tests.
 
+When the *disk itself* fails (``ENOSPC``, ``EIO``, read-only FS) the
+session enters **DURABILITY_SUSPENDED** instead of dying: decisions
+keep flowing from the SAFE fallback (distribution-free guarantee, no
+state needed), incoming events buffer in a bounded in-memory tail, the
+disk is probed on an event-counted backoff schedule, and on recovery
+the buffer replays through the normal apply path — converging
+bit-identically to a run that never faulted.  See the
+"disk-fault degradation" section below.
+
 Degradation ladder
 ------------------
 ``HEALTHY → DEGRADED → SAFE``, driven by the drift detectors
@@ -135,6 +144,10 @@ class SessionConfig:
     safe_recover_after: int = 200
     bad_event_streak: int = 5
     seed: int = 20140601
+    # Bounded in-memory event tail kept while durability is suspended
+    # (disk fault): events past the bound are dropped-and-counted, so a
+    # long outage degrades availability of *history*, never memory.
+    suspend_buffer: int = 4096
 
     def __post_init__(self) -> None:
         validate_break_even(self.break_even)
@@ -156,6 +169,7 @@ class SessionConfig:
             "recover_after",
             "safe_recover_after",
             "bad_event_streak",
+            "suspend_buffer",
         ):
             if getattr(self, name) < 1:
                 raise InvalidParameterError(f"{name} must be >= 1, got {getattr(self, name)}")
@@ -206,6 +220,10 @@ class AdvisorSession:
         Restore durable state found in ``state_dir`` (default).  False
         starts fresh even over existing state (the soak harness's
         "uninterrupted" reference runs do this into clean directories).
+    fs:
+        Optional fault-injection shim forwarded to the WAL and snapshot
+        store (:class:`repro.engine.faults.FsFaultInjector`) — how the
+        ``DURABILITY_SUSPENDED`` path is tested deterministically.
     """
 
     def __init__(
@@ -219,6 +237,7 @@ class AdvisorSession:
         enforcer: PolicyEnforcer | None = None,
         fsync: bool = False,
         recover: bool = True,
+        fs=None,
     ) -> None:
         self.vehicle_id = str(vehicle_id)
         self.config = config
@@ -237,8 +256,10 @@ class AdvisorSession:
         self._snapshots: SnapshotStore | None = None
         if state_dir is not None:
             directory = Path(state_dir)
-            self._wal = WriteAheadLog(directory / "wal.jsonl", fsync=fsync)
-            self._snapshots = SnapshotStore(directory / "snapshot.json", fsync=fsync)
+            self._wal = WriteAheadLog(directory / "wal.jsonl", fsync=fsync, fs=fs)
+            self._snapshots = SnapshotStore(
+                directory / "snapshot.json", fsync=fsync, fs=fs
+            )
         self._init_fresh_state()
         if recover and self._snapshots is not None:
             self._recover()
@@ -266,6 +287,20 @@ class AdvisorSession:
         self.estimator = AdaptiveProposed(
             config.break_even, config.min_samples, decay=config.healthy_decay
         )
+        # DURABILITY_SUSPENDED overlay (volatile; never serialized — the
+        # whole point is that a healed session is indistinguishable from
+        # one that never faulted, so nothing here may reach to_state()).
+        self.durability_suspended = False
+        self.suspend_reason: str | None = None
+        self.suspensions = 0
+        self.resumes = 0
+        self.suspend_dropped = 0
+        self._suspend_buffer: deque = deque()
+        self._suspend_ids: set[str] = set()
+        self._suspend_rng = None
+        self._suspend_seen = 0
+        self._probe_backoff = 1
+        self._next_probe_at = 1
         self.rng = np.random.default_rng(vehicle_seed(config.seed, self.vehicle_id))
         self.drift = DriftDetector(
             length_delta=config.length_delta,
@@ -285,8 +320,16 @@ class AdvisorSession:
         :func:`repro.validation.schemas.stop_event_findings`); this
         method performs the *stateful* checks — idempotency and clock
         monotonicity — then makes the event durable and applies it.
+
+        While durability is suspended (disk fault) the event is served
+        from the SAFE fallback and buffered instead of applied — see
+        :meth:`_submit_suspended`.
         """
         event_id = str(event_id)
+        if self.durability_suspended:
+            self._probe_maybe()
+            if self.durability_suspended:
+                return self._submit_suspended(event_id, timestamp, stop_length)
         if event_id in self._recent_id_set:
             # At-least-once delivery: a replayed event is a no-op, not an
             # error — counted, never reported per-record (a redelivery
@@ -329,7 +372,15 @@ class AdvisorSession:
             "y": float(stop_length),
         }
         if self._wal is not None:
-            self._wal.append(record)
+            try:
+                self._wal.append(record)
+            except OSError as exc:
+                # The append failed, so the event is NOT durable and the
+                # WAL-before-apply invariant forbids applying it; park
+                # it in the suspension buffer to be replayed — through
+                # this very path — once the disk heals.
+                self._suspend(exc, "wal-append")
+                return self._submit_suspended(event_id, timestamp, stop_length)
         decision = self._apply(record)
         if self._snapshots is not None and self.applied % self.config.snapshot_every == 0:
             self.compact()
@@ -347,6 +398,195 @@ class AdvisorSession:
         if self.bad_streak >= self.config.bad_event_streak:
             self.bad_streak = 0
             self._on_alarm(f"validation-streak:{check}")
+
+    # -- disk-fault degradation (DURABILITY_SUSPENDED) --------------------
+    #
+    # A WAL append or snapshot publish that raises OSError (ENOSPC, EIO,
+    # read-only FS) must not kill the session OR violate the
+    # WAL-before-apply invariant by applying an event that was never
+    # made durable.  Instead the session suspends durability:
+    #
+    # * incoming events are buffered verbatim (bounded) and answered
+    #   with decisions from the distribution-free SAFE fallback, drawn
+    #   on a dedicated side RNG so the session's own stream is untouched;
+    # * no session state mutates — cost, estimator, health, clocks all
+    #   freeze at the last durable event;
+    # * the disk is probed on an exponential backoff schedule counted in
+    #   suspended events (deterministic for tests — no wall clock), and
+    #   on success the buffered tail replays through the normal
+    #   :meth:`submit` path and the session re-compacts.
+    #
+    # Because replay uses the same apply path and the buffered events
+    # arrive in original order, the healed durable state is
+    # bit-identical to a run that never faulted — the same argument that
+    # makes WAL recovery bit-identical.  The overlay is volatile by
+    # construction: nothing here is serialized, and ``state_digest()``
+    # already excludes the delivery counters suspension touches.
+
+    def _suspend(self, exc: OSError, op: str) -> None:
+        """Enter (or stay in) DURABILITY_SUSPENDED after a disk fault."""
+        self.suspend_reason = f"{op}: {exc!r}"
+        if self.durability_suspended:
+            return
+        self.durability_suspended = True
+        self.suspensions += 1
+        self._suspend_seen = 0
+        self._probe_backoff = 1
+        self._next_probe_at = 1
+        ledger = active_ledger()
+        if ledger is not None and not self._replaying:
+            ledger.emit(
+                "advisor-durability",
+                vehicle=self.vehicle_id,
+                state="suspended",
+                op=op,
+                error=repr(exc),
+                applied=self.applied,
+            )
+
+    def _submit_suspended(self, event_id: str, timestamp, stop_length):
+        """Serve one event while durability is suspended.
+
+        The event cannot be made durable, so it must not mutate session
+        state; it is buffered (bounded by ``config.suspend_buffer``) for
+        in-order replay after the disk heals, and the decision served
+        *now* comes from the SAFE fallback — the health ladder's floor,
+        whose guarantee needs no estimator and no durable state.
+        """
+        self._suspend_seen += 1
+        if event_id in self._recent_id_set or event_id in self._suspend_ids:
+            self.duplicates += 1
+            return None
+        try:
+            timestamp = float(timestamp)
+            stop_length = float(stop_length)
+        except (TypeError, ValueError):
+            self.rejected += 1
+            return None
+        if len(self._suspend_buffer) >= self.config.suspend_buffer:
+            # Bounded memory beats unbounded history: the drop is
+            # counted and surfaced, and recovery still converges — the
+            # dropped events simply never happened, exactly as if the
+            # producer had shed them.
+            self.suspend_dropped += 1
+        else:
+            self._suspend_buffer.append((event_id, timestamp, stop_length))
+            self._suspend_ids.add(event_id)
+        return self._suspended_decision(event_id, stop_length)
+
+    def _suspended_decision(self, event_id: str, stop_length: float):
+        if not math.isfinite(stop_length) or stop_length < 0.0:
+            return None  # value-invalid: the normal path would reject it too
+        if self._suspend_rng is None:
+            # A dedicated stream, seeded apart from the session RNG: the
+            # session stream must replay bit-identically after healing,
+            # so suspension-mode draws cannot come from it.
+            self._suspend_rng = np.random.default_rng(
+                vehicle_seed(self.config.seed, self.vehicle_id + "\x00durability")
+            )
+        threshold = self._fallback.draw_threshold(self._suspend_rng)
+        decision = self._controller.apply(stop_length, threshold)
+        return {
+            "vehicle": self.vehicle_id,
+            "id": event_id,
+            "seq": None,  # not durable, not applied — no sequence number
+            "threshold": decision.threshold,
+            "idle_seconds": decision.idle_seconds,
+            "restarted": decision.restarted,
+            "cost": decision.total_cost(self.config.break_even),
+            "health": HealthState.SAFE.value,
+            "strategy": self._fallback.name,
+            "durability": "suspended",
+        }
+
+    def _probe_maybe(self) -> None:
+        """Probe the disk when the backoff schedule says so.
+
+        The schedule is counted in *suspended events* (1, 2, 4, ...
+        capped at 64 events between probes), not wall time — an idle
+        session costs nothing, a busy one probes promptly, and tests
+        are deterministic.
+        """
+        if self._suspend_seen < self._next_probe_at:
+            return
+        if not self._try_resume():
+            self._probe_backoff = min(64, self._probe_backoff * 2)
+            self._next_probe_at = self._suspend_seen + self._probe_backoff
+
+    def probe_durability(self) -> bool:
+        """Force one disk probe now; True when durability is (re)active.
+
+        The operator/close-path hook: ignores the backoff schedule.
+        """
+        if not self.durability_suspended:
+            return True
+        return self._try_resume()
+
+    def _try_resume(self) -> bool:
+        """One probe; on success replay the buffered tail and resume.
+
+        Replay routes every buffered event through the normal
+        :meth:`submit` — full validation, WAL-before-apply, RNG draws,
+        cost accounting — so the healed state converges to the
+        never-faulted run's.  A disk that fails again mid-replay simply
+        re-suspends: the failing event re-buffers itself, and the
+        not-yet-replayed remainder is queued back behind it in order.
+        """
+        if self._wal is not None:
+            try:
+                self._wal.probe()
+            except OSError as exc:
+                self.suspend_reason = f"wal-probe: {exc!r}"
+                return False
+        self.durability_suspended = False
+        # Compact BEFORE replaying: the failed append may have left a
+        # durable prefix of frames this session never applied in memory,
+        # and replaying the buffer would append the same events again —
+        # a later crash-recovery would then apply them twice.  Snapshot
+        # the actual in-memory state and reset the WAL first, so any
+        # orphaned frames are discarded and replay starts from a log
+        # that matches memory.
+        self.compact()
+        if self.durability_suspended:
+            return False  # the snapshot publish found the disk sick again
+        buffered = list(self._suspend_buffer)
+        self._suspend_buffer.clear()
+        self._suspend_ids.clear()
+        for position, event in enumerate(buffered):
+            self.submit(*event)
+            if self.durability_suspended:
+                for event_id, timestamp, stop_length in buffered[position + 1:]:
+                    if len(self._suspend_buffer) >= self.config.suspend_buffer:
+                        self.suspend_dropped += 1
+                    else:
+                        self._suspend_buffer.append(
+                            (event_id, timestamp, stop_length)
+                        )
+                        self._suspend_ids.add(event_id)
+                return False
+        self.resumes += 1
+        self.suspend_reason = None
+        ledger = active_ledger()
+        if ledger is not None and not self._replaying:
+            ledger.emit(
+                "advisor-durability",
+                vehicle=self.vehicle_id,
+                state="resumed",
+                replayed=len(buffered),
+                applied=self.applied,
+            )
+        return True
+
+    def durability_status(self) -> dict:
+        """The suspension overlay, as surfaced in health snapshots."""
+        return {
+            "suspended": self.durability_suspended,
+            "reason": self.suspend_reason,
+            "buffered": len(self._suspend_buffer),
+            "dropped": self.suspend_dropped,
+            "suspensions": self.suspensions,
+            "resumes": self.resumes,
+        }
 
     # -- batched ingestion (the columnar serving path) --------------------
 
@@ -379,6 +619,8 @@ class AdvisorSession:
         results: list = [None] * len(ids)
         if not ids:
             return results
+        if self.durability_suspended:
+            self._probe_maybe()
         # Timestamps must also be finite for the run path: the WAL's
         # canonical JSON rejects NaN/inf, and a non-finite clock must
         # fail on exactly the event that carries it, not abort the run.
@@ -387,6 +629,15 @@ class AdvisorSession:
         index = 0
         n = len(ids)
         while index < n:
+            if self.durability_suspended:
+                # Once suspended (at entry or mid-batch), every later
+                # event of the batch buffers behind the failing one —
+                # replay order must match arrival order exactly.
+                results[index] = self._submit_suspended(
+                    ids[index], float(ts[index]), float(ys[index])
+                )
+                index += 1
+                continue
             run = self._admit_run(ids, ts, clean, index)
             if run == 0:
                 # Complication event: full scalar semantics.
@@ -453,7 +704,18 @@ class AdvisorSession:
             for j in range(k)
         ]
         if self._wal is not None:
-            self._wal.append_many(frames)
+            try:
+                self._wal.append_many(frames)
+            except OSError as exc:
+                # None of the run is durable (append_many is all-or-
+                # nothing from this process's view), so none of it may
+                # apply: the whole run buffers for post-heal replay.
+                self._suspend(exc, "wal-append")
+                for j in range(k):
+                    results[start + j] = self._submit_suspended(
+                        ids[start + j], float(ts[start + j]), float(ys[start + j])
+                    )
+                return
         staged = self._stage_run(frames)
         self._finish_run(staged, results, start)
 
@@ -916,18 +1178,28 @@ class AdvisorSession:
         would actually be smaller — the scalar fields plus only the
         items appended to the bounded histories since the full base.
         Falls back to a full snapshot otherwise.
+
+        A disk fault here suspends durability instead of propagating:
+        the applied state is safe in memory and the WAL (whatever the
+        disk retained of it), and the resume path re-compacts once the
+        disk heals.
         """
         if self._snapshots is None:
             return
-        if delta and self._try_delta_compact():
+        if self.durability_suspended:
+            return  # pointless while the disk is sick; resume re-compacts
+        try:
+            if delta and self._try_delta_compact():
+                self._wal.reset()
+                return
+            self._snapshots.save(self.applied, self.to_state())
+            self._delta_base = {
+                "applied": self.applied,
+                "transitions": self._transitions_seen,
+            }
             self._wal.reset()
-            return
-        self._snapshots.save(self.applied, self.to_state())
-        self._delta_base = {
-            "applied": self.applied,
-            "transitions": self._transitions_seen,
-        }
-        self._wal.reset()
+        except OSError as exc:
+            self._suspend(exc, "compact")
 
     def _try_delta_compact(self) -> bool:
         """Publish a delta snapshot if profitable; False to go full.
@@ -1026,5 +1298,6 @@ class AdvisorSession:
                 "duplicates": self.duplicates,
                 "rejected": self.rejected,
             },
+            "durability": self.durability_status(),
             "digest": self.state_digest(),
         }

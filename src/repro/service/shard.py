@@ -27,6 +27,16 @@ the graceful path: the worker finishes what is already queued, flushes
 WAL + final snapshots (``service.close()``) and exits, and the parent
 spawns a fresh worker for the handoff.
 
+Supervision is self-healing (see ``docs/serving.md``, "Failure-mode
+matrix"): a worker that goes silent while holding work — no ack, reply,
+or idle heartbeat for ``hang_timeout`` — is SIGKILLed and recovered
+like any crash; a chunk at the head of the redelivery queue across
+``poison_budget`` consecutive crashes is quarantined with provenance to
+``poison.quarantine.jsonl`` and skipped; a shard that crashes
+``restart_budget`` times consecutively (backing off exponentially
+between respawns) trips a circuit breaker — it stays down and its
+traffic is shed with count instead of burning respawns forever.
+
 Each worker guards its state directory with a ``shard.lock`` file
 recording its pid plus a ``/proc`` start-time token (``O_CREAT |
 O_EXCL`` — the same owner discipline as :mod:`repro.engine.faults`
@@ -46,6 +56,7 @@ import hashlib
 import json
 import multiprocessing
 import os
+import pickle
 import queue as queue_module
 import signal
 import threading
@@ -60,6 +71,7 @@ from .advisor import AdvisorService
 
 __all__ = [
     "HashRing",
+    "POISON_SIDECAR_NAME",
     "SHARD_LOCK_NAME",
     "ShardLockError",
     "ShardedAdvisorService",
@@ -76,6 +88,19 @@ _REGISTRY_NAME = "vehicles.idx"
 #: Rate limit for shard-tier backpressure ledger warnings (mirrors the
 #: per-process ``AdvisorService.offer`` policy).
 _SHED_WARN_EVERY = 1000
+#: Crash-loop backoff: the first crash respawns immediately (the common
+#: SIGKILL/OOM case must not add latency), the second waits this long,
+#: doubling per consecutive crash up to the cap — a tight crash loop
+#: burns backoff instead of CPU while containment decides what to do.
+_BACKOFF_BASE_S = 0.1
+_BACKOFF_CAP_S = 5.0
+#: Poison-chunk quarantine sidecar (JSONL, parent-side, with provenance
+#: — the shard-tier mirror of the validation layer's quarantine files).
+POISON_SIDECAR_NAME = "poison.quarantine.jsonl"
+#: Sentinel returned by ``_dispatch`` when the target shard's circuit
+#: breaker is open — distinct from ``None`` (= queue-full shed) so
+#: callers can count breaker sheds separately from backpressure sheds.
+_BREAKER = object()
 
 
 def parallel_headroom() -> int:
@@ -288,10 +313,19 @@ class _RegisteredAdvisorService(AdvisorService):
         self._registry.close()
 
 
-def _execute_command(shard: int, service: AdvisorService, command, conn) -> None:
+def _execute_command(
+    shard: int, service: AdvisorService, command, conn, injector=None
+) -> None:
     kind = command[0]
     if kind == "chunk":
         _, chunk_id, lines, want_decisions = command
+        if injector is not None:
+            # Chaos hook: every line is offered to the fault injector
+            # *before* any line of the chunk is applied, so a "kill"
+            # fault can never leave a partially ingested chunk behind —
+            # redelivery after the crash replays the whole chunk.
+            for line in lines:
+                injector(line)
         decisions = service.ingest_lines(lines)
         # The ack timestamp is CLOCK_MONOTONIC, comparable with the
         # parent's dispatch stamp on the same host — it is the p50/p99
@@ -320,7 +354,10 @@ def _execute_command(shard: int, service: AdvisorService, command, conn) -> None
         conn.send(("reply", shard, request_id, digests))
 
 
-def _worker_loop(shard, service, commands, conn, stopping) -> None:
+def _worker_loop(
+    shard, service, commands, conn, stopping, injector=None, beat_every=0.0
+) -> None:
+    last_sent = time.monotonic()
     while True:
         if stopping.is_set():
             # SIGTERM drain: finish what is already queued, take nothing
@@ -332,14 +369,24 @@ def _worker_loop(shard, service, commands, conn, stopping) -> None:
                     return
                 if command[0] == "stop":
                     return
-                _execute_command(shard, service, command, conn)
+                _execute_command(shard, service, command, conn, injector)
         try:
             command = commands.get(timeout=0.1)
         except queue_module.Empty:
+            # Idle heartbeat: acks double as liveness while busy, so a
+            # beat is only needed when there is nothing to ack.  A send
+            # failure means the parent is gone — exit quietly.
+            if beat_every > 0.0 and time.monotonic() - last_sent >= beat_every:
+                try:
+                    conn.send(("beat", shard))
+                except OSError:
+                    return
+                last_sent = time.monotonic()
             continue
         if command[0] == "stop":
             return
-        _execute_command(shard, service, command, conn)
+        _execute_command(shard, service, command, conn, injector)
+        last_sent = time.monotonic()
 
 
 def _shard_worker(
@@ -352,6 +399,8 @@ def _shard_worker(
     ledger_path: str | None,
     commands,
     conn,
+    injector=None,
+    beat_every: float = 0.0,
 ) -> None:
     """Worker-process entry point (module-level: spawn-picklable).
 
@@ -387,9 +436,13 @@ def _shard_worker(
         )
         if ledger is not None:
             with use_ledger(ledger):
-                _worker_loop(shard, service, commands, conn, stopping)
+                _worker_loop(
+                    shard, service, commands, conn, stopping, injector, beat_every
+                )
         else:
-            _worker_loop(shard, service, commands, conn, stopping)
+            _worker_loop(
+                shard, service, commands, conn, stopping, injector, beat_every
+            )
     except Exception:
         error = traceback.format_exc()
     if service is not None:
@@ -435,6 +488,37 @@ class ShardedAdvisorService:
         Optional base path: worker ``i`` appends its advisor-state
         events to ``<ledger_path>.shard-NN`` (one writer per file —
         JSONL appends do not interleave safely across processes).
+    hang_timeout:
+        Self-healing supervision: a worker that is *alive* but has sent
+        nothing — no ack, no reply, no idle heartbeat — for this many
+        seconds while holding in-flight work is presumed hung
+        (deadlocked, SIGSTOPped, livelocked), SIGKILLed, and respawned
+        through the normal redelivery path.  Workers send idle
+        heartbeats every ``hang_timeout / 4`` seconds (floored at 50 ms,
+        capped at 1 s) and every ack doubles as a beat, so the timeout
+        only needs to exceed the worst-case single-chunk processing
+        time.  ``None`` disables hang detection.
+    restart_budget:
+        Crash-loop containment: after this many *consecutive* crashes
+        (any successful ack resets the count) the shard's circuit
+        breaker opens — the worker stays down, its traffic is shed with
+        count (``breaker_shed``), control requests get ``None`` rows —
+        instead of burning CPU respawning forever.  Consecutive crashes
+        before the budget back off exponentially (0.1 s doubling, capped
+        at 5 s; the first crash respawns immediately).
+    poison_budget:
+        Poison-chunk quarantine: when the same head-of-queue chunk is
+        in flight across this many consecutive crashes, the chunk —
+        not the worker — is presumed at fault; it is written with full
+        provenance to ``state_dir/poison.quarantine.jsonl``, dropped
+        from redelivery, counted (``quarantined_chunks`` /
+        ``quarantined_events``), and the crash counter resets so the
+        shard keeps serving everything else.
+    injector:
+        Optional :class:`repro.engine.faults.FaultInjector` consulted
+        by workers for every line *before* a chunk is applied — the
+        chaos harness's deterministic crash trigger (picklable; ships
+        to workers at spawn).
     """
 
     def __init__(
@@ -451,9 +535,25 @@ class ShardedAdvisorService:
         workers: bool = True,
         ledger_path: str | Path | None = None,
         recover: bool = True,
+        hang_timeout: float | None = 30.0,
+        restart_budget: int = 8,
+        poison_budget: int = 3,
+        injector=None,
     ) -> None:
         if shards < 1:
             raise InvalidParameterError(f"shards must be >= 1, got {shards}")
+        if hang_timeout is not None and not hang_timeout > 0:
+            raise InvalidParameterError(
+                f"hang_timeout must be > 0 or None, got {hang_timeout}"
+            )
+        if restart_budget < 1:
+            raise InvalidParameterError(
+                f"restart_budget must be >= 1, got {restart_budget}"
+            )
+        if poison_budget < 1:
+            raise InvalidParameterError(
+                f"poison_budget must be >= 1, got {poison_budget}"
+            )
         self.state_dir = Path(state_dir)
         self.state_dir.mkdir(parents=True, exist_ok=True)
         self.config = config
@@ -474,6 +574,22 @@ class ShardedAdvisorService:
         self.shed_by_shard = [0] * self.shards
         self.dispatched_events = 0
         self.restarts = [0] * self.shards
+        # -- self-healing supervision (see class docstring) --
+        self.hang_timeout = None if hang_timeout is None else float(hang_timeout)
+        self.restart_budget = int(restart_budget)
+        self.poison_budget = int(poison_budget)
+        self.hangs = [0] * self.shards
+        self.quarantined_chunks = 0
+        self.quarantined_events = 0
+        self.breaker_open: set[int] = set()
+        self.breaker_shed_by_shard = [0] * self.shards
+        self._injector = injector
+        self._beat_every = (
+            0.0
+            if self.hang_timeout is None
+            else max(0.05, min(1.0, self.hang_timeout / 4.0))
+        )
+        self._poison_path = self.state_dir / POISON_SIDECAR_NAME
         if not self.worker_mode:
             self._inline = [
                 AdvisorService(
@@ -509,6 +625,23 @@ class ShardedAdvisorService:
         self._eof: set[int] = set()
         self._errors: list[str] = []
         self._shutdown = False
+        # Supervision bookkeeping: last message time per shard (acks,
+        # replies, and idle beats all count), consecutive-crash counts
+        # (reset by any ack or a quarantine), per-chunk crash
+        # attribution for the head of each shard's redelivery queue,
+        # not-before respawn deadlines (crash-loop backoff), and the
+        # set of dead workers whose death has already been classified.
+        self._last_seen = [time.monotonic()] * self.shards
+        # Shards whose current worker has sent at least one message
+        # since its last spawn.  Hang detection only arms after that:
+        # a booting worker (interpreter start, warm session recovery)
+        # is busy *and* silent for an unbounded, hardware-dependent
+        # time, and killing it mid-boot would flap forever.
+        self._heard_from: set[int] = set()
+        self._consecutive_crashes = [0] * self.shards
+        self._head_crashes: list[dict[int, int]] = [{} for _ in range(self.shards)]
+        self._respawn_at = [0.0] * self.shards
+        self._death_noted: set[int] = set()
         self._commands: list = [None] * self.shards
         self._pipes: list = [None] * self.shards
         self._procs: list = [None] * self.shards
@@ -592,16 +725,22 @@ class ShardedAdvisorService:
 
         The lossless path (file pumps, benches, chaos harnesses): a
         full shard queue exerts backpressure on the caller instead of
-        shedding.
+        shedding.  "Lossless" has one exception — a shard whose circuit
+        breaker is open has no worker to block *for*, so its sub-chunks
+        are shed with count (``breaker_shed_by_shard``) rather than
+        deadlocking the caller.
         """
         lines = self._as_lines(lines)
         if not lines:
             return
         for shard, (_positions, sub_lines) in self._partition(lines):
-            if self.worker_mode:
-                self._dispatch(shard, sub_lines, want_decisions=False, block=True)
-            else:
+            if not self.worker_mode:
                 self._inline[shard].ingest_lines(sub_lines)
+            elif (
+                self._dispatch(shard, sub_lines, want_decisions=False, block=True)
+                is _BREAKER
+            ):
+                self._note_breaker_shed(shard, len(sub_lines))
 
     def offer_lines(self, lines) -> int:
         """Route one chunk, shedding sub-chunks on full queues.
@@ -620,13 +759,16 @@ class ShardedAdvisorService:
             if not self.worker_mode:
                 self._inline[shard].ingest_lines(sub_lines)
                 accepted += len(sub_lines)
-            elif (
-                self._dispatch(shard, sub_lines, want_decisions=False, block=False)
-                is not None
-            ):
-                accepted += len(sub_lines)
-            else:
+                continue
+            result = self._dispatch(
+                shard, sub_lines, want_decisions=False, block=False
+            )
+            if result is _BREAKER:
+                self._note_breaker_shed(shard, len(sub_lines))
+            elif result is None:
                 self._note_shed(shard, len(sub_lines))
+            else:
+                accepted += len(sub_lines)
         return accepted
 
     def request_lines(self, lines, timeout: float | None = None) -> list:
@@ -651,6 +793,12 @@ class ShardedAdvisorService:
             chunk_id = self._dispatch(
                 shard, sub_lines, want_decisions=True, block=True
             )
+            if chunk_id is _BREAKER:
+                # Breaker-open shard: those positions stay None (the
+                # same contract as a malformed/dropped record) and the
+                # shed is counted.
+                self._note_breaker_shed(shard, len(sub_lines))
+                continue
             waiting.append((chunk_id, positions))
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._wake:
@@ -690,6 +838,8 @@ class ShardedAdvisorService:
             self._raise_errors_locked()
             if self._shutdown or shard in self._stop_sent:
                 raise ReproError("dispatch on a closed ShardedAdvisorService")
+            if shard in self.breaker_open:
+                return _BREAKER
             self._chunk_counter += 1
             chunk_id = self._chunk_counter
         command = ("chunk", chunk_id, sub_lines, want_decisions)
@@ -709,6 +859,13 @@ class ShardedAdvisorService:
                 else:
                     full = False
                     with self._lock:
+                        if shard in self.breaker_open:
+                            # The breaker opened between the top check
+                            # and the put: the put landed in a dead
+                            # worker's queue.  Recording it in flight
+                            # would strand the caller forever (the
+                            # breaker sweep already ran), so shed it.
+                            return _BREAKER
                         self._in_flight[shard][chunk_id] = (
                             command,
                             submit_t,
@@ -721,11 +878,25 @@ class ShardedAdvisorService:
                 return None
             with self._lock:
                 self._raise_errors_locked()
+                if shard in self.breaker_open:
+                    return _BREAKER
 
     @property
     def shed(self) -> int:
         """Total events shed by the tier — the sum of per-shard sheds."""
         return sum(self.shed_by_shard)
+
+    @property
+    def breaker_shed(self) -> int:
+        """Total events shed because a circuit breaker was open."""
+        return sum(self.breaker_shed_by_shard)
+
+    def _note_breaker_shed(self, shard: int, events: int) -> None:
+        """Count events shed into an open breaker (kept separate from
+        backpressure sheds — they have different operator responses:
+        provisioning vs investigating a crash loop)."""
+        with self._lock:
+            self.breaker_shed_by_shard[shard] += events
 
     def _note_shed(self, shard: int, events: int) -> None:
         """Count a shed sub-chunk against its shard; warn rate-limited.
@@ -762,7 +933,9 @@ class ShardedAdvisorService:
 
         Requests are recorded in ``_pending_controls`` *before* the put
         so a worker death between put and reply re-sends them on
-        respawn (duplicates are ignored reply-side).
+        respawn (duplicates are ignored reply-side).  A breaker-open
+        shard has no worker to answer: its slot is ``None`` (callers
+        render it as a "down" row rather than blocking forever).
         """
         request_ids = []
         for shard in range(self.shards):
@@ -770,6 +943,10 @@ class ShardedAdvisorService:
                 self._raise_errors_locked()
                 self._request_counter += 1
                 request_id = self._request_counter
+                if shard in self.breaker_open:
+                    self._replies[request_id] = None
+                    request_ids.append(request_id)
+                    continue
             command = (name, request_id, *args)
             with self._lock:
                 self._pending_controls[request_id] = (shard, command)
@@ -791,6 +968,11 @@ class ShardedAdvisorService:
         """Blocking put that survives a queue swap mid-wait."""
         while True:
             with self._shard_locks[shard]:
+                with self._lock:
+                    if shard in self.breaker_open:
+                        # The breaker sweep already answered (or shed)
+                        # everything this shard owed; the put is moot.
+                        return
                 try:
                     self._commands[shard].put(command, timeout=0.2)
                     return
@@ -842,10 +1024,14 @@ class ShardedAdvisorService:
         Same core schema as ``AdvisorService.health_snapshot`` —
         ``fleet_cost`` / ``vehicles`` / ``ingest`` / ``states`` — plus
         ``routing`` (ring + tier-level counters) and ``shards`` (one
-        row per worker: pid, liveness, restarts, acked chunks/events,
-        in-flight depth).  ``include_vehicles=False`` keeps the payload
-        O(shards), not O(fleet) — at 100k vehicles the per-vehicle map
-        is megabytes.
+        row per worker: pid, liveness, restarts, hangs, acked
+        chunks/events, in-flight depth, breaker state).
+        ``include_vehicles=False`` keeps the payload O(shards), not
+        O(fleet) — at 100k vehicles the per-vehicle map is megabytes.
+
+        A breaker-open shard contributes a ``"down": True`` row with
+        ``None`` health fields — its worker is gone, so its session
+        state is unreadable, but the fleet snapshot must still answer.
         """
         if self.worker_mode:
             snapshots = self._control("health", include_vehicles, timeout=timeout)
@@ -855,8 +1041,9 @@ class ShardedAdvisorService:
                 snapshot = service.health_snapshot(include_vehicles=include_vehicles)
                 snapshot["vehicle_count"] = len(service.sessions)
                 snapshots.append(snapshot)
+        live = [snapshot for snapshot in snapshots if snapshot is not None]
         vehicles: dict = {}
-        for snapshot in snapshots:
+        for snapshot in live:
             vehicles.update(snapshot["vehicles"])
         vehicles = dict(sorted(vehicles.items()))
         if include_vehicles and vehicles:
@@ -864,32 +1051,48 @@ class ShardedAdvisorService:
             # shard counts (a single-process snapshot sums the same way).
             fleet_cost = sum(info["total_cost"] for info in vehicles.values())
         else:
-            fleet_cost = sum(snapshot["fleet_cost"] for snapshot in snapshots)
+            fleet_cost = sum(snapshot["fleet_cost"] for snapshot in live)
 
         def _total(*keys):
             total = 0.0 if "wall_s" in keys else 0
-            for snapshot in snapshots:
+            for snapshot in live:
                 value = snapshot["ingest"]
                 for key in keys:
                     value = value[key]
                 total += value
             return total
 
+        def _durability_total(key):
+            return sum(
+                snapshot.get("durability", {}).get(key, 0) for snapshot in live
+            )
+
         batch_events = _total("batch", "events")
         batch_wall = _total("batch", "wall_s")
         shard_rows = []
         for index, snapshot in enumerate(snapshots):
-            row = {
-                "shard": index,
-                "vehicles": snapshot["vehicle_count"],
-                "fleet_cost": snapshot["fleet_cost"],
-                "states": snapshot["states"],
-                # Worker-level shed (AdvisorService.offer inside the
-                # shard) vs tier-level shed (offer_lines dropped the
-                # sub-chunk before it ever reached the worker).
-                "shed": snapshot["ingest"]["shed"],
-                "tier_shed": self.shed_by_shard[index],
-            }
+            if snapshot is None:
+                row = {
+                    "shard": index,
+                    "down": True,
+                    "vehicles": None,
+                    "fleet_cost": None,
+                    "states": None,
+                    "shed": None,
+                    "tier_shed": self.shed_by_shard[index],
+                }
+            else:
+                row = {
+                    "shard": index,
+                    "vehicles": snapshot["vehicle_count"],
+                    "fleet_cost": snapshot["fleet_cost"],
+                    "states": snapshot["states"],
+                    # Worker-level shed (AdvisorService.offer inside the
+                    # shard) vs tier-level shed (offer_lines dropped the
+                    # sub-chunk before it ever reached the worker).
+                    "shed": snapshot["ingest"]["shed"],
+                    "tier_shed": self.shed_by_shard[index],
+                }
             if self.worker_mode:
                 process = self._procs[index]
                 with self._lock:
@@ -897,6 +1100,10 @@ class ShardedAdvisorService:
                         pid=None if process is None else process.pid,
                         alive=process is not None and process.is_alive(),
                         restarts=self.restarts[index],
+                        hangs=self.hangs[index],
+                        consecutive_crashes=self._consecutive_crashes[index],
+                        breaker_open=index in self.breaker_open,
+                        breaker_shed=self.breaker_shed_by_shard[index],
                         chunks_acked=self._acked_chunks[index],
                         events_acked=self._acked_events[index],
                         in_flight=len(self._in_flight[index]),
@@ -923,8 +1130,18 @@ class ShardedAdvisorService:
                 },
             },
             "states": {
-                state: sum(snapshot["states"][state] for snapshot in snapshots)
+                state: sum(snapshot["states"][state] for snapshot in live)
                 for state in ("healthy", "degraded", "safe")
+            },
+            "durability": {
+                key: _durability_total(key)
+                for key in (
+                    "suspended_sessions",
+                    "buffered_events",
+                    "dropped_events",
+                    "suspensions",
+                    "resumes",
+                )
             },
             "routing": {
                 "algorithm": "consistent-hash",
@@ -935,9 +1152,70 @@ class ShardedAdvisorService:
                 "shed_events": self.shed,
                 "shed_by_shard": list(self.shed_by_shard),
                 "restarts": sum(self.restarts),
+                "hangs": sum(self.hangs),
+                "hang_timeout": self.hang_timeout,
+                "quarantined_chunks": self.quarantined_chunks,
+                "quarantined_events": self.quarantined_events,
+                "breaker_open": sorted(self.breaker_open),
+                "breaker_shed": self.breaker_shed,
             },
             "shards": shard_rows,
         }
+
+    def readiness(self, timeout: float | None = 5.0) -> dict:
+        """Serving-readiness verdict for the front end's ``GET /ready``.
+
+        Stricter than liveness: ready means every shard's worker is
+        alive, no circuit breaker is open, no worker has failed, and no
+        session anywhere in the fleet is durability-suspended.  Returns
+        ``{"ready": bool, "reasons": [str, ...]}`` — reasons name what
+        is wrong so the probe's consumer (a load balancer, an operator)
+        can tell a crash loop from a full disk.
+        """
+        reasons: list[str] = []
+        if not self.worker_mode:
+            for index, service in enumerate(self._inline):
+                verdict = service.readiness()
+                reasons.extend(
+                    f"shard {index}: {reason}" for reason in verdict["reasons"]
+                )
+            return {"ready": not reasons, "reasons": reasons}
+        with self._lock:
+            if self._errors:
+                reasons.append("worker error (see service logs)")
+            breakers = sorted(self.breaker_open)
+            dead = [
+                index
+                for index in range(self.shards)
+                if index not in self.breaker_open
+                and (
+                    self._procs[index] is None
+                    or not self._procs[index].is_alive()
+                )
+            ]
+        if breakers:
+            reasons.append(f"circuit breaker open on shards {breakers}")
+        if dead:
+            reasons.append(f"workers dead on shards {dead}")
+        if not reasons:
+            try:
+                snapshots = self._control("health", False, timeout=timeout)
+            except (ReproError, TimeoutError) as exc:
+                reasons.append(f"health probe failed: {exc}")
+            else:
+                for index, snapshot in enumerate(snapshots):
+                    if snapshot is None:
+                        reasons.append(f"shard {index} is down")
+                        continue
+                    suspended = snapshot.get("durability", {}).get(
+                        "suspended_sessions", 0
+                    )
+                    if suspended:
+                        reasons.append(
+                            f"shard {index}: durability suspended on "
+                            f"{suspended} session(s)"
+                        )
+        return {"ready": not reasons, "reasons": reasons}
 
     # -- worker lifecycle -------------------------------------------------
 
@@ -956,6 +1234,8 @@ class ShardedAdvisorService:
                 self._worker_ledger_path(shard),
                 commands,
                 child_conn,
+                self._injector,
+                self._beat_every,
             ),
             daemon=True,
         )
@@ -964,39 +1244,64 @@ class ShardedAdvisorService:
         self._commands[shard] = commands
         self._pipes[shard] = parent_conn
         self._procs[shard] = process
+        # Fresh liveness lease: the new worker cannot be declared hung
+        # until it has spoken once (see _heard_from), and its
+        # (eventual) death is a new event to classify.
+        self._last_seen[shard] = time.monotonic()
+        self._heard_from.discard(shard)
+        self._death_noted.discard(shard)
 
     def _collect(self) -> None:
-        while True:
-            with self._lock:
-                if self._shutdown:
-                    return
-                conns = {
-                    self._pipes[index]: index
-                    for index in range(self.shards)
-                    if self._pipes[index] is not None and index not in self._eof
-                }
-            if conns:
-                ready = _connection_wait(list(conns), timeout=0.2)
-            else:
-                time.sleep(0.05)
-                ready = []
-            for conn in ready:
-                shard = conns[conn]
-                try:
-                    message = conn.recv()
-                except (EOFError, OSError):
-                    # Clean EOF (worker exited) or a send torn by
-                    # SIGKILL; either way this pipe is done — the reap
-                    # pass below decides whether to respawn.
-                    with self._lock:
-                        self._eof.add(shard)
-                    continue
-                except Exception:  # torn pickle mid-SIGKILL
-                    with self._lock:
-                        self._eof.add(shard)
-                    continue
-                self._handle_message(message)
-            self._reap()
+        # The collector is the supervisor: if a bug in the reap/
+        # containment logic escaped, dying silently would freeze every
+        # blocked caller forever — surface it through the same _errors
+        # channel worker failures use, so waiters raise instead of hang.
+        try:
+            while self._collect_once():
+                pass
+        except Exception:
+            with self._wake:
+                self._errors.append(traceback.format_exc())
+                self._wake.notify_all()
+
+    def _collect_once(self) -> bool:
+        with self._lock:
+            if self._shutdown:
+                return False
+            conns = {
+                self._pipes[index]: index
+                for index in range(self.shards)
+                if self._pipes[index] is not None and index not in self._eof
+            }
+        if conns:
+            ready = _connection_wait(list(conns), timeout=0.2)
+        else:
+            time.sleep(0.05)
+            ready = []
+        for conn in ready:
+            shard = conns[conn]
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                # Clean EOF (worker exited) or a send torn by
+                # SIGKILL; either way this pipe is done — the reap
+                # pass below decides whether to respawn.
+                with self._lock:
+                    self._eof.add(shard)
+                continue
+            except Exception:  # torn pickle mid-SIGKILL
+                with self._lock:
+                    self._eof.add(shard)
+                continue
+            # Any message — ack, reply, stopped, or idle beat — proves
+            # the worker is making progress: stamp its liveness lease
+            # and arm hang detection for it.
+            self._last_seen[shard] = time.monotonic()
+            self._heard_from.add(shard)
+            self._handle_message(message)
+        self._check_hangs()
+        self._reap()
+        return True
 
     def _handle_message(self, message) -> None:
         kind = message[0]
@@ -1009,8 +1314,14 @@ class ShardedAdvisorService:
                     self._latencies.append((max(0.0, done_t - submit_t), events))
                     self._acked_chunks[shard] += 1
                     self._acked_events[shard] += events
+                # Forward progress: the worker is not crash-looping, and
+                # this chunk is exonerated of any past crash suspicion.
+                self._consecutive_crashes[shard] = 0
+                self._head_crashes[shard].pop(chunk_id, None)
                 if decisions is not None:
                     self._decisions[chunk_id] = decisions
+            elif kind == "beat":
+                pass  # liveness only; _collect already stamped the lease
             elif kind == "reply":
                 _, _shard, request_id, payload = message
                 if self._pending_controls.pop(request_id, None) is not None:
@@ -1022,36 +1333,248 @@ class ShardedAdvisorService:
                 self._failed.add(message[1])
             self._wake.notify_all()
 
+    def _check_hangs(self) -> None:
+        """SIGKILL workers that are alive, busy, and silent past deadline.
+
+        "Busy" means holding in-flight chunks or pending control
+        requests — an idle worker beats every ``_beat_every`` seconds,
+        so silence while busy past ``hang_timeout`` means the worker is
+        deadlocked, SIGSTOPped, or livelocked and will never ack.  The
+        kill turns the hang into an ordinary worker death: the normal
+        reap/respawn/redeliver machinery takes it from there.
+        """
+        if self.hang_timeout is None:
+            return
+        now = time.monotonic()
+        ledger = active_ledger() or self._ledger
+        for shard in range(self.shards):
+            process = self._procs[shard]
+            if process is None or not process.is_alive():
+                continue
+            if shard not in self._heard_from:
+                continue  # still booting: silence is expected, not a hang
+            silent = now - self._last_seen[shard]
+            if silent < self.hang_timeout:
+                continue
+            with self._lock:
+                if shard in self.breaker_open or shard in self._stopped:
+                    continue
+                busy = bool(self._in_flight[shard]) or any(
+                    owner == shard
+                    for owner, _command in self._pending_controls.values()
+                )
+                if not busy:
+                    continue
+                self.hangs[shard] += 1
+                # Re-stamp the lease so one hang is one kill: the reap
+                # pass classifies the death, not a second timeout.
+                self._last_seen[shard] = now
+            try:
+                os.kill(process.pid, signal.SIGKILL)
+            except OSError:  # pragma: no cover - raced a natural death
+                pass
+            if ledger is not None:
+                ledger.emit(
+                    "shard-hang",
+                    shard=shard,
+                    pid=process.pid,
+                    silent_s=round(silent, 3),
+                    in_flight=len(self._in_flight[shard]),
+                )
+
     def _reap(self) -> None:
-        """Detect dead workers; respawn + redeliver (the recovery path)."""
+        """Detect dead workers; contain, then respawn + redeliver.
+
+        Each dead worker's death is classified exactly once by
+        :meth:`_note_death` (crash vs handoff vs reported failure);
+        crashes then wait out their backoff deadline before
+        :meth:`_respawn` — during the wait the shard's queue keeps
+        absorbing traffic up to ``queue_depth``, after which the normal
+        backpressure/shed semantics apply.
+        """
         for shard in range(self.shards):
             process = self._procs[shard]
             if process is None or process.is_alive():
                 continue
-            # Drain what the dead worker managed to send before it died
-            # (acks remove chunks from the redelivery set).
-            conn = self._pipes[shard]
-            try:
-                while conn.poll(0):
-                    self._handle_message(conn.recv())
-            except Exception:
-                pass  # EOF or a send torn by SIGKILL — nothing more to read
             with self._lock:
-                if shard in self._failed:
-                    continue  # worker reported a real error: do not retry-loop it
+                if shard in self.breaker_open or shard in self._failed:
+                    continue
                 if shard in self._stopped and shard in self._stop_sent:
                     continue  # clean shutdown we asked for
+                noted = shard in self._death_noted
+            if not noted and not self._note_death(shard):
+                continue
+            if time.monotonic() < self._respawn_at[shard]:
+                continue  # crash-loop backoff: not yet
+            self._respawn(shard)
+
+    def _note_death(self, shard: int) -> bool:
+        """Classify one worker death; True when a respawn is due.
+
+        The dead worker's pipe is drained first: acks it managed to
+        send shrink the redelivery set *and* pin crash attribution to
+        the chunk it actually died on (the head of the in-flight queue
+        after the drain).  Then, in order: a clean SIGTERM handoff
+        respawns immediately; a reported error stays down; a crash is
+        attributed, quarantines its head chunk at ``poison_budget``
+        repeats, opens the circuit breaker at ``restart_budget``
+        consecutive crashes, and otherwise schedules a backed-off
+        respawn.
+        """
+        conn = self._pipes[shard]
+        try:
+            while conn.poll(0):
+                self._handle_message(conn.recv())
+        except (EOFError, OSError, pickle.UnpicklingError) as exc:
+            # Expected shrapnel of a dying worker: clean EOF, a pipe
+            # torn mid-send, or a half-written pickle frame.  Anything
+            # else is a parent-side bug and propagates to the collector
+            # guard instead of being silently swallowed.
+            ledger = active_ledger() or self._ledger
+            if ledger is not None:
+                ledger.emit("shard-drain-error", shard=shard, error=repr(exc))
+        with self._lock:
+            self._death_noted.add(shard)
+            if shard in self._failed:
+                return False  # the drain surfaced a reported error
+            if shard in self._stopped:
                 # A clean SIGTERM exit we did NOT ask for is the drain/
                 # handoff path: state is flushed, hand the shard to a
-                # fresh worker.
+                # fresh worker immediately.
                 self._stopped.discard(shard)
-            self._respawn(shard)
+                self._respawn_at[shard] = 0.0
+                return True
+            self._consecutive_crashes[shard] += 1
+            crashes = self._consecutive_crashes[shard]
+            head = min(self._in_flight[shard]) if self._in_flight[shard] else None
+            head_crashes = 0
+            if head is not None:
+                self._head_crashes[shard][head] = (
+                    self._head_crashes[shard].get(head, 0) + 1
+                )
+                head_crashes = self._head_crashes[shard][head]
+        if head is not None and head_crashes >= self.poison_budget:
+            self._quarantine_chunk(shard, head, head_crashes)
+            with self._lock:
+                crashes = self._consecutive_crashes[shard]
+        if crashes >= self.restart_budget:
+            self._open_breaker(shard, crashes)
+            return False
+        # First crash respawns immediately (the common SIGKILL/OOM case
+        # must not add latency); repeats back off exponentially.
+        delay = (
+            0.0
+            if crashes <= 1
+            else min(_BACKOFF_CAP_S, _BACKOFF_BASE_S * 2 ** (crashes - 2))
+        )
+        self._respawn_at[shard] = time.monotonic() + delay
+        return True
+
+    def _quarantine_chunk(self, shard: int, chunk_id: int, crashes: int) -> None:
+        """Skip a poison chunk: sidecar it with provenance, keep serving.
+
+        The shard-tier mirror of the validation layer's quarantine
+        files: the sidecar record carries the raw lines plus everything
+        needed to investigate or replay (shard, crash count, the pid
+        that died on it, the shard's restart count).  Quarantining
+        resets the consecutive-crash counter — the presumed cause is
+        gone, so the shard gets a fresh restart budget for the rest of
+        its traffic.
+        """
+        with self._lock:
+            entry = self._in_flight[shard].pop(chunk_id, None)
+            self._head_crashes[shard].pop(chunk_id, None)
+            self._consecutive_crashes[shard] = 0
+            if entry is None:  # pragma: no cover - raced an ack
+                return
+            command, _submit_t, events = entry
+            process = self._procs[shard]
+            record = {
+                "chunk": chunk_id,
+                "shard": shard,
+                "crashes": crashes,
+                "events": events,
+                "worker_pid": None if process is None else process.pid,
+                "restarts": self.restarts[shard],
+                "lines": list(command[2]),
+            }
+            self.quarantined_chunks += 1
+            self.quarantined_events += events
+            if command[3]:  # want_decisions: unblock request_lines waiters
+                self._decisions[chunk_id] = [None] * len(command[2])
+            self._wake.notify_all()
+        try:
+            with open(self._poison_path, "a") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+        except OSError:
+            pass  # quarantine is telemetry; a sick disk must not block recovery
+        ledger = active_ledger() or self._ledger
+        if ledger is not None:
+            ledger.emit(
+                "shard-poison-quarantine",
+                shard=shard,
+                chunk=chunk_id,
+                crashes=crashes,
+                events=events,
+            )
+
+    def _open_breaker(self, shard: int, crashes: int) -> None:
+        """Hold a crash-looping shard down; shed its traffic with count.
+
+        Everything the shard held is released so no caller blocks on a
+        worker that will never come back: in-flight chunks are shed
+        (counted in ``breaker_shed_by_shard``, ``None`` decisions for
+        request/response waiters) and pending control requests get
+        ``None`` replies.  The breaker stays open for the life of the
+        service — after ``restart_budget`` consecutive crashes with no
+        single chunk to blame, respawning again would just burn CPU.
+        """
+        shed_events = 0
+        with self._lock:
+            self.breaker_open.add(shard)
+            for chunk_id, (command, _submit_t, events) in sorted(
+                self._in_flight[shard].items()
+            ):
+                shed_events += events
+                if command[3]:
+                    self._decisions[chunk_id] = [None] * len(command[2])
+            self._in_flight[shard].clear()
+            self._head_crashes[shard].clear()
+            self.breaker_shed_by_shard[shard] += shed_events
+            for request_id, (owner, _command) in list(
+                self._pending_controls.items()
+            ):
+                if owner == shard:
+                    del self._pending_controls[request_id]
+                    self._replies[request_id] = None
+            self._wake.notify_all()
+        ledger = active_ledger() or self._ledger
+        if ledger is not None:
+            ledger.emit(
+                "shard-breaker-open",
+                shard=shard,
+                crashes=crashes,
+                shed_events=shed_events,
+                restarts=self.restarts[shard],
+            )
 
     def _respawn(self, shard: int) -> None:
         with self._shard_locks[shard]:
             old_commands = self._commands[shard]
             old_pipe = self._pipes[shard]
-            self._procs[shard].join(timeout=1.0)
+            old_process = self._procs[shard]
+            old_process.join(timeout=1.0)
+            if old_process.is_alive():
+                # is_alive() went false once (that is what got us here),
+                # so a live process now means an exit raced by a revival
+                # we cannot explain — escalate to SIGKILL and wait it
+                # out: spawning a replacement while the old worker still
+                # holds the shard lock would dead-end the respawn.
+                old_process.kill()
+                old_process.join(timeout=10.0)
             self._spawn(shard)
             with self._lock:
                 self.restarts[shard] += 1
@@ -1105,7 +1628,9 @@ class ShardedAdvisorService:
         Sends ``("stop",)`` behind all queued work on every shard; a
         worker that dies mid-shutdown is respawned (recovering its
         shard) and re-stopped, so even a close raced by a SIGKILL
-        leaves every shard durable and unlocked.
+        leaves every shard durable and unlocked.  Breaker-open shards
+        have no worker to stop — they count as already down (their last
+        crash-recovery worker flushed whatever state survived).
         """
         if not self.worker_mode:
             if not self._closed:
@@ -1126,14 +1651,17 @@ class ShardedAdvisorService:
                     break
             deadline = time.monotonic() + timeout
             with self._wake:
-                while len(self._stopped | self._failed) < self.shards:
+                while (
+                    len(self._stopped | self._failed | self.breaker_open)
+                    < self.shards
+                ):
                     if time.monotonic() > deadline:
                         break
                     self._wake.wait(0.2)
         with self._lock:
             self._shutdown = True
             errors = list(self._errors)
-            stopped = set(self._stopped)
+            stopped = set(self._stopped) | set(self.breaker_open)
         self._collector.join(timeout=10.0)
         for shard in range(self.shards):
             process = self._procs[shard]

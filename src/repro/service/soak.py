@@ -51,6 +51,9 @@ __all__ = [
     "run_stream",
     "run_chaos",
     "run_sharded_chaos",
+    "run_hang_chaos",
+    "run_poison_chaos",
+    "run_disk_fault_chaos",
     "SoakResult",
     "main",
 ]
@@ -106,6 +109,7 @@ def run_stream(
     injector: FaultInjector | None = None,
     ledger_path: str | Path | None = None,
     batch: int = 1,
+    fs=None,
 ) -> SoakResult:
     """Serve ``events`` into ``state_dir`` (recovering any prior state).
 
@@ -114,12 +118,14 @@ def run_stream(
     is the whole point.  ``batch > 1`` serves through the columnar
     ``process_batch`` path in chunks of that size; the injector is still
     consulted per event index (before the chunk applies), so a kill can
-    land mid-plan and tear a group-commit.
+    land mid-plan and tear a group-commit.  ``fs`` is an optional
+    :class:`repro.engine.faults.FsFaultInjector` threaded into the
+    service's WAL/snapshot writers — the disk-fault chaos hook.
     """
     ledger = (
         RunLedger(ledger_path, append=True) if ledger_path is not None else None
     )
-    service = AdvisorService(Path(state_dir), config, policy=policy)
+    service = AdvisorService(Path(state_dir), config, policy=policy, fs=fs)
     if ledger is not None:
         with use_ledger(ledger):
             _serve(service, events, injector, batch)
@@ -305,6 +311,231 @@ def run_sharded_chaos(
     )
 
 
+def run_hang_chaos(
+    events: list[dict],
+    state_dir: str | Path,
+    config: SessionConfig,
+    *,
+    shards: int,
+    hangs: int = 1,
+    chunk: int = 16,
+    hang_timeout: float = 2.0,
+    policy: str = "repair",
+    ledger_path: str | Path | None = None,
+) -> tuple[SoakResult, int]:
+    """Freeze live workers with ``SIGSTOP``; the supervisor must notice.
+
+    A SIGSTOPped worker is the canonical hang: the process is alive
+    (``is_alive()`` stays true, the pipe stays open) but it will never
+    ack again.  At ``hangs`` evenly spaced chunk boundaries a worker
+    that owns real vehicles is frozen *after* its chunk is dispatched,
+    so it sits on in-flight work; the parent must detect the silence,
+    SIGKILL it, respawn it, and redeliver — while the rest of the fleet
+    keeps serving.  Returns the final result and the number of hangs
+    the supervisor detected (must equal ``hangs``).
+    """
+    import os
+    import signal
+    import time
+
+    from .shard import ShardedAdvisorService
+
+    service = ShardedAdvisorService(
+        Path(state_dir),
+        config,
+        shards=shards,
+        policy=policy,
+        ledger_path=ledger_path,
+        hang_timeout=hang_timeout,
+    )
+    chunks = [events[start : start + chunk] for start in range(0, len(events), chunk)]
+    freeze_at: set[int] = set()
+    for index in range(hangs):
+        slot = 1 + (index * max(1, len(chunks) - 2)) // max(1, hangs)
+        while slot in freeze_at:
+            slot += 1
+        freeze_at.add(slot)
+    observed = 0
+    try:
+        for index, batch in enumerate(chunks):
+            lines = [json.dumps(record) for record in batch]
+            if index in freeze_at:
+                # Settle the fleet first: hang detection only arms once a
+                # worker has spoken since its last spawn, so freezing a
+                # still-booting worker would be silent-but-excused forever.
+                # After the drain every worker is armed and idle; the
+                # victim owns this chunk's first event, so the SIGSTOP
+                # must come *before* the submit below parks in-flight
+                # work on it — a worker frozen after acking everything is
+                # idle, and idle silence is not a hang.
+                service.drain(timeout=300.0)
+                victim = service.route(batch[0]["vehicle"])
+                pid = service.worker_pids[victim]
+                if pid is not None:
+                    baseline = service.restarts[victim]
+                    os.kill(pid, signal.SIGSTOP)
+                    service.submit_lines(lines)
+                    deadline = time.monotonic() + 60.0
+                    while service.restarts[victim] == baseline:
+                        if time.monotonic() > deadline:
+                            raise RuntimeError(
+                                f"hung shard {victim} was not respawned in time"
+                            )
+                        time.sleep(0.02)
+                    observed += 1
+                    continue
+            service.submit_lines(lines)
+        service.drain(timeout=300.0)
+        digests = service.digests(timeout=120.0)
+        snapshot = service.health_snapshot(timeout=120.0)
+        detected = sum(service.hangs)
+    finally:
+        service.close()
+    if detected != observed:
+        raise RuntimeError(
+            f"expected {observed} detected hang(s), supervisor saw {detected}"
+        )
+    return (
+        SoakResult(
+            fleet_cost=snapshot["fleet_cost"], digests=digests, snapshot=snapshot
+        ),
+        detected,
+    )
+
+
+def run_poison_chaos(
+    events: list[dict],
+    state_dir: str | Path,
+    config: SessionConfig,
+    *,
+    shards: int,
+    chunk: int = 16,
+    poison_budget: int = 3,
+    policy: str = "repair",
+    ledger_path: str | Path | None = None,
+) -> tuple[SoakResult, list[dict]]:
+    """One poison chunk must be quarantined; everything else must serve.
+
+    Mid-stream, a single-line chunk whose line deterministically
+    SIGKILLs any worker that touches it (a ``"kill"`` fault keyed to
+    the line, with enough claim budget to survive every redelivery) is
+    submitted on its own.  The supervisor must attribute the crash loop
+    to that chunk, quarantine it to the sidecar with provenance after
+    ``poison_budget`` crashes, and keep the shard serving its other
+    vehicles — the final digests must be bit-identical to a clean run
+    that never saw the poison line.  Returns the final result and the
+    parsed quarantine sidecar records.
+    """
+    import time
+
+    from .shard import POISON_SIDECAR_NAME, ShardedAdvisorService
+
+    state_dir = Path(state_dir)
+    state_dir.mkdir(parents=True, exist_ok=True)
+    poison_line = json.dumps(
+        {"id": "poison-0", "vehicle": "poison-pill", "t": -1.0, "stop": 1.0},
+        sort_keys=True,
+    )
+    injector = FaultInjector(
+        _noop,
+        # Claim budget beyond poison_budget: every redelivery attempt
+        # burns one claim, and the quarantine decision happens parent-
+        # side — the line must keep killing until it is quarantined.
+        {poison_line: Fault("kill", times=4 * poison_budget)},
+        state_dir / "poison-claims",
+    )
+    service = ShardedAdvisorService(
+        state_dir,
+        config,
+        shards=shards,
+        policy=policy,
+        ledger_path=ledger_path,
+        injector=injector,
+        poison_budget=poison_budget,
+    )
+    chunks = [events[start : start + chunk] for start in range(0, len(events), chunk)]
+    half = len(chunks) // 2
+    try:
+        for batch in chunks[:half]:
+            service.submit_lines([json.dumps(record) for record in batch])
+        # Drain first so the poison chunk is the sole head of its
+        # shard's in-flight queue — crash attribution is unambiguous.
+        service.drain(timeout=300.0)
+        service.submit_lines([poison_line])
+        deadline = time.monotonic() + 120.0
+        while service.quarantined_chunks < 1:
+            if time.monotonic() > deadline:
+                raise RuntimeError("poison chunk was not quarantined in time")
+            time.sleep(0.02)
+        for batch in chunks[half:]:
+            service.submit_lines([json.dumps(record) for record in batch])
+        service.drain(timeout=300.0)
+        digests = service.digests(timeout=120.0)
+        snapshot = service.health_snapshot(timeout=120.0)
+    finally:
+        service.close()
+    sidecar = state_dir / POISON_SIDECAR_NAME
+    records = [
+        json.loads(line) for line in sidecar.read_text().splitlines() if line.strip()
+    ]
+    if len(records) != 1 or records[0]["lines"] != [poison_line]:
+        raise RuntimeError(f"unexpected quarantine sidecar contents: {records}")
+    return (
+        SoakResult(
+            fleet_cost=snapshot["fleet_cost"], digests=digests, snapshot=snapshot
+        ),
+        records,
+    )
+
+
+def run_disk_fault_chaos(
+    events: list[dict],
+    state_dir: str | Path,
+    config: SessionConfig,
+    *,
+    windows: int = 2,
+    window_length: int = 3,
+    policy: str = "repair",
+    ledger_path: str | Path | None = None,
+    batch: int = 1,
+) -> tuple[SoakResult, object]:
+    """Serve through injected ``ENOSPC`` windows; heal bit-identically.
+
+    ``windows`` down-windows of ``window_length`` failing disk
+    operations each are spread over the first half of the stream's
+    write schedule.  While a window is open the service must keep
+    serving (SAFE decisions, zero unhandled exceptions); once the disk
+    heals the buffered tail is replayed and the final state must be
+    bit-identical to a run that never saw a fault.  Returns the final
+    result and the injector (for ``ops``/``raised`` assertions).
+    """
+    from ..engine.faults import FsFault, FsFaultInjector
+
+    state_dir = Path(state_dir)
+    state_dir.mkdir(parents=True, exist_ok=True)
+    # One WAL append per event dominates the op schedule; keeping every
+    # window inside the first half of the stream guarantees the probe
+    # backoff drains it with events to spare before the run ends.
+    budget = max(2, len(events) // 2)
+    faults = {}
+    for index in range(windows):
+        ordinal = 2 + (index * budget) // max(1, windows)
+        while ordinal in faults:
+            ordinal += window_length + 1
+        faults[ordinal] = FsFault(count=window_length)
+    fs = FsFaultInjector(faults, state_dir / "fs-claims")
+    result = run_stream(
+        events,
+        state_dir,
+        config,
+        policy=policy,
+        ledger_path=ledger_path,
+        batch=batch,
+        fs=fs,
+    )
+    return result, fs
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.service.soak",
@@ -342,11 +573,38 @@ def main(argv: list[str] | None = None) -> int:
         "must recover bit-identically",
     )
     parser.add_argument(
+        "--hang-workers",
+        type=int,
+        default=0,
+        help="SIGSTOP this many live shard workers mid-stream (requires "
+        "--shards); the supervisor must detect each hang, SIGKILL and "
+        "respawn the worker, and the run must stay bit-identical",
+    )
+    parser.add_argument(
+        "--poison",
+        action="store_true",
+        help="inject one worker-killing poison chunk (requires --shards); "
+        "it must be quarantined with provenance after the poison budget "
+        "while the shard keeps serving everything else",
+    )
+    parser.add_argument(
+        "--disk-faults",
+        type=int,
+        default=0,
+        help="inject this many ENOSPC down-windows into the single-process "
+        "run's disk writes; the service must keep serving SAFE decisions "
+        "and recover bit-identically once the disk heals",
+    )
+    parser.add_argument(
         "--out", type=Path, default=Path("results/soak"), help="artifact directory"
     )
     args = parser.parse_args(argv)
     if args.kill_workers and not args.shards:
         parser.error("--kill-workers requires --shards N")
+    if args.hang_workers and not args.shards:
+        parser.error("--hang-workers requires --shards N")
+    if args.poison and not args.shards:
+        parser.error("--poison requires --shards N")
 
     events = build_fleet_events(args.vehicles, args.stops, args.seed, args.area)
     config = SessionConfig(
@@ -420,6 +678,91 @@ def main(argv: list[str] | None = None) -> int:
                 indent=2,
                 sort_keys=True,
             )
+        )
+    if args.hang_workers:
+        hung, detected = run_hang_chaos(
+            events,
+            args.out / "hang",
+            config,
+            shards=args.shards,
+            hangs=args.hang_workers,
+            chunk=max(args.batch, 8),
+            ledger_path=args.out / "hang-ledger.jsonl",
+        )
+        if (
+            hung["fleet_cost"] != clean["fleet_cost"]
+            or hung["digests"] != clean["digests"]
+        ):
+            print(
+                f"PARITY FAILED: hang-chaos run ({args.hang_workers} frozen "
+                "worker(s)) differs from the clean run",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"hang-chaos run matches clean after {detected} detected hang(s) "
+            "(SIGSTOP -> supervisor SIGKILL -> respawn)"
+        )
+    if args.poison:
+        poisoned, quarantined = run_poison_chaos(
+            events,
+            args.out / "poison",
+            config,
+            shards=args.shards,
+            chunk=max(args.batch, 8),
+            ledger_path=args.out / "poison-ledger.jsonl",
+        )
+        if (
+            poisoned["fleet_cost"] != clean["fleet_cost"]
+            or poisoned["digests"] != clean["digests"]
+        ):
+            print(
+                "PARITY FAILED: poison-chaos run differs from the clean run",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"poison-chaos run matches clean; {len(quarantined)} chunk(s) "
+            f"quarantined after {quarantined[0]['crashes']} crash(es)"
+        )
+    if args.disk_faults:
+        faulted, fs = run_disk_fault_chaos(
+            events,
+            args.out / "disk",
+            config,
+            windows=args.disk_faults,
+            ledger_path=args.out / "disk-ledger.jsonl",
+            batch=args.batch,
+        )
+        durability = faulted["snapshot"]["durability"]
+        if (
+            faulted["fleet_cost"] != clean["fleet_cost"]
+            or faulted["digests"] != clean["digests"]
+        ):
+            print(
+                f"PARITY FAILED: disk-fault run ({args.disk_faults} ENOSPC "
+                "window(s)) differs from the clean run",
+                file=sys.stderr,
+            )
+            return 1
+        if durability["suspensions"] < 1 or fs.raised < 1:
+            print(
+                "DISK-FAULT CHECK FAILED: no suspension was ever triggered "
+                f"(suspensions={durability['suspensions']}, raised={fs.raised})",
+                file=sys.stderr,
+            )
+            return 1
+        if durability["suspended_sessions"] or durability["dropped_events"]:
+            print(
+                f"DISK-FAULT CHECK FAILED: durability did not heal cleanly "
+                f"({durability})",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"disk-fault run matches clean after {durability['suspensions']} "
+            f"suspension(s) ({fs.raised} injected write failure(s), "
+            f"{durability['resumes']} resume(s))"
         )
     chaos, restarts = run_chaos(
         events,

@@ -37,6 +37,25 @@ from ..errors import ReproError
 __all__ = ["WriteAheadLog", "SnapshotStore", "WalCorruptionError"]
 
 
+def _fsync_dir(path: Path) -> None:
+    """Fsync a directory so a just-created or just-renamed entry survives
+    an OS crash — ``fsync`` of the file alone durably stores its *bytes*
+    but not the directory entry naming them.  Best-effort: directories
+    are not fsyncable on every platform/filesystem, and losing the
+    belt-and-braces sync there is not an error.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-specific
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-specific
+        pass
+    finally:
+        os.close(fd)
+
+
 class WalCorruptionError(ReproError, RuntimeError):
     """A WAL or snapshot frame failed its integrity check *before* the
     final record — real corruption, not a torn tail."""
@@ -102,16 +121,44 @@ def _unframe(line: str) -> dict | None:
 
 
 class WriteAheadLog:
-    """Append-only CRC-framed JSONL log for one advisor session."""
+    """Append-only CRC-framed JSONL log for one advisor session.
 
-    def __init__(self, path: str | Path, *, fsync: bool = False) -> None:
+    ``fs`` is an optional fault-injection shim (``check(op, path)``)
+    consulted before each physical operation; a scheduled ``OSError``
+    from it is indistinguishable from the real disk failing
+    (:class:`repro.engine.faults.FsFaultInjector`).
+    """
+
+    def __init__(self, path: str | Path, *, fsync: bool = False, fs=None) -> None:
         self.path = Path(path)
         self.fsync = bool(fsync)
+        self.fs = fs
         #: True when the last :meth:`replay` dropped a torn final frame;
         #: recovery uses it to force a compaction so the torn bytes never
         #: survive into the next append.
         self.tail_torn = False
+        # The directory entry for a brand-new log file is only durable
+        # once its parent directory is synced; done lazily on the first
+        # fsync'd append rather than here (creation may predate fsync).
+        self._dir_synced = False
         self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def _check(self, op: str) -> None:
+        if self.fs is not None:
+            self.fs.check(op, self.path)
+
+    def probe(self) -> None:
+        """One cheap disk-health probe: open-append + flush (+ fsync when
+        configured), raising ``OSError`` while the disk is still sick.
+
+        What the ``DURABILITY_SUSPENDED`` recovery path calls on its
+        backoff schedule before attempting to replay the buffered tail.
+        """
+        self._check("wal-probe")
+        with open(self.path, "ab") as handle:
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
 
     def append(self, record: dict) -> None:
         """Durably append one record (flush always; fsync on request).
@@ -122,6 +169,7 @@ class WriteAheadLog:
         newline gets one (the record is preserved); a partial frame is
         truncated away (it was never durable).
         """
+        self._check("wal-append")
         with open(self.path, "a+b") as handle:
             size = handle.seek(0, os.SEEK_END)
             if size:
@@ -139,6 +187,16 @@ class WriteAheadLog:
             handle.flush()
             if self.fsync:
                 os.fsync(handle.fileno())
+                self._sync_dir_once()
+
+    def _sync_dir_once(self) -> None:
+        """Make the log's directory entry durable, once per instance.
+
+        Only reached under ``fsync=True``: without it nothing here
+        claims OS-crash durability anyway."""
+        if not self._dir_synced:
+            _fsync_dir(self.path.parent)
+            self._dir_synced = True
 
     def append_many(self, records: list[dict]) -> None:
         """Group-commit: durably append a batch with ONE write + flush
@@ -156,6 +214,7 @@ class WriteAheadLog:
         """
         if not records:
             return
+        self._check("wal-append")
         with open(self.path, "a+b") as handle:
             size = handle.seek(0, os.SEEK_END)
             if size:
@@ -174,6 +233,7 @@ class WriteAheadLog:
             handle.flush()
             if self.fsync:
                 os.fsync(handle.fileno())
+                self._sync_dir_once()
 
     def replay(self) -> list[dict]:
         """All intact records, in order.
@@ -210,9 +270,12 @@ class WriteAheadLog:
         ``os.replace`` of a fresh empty file means a crash leaves either
         the full old log or an empty one — never a half-truncated file.
         """
+        self._check("wal-reset")
         tmp = self.path.with_name(self.path.name + f".tmp{os.getpid()}")
         tmp.write_text("")
         os.replace(tmp, self.path)
+        if self.fsync:
+            _fsync_dir(self.path.parent)
 
 
 class SnapshotStore:
@@ -232,13 +295,16 @@ class SnapshotStore:
     delta's smaller ``base_seq``.
     """
 
-    def __init__(self, path: str | Path, *, fsync: bool = False) -> None:
+    def __init__(self, path: str | Path, *, fsync: bool = False, fs=None) -> None:
         self.path = Path(path)
         self.delta_path = self.path.with_name(self.path.name + ".delta")
         self.fsync = bool(fsync)
+        self.fs = fs
         self.path.parent.mkdir(parents=True, exist_ok=True)
 
     def _publish(self, path: Path, body: str) -> None:
+        if self.fs is not None:
+            self.fs.check("snapshot-publish", path)
         payload = f"{zlib.crc32(body.encode()):08x} {body}"
         tmp = path.with_name(path.name + f".tmp{os.getpid()}")
         with open(tmp, "w") as handle:
@@ -247,6 +313,11 @@ class SnapshotStore:
             if self.fsync:
                 os.fsync(handle.fileno())
         os.replace(tmp, path)
+        # The rename itself lives in the directory: without a directory
+        # fsync an OS crash can revert the publish even though the new
+        # snapshot's bytes are safely on disk.
+        if self.fsync:
+            _fsync_dir(path.parent)
 
     def save(self, seq: int, state: dict) -> None:
         """Publish ``state`` as the full snapshot after ``seq`` events.

@@ -42,7 +42,10 @@ class TestServe:
             "--health", str(health),
         ]) == 0
         snapshot = json.loads(health.read_text())
-        assert set(snapshot) == {"fleet_cost", "vehicles", "ingest", "states"}
+        assert set(snapshot) == {
+            "fleet_cost", "vehicles", "ingest", "states", "durability",
+        }
+        assert snapshot["durability"]["suspended_sessions"] == 0
         assert len(snapshot["vehicles"]) == 2
         for info in snapshot["vehicles"].values():
             assert info["health"] in ("healthy", "degraded", "safe")
