@@ -168,6 +168,14 @@ def build_parser() -> argparse.ArgumentParser:
         "owning process is dead (never run while a chaos harness is "
         "mid-cycle — live kill claims are its once-only bookkeeping)",
     )
+    cache_cmd.add_argument(
+        "--state-dir",
+        type=Path,
+        default=None,
+        help="with 'doctor': also sweep a service state directory for "
+        "orphaned .tmp files from dead writers and delta sidecars whose "
+        "base snapshot is gone",
+    )
 
     advise = sub.add_parser(
         "advise", help="select the optimal strategy for observed stops"
@@ -466,6 +474,197 @@ def build_parser() -> argparse.ArgumentParser:
         "ledger", help="summarize a JSONL run ledger (torn-tail tolerant)"
     )
     ledger_cmd.add_argument("path", type=Path, help="ledger JSONL path")
+
+    replicate_cmd = sub.add_parser(
+        "replicate",
+        help="ship WAL frames and snapshots from a primary state dir to "
+        "a standby (local dir or a replica server over host:port / "
+        "unix:PATH)",
+    )
+    replicate_cmd.add_argument(
+        "primary",
+        nargs="?",
+        type=Path,
+        default=None,
+        help="primary state directory to ship from (omit with --serve)",
+    )
+    replicate_cmd.add_argument(
+        "--standby",
+        type=Path,
+        default=None,
+        help="standby state directory (local shipping target, or the "
+        "apply target with --serve)",
+    )
+    replicate_cmd.add_argument(
+        "--to",
+        default=None,
+        metavar="ADDR",
+        help="remote standby address (host:port or unix:PATH) running "
+        "'repro-idling replicate --serve'",
+    )
+    replicate_cmd.add_argument(
+        "--serve",
+        action="store_true",
+        help="run the standby side: accept shipped frames on --listen "
+        "and apply them to --standby",
+    )
+    replicate_cmd.add_argument(
+        "--listen",
+        default=None,
+        metavar="ADDR",
+        help="with --serve: bind address (host:port or unix:PATH)",
+    )
+    replicate_cmd.add_argument(
+        "--interval",
+        type=float,
+        default=0.2,
+        help="seconds between shipping passes (default: 0.2)",
+    )
+    replicate_cmd.add_argument(
+        "--passes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N shipping passes (default: run until killed; "
+        "use --passes 1 for a one-shot catch-up)",
+    )
+    replicate_cmd.add_argument(
+        "--max-errors",
+        type=int,
+        default=None,
+        metavar="N",
+        help="abort after N consecutive channel errors (default: retry "
+        "forever)",
+    )
+
+    promote_cmd = sub.add_parser(
+        "promote",
+        help="promote a standby state dir to primary: fence the old "
+        "primary's shard locks, recover every session bit-identically, "
+        "and print the fleet digest",
+    )
+    promote_cmd.add_argument(
+        "state_dir", type=Path, help="standby state directory to promote"
+    )
+    promote_cmd.add_argument(
+        "--fence",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="old primary's state directory: refuse promotion while a "
+        "live process still owns a shard.lock there (split-brain guard)",
+    )
+    promote_cmd.add_argument(
+        "--break-even",
+        type=float,
+        default=B_SSV,
+        help=f"break-even interval B in seconds (default: {B_SSV:g}); "
+        "must match the primary's configuration",
+    )
+    promote_cmd.add_argument(
+        "--safe-strategy",
+        choices=("nrand", "det"),
+        default="nrand",
+        help="SAFE-state fallback; must match the primary's configuration",
+    )
+    promote_cmd.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=64,
+        help="WAL compaction cadence; must match the primary's "
+        "configuration",
+    )
+    promote_cmd.add_argument(
+        "--seed", type=int, default=None, help="RNG base seed (match primary)"
+    )
+    promote_cmd.add_argument(
+        "--policy",
+        choices=_POLICY_CHOICES,
+        default="repair",
+        help="validation policy for the promoted service (default: repair)",
+    )
+    promote_cmd.add_argument(
+        "--fsync",
+        action="store_true",
+        help="fsync durable writes on the promoted service",
+    )
+
+    backup_cmd = sub.add_parser(
+        "backup",
+        help="cold-copy a state dir's durable artifacts into an archive "
+        "dir under a content-hash manifest",
+    )
+    backup_cmd.add_argument(
+        "state_dir", type=Path, help="state directory to back up"
+    )
+    backup_cmd.add_argument(
+        "archive_dir", type=Path, help="archive directory (must be fresh)"
+    )
+
+    restore_cmd = sub.add_parser(
+        "restore",
+        help="restore an archive into an empty state dir, verifying "
+        "every file's hash first; --upto-seq rewinds to a point in time",
+    )
+    restore_cmd.add_argument(
+        "archive_dir", type=Path, help="archive directory written by 'backup'"
+    )
+    restore_cmd.add_argument(
+        "state_dir", type=Path, help="empty target state directory"
+    )
+    restore_cmd.add_argument(
+        "--upto-seq",
+        type=int,
+        default=None,
+        metavar="SEQ",
+        help="point-in-time restore: truncate every session's history "
+        "to WAL sequence <= SEQ (fails if compaction already consumed "
+        "frames beyond SEQ)",
+    )
+
+    fleet_cmd = sub.add_parser(
+        "fleet",
+        help="fleet-wide durability checks across primary, standby and "
+        "backup archive",
+    )
+    fleet_cmd.add_argument(
+        "action",
+        choices=("doctor",),
+        help="'doctor' cross-checks WAL/snapshot integrity, replica "
+        "watermarks and backup manifests; exits 1 on any problem",
+    )
+    fleet_cmd.add_argument(
+        "state_dir", type=Path, help="primary state directory to verify"
+    )
+    fleet_cmd.add_argument(
+        "--replica",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="standby state directory: verify watermarks and digest "
+        "agreement against the primary",
+    )
+    fleet_cmd.add_argument(
+        "--archive",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="backup archive: verify its manifest hashes",
+    )
+    fleet_cmd.add_argument(
+        "--max-lag",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --replica: flag replication lag beyond N events as a "
+        "problem, not just a report field",
+    )
+    fleet_cmd.add_argument(
+        "--verify-restore",
+        action="store_true",
+        help="with --archive: byte-compare the state dir against the "
+        "manifest (use after 'restore' to prove the round trip)",
+    )
     return parser
 
 
@@ -618,6 +817,14 @@ def _cache(args) -> None:
             locks = sweep_stale_shard_locks(args.fault_claims)
             print(f"shard locks:     swept {len(locks)} stale lock(s)")
             for name in locks:
+                print(f"  swept   {name}")
+        if args.state_dir is not None:
+            from .service.replica import sweep_state_dir
+
+            removed = sweep_state_dir(args.state_dir)
+            print(f"state dir:       swept {len(removed)} orphan(s) "
+                  f"from {args.state_dir}")
+            for name in removed:
                 print(f"  swept   {name}")
     else:
         entries = cache.entries()
@@ -1172,6 +1379,161 @@ def _dataset(args) -> None:
     print("load with repro.fleet.load_fleet_dataset(path)")
 
 
+def _replicate(args) -> int:
+    """``replicate``: ship WAL frames/snapshots, or run the standby side."""
+    import asyncio
+
+    from .service.replica import (
+        LocalReplicaTarget,
+        RemoteReplicaTarget,
+        ReplicaServer,
+        replicate,
+    )
+
+    if args.serve:
+        if args.listen is None or args.standby is None:
+            print("error: --serve requires --listen ADDR and --standby DIR",
+                  file=sys.stderr)
+            return 2
+        server = ReplicaServer(args.standby)
+        print(f"replica server applying to {args.standby} on {args.listen} "
+              f"(Ctrl-C to stop)")
+        try:
+            asyncio.run(server.serve(args.listen, install_signals=True))
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    if args.primary is None:
+        print("error: primary state dir required (or use --serve)",
+              file=sys.stderr)
+        return 2
+    if (args.to is None) == (args.standby is None):
+        print("error: pick exactly one shipping target: --standby DIR "
+              "or --to ADDR", file=sys.stderr)
+        return 2
+    if args.to is not None:
+        target = RemoteReplicaTarget(args.to)
+        where = args.to
+    else:
+        target = LocalReplicaTarget(args.standby)
+        where = str(args.standby)
+    try:
+        totals = replicate(
+            args.primary,
+            target,
+            interval=args.interval,
+            passes=args.passes,
+            max_errors=args.max_errors,
+        )
+    except KeyboardInterrupt:
+        print("replication stopped", file=sys.stderr)
+        return 0
+    finally:
+        target.close()
+    print(f"shipped to {where}: {totals['passes']} pass(es), "
+          f"{totals['frames']} frame(s), {totals['snapshots']} snapshot(s), "
+          f"{totals['deltas']} delta(s), {totals['registries']} registry "
+          f"update(s), {totals['channel_errors']} channel error(s)")
+    return 0
+
+
+def _promotion_config(args):
+    """Build the :class:`SessionConfig` a promoted standby must run with.
+
+    Bit-identical continuation requires the exact configuration the
+    primary ran — the flags mirror ``serve``'s.
+    """
+    from .service.session import SessionConfig
+
+    _warn_break_even(args.break_even)
+    kwargs = dict(
+        break_even=args.break_even,
+        safe_strategy=args.safe_strategy,
+        snapshot_every=args.snapshot_every,
+    )
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    return SessionConfig(**kwargs)
+
+
+def _promote(args) -> int:
+    """``promote``: fence the old primary and take over bit-identically."""
+    from .service.replica import promote
+
+    result = promote(
+        args.state_dir,
+        _promotion_config(args),
+        fence=args.fence,
+        policy=args.policy,
+        fsync=args.fsync,
+    )
+    print(f"promoted {args.state_dir}: {len(result['vehicles'])} session(s) "
+          f"across {len(result['roots'])} root(s)")
+    print(f"fleet cost:  {result['fleet_cost']:.1f} idle-s")
+    for vid in result["vehicles"]:
+        print(f"  {vid}  {result['digests'][vid]}")
+    return 0
+
+
+def _backup(args) -> int:
+    """``backup``: cold-copy durable state under a content manifest."""
+    from .service.replica import backup
+
+    manifest = backup(args.state_dir, args.archive_dir)
+    print(f"backed up {len(manifest['files'])} file(s), "
+          f"{len(manifest['vehicles'])} session(s) to {args.archive_dir}")
+    for key in sorted(manifest["vehicles"]):
+        info = manifest["vehicles"][key]
+        print(f"  {key}  tip={info['tip']}  {info['digest'][:16]}")
+    return 0
+
+
+def _restore(args) -> int:
+    """``restore``: verified restore, optionally to a point in time."""
+    from .service.replica import restore
+
+    report = restore(args.archive_dir, args.state_dir, upto_seq=args.upto_seq)
+    print(f"restored {report['files']} file(s) to {args.state_dir}")
+    if args.upto_seq is not None:
+        dropped = sum(report["truncated"].values())
+        print(f"point-in-time seq {args.upto_seq}: dropped {dropped} "
+              f"frame(s) across {len(report['truncated'])} session(s)")
+    print("run 'repro-idling fleet doctor' then 'promote' to bring it live")
+    return 0
+
+
+def _fleet(args) -> int:
+    """``fleet doctor``: cross-check primary, standby and archive."""
+    from .service.replica import fleet_doctor
+
+    report = fleet_doctor(
+        args.state_dir,
+        replica_dir=args.replica,
+        archive_dir=args.archive,
+        max_lag=args.max_lag,
+        verify_restore=args.verify_restore,
+    )
+    print(f"state dir:   {args.state_dir}")
+    print(f"sessions:    {len(report['vehicles'])}")
+    if report["replication"] is not None:
+        repl = report["replication"]
+        print(f"replication: max lag {repl['max_lag_events']} event(s), "
+              f"{repl['vehicles_lagging']} session(s) lagging")
+    if report["archive"] is not None:
+        print(f"archive:     {args.archive} "
+              f"({report['archive']['files']} file(s) verified)")
+    for line in report["warnings"]:
+        print(f"warning: {line}")
+    for line in report["problems"]:
+        print(f"problem: {line}")
+    if report["ok"]:
+        print("fleet is healthy")
+        return 0
+    print("fleet has problems — see above", file=sys.stderr)
+    return 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -1207,6 +1569,16 @@ def main(argv: list[str] | None = None) -> int:
             return _serve(args)
         elif args.command == "ledger":
             return _ledger_summary(args)
+        elif args.command == "replicate":
+            return _replicate(args)
+        elif args.command == "promote":
+            return _promote(args)
+        elif args.command == "backup":
+            return _backup(args)
+        elif args.command == "restore":
+            return _restore(args)
+        elif args.command == "fleet":
+            return _fleet(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -63,6 +63,8 @@ __all__ = [
     "FsFault",
     "FsFaultInjector",
     "InjectedFault",
+    "NetFault",
+    "NetFaultInjector",
     "owner_alive",
     "owner_record",
     "pid_alive",
@@ -378,3 +380,71 @@ class FsFaultInjector:
                 name = errno.errorcode.get(code, str(code))
                 raise OSError(code, f"injected {name} during {op}", str(path))
         self._windows = [window for window in self._windows if self.ops < window[0]]
+
+
+# -- network fault injection ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NetFault:
+    """One network-fault window: ``count`` consecutive dropped operations."""
+
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise InvalidParameterError(f"fault count must be >= 1, got {self.count}")
+
+
+class NetFaultInjector:
+    """Deterministic connection drops for the replication channel.
+
+    The remote replica target consults :meth:`check` before each channel
+    operation (``connect``, then one ``send`` per op in an exchange).
+    Scheduling mirrors :class:`FsFaultInjector` exactly — a global
+    1-based ordinal, down windows of ``count`` consecutive failures, and
+    ``O_CREAT | O_EXCL`` claim files so a retried exchange over the same
+    state directory sees each window fire exactly once — but the injected
+    error is :class:`ConnectionResetError`, which the shipping loop
+    counts and retries (every replication op is idempotent) rather than
+    treating as a durability fault.
+    """
+
+    def __init__(self, faults: dict[int, NetFault], state_dir) -> None:
+        self.faults = {}
+        for ordinal, fault in faults.items():
+            ordinal = int(ordinal)
+            if ordinal < 1:
+                raise InvalidParameterError(
+                    f"fault ordinals are 1-based, got {ordinal}"
+                )
+            self.faults[ordinal] = fault
+        self.state_dir = str(state_dir)
+        self.ops = 0
+        self.raised = 0
+        self._windows: list[int] = []  # first op past each window
+
+    def _claim(self, ordinal: int) -> bool:
+        os.makedirs(self.state_dir, exist_ok=True)
+        path = os.path.join(self.state_dir, f"net.{ordinal}")
+        try:
+            handle = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        try:
+            os.write(handle, owner_record().encode())
+        finally:
+            os.close(handle)
+        return True
+
+    def check(self, op: str) -> None:
+        """Count one channel operation; drop it if in a down window."""
+        self.ops += 1
+        fault = self.faults.get(self.ops)
+        if fault is not None and self._claim(self.ops):
+            self._windows.append(self.ops + fault.count)
+        for until in self._windows:
+            if self.ops < until:
+                self.raised += 1
+                raise ConnectionResetError(f"injected connection drop during {op}")
+        self._windows = [until for until in self._windows if self.ops < until]

@@ -23,7 +23,12 @@ The deployed face of the paper's algorithms: per-vehicle
   processes with at-least-once redelivery and bit-identical shard
   recovery (:mod:`repro.service.shard`), fronted by a JSONL
   socket/stdin server with a ``/health`` endpoint
-  (:mod:`repro.service.frontend`).
+  (:mod:`repro.service.frontend`);
+* **disaster recovery** — streaming WAL shipping to a standby with
+  watermarked catch-up, lock-fenced standby promotion bit-identical to
+  a clean continuation, cold backup/point-in-time restore under a
+  content manifest, and a ``fleet doctor`` that cross-checks all of it
+  (:mod:`repro.service.replica`).
 
 See ``docs/serving.md`` for the state machine, the durability
 guarantees, and the degradation ladder's competitive-ratio bounds.
@@ -32,7 +37,7 @@ guarantees, and the degradation ladder's competitive-ratio bounds.
 # NOTE: repro.service.soak is deliberately not imported here — it is
 # runnable as ``python -m repro.service.soak`` and importing it from the
 # package __init__ would shadow that execution (runpy warns).
-from .advisor import AdvisorService, parse_event_line
+from .advisor import AdvisorService, RegisteredAdvisorService, parse_event_line
 from .augmented import (
     AugmentedAdvisorSession,
     AugmentedSessionConfig,
@@ -43,6 +48,20 @@ from .augmented import (
 )
 from .drift import DriftDetector, PageHinkley
 from .frontend import JsonlFrontend, parse_listen
+from .replica import (
+    LocalReplicaTarget,
+    RemoteReplicaTarget,
+    ReplicaServer,
+    ReplicationError,
+    ReplicationMonitor,
+    backup,
+    fleet_doctor,
+    promote,
+    replicate,
+    restore,
+    sweep_state_dir,
+    sync_once,
+)
 from .session import AdvisorSession, HealthState, SessionConfig, vehicle_seed
 from .shard import (
     HashRing,
@@ -63,7 +82,13 @@ __all__ = [
     "HashRing",
     "HealthState",
     "JsonlFrontend",
+    "LocalReplicaTarget",
     "PageHinkley",
+    "RegisteredAdvisorService",
+    "RemoteReplicaTarget",
+    "ReplicaServer",
+    "ReplicationError",
+    "ReplicationMonitor",
     "SessionConfig",
     "ShardLockError",
     "ShardedAdvisorService",
@@ -71,9 +96,16 @@ __all__ = [
     "TrustLearner",
     "WalCorruptionError",
     "WriteAheadLog",
+    "backup",
     "build_predictor",
+    "fleet_doctor",
     "parse_event_line",
     "parse_listen",
+    "promote",
+    "replicate",
+    "restore",
     "sweep_stale_shard_locks",
+    "sweep_state_dir",
+    "sync_once",
     "vehicle_seed",
 ]

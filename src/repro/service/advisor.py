@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import re
 import time
 from collections import deque
@@ -41,7 +42,19 @@ from ..validation.schemas import stop_event_findings
 from .batch import MalformedEvent, plan_chunk
 from .session import AdvisorSession, SessionConfig
 
-__all__ = ["AdvisorService", "parse_event_line"]
+__all__ = [
+    "REGISTRY_NAME",
+    "AdvisorService",
+    "RegisteredAdvisorService",
+    "gate_on_replication",
+    "parse_event_line",
+]
+
+#: JSONL registry of every vehicle id a service root has ever held —
+#: hashed session directory names cannot be inverted, so warm recovery
+#: (shard respawn, standby promotion) replays this file to rebuild each
+#: session under its correct RNG seed.
+REGISTRY_NAME = "vehicles.idx"
 
 #: Backpressure ledger warnings fire on the first shed event and at
 #: every multiple of this — loud enough to see overload in the run
@@ -63,6 +76,34 @@ def _vehicle_dirname(vehicle_id: str) -> str:
     digest = hashlib.sha256(vehicle_id.encode()).hexdigest()[:16]
     prefix = _UNSAFE_CHARS.sub("_", vehicle_id)[:48].lstrip(".")
     return f"{prefix}-{digest}" if prefix else f"veh-{digest}"
+
+
+def gate_on_replication(replication, reasons: list) -> dict:
+    """Fold replication lag into a readiness verdict.
+
+    Shared by the single-process and sharded tiers so ``/ready`` speaks
+    one schema: the verdict carries the monitor's full lag snapshot
+    under ``"replication"`` (machine-readable), and flips not-ready when
+    lag exceeds the monitor's bound or the standby's watermark file is
+    unreadable (its state is then unknown — the conservative verdict).
+    """
+    verdict = {"ready": True, "reasons": reasons}
+    if replication is not None:
+        lag = replication.snapshot()
+        verdict["replication"] = lag
+        if not lag["within_bound"]:
+            if lag["watermarks_corrupt"]:
+                reasons.append(
+                    "replication watermarks corrupt: standby state unknown"
+                )
+            else:
+                reasons.append(
+                    f"replication lag {lag['max_lag_events']} events exceeds "
+                    f"bound {lag['max_lag_bound']} "
+                    f"({lag['vehicles_lagging']} session(s) lagging)"
+                )
+    verdict["ready"] = not reasons
+    return verdict
 
 
 def parse_event_line(line: str):
@@ -102,6 +143,12 @@ class AdvisorService:
         snapshot store (:class:`repro.engine.faults.FsFaultInjector`);
         the ordinal schedule then covers the whole service's disk
         traffic, which is how the disk-fault soak is driven.
+    replication:
+        Optional :class:`repro.service.replica.ReplicationMonitor`.
+        When set, :meth:`health_snapshot` carries a ``replication``
+        section (per-session lag against the standby's watermarks) and
+        :meth:`readiness` refuses traffic with a machine-readable
+        reason while any session lags past the monitor's bound.
     """
 
     def __init__(
@@ -116,6 +163,7 @@ class AdvisorService:
         recover: bool = True,
         source: str = "events",
         fs=None,
+        replication=None,
     ) -> None:
         self.state_dir = Path(state_dir)
         self.state_dir.mkdir(parents=True, exist_ok=True)
@@ -123,6 +171,7 @@ class AdvisorService:
         self.policy = policy
         self.fsync = bool(fsync)
         self.fs = fs
+        self.replication = replication
         self.recover = bool(recover)
         if max_queue < 1:
             max_queue = 1
@@ -360,7 +409,7 @@ class AdvisorService:
             if include_vehicles
             else {}
         )
-        return {
+        snapshot = {
             "fleet_cost": self.fleet_cost,
             "vehicles": vehicles,
             "ingest": {
@@ -390,6 +439,9 @@ class AdvisorService:
             },
             "durability": self.durability_summary(),
         }
+        if self.replication is not None:
+            snapshot["replication"] = self.replication.snapshot()
+        return snapshot
 
     def durability_summary(self) -> dict:
         """Aggregated DURABILITY_SUSPENDED overlay across sessions."""
@@ -424,7 +476,7 @@ class AdvisorService:
                 f"durability suspended for {len(suspended)} session(s): "
                 f"{suspended[:5]}"
             )
-        return {"ready": not reasons, "reasons": reasons}
+        return gate_on_replication(self.replication, reasons)
 
     def close(self) -> None:
         """Flush durable state: final compaction for every session.
@@ -440,3 +492,56 @@ class AdvisorService:
                 session.probe_durability()
             session.compact()
         self._enforcer.close()
+
+
+class RegisteredAdvisorService(AdvisorService):
+    """An ``AdvisorService`` that can warm-recover its whole fleet.
+
+    The stock service recovers sessions lazily on first use, which is
+    fine when the full stream is redelivered after a restart — but a
+    respawned shard only gets its unacknowledged chunks back, and a
+    promoted standby gets nothing at all, so both must restore every
+    session the root ever held before answering health or digest
+    queries.  Vehicle directory names are hashed and cannot be inverted,
+    so the service keeps a registry (JSONL of vehicle ids at
+    :data:`REGISTRY_NAME`, appended and flushed *before* the session's
+    durable state is created — a crash can orphan a registry line, never
+    a session) and replays it at startup.  The registry file itself is
+    shipped by the replication layer, which is what lets ``promote``
+    rebuild each session under its correct RNG seed.
+    """
+
+    def __init__(self, state_dir, config, **kwargs) -> None:
+        super().__init__(state_dir, config, **kwargs)
+        self._registry_path = self.state_dir / REGISTRY_NAME
+        known: list[str] = []
+        if self._registry_path.exists():
+            for line in self._registry_path.read_text().splitlines():
+                try:
+                    vehicle_id = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail: the id re-registers on redelivery
+                if isinstance(vehicle_id, str) and vehicle_id not in known:
+                    known.append(vehicle_id)
+        self._registered: set[str] = set()
+        self._registry = open(self._registry_path, "a")
+        if self.recover:
+            for vehicle_id in known:
+                self._registered.add(vehicle_id)
+                self.session(vehicle_id)
+        else:
+            self._registered.update(known)
+
+    def session(self, vehicle_id):
+        vehicle_id = str(vehicle_id)
+        if vehicle_id not in self._registered:
+            self._registry.write(json.dumps(vehicle_id) + "\n")
+            self._registry.flush()
+            if self.fsync:
+                os.fsync(self._registry.fileno())
+            self._registered.add(vehicle_id)
+        return super().session(vehicle_id)
+
+    def close(self) -> None:
+        super().close()
+        self._registry.close()

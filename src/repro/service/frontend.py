@@ -53,6 +53,14 @@ _HTTP_HEADER_TIMEOUT_S = 5.0
 _HTTP_METHODS = frozenset(
     {"GET", "HEAD", "POST", "PUT", "DELETE", "PATCH", "OPTIONS", "TRACE", "CONNECT"}
 )
+#: High-water mark on a connection's kernel-side write buffer.  Without
+#: a bound, a client that sends events but stops reading decisions lets
+#: the transport buffer the entire response stream in process memory.
+_WRITE_BUFFER_HIGH = 1 << 20
+#: Seconds a drain may stall before the client is declared slow and
+#: disconnected.  Generous — this trips on clients that stopped reading
+#: entirely, not on ordinary TCP backpressure.
+_DRAIN_TIMEOUT_S = 10.0
 
 
 def parse_listen(address: str) -> tuple:
@@ -100,9 +108,34 @@ class JsonlFrontend:
         self.batch = max(1, int(batch))
         self.connections = 0
         self.requests = 0
+        #: Connections force-closed because their drain stalled past
+        #: `_DRAIN_TIMEOUT_S` — the client stopped reading decisions.
+        self.slow_client_disconnects = 0
         self._stop = None  # asyncio.Event, created inside the loop
 
     # -- protocol ---------------------------------------------------------
+
+    async def _drain(self, writer) -> None:
+        """Bounded drain: disconnect (and count) a client that stopped
+        reading instead of waiting on its buffer forever.
+
+        With the transport's write buffer capped at `_WRITE_BUFFER_HIGH`,
+        ``drain()`` blocks once a slow client is a buffer behind; a stall
+        past `_DRAIN_TIMEOUT_S` means it stopped reading entirely, so the
+        connection is aborted — freeing the handler task and the buffered
+        bytes — and surfaces as ``slow_client_disconnects`` in
+        ``/health``.  The raised reset follows the normal client-went-
+        away path in ``_handle``.
+        """
+        try:
+            await asyncio.wait_for(writer.drain(), timeout=_DRAIN_TIMEOUT_S)
+        except asyncio.TimeoutError:
+            self.slow_client_disconnects += 1
+            if writer.transport is not None:
+                writer.transport.abort()
+            raise ConnectionResetError(
+                f"slow client: write buffer not drained within {_DRAIN_TIMEOUT_S}s"
+            ) from None
 
     async def _route(self, lines: list[str]) -> list:
         self.requests += len(lines)
@@ -150,7 +183,7 @@ class JsonlFrontend:
                 b"HTTP/1.0 400 Bad Request\r\ncontent-type: text/plain\r\n"
                 b"connection: close\r\n\r\nmalformed request line\n"
             )
-            await writer.drain()
+            await self._drain(writer)
             return
         if method not in ("GET", "HEAD"):
             writer.write(
@@ -158,7 +191,7 @@ class JsonlFrontend:
                 b"content-type: text/plain\r\nconnection: close\r\n\r\n"
                 b"only GET/HEAD /health and /ready are served here\n"
             )
-            await writer.drain()
+            await self._drain(writer)
             return
         try:
             # Bounded: a client that stalls mid-headers (partial read)
@@ -171,7 +204,7 @@ class JsonlFrontend:
                 b"HTTP/1.0 408 Request Timeout\r\ncontent-type: text/plain\r\n"
                 b"connection: close\r\n\r\nrequest headers never completed\n"
             )
-            await writer.drain()
+            await self._drain(writer)
             return
         path = target.split("?")[0]
         if path in ("/ready", "/readyz"):
@@ -189,14 +222,19 @@ class JsonlFrontend:
                 b"only /health and /ready are served here\n"
             )
         else:
-            snapshot = await asyncio.to_thread(self.service.health_snapshot)
+            snapshot = dict(await asyncio.to_thread(self.service.health_snapshot))
+            snapshot["frontend"] = {
+                "connections": self.connections,
+                "requests": self.requests,
+                "slow_client_disconnects": self.slow_client_disconnects,
+            }
             body = json.dumps(snapshot, indent=2).encode() + b"\n"
             head = (
                 b"HTTP/1.0 200 OK\r\ncontent-type: application/json\r\n"
                 + f"content-length: {len(body)}\r\n\r\n".encode()
             )
             writer.write(head if method == "HEAD" else head + body)
-        await writer.drain()
+        await self._drain(writer)
 
     def _readiness(self) -> dict:
         """The service's readiness verdict, never raising.
@@ -216,6 +254,10 @@ class JsonlFrontend:
 
     async def _handle(self, reader, writer) -> None:
         self.connections += 1
+        if writer.transport is not None:
+            # Cap the kernel-side buffer so drain() exerts backpressure
+            # as soon as a client falls one buffer behind (see _drain).
+            writer.transport.set_write_buffer_limits(high=_WRITE_BUFFER_HIGH)
         try:
             first = await reader.readline()
             if not first:
@@ -231,7 +273,7 @@ class JsonlFrontend:
                     json.dumps(decision).encode() + b"\n" for decision in decisions
                 )
                 writer.write(out)
-                await writer.drain()
+                await self._drain(writer)
                 pending = await self._read_chunk(reader)
                 if not pending:
                     return

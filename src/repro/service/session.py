@@ -83,7 +83,7 @@ from ..engine.ledger import active_ledger
 from ..simulation.controller import StopStartController
 from ..validation import PolicyEnforcer
 from .drift import DriftDetector
-from .wal import SnapshotStore, WriteAheadLog
+from .wal import SNAPSHOT_NAME, WAL_NAME, SnapshotStore, WriteAheadLog
 
 __all__ = ["HealthState", "SessionConfig", "AdvisorSession", "vehicle_seed"]
 
@@ -256,9 +256,11 @@ class AdvisorSession:
         self._snapshots: SnapshotStore | None = None
         if state_dir is not None:
             directory = Path(state_dir)
-            self._wal = WriteAheadLog(directory / "wal.jsonl", fsync=fsync, fs=fs)
+            # Canonical names from wal.py: the replication layer and the
+            # state-dir doctor address session state by exactly these.
+            self._wal = WriteAheadLog(directory / WAL_NAME, fsync=fsync, fs=fs)
             self._snapshots = SnapshotStore(
-                directory / "snapshot.json", fsync=fsync, fs=fs
+                directory / SNAPSHOT_NAME, fsync=fsync, fs=fs
             )
         self._init_fresh_state()
         if recover and self._snapshots is not None:

@@ -67,7 +67,12 @@ from pathlib import Path
 
 from ..engine.ledger import RunLedger, active_ledger, use_ledger
 from ..errors import InvalidParameterError, ReproError
-from .advisor import AdvisorService
+from .advisor import (
+    REGISTRY_NAME,
+    AdvisorService,
+    RegisteredAdvisorService,
+    gate_on_replication,
+)
 
 __all__ = [
     "HashRing",
@@ -82,9 +87,10 @@ __all__ = [
 ]
 
 SHARD_LOCK_NAME = "shard.lock"
-#: Per-shard vehicle registry (JSONL of ids ever served) enabling warm
-#: bit-identical recovery of *every* session after a worker restart.
-_REGISTRY_NAME = "vehicles.idx"
+# Per-shard vehicle registry; the implementation (and the canonical
+# REGISTRY_NAME constant) moved to advisor.py when standby promotion
+# started needing the same warm-recovery machinery.
+_REGISTRY_NAME = REGISTRY_NAME
 #: Rate limit for shard-tier backpressure ledger warnings (mirrors the
 #: per-process ``AdvisorService.offer`` policy).
 _SHED_WARN_EVERY = 1000
@@ -263,54 +269,9 @@ def sweep_stale_shard_locks(root: str | Path) -> list[str]:
 # -- worker process --------------------------------------------------------
 
 
-class _RegisteredAdvisorService(AdvisorService):
-    """An ``AdvisorService`` that can warm-recover its whole fleet.
-
-    The stock service recovers sessions lazily on first use, which is
-    fine when the full stream is redelivered after a restart — but a
-    respawned *shard* only gets its unacknowledged chunks back, so it
-    must restore every session it ever held before answering health or
-    digest queries.  Vehicle directory names are hashed and cannot be
-    inverted, so the worker keeps a registry (JSONL of vehicle ids,
-    appended and flushed *before* the session's durable state is
-    created — a crash can orphan a registry line, never a session) and
-    replays it at startup.
-    """
-
-    def __init__(self, state_dir, config, **kwargs) -> None:
-        super().__init__(state_dir, config, **kwargs)
-        self._registry_path = self.state_dir / _REGISTRY_NAME
-        known: list[str] = []
-        if self._registry_path.exists():
-            for line in self._registry_path.read_text().splitlines():
-                try:
-                    vehicle_id = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # torn tail: the id re-registers on redelivery
-                if isinstance(vehicle_id, str) and vehicle_id not in known:
-                    known.append(vehicle_id)
-        self._registered: set[str] = set()
-        self._registry = open(self._registry_path, "a")
-        if self.recover:
-            for vehicle_id in known:
-                self._registered.add(vehicle_id)
-                self.session(vehicle_id)
-        else:
-            self._registered.update(known)
-
-    def session(self, vehicle_id):
-        vehicle_id = str(vehicle_id)
-        if vehicle_id not in self._registered:
-            self._registry.write(json.dumps(vehicle_id) + "\n")
-            self._registry.flush()
-            if self.fsync:
-                os.fsync(self._registry.fileno())
-            self._registered.add(vehicle_id)
-        return super().session(vehicle_id)
-
-    def close(self) -> None:
-        super().close()
-        self._registry.close()
+# Kept under its historical private name for the worker below; the
+# class itself now lives in advisor.py (promotion reuses it).
+_RegisteredAdvisorService = RegisteredAdvisorService
 
 
 def _execute_command(
@@ -539,6 +500,7 @@ class ShardedAdvisorService:
         restart_budget: int = 8,
         poison_budget: int = 3,
         injector=None,
+        replication=None,
     ) -> None:
         if shards < 1:
             raise InvalidParameterError(f"shards must be >= 1, got {shards}")
@@ -584,6 +546,9 @@ class ShardedAdvisorService:
         self.breaker_open: set[int] = set()
         self.breaker_shed_by_shard = [0] * self.shards
         self._injector = injector
+        # Optional ReplicationMonitor (service/replica.py): lag against
+        # the standby's watermarks, surfaced in /health and /ready.
+        self.replication = replication
         self._beat_every = (
             0.0
             if self.hang_timeout is None
@@ -1143,6 +1108,11 @@ class ShardedAdvisorService:
                     "resumes",
                 )
             },
+            **(
+                {"replication": self.replication.snapshot()}
+                if self.replication is not None
+                else {}
+            ),
             "routing": {
                 "algorithm": "consistent-hash",
                 "shards": self.shards,
@@ -1179,7 +1149,7 @@ class ShardedAdvisorService:
                 reasons.extend(
                     f"shard {index}: {reason}" for reason in verdict["reasons"]
                 )
-            return {"ready": not reasons, "reasons": reasons}
+            return gate_on_replication(self.replication, reasons)
         with self._lock:
             if self._errors:
                 reasons.append("worker error (see service logs)")
@@ -1215,7 +1185,7 @@ class ShardedAdvisorService:
                             f"shard {index}: durability suspended on "
                             f"{suspended} session(s)"
                         )
-        return {"ready": not reasons, "reasons": reasons}
+        return gate_on_replication(self.replication, reasons)
 
     # -- worker lifecycle -------------------------------------------------
 

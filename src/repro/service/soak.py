@@ -43,7 +43,7 @@ from ..engine.faults import Fault, FaultInjector
 from ..engine.ledger import RunLedger, read_ledger, use_ledger
 from ..fleet import area_config
 from ..fleet.generator import FleetGenerator
-from .advisor import AdvisorService
+from .advisor import AdvisorService, RegisteredAdvisorService
 from .session import SessionConfig
 
 __all__ = [
@@ -54,6 +54,7 @@ __all__ = [
     "run_hang_chaos",
     "run_poison_chaos",
     "run_disk_fault_chaos",
+    "run_replica_chaos",
     "SoakResult",
     "main",
 ]
@@ -110,6 +111,7 @@ def run_stream(
     ledger_path: str | Path | None = None,
     batch: int = 1,
     fs=None,
+    register: bool = False,
 ) -> SoakResult:
     """Serve ``events`` into ``state_dir`` (recovering any prior state).
 
@@ -121,11 +123,16 @@ def run_stream(
     land mid-plan and tear a group-commit.  ``fs`` is an optional
     :class:`repro.engine.faults.FsFaultInjector` threaded into the
     service's WAL/snapshot writers — the disk-fault chaos hook.
+    ``register=True`` serves through a
+    :class:`~repro.service.advisor.RegisteredAdvisorService` so the
+    state dir carries a vehicle registry — required for a state dir that
+    a standby may later have to promote without redelivery.
     """
     ledger = (
         RunLedger(ledger_path, append=True) if ledger_path is not None else None
     )
-    service = AdvisorService(Path(state_dir), config, policy=policy, fs=fs)
+    service_cls = RegisteredAdvisorService if register else AdvisorService
+    service = service_cls(Path(state_dir), config, policy=policy, fs=fs)
     if ledger is not None:
         with use_ledger(ledger):
             _serve(service, events, injector, batch)
@@ -229,6 +236,150 @@ def run_chaos(
     raise RuntimeError(
         f"service did not complete within {len(kill_points) + 2} restarts"
     )
+
+
+def _replica_primary_child(
+    events, state_dir, config, policy, injector, out_path, event_delay
+):
+    """Primary-side child for :func:`run_replica_chaos`: serve with a
+    vehicle registry (a promotable primary) until the injected SIGKILL.
+
+    The child holds the state dir's ``shard.lock`` like a real primary
+    would, so the later ``promote --fence`` run exercises the owner-token
+    fencing for real: the SIGKILL leaves the lock file behind with a
+    dead owner record, which promotion must recognize as stale (a live
+    record would — correctly — refuse the promotion as split-brain).
+
+    ``event_delay`` paces the stream so the parent's shipping loop
+    genuinely streams mid-run instead of racing a microsecond burst —
+    without it the standby would usually see zero frames before the kill.
+    """
+    import time
+
+    from .shard import acquire_shard_lock, release_shard_lock
+
+    def paced(index):
+        if event_delay:
+            time.sleep(event_delay)
+        injector(index)
+
+    lock = acquire_shard_lock(Path(state_dir))
+    try:
+        result = run_stream(
+            events, state_dir, config, policy=policy, injector=paced, register=True
+        )
+    finally:
+        release_shard_lock(lock)
+    Path(out_path).write_text(json.dumps(result, sort_keys=True))
+
+
+def run_replica_chaos(
+    events: list[dict],
+    out_dir: str | Path,
+    config: SessionConfig,
+    *,
+    kill_point: int,
+    policy: str = "repair",
+    sync_interval: float = 0.01,
+    event_delay: float = 0.005,
+) -> dict:
+    """The disaster-recovery drill: lose the primary, promote, verify.
+
+    A child process serves the stream into ``out_dir/primary`` as a
+    registered (promotable) service and is SIGKILLed at ``kill_point``;
+    meanwhile this process ships WAL frames and snapshots to
+    ``out_dir/standby`` every ``sync_interval`` seconds — but **only
+    while the child is alive**.  The primary's disk is never read after
+    the kill: that is the machine-loss story, and the standby holds only
+    what was shipped in time.
+
+    Recovery then follows the operator runbook end to end: ``promote``
+    the standby (fencing against the dead primary's ``shard.lock``),
+    finish the stream by full redelivery (idempotent ingestion absorbs
+    everything already applied), and round-trip the result through
+    ``backup`` → ``restore`` → ``fleet_doctor`` → ``promote`` to prove
+    the cold-archive path lands on the same digests.  The caller
+    parity-checks the returned ``final`` result against a clean run.
+    """
+    import time
+
+    from .replica import (
+        LocalReplicaTarget,
+        backup,
+        fleet_doctor,
+        promote,
+        restore,
+        sync_once,
+    )
+
+    out_dir = Path(out_dir)
+    primary_dir = out_dir / "primary"
+    standby_dir = out_dir / "standby"
+    primary_dir.mkdir(parents=True, exist_ok=True)
+    injector = FaultInjector(
+        _noop, {kill_point: Fault("kill")}, primary_dir / "kill-claims"
+    )
+    result_path = out_dir / "primary-result.json"
+    context = multiprocessing.get_context("spawn")
+    child = context.Process(
+        target=_replica_primary_child,
+        args=(
+            events, primary_dir, config, policy, injector, result_path,
+            event_delay,
+        ),
+    )
+    child.start()
+    target = LocalReplicaTarget(standby_dir)
+    sync_passes = 0
+    frames_shipped = 0
+    while child.is_alive():
+        stats = sync_once(primary_dir, target)
+        sync_passes += 1
+        frames_shipped += stats["frames"]
+        time.sleep(sync_interval)
+    child.join()
+    if child.exitcode == 0:
+        raise RuntimeError(
+            f"primary finished the stream without dying — kill point "
+            f"{kill_point} never fired"
+        )
+    if sync_passes == 0 or frames_shipped == 0:
+        raise RuntimeError(
+            "standby never caught a frame before the primary died — "
+            "kill point too early for this sync interval"
+        )
+
+    promoted = promote(standby_dir, config, fence=primary_dir, policy=policy)
+    final = run_stream(events, standby_dir, config, policy=policy, register=True)
+
+    archive_dir = out_dir / "archive"
+    restored_dir = out_dir / "restored"
+    backup(standby_dir, archive_dir)
+    restore(archive_dir, restored_dir)
+    report = fleet_doctor(
+        restored_dir, archive_dir=archive_dir, verify_restore=True
+    )
+    if not report["ok"]:
+        raise RuntimeError(
+            f"fleet doctor rejected the backup/restore round trip: "
+            f"{report['problems']}"
+        )
+    recovered = promote(restored_dir, config, policy=policy)
+    if recovered["digests"] != final["digests"] or recovered[
+        "fleet_cost"
+    ] != final["fleet_cost"]:
+        raise RuntimeError(
+            "backup -> restore -> promote landed on different digests than "
+            "the live standby"
+        )
+
+    return {
+        "promoted": promoted,
+        "final": final,
+        "sync_passes": sync_passes,
+        "frames_shipped": frames_shipped,
+        "restored_digests": recovered["digests"],
+    }
 
 
 def run_sharded_chaos(
@@ -596,6 +747,15 @@ def main(argv: list[str] | None = None) -> int:
         "and recover bit-identically once the disk heals",
     )
     parser.add_argument(
+        "--kill-primary",
+        action="store_true",
+        help="run the disaster-recovery drill: SIGKILL the primary "
+        "two-thirds through the stream while a standby ships its WAL, "
+        "promote the standby (fenced against the dead primary's lock), "
+        "finish the stream, and round-trip backup -> restore -> fleet "
+        "doctor; the result must be bit-identical to the clean run",
+    )
+    parser.add_argument(
         "--out", type=Path, default=Path("results/soak"), help="artifact directory"
     )
     args = parser.parse_args(argv)
@@ -763,6 +923,49 @@ def main(argv: list[str] | None = None) -> int:
             f"disk-fault run matches clean after {durability['suspensions']} "
             f"suspension(s) ({fs.raised} injected write failure(s), "
             f"{durability['resumes']} resume(s))"
+        )
+    if args.kill_primary:
+        replica = run_replica_chaos(
+            events,
+            args.out / "replica",
+            config,
+            kill_point=max(1, (2 * len(events)) // 3),
+        )
+        final = replica["final"]
+        if (
+            final["fleet_cost"] != clean["fleet_cost"]
+            or final["digests"] != clean["digests"]
+        ):
+            mismatched = [
+                vehicle
+                for vehicle in clean["digests"]
+                if final["digests"].get(vehicle) != clean["digests"][vehicle]
+            ]
+            print(
+                f"PARITY FAILED: promoted-standby run mismatched vehicles "
+                f"{mismatched}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"promoted standby matches clean after primary SIGKILL "
+            f"({replica['sync_passes']} sync pass(es), "
+            f"{replica['frames_shipped']} frame(s) shipped before the kill); "
+            f"backup/restore round trip verified"
+        )
+        (args.out / "replica-summary.json").write_text(
+            json.dumps(
+                {
+                    "kill_point": max(1, (2 * len(events)) // 3),
+                    "sync_passes": replica["sync_passes"],
+                    "frames_shipped": replica["frames_shipped"],
+                    "fleet_cost": final["fleet_cost"],
+                    "digests": final["digests"],
+                    "restored_digests": replica["restored_digests"],
+                },
+                indent=2,
+                sort_keys=True,
+            )
         )
     chaos, restarts = run_chaos(
         events,

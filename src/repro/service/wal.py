@@ -36,6 +36,12 @@ from ..errors import ReproError
 
 __all__ = ["WriteAheadLog", "SnapshotStore", "WalCorruptionError"]
 
+#: Canonical per-session durable file names (the replication layer and
+#: state-dir doctor address sessions by these).
+WAL_NAME = "wal.jsonl"
+SNAPSHOT_NAME = "snapshot.json"
+DELTA_NAME = SNAPSHOT_NAME + ".delta"
+
 
 def _fsync_dir(path: Path) -> None:
     """Fsync a directory so a just-created or just-renamed entry survives
@@ -263,6 +269,48 @@ class WriteAheadLog:
                 )
             records.append(record)
         return records
+
+    def follow(self, from_seq: int = 0):
+        """Tail-follower for replication: yield ``(seq, line, record)``
+        for every intact frame whose ``seq`` is greater than ``from_seq``.
+
+        ``line`` is the raw CRC-framed text exactly as it sits in the
+        log, so a shipper can append it to a standby's WAL byte-for-byte
+        (re-framing would be byte-identical anyway — framing is
+        deterministic — but shipping the verified original is cheaper
+        and keeps the CRC end-to-end).  Torn-tail discipline is exactly
+        :meth:`replay`'s: a bad *final* frame is dropped silently (and
+        :attr:`tail_torn` set) because the primary may be mid-append
+        right now; a bad frame followed by intact ones raises
+        :class:`WalCorruptionError`.  Records without an integer ``seq``
+        are never shipped (none are written by the session today).
+        """
+        self.tail_torn = False
+        if not self.path.exists():
+            return
+        lines = self.path.read_text().splitlines()
+        for index, line in enumerate(lines):
+            if not line:
+                continue
+            record = _unframe(line)
+            if record is None:
+                if index == len(lines) - 1:
+                    self.tail_torn = True
+                    return
+                raise WalCorruptionError(
+                    f"{self.path}: bad frame at line {index + 1} "
+                    f"(not the final line — corruption, not a torn tail)"
+                )
+            seq = record.get("seq")
+            if type(seq) is int and seq > from_seq:
+                yield seq, line, record
+
+    def last_seq(self) -> int:
+        """Highest intact ``seq`` in the log (0 when empty/missing)."""
+        last = 0
+        for seq, _line, _record in self.follow(0):
+            last = seq
+        return last
 
     def reset(self) -> None:
         """Atomically truncate the log (the post-snapshot compaction step).

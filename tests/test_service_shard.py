@@ -569,7 +569,10 @@ def test_frontend_http_hardening(tmp_path, monkeypatch):
     assert results["overrun"] == b""  # closed cleanly, no response
     head, _, body = results["ok"].partition(b"\r\n\r\n")
     assert head.startswith(b"HTTP/1.0 200")
-    assert json.loads(body) == {"ok": True}
+    payload = json.loads(body)
+    assert payload["ok"] is True
+    # The frontend annotates health with its own connection telemetry.
+    assert payload["frontend"]["slow_client_disconnects"] == 0
 
 
 def test_frontend_stdin_pump(tmp_path):
